@@ -1,0 +1,81 @@
+// E10 — §IV-C deliberate state explosion and incremental test-case
+// generation. After an SDS run, generating "test cases for all nodes in
+// all dscenarios" requires expanding the compact representation back to
+// COB's output. The paper notes this is expensive but can be done
+// incrementally — and is still orders of magnitude faster than having
+// executed COB outright. We measure:
+//
+//   1. the compact representation size vs the exploded dscenario count,
+//   2. incremental expansion + joint test-case generation throughput,
+//   3. the (estimated) COB cost avoided, in states.
+#include <chrono>
+#include <cstdio>
+
+#include "sde/explode.hpp"
+#include "sde/testcase.hpp"
+#include "trace/scenario.hpp"
+#include "trace/table.hpp"
+
+int main() {
+  using namespace sde;
+  using Clock = std::chrono::steady_clock;
+
+  trace::TextTable table({"Grid", "SDS states", "dstates", "dscenarios",
+                          "COB states (=k*dscen)", "explode+gen time",
+                          "testcases/s"});
+
+  for (const auto& [side, simTime] :
+       {std::pair<std::uint32_t, std::uint64_t>{3, 6000},
+        {4, 5000},
+        {5, 5000}}) {
+    trace::CollectScenarioConfig config;
+    config.gridWidth = side;
+    config.gridHeight = side;
+    config.simulationTime = simTime;
+    config.mapper = MapperKind::kSds;
+    trace::CollectScenario scenario(config);
+    const auto result = scenario.run();
+    auto& engine = scenario.engine();
+
+    const std::uint64_t totalScenarios = countScenarios(engine.mapper());
+    const std::uint64_t nodes = side * side;
+
+    // Incremental explosion with bounded expansion: we cap the number of
+    // materialised dscenarios per bench row so the row finishes quickly;
+    // throughput extrapolates (generation cost is per-dscenario).
+    const std::uint64_t cap = 2000;
+    const auto start = Clock::now();
+    ExplosionIterator it(engine.mapper());
+    std::uint64_t generated = 0;
+    while (generated < cap) {
+      const auto dscenario = it.next();
+      if (!dscenario) break;
+      const auto cases =
+          generateScenarioTestCases(engine.solver(), *dscenario);
+      SDE_ASSERT(cases.has_value(), "explored dscenarios are satisfiable");
+      generated += 1;
+    }
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    char timing[64];
+    std::snprintf(timing, sizeof timing, "%.2fs for %llu", seconds,
+                  static_cast<unsigned long long>(generated));
+    char rate[64];
+    std::snprintf(rate, sizeof rate, "%.0f",
+                  seconds > 0 ? generated / seconds : 0.0);
+
+    table.addRow({std::to_string(side) + "x" + std::to_string(side),
+                  trace::formatCount(result.states),
+                  trace::formatCount(result.groups),
+                  trace::formatCount(totalScenarios),
+                  trace::formatCount(nodes * totalScenarios), timing, rate});
+  }
+
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nThe compact SDS representation holds orders of magnitude fewer "
+      "states than the dscenario expansion COB would have executed; the "
+      "iterator materialises one dscenario at a time (O(k) live states), "
+      "so full test-suite generation never needs COB's peak memory.\n");
+  return 0;
+}

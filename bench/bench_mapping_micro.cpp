@@ -1,0 +1,101 @@
+// E11 — mapping-operation microbenchmarks (google-benchmark): the cost
+// of running the full collect scenario under each algorithm at small
+// grid sizes, plus isolated onLocalBranch/onTransmit costs on synthetic
+// mapper populations. These quantify the constant factors behind the
+// asymptotic story the macro benches tell.
+#include <benchmark/benchmark.h>
+
+#include "rime/apps.hpp"
+#include "sde/engine.hpp"
+#include "vm/builder.hpp"
+#include "trace/scenario.hpp"
+
+namespace {
+
+using namespace sde;
+
+void BM_CollectScenario(benchmark::State& state, MapperKind kind) {
+  const auto side = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    trace::CollectScenarioConfig config;
+    config.gridWidth = side;
+    config.gridHeight = side;
+    config.simulationTime = 3000;
+    config.mapper = kind;
+    trace::CollectScenario scenario(config);
+    const auto result = scenario.run();
+    benchmark::DoNotOptimize(result.states);
+    state.counters["states"] = static_cast<double>(result.states);
+    state.counters["groups"] = static_cast<double>(result.groups);
+  }
+}
+
+// Repeated local branching on one node: COB forks the whole dscenario
+// every time (O(k) per branch), COW/SDS only record membership (O(1)
+// per dstate membership).
+void BM_LocalBranchStorm(benchmark::State& state, MapperKind kind) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  const auto rounds = static_cast<std::uint64_t>(state.range(1));
+  vm::IRBuilder b("brancher");
+  b.setGlobals(9);
+  b.beginEntry(vm::Entry::kInit);
+  b.constant(vm::Reg(3), 1);
+  b.setTimer(1, vm::Reg(3));
+  b.halt();
+  b.beginEntry(vm::Entry::kTimer);
+  b.makeSymbolic(vm::Reg(4), "bit", 1);
+  auto yes = b.newLabel();
+  auto join = b.newLabel();
+  b.branch(vm::Reg(4), yes, join);
+  b.bind(yes);
+  b.jump(join);
+  b.bind(join);
+  b.constant(vm::Reg(3), 1);
+  b.setTimer(1, vm::Reg(3));
+  b.halt();
+  const vm::Program program = b.finish();
+
+  for (auto _ : state) {
+    os::NetworkPlan plan(net::Topology::line(k));
+    plan.runEverywhere(program);
+    Engine engine(plan, kind);
+    engine.run(rounds);  // one symbolic branch per node per round
+    benchmark::DoNotOptimize(engine.numStates());
+    state.counters["states"] = static_cast<double>(engine.numStates());
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_CollectScenario, COB, MapperKind::kCob)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_CollectScenario, COW, MapperKind::kCow)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_CollectScenario, SDS, MapperKind::kSds)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// COB's population is k*2^(k*rounds): keep k*rounds bounded.
+BENCHMARK_CAPTURE(BM_LocalBranchStorm, COB, MapperKind::kCob)
+    ->Args({2, 5})
+    ->Args({4, 3})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_LocalBranchStorm, COW, MapperKind::kCow)
+    ->Args({2, 8})
+    ->Args({4, 8})
+    ->Args({8, 8})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_LocalBranchStorm, SDS, MapperKind::kSds)
+    ->Args({2, 8})
+    ->Args({4, 8})
+    ->Args({8, 8})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// E9 — §IV-C limitation: scenarios where COW and SDS degrade towards
+// COB. Network flooding over a full mesh maximises communication fan-out
+// (every node transmits to its k-1 neighbours), so nearly every state is
+// a target or rival and SDS's bystander saving vanishes. We contrast the
+// ratios states(SDS)/states(COB) on the flooding mesh against the grid
+// collect scenario, where bystanders dominate and SDS wins big.
+#include <cstdio>
+
+#include "trace/scenario.hpp"
+#include "trace/table.hpp"
+
+namespace {
+
+using namespace sde;
+
+struct Row {
+  std::uint64_t states[3] = {0, 0, 0};
+};
+
+Row runFlood(std::uint32_t nodes, std::uint64_t simTime) {
+  Row row;
+  for (const MapperKind kind :
+       {MapperKind::kCob, MapperKind::kCow, MapperKind::kSds}) {
+    trace::FloodScenarioConfig config;
+    config.nodes = nodes;
+    config.fullMesh = true;
+    config.simulationTime = simTime;
+    config.mapper = kind;
+    config.engine.maxStates = 400'000;
+    config.engine.maxWallSeconds = 60;
+    trace::FloodScenario scenario(config);
+    row.states[static_cast<int>(kind)] = scenario.run().states;
+  }
+  return row;
+}
+
+Row runCollect(std::uint32_t side, std::uint64_t simTime) {
+  Row row;
+  for (const MapperKind kind :
+       {MapperKind::kCob, MapperKind::kCow, MapperKind::kSds}) {
+    trace::CollectScenarioConfig config;
+    config.gridWidth = side;
+    config.gridHeight = side;
+    config.simulationTime = simTime;
+    config.mapper = kind;
+    config.engine.maxStates = 400'000;
+    config.engine.maxWallSeconds = 60;
+    trace::CollectScenario scenario(config);
+    row.states[static_cast<int>(kind)] = scenario.run().states;
+  }
+  return row;
+}
+
+std::string ratio(std::uint64_t a, std::uint64_t b) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", static_cast<double>(a) /
+                                             static_cast<double>(b));
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "SS IV-C: adversarial communication patterns. Flooding on a full "
+      "mesh leaves no bystanders; SDS and COW lose their advantage and "
+      "approach COB. The grid collect scenario is shown for contrast.\n\n");
+
+  trace::TextTable table({"Scenario", "COB states", "COW states",
+                          "SDS states", "COW/COB", "SDS/COB"});
+
+  const struct {
+    const char* name;
+    Row row;
+  } experiments[] = {
+      {"flood mesh k=4 (2 waves)", runFlood(4, 2500)},
+      {"flood mesh k=5 (2 waves)", runFlood(5, 2500)},
+      {"flood mesh k=6 (1 wave)", runFlood(6, 1500)},
+      {"collect grid 4x4 (4 pkts)", runCollect(4, 4000)},
+      {"collect grid 5x5 (4 pkts)", runCollect(5, 4000)},
+  };
+
+  for (const auto& experiment : experiments) {
+    const Row& row = experiment.row;
+    table.addRow({experiment.name, trace::formatCount(row.states[0]),
+                  trace::formatCount(row.states[1]),
+                  trace::formatCount(row.states[2]),
+                  ratio(row.states[1], row.states[0]),
+                  ratio(row.states[2], row.states[0])});
+  }
+
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nExpected shape: SDS/COB close to 1 on the flooding mesh (no "
+      "bystanders to save), but far below 1 on the grid collect.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Network flooding — the paper's adversarial case (§IV-C): "it is easy
+// to set-up test scenarios ... where COW and SDS algorithms perform
+// nearly as bad as COB. One example would be a full-meshed network where
+// nodes continuously transmit data to their k-1 neighbors."
+//
+// This example floods a dissemination wave through (a) a full mesh and
+// (b) a grid, with symbolic drops everywhere, and shows how the
+// algorithms converge on the mesh but separate on the grid.
+//
+// Usage: flooding [nodes] [waves]   e.g. ./build/examples/flooding 5 2
+#include <cstdio>
+#include <cstdlib>
+
+#include "trace/scenario.hpp"
+#include "trace/table.hpp"
+
+namespace {
+
+void runCase(const char* label, bool fullMesh, std::uint32_t nodes,
+             std::uint64_t simTime) {
+  using namespace sde;
+  std::printf("--- %s ---\n", label);
+  trace::TextTable table(
+      {"Algorithm", "Outcome", "States", "Groups", "Runtime"});
+  for (const MapperKind kind :
+       {MapperKind::kCob, MapperKind::kCow, MapperKind::kSds}) {
+    trace::FloodScenarioConfig config;
+    config.nodes = nodes;
+    config.fullMesh = fullMesh;
+    config.simulationTime = simTime;
+    config.mapper = kind;
+    config.engine.maxStates = 300'000;
+    config.engine.maxWallSeconds = 30;
+    trace::FloodScenario scenario(config);
+    const auto result = scenario.run();
+    table.addRow({std::string(mapperKindName(kind)),
+                  std::string(runOutcomeName(result.outcome)),
+                  trace::formatCount(result.states),
+                  trace::formatCount(result.groups),
+                  trace::formatDuration(result.wallSeconds)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t nodes =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 5;
+  const std::uint64_t waves =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2;
+  const std::uint64_t simTime = waves * 1000 + 500;
+
+  runCase("full mesh (no bystanders: SDS ~ COW ~ COB)", true, nodes,
+          simTime);
+  runCase("grid (bystanders exist: SDS < COW < COB)", false,
+          nodes * nodes, simTime);
+  std::printf(
+      "Flooding saturates the mapping algorithms on purpose; protocols\n"
+      "with local communication are where SDE shines (paper SS IV-C).\n");
+  return 0;
+}

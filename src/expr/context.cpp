@@ -1,0 +1,412 @@
+#include "expr/context.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/hash.hpp"
+
+namespace sde::expr {
+
+namespace {
+
+// Constant folding for binary operators over values already masked to
+// `width`. Division semantics follow KLEE/STP: x/0 == all-ones,
+// x%0 == x.
+std::uint64_t foldBinary(Kind kind, std::uint64_t a, std::uint64_t b,
+                         unsigned width) {
+  const std::uint64_t ones = maskToWidth(~std::uint64_t{0}, width);
+  switch (kind) {
+    case Kind::kAdd:
+      return maskToWidth(a + b, width);
+    case Kind::kSub:
+      return maskToWidth(a - b, width);
+    case Kind::kMul:
+      return maskToWidth(a * b, width);
+    case Kind::kUDiv:
+      return b == 0 ? ones : a / b;
+    case Kind::kURem:
+      return b == 0 ? a : a % b;
+    case Kind::kSDiv: {
+      if (b == 0) return ones;
+      const std::int64_t sa = signExtend(a, width);
+      const std::int64_t sb = signExtend(b, width);
+      // INT_MIN / -1 overflows; wrap like hardware (result INT_MIN).
+      if (sb == -1 && sa == signExtend(std::uint64_t{1} << (width - 1), width))
+        return maskToWidth(static_cast<std::uint64_t>(sa), width);
+      return maskToWidth(static_cast<std::uint64_t>(sa / sb), width);
+    }
+    case Kind::kSRem: {
+      if (b == 0) return a;
+      const std::int64_t sa = signExtend(a, width);
+      const std::int64_t sb = signExtend(b, width);
+      if (sb == -1) return 0;
+      return maskToWidth(static_cast<std::uint64_t>(sa % sb), width);
+    }
+    case Kind::kAnd:
+      return a & b;
+    case Kind::kOr:
+      return a | b;
+    case Kind::kXor:
+      return a ^ b;
+    case Kind::kShl:
+      return b >= width ? 0 : maskToWidth(a << b, width);
+    case Kind::kLShr:
+      return b >= width ? 0 : (a >> b);
+    case Kind::kAShr: {
+      const std::int64_t sa = signExtend(a, width);
+      const unsigned sh = b >= width ? width - 1 : static_cast<unsigned>(b);
+      return maskToWidth(static_cast<std::uint64_t>(sa >> sh), width);
+    }
+    case Kind::kEq:
+      return a == b ? 1 : 0;
+    case Kind::kUlt:
+      return a < b ? 1 : 0;
+    case Kind::kUle:
+      return a <= b ? 1 : 0;
+    case Kind::kSlt:
+      return signExtend(a, width) < signExtend(b, width) ? 1 : 0;
+    case Kind::kSle:
+      return signExtend(a, width) <= signExtend(b, width) ? 1 : 0;
+    default:
+      SDE_UNREACHABLE("foldBinary on non-binary kind");
+  }
+}
+
+std::uint64_t structuralHash(Kind kind, unsigned width, std::uint64_t aux,
+                             std::span<const Ref> ops) {
+  support::Hasher h;
+  h.u64(static_cast<std::uint64_t>(kind)).u64(width).u64(aux);
+  for (Ref op : ops) h.u64(op->hash());
+  return h.digest();
+}
+
+}  // namespace
+
+std::size_t Context::NodeKeyHash::operator()(const NodeKey& k) const {
+  support::Hasher h;
+  h.u64(static_cast<std::uint64_t>(k.kind)).u64(k.width).u64(k.aux);
+  for (Ref op : k.ops) h.ptr(op);
+  return static_cast<std::size_t>(h.digest());
+}
+
+Context::Context() {
+  false_ = constant(0, 1);
+  true_ = constant(1, 1);
+}
+
+Ref Context::intern(Kind kind, unsigned width, std::uint64_t aux,
+                    std::initializer_list<Ref> ops) {
+  SDE_ASSERT(width >= 1 && width <= 64, "expression width out of range");
+  NodeKey key{kind, static_cast<std::uint8_t>(width), aux,
+              {nullptr, nullptr, nullptr}};
+  unsigned n = 0;
+  for (Ref op : ops) {
+    SDE_ASSERT(n < 3, "too many operands");
+    key.ops[n++] = op;
+  }
+  if (auto it = interned_.find(key); it != interned_.end()) return it->second;
+
+  Expr& node = nodes_.emplace_back(Expr::PassKey{});
+  node.kind_ = kind;
+  node.width_ = static_cast<std::uint8_t>(width);
+  node.numOps_ = static_cast<std::uint8_t>(n);
+  node.id_ = static_cast<std::uint32_t>(nodes_.size() - 1);
+  node.aux_ = aux;
+  node.ops_ = key.ops;
+  node.ctx_ = this;
+  // Variables hash by NAME, not by table index: the index depends on
+  // interning order, which differs between engine runs, while the
+  // cross-algorithm equivalence oracle compares hashes across runs.
+  node.hash_ = kind == Kind::kVariable
+                   ? support::Hasher()
+                         .u64(static_cast<std::uint64_t>(kind))
+                         .u64(width)
+                         .str(varNames_[static_cast<std::size_t>(aux)])
+                         .digest()
+                   : structuralHash(kind, width, aux, node.operands());
+  interned_.emplace(key, &node);
+  return &node;
+}
+
+Ref Context::constant(std::uint64_t value, unsigned width) {
+  return intern(Kind::kConstant, width, maskToWidth(value, width), {});
+}
+
+Ref Context::variable(std::string_view name, unsigned width) {
+  if (auto it = varsByName_.find(std::string(name)); it != varsByName_.end()) {
+    SDE_ASSERT(it->second->width() == width,
+               "variable re-declared with a different width");
+    return it->second;
+  }
+  const std::uint64_t index = varNames_.size();
+  varNames_.emplace_back(name);
+  Ref node = intern(Kind::kVariable, width, index, {});
+  varsByName_.emplace(std::string(name), node);
+  return node;
+}
+
+std::string_view Context::variableName(std::uint64_t index) const {
+  SDE_ASSERT(index < varNames_.size(), "variable index out of range");
+  return varNames_[static_cast<std::size_t>(index)];
+}
+
+// --- Unary -----------------------------------------------------------------
+
+Ref Context::bvNot(Ref x) {
+  if (x->isConstant())
+    return constant(maskToWidth(~x->value(), x->width()), x->width());
+  if (x->kind() == Kind::kNot) return x->operand(0);  // ~~x == x
+  return intern(Kind::kNot, x->width(), 0, {x});
+}
+
+Ref Context::zext(Ref x, unsigned width) {
+  SDE_ASSERT(width >= x->width(), "zext must not narrow");
+  if (width == x->width()) return x;
+  if (x->isConstant()) return constant(x->value(), width);
+  return intern(Kind::kZExt, width, 0, {x});
+}
+
+Ref Context::sext(Ref x, unsigned width) {
+  SDE_ASSERT(width >= x->width(), "sext must not narrow");
+  if (width == x->width()) return x;
+  if (x->isConstant())
+    return constant(
+        maskToWidth(static_cast<std::uint64_t>(signExtend(x->value(),
+                                                          x->width())),
+                    width),
+        width);
+  return intern(Kind::kSExt, width, 0, {x});
+}
+
+Ref Context::trunc(Ref x, unsigned width) {
+  SDE_ASSERT(width <= x->width(), "trunc must not widen");
+  if (width == x->width()) return x;
+  if (x->isConstant()) return constant(x->value(), width);
+  // trunc(zext(y)) with width(y) >= target: keep truncating y directly.
+  if ((x->kind() == Kind::kZExt || x->kind() == Kind::kSExt) &&
+      x->operand(0)->width() >= width)
+    return trunc(x->operand(0), width);
+  return intern(Kind::kTrunc, width, 0, {x});
+}
+
+Ref Context::zcast(Ref x, unsigned width) {
+  if (width == x->width()) return x;
+  return width > x->width() ? zext(x, width) : trunc(x, width);
+}
+
+Ref Context::boolCast(Ref x) {
+  if (x->width() == 1) return x;
+  return ne(x, constant(0, x->width()));
+}
+
+// --- Binary ----------------------------------------------------------------
+
+Ref Context::binary(Kind kind, Ref a, Ref b) {
+  SDE_ASSERT(a->width() == b->width(), "binary operand width mismatch");
+  const unsigned width = isComparison(kind) ? 1 : a->width();
+  if (a->isConstant() && b->isConstant())
+    return constant(foldBinary(kind, a->value(), b->value(), a->width()),
+                    width);
+  if (Ref s = isComparison(kind) ? simplifyCompare(kind, a, b)
+                                 : simplifyBinary(kind, a, b))
+    return s;
+  // Canonical operand order for commutative operators: constants first,
+  // then by structural hash. Hash order (not interning order) keeps the
+  // canonical form identical across engine runs, which the cross-
+  // algorithm equivalence checks rely on.
+  if (isCommutative(kind)) {
+    const bool swap =
+        (b->isConstant() && !a->isConstant()) ||
+        (a->isConstant() == b->isConstant() &&
+         (b->hash() < a->hash() || (b->hash() == a->hash() && b->id() < a->id())));
+    if (swap) std::swap(a, b);
+  }
+  return intern(kind, width, 0, {a, b});
+}
+
+Ref Context::simplifyBinary(Kind kind, Ref a, Ref b) {
+  const unsigned w = a->width();
+  const Ref zero = constant(0, w);
+  switch (kind) {
+    case Kind::kAdd:
+      if (a->isConstant() && a->value() == 0) return b;
+      if (b->isConstant() && b->value() == 0) return a;
+      break;
+    case Kind::kSub:
+      if (b->isConstant() && b->value() == 0) return a;
+      if (a == b) return zero;
+      break;
+    case Kind::kMul:
+      if (a->isConstant()) {
+        if (a->value() == 0) return zero;
+        if (a->value() == 1) return b;
+      }
+      if (b->isConstant()) {
+        if (b->value() == 0) return zero;
+        if (b->value() == 1) return a;
+      }
+      break;
+    case Kind::kAnd:
+      if (a == b) return a;
+      if (a->isConstant()) {
+        if (a->value() == 0) return zero;
+        if (a->value() == maskToWidth(~std::uint64_t{0}, w)) return b;
+      }
+      if (b->isConstant()) {
+        if (b->value() == 0) return zero;
+        if (b->value() == maskToWidth(~std::uint64_t{0}, w)) return a;
+      }
+      break;
+    case Kind::kOr:
+      if (a == b) return a;
+      if (a->isConstant()) {
+        if (a->value() == 0) return b;
+        if (a->value() == maskToWidth(~std::uint64_t{0}, w)) return a;
+      }
+      if (b->isConstant()) {
+        if (b->value() == 0) return a;
+        if (b->value() == maskToWidth(~std::uint64_t{0}, w)) return b;
+      }
+      break;
+    case Kind::kXor:
+      if (a == b) return zero;
+      if (a->isConstant() && a->value() == 0) return b;
+      if (b->isConstant() && b->value() == 0) return a;
+      break;
+    case Kind::kShl:
+    case Kind::kLShr:
+    case Kind::kAShr:
+      if (b->isConstant() && b->value() == 0) return a;
+      if (a->isConstant() && a->value() == 0) return zero;
+      break;
+    case Kind::kUDiv:
+    case Kind::kSDiv:
+      if (b->isConstant() && b->value() == 1) return a;
+      break;
+    case Kind::kURem:
+      if (b->isConstant() && b->value() == 1) return zero;
+      break;
+    default:
+      break;
+  }
+  return nullptr;
+}
+
+Ref Context::simplifyCompare(Kind kind, Ref a, Ref b) {
+  switch (kind) {
+    case Kind::kEq:
+      if (a == b) return true_;
+      // (x == true) -> x ; (x == false) -> !x for boolean terms.
+      if (a->width() == 1) {
+        if (a->isTrue()) return b;
+        if (b->isTrue()) return a;
+        if (a->isFalse()) return bvNot(b);
+        if (b->isFalse()) return bvNot(a);
+      }
+      // Two distinct constants were already folded in binary().
+      break;
+    case Kind::kUlt:
+      if (a == b) return false_;
+      if (b->isConstant() && b->value() == 0) return false_;  // x < 0 (unsig.)
+      if (a->isConstant() &&
+          a->value() == maskToWidth(~std::uint64_t{0}, a->width()))
+        return false_;  // UINT_MAX < x
+      break;
+    case Kind::kUle:
+      if (a == b) return true_;
+      if (a->isConstant() && a->value() == 0) return true_;  // 0 <= x
+      break;
+    case Kind::kSlt:
+      if (a == b) return false_;
+      break;
+    case Kind::kSle:
+      if (a == b) return true_;
+      break;
+    default:
+      break;
+  }
+  return nullptr;
+}
+
+Ref Context::add(Ref a, Ref b) { return binary(Kind::kAdd, a, b); }
+Ref Context::sub(Ref a, Ref b) { return binary(Kind::kSub, a, b); }
+Ref Context::mul(Ref a, Ref b) { return binary(Kind::kMul, a, b); }
+Ref Context::udiv(Ref a, Ref b) { return binary(Kind::kUDiv, a, b); }
+Ref Context::urem(Ref a, Ref b) { return binary(Kind::kURem, a, b); }
+Ref Context::sdiv(Ref a, Ref b) { return binary(Kind::kSDiv, a, b); }
+Ref Context::srem(Ref a, Ref b) { return binary(Kind::kSRem, a, b); }
+Ref Context::bvAnd(Ref a, Ref b) { return binary(Kind::kAnd, a, b); }
+Ref Context::bvOr(Ref a, Ref b) { return binary(Kind::kOr, a, b); }
+Ref Context::bvXor(Ref a, Ref b) { return binary(Kind::kXor, a, b); }
+Ref Context::shl(Ref a, Ref b) { return binary(Kind::kShl, a, b); }
+Ref Context::lshr(Ref a, Ref b) { return binary(Kind::kLShr, a, b); }
+Ref Context::ashr(Ref a, Ref b) { return binary(Kind::kAShr, a, b); }
+Ref Context::eq(Ref a, Ref b) { return binary(Kind::kEq, a, b); }
+Ref Context::ult(Ref a, Ref b) { return binary(Kind::kUlt, a, b); }
+Ref Context::ule(Ref a, Ref b) { return binary(Kind::kUle, a, b); }
+Ref Context::slt(Ref a, Ref b) { return binary(Kind::kSlt, a, b); }
+Ref Context::sle(Ref a, Ref b) { return binary(Kind::kSle, a, b); }
+
+Ref Context::logicalAnd(Ref a, Ref b) {
+  return bvAnd(boolCast(a), boolCast(b));
+}
+
+Ref Context::logicalOr(Ref a, Ref b) { return bvOr(boolCast(a), boolCast(b)); }
+
+Ref Context::ite(Ref cond, Ref thenV, Ref elseV) {
+  SDE_ASSERT(cond->width() == 1, "ite condition must be boolean");
+  SDE_ASSERT(thenV->width() == elseV->width(), "ite arm width mismatch");
+  if (cond->isTrue()) return thenV;
+  if (cond->isFalse()) return elseV;
+  if (thenV == elseV) return thenV;
+  // ite(c, 1, 0) over booleans is just c; ite(c, 0, 1) is !c.
+  if (thenV->width() == 1) {
+    if (thenV->isTrue() && elseV->isFalse()) return cond;
+    if (thenV->isFalse() && elseV->isTrue()) return bvNot(cond);
+  }
+  return intern(Kind::kIte, thenV->width(), 0, {cond, thenV, elseV});
+}
+
+Ref Context::concat(Ref hi, Ref lo) {
+  const unsigned width = hi->width() + lo->width();
+  SDE_ASSERT(width <= 64, "concat result too wide");
+  if (hi->isConstant() && lo->isConstant())
+    return constant((hi->value() << lo->width()) | lo->value(), width);
+  if (hi->isConstant() && hi->value() == 0) return zext(lo, width);
+  return intern(Kind::kConcat, width, 0, {hi, lo});
+}
+
+Ref Context::extract(Ref x, unsigned offset, unsigned width) {
+  SDE_ASSERT(offset + width <= x->width(), "extract out of range");
+  if (offset == 0 && width == x->width()) return x;
+  if (x->isConstant()) return constant(x->value() >> offset, width);
+  if (x->kind() == Kind::kConcat) {
+    Ref lo = x->operand(1);
+    Ref hi = x->operand(0);
+    if (offset + width <= lo->width()) return extract(lo, offset, width);
+    if (offset >= lo->width())
+      return extract(hi, offset - lo->width(), width);
+  }
+  if (offset == 0 && x->kind() == Kind::kZExt &&
+      x->operand(0)->width() == width)
+    return x->operand(0);
+  return intern(Kind::kExtract, width, offset, {x});
+}
+
+void Context::collectVariables(Ref x, std::vector<Ref>& out) const {
+  std::unordered_set<Ref> seen;
+  std::vector<Ref> stack{x};
+  std::vector<Ref> vars;
+  while (!stack.empty()) {
+    Ref node = stack.back();
+    stack.pop_back();
+    if (!seen.insert(node).second) continue;
+    if (node->isVariable()) vars.push_back(node);
+    for (Ref op : node->operands()) stack.push_back(op);
+  }
+  std::sort(vars.begin(), vars.end(),
+            [](Ref a, Ref b) { return a->id() < b->id(); });
+  out.insert(out.end(), vars.begin(), vars.end());
+}
+
+}  // namespace sde::expr

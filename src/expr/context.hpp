@@ -1,0 +1,123 @@
+// Expression context: owns and interns all Expr nodes, and exposes the
+// width-checked, simplifying builder API. One Context is shared by an
+// entire SDE run (all nodes, all execution states); nodes are never
+// freed before the context is destroyed, which keeps Ref a plain pointer
+// and makes pointer equality equal to structural equality.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/expr.hpp"
+
+namespace sde::expr {
+
+class Context {
+ public:
+  Context();
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  // --- Leaves ------------------------------------------------------------
+  Ref constant(std::uint64_t value, unsigned width);
+  Ref boolConst(bool value) { return value ? true_ : false_; }
+  Ref trueExpr() const { return true_; }
+  Ref falseExpr() const { return false_; }
+
+  // Variables are interned by name; requesting an existing name with a
+  // different width is a programming error.
+  Ref variable(std::string_view name, unsigned width);
+
+  // --- Unary -------------------------------------------------------------
+  Ref bvNot(Ref x);
+  Ref logicalNot(Ref x) { return bvNot(boolCast(x)); }
+  Ref zext(Ref x, unsigned width);
+  Ref sext(Ref x, unsigned width);
+  Ref trunc(Ref x, unsigned width);
+  // Cast to any width: trunc / zext / identity as appropriate.
+  Ref zcast(Ref x, unsigned width);
+  // Width-1 view of a term: x itself if already bool, else x != 0.
+  Ref boolCast(Ref x);
+
+  // --- Binary ------------------------------------------------------------
+  Ref add(Ref a, Ref b);
+  Ref sub(Ref a, Ref b);
+  Ref mul(Ref a, Ref b);
+  Ref udiv(Ref a, Ref b);
+  Ref urem(Ref a, Ref b);
+  Ref sdiv(Ref a, Ref b);
+  Ref srem(Ref a, Ref b);
+  Ref bvAnd(Ref a, Ref b);
+  Ref bvOr(Ref a, Ref b);
+  Ref bvXor(Ref a, Ref b);
+  Ref shl(Ref a, Ref b);
+  Ref lshr(Ref a, Ref b);
+  Ref ashr(Ref a, Ref b);
+
+  // Comparisons (result width 1).
+  Ref eq(Ref a, Ref b);
+  Ref ne(Ref a, Ref b) { return bvNot(eq(a, b)); }
+  Ref ult(Ref a, Ref b);
+  Ref ule(Ref a, Ref b);
+  Ref ugt(Ref a, Ref b) { return ult(b, a); }
+  Ref uge(Ref a, Ref b) { return ule(b, a); }
+  Ref slt(Ref a, Ref b);
+  Ref sle(Ref a, Ref b);
+  Ref sgt(Ref a, Ref b) { return slt(b, a); }
+  Ref sge(Ref a, Ref b) { return sle(b, a); }
+
+  // Boolean connectives over width-1 terms.
+  Ref logicalAnd(Ref a, Ref b);
+  Ref logicalOr(Ref a, Ref b);
+  Ref implies(Ref a, Ref b) { return logicalOr(logicalNot(a), b); }
+
+  // --- Ternary / structure ------------------------------------------------
+  Ref ite(Ref cond, Ref thenV, Ref elseV);
+  Ref concat(Ref hi, Ref lo);
+  Ref extract(Ref x, unsigned offset, unsigned width);
+
+  // --- Introspection -------------------------------------------------------
+  [[nodiscard]] std::string_view variableName(std::uint64_t index) const;
+  [[nodiscard]] std::size_t numNodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t numVariables() const { return varNames_.size(); }
+
+  // Collect the distinct variables appearing in `x` (deterministic order:
+  // by variable table index).
+  void collectVariables(Ref x, std::vector<Ref>& out) const;
+
+ private:
+  friend class Expr;
+
+  struct NodeKey {
+    Kind kind;
+    std::uint8_t width;
+    std::uint64_t aux;
+    std::array<Ref, 3> ops;
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const;
+  };
+
+  Ref intern(Kind kind, unsigned width, std::uint64_t aux,
+             std::initializer_list<Ref> ops);
+  Ref binary(Kind kind, Ref a, Ref b);
+
+  // Simplification entry points, one per operator family; return nullptr
+  // when no rewrite applies.
+  Ref simplifyBinary(Kind kind, Ref a, Ref b);
+  Ref simplifyCompare(Kind kind, Ref a, Ref b);
+
+  std::deque<Expr> nodes_;  // stable addresses
+  std::unordered_map<NodeKey, Ref, NodeKeyHash> interned_;
+  std::vector<std::string> varNames_;
+  std::unordered_map<std::string, Ref> varsByName_;
+  Ref true_ = nullptr;
+  Ref false_ = nullptr;
+};
+
+}  // namespace sde::expr

@@ -1,0 +1,152 @@
+#include "expr/eval.hpp"
+
+#include <unordered_map>
+
+namespace sde::expr {
+
+namespace {
+
+using Memo = std::unordered_map<Ref, std::optional<std::uint64_t>>;
+
+// Shared recursive core; `strict` controls whether unbound variables
+// abort (strict) or yield nullopt (partial). Results are memoised per
+// node: expressions are interned DAGs, and naive tree recursion is
+// exponential on values that accumulate across many events.
+std::optional<std::uint64_t> evalRec(Ref x, const Assignment& a, bool strict,
+                                     Memo& memo);
+
+std::optional<std::uint64_t> evalNode(Ref x, const Assignment& a, bool strict,
+                                      Memo& memo) {
+  switch (x->kind()) {
+    case Kind::kConstant:
+      return x->value();
+    case Kind::kVariable: {
+      auto v = a.get(x);
+      if (!v && strict) SDE_ASSERT(false, "evaluate: unbound variable");
+      return v;
+    }
+    case Kind::kNot: {
+      auto v = evalRec(x->operand(0), a, strict, memo);
+      if (!v) return std::nullopt;
+      return maskToWidth(~*v, x->width());
+    }
+    case Kind::kZExt:
+      return evalRec(x->operand(0), a, strict, memo);
+    case Kind::kSExt: {
+      auto v = evalRec(x->operand(0), a, strict, memo);
+      if (!v) return std::nullopt;
+      return maskToWidth(
+          static_cast<std::uint64_t>(signExtend(*v, x->operand(0)->width())),
+          x->width());
+    }
+    case Kind::kTrunc: {
+      auto v = evalRec(x->operand(0), a, strict, memo);
+      if (!v) return std::nullopt;
+      return maskToWidth(*v, x->width());
+    }
+    case Kind::kIte: {
+      auto c = evalRec(x->operand(0), a, strict, memo);
+      if (!c) return std::nullopt;
+      return evalRec(*c ? x->operand(1) : x->operand(2), a, strict, memo);
+    }
+    case Kind::kConcat: {
+      auto hi = evalRec(x->operand(0), a, strict, memo);
+      auto lo = evalRec(x->operand(1), a, strict, memo);
+      if (!hi || !lo) return std::nullopt;
+      return (*hi << x->operand(1)->width()) | *lo;
+    }
+    case Kind::kExtract: {
+      auto v = evalRec(x->operand(0), a, strict, memo);
+      if (!v) return std::nullopt;
+      return maskToWidth(*v >> x->extractOffset(), x->width());
+    }
+    default: {
+      auto va = evalRec(x->operand(0), a, strict, memo);
+      auto vb = evalRec(x->operand(1), a, strict, memo);
+      if (!va || !vb) return std::nullopt;
+      const unsigned w = x->operand(0)->width();
+      const std::uint64_t av = *va;
+      const std::uint64_t bv = *vb;
+      const std::uint64_t ones = maskToWidth(~std::uint64_t{0}, w);
+      switch (x->kind()) {
+        case Kind::kAdd:
+          return maskToWidth(av + bv, w);
+        case Kind::kSub:
+          return maskToWidth(av - bv, w);
+        case Kind::kMul:
+          return maskToWidth(av * bv, w);
+        case Kind::kUDiv:
+          return bv == 0 ? ones : av / bv;
+        case Kind::kURem:
+          return bv == 0 ? av : av % bv;
+        case Kind::kSDiv: {
+          if (bv == 0) return ones;
+          const std::int64_t sa = signExtend(av, w);
+          const std::int64_t sb = signExtend(bv, w);
+          if (sb == -1 && sa == signExtend(std::uint64_t{1} << (w - 1), w))
+            return maskToWidth(static_cast<std::uint64_t>(sa), w);
+          return maskToWidth(static_cast<std::uint64_t>(sa / sb), w);
+        }
+        case Kind::kSRem: {
+          if (bv == 0) return av;
+          const std::int64_t sa = signExtend(av, w);
+          const std::int64_t sb = signExtend(bv, w);
+          if (sb == -1) return std::uint64_t{0};
+          return maskToWidth(static_cast<std::uint64_t>(sa % sb), w);
+        }
+        case Kind::kAnd:
+          return av & bv;
+        case Kind::kOr:
+          return av | bv;
+        case Kind::kXor:
+          return av ^ bv;
+        case Kind::kShl:
+          return bv >= w ? 0 : maskToWidth(av << bv, w);
+        case Kind::kLShr:
+          return bv >= w ? 0 : (av >> bv);
+        case Kind::kAShr: {
+          const std::int64_t sa = signExtend(av, w);
+          const unsigned sh = bv >= w ? w - 1 : static_cast<unsigned>(bv);
+          return maskToWidth(static_cast<std::uint64_t>(sa >> sh), w);
+        }
+        case Kind::kEq:
+          return av == bv ? 1 : 0;
+        case Kind::kUlt:
+          return av < bv ? 1 : 0;
+        case Kind::kUle:
+          return av <= bv ? 1 : 0;
+        case Kind::kSlt:
+          return signExtend(av, w) < signExtend(bv, w) ? 1 : 0;
+        case Kind::kSle:
+          return signExtend(av, w) <= signExtend(bv, w) ? 1 : 0;
+        default:
+          SDE_UNREACHABLE("evaluate: unhandled kind");
+      }
+    }
+  }
+}
+
+std::optional<std::uint64_t> evalRec(Ref x, const Assignment& a, bool strict,
+                                     Memo& memo) {
+  const auto it = memo.find(x);
+  if (it != memo.end()) return it->second;
+  const auto result = evalNode(x, a, strict, memo);
+  memo.emplace(x, result);
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t evaluate(Ref x, const Assignment& assignment) {
+  Memo memo;
+  auto v = evalRec(x, assignment, /*strict=*/true, memo);
+  SDE_ASSERT(v.has_value(), "evaluate: incomplete assignment");
+  return *v;
+}
+
+std::optional<std::uint64_t> tryEvaluate(Ref x, const Assignment& assignment) {
+  Memo memo;
+  return evalRec(x, assignment, /*strict=*/false, memo);
+}
+
+}  // namespace sde::expr

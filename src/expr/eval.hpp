@@ -1,0 +1,47 @@
+// Concrete evaluation of expressions under a variable assignment.
+// Used by the solver's model search, by test-case replay, and by
+// property tests that cross-check the simplifier against brute force.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "expr/expr.hpp"
+
+namespace sde::expr {
+
+// Maps variable nodes to concrete values (masked to the variable width
+// on insertion by the helpers below).
+class Assignment {
+ public:
+  void set(Ref var, std::uint64_t value) {
+    SDE_ASSERT(var->isVariable(), "Assignment::set on non-variable");
+    values_[var] = maskToWidth(value, var->width());
+  }
+  [[nodiscard]] std::optional<std::uint64_t> get(Ref var) const {
+    auto it = values_.find(var);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+  void erase(Ref var) { values_.erase(var); }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] const std::unordered_map<Ref, std::uint64_t>& entries() const {
+    return values_;
+  }
+
+ private:
+  std::unordered_map<Ref, std::uint64_t> values_;
+};
+
+// Evaluates `x` under `assignment`. Every variable in `x` must be bound;
+// unbound variables are a programming error (the solver always completes
+// assignments before evaluating).
+[[nodiscard]] std::uint64_t evaluate(Ref x, const Assignment& assignment);
+
+// Partial evaluation: returns nullopt as soon as an unbound variable
+// influences the result. (Ite short-circuits on a decided condition.)
+[[nodiscard]] std::optional<std::uint64_t> tryEvaluate(
+    Ref x, const Assignment& assignment);
+
+}  // namespace sde::expr

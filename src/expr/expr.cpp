@@ -1,0 +1,99 @@
+#include "expr/expr.hpp"
+
+#include "expr/context.hpp"
+
+namespace sde::expr {
+
+std::string_view kindName(Kind kind) {
+  switch (kind) {
+    case Kind::kConstant:
+      return "const";
+    case Kind::kVariable:
+      return "var";
+    case Kind::kNot:
+      return "not";
+    case Kind::kZExt:
+      return "zext";
+    case Kind::kSExt:
+      return "sext";
+    case Kind::kTrunc:
+      return "trunc";
+    case Kind::kAdd:
+      return "add";
+    case Kind::kSub:
+      return "sub";
+    case Kind::kMul:
+      return "mul";
+    case Kind::kUDiv:
+      return "udiv";
+    case Kind::kURem:
+      return "urem";
+    case Kind::kSDiv:
+      return "sdiv";
+    case Kind::kSRem:
+      return "srem";
+    case Kind::kAnd:
+      return "and";
+    case Kind::kOr:
+      return "or";
+    case Kind::kXor:
+      return "xor";
+    case Kind::kShl:
+      return "shl";
+    case Kind::kLShr:
+      return "lshr";
+    case Kind::kAShr:
+      return "ashr";
+    case Kind::kEq:
+      return "eq";
+    case Kind::kUlt:
+      return "ult";
+    case Kind::kUle:
+      return "ule";
+    case Kind::kSlt:
+      return "slt";
+    case Kind::kSle:
+      return "sle";
+    case Kind::kIte:
+      return "ite";
+    case Kind::kConcat:
+      return "concat";
+    case Kind::kExtract:
+      return "extract";
+  }
+  return "?";
+}
+
+bool isComparison(Kind kind) {
+  switch (kind) {
+    case Kind::kEq:
+    case Kind::kUlt:
+    case Kind::kUle:
+    case Kind::kSlt:
+    case Kind::kSle:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool isCommutative(Kind kind) {
+  switch (kind) {
+    case Kind::kAdd:
+    case Kind::kMul:
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kXor:
+    case Kind::kEq:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view Expr::name() const {
+  SDE_ASSERT(kind_ == Kind::kVariable, "name() on non-variable");
+  return ctx_->variableName(aux_);
+}
+
+}  // namespace sde::expr

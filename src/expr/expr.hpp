@@ -1,0 +1,153 @@
+// Symbolic expression DAG.
+//
+// Expressions are immutable, hash-consed bitvector terms of width 1..64.
+// They are created exclusively through expr::Context (see context.hpp),
+// which interns structurally equal nodes so that pointer equality is
+// structural equality. This mirrors the expression layer a symbolic
+// virtual machine such as KLEE builds over STP terms; the SDE mapping
+// algorithms themselves never look inside expressions (paper §III-D:
+// "the state mapping algorithm has neither access to states'
+// configurations, nor to the packets' content").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "support/assert.hpp"
+
+namespace sde::expr {
+
+class Context;
+
+enum class Kind : std::uint8_t {
+  kConstant,
+  kVariable,
+  // Unary.
+  kNot,    // bitwise complement; on width-1 terms this is logical negation
+  kZExt,   // zero extend to a wider width
+  kSExt,   // sign extend to a wider width
+  kTrunc,  // truncate to a narrower width
+  // Binary, operands and result share one width.
+  kAdd,
+  kSub,
+  kMul,
+  kUDiv,  // division by zero yields all-ones, like STP/KLEE semantics
+  kURem,  // remainder by zero yields the dividend
+  kSDiv,
+  kSRem,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,   // shift amounts >= width yield 0
+  kLShr,  // shift amounts >= width yield 0
+  kAShr,  // shift amounts >= width replicate the sign bit
+  // Comparisons, result width 1.
+  kEq,
+  kUlt,
+  kUle,
+  kSlt,
+  kSle,
+  // Ternary: Ite(cond /*width 1*/, thenV, elseV).
+  kIte,
+  // Structure.
+  kConcat,   // Concat(hi, lo), width = width(hi) + width(lo) <= 64
+  kExtract,  // Extract(x, offset) with result width stored in the node
+};
+
+[[nodiscard]] std::string_view kindName(Kind kind);
+[[nodiscard]] bool isComparison(Kind kind);
+[[nodiscard]] bool isCommutative(Kind kind);
+
+// One interned DAG node. Instances live for the lifetime of their
+// Context; user code holds them as `Ref` (a raw pointer) and treats them
+// as values.
+class Expr {
+ public:
+  using Ref = const Expr*;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] unsigned width() const { return width_; }
+
+  // Sequential interning index; deterministic given deterministic
+  // construction order. Used for canonical operand ordering only.
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+
+  // Structural hash (independent of interning order).
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+
+  [[nodiscard]] bool isConstant() const { return kind_ == Kind::kConstant; }
+  [[nodiscard]] bool isVariable() const { return kind_ == Kind::kVariable; }
+  [[nodiscard]] bool isBool() const { return width_ == 1; }
+
+  // Constant payload, already masked to width. Valid for kConstant.
+  [[nodiscard]] std::uint64_t value() const {
+    SDE_ASSERT(kind_ == Kind::kConstant, "value() on non-constant");
+    return aux_;
+  }
+  [[nodiscard]] bool isTrue() const {
+    return kind_ == Kind::kConstant && width_ == 1 && aux_ == 1;
+  }
+  [[nodiscard]] bool isFalse() const {
+    return kind_ == Kind::kConstant && width_ == 1 && aux_ == 0;
+  }
+
+  // Variable name. Valid for kVariable.
+  [[nodiscard]] std::string_view name() const;
+
+  // Extract offset in bits. Valid for kExtract.
+  [[nodiscard]] unsigned extractOffset() const {
+    SDE_ASSERT(kind_ == Kind::kExtract, "extractOffset() on non-extract");
+    return static_cast<unsigned>(aux_);
+  }
+
+  [[nodiscard]] unsigned numOperands() const { return numOps_; }
+  [[nodiscard]] Ref operand(unsigned i) const {
+    SDE_ASSERT(i < numOps_, "operand index out of range");
+    return ops_[i];
+  }
+  [[nodiscard]] std::span<const Ref> operands() const {
+    return {ops_.data(), numOps_};
+  }
+
+ private:
+  friend class Context;
+  struct PassKey {};
+
+ public:
+  // Constructible only by Context (passkey idiom); containers need a
+  // public constructor signature.
+  explicit Expr(PassKey) {}
+
+ private:
+  Kind kind_ = Kind::kConstant;
+  std::uint8_t width_ = 1;
+  std::uint8_t numOps_ = 0;
+  std::uint32_t id_ = 0;
+  // kConstant: value; kVariable: variable table index; kExtract: offset.
+  std::uint64_t aux_ = 0;
+  std::uint64_t hash_ = 0;
+  std::array<Ref, 3> ops_ = {nullptr, nullptr, nullptr};
+  const Context* ctx_ = nullptr;
+};
+
+using Ref = Expr::Ref;
+
+// Masks `v` to the low `width` bits.
+[[nodiscard]] constexpr std::uint64_t maskToWidth(std::uint64_t v,
+                                                  unsigned width) {
+  return width >= 64 ? v : (v & ((std::uint64_t{1} << width) - 1));
+}
+
+// Sign-extends the low `width` bits of `v` to 64 bits (as signed value).
+[[nodiscard]] constexpr std::int64_t signExtend(std::uint64_t v,
+                                                unsigned width) {
+  if (width >= 64) return static_cast<std::int64_t>(v);
+  const std::uint64_t signBit = std::uint64_t{1} << (width - 1);
+  const std::uint64_t masked = maskToWidth(v, width);
+  return static_cast<std::int64_t>((masked ^ signBit) - signBit);
+}
+
+}  // namespace sde::expr

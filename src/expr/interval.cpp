@@ -1,0 +1,331 @@
+#include "expr/interval.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace sde::expr {
+
+namespace {
+
+using Memo = std::unordered_map<Ref, Interval>;
+
+// Smallest all-ones mask covering `x` (e.g. 0b10110 -> 0b11111).
+std::uint64_t coveringMask(std::uint64_t x) {
+  x |= x >> 1;
+  x |= x >> 2;
+  x |= x >> 4;
+  x |= x >> 8;
+  x |= x >> 16;
+  x |= x >> 32;
+  return x;
+}
+
+bool addOverflows(std::uint64_t a, std::uint64_t b, unsigned width) {
+  const std::uint64_t mask = maskToWidth(~std::uint64_t{0}, width);
+  return a > mask - b;
+}
+
+Interval intersect(Interval a, Interval b, bool& feasible) {
+  Interval r{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+  feasible = r.lo <= r.hi;
+  return feasible ? r : Interval{1, 0};
+}
+
+}  // namespace
+
+namespace {
+Interval intervalRec(Ref x, const IntervalEnv& env, Memo& memo);
+
+Interval intervalNode(Ref x, const IntervalEnv& env, Memo& memo) {
+  const unsigned w = x->width();
+  const Interval top = Interval::top(w);
+  switch (x->kind()) {
+    case Kind::kConstant:
+      return Interval::point(x->value());
+    case Kind::kVariable: {
+      auto it = env.find(x);
+      return it == env.end() ? top : it->second;
+    }
+    case Kind::kNot: {
+      // ~v == mask - v on the masked domain, monotone decreasing.
+      const Interval v = intervalRec(x->operand(0), env, memo);
+      const std::uint64_t mask = maskToWidth(~std::uint64_t{0}, w);
+      return {mask - v.hi, mask - v.lo};
+    }
+    case Kind::kZExt:
+      return intervalRec(x->operand(0), env, memo);
+    case Kind::kSExt: {
+      const Ref inner = x->operand(0);
+      const Interval v = intervalRec(inner, env, memo);
+      const std::uint64_t innerSign = std::uint64_t{1} << (inner->width() - 1);
+      if (v.hi < innerSign) return v;  // provably non-negative
+      return top;
+    }
+    case Kind::kTrunc: {
+      const Interval v = intervalRec(x->operand(0), env, memo);
+      const std::uint64_t mask = maskToWidth(~std::uint64_t{0}, w);
+      if (v.hi <= mask) return v;  // fits without wrapping
+      return top;
+    }
+    case Kind::kIte: {
+      const Interval c = intervalRec(x->operand(0), env, memo);
+      if (c.isPoint())
+        return intervalRec(c.lo ? x->operand(1) : x->operand(2), env, memo);
+      const Interval a = intervalRec(x->operand(1), env, memo);
+      const Interval b = intervalOf(x->operand(2), env);
+      return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+    }
+    case Kind::kConcat: {
+      const Ref lo = x->operand(1);
+      const Interval hiI = intervalRec(x->operand(0), env, memo);
+      const Interval loI = intervalRec(lo, env, memo);
+      // (hi << n | lo) is monotone in hi; bound lo by its full width.
+      const std::uint64_t loMask = maskToWidth(~std::uint64_t{0}, lo->width());
+      const std::uint64_t base = hiI.lo << lo->width();
+      const std::uint64_t topV = (hiI.hi << lo->width()) | loMask;
+      return {base + std::min(loI.lo, loMask), topV};
+    }
+    case Kind::kExtract: {
+      const Interval v = intervalRec(x->operand(0), env, memo);
+      if (x->extractOffset() == 0) {
+        const std::uint64_t mask = maskToWidth(~std::uint64_t{0}, w);
+        if (v.hi <= mask) return v;
+        return top;
+      }
+      return top;
+    }
+    case Kind::kAdd: {
+      const Interval a = intervalRec(x->operand(0), env, memo);
+      const Interval b = intervalRec(x->operand(1), env, memo);
+      if (addOverflows(a.hi, b.hi, w)) return top;
+      return {a.lo + b.lo, a.hi + b.hi};
+    }
+    case Kind::kSub: {
+      const Interval a = intervalRec(x->operand(0), env, memo);
+      const Interval b = intervalRec(x->operand(1), env, memo);
+      if (a.lo < b.hi) return top;  // could wrap below zero
+      return {a.lo - b.hi, a.hi - b.lo};
+    }
+    case Kind::kMul: {
+      const Interval a = intervalRec(x->operand(0), env, memo);
+      const Interval b = intervalRec(x->operand(1), env, memo);
+      const __uint128_t prod =
+          static_cast<__uint128_t>(a.hi) * static_cast<__uint128_t>(b.hi);
+      const std::uint64_t mask = maskToWidth(~std::uint64_t{0}, w);
+      if (prod > mask) return top;
+      return {a.lo * b.lo, static_cast<std::uint64_t>(prod)};
+    }
+    case Kind::kUDiv: {
+      const Interval a = intervalRec(x->operand(0), env, memo);
+      const Interval b = intervalRec(x->operand(1), env, memo);
+      if (b.lo == 0) return top;  // division by zero yields all-ones
+      return {a.lo / b.hi, a.hi / b.lo};
+    }
+    case Kind::kURem: {
+      const Interval b = intervalRec(x->operand(1), env, memo);
+      const Interval a = intervalRec(x->operand(0), env, memo);
+      if (b.lo == 0) return {0, std::max(a.hi, b.hi)};  // x % 0 == x
+      return {0, std::min(a.hi, b.hi - 1)};
+    }
+    case Kind::kAnd: {
+      const Interval a = intervalRec(x->operand(0), env, memo);
+      const Interval b = intervalRec(x->operand(1), env, memo);
+      return {0, std::min(a.hi, b.hi)};
+    }
+    case Kind::kOr: {
+      const Interval a = intervalRec(x->operand(0), env, memo);
+      const Interval b = intervalRec(x->operand(1), env, memo);
+      return {std::max(a.lo, b.lo), coveringMask(a.hi | b.hi)};
+    }
+    case Kind::kXor: {
+      const Interval a = intervalRec(x->operand(0), env, memo);
+      const Interval b = intervalRec(x->operand(1), env, memo);
+      return {0, coveringMask(a.hi | b.hi)};
+    }
+    case Kind::kShl: {
+      const Interval b = intervalRec(x->operand(1), env, memo);
+      if (!b.isPoint()) return top;
+      if (b.lo >= w) return Interval::point(0);
+      const Interval a = intervalRec(x->operand(0), env, memo);
+      const std::uint64_t mask = maskToWidth(~std::uint64_t{0}, w);
+      if (b.lo != 0 && a.hi > (mask >> b.lo)) return top;
+      return {a.lo << b.lo, a.hi << b.lo};
+    }
+    case Kind::kLShr: {
+      const Interval b = intervalRec(x->operand(1), env, memo);
+      if (!b.isPoint()) return top;
+      if (b.lo >= w) return Interval::point(0);
+      const Interval a = intervalRec(x->operand(0), env, memo);
+      return {a.lo >> b.lo, a.hi >> b.lo};
+    }
+    case Kind::kAShr:
+      return top;
+    case Kind::kEq: {
+      const Interval a = intervalRec(x->operand(0), env, memo);
+      const Interval b = intervalRec(x->operand(1), env, memo);
+      if (a.isPoint() && b.isPoint())
+        return Interval::point(a.lo == b.lo ? 1 : 0);
+      if (a.hi < b.lo || b.hi < a.lo) return Interval::point(0);  // disjoint
+      return Interval::top(1);
+    }
+    case Kind::kUlt: {
+      const Interval a = intervalRec(x->operand(0), env, memo);
+      const Interval b = intervalRec(x->operand(1), env, memo);
+      if (a.hi < b.lo) return Interval::point(1);
+      if (a.lo >= b.hi) return Interval::point(0);
+      return Interval::top(1);
+    }
+    case Kind::kUle: {
+      const Interval a = intervalRec(x->operand(0), env, memo);
+      const Interval b = intervalRec(x->operand(1), env, memo);
+      if (a.hi <= b.lo) return Interval::point(1);
+      if (a.lo > b.hi) return Interval::point(0);
+      return Interval::top(1);
+    }
+    case Kind::kSlt:
+    case Kind::kSle: {
+      // Precise only when both sides are provably non-negative (common
+      // case: zero-extended small values).
+      const unsigned ow = x->operand(0)->width();
+      const std::uint64_t sign = std::uint64_t{1} << (ow - 1);
+      const Interval a = intervalRec(x->operand(0), env, memo);
+      const Interval b = intervalRec(x->operand(1), env, memo);
+      if (a.hi < sign && b.hi < sign) {
+        if (x->kind() == Kind::kSlt) {
+          if (a.hi < b.lo) return Interval::point(1);
+          if (a.lo >= b.hi) return Interval::point(0);
+        } else {
+          if (a.hi <= b.lo) return Interval::point(1);
+          if (a.lo > b.hi) return Interval::point(0);
+        }
+      }
+      return Interval::top(1);
+    }
+    default:
+      return top;
+  }
+}
+
+Interval intervalRec(Ref x, const IntervalEnv& env, Memo& memo) {
+  // Memoised per node: expressions are interned DAGs and naive tree
+  // recursion is exponential on values accumulated over many events.
+  const auto it = memo.find(x);
+  if (it != memo.end()) return it->second;
+  const Interval result = intervalNode(x, env, memo);
+  memo.emplace(x, result);
+  return result;
+}
+}  // namespace
+
+Interval intervalOf(Ref x, const IntervalEnv& env) {
+  Memo memo;
+  return intervalRec(x, env, memo);
+}
+
+bool refineByConstraint(Ref c, IntervalEnv& env) {
+  SDE_ASSERT(c->width() == 1, "refineByConstraint expects a boolean term");
+
+  // Quick global feasibility check first.
+  const Interval ci = intervalOf(c, env);
+  if (ci.isPoint() && ci.lo == 0) return false;
+
+  // Strip double negation; handle (not cmp) by flipping.
+  bool negated = false;
+  Ref core = c;
+  while (core->kind() == Kind::kNot) {
+    negated = !negated;
+    core = core->operand(0);
+  }
+
+  // Conjunctions refine both sides (only in the positive polarity).
+  if (!negated && core->kind() == Kind::kAnd && core->width() == 1)
+    return refineByConstraint(core->operand(0), env) &&
+           refineByConstraint(core->operand(1), env);
+
+  if (!isComparison(core->kind())) return true;
+
+  // Recognise `op(viewOfVar, const)` / `op(const, viewOfVar)` where
+  // viewOfVar is a variable possibly wrapped in zext/trunc that preserves
+  // low bits.
+  auto unwrapVar = [](Ref t) -> Ref {
+    while (t->kind() == Kind::kZExt) t = t->operand(0);
+    return t->isVariable() ? t : nullptr;
+  };
+
+  Ref lhs = core->operand(0);
+  Ref rhs = core->operand(1);
+  Ref var = unwrapVar(lhs);
+  Ref constSide = rhs;
+  bool varOnLeft = true;
+  if (!var || !rhs->isConstant()) {
+    var = unwrapVar(rhs);
+    constSide = lhs;
+    varOnLeft = false;
+    if (!var || !lhs->isConstant()) return true;  // unsupported shape: no-op
+  }
+  const std::uint64_t k = constSide->value();
+  const std::uint64_t varMax = maskToWidth(~std::uint64_t{0}, var->width());
+
+  auto it = env.emplace(var, Interval::top(var->width())).first;
+  Interval bound = Interval::top(var->width());
+
+  switch (core->kind()) {
+    case Kind::kEq:
+      if (!negated) {
+        if (k > varMax) return false;  // zext(x) == k with k out of range
+        bound = Interval::point(k);
+      } else {
+        // x != k shaves an endpoint only if k is one.
+        if (it->second.isPoint() && it->second.lo == k) return false;
+        if (it->second.lo == k && k < varMax)
+          bound = {k + 1, varMax};
+        else if (it->second.hi == k && k > 0)
+          bound = {0, k - 1};
+      }
+      break;
+    case Kind::kUlt:
+      if (varOnLeft) {
+        if (!negated) {  // x < k
+          if (k == 0) return false;
+          bound = {0, std::min(k - 1, varMax)};
+        } else {  // x >= k
+          if (k > varMax) return false;
+          bound = {k, varMax};
+        }
+      } else {
+        if (!negated) {  // k < x
+          if (k >= varMax) return false;
+          bound = {k + 1, varMax};
+        } else {  // x <= k
+          bound = {0, std::min(k, varMax)};
+        }
+      }
+      break;
+    case Kind::kUle:
+      if (varOnLeft) {
+        if (!negated) {  // x <= k
+          bound = {0, std::min(k, varMax)};
+        } else {  // x > k
+          if (k >= varMax) return false;
+          bound = {k + 1, varMax};
+        }
+      } else {
+        if (!negated) {  // k <= x
+          if (k > varMax) return false;
+          bound = {k, varMax};
+        } else {  // x < k
+          if (k == 0) return false;
+          bound = {0, std::min(k - 1, varMax)};
+        }
+      }
+      break;
+    default:
+      return true;  // signed comparisons: skip narrowing, stay sound
+  }
+
+  bool feasible = true;
+  it->second = intersect(it->second, bound, feasible);
+  return feasible;
+}
+
+}  // namespace sde::expr

@@ -1,0 +1,53 @@
+// Unsigned interval abstract domain over bitvector terms.
+//
+// Sound, non-wrapping intervals [lo, hi] in [0, 2^w - 1]. Used by the
+// solver for (a) fast infeasibility checks before model enumeration and
+// (b) narrowing variable domains so enumeration visits few candidates.
+// Any operation whose exact result could wrap returns the full range —
+// precision is best-effort, soundness is mandatory.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "expr/expr.hpp"
+
+namespace sde::expr {
+
+struct Interval {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  static Interval point(std::uint64_t v) { return {v, v}; }
+  static Interval top(unsigned width) {
+    return {0, maskToWidth(~std::uint64_t{0}, width)};
+  }
+
+  [[nodiscard]] bool isPoint() const { return lo == hi; }
+  [[nodiscard]] bool contains(std::uint64_t v) const {
+    return lo <= v && v <= hi;
+  }
+  // Number of values in the interval; saturates at UINT64_MAX for the
+  // full 64-bit range.
+  [[nodiscard]] std::uint64_t size() const {
+    const std::uint64_t span = hi - lo;
+    return span == ~std::uint64_t{0} ? span : span + 1;
+  }
+
+  bool operator==(const Interval&) const = default;
+};
+
+// Optional per-variable bounds consulted during analysis; variables not
+// present are assumed to span their full width.
+using IntervalEnv = std::unordered_map<Ref, Interval>;
+
+// Computes a sound interval for `x` under `env`.
+[[nodiscard]] Interval intervalOf(Ref x, const IntervalEnv& env);
+
+// Refines `env` with the information that boolean term `c` holds.
+// Handles the comparison shapes the VM actually emits (variable or
+// zext/trunc-of-variable against a constant, and conjunctions thereof).
+// Returns false if the constraint is found infeasible under `env`.
+[[nodiscard]] bool refineByConstraint(Ref c, IntervalEnv& env);
+
+}  // namespace sde::expr

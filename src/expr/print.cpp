@@ -1,0 +1,43 @@
+#include "expr/print.hpp"
+
+#include <sstream>
+
+namespace sde::expr {
+
+namespace {
+
+void printRec(Ref x, std::ostringstream& os) {
+  switch (x->kind()) {
+    case Kind::kConstant:
+      os << x->value();
+      if (x->width() != 1) os << "w" << x->width();
+      return;
+    case Kind::kVariable:
+      os << "(var " << x->name() << ")";
+      return;
+    case Kind::kExtract:
+      os << "(extract w" << x->width() << " @" << x->extractOffset() << " ";
+      printRec(x->operand(0), os);
+      os << ")";
+      return;
+    default: {
+      os << "(" << kindName(x->kind()) << " w" << x->width();
+      for (Ref op : x->operands()) {
+        os << " ";
+        printRec(op, os);
+      }
+      os << ")";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string toString(Ref x) {
+  std::ostringstream os;
+  printRec(x, os);
+  return os.str();
+}
+
+}  // namespace sde::expr

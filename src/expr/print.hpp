@@ -1,0 +1,15 @@
+// S-expression rendering of expressions, for diagnostics, test-case
+// dumps, and golden tests of the simplifier.
+#pragma once
+
+#include <string>
+
+#include "expr/expr.hpp"
+
+namespace sde::expr {
+
+// Renders e.g. "(add w8 (var x) 3)". Constants print as decimal; shared
+// subtrees are printed in full (expressions in this codebase are small).
+[[nodiscard]] std::string toString(Ref x);
+
+}  // namespace sde::expr

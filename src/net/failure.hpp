@@ -1,0 +1,115 @@
+// Network failure models.
+//
+// Matching the paper's layering (§II-B footnote 2), the state-mapping
+// layer assumes ideal network conditions: a transmitted packet reaches
+// its destination states. Failures are injected *above* that layer, at
+// event dispatch: before a receive handler runs, the failure model may
+// request a symbolic fork of the receiving state — one branch processes
+// the packet, the other experiences the failure (drop, duplicate
+// delivery, or node reboot). That is exactly KleeNet's "network failure
+// model forks the receiving node's state" (§IV-A).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace sde::net {
+
+enum class FailureKind : std::uint8_t {
+  kNone,       // deliver normally
+  kDrop,       // fork: one state processes the packet, one drops it
+  kDuplicate,  // fork: one state processes once, one processes twice
+  kReboot,     // fork: one state processes, one reboots instead
+};
+
+struct FailureDecision {
+  FailureKind kind = FailureKind::kNone;
+  // Label for the symbolic decision variable; the engine scopes it per
+  // node and occurrence ("n<node>.<label>.<k>").
+  std::string label;
+};
+
+class FailureModel {
+ public:
+  virtual ~FailureModel() = default;
+
+  // Consulted once per (state, packet) delivery, before the handler
+  // runs. Implementations typically bound the number of injected
+  // failures per node by inspecting the state's symbolic counters.
+  [[nodiscard]] virtual FailureDecision onDelivery(
+      const vm::ExecutionState& state, const Packet& packet) = 0;
+};
+
+// Ideal network: never injects failures.
+class NoFailures final : public FailureModel {
+ public:
+  FailureDecision onDelivery(const vm::ExecutionState&,
+                             const Packet&) override {
+    return {};
+  }
+};
+
+// The paper's evaluation model (§IV-A): selected nodes symbolically drop
+// up to `maxPerNode` received packets ("symbolically drop one packet").
+class SymbolicDropModel final : public FailureModel {
+ public:
+  SymbolicDropModel(std::vector<NodeId> nodes, std::uint32_t maxPerNode = 1);
+  FailureDecision onDelivery(const vm::ExecutionState& state,
+                             const Packet& packet) override;
+
+  static constexpr const char* kLabel = "netdrop";
+
+ private:
+  std::unordered_set<NodeId> nodes_;
+  std::uint32_t maxPerNode_;
+};
+
+// Symbolic packet duplication on selected nodes (§IV-A mentions packet
+// duplicates among the further failures).
+class SymbolicDuplicateModel final : public FailureModel {
+ public:
+  SymbolicDuplicateModel(std::vector<NodeId> nodes,
+                         std::uint32_t maxPerNode = 1);
+  FailureDecision onDelivery(const vm::ExecutionState& state,
+                             const Packet& packet) override;
+
+  static constexpr const char* kLabel = "netdup";
+
+ private:
+  std::unordered_set<NodeId> nodes_;
+  std::uint32_t maxPerNode_;
+};
+
+// Symbolic node reboot on packet reception for selected nodes.
+class SymbolicRebootModel final : public FailureModel {
+ public:
+  SymbolicRebootModel(std::vector<NodeId> nodes, std::uint32_t maxPerNode = 1);
+  FailureDecision onDelivery(const vm::ExecutionState& state,
+                             const Packet& packet) override;
+
+  static constexpr const char* kLabel = "netreboot";
+
+ private:
+  std::unordered_set<NodeId> nodes_;
+  std::uint32_t maxPerNode_;
+};
+
+// Applies the first sub-model that requests a failure.
+class CompositeFailureModel final : public FailureModel {
+ public:
+  void add(std::unique_ptr<FailureModel> model) {
+    models_.push_back(std::move(model));
+  }
+  FailureDecision onDelivery(const vm::ExecutionState& state,
+                             const Packet& packet) override;
+
+ private:
+  std::vector<std::unique_ptr<FailureModel>> models_;
+};
+
+}  // namespace sde::net

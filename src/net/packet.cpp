@@ -1,0 +1,13 @@
+#include "net/packet.hpp"
+
+#include "support/hash.hpp"
+
+namespace sde::net {
+
+std::uint64_t Packet::payloadHash() const {
+  support::Hasher h;
+  for (expr::Ref cell : payload) h.u64(cell->hash());
+  return h.digest();
+}
+
+}  // namespace sde::net

@@ -1,0 +1,35 @@
+// Network packets. A packet is a unicast transmission of symbolic cells
+// from one node to another (the paper models broadcast/multicast as a
+// series of unicasts, §II-B footnote 1). Packet ids are unique per run
+// and give the communication-history machinery distinguishable packets
+// (§II-B: "all packets ... are assumed to be unique and distinguishable").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "expr/expr.hpp"
+#include "vm/state.hpp"
+
+namespace sde::net {
+
+using vm::NodeId;
+
+// Destination sentinel: the engine expands a send to this address into a
+// series of unicasts to the sender's radio neighbourhood (the paper
+// simulates broadcast exactly this way, §II-B footnote 1).
+inline constexpr NodeId kBroadcastAddress = 0xffffffffu;
+
+struct Packet {
+  std::uint64_t id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint64_t sendTime = 0;
+  std::vector<expr::Ref> payload;
+
+  // Structural hash of the payload cells (used in communication-history
+  // records; packet ids stay out of state fingerprints).
+  [[nodiscard]] std::uint64_t payloadHash() const;
+};
+
+}  // namespace sde::net

@@ -1,0 +1,66 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/assert.hpp"
+
+namespace sde::net {
+
+RoutingTable RoutingTable::towards(const Topology& topology, NodeId sink) {
+  SDE_ASSERT(sink < topology.numNodes(), "sink out of range");
+  RoutingTable table;
+  table.sink_ = sink;
+  const std::uint32_t n = topology.numNodes();
+  table.nextHop_.assign(n, n);  // sentinel: unreachable
+  table.nextHop_[sink] = sink;
+
+  // BFS outward from the sink; each discovered node's next hop is its
+  // BFS parent. Neighbour lists are built in ascending id order by the
+  // topology factories, so tie-breaking is deterministic.
+  std::deque<NodeId> queue{sink};
+  while (!queue.empty()) {
+    const NodeId cur = queue.front();
+    queue.pop_front();
+    for (NodeId next : topology.neighbors(cur)) {
+      if (table.nextHop_[next] != n) continue;
+      table.nextHop_[next] = cur;
+      queue.push_back(next);
+    }
+  }
+  return table;
+}
+
+NodeId RoutingTable::nextHop(NodeId node) const {
+  SDE_ASSERT(node < nextHop_.size(), "node out of range");
+  return nextHop_[node];
+}
+
+std::vector<NodeId> RoutingTable::path(NodeId from) const {
+  std::vector<NodeId> result;
+  NodeId cur = from;
+  const auto n = static_cast<NodeId>(nextHop_.size());
+  while (true) {
+    result.push_back(cur);
+    if (cur == sink_) break;
+    const NodeId next = nextHop_[cur];
+    SDE_ASSERT(next != n, "path() from an unreachable node");
+    SDE_ASSERT(result.size() <= nextHop_.size(), "routing loop");
+    cur = next;
+  }
+  return result;
+}
+
+std::vector<NodeId> RoutingTable::pathAndNeighbors(const Topology& topology,
+                                                   NodeId from) const {
+  std::vector<NodeId> result = path(from);
+  const std::size_t pathLen = result.size();
+  for (std::size_t i = 0; i < pathLen; ++i)
+    for (NodeId neighbor : topology.neighbors(result[i]))
+      result.push_back(neighbor);
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+}  // namespace sde::net

@@ -1,0 +1,39 @@
+// Static routing. The paper's scenario forwards data "towards the
+// destination via a static route" (§IV-A); this table precomputes
+// next hops along BFS shortest paths, with deterministic tie-breaking
+// (lowest neighbour id first), so every run sees the same data path.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace sde::net {
+
+class RoutingTable {
+ public:
+  // Routes from every node toward the single destination `sink`.
+  static RoutingTable towards(const Topology& topology, NodeId sink);
+
+  // Next hop from `node` toward the configured sink; `node` itself if it
+  // is the sink; numNodes() sentinel when unreachable.
+  [[nodiscard]] NodeId nextHop(NodeId node) const;
+
+  [[nodiscard]] NodeId sink() const { return sink_; }
+
+  // The node sequence from `from` to the sink (inclusive of both ends).
+  [[nodiscard]] std::vector<NodeId> path(NodeId from) const;
+
+  // All nodes that lie on the path from `from` to the sink, plus their
+  // one-hop neighbours — the set the paper configures for symbolic drops
+  // ("nodes on the data path towards the destination and their
+  // neighbors", §IV-A).
+  [[nodiscard]] std::vector<NodeId> pathAndNeighbors(
+      const Topology& topology, NodeId from) const;
+
+ private:
+  NodeId sink_ = 0;
+  std::vector<NodeId> nextHop_;
+};
+
+}  // namespace sde::net

@@ -1,0 +1,91 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/assert.hpp"
+
+namespace sde::net {
+
+void Topology::addEdge(NodeId a, NodeId b) {
+  SDE_ASSERT(a < numNodes() && b < numNodes() && a != b, "invalid edge");
+  if (!hasEdge(a, b)) {
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+  }
+}
+
+std::span<const NodeId> Topology::neighbors(NodeId node) const {
+  SDE_ASSERT(node < numNodes(), "node id out of range");
+  return adjacency_[node];
+}
+
+bool Topology::hasEdge(NodeId a, NodeId b) const {
+  SDE_ASSERT(a < numNodes() && b < numNodes(), "node id out of range");
+  const auto& adj = adjacency_[a];
+  return std::find(adj.begin(), adj.end(), b) != adj.end();
+}
+
+std::uint32_t Topology::hopDistance(NodeId from, NodeId to) const {
+  SDE_ASSERT(from < numNodes() && to < numNodes(), "node id out of range");
+  if (from == to) return 0;
+  std::vector<std::uint32_t> dist(numNodes(), numNodes());
+  dist[from] = 0;
+  std::deque<NodeId> queue{from};
+  while (!queue.empty()) {
+    const NodeId cur = queue.front();
+    queue.pop_front();
+    for (NodeId next : adjacency_[cur]) {
+      if (dist[next] != numNodes()) continue;
+      dist[next] = dist[cur] + 1;
+      if (next == to) return dist[next];
+      queue.push_back(next);
+    }
+  }
+  return dist[to];
+}
+
+Topology Topology::line(std::uint32_t nodes) {
+  SDE_ASSERT(nodes >= 1, "empty topology");
+  Topology t(nodes);
+  for (std::uint32_t i = 0; i + 1 < nodes; ++i) t.addEdge(i, i + 1);
+  return t;
+}
+
+Topology Topology::ring(std::uint32_t nodes) {
+  SDE_ASSERT(nodes >= 3, "a ring needs at least three nodes");
+  Topology t(nodes);
+  for (std::uint32_t i = 0; i < nodes; ++i) t.addEdge(i, (i + 1) % nodes);
+  return t;
+}
+
+Topology Topology::star(std::uint32_t leaves) {
+  SDE_ASSERT(leaves >= 1, "a star needs at least one leaf");
+  Topology t(leaves + 1);
+  for (std::uint32_t i = 1; i <= leaves; ++i) t.addEdge(0, i);
+  return t;
+}
+
+Topology Topology::fullMesh(std::uint32_t nodes) {
+  SDE_ASSERT(nodes >= 2, "a mesh needs at least two nodes");
+  Topology t(nodes);
+  for (std::uint32_t i = 0; i < nodes; ++i)
+    for (std::uint32_t j = i + 1; j < nodes; ++j) t.addEdge(i, j);
+  return t;
+}
+
+Topology Topology::grid(std::uint32_t width, std::uint32_t height) {
+  SDE_ASSERT(width >= 1 && height >= 1, "empty grid");
+  Topology t(width * height);
+  t.gridWidth_ = width;
+  for (std::uint32_t r = 0; r < height; ++r) {
+    for (std::uint32_t c = 0; c < width; ++c) {
+      const NodeId id = r * width + c;
+      if (c + 1 < width) t.addEdge(id, id + 1);
+      if (r + 1 < height) t.addEdge(id, id + width);
+    }
+  }
+  return t;
+}
+
+}  // namespace sde::net

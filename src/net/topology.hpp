@@ -1,0 +1,45 @@
+// Network topologies. The paper evaluates 5x5 / 7x7 / 10x10 grids where
+// each node reaches its four-neighbourhood (Figure 9); the discussion
+// (§IV-C) uses full meshes as the adversarial case. Factories for those
+// plus the line/star/ring shapes used by tests and examples.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace sde::net {
+
+class Topology {
+ public:
+  // --- Factories ----------------------------------------------------------
+  static Topology line(std::uint32_t nodes);
+  static Topology ring(std::uint32_t nodes);
+  static Topology star(std::uint32_t leaves);  // node 0 is the hub
+  static Topology fullMesh(std::uint32_t nodes);
+  // Four-neighbourhood grid, row-major ids: node (r, c) has id r*w + c.
+  static Topology grid(std::uint32_t width, std::uint32_t height);
+
+  [[nodiscard]] std::uint32_t numNodes() const {
+    return static_cast<std::uint32_t>(adjacency_.size());
+  }
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId node) const;
+  [[nodiscard]] bool hasEdge(NodeId a, NodeId b) const;
+
+  // BFS hop distance; numNodes() if unreachable.
+  [[nodiscard]] std::uint32_t hopDistance(NodeId from, NodeId to) const;
+
+  // Grid helpers (only meaningful for grid()-built topologies).
+  [[nodiscard]] std::uint32_t gridWidth() const { return gridWidth_; }
+
+ private:
+  explicit Topology(std::uint32_t nodes) : adjacency_(nodes) {}
+  void addEdge(NodeId a, NodeId b);
+
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::uint32_t gridWidth_ = 0;
+};
+
+}  // namespace sde::net

@@ -1,0 +1,42 @@
+#include "os/events.hpp"
+
+namespace sde::os {
+
+vm::Entry entryFor(vm::EventKind kind) {
+  switch (kind) {
+    case vm::EventKind::kBoot:
+      return vm::Entry::kInit;
+    case vm::EventKind::kTimer:
+      return vm::Entry::kTimer;
+    case vm::EventKind::kRecv:
+      return vm::Entry::kRecv;
+  }
+  SDE_UNREACHABLE("unknown event kind");
+}
+
+void dispatchEvent(expr::Context& ctx, vm::Interpreter& interp,
+                   vm::ExecutionState& state, const vm::PendingEvent& event,
+                   vm::EffectSink& sink) {
+  state.clock = event.time;
+  const vm::Entry entry = entryFor(event.kind);
+  if (!state.program().entry(entry)) return;  // program ignores this event
+
+  std::vector<expr::Ref> args;
+  switch (event.kind) {
+    case vm::EventKind::kBoot:
+      break;
+    case vm::EventKind::kTimer:
+      args.push_back(ctx.constant(event.a, 64));
+      break;
+    case vm::EventKind::kRecv: {
+      const std::uint64_t obj = state.space.allocFrom(event.payload);
+      args.push_back(ctx.constant(obj, 64));
+      args.push_back(ctx.constant(event.a, 64));  // source node
+      args.push_back(ctx.constant(event.payload.size(), 64));
+      break;
+    }
+  }
+  interp.runEvent(state, entry, args, sink);
+}
+
+}  // namespace sde::os

@@ -1,0 +1,23 @@
+// Event dispatch glue: translates engine-level pending events into VM
+// handler invocations with the documented register ABI. This is the
+// moral equivalent of Contiki's process_post/event loop boundary.
+#pragma once
+
+#include "vm/interp.hpp"
+#include "vm/program.hpp"
+#include "vm/state.hpp"
+
+namespace sde::os {
+
+// Program entry dispatched for an event kind.
+[[nodiscard]] vm::Entry entryFor(vm::EventKind kind);
+
+// Runs `event` on `state`: advances the state clock, materialises packet
+// payloads into a fresh object, marshals arguments (kTimer: r0 = timer
+// id; kRecv: r0 = payload object, r1 = source node, r2 = cell count) and
+// invokes the interpreter. Forked siblings are reported through `sink`.
+void dispatchEvent(expr::Context& ctx, vm::Interpreter& interp,
+                   vm::ExecutionState& state, const vm::PendingEvent& event,
+                   vm::EffectSink& sink);
+
+}  // namespace sde::os

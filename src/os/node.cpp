@@ -1,0 +1,51 @@
+#include "os/node.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace sde::os {
+
+void NetworkPlan::runEverywhere(vm::Program program, std::uint64_t bootTime) {
+  runEverywhere(std::make_shared<const vm::Program>(std::move(program)),
+                bootTime);
+}
+
+void NetworkPlan::runEverywhere(std::shared_ptr<const vm::Program> program,
+                                std::uint64_t bootTime) {
+  SDE_ASSERT(program != nullptr, "null program");
+  for (net::NodeId id = 0; id < topology_.numNodes(); ++id)
+    runOn(id, program, bootTime);
+}
+
+void NetworkPlan::runOn(net::NodeId node, vm::Program program,
+                        std::uint64_t bootTime) {
+  runOn(node, std::make_shared<const vm::Program>(std::move(program)),
+        bootTime);
+}
+
+void NetworkPlan::runOn(net::NodeId node,
+                        std::shared_ptr<const vm::Program> program,
+                        std::uint64_t bootTime) {
+  SDE_ASSERT(node < topology_.numNodes(), "node id out of range");
+  SDE_ASSERT(program != nullptr, "null program");
+  const auto it = std::find_if(nodes_.begin(), nodes_.end(),
+                               [&](const NodeConfig& c) {
+                                 return c.id == node;
+                               });
+  if (it != nodes_.end()) {
+    it->program = std::move(program);
+    it->bootTime = bootTime;
+    return;
+  }
+  nodes_.push_back({node, std::move(program), bootTime});
+}
+
+bool NetworkPlan::complete() const {
+  if (nodes_.size() != topology_.numNodes()) return false;
+  return std::all_of(nodes_.begin(), nodes_.end(), [](const NodeConfig& c) {
+    return c.program != nullptr;
+  });
+}
+
+}  // namespace sde::os

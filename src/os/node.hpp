@@ -1,0 +1,51 @@
+// Node and network configuration: which program each node runs and when
+// it boots. A NetworkPlan is the static description the SDE engine
+// instantiates into the initial k execution states. Programs are held
+// by shared ownership so a plan (and the engines built from it) never
+// dangles when callers pass temporaries.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "vm/program.hpp"
+
+namespace sde::os {
+
+struct NodeConfig {
+  net::NodeId id = 0;
+  std::shared_ptr<const vm::Program> program;
+  std::uint64_t bootTime = 0;
+};
+
+class NetworkPlan {
+ public:
+  explicit NetworkPlan(net::Topology topology)
+      : topology_(std::move(topology)) {}
+
+  // Assigns `program` to every node, booting at `bootTime`. The by-value
+  // overload takes ownership of (a copy of) the program; all nodes share
+  // one image.
+  void runEverywhere(vm::Program program, std::uint64_t bootTime = 0);
+  void runEverywhere(std::shared_ptr<const vm::Program> program,
+                     std::uint64_t bootTime = 0);
+
+  // Assigns `program` to a single node (overrides a previous assignment).
+  void runOn(net::NodeId node, vm::Program program,
+             std::uint64_t bootTime = 0);
+  void runOn(net::NodeId node, std::shared_ptr<const vm::Program> program,
+             std::uint64_t bootTime = 0);
+
+  [[nodiscard]] const net::Topology& topology() const { return topology_; }
+  [[nodiscard]] const std::vector<NodeConfig>& nodes() const { return nodes_; }
+  // Every node must have a program before the engine can start.
+  [[nodiscard]] bool complete() const;
+
+ private:
+  net::Topology topology_;
+  std::vector<NodeConfig> nodes_;
+};
+
+}  // namespace sde::os

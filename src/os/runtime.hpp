@@ -1,0 +1,24 @@
+// Node lifecycle: boot and reboot of execution states. Boot creates the
+// globals segment and schedules the kBoot event; reboot (used by the
+// SymbolicRebootModel) resets volatile node state in place, modelling a
+// watchdog reset of a sensor node.
+#pragma once
+
+#include "os/node.hpp"
+#include "vm/state.hpp"
+
+namespace sde::os {
+
+// Prepares a freshly constructed state: initialises the globals segment
+// and enqueues the boot event at `bootTime`.
+void setupBoot(expr::Context& ctx, vm::ExecutionState& state,
+               std::uint64_t bootTime);
+
+// Resets `state` as a node reboot at time `now`: zeroes the globals,
+// cancels all timers and pending events, and schedules a fresh boot.
+// Path constraints, the communication history and symbolic counters
+// survive — those describe the already-explored execution, not the
+// node's RAM.
+void reboot(expr::Context& ctx, vm::ExecutionState& state, std::uint64_t now);
+
+}  // namespace sde::os

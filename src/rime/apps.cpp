@@ -1,0 +1,392 @@
+#include "rime/apps.hpp"
+
+#include "rime/stack.hpp"
+
+namespace sde::rime {
+
+namespace {
+
+using vm::Entry;
+using vm::IRBuilder;
+using vm::Op;
+using vm::Reg;
+
+// Register conventions inside handlers (r0..r2 are event arguments).
+constexpr Reg rArg0{0};   // kRecv: payload buffer object
+constexpr Reg rArg1{1};   // kRecv: source node
+constexpr Reg rBuf{3};    // incoming buffer alias / outgoing buffer
+constexpr Reg rT0{4};
+constexpr Reg rT1{5};
+constexpr Reg rT2{6};
+constexpr Reg rT3{7};
+constexpr Reg rT4{8};
+constexpr Reg rT5{9};
+constexpr Reg rOut{10};   // outgoing buffer in forwarding paths
+constexpr Reg rS0{14};    // scratch for stack helpers
+constexpr Reg rS1{15};
+
+// INIT shared by all role-driven apps: sources arm the send timer.
+void emitSourceInit(IRBuilder& b) {
+  b.beginEntry(Entry::kInit);
+  auto done = b.newLabel();
+  b.loadGlobal(rT0, kSlotIsSource);
+  b.branchIfZero(rT0, done);
+  b.loadGlobal(rT1, kSlotSendInterval);
+  b.setTimer(kSendTimer, rT1);
+  b.bind(done);
+  b.halt();
+}
+
+// Fills the standard header of the buffer in `buf`: channel, origin =
+// self, seqno from `seqnoSlot` (incremented afterwards), hops = 0.
+void emitNewPacketHeader(IRBuilder& b, Reg buf, std::uint64_t channel,
+                         std::uint64_t seqnoSlot) {
+  emitSetFieldImm(b, buf, kFieldChannel, static_cast<std::int64_t>(channel),
+                  rS0, rS1);
+  b.self(rT0);
+  emitSetField(b, buf, kFieldOrigin, rT0, rS1);
+  b.loadGlobal(rT1, seqnoSlot);
+  emitSetField(b, buf, kFieldSeqno, rT1, rS1);
+  emitSetFieldImm(b, buf, kFieldHops, 0, rS0, rS1);
+  b.aluImm(Op::kAdd, rT1, rT1, 1, rS1);
+  b.storeGlobal(rT1, seqnoSlot);
+}
+
+void emitRearmTimer(IRBuilder& b) {
+  b.loadGlobal(rT2, kSlotSendInterval);
+  b.setTimer(kSendTimer, rT2);
+}
+
+// Branches to `elseWhere` unless buf[kFieldChannel] == channel.
+void emitRequireChannel(IRBuilder& b, Reg buf, std::uint64_t channel,
+                        IRBuilder::Label elseWhere) {
+  emitGetField(b, rT0, buf, kFieldChannel, rS1);
+  b.aluImm(Op::kNe, rT1, rT0, static_cast<std::int64_t>(channel), rS1);
+  b.branchIfNonZero(rT1, elseWhere);
+}
+
+}  // namespace
+
+vm::Program buildCollectApp(const CollectOptions& options) {
+  IRBuilder b("collect");
+  b.setGlobals(kCollectGlobals);
+
+  emitSourceInit(b);
+
+  // TIMER — only the source arms it: emit one data packet and re-arm.
+  b.beginEntry(Entry::kTimer);
+  emitAllocPacket(b, rBuf, 0, rS0);
+  emitNewPacketHeader(b, rBuf, kChannelCollect, kCollectSeqno);
+  b.loadGlobal(rT2, kSlotNextHop);
+  emitSetField(b, rBuf, kFieldNextHop, rT2, rS1);
+  emitBroadcast(b, rBuf, kHeaderCells, rS0, rS1);
+  emitRearmTimer(b);
+  b.halt();
+
+  // RECV — every radio neighbour perceives the packet; only the intended
+  // next hop processes it (sink accounting or multihop forwarding).
+  b.beginEntry(Entry::kRecv);
+  auto ignore = b.newLabel();
+  auto forward = b.newLabel();
+  emitRequireChannel(b, rArg0, kChannelCollect, ignore);
+
+  emitGetField(b, rT2, rArg0, kFieldNextHop, rS1);
+  b.self(rT3);
+  b.alu(Op::kNe, rT4, rT2, rT3);
+  b.branchIfNonZero(rT4, ignore);  // overheard only
+
+  b.loadGlobal(rT4, kSlotIsSink);
+  b.branchIfZero(rT4, forward);
+
+  {  // Sink: account the reception, watch for duplicate / lost seqnos.
+    b.loadGlobal(rT4, kCollectRecvCount);
+    b.aluImm(Op::kAdd, rT4, rT4, 1, rS1);
+    b.storeGlobal(rT4, kCollectRecvCount);
+
+    emitGetField(b, rT2, rArg0, kFieldSeqno, rS1);    // seq
+    b.loadGlobal(rT3, kCollectLastSeqPlus1);          // expected next seq
+    b.aluImm(Op::kAdd, rT4, rT2, 1, rS1);             // seq + 1
+
+    auto notDuplicate = b.newLabel();
+    b.alu(Op::kEq, rT5, rT4, rT3);  // seq + 1 == lastSeqPlus1: seen before
+    b.branchIfZero(rT5, notDuplicate);
+    if (options.failOnDuplicateSeqno)
+      b.fail("collect: sink observed a duplicate sequence number");
+    b.loadGlobal(rT5, kCollectDupCount);
+    b.aluImm(Op::kAdd, rT5, rT5, 1, rS1);
+    b.storeGlobal(rT5, kCollectDupCount);
+    b.bind(notDuplicate);
+
+    if (options.failOnLostSeqno) {
+      auto noLoss = b.newLabel();
+      b.alu(Op::kUlt, rT5, rT3, rT2);  // expected < seq: a packet skipped
+      b.branchIfZero(rT5, noLoss);
+      b.fail("collect: sink observed a lost sequence number");
+      b.bind(noLoss);
+    }
+
+    b.storeGlobal(rT4, kCollectLastSeqPlus1);  // seq + 1
+    b.halt();
+  }
+
+  b.bind(forward);
+  {  // Relay: copy the packet, bump hops, address my own next hop.
+    emitAllocPacket(b, rOut, 0, rS0);
+    emitCopyPacket(b, rOut, rArg0, kHeaderCells, rS0, rS1);
+    emitGetField(b, rT2, rArg0, kFieldHops, rS1);
+    b.aluImm(Op::kAdd, rT2, rT2, 1, rS1);
+    emitSetField(b, rOut, kFieldHops, rT2, rS1);
+    b.loadGlobal(rT3, kSlotNextHop);
+    emitSetField(b, rOut, kFieldNextHop, rT3, rS1);
+    emitBroadcast(b, rOut, kHeaderCells, rS0, rS1);
+    b.loadGlobal(rT4, kCollectFwdCount);
+    b.aluImm(Op::kAdd, rT4, rT4, 1, rS1);
+    b.storeGlobal(rT4, kCollectFwdCount);
+    b.halt();
+  }
+
+  b.bind(ignore);
+  b.halt();
+  return b.finish();
+}
+
+vm::Program buildFloodApp() {
+  IRBuilder b("flood");
+  b.setGlobals(kFloodGlobals);
+
+  emitSourceInit(b);
+
+  b.beginEntry(Entry::kTimer);
+  emitAllocPacket(b, rBuf, 0, rS0);
+  emitNewPacketHeader(b, rBuf, kChannelFlood, kFloodNextSeq);
+  emitBroadcast(b, rBuf, kHeaderCells, rS0, rS1);
+  emitRearmTimer(b);
+  b.halt();
+
+  b.beginEntry(Entry::kRecv);
+  auto ignore = b.newLabel();
+  emitRequireChannel(b, rArg0, kChannelFlood, ignore);
+
+  emitGetField(b, rT2, rArg0, kFieldSeqno, rS1);  // seq
+  b.loadGlobal(rT3, kFloodSeenMax);
+  b.alu(Op::kUlt, rT4, rT2, rT3);  // seq < seenMax: already relayed
+  b.branchIfNonZero(rT4, ignore);
+
+  b.aluImm(Op::kAdd, rT4, rT2, 1, rS1);
+  b.storeGlobal(rT4, kFloodSeenMax);
+
+  emitAllocPacket(b, rOut, 0, rS0);
+  emitCopyPacket(b, rOut, rArg0, kHeaderCells, rS0, rS1);
+  emitGetField(b, rT3, rArg0, kFieldHops, rS1);
+  b.aluImm(Op::kAdd, rT3, rT3, 1, rS1);
+  emitSetField(b, rOut, kFieldHops, rT3, rS1);
+  emitBroadcast(b, rOut, kHeaderCells, rS0, rS1);
+
+  b.loadGlobal(rT4, kFloodRelayed);
+  b.aluImm(Op::kAdd, rT4, rT4, 1, rS1);
+  b.storeGlobal(rT4, kFloodRelayed);
+
+  b.bind(ignore);
+  b.halt();
+  return b.finish();
+}
+
+vm::Program buildPingApp() {
+  IRBuilder b("ping");
+  b.setGlobals(kPingGlobals);
+
+  emitSourceInit(b);
+
+  b.beginEntry(Entry::kTimer);
+  emitAllocPacket(b, rBuf, 0, rS0);
+  emitNewPacketHeader(b, rBuf, kChannelPing, kPingSeqno);
+  b.loadGlobal(rT2, kSlotParam);  // peer node
+  emitSetField(b, rBuf, kFieldNextHop, rT2, rS1);
+  emitUnicast(b, rT2, rBuf, kHeaderCells, rS0);
+  emitRearmTimer(b);
+  b.halt();
+
+  b.beginEntry(Entry::kRecv);
+  auto notPing = b.newLabel();
+  auto done = b.newLabel();
+  {  // Ping? echo a pong with the same seqno back to the sender.
+    emitRequireChannel(b, rArg0, kChannelPing, notPing);
+    emitAllocPacket(b, rOut, 0, rS0);
+    emitCopyPacket(b, rOut, rArg0, kHeaderCells, rS0, rS1);
+    emitSetFieldImm(b, rOut, kFieldChannel,
+                    static_cast<std::int64_t>(kChannelPong), rS0, rS1);
+    b.self(rT2);
+    emitSetField(b, rOut, kFieldOrigin, rT2, rS1);
+    emitUnicast(b, rArg1, rOut, kHeaderCells, rS0);
+    b.loadGlobal(rT3, kPingEchoed);
+    b.aluImm(Op::kAdd, rT3, rT3, 1, rS1);
+    b.storeGlobal(rT3, kPingEchoed);
+    b.jump(done);
+  }
+  b.bind(notPing);
+  {  // Pong? account the reply and check it answers the latest ping.
+    emitRequireChannel(b, rArg0, kChannelPong, done);
+    b.loadGlobal(rT2, kPingReplies);
+    b.aluImm(Op::kAdd, rT2, rT2, 1, rS1);
+    b.storeGlobal(rT2, kPingReplies);
+
+    emitGetField(b, rT3, rArg0, kFieldSeqno, rS1);
+    b.loadGlobal(rT4, kPingSeqno);
+    b.aluImm(Op::kSub, rT4, rT4, 1, rS1);  // last seq sent
+    auto match = b.newLabel();
+    b.alu(Op::kEq, rT5, rT3, rT4);
+    b.branchIfNonZero(rT5, match);
+    b.loadGlobal(rT5, kPingMismatches);
+    b.aluImm(Op::kAdd, rT5, rT5, 1, rS1);
+    b.storeGlobal(rT5, kPingMismatches);
+    b.bind(match);
+  }
+  b.bind(done);
+  b.halt();
+  return b.finish();
+}
+
+vm::Program buildHelloApp() {
+  IRBuilder b("hello");
+  b.setGlobals(kHelloGlobals);
+
+  // Every node beacons (no role gate): neighbour discovery is symmetric.
+  b.beginEntry(Entry::kInit);
+  b.loadGlobal(rT1, kSlotSendInterval);
+  b.setTimer(kSendTimer, rT1);
+  b.halt();
+
+  b.beginEntry(Entry::kTimer);
+  emitAllocPacket(b, rBuf, 0, rS0);
+  emitNewPacketHeader(b, rBuf, kChannelHello, kHelloSent);
+  emitBroadcast(b, rBuf, kHeaderCells, rS0, rS1);
+  emitRearmTimer(b);
+  b.halt();
+
+  b.beginEntry(Entry::kRecv);
+  auto ignore = b.newLabel();
+  emitRequireChannel(b, rArg0, kChannelHello, ignore);
+  emitGetField(b, rT2, rArg0, kFieldOrigin, rS1);  // heard neighbour id
+  b.constant(rT3, 1);
+  b.alu(Op::kShl, rT3, rT3, rT2);  // 1 << origin
+  b.loadGlobal(rT4, kHelloBitmap);
+  b.alu(Op::kOr, rT4, rT4, rT3);
+  b.storeGlobal(rT4, kHelloBitmap);
+  b.bind(ignore);
+  b.halt();
+  return b.finish();
+}
+
+vm::Program buildSensorApp(const SensorOptions& options) {
+  IRBuilder b("sensor");
+  b.setGlobals(kSensorGlobals);
+
+  emitSourceInit(b);
+
+  // TIMER — the source samples a fresh *symbolic* reading per packet.
+  b.beginEntry(Entry::kTimer);
+  emitAllocPacket(b, rBuf, /*dataCells=*/1, rS0);
+  emitNewPacketHeader(b, rBuf, kChannelSensor, kSensorSeqno);
+  b.loadGlobal(rT2, kSlotNextHop);
+  emitSetField(b, rBuf, kFieldNextHop, rT2, rS1);
+  b.makeSymbolic(rT3, "reading", 8);
+  emitSetField(b, rBuf, kFieldData, rT3, rS1);
+  emitBroadcast(b, rBuf, kHeaderCells + 1, rS0, rS1);
+  emitRearmTimer(b);
+  b.halt();
+
+  b.beginEntry(Entry::kRecv);
+  auto ignore = b.newLabel();
+  auto relay = b.newLabel();
+  emitRequireChannel(b, rArg0, kChannelSensor, ignore);
+  emitGetField(b, rT2, rArg0, kFieldNextHop, rS1);
+  b.self(rT3);
+  b.alu(Op::kNe, rT4, rT2, rT3);
+  b.branchIfNonZero(rT4, ignore);  // overheard only
+
+  emitGetField(b, rT5, rArg0, kFieldData, rS1);  // the (symbolic) reading
+  b.loadGlobal(rT4, kSlotIsSink);
+  b.branchIfZero(rT4, relay);
+
+  {  // Sink: classify the reading — a symbolic branch whose condition
+     // contains the *source's* variable (cross-node constraint).
+    b.storeGlobal(rT5, kSensorLastReading);
+    auto alarm = b.newLabel();
+    auto done = b.newLabel();
+    b.aluImm(Op::kUlt, rT4, rT5,
+             static_cast<std::int64_t>(options.alarmThreshold), rS1);
+    b.branchIfZero(rT4, alarm);  // reading >= threshold
+    b.loadGlobal(rT4, kSensorNormal);
+    b.aluImm(Op::kAdd, rT4, rT4, 1, rS1);
+    b.storeGlobal(rT4, kSensorNormal);
+    b.jump(done);
+    b.bind(alarm);
+    b.loadGlobal(rT4, kSensorAlarms);
+    b.aluImm(Op::kAdd, rT4, rT4, 1, rS1);
+    b.storeGlobal(rT4, kSensorAlarms);
+    b.bind(done);
+    b.halt();
+  }
+
+  b.bind(relay);
+  {  // Relay: filter zero readings (another data-dependent branch),
+     // forward the rest along the static route.
+    auto forward = b.newLabel();
+    b.branchIfNonZero(rT5, forward);
+    b.loadGlobal(rT4, kSensorFiltered);
+    b.aluImm(Op::kAdd, rT4, rT4, 1, rS1);
+    b.storeGlobal(rT4, kSensorFiltered);
+    b.halt();
+    b.bind(forward);
+    emitAllocPacket(b, rOut, /*dataCells=*/1, rS0);
+    emitCopyPacket(b, rOut, rArg0, kHeaderCells + 1, rS0, rS1);
+    emitGetField(b, rT2, rArg0, kFieldHops, rS1);
+    b.aluImm(Op::kAdd, rT2, rT2, 1, rS1);
+    emitSetField(b, rOut, kFieldHops, rT2, rS1);
+    b.loadGlobal(rT3, kSlotNextHop);
+    emitSetField(b, rOut, kFieldNextHop, rT3, rS1);
+    emitBroadcast(b, rOut, kHeaderCells + 1, rS0, rS1);
+    b.halt();
+  }
+
+  b.bind(ignore);
+  b.halt();
+  return b.finish();
+}
+
+std::vector<BootAssignment> collectBootGlobals(
+    const net::Topology& topology, const net::RoutingTable& routing,
+    net::NodeId source, std::uint64_t sendInterval) {
+  std::vector<BootAssignment> result;
+  for (net::NodeId node = 0; node < topology.numNodes(); ++node) {
+    result.push_back({node, kSlotNextHop, routing.nextHop(node)});
+    result.push_back({node, kSlotSendInterval, sendInterval});
+    if (node == source) result.push_back({node, kSlotIsSource, 1});
+    if (node == routing.sink()) result.push_back({node, kSlotIsSink, 1});
+  }
+  return result;
+}
+
+std::vector<BootAssignment> floodBootGlobals(const net::Topology& topology,
+                                             net::NodeId source,
+                                             std::uint64_t sendInterval) {
+  std::vector<BootAssignment> result;
+  for (net::NodeId node = 0; node < topology.numNodes(); ++node)
+    result.push_back({node, kSlotSendInterval, sendInterval});
+  result.push_back({source, kSlotIsSource, 1});
+  return result;
+}
+
+std::vector<BootAssignment> pingBootGlobals(net::NodeId pinger,
+                                            net::NodeId responder,
+                                            std::uint64_t sendInterval) {
+  return {
+      {pinger, kSlotIsSource, 1},
+      {pinger, kSlotParam, responder},
+      {pinger, kSlotSendInterval, sendInterval},
+      {responder, kSlotParam, pinger},
+      {responder, kSlotSendInterval, sendInterval},
+  };
+}
+
+}  // namespace sde::rime

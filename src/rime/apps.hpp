@@ -1,0 +1,109 @@
+// Node applications for the evaluation scenarios, authored in VM
+// bytecode against the Rime-like stack:
+//
+//  * collect  — the paper's scenario (§IV-A): a source emits a data
+//    packet every interval; each transmission is broadcast (perceived by
+//    all radio neighbours) and carries the intended next hop, which
+//    forwards it along the preconfigured static route to the sink.
+//  * flood    — network flooding, the paper's adversarial case (§IV-C).
+//  * ping     — two-party request/response (quickstart example).
+//
+// Each program reads its role (source/sink/next hop/interval) from the
+// reserved boot-configuration globals (rime/header.hpp).
+#pragma once
+
+#include <vector>
+
+#include "net/routing.hpp"
+#include "rime/header.hpp"
+#include "vm/program.hpp"
+
+namespace sde::rime {
+
+// --- Applications --------------------------------------------------------------
+
+struct CollectOptions {
+  // Sink raises an assertion failure when it observes the same sequence
+  // number twice (exposed to the duplicate failure model; the bug-hunt
+  // example uses this).
+  bool failOnDuplicateSeqno = false;
+  // Sink raises an assertion failure when a sequence number is skipped
+  // (exposed to the drop failure model).
+  bool failOnLostSeqno = false;
+};
+
+[[nodiscard]] vm::Program buildCollectApp(const CollectOptions& options = {});
+[[nodiscard]] vm::Program buildFloodApp();
+[[nodiscard]] vm::Program buildPingApp();
+
+// Neighbour discovery (§IV-C lists it among the flooding-like protocols
+// that stress SDE): every node periodically broadcasts HELLO and records
+// the senders it hears in a bitmap. Supports networks up to 64 nodes.
+[[nodiscard]] vm::Program buildHelloApp();
+
+// Sensor reporting with a *symbolic payload*: the source samples a
+// symbolic 8-bit reading per packet and streams it along the static
+// route. Relays filter zero readings (a data-dependent symbolic branch),
+// the sink classifies readings above the alarm threshold (another one).
+// This couples constraints across nodes: the sink's path condition
+// mentions the source's symbolic variable, exercising joint
+// (dscenario-level) test-case generation.
+struct SensorOptions {
+  std::uint64_t alarmThreshold = 200;
+};
+[[nodiscard]] vm::Program buildSensorApp(const SensorOptions& options = {});
+
+// Observable application state (globals slots, app region).
+inline constexpr std::uint64_t kCollectSeqno = kAppGlobalsBase + 0;
+inline constexpr std::uint64_t kCollectRecvCount = kAppGlobalsBase + 1;
+inline constexpr std::uint64_t kCollectLastSeqPlus1 = kAppGlobalsBase + 2;
+inline constexpr std::uint64_t kCollectFwdCount = kAppGlobalsBase + 3;
+inline constexpr std::uint64_t kCollectDupCount = kAppGlobalsBase + 4;
+inline constexpr std::uint64_t kCollectGlobals = kAppGlobalsBase + 5;
+
+inline constexpr std::uint64_t kFloodNextSeq = kAppGlobalsBase + 0;  // source
+inline constexpr std::uint64_t kFloodSeenMax = kAppGlobalsBase + 1;
+inline constexpr std::uint64_t kFloodRelayed = kAppGlobalsBase + 2;
+inline constexpr std::uint64_t kFloodGlobals = kAppGlobalsBase + 3;
+
+inline constexpr std::uint64_t kHelloBitmap = kAppGlobalsBase + 0;
+inline constexpr std::uint64_t kHelloSent = kAppGlobalsBase + 1;
+inline constexpr std::uint64_t kHelloGlobals = kAppGlobalsBase + 2;
+
+inline constexpr std::uint64_t kSensorSeqno = kAppGlobalsBase + 0;  // source
+inline constexpr std::uint64_t kSensorAlarms = kAppGlobalsBase + 1;   // sink
+inline constexpr std::uint64_t kSensorNormal = kAppGlobalsBase + 2;   // sink
+inline constexpr std::uint64_t kSensorLastReading = kAppGlobalsBase + 3;
+inline constexpr std::uint64_t kSensorFiltered = kAppGlobalsBase + 4;  // relay
+inline constexpr std::uint64_t kSensorGlobals = kAppGlobalsBase + 5;
+
+inline constexpr std::uint64_t kPingSeqno = kAppGlobalsBase + 0;
+inline constexpr std::uint64_t kPingReplies = kAppGlobalsBase + 1;
+inline constexpr std::uint64_t kPingMismatches = kAppGlobalsBase + 2;
+inline constexpr std::uint64_t kPingEchoed = kAppGlobalsBase + 3;  // responder
+inline constexpr std::uint64_t kPingGlobals = kAppGlobalsBase + 4;
+
+// --- Scenario wiring -------------------------------------------------------------
+
+struct BootAssignment {
+  net::NodeId node = 0;
+  std::uint64_t slot = 0;
+  std::uint64_t value = 0;
+};
+
+// Boot globals for the paper's collect scenario: static next hops toward
+// the sink, source/sink roles, and the send interval.
+[[nodiscard]] std::vector<BootAssignment> collectBootGlobals(
+    const net::Topology& topology, const net::RoutingTable& routing,
+    net::NodeId source, std::uint64_t sendInterval);
+
+// Boot globals for flooding from `source`.
+[[nodiscard]] std::vector<BootAssignment> floodBootGlobals(
+    const net::Topology& topology, net::NodeId source,
+    std::uint64_t sendInterval);
+
+// Boot globals for ping between two adjacent nodes.
+[[nodiscard]] std::vector<BootAssignment> pingBootGlobals(
+    net::NodeId pinger, net::NodeId responder, std::uint64_t sendInterval);
+
+}  // namespace sde::rime

@@ -1,0 +1,10 @@
+#include "rime/header.hpp"
+
+// Anchor TU; all definitions are compile-time constants.
+namespace sde::rime {
+
+static_assert(kBroadcastDst == net::kBroadcastAddress,
+              "rime broadcast sentinel must match the engine's");
+static_assert(kFieldData == kHeaderCells, "data follows the header");
+
+}  // namespace sde::rime

@@ -1,0 +1,50 @@
+// Packet and configuration conventions of the Rime-like stack.
+//
+// Contiki's Rime identifies logical connections by 16-bit channel
+// numbers and stacks thin header layers onto packets; our packets are
+// cell-granular, so the "header" is a fixed prefix of cells. Node role
+// and routing configuration reach programs through reserved globals
+// slots written by Engine::setBootGlobal before boot — the analogue of
+// the paper's preconfigured static routes (Figure 9).
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+
+namespace sde::rime {
+
+// --- Packet header cells -----------------------------------------------------
+inline constexpr std::uint64_t kFieldChannel = 0;
+inline constexpr std::uint64_t kFieldOrigin = 1;   // originating node
+inline constexpr std::uint64_t kFieldSeqno = 2;
+inline constexpr std::uint64_t kFieldHops = 3;
+inline constexpr std::uint64_t kFieldNextHop = 4;  // intended forwarder
+inline constexpr std::uint64_t kHeaderCells = 5;
+inline constexpr std::uint64_t kFieldData = 5;     // first payload cell
+
+// --- Channels (Rime convention: >= 128 for applications) ---------------------
+inline constexpr std::uint64_t kChannelCollect = 130;
+inline constexpr std::uint64_t kChannelFlood = 131;
+inline constexpr std::uint64_t kChannelPing = 132;
+inline constexpr std::uint64_t kChannelPong = 133;
+inline constexpr std::uint64_t kChannelHello = 134;   // neighbour discovery
+inline constexpr std::uint64_t kChannelSensor = 135;  // symbolic readings
+
+// --- Boot-configuration globals slots ----------------------------------------
+inline constexpr std::uint64_t kSlotNextHop = 0;       // static route
+inline constexpr std::uint64_t kSlotIsSource = 1;
+inline constexpr std::uint64_t kSlotIsSink = 2;
+inline constexpr std::uint64_t kSlotSendInterval = 3;  // virtual time units
+inline constexpr std::uint64_t kSlotParam = 4;         // app-specific
+// Applications own slots kAppGlobalsBase and up.
+inline constexpr std::uint64_t kAppGlobalsBase = 8;
+
+// --- Timers --------------------------------------------------------------------
+inline constexpr std::uint32_t kSendTimer = 1;
+
+// Broadcast destination understood by the engine (expanded into a series
+// of unicasts to the radio neighbourhood, paper §II-B footnote 1).
+inline constexpr std::uint64_t kBroadcastDst = 0xffffffffull;
+
+}  // namespace sde::rime

@@ -1,0 +1,55 @@
+#include "rime/stack.hpp"
+
+namespace sde::rime {
+
+using vm::Op;
+
+void emitAllocPacket(IRBuilder& b, Reg buf, std::uint64_t dataCells,
+                     Reg scratch) {
+  b.constant(scratch, static_cast<std::int64_t>(kHeaderCells + dataCells));
+  b.alloc(buf, scratch);
+}
+
+void emitSetField(IRBuilder& b, Reg buf, std::uint64_t field, Reg value,
+                  Reg scratch) {
+  b.constant(scratch, static_cast<std::int64_t>(field));
+  b.store(value, buf, scratch);
+}
+
+void emitSetFieldImm(IRBuilder& b, Reg buf, std::uint64_t field,
+                     std::int64_t value, Reg scratchValue, Reg scratchIndex) {
+  b.constant(scratchValue, value);
+  emitSetField(b, buf, field, scratchValue, scratchIndex);
+}
+
+void emitGetField(IRBuilder& b, Reg dst, Reg buf, std::uint64_t field,
+                  Reg scratch) {
+  b.constant(scratch, static_cast<std::int64_t>(field));
+  b.load(dst, buf, scratch);
+}
+
+void emitCopyPacket(IRBuilder& b, Reg dstBuf, Reg srcBuf, std::uint64_t cells,
+                    Reg scratchValue, Reg scratchIndex) {
+  // Cell counts are small compile-time constants; unrolled copies keep
+  // the handler free of loop branches.
+  for (std::uint64_t i = 0; i < cells; ++i) {
+    b.constant(scratchIndex, static_cast<std::int64_t>(i));
+    b.load(scratchValue, srcBuf, scratchIndex);
+    b.store(scratchValue, dstBuf, scratchIndex);
+  }
+}
+
+void emitUnicast(IRBuilder& b, Reg dstNode, Reg buf, std::uint64_t cells,
+                 Reg scratch) {
+  b.constant(scratch, static_cast<std::int64_t>(cells));
+  b.send(dstNode, buf, scratch);
+}
+
+void emitBroadcast(IRBuilder& b, Reg buf, std::uint64_t cells, Reg scratchDst,
+                   Reg scratchLen) {
+  b.constant(scratchDst, static_cast<std::int64_t>(kBroadcastDst));
+  b.constant(scratchLen, static_cast<std::int64_t>(cells));
+  b.send(scratchDst, buf, scratchLen);
+}
+
+}  // namespace sde::rime

@@ -1,0 +1,41 @@
+// Code-generation helpers for the Rime-like stack: packet buffer
+// management, header field access, unicast/broadcast primitives. These
+// emit instruction sequences into an IRBuilder; applications compose
+// them into handlers. Register convention: helpers clobber only the
+// registers the caller passes in.
+#pragma once
+
+#include "rime/header.hpp"
+#include "vm/builder.hpp"
+
+namespace sde::rime {
+
+using vm::IRBuilder;
+using vm::Reg;
+
+// r[buf] = fresh packet buffer of kHeaderCells + dataCells cells.
+void emitAllocPacket(IRBuilder& b, Reg buf, std::uint64_t dataCells,
+                     Reg scratch);
+
+// buf[field] = r[value].
+void emitSetField(IRBuilder& b, Reg buf, std::uint64_t field, Reg value,
+                  Reg scratch);
+// buf[field] = imm.
+void emitSetFieldImm(IRBuilder& b, Reg buf, std::uint64_t field,
+                     std::int64_t value, Reg scratchValue, Reg scratchIndex);
+// r[dst] = buf[field].
+void emitGetField(IRBuilder& b, Reg dst, Reg buf, std::uint64_t field,
+                  Reg scratch);
+
+// Copies header+data cells [0, cells) from src buffer to dst buffer.
+void emitCopyPacket(IRBuilder& b, Reg dstBuf, Reg srcBuf, std::uint64_t cells,
+                    Reg scratchValue, Reg scratchIndex);
+
+// Transmits r[buf] (cells total) to the concrete node in r[dstNode].
+void emitUnicast(IRBuilder& b, Reg dstNode, Reg buf, std::uint64_t cells,
+                 Reg scratch);
+// Transmits r[buf] to the radio neighbourhood.
+void emitBroadcast(IRBuilder& b, Reg buf, std::uint64_t cells, Reg scratchDst,
+                   Reg scratchLen);
+
+}  // namespace sde::rime

@@ -1,0 +1,83 @@
+#include "sde/cob.hpp"
+
+namespace sde {
+
+void CobMapper::registerInitialStates(
+    std::span<ExecutionState* const> states) {
+  SDE_ASSERT(states.size() == numNodes_, "need exactly one state per node");
+  Scenario& scenario = scenarios_.emplace_back();
+  scenario.id = nextScenarioId_++;
+  scenario.byNode.assign(states.begin(), states.end());
+  for (ExecutionState* state : states) scenarioOf_[state] = &scenario;
+}
+
+CobMapper::Scenario& CobMapper::scenarioOf(const ExecutionState& state) {
+  const auto it = scenarioOf_.find(&state);
+  SDE_ASSERT(it != scenarioOf_.end(), "state not registered with COB");
+  return *it->second;
+}
+
+void CobMapper::onLocalBranch(ExecutionState& original,
+                              ExecutionState& sibling,
+                              MapperRuntime& runtime) {
+  // The dscenario invariant (one state per node) broke: materialise a
+  // second dscenario by forking every *other* node's state (Figure 3).
+  // (std::deque::emplace_back never invalidates references, so holding
+  // `orig` across the emplace is safe.)
+  Scenario& orig = scenarioOf(original);
+  Scenario& scenario = scenarios_.emplace_back();
+  scenario.id = nextScenarioId_++;
+  scenario.byNode.resize(numNodes_);
+  for (NodeId node = 0; node < numNodes_; ++node) {
+    ExecutionState* member = orig.byNode[node];
+    if (member == &original) {
+      scenario.byNode[node] = &sibling;
+      continue;
+    }
+    ExecutionState& copy = runtime.forkState(*member);
+    scenario.byNode[node] = &copy;
+    runtime.stats().bump("map.cob.scenario_copies");
+  }
+  for (ExecutionState* state : scenario.byNode) scenarioOf_[state] = &scenario;
+}
+
+std::vector<ExecutionState*> CobMapper::onTransmit(ExecutionState& sender,
+                                                   const net::Packet& packet,
+                                                   MapperRuntime& runtime) {
+  // No conflicts are possible: the receiver is the destination node's
+  // single state in the sender's dscenario (constant-time lookup).
+  runtime.stats().bump("map.transmissions");
+  Scenario& scenario = scenarioOf(sender);
+  SDE_ASSERT(packet.dst < numNodes_, "destination out of range");
+  return {scenario.byNode[packet.dst]};
+}
+
+std::vector<std::vector<std::vector<ExecutionState*>>>
+CobMapper::groupChoices() const {
+  std::vector<std::vector<std::vector<ExecutionState*>>> result;
+  result.reserve(scenarios_.size());
+  for (const Scenario& scenario : scenarios_) {
+    std::vector<std::vector<ExecutionState*>> group;
+    group.reserve(numNodes_);
+    for (ExecutionState* state : scenario.byNode) group.push_back({state});
+    result.push_back(std::move(group));
+  }
+  return result;
+}
+
+void CobMapper::checkInvariants() const {
+  for (const Scenario& scenario : scenarios_) {
+    SDE_ASSERT(scenario.byNode.size() == numNodes_,
+               "dscenario must span all nodes");
+    for (NodeId node = 0; node < numNodes_; ++node) {
+      const ExecutionState* state = scenario.byNode[node];
+      SDE_ASSERT(state != nullptr && state->node() == node,
+                 "dscenario member on the wrong node");
+      const auto it = scenarioOf_.find(state);
+      SDE_ASSERT(it != scenarioOf_.end() && it->second == &scenario,
+                 "scenarioOf_ out of sync");
+    }
+  }
+}
+
+}  // namespace sde

@@ -1,0 +1,54 @@
+// Copy On Branch (paper §III-A).
+//
+// The distributed system is a set of dscenarios, each holding exactly
+// one state per node — the explicit enumeration of every distributed
+// execution a monolithic simulation would explore. A local branch of any
+// state forks *all other states* of its dscenario to keep the invariant;
+// packet delivery is then a constant-time lookup in the sender's
+// dscenario. Correct, simple, and catastrophically duplicative — the
+// baseline the paper measures COW and SDS against.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "sde/mapper.hpp"
+
+namespace sde {
+
+class CobMapper final : public StateMapper {
+ public:
+  explicit CobMapper(std::uint32_t numNodes) : numNodes_(numNodes) {}
+
+  [[nodiscard]] std::string_view name() const override { return "COB"; }
+
+  void registerInitialStates(
+      std::span<ExecutionState* const> states) override;
+  void onLocalBranch(ExecutionState& original, ExecutionState& sibling,
+                     MapperRuntime& runtime) override;
+  [[nodiscard]] std::vector<ExecutionState*> onTransmit(
+      ExecutionState& sender, const net::Packet& packet,
+      MapperRuntime& runtime) override;
+
+  [[nodiscard]] std::uint64_t numGroups() const override {
+    return scenarios_.size();
+  }
+  [[nodiscard]] std::vector<std::vector<std::vector<ExecutionState*>>>
+  groupChoices() const override;
+  void checkInvariants() const override;
+
+ private:
+  struct Scenario {
+    std::uint64_t id = 0;
+    std::vector<ExecutionState*> byNode;  // exactly one per node
+  };
+
+  Scenario& scenarioOf(const ExecutionState& state);
+
+  std::uint32_t numNodes_;
+  std::deque<Scenario> scenarios_;  // stable addresses
+  std::unordered_map<const ExecutionState*, Scenario*> scenarioOf_;
+  std::uint64_t nextScenarioId_ = 0;
+};
+
+}  // namespace sde

@@ -1,0 +1,127 @@
+#include "sde/cow.hpp"
+
+#include <algorithm>
+
+namespace sde {
+
+void CowMapper::registerInitialStates(
+    std::span<ExecutionState* const> states) {
+  SDE_ASSERT(states.size() == numNodes_, "need exactly one state per node");
+  DState& dstate = dstates_.emplace_back(numNodes_);
+  dstate.id = nextDstateId_++;
+  for (ExecutionState* state : states) {
+    dstate.members.add(state);
+    dstateOf_[state] = &dstate;
+  }
+}
+
+CowMapper::DState& CowMapper::mutableDstateOf(const ExecutionState& state) {
+  const auto it = dstateOf_.find(&state);
+  SDE_ASSERT(it != dstateOf_.end(), "state not registered with COW");
+  return *it->second;
+}
+
+const StateGroup& CowMapper::dstateOf(const ExecutionState& state) const {
+  const auto it = dstateOf_.find(&state);
+  SDE_ASSERT(it != dstateOf_.end(), "state not registered with COW");
+  return it->second->members;
+}
+
+void CowMapper::onLocalBranch(ExecutionState& original,
+                              ExecutionState& sibling, MapperRuntime&) {
+  // Conflict-free by construction: the siblings differ only in the
+  // branch constraint, their communication histories are identical. Just
+  // record membership (this is the entire point of COW).
+  DState& dstate = mutableDstateOf(original);
+  dstate.members.add(&sibling);
+  dstateOf_[&sibling] = &dstate;
+}
+
+std::vector<ExecutionState*> CowMapper::onTransmit(ExecutionState& sender,
+                                                   const net::Packet& packet,
+                                                   MapperRuntime& runtime) {
+  runtime.stats().bump("map.transmissions");
+  DState& dstate = mutableDstateOf(sender);
+  const NodeId dst = packet.dst;
+  SDE_ASSERT(dst < numNodes_, "destination out of range");
+
+  const auto senderSiblings = dstate.members.statesOf(sender.node());
+  const bool hasRivals = senderSiblings.size() > 1;
+
+  if (!hasRivals) {
+    // Every dscenario this dstate represents has the sender sending —
+    // all destination-node members receive in place, nothing forks.
+    const auto targets = dstate.members.statesOf(dst);
+    return {targets.begin(), targets.end()};
+  }
+
+  // Conflict: rivals did not send this packet. Move the sender into a
+  // fresh dstate together with forked copies of every member except the
+  // rivals (Figure 4). The target copies receive the packet; the
+  // bystander copies are pure duplicates (the COW inefficiency).
+  runtime.stats().bump("map.cow.conflict_resolutions");
+  DState& fresh = dstates_.emplace_back(numNodes_);
+  DState& old = mutableDstateOf(sender);  // deque kept `old` stable
+  fresh.id = nextDstateId_++;
+
+  old.members.remove(&sender);
+  fresh.members.add(&sender);
+  dstateOf_[&sender] = &fresh;
+
+  std::vector<ExecutionState*> receivers;
+  for (NodeId node = 0; node < numNodes_; ++node) {
+    if (node == sender.node()) continue;  // rivals stay, sender moved
+    for (ExecutionState* member : old.members.statesOf(node)) {
+      ExecutionState& copy = runtime.forkState(*member);
+      fresh.members.add(&copy);
+      dstateOf_[&copy] = &fresh;
+      if (node == dst) {
+        receivers.push_back(&copy);
+        runtime.stats().bump("map.targets_forked");
+      } else {
+        runtime.stats().bump("map.bystanders_forked");
+      }
+    }
+  }
+  SDE_ASSERT(!receivers.empty(), "dstate must cover the destination node");
+  return receivers;
+}
+
+std::vector<std::vector<std::vector<ExecutionState*>>>
+CowMapper::groupChoices() const {
+  // Each dstate represents the cartesian product of its per-node member
+  // sets: all members share one communication history, so every
+  // combination is a consistent dscenario.
+  std::vector<std::vector<std::vector<ExecutionState*>>> result;
+  result.reserve(dstates_.size());
+  for (const DState& dstate : dstates_) {
+    std::vector<std::vector<ExecutionState*>> group;
+    group.reserve(numNodes_);
+    for (NodeId node = 0; node < numNodes_; ++node) {
+      const auto choices = dstate.members.statesOf(node);
+      group.emplace_back(choices.begin(), choices.end());
+    }
+    result.push_back(std::move(group));
+  }
+  return result;
+}
+
+void CowMapper::checkInvariants() const {
+  std::size_t mapped = 0;
+  for (const DState& dstate : dstates_) {
+    SDE_ASSERT(dstate.members.coversAllNodes(),
+               "dstate must have >= 1 state per node");
+    for (ExecutionState* member : dstate.members.all()) {
+      ++mapped;
+      const auto it = dstateOf_.find(member);
+      SDE_ASSERT(it != dstateOf_.end() && it->second == &dstate,
+                 "dstateOf_ out of sync (a state must be in exactly one "
+                 "dstate)");
+    }
+    SDE_ASSERT(countConflicts(dstate.members) == 0,
+               "dstate members must be pairwise conflict-free");
+  }
+  SDE_ASSERT(mapped == dstateOf_.size(), "orphan entries in dstateOf_");
+}
+
+}  // namespace sde

@@ -1,0 +1,59 @@
+// Delayed Copy On Write (paper §III-B).
+//
+// A dstate allows several states per node as long as all members are
+// pairwise conflict-free (same communication history). Local branches
+// just add the sibling to the predecessor's dstate — no copying at all.
+// Copying is delayed until a transmission whose sender has rivals
+// (sibling states of the sender's node in the same dstate): then the
+// sender moves to a fresh dstate together with forked copies of every
+// non-rival member — the targets (which receive) and, wastefully, all
+// bystanders. The bystander copies are the duplication SDS eliminates.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "sde/mapper.hpp"
+
+namespace sde {
+
+class CowMapper final : public StateMapper {
+ public:
+  explicit CowMapper(std::uint32_t numNodes) : numNodes_(numNodes) {}
+
+  [[nodiscard]] std::string_view name() const override { return "COW"; }
+
+  void registerInitialStates(
+      std::span<ExecutionState* const> states) override;
+  void onLocalBranch(ExecutionState& original, ExecutionState& sibling,
+                     MapperRuntime& runtime) override;
+  [[nodiscard]] std::vector<ExecutionState*> onTransmit(
+      ExecutionState& sender, const net::Packet& packet,
+      MapperRuntime& runtime) override;
+
+  [[nodiscard]] std::uint64_t numGroups() const override {
+    return dstates_.size();
+  }
+  [[nodiscard]] std::vector<std::vector<std::vector<ExecutionState*>>>
+  groupChoices() const override;
+  void checkInvariants() const override;
+
+  // Test hook: the dstate membership of `state` as a StateGroup view.
+  [[nodiscard]] const StateGroup& dstateOf(const ExecutionState& state) const;
+
+ private:
+  struct DState {
+    std::uint64_t id = 0;
+    StateGroup members;
+    explicit DState(std::uint32_t numNodes) : members(numNodes) {}
+  };
+
+  DState& mutableDstateOf(const ExecutionState& state);
+
+  std::uint32_t numNodes_;
+  std::deque<DState> dstates_;
+  std::unordered_map<const ExecutionState*, DState*> dstateOf_;
+  std::uint64_t nextDstateId_ = 0;
+};
+
+}  // namespace sde

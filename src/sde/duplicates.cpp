@@ -1,0 +1,45 @@
+#include "sde/duplicates.hpp"
+
+#include <algorithm>
+
+namespace sde {
+
+namespace {
+
+template <typename Range, typename Deref>
+DuplicateReport analyse(const Range& states, DuplicateMode mode,
+                        Deref&& deref) {
+  DuplicateReport report;
+  std::unordered_map<std::uint64_t, std::uint64_t> classes;
+  for (const auto& holder : states) {
+    const vm::ExecutionState& state = deref(holder);
+    ++report.totalStates;
+    const std::uint64_t hash = mode == DuplicateMode::kStrict
+                                   ? state.configHashStrict()
+                                   : state.configHash();
+    ++classes[hash];
+  }
+  report.distinctConfigurations = classes.size();
+  for (const auto& [hash, count] : classes) {
+    report.duplicateStates += count - 1;
+    report.largestClass = std::max(report.largestClass, count);
+  }
+  return report;
+}
+
+}  // namespace
+
+DuplicateReport findDuplicates(
+    const std::deque<std::unique_ptr<vm::ExecutionState>>& states,
+    DuplicateMode mode) {
+  return analyse(states, mode,
+                 [](const auto& p) -> const vm::ExecutionState& { return *p; });
+}
+
+DuplicateReport findDuplicates(const std::vector<vm::ExecutionState*>& states,
+                               DuplicateMode mode) {
+  return analyse(states, mode,
+                 [](const auto* p) -> const vm::ExecutionState& { return *p; });
+}
+
+}  // namespace sde

@@ -1,0 +1,393 @@
+#include "sde/engine.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace sde {
+
+namespace {
+
+// Fixed per-state overhead charged by the simulated-memory meter, on top
+// of the (shared-aware) memory payloads: the state object itself plus
+// bookkeeping vectors' elements.
+std::uint64_t stateOverheadBytes(const ExecutionState& state) {
+  std::uint64_t bytes = sizeof(ExecutionState);
+  bytes += state.constraints.size() * 32;  // constraint bookkeeping
+  bytes += state.commLog.size() * sizeof(vm::CommRecord);
+  bytes += state.symbolics.size() * sizeof(expr::Ref);
+  for (const vm::PendingEvent& event : state.pendingEvents)
+    bytes += sizeof(vm::PendingEvent) + event.payload.size() * 8;
+  return bytes;
+}
+
+}  // namespace
+
+std::string_view runOutcomeName(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kCompleted:
+      return "completed";
+    case RunOutcome::kAbortedStates:
+      return "aborted (state cap)";
+    case RunOutcome::kAbortedMemory:
+      return "aborted (memory cap)";
+    case RunOutcome::kAbortedEvents:
+      return "aborted (event cap)";
+    case RunOutcome::kAbortedWallTime:
+      return "aborted (wall-clock cap)";
+  }
+  return "?";
+}
+
+Engine::Engine(const os::NetworkPlan& plan, MapperKind mapperKind,
+               EngineConfig config)
+    : plan_(plan),
+      config_(config),
+      solver_(ctx_, config.solver),
+      interp_(ctx_, solver_, config.interp),
+      mapper_(makeMapper(mapperKind, plan.topology().numNodes())),
+      failureModel_(std::make_unique<net::NoFailures>()),
+      interpSink_(*this),
+      mapperRuntime_(*this) {
+  SDE_ASSERT(plan_.complete(), "every node needs a program before running");
+  interp_.setNumNodes(plan_.topology().numNodes());
+}
+
+void Engine::setFailureModel(std::unique_ptr<net::FailureModel> model) {
+  SDE_ASSERT(model != nullptr, "null failure model");
+  failureModel_ = std::move(model);
+}
+
+void Engine::setBootGlobal(net::NodeId node, std::uint64_t slot,
+                           std::uint64_t value) {
+  SDE_ASSERT(!booted_, "boot globals must be set before run()");
+  bootGlobals_[node][slot] = value;
+}
+
+void Engine::boot() {
+  SDE_ASSERT(!booted_, "boot() called twice");
+  booted_ = true;
+
+  // Deterministic node order regardless of plan insertion order.
+  std::vector<os::NodeConfig> configs = plan_.nodes();
+  std::sort(configs.begin(), configs.end(),
+            [](const os::NodeConfig& a, const os::NodeConfig& b) {
+              return a.id < b.id;
+            });
+
+  std::vector<ExecutionState*> initial;
+  for (const os::NodeConfig& node : configs) {
+    auto state = std::make_unique<ExecutionState>(nextStateId_++, node.id,
+                                                  *node.program);
+    os::setupBoot(ctx_, *state, node.bootTime);
+    const auto it = bootGlobals_.find(node.id);
+    if (it != bootGlobals_.end())
+      for (const auto& [slot, value] : it->second)
+        state->space.store(vm::kGlobalsObject, slot, ctx_.constant(value, 64));
+    initial.push_back(state.get());
+    byId_[state->id()] = state.get();
+    states_.push_back(std::move(state));
+  }
+  stats_.set("engine.initial_states", initial.size());
+  mapper_->registerInitialStates(initial);
+  for (ExecutionState* state : initial) scheduler_.registerState(*state);
+}
+
+ExecutionState& Engine::cloneInternal(ExecutionState& original) {
+  auto clone = original.fork(nextStateId_++);
+  ExecutionState& ref = *clone;
+  byId_[ref.id()] = &ref;
+  states_.push_back(std::move(clone));
+  touched_.push_back(&ref);
+  stats_.bump("engine.forks_total");
+  stats_.maxOf("engine.peak_states", states_.size());
+  return ref;
+}
+
+ExecutionState& Engine::forkLocal(ExecutionState& original) {
+  ExecutionState& sibling = cloneInternal(original);
+  stats_.bump("engine.forks_local");
+  mapper_->onLocalBranch(original, sibling, mapperRuntime_);
+  return sibling;
+}
+
+ExecutionState& Engine::InterpSink::forkState(ExecutionState& original) {
+  return engine_.forkLocal(original);
+}
+
+void Engine::InterpSink::onSend(ExecutionState& sender, NodeId dst,
+                                std::vector<expr::Ref> payload) {
+  engine_.touched_.push_back(&sender);
+  if (dst == net::kBroadcastAddress) {
+    // Broadcast as a series of unicasts to the radio neighbourhood
+    // (paper §II-B footnote 1).
+    for (NodeId neighbor : engine_.topology().neighbors(sender.node()))
+      engine_.sendOne(sender, neighbor, payload);
+    return;
+  }
+  engine_.sendOne(sender, dst, payload);
+}
+
+void Engine::InterpSink::onLog(ExecutionState& state,
+                               std::string_view message, expr::Ref value) {
+  if (support::logLevel() <= support::LogLevel::kDebug) {
+    support::logDebug("node", std::string(message) + " [node " +
+                                  std::to_string(state.node()) + " state " +
+                                  std::to_string(state.id()) + " value " +
+                                  (value->isConstant()
+                                       ? std::to_string(value->value())
+                                       : std::string("<symbolic>")) +
+                                  "]");
+  }
+}
+
+ExecutionState& Engine::Runtime::forkState(ExecutionState& original) {
+  ExecutionState& clone = engine_.cloneInternal(original);
+  engine_.stats_.bump("engine.forks_mapping");
+  return clone;
+}
+
+support::StatsRegistry& Engine::Runtime::stats() { return engine_.stats_; }
+
+void Engine::sendOne(ExecutionState& sender, NodeId dst,
+                     const std::vector<expr::Ref>& payload) {
+  const auto numNodes = topology().numNodes();
+  if (dst >= numNodes || dst == sender.node() ||
+      !topology().hasEdge(sender.node(), dst)) {
+    // Out of radio range (or self/bogus destination): the transmission
+    // is lost. Counted — a protocol bug a test may want to see.
+    stats_.bump("net.undeliverable");
+    return;
+  }
+
+  net::Packet packet;
+  packet.id = nextPacketId_++;
+  packet.src = sender.node();
+  packet.dst = dst;
+  packet.sendTime = sender.clock;
+  packet.payload = payload;
+
+  const std::vector<ExecutionState*> receivers =
+      mapper_->onTransmit(sender, packet, mapperRuntime_);
+  stats_.bump("engine.packets");
+
+  sender.commLog.push_back({/*sent=*/true, dst, sender.clock,
+                            packet.payloadHash(), packet.id});
+
+  for (ExecutionState* receiver : receivers) {
+    SDE_ASSERT(receiver->node() == dst, "receiver on the wrong node");
+    vm::PendingEvent event;
+    event.time = sender.clock + config_.linkLatency;
+    event.kind = vm::EventKind::kRecv;
+    event.a = packet.src;
+    event.b = packet.id;
+    event.payload = packet.payload;
+    event.seq = receiver->nextEventSeq++;
+    receiver->pendingEvents.push_back(std::move(event));
+    touched_.push_back(receiver);
+  }
+}
+
+expr::Ref Engine::makeFailureVariable(ExecutionState& state,
+                                      std::string_view label) {
+  // Mirrors the interpreter's kSymbolic naming so failure decisions are
+  // first-class symbolic inputs in generated test cases.
+  const std::string key(label);
+  const std::uint32_t n = state.symbolicCounters[key]++;
+  const std::string name = "n" + std::to_string(state.node()) + "." + key +
+                           "." + std::to_string(n);
+  const expr::Ref var = ctx_.variable(name, 1);
+  state.symbolics.push_back(var);
+  return var;
+}
+
+void Engine::appendRecvRecord(ExecutionState& state,
+                              const vm::PendingEvent& event) {
+  net::Packet view;
+  view.payload = event.payload;
+  state.commLog.push_back({/*sent=*/false, static_cast<NodeId>(event.a),
+                           event.time, view.payloadHash(), event.b});
+}
+
+void Engine::deliver(ExecutionState& state, const vm::PendingEvent& event) {
+  os::dispatchEvent(ctx_, interp_, state, event, interpSink_);
+}
+
+void Engine::processEvent(ExecutionState& state, vm::PendingEvent event) {
+  virtualNow_ = std::max(virtualNow_, event.time);
+  touched_.push_back(&state);
+
+  if (event.kind != vm::EventKind::kRecv) {
+    deliver(state, event);
+    return;
+  }
+
+  // Network failure injection (§IV-A): consulted per delivery, above the
+  // mapping layer. The radio reception itself happened in every branch —
+  // the communication history stays conflict-free — and the symbolic
+  // failure variable decides what the node's stack observes.
+  net::Packet view;
+  view.id = event.b;
+  view.src = static_cast<NodeId>(event.a);
+  view.dst = state.node();
+  view.payload = event.payload;
+  const net::FailureDecision decision =
+      failureModel_->onDelivery(state, view);
+
+  if (decision.kind == net::FailureKind::kNone) {
+    appendRecvRecord(state, event);
+    deliver(state, event);
+    return;
+  }
+
+  const expr::Ref failVar = makeFailureVariable(state, decision.label);
+  appendRecvRecord(state, event);
+  // Local-branch fork: the mapper treats failure forks exactly like
+  // program branches (they are triggered by local state only).
+  ExecutionState& failing = forkLocal(state);
+  state.constraints.add(ctx_.logicalNot(failVar));
+  failing.constraints.add(failVar);
+  stats_.bump("engine.failure_forks");
+
+  switch (decision.kind) {
+    case net::FailureKind::kDrop:
+      // `state` processes the packet; `failing` saw the radio receive it
+      // but the stack dropped it — no handler runs.
+      deliver(state, event);
+      break;
+    case net::FailureKind::kDuplicate:
+      deliver(state, event);
+      if (!failing.isTerminal()) {
+        deliver(failing, event);  // first copy
+        if (!failing.isTerminal()) {
+          vm::PendingEvent dup = event;
+          deliver(failing, dup);  // duplicated delivery
+        }
+      }
+      break;
+    case net::FailureKind::kReboot:
+      deliver(state, event);
+      if (!failing.isTerminal()) os::reboot(ctx_, failing, event.time);
+      break;
+    case net::FailureKind::kNone:
+      SDE_UNREACHABLE("handled above");
+  }
+}
+
+std::optional<RunOutcome> Engine::checkCaps() {
+  if (config_.maxStates != 0 && states_.size() >= config_.maxStates)
+    return RunOutcome::kAbortedStates;
+  if (config_.maxEvents != 0 && eventsProcessed_ >= config_.maxEvents)
+    return RunOutcome::kAbortedEvents;
+  if (config_.maxWallSeconds != 0 && wallSeconds() >= config_.maxWallSeconds)
+    return RunOutcome::kAbortedWallTime;
+  return std::nullopt;
+}
+
+void Engine::sampleAndCheck() {
+  if (sampler_) sampler_(*this);
+  if (config_.checkInvariants) mapper_->checkInvariants();
+}
+
+RunOutcome Engine::run(std::uint64_t untilVirtualTime) {
+  if (!booted_) boot();
+  running_ = true;
+  runStart_ = std::chrono::steady_clock::now();
+  RunOutcome outcome = RunOutcome::kCompleted;
+
+  const auto resolve = [this](StateId id) -> ExecutionState* {
+    const auto it = byId_.find(id);
+    return it == byId_.end() ? nullptr : it->second;
+  };
+
+  std::uint64_t nextSampleAt = eventsProcessed_;
+  const auto sampleGap = [this]() -> std::uint64_t {
+    const std::uint64_t base = std::max<std::uint64_t>(
+        config_.sampleEveryEvents, 1);
+    if (!config_.adaptiveSampling) return base;
+    return std::max<std::uint64_t>(base, states_.size() / 8);
+  };
+
+  while (true) {
+    if (const auto aborted = checkCaps()) {
+      outcome = *aborted;
+      break;
+    }
+    if (eventsProcessed_ >= nextSampleAt) {
+      // The memory meter walks all live state, so it only runs at
+      // sampling points (the cap may overshoot by up to one gap).
+      if (config_.maxSimulatedMemoryBytes != 0 &&
+          simulatedMemoryBytes() >= config_.maxSimulatedMemoryBytes) {
+        outcome = RunOutcome::kAbortedMemory;
+        break;
+      }
+      sampleAndCheck();
+      nextSampleAt = eventsProcessed_ + sampleGap();
+    }
+
+    auto popped = scheduler_.pop(untilVirtualTime, resolve);
+    if (!popped) break;
+
+    touched_.clear();
+    processEvent(*popped->state, std::move(popped->event));
+    ++eventsProcessed_;
+    stats_.bump("engine.events");
+
+    // Re-register every state whose timeline changed (the dispatched
+    // state, forked siblings, delivery receivers). Duplicate heap
+    // entries are validated away on pop.
+    std::sort(touched_.begin(), touched_.end(),
+              [](const ExecutionState* a, const ExecutionState* b) {
+                return a->id() < b->id();
+              });
+    touched_.erase(std::unique(touched_.begin(), touched_.end()),
+                   touched_.end());
+    for (ExecutionState* state : touched_) scheduler_.registerState(*state);
+  }
+
+  if (outcome == RunOutcome::kCompleted)
+    virtualNow_ = std::max(virtualNow_, untilVirtualTime);
+  sampleAndCheck();
+  running_ = false;
+  wallSecondsAccumulated_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    runStart_)
+          .count();
+  stats_.maxOf("engine.peak_memory_bytes", simulatedMemoryBytes());
+  return outcome;
+}
+
+double Engine::wallSeconds() const {
+  double total = wallSecondsAccumulated_;
+  if (running_)
+    total += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           runStart_)
+                 .count();
+  return total;
+}
+
+std::uint64_t Engine::numLiveStates() const {
+  return static_cast<std::uint64_t>(
+      std::count_if(states_.begin(), states_.end(), [](const auto& state) {
+        return !state->isTerminal();
+      }));
+}
+
+std::vector<ExecutionState*> Engine::statesOfNode(NodeId node) const {
+  std::vector<ExecutionState*> result;
+  for (const auto& state : states_)
+    if (state->node() == node) result.push_back(state.get());
+  return result;
+}
+
+std::uint64_t Engine::simulatedMemoryBytes() const {
+  std::map<const void*, std::uint64_t> seen;
+  std::uint64_t total = 0;
+  for (const auto& state : states_) {
+    total += stateOverheadBytes(*state);
+    total += state->space.accountBytes(seen);
+  }
+  return total;
+}
+
+}  // namespace sde

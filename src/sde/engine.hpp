@@ -1,0 +1,192 @@
+// The SDE engine: KleeNet's equivalent. Simulates a complete distributed
+// system in a single process (paper §IV): it starts with k states — one
+// per node — executes events in virtual-time order, forks states at
+// symbolic branches, injects symbolic network failures, and delegates
+// every packet transmission to a pluggable state-mapping algorithm
+// (COB / COW / SDS).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "net/failure.hpp"
+#include "os/events.hpp"
+#include "os/node.hpp"
+#include "os/runtime.hpp"
+#include "sde/mapper.hpp"
+#include "sde/scheduler.hpp"
+
+namespace sde {
+
+struct EngineConfig {
+  // Virtual-time units a packet spends in flight per hop.
+  std::uint64_t linkLatency = 1;
+  // Resource caps emulating the paper's 40 GB abort of COB (0 = off).
+  std::uint64_t maxStates = 0;
+  std::uint64_t maxSimulatedMemoryBytes = 0;
+  std::uint64_t maxEvents = 0;  // guards against event storms (broadcast
+                                // loops produce exponentially many packets
+                                // without creating new states)
+  double maxWallSeconds = 0;
+  // Metric sampling / memory-cap checking cadence, in processed events.
+  std::uint64_t sampleEveryEvents = 16;
+  // Grow the sampling gap with the state count (a full sample walks all
+  // states, so fixed-cadence sampling turns quadratic on large runs).
+  // Disable for tests that must observe every event. State- and
+  // wall-clock caps are still checked on every event; only the memory
+  // cap is evaluated at sampling points.
+  bool adaptiveSampling = true;
+  // Run full structural + conflict-freeness checks after every event
+  // (quadratic; tests and small scenarios only).
+  bool checkInvariants = false;
+  vm::InterpConfig interp;
+  solver::SolverConfig solver;
+};
+
+enum class RunOutcome : std::uint8_t {
+  kCompleted,        // all events up to the horizon processed
+  kAbortedStates,    // state cap hit
+  kAbortedMemory,    // simulated-memory cap hit
+  kAbortedEvents,    // event cap hit
+  kAbortedWallTime,  // wall-clock cap hit
+};
+
+[[nodiscard]] std::string_view runOutcomeName(RunOutcome outcome);
+
+class Engine {
+ public:
+  Engine(const os::NetworkPlan& plan, MapperKind mapperKind,
+         EngineConfig config = {});
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- Configuration (before the first run() call) -------------------------
+  void setFailureModel(std::unique_ptr<net::FailureModel> model);
+  // Preconfigures globals[slot] = value on `node` at boot — how routes
+  // and roles reach node programs (the paper's "preconfigured data
+  // path", Figure 9).
+  void setBootGlobal(net::NodeId node, std::uint64_t slot,
+                     std::uint64_t value);
+
+  // Observer invoked every `sampleEveryEvents` processed events and once
+  // at the end of each run (metric recording for the benches).
+  using Sampler = std::function<void(const Engine&)>;
+  void setSampler(Sampler sampler) { sampler_ = std::move(sampler); }
+
+  // --- Execution -------------------------------------------------------------
+  // Processes all events with time <= `untilVirtualTime`. May be called
+  // repeatedly with increasing horizons.
+  RunOutcome run(std::uint64_t untilVirtualTime);
+
+  // --- Introspection -----------------------------------------------------------
+  [[nodiscard]] std::uint64_t numStates() const { return states_.size(); }
+  [[nodiscard]] std::uint64_t numLiveStates() const;
+  [[nodiscard]] const std::deque<std::unique_ptr<ExecutionState>>& states()
+      const {
+    return states_;
+  }
+  [[nodiscard]] std::vector<ExecutionState*> statesOfNode(NodeId node) const;
+
+  [[nodiscard]] StateMapper& mapper() { return *mapper_; }
+  [[nodiscard]] const StateMapper& mapper() const { return *mapper_; }
+  [[nodiscard]] expr::Context& context() { return ctx_; }
+  [[nodiscard]] solver::Solver& solver() { return solver_; }
+  [[nodiscard]] const net::Topology& topology() const {
+    return plan_.topology();
+  }
+
+  [[nodiscard]] std::uint64_t virtualNow() const { return virtualNow_; }
+  [[nodiscard]] std::uint64_t eventsProcessed() const {
+    return eventsProcessed_;
+  }
+  // Wall-clock time spent inside run(), cumulative.
+  [[nodiscard]] double wallSeconds() const;
+
+  // Bytes of state the run holds, with copy-on-write sharing attributed
+  // once (the paper's "RAM" axis, deterministically).
+  [[nodiscard]] std::uint64_t simulatedMemoryBytes() const;
+
+  [[nodiscard]] support::StatsRegistry& stats() { return stats_; }
+  [[nodiscard]] const support::StatsRegistry& stats() const { return stats_; }
+  [[nodiscard]] const support::StatsRegistry& interpStats() const {
+    return interp_.stats();
+  }
+  [[nodiscard]] const support::StatsRegistry& solverStats() const {
+    return solver_.stats();
+  }
+
+ private:
+  // Interpreter callbacks: a fork here is a *local symbolic branch*, so
+  // the mapper is notified (COB reacts by forking the whole dscenario).
+  class InterpSink final : public vm::EffectSink {
+   public:
+    explicit InterpSink(Engine& engine) : engine_(engine) {}
+    ExecutionState& forkState(ExecutionState& original) override;
+    void onSend(ExecutionState& sender, NodeId dst,
+                std::vector<expr::Ref> payload) override;
+    void onLog(ExecutionState& state, std::string_view message,
+               expr::Ref value) override;
+
+   private:
+    Engine& engine_;
+  };
+
+  // Mapper services: forks performed *by* the mapping algorithm are pure
+  // clones — no re-notification (that would recurse).
+  class Runtime final : public MapperRuntime {
+   public:
+    explicit Runtime(Engine& engine) : engine_(engine) {}
+    ExecutionState& forkState(ExecutionState& original) override;
+    support::StatsRegistry& stats() override;
+
+   private:
+    Engine& engine_;
+  };
+
+  void boot();
+  void processEvent(ExecutionState& state, vm::PendingEvent event);
+  void deliver(ExecutionState& state, const vm::PendingEvent& event);
+  // The local-branch fork path (interpreter and failure models).
+  ExecutionState& forkLocal(ExecutionState& original);
+  void sendOne(ExecutionState& sender, NodeId dst,
+               const std::vector<expr::Ref>& payload);
+  ExecutionState& cloneInternal(ExecutionState& original);
+  expr::Ref makeFailureVariable(ExecutionState& state, std::string_view label);
+  void appendRecvRecord(ExecutionState& state, const vm::PendingEvent& event);
+  void sampleAndCheck();
+  [[nodiscard]] std::optional<RunOutcome> checkCaps();
+
+  os::NetworkPlan plan_;
+  EngineConfig config_;
+  expr::Context ctx_;
+  solver::Solver solver_;
+  vm::Interpreter interp_;
+  std::unique_ptr<StateMapper> mapper_;
+  std::unique_ptr<net::FailureModel> failureModel_;
+  Scheduler scheduler_;
+  Sampler sampler_;
+  support::StatsRegistry stats_;
+  InterpSink interpSink_;
+  Runtime mapperRuntime_;
+
+  std::deque<std::unique_ptr<ExecutionState>> states_;
+  std::unordered_map<StateId, ExecutionState*> byId_;
+  std::unordered_map<NodeId, std::unordered_map<std::uint64_t, std::uint64_t>>
+      bootGlobals_;
+
+  std::vector<ExecutionState*> touched_;  // re-register after each event
+  bool booted_ = false;
+  StateId nextStateId_ = 0;
+  std::uint64_t nextPacketId_ = 1;
+  std::uint64_t virtualNow_ = 0;
+  std::uint64_t eventsProcessed_ = 0;
+  double wallSecondsAccumulated_ = 0;
+  std::chrono::steady_clock::time_point runStart_{};
+  bool running_ = false;
+};
+
+}  // namespace sde

@@ -1,0 +1,34 @@
+#include "sde/mapper.hpp"
+
+#include "sde/cob.hpp"
+#include "sde/cow.hpp"
+#include "sde/sds.hpp"
+
+namespace sde {
+
+std::string_view mapperKindName(MapperKind kind) {
+  switch (kind) {
+    case MapperKind::kCob:
+      return "COB";
+    case MapperKind::kCow:
+      return "COW";
+    case MapperKind::kSds:
+      return "SDS";
+  }
+  return "?";
+}
+
+std::unique_ptr<StateMapper> makeMapper(MapperKind kind,
+                                        std::uint32_t numNodes) {
+  switch (kind) {
+    case MapperKind::kCob:
+      return std::make_unique<CobMapper>(numNodes);
+    case MapperKind::kCow:
+      return std::make_unique<CowMapper>(numNodes);
+    case MapperKind::kSds:
+      return std::make_unique<SdsMapper>(numNodes);
+  }
+  SDE_UNREACHABLE("unknown mapper kind");
+}
+
+}  // namespace sde

@@ -1,0 +1,83 @@
+// The state-mapping interface (the paper's core abstraction, §III).
+//
+// A mapping algorithm answers one question — when an execution state
+// transmits a packet, which states on the destination node receive it —
+// and maintains whatever grouping structure (dscenarios, dstates,
+// virtual states) it needs to answer consistently. It reacts to exactly
+// two stimuli, matching the paper's reactive model (§III-D): local
+// symbolic branches and packet transmissions. It never inspects state
+// configurations or packet contents.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sde/dstate.hpp"
+#include "support/stats.hpp"
+
+namespace sde {
+
+// Engine services available to mapping algorithms. Forking through the
+// runtime registers the clone with the engine (id assignment, scheduler,
+// metrics) but does NOT re-notify the mapper.
+class MapperRuntime {
+ public:
+  virtual ~MapperRuntime() = default;
+  virtual ExecutionState& forkState(ExecutionState& original) = 0;
+  virtual support::StatsRegistry& stats() = 0;
+};
+
+class StateMapper {
+ public:
+  virtual ~StateMapper() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  // Called once with the initial k states (exactly one per node, ordered
+  // by node id).
+  virtual void registerInitialStates(
+      std::span<ExecutionState* const> states) = 0;
+
+  // `original` forked into `sibling` at a local symbolic branch (the
+  // sibling is already registered with the engine). COB resolves the
+  // one-state-per-node-per-dscenario invariant here; COW and SDS merely
+  // record membership.
+  virtual void onLocalBranch(ExecutionState& original,
+                             ExecutionState& sibling,
+                             MapperRuntime& runtime) = 0;
+
+  // `sender` transmits `packet` (dst = packet.dst). Performs conflict
+  // resolution and returns the states that receive the packet. Every
+  // returned state is a live state of node packet.dst.
+  [[nodiscard]] virtual std::vector<ExecutionState*> onTransmit(
+      ExecutionState& sender, const net::Packet& packet,
+      MapperRuntime& runtime) = 0;
+
+  // Number of groups (dscenarios for COB, dstates for COW/SDS) currently
+  // representing the distributed execution.
+  [[nodiscard]] virtual std::uint64_t numGroups() const = 0;
+
+  // The per-node member choices of each group: result[g][n] lists the
+  // states a dscenario drawn from group g may use for node n (always a
+  // singleton for COB). The dscenarios a group represents are exactly
+  // the cartesian product of its per-node choices — the "deliberate
+  // state explosion" of §IV-C builds on this (see sde/explode.hpp).
+  [[nodiscard]] virtual std::vector<std::vector<std::vector<ExecutionState*>>>
+  groupChoices() const = 0;
+
+  // Structural self-check; fires SDE_ASSERT on violation (used by tests
+  // and the engine's checkInvariants mode).
+  virtual void checkInvariants() const = 0;
+};
+
+enum class MapperKind : std::uint8_t { kCob, kCow, kSds };
+
+[[nodiscard]] std::string_view mapperKindName(MapperKind kind);
+[[nodiscard]] std::unique_ptr<StateMapper> makeMapper(MapperKind kind,
+                                                      std::uint32_t numNodes);
+
+}  // namespace sde

@@ -1,0 +1,56 @@
+#include "sde/partition.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace sde {
+
+PartitionReport partitionStates(const StateMapper& mapper) {
+  const auto groups = mapper.groupChoices();
+
+  // Union-find over state pointers, joined through group membership.
+  std::unordered_map<const ExecutionState*, std::size_t> indexOf;
+  std::vector<std::size_t> parent;
+  const auto indexFor = [&](const ExecutionState* state) {
+    const auto [it, inserted] = indexOf.emplace(state, parent.size());
+    if (inserted) parent.push_back(it->second);
+    return it->second;
+  };
+  const auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  for (const auto& group : groups) {
+    std::size_t anchor = SIZE_MAX;
+    for (const auto& choices : group) {
+      for (const ExecutionState* state : choices) {
+        const std::size_t idx = indexFor(state);
+        if (anchor == SIZE_MAX) {
+          anchor = idx;
+          continue;
+        }
+        const std::size_t rootA = find(anchor);
+        const std::size_t rootB = find(idx);
+        if (rootA != rootB) parent[std::max(rootA, rootB)] = std::min(rootA, rootB);
+      }
+    }
+  }
+
+  std::unordered_map<std::size_t, std::size_t> componentSize;
+  for (std::size_t i = 0; i < parent.size(); ++i) ++componentSize[find(i)];
+
+  PartitionReport report;
+  report.states = parent.size();
+  report.components = componentSize.size();
+  report.sizes.reserve(componentSize.size());
+  for (const auto& [root, size] : componentSize) report.sizes.push_back(size);
+  std::sort(report.sizes.rbegin(), report.sizes.rend());
+  report.largestComponent = report.sizes.empty() ? 0 : report.sizes.front();
+  return report;
+}
+
+}  // namespace sde

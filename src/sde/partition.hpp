@@ -1,0 +1,43 @@
+// Parallelisation analysis (paper §VI, future work): "For the
+// parallelization, we have to identify the sets of states which can be
+// safely offloaded on other cores and thus can be independently
+// executed."
+//
+// Two execution states can interact only through a shared group (a
+// transmission inside a dstate forks/delivers to members of that dstate;
+// COB analogously within a dscenario). Groups created later are always
+// carved out of existing ones, so connected components of the
+// state–group membership graph never merge: each component is a unit of
+// work that can run on its own core without synchronisation. This module
+// computes that partition; bench_partition tracks how much parallelism
+// each mapping algorithm exposes over a run.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sde/mapper.hpp"
+
+namespace sde {
+
+struct PartitionReport {
+  std::size_t states = 0;
+  std::size_t components = 0;
+  std::size_t largestComponent = 0;
+  // Component sizes, descending.
+  std::vector<std::size_t> sizes;
+
+  // Upper bound on parallel speedup with perfectly balanced scheduling
+  // of whole components: total / largest.
+  [[nodiscard]] double maxSpeedup() const {
+    return largestComponent == 0
+               ? 1.0
+               : static_cast<double>(states) /
+                     static_cast<double>(largestComponent);
+  }
+};
+
+// Partitions the mapper's states into independently executable sets.
+[[nodiscard]] PartitionReport partitionStates(const StateMapper& mapper);
+
+}  // namespace sde

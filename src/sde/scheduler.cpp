@@ -1,0 +1,13 @@
+#include "sde/scheduler.hpp"
+
+namespace sde {
+
+void Scheduler::registerState(const vm::ExecutionState& state) {
+  for (const vm::PendingEvent& event : state.pendingEvents) {
+    heap_.push(Entry{event.time, state.node(),
+                     static_cast<std::uint8_t>(event.kind), event.seq,
+                     state.id()});
+  }
+}
+
+}  // namespace sde

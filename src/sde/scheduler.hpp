@@ -1,0 +1,86 @@
+// Global discrete-event scheduler over per-state event queues.
+//
+// States own their pending events (so forking a state clones its
+// timeline); the scheduler maintains a lazily-invalidated global heap of
+// (time, node, kind, seq, state) keys. Stale entries — events already
+// consumed, timers re-armed, duplicate registrations after a fork — are
+// detected on pop by re-validating against the owning state. Ordering is
+// fully deterministic: (time, node, kind, seq, stateId).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "vm/state.hpp"
+
+namespace sde {
+
+class Scheduler {
+ public:
+  struct Entry {
+    std::uint64_t time = 0;
+    vm::NodeId node = 0;
+    std::uint8_t kind = 0;
+    std::uint64_t seq = 0;
+    vm::StateId state = 0;
+
+    // Min-heap by (time, node, kind, seq, state).
+    [[nodiscard]] bool after(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      if (node != other.node) return node > other.node;
+      if (kind != other.kind) return kind > other.kind;
+      if (seq != other.seq) return seq > other.seq;
+      return state > other.state;
+    }
+  };
+
+  // Registers every pending event of `state`. Duplicate registrations
+  // are harmless (validated on pop).
+  void registerState(const vm::ExecutionState& state);
+
+  // Pops the next valid entry with time <= horizon. `resolve` maps a
+  // StateId to the live state (nullptr if the state no longer exists or
+  // is terminal). The matching PendingEvent is *removed* from the state
+  // and returned.
+  struct Popped {
+    vm::ExecutionState* state = nullptr;
+    vm::PendingEvent event;
+  };
+  template <typename Resolve>
+  std::optional<Popped> pop(std::uint64_t horizon, Resolve&& resolve) {
+    while (!heap_.empty()) {
+      const Entry top = heap_.top();
+      if (top.time > horizon) return std::nullopt;
+      heap_.pop();
+      vm::ExecutionState* state = resolve(top.state);
+      if (state == nullptr || state->isTerminal()) continue;
+      const auto it = std::find_if(
+          state->pendingEvents.begin(), state->pendingEvents.end(),
+          [&](const vm::PendingEvent& e) {
+            return e.seq == top.seq && e.time == top.time &&
+                   static_cast<std::uint8_t>(e.kind) == top.kind;
+          });
+      if (it == state->pendingEvents.end()) continue;  // stale entry
+      Popped popped{state, std::move(*it)};
+      state->pendingEvents.erase(it);
+      return popped;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool maybeEmpty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t heapSize() const { return heap_.size(); }
+
+ private:
+  struct After {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.after(b);
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, After> heap_;
+};
+
+}  // namespace sde

@@ -1,0 +1,243 @@
+#include "sde/sds.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sde {
+
+namespace {
+
+// Erase by value from a small vector (order-preserving).
+template <typename T>
+void eraseValue(std::vector<T*>& vec, const T* value) {
+  const auto it = std::find(vec.begin(), vec.end(), value);
+  SDE_ASSERT(it != vec.end(), "value not present");
+  vec.erase(it);
+}
+
+}  // namespace
+
+SdsMapper::VState& SdsMapper::newVirtual(ExecutionState* actual,
+                                         VDState& dstate) {
+  VState& v = virtualPool_.emplace_back();
+  v.id = nextVirtualId_++;
+  v.actual = actual;
+  v.dstate = &dstate;
+  dstate.byNode[actual->node()].push_back(&v);
+  byActual_[actual].push_back(&v);
+  ++liveVirtuals_;
+  return v;
+}
+
+void SdsMapper::removeFromDstate(VState& v) {
+  eraseValue(v.dstate->byNode[v.actual->node()], &v);
+}
+
+void SdsMapper::moveVirtual(VState& v, VDState& dstate) {
+  removeFromDstate(v);
+  v.dstate = &dstate;
+  dstate.byNode[v.actual->node()].push_back(&v);
+}
+
+void SdsMapper::rebindVirtual(VState& v, ExecutionState* actual) {
+  SDE_ASSERT(actual->node() == v.actual->node(),
+             "rebind must stay on the same node");
+  eraseValue(byActual_[v.actual], &v);
+  // Within the dstate the slot is per-node, so the membership list does
+  // not change — only the actual-state binding.
+  v.actual = actual;
+  byActual_[actual].push_back(&v);
+}
+
+std::vector<SdsMapper::VState*>& SdsMapper::virtualsOf(
+    const ExecutionState& state) {
+  const auto it = byActual_.find(&state);
+  SDE_ASSERT(it != byActual_.end(), "state not registered with SDS");
+  return it->second;
+}
+
+void SdsMapper::registerInitialStates(
+    std::span<ExecutionState* const> states) {
+  SDE_ASSERT(states.size() == numNodes_, "need exactly one state per node");
+  VDState& dstate = dstates_.emplace_back();
+  dstate.id = nextDstateId_++;
+  dstate.byNode.resize(numNodes_);
+  for (ExecutionState* state : states) newVirtual(state, dstate);
+}
+
+void SdsMapper::onLocalBranch(ExecutionState& original,
+                              ExecutionState& sibling, MapperRuntime&) {
+  // COW semantics lifted to virtual states: the sibling joins every
+  // dstate the original inhabits (they share one communication history).
+  const std::vector<VState*> snapshot = virtualsOf(original);
+  for (VState* vo : snapshot) newVirtual(&sibling, *vo->dstate);
+}
+
+std::vector<ExecutionState*> SdsMapper::onTransmit(ExecutionState& sender,
+                                                   const net::Packet& packet,
+                                                   MapperRuntime& runtime) {
+  runtime.stats().bump("map.transmissions");
+  const NodeId src = sender.node();
+  const NodeId dst = packet.dst;
+  SDE_ASSERT(dst < numNodes_, "destination out of range");
+
+  // Phase 1+2 (paper §III-C.1/2): identify the sending virtual states,
+  // their dstates, and — per dstate — whether direct rivals exist.
+  const std::vector<VState*> sendingVirtuals = virtualsOf(sender);
+  std::unordered_set<const VDState*> senderDstates;
+  for (const VState* vs : sendingVirtuals) senderDstates.insert(vs->dstate);
+  SDE_ASSERT(senderDstates.size() == sendingVirtuals.size(),
+             "a dstate may contain at most one virtual per actual state");
+
+  auto hasDirectRivals = [&](const VDState& dstate) {
+    // Any node-src virtual besides the sender's own is a direct rival.
+    return dstate.byNode[src].size() > 1;
+  };
+
+  // Target actual states: actuals of destination-node virtuals in the
+  // sender's dstates (deterministic order: by dstate, then slot order).
+  std::vector<ExecutionState*> targets;
+  for (const VState* vs : sendingVirtuals)
+    for (const VState* vt : vs->dstate->byNode[dst])
+      if (std::find(targets.begin(), targets.end(), vt->actual) ==
+          targets.end())
+        targets.push_back(vt->actual);
+  SDE_ASSERT(!targets.empty(), "every dstate covers the destination node");
+
+  // Phase 3 (forking condition): a target forks iff any of its virtual
+  // states lives in a dstate that either lacks a sending virtual (its
+  // node-src members are super-rivals, Figure 7) or has direct rivals.
+  // A terminal target never forks: a crashed node absorbs the packet.
+  struct TargetFork {
+    ExecutionState* receiving = nullptr;
+    ExecutionState* nonReceiving = nullptr;  // nullptr: not forked
+  };
+  std::unordered_map<const ExecutionState*, TargetFork> forkOf;
+
+  std::vector<ExecutionState*> receivers;
+  for (ExecutionState* target : targets) {
+    bool needFork = false;
+    if (!target->isTerminal()) {
+      for (const VState* vt : virtualsOf(*target)) {
+        const VDState& dstate = *vt->dstate;
+        if (!senderDstates.contains(&dstate) || hasDirectRivals(dstate)) {
+          needFork = true;
+          break;
+        }
+      }
+    }
+    TargetFork fork;
+    fork.receiving = target;
+    if (needFork) {
+      fork.nonReceiving = &runtime.forkState(*target);
+      runtime.stats().bump("map.targets_forked");
+      // Phase 4a: virtual states of the target in super-rival dstates
+      // (no sending virtual there) migrate to the non-receiving copy —
+      // no virtual forking, the dstate itself is untouched (Figure 7).
+      const std::vector<VState*> snapshot = virtualsOf(*target);
+      for (VState* vt : snapshot)
+        if (!senderDstates.contains(vt->dstate))
+          rebindVirtual(*vt, fork.nonReceiving);
+    }
+    forkOf[target] = fork;
+    receivers.push_back(fork.receiving);
+  }
+
+  // Phase 4b: per sender-dstate with direct rivals, run COW at the
+  // virtual level (Figure 8): the sending virtual moves to a fresh
+  // dstate; original virtual targets re-bind to the non-receiving
+  // copies; fresh virtual-target copies bind to the receiving states;
+  // bystanders just gain a virtual in the fresh dstate — their actual
+  // states are never forked (the SDS payoff).
+  for (VState* vs : sendingVirtuals) {
+    VDState& old = *vs->dstate;
+    if (!hasDirectRivals(old)) continue;  // delivery happens in place
+    runtime.stats().bump("map.sds.virtual_conflict_resolutions");
+
+    VDState& fresh = dstates_.emplace_back();
+    fresh.id = nextDstateId_++;
+    fresh.byNode.resize(numNodes_);
+    moveVirtual(*vs, fresh);
+
+    for (NodeId node = 0; node < numNodes_; ++node) {
+      if (node == src) continue;  // direct rivals stay behind
+      const std::vector<VState*> snapshot = old.byNode[node];
+      for (VState* v : snapshot) {
+        if (node == dst) {
+          const auto it = forkOf.find(v->actual);
+          SDE_ASSERT(it != forkOf.end(), "virtual target missing fork entry");
+          const TargetFork& fork = it->second;
+          // Copy receives (binds to the receiving state); the original
+          // stays in `old`, bound to the non-receiving copy.
+          newVirtual(fork.receiving, fresh);
+          if (fork.nonReceiving != nullptr)
+            rebindVirtual(*v, fork.nonReceiving);
+          runtime.stats().bump("map.sds.virtual_targets_forked");
+        } else {
+          newVirtual(v->actual, fresh);  // bystander: a reference, no fork
+          runtime.stats().bump("map.sds.virtual_bystanders_forked");
+        }
+      }
+    }
+  }
+
+  return receivers;
+}
+
+std::vector<std::vector<std::vector<ExecutionState*>>>
+SdsMapper::groupChoices() const {
+  std::vector<std::vector<std::vector<ExecutionState*>>> result;
+  result.reserve(dstates_.size());
+  for (const VDState& dstate : dstates_) {
+    std::vector<std::vector<ExecutionState*>> group;
+    group.reserve(numNodes_);
+    for (NodeId node = 0; node < numNodes_; ++node) {
+      std::vector<ExecutionState*> choices;
+      choices.reserve(dstate.byNode[node].size());
+      for (const VState* v : dstate.byNode[node]) choices.push_back(v->actual);
+      group.push_back(std::move(choices));
+    }
+    result.push_back(std::move(group));
+  }
+  return result;
+}
+
+std::size_t SdsMapper::superDstateSize(const ExecutionState& s) const {
+  const auto it = byActual_.find(&s);
+  return it == byActual_.end() ? 0 : it->second.size();
+}
+
+void SdsMapper::checkInvariants() const {
+  std::size_t totalVirtuals = 0;
+  for (const VDState& dstate : dstates_) {
+    SDE_ASSERT(dstate.byNode.size() == numNodes_, "dstate shape");
+    StateGroup actuals(numNodes_);
+    std::unordered_set<const ExecutionState*> distinct;
+    for (NodeId node = 0; node < numNodes_; ++node) {
+      SDE_ASSERT(!dstate.byNode[node].empty(),
+                 "dstate must have >= 1 virtual per node");
+      for (const VState* v : dstate.byNode[node]) {
+        ++totalVirtuals;
+        SDE_ASSERT(v->dstate == &dstate, "virtual's dstate link broken");
+        SDE_ASSERT(v->actual->node() == node, "virtual on the wrong node");
+        SDE_ASSERT(distinct.insert(v->actual).second,
+                   "two virtuals of one dstate share an actual state");
+        actuals.add(v->actual);
+        // Cross-check the byActual_ index.
+        const auto it = byActual_.find(v->actual);
+        SDE_ASSERT(it != byActual_.end() &&
+                       std::find(it->second.begin(), it->second.end(), v) !=
+                           it->second.end(),
+                   "byActual_ index out of sync");
+      }
+    }
+    SDE_ASSERT(countConflicts(actuals) == 0,
+               "dstate actuals must be pairwise conflict-free");
+  }
+  SDE_ASSERT(totalVirtuals == liveVirtuals_, "virtual count out of sync");
+  for (const auto& [actual, virtuals] : byActual_)
+    SDE_ASSERT(!virtuals.empty(),
+               "every state must have at least one virtual state");
+}
+
+}  // namespace sde

@@ -1,0 +1,77 @@
+// Super DStates (paper §III-C) — the paper's contribution.
+//
+// SDS is COW executed on *virtual states*: lightweight references to
+// actual execution states. Each virtual state belongs to exactly one
+// dstate; an actual state can have many virtual states, and the set of
+// dstates its virtuals inhabit is its super-dstate. On a transmission,
+// only target states are ever forked (at most once each); bystanders
+// merely gain a virtual state in the newly created dstate. This removes
+// the bystander duplication that dominates COW's cost on large networks
+// while representing exactly the same set of dscenarios.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "sde/mapper.hpp"
+
+namespace sde {
+
+class SdsMapper final : public StateMapper {
+ public:
+  explicit SdsMapper(std::uint32_t numNodes) : numNodes_(numNodes) {}
+
+  [[nodiscard]] std::string_view name() const override { return "SDS"; }
+
+  void registerInitialStates(
+      std::span<ExecutionState* const> states) override;
+  void onLocalBranch(ExecutionState& original, ExecutionState& sibling,
+                     MapperRuntime& runtime) override;
+  [[nodiscard]] std::vector<ExecutionState*> onTransmit(
+      ExecutionState& sender, const net::Packet& packet,
+      MapperRuntime& runtime) override;
+
+  [[nodiscard]] std::uint64_t numGroups() const override {
+    return dstates_.size();
+  }
+  [[nodiscard]] std::vector<std::vector<std::vector<ExecutionState*>>>
+  groupChoices() const override;
+  void checkInvariants() const override;
+
+  // Test hooks.
+  [[nodiscard]] std::size_t numVirtualStates() const { return liveVirtuals_; }
+  [[nodiscard]] std::size_t superDstateSize(const ExecutionState& s) const;
+
+ private:
+  struct VDState;
+
+  struct VState {
+    std::uint64_t id = 0;
+    ExecutionState* actual = nullptr;
+    VDState* dstate = nullptr;  // exactly one (the defining invariant)
+  };
+
+  struct VDState {
+    std::uint64_t id = 0;
+    std::vector<std::vector<VState*>> byNode;
+  };
+
+  VState& newVirtual(ExecutionState* actual, VDState& dstate);
+  // Moves `v` to `dstate` (removing it from its current one).
+  void moveVirtual(VState& v, VDState& dstate);
+  // Re-binds `v` to a different actual state (same dstate).
+  void rebindVirtual(VState& v, ExecutionState* actual);
+  void removeFromDstate(VState& v);
+
+  [[nodiscard]] std::vector<VState*>& virtualsOf(const ExecutionState& state);
+
+  std::uint32_t numNodes_;
+  std::deque<VState> virtualPool_;
+  std::deque<VDState> dstates_;
+  std::unordered_map<const ExecutionState*, std::vector<VState*>> byActual_;
+  std::uint64_t nextVirtualId_ = 0;
+  std::uint64_t nextDstateId_ = 0;
+  std::size_t liveVirtuals_ = 0;
+};
+
+}  // namespace sde

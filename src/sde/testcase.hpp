@@ -1,0 +1,52 @@
+// Concrete test-case generation — the payoff of symbolic execution
+// (paper §II-A, Figure 1): solving a path's constraints yields input
+// values that replay exactly that path. For distributed runs a test case
+// spans a dscenario: one consistent assignment for every symbolic input
+// of every node (failure decisions included, since those are ordinary
+// symbolic variables).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sde/dstate.hpp"
+#include "solver/solver.hpp"
+
+namespace sde {
+
+struct TestCaseInput {
+  std::string name;      // e.g. "n7.netdrop.0"
+  unsigned width = 1;    // bits
+  std::uint64_t value = 0;
+};
+
+struct TestCase {
+  StateId state = 0;
+  NodeId node = 0;
+  std::vector<TestCaseInput> inputs;
+  // Non-empty when this path ended in an assertion failure — the test
+  // case then reproduces a bug.
+  std::string failureMessage;
+};
+
+// Test case for a single state's path. nullopt only if the constraints
+// are unsatisfiable (which the engine's branch feasibility checks rule
+// out for states it created) or the solver budget was exhausted.
+[[nodiscard]] std::optional<TestCase> generateTestCase(
+    solver::Solver& solver, const ExecutionState& state);
+
+// Test cases for a whole dscenario: the member states' constraints are
+// solved *jointly*, because symbolic data flows across the network (a
+// sender's symbolic input can appear in a receiver's constraints).
+// Returns one test case per member state under a single global model;
+// nullopt if the combined system is unsatisfiable.
+[[nodiscard]] std::optional<std::vector<TestCase>> generateScenarioTestCases(
+    solver::Solver& solver, std::span<ExecutionState* const> scenario);
+
+// Renders a test case as a stable, human-readable block (examples and
+// golden tests).
+[[nodiscard]] std::string formatTestCase(const TestCase& testCase);
+
+}  // namespace sde

@@ -1,0 +1,66 @@
+#include "solver/cache.hpp"
+
+#include <algorithm>
+
+#include "support/hash.hpp"
+
+namespace sde::solver {
+
+QueryKey makeQueryKey(std::span<const expr::Ref> constraints) {
+  QueryKey key(constraints.begin(), constraints.end());
+  // Sort by structural hash (stable across runs), breaking the
+  // astronomically-unlikely ties by pointer for total order within a run.
+  std::sort(key.begin(), key.end(), [](expr::Ref a, expr::Ref b) {
+    return a->hash() != b->hash() ? a->hash() < b->hash() : a < b;
+  });
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+  return key;
+}
+
+std::size_t QueryCache::KeyHash::operator()(const QueryKey& key) const {
+  support::Hasher h;
+  for (expr::Ref c : key) h.u64(c->hash());
+  return static_cast<std::size_t>(h.digest());
+}
+
+const EnumResult* QueryCache::lookup(const QueryKey& key) const {
+  const auto it = results_.find(key);
+  return it == results_.end() ? nullptr : &it->second;
+}
+
+void QueryCache::insert(const QueryKey& key, EnumResult result) {
+  if (result.status == EnumStatus::kSat) {
+    recentModels_.push_front(result.model);
+    if (recentModels_.size() > maxRecentModels_) recentModels_.pop_back();
+  }
+  results_.emplace(key, std::move(result));
+}
+
+std::optional<expr::Assignment> QueryCache::reuseModel(
+    const expr::Context& ctx,
+    std::span<const expr::Ref> constraints) const {
+  std::vector<expr::Ref> queryVars;
+  for (expr::Ref c : constraints) ctx.collectVariables(c, queryVars);
+
+  for (const expr::Assignment& model : recentModels_) {
+    // Build a candidate restricted to the query's own variables (zero
+    // where the stored model is silent). Restricting matters: callers
+    // merge per-component models, and stray bindings for unrelated
+    // variables would clobber other components' results.
+    expr::Assignment candidate;
+    for (expr::Ref v : queryVars) candidate.set(v, model.get(v).value_or(0));
+    const bool satisfies =
+        std::all_of(constraints.begin(), constraints.end(), [&](expr::Ref c) {
+          return expr::evaluate(c, candidate) != 0;
+        });
+    if (satisfies) return candidate;
+  }
+  return std::nullopt;
+}
+
+void QueryCache::clear() {
+  results_.clear();
+  recentModels_.clear();
+}
+
+}  // namespace sde::solver

@@ -1,0 +1,56 @@
+// Query caching for the SDE workload profile: thousands of states share
+// long identical constraint prefixes, so (a) an exact-key result cache
+// and (b) reuse of recently found models (a model satisfying the new
+// query proves SAT without any search) both hit very often.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/context.hpp"
+#include "expr/eval.hpp"
+#include "solver/enum_solver.hpp"
+
+namespace sde::solver {
+
+// Canonical cache key: the constraint conjunction as a sorted vector of
+// interned nodes (sorting makes the key order-independent; interning
+// makes pointer comparison structural).
+using QueryKey = std::vector<expr::Ref>;
+
+[[nodiscard]] QueryKey makeQueryKey(std::span<const expr::Ref> constraints);
+
+class QueryCache {
+ public:
+  explicit QueryCache(std::size_t maxRecentModels = 8)
+      : maxRecentModels_(maxRecentModels) {}
+
+  // Exact-key result lookup.
+  [[nodiscard]] const EnumResult* lookup(const QueryKey& key) const;
+  void insert(const QueryKey& key, EnumResult result);
+
+  // Tries each recently stored model against `constraints`; returns the
+  // first satisfying one. Unbound variables default to zero (sound:
+  // satisfaction is verified by evaluation, never assumed).
+  [[nodiscard]] std::optional<expr::Assignment> reuseModel(
+      const expr::Context& ctx,
+      std::span<const expr::Ref> constraints) const;
+
+  [[nodiscard]] std::size_t size() const { return results_.size(); }
+  void clear();
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const QueryKey& key) const;
+  };
+
+  std::unordered_map<QueryKey, EnumResult, KeyHash> results_;
+  std::deque<expr::Assignment> recentModels_;
+  std::size_t maxRecentModels_;
+};
+
+}  // namespace sde::solver

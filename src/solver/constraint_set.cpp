@@ -1,0 +1,36 @@
+#include "solver/constraint_set.hpp"
+
+#include <algorithm>
+
+#include "support/hash.hpp"
+
+namespace sde::solver {
+
+ConstraintSet::AddResult ConstraintSet::add(expr::Ref c) {
+  SDE_ASSERT(c->width() == 1, "path constraints must be boolean");
+  if (c->isTrue()) return AddResult::kRedundant;
+  if (c->isFalse()) return AddResult::kTriviallyFalse;
+  if (contains(c)) return AddResult::kRedundant;
+  constraints_.push_back(c);
+  // XOR of mixed per-item hashes: commutative, so the set hash is
+  // independent of insertion order.
+  setHash_ ^= support::mix64(c->hash());
+  return AddResult::kAdded;
+}
+
+bool ConstraintSet::contains(expr::Ref c) const {
+  return std::find(constraints_.begin(), constraints_.end(), c) !=
+         constraints_.end();
+}
+
+std::vector<expr::Ref> ConstraintSet::variables(
+    const expr::Context& ctx) const {
+  std::vector<expr::Ref> vars;
+  for (expr::Ref c : constraints_) ctx.collectVariables(c, vars);
+  std::sort(vars.begin(), vars.end(),
+            [](expr::Ref a, expr::Ref b) { return a->id() < b->id(); });
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+}  // namespace sde::solver

@@ -1,0 +1,48 @@
+// A path-constraint set: the conjunction of boolean terms collected at
+// symbolic branches along one execution path. Terms are deduplicated
+// (interning makes structural equality pointer equality) and kept in
+// insertion order so that test-case generation is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "expr/context.hpp"
+#include "expr/expr.hpp"
+
+namespace sde::solver {
+
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+
+  enum class AddResult {
+    kAdded,            // new non-trivial constraint recorded
+    kRedundant,        // constant true or already present
+    kTriviallyFalse};  // constant false: the path is infeasible
+
+  AddResult add(expr::Ref c);
+
+  [[nodiscard]] bool contains(expr::Ref c) const;
+  [[nodiscard]] std::span<const expr::Ref> items() const {
+    return constraints_;
+  }
+  [[nodiscard]] std::size_t size() const { return constraints_.size(); }
+  [[nodiscard]] bool empty() const { return constraints_.empty(); }
+
+  // Order-independent fingerprint of the conjunction; equal sets (as
+  // sets) hash equal regardless of insertion order.
+  [[nodiscard]] std::uint64_t setHash() const { return setHash_; }
+
+  // The distinct variables constrained by this set, ordered by variable
+  // interning id (deterministic).
+  [[nodiscard]] std::vector<expr::Ref> variables(
+      const expr::Context& ctx) const;
+
+ private:
+  std::vector<expr::Ref> constraints_;
+  std::uint64_t setHash_ = 0;
+};
+
+}  // namespace sde::solver

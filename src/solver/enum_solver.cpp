@@ -1,0 +1,164 @@
+#include "solver/enum_solver.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace sde::solver {
+
+namespace {
+
+struct SearchVar {
+  expr::Ref var = nullptr;
+  expr::Interval domain;
+  bool sampled = false;          // domain truncated to representatives
+  std::vector<std::uint64_t> candidates;
+};
+
+// Constraints become checkable as soon as all their variables are
+// assigned; checking at the earliest possible depth maximises pruning.
+struct CheckPlan {
+  // checksAtDepth[d] = constraints whose last variable (in search order)
+  // is the variable assigned at depth d.
+  std::vector<std::vector<expr::Ref>> checksAtDepth;
+};
+
+CheckPlan planChecks(const expr::Context& ctx,
+                     std::span<const expr::Ref> constraints,
+                     std::span<const SearchVar> order) {
+  CheckPlan plan;
+  plan.checksAtDepth.resize(order.size());
+  std::vector<expr::Ref> noVars;
+  for (expr::Ref c : constraints) {
+    std::vector<expr::Ref> vars;
+    ctx.collectVariables(c, vars);
+    std::size_t lastDepth = 0;
+    bool found = !vars.empty();
+    for (expr::Ref v : vars) {
+      const auto it = std::find_if(
+          order.begin(), order.end(),
+          [&](const SearchVar& sv) { return sv.var == v; });
+      SDE_ASSERT(it != order.end(), "constraint variable missing from order");
+      lastDepth = std::max(lastDepth,
+                           static_cast<std::size_t>(it - order.begin()));
+    }
+    if (found)
+      plan.checksAtDepth[lastDepth].push_back(c);
+    // Variable-free constraints are constants and were simplified away by
+    // ConstraintSet::add; nothing to schedule.
+  }
+  return plan;
+}
+
+}  // namespace
+
+EnumResult enumerateModels(const expr::Context& ctx,
+                           std::span<const expr::Ref> constraints,
+                           const expr::IntervalEnv& env,
+                           const EnumConfig& config) {
+  EnumResult result;
+  if (constraints.empty()) {
+    result.status = EnumStatus::kSat;
+    return result;
+  }
+
+  // Gather variables (deterministic order by interning id).
+  std::vector<expr::Ref> vars;
+  for (expr::Ref c : constraints) ctx.collectVariables(c, vars);
+  std::sort(vars.begin(), vars.end(),
+            [](expr::Ref a, expr::Ref b) { return a->id() < b->id(); });
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+
+  std::vector<SearchVar> order;
+  order.reserve(vars.size());
+  for (expr::Ref v : vars) {
+    SearchVar sv;
+    sv.var = v;
+    const auto it = env.find(v);
+    sv.domain = it == env.end() ? expr::Interval::top(v->width()) : it->second;
+    if (sv.domain.size() > config.maxDomainPerVariable) {
+      // Representatives: domain boundaries plus a few near-boundary
+      // values — typical protocol constraints (==, <, !=) are satisfied
+      // at a boundary when satisfiable at all.
+      sv.sampled = true;
+      const expr::Interval d = sv.domain;
+      for (std::uint64_t v2 : {d.lo, d.lo + 1, d.lo + 2, d.hi - 2, d.hi - 1,
+                               d.hi, d.lo + (d.hi - d.lo) / 2})
+        if (d.contains(v2)) sv.candidates.push_back(v2);
+      std::sort(sv.candidates.begin(), sv.candidates.end());
+      sv.candidates.erase(
+          std::unique(sv.candidates.begin(), sv.candidates.end()),
+          sv.candidates.end());
+    }
+    order.push_back(std::move(sv));
+  }
+
+  // Smaller domains first: fail fast, cheap backtracks.
+  std::stable_sort(order.begin(), order.end(),
+                   [](const SearchVar& a, const SearchVar& b) {
+                     return a.domain.size() < b.domain.size();
+                   });
+
+  const CheckPlan plan = planChecks(ctx, constraints, order);
+
+  expr::Assignment assignment;
+  std::uint64_t tried = 0;
+  bool hitSampledVar = false;
+  bool hitBudget = false;
+
+  // Iterative DFS with explicit candidate cursors.
+  std::vector<std::uint64_t> cursor(order.size(), 0);
+  std::size_t depth = 0;
+  while (true) {
+    if (depth == order.size()) {
+      result.status = EnumStatus::kSat;
+      result.model = std::move(assignment);
+      return result;
+    }
+    SearchVar& sv = order[depth];
+    const std::uint64_t domainCount =
+        sv.sampled ? sv.candidates.size() : sv.domain.size();
+
+    bool advanced = false;
+    while (cursor[depth] < domainCount) {
+      if (++tried > config.maxCandidates) {
+        hitBudget = true;
+        break;
+      }
+      const std::uint64_t value = sv.sampled
+                                      ? sv.candidates[cursor[depth]]
+                                      : sv.domain.lo + cursor[depth];
+      ++cursor[depth];
+      assignment.set(sv.var, value);
+      bool ok = true;
+      for (expr::Ref c : plan.checksAtDepth[depth]) {
+        const auto v = expr::tryEvaluate(c, assignment);
+        SDE_ASSERT(v.has_value(), "check scheduled before vars assigned");
+        if (*v == 0) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        ++depth;
+        if (depth < order.size()) cursor[depth] = 0;
+        advanced = true;
+        break;
+      }
+    }
+    if (advanced) continue;
+    if (hitBudget) break;
+
+    // Backtrack.
+    if (sv.sampled) hitSampledVar = true;
+    assignment.erase(sv.var);
+    if (depth == 0) break;
+    --depth;
+    assignment.erase(order[depth].var);
+  }
+
+  result.status = (hitSampledVar || hitBudget) ? EnumStatus::kExhausted
+                                               : EnumStatus::kUnsat;
+  return result;
+}
+
+}  // namespace sde::solver

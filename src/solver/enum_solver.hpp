@@ -1,0 +1,44 @@
+// Complete model search by bounded enumeration with partial-evaluation
+// pruning. Complete for the domains SDE produces (few small symbolic
+// inputs per path: drop flags, header bytes); degrades to kExhausted —
+// never to a wrong answer — when domains exceed the budget.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "expr/context.hpp"
+#include "expr/eval.hpp"
+#include "expr/interval.hpp"
+
+namespace sde::solver {
+
+enum class EnumStatus {
+  kSat,        // model found (returned)
+  kUnsat,      // full domain covered, no model exists
+  kExhausted,  // budget ran out before the search space was covered
+};
+
+struct EnumResult {
+  EnumStatus status = EnumStatus::kExhausted;
+  expr::Assignment model;  // valid iff status == kSat
+};
+
+struct EnumConfig {
+  // Upper bound on candidate assignments tried across the whole search.
+  std::uint64_t maxCandidates = 1u << 20;
+  // A single variable whose interval domain exceeds this is sampled at
+  // its boundary values first; if those fail the search reports
+  // kExhausted rather than iterating the full domain.
+  std::uint64_t maxDomainPerVariable = 1u << 16;
+};
+
+// Searches for an assignment satisfying the conjunction of
+// `constraints`, with variable domains seeded from `env`.
+[[nodiscard]] EnumResult enumerateModels(const expr::Context& ctx,
+                                         std::span<const expr::Ref> constraints,
+                                         const expr::IntervalEnv& env,
+                                         const EnumConfig& config = {});
+
+}  // namespace sde::solver

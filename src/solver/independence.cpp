@@ -1,0 +1,98 @@
+#include "solver/independence.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sde::solver {
+
+namespace {
+
+using VarsOf = std::vector<std::vector<expr::Ref>>;
+
+VarsOf collectVarsPerConstraint(const expr::Context& ctx,
+                                std::span<const expr::Ref> constraints) {
+  VarsOf vars(constraints.size());
+  for (std::size_t i = 0; i < constraints.size(); ++i)
+    ctx.collectVariables(constraints[i], vars[i]);
+  return vars;
+}
+
+}  // namespace
+
+std::vector<expr::Ref> sliceForQuery(const expr::Context& ctx,
+                                     std::span<const expr::Ref> constraints,
+                                     expr::Ref query) {
+  SDE_ASSERT(query != nullptr, "sliceForQuery requires a query");
+  const VarsOf vars = collectVarsPerConstraint(ctx, constraints);
+
+  std::unordered_set<expr::Ref> reached;
+  {
+    std::vector<expr::Ref> queryVars;
+    ctx.collectVariables(query, queryVars);
+    reached.insert(queryVars.begin(), queryVars.end());
+  }
+
+  std::vector<bool> used(constraints.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < constraints.size(); ++i) {
+      if (used[i]) continue;
+      const bool touches =
+          std::any_of(vars[i].begin(), vars[i].end(),
+                      [&](expr::Ref v) { return reached.contains(v); });
+      if (!touches) continue;
+      used[i] = true;
+      changed = true;
+      reached.insert(vars[i].begin(), vars[i].end());
+    }
+  }
+
+  std::vector<expr::Ref> slice;
+  for (std::size_t i = 0; i < constraints.size(); ++i)
+    if (used[i]) slice.push_back(constraints[i]);
+  return slice;
+}
+
+std::vector<std::vector<expr::Ref>> splitComponents(
+    const expr::Context& ctx, std::span<const expr::Ref> constraints) {
+  const VarsOf vars = collectVarsPerConstraint(ctx, constraints);
+
+  // Union-find over constraint indices, joined through shared variables.
+  std::vector<std::size_t> parent(constraints.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  };
+
+  std::unordered_map<expr::Ref, std::size_t> firstUse;
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    for (expr::Ref v : vars[i]) {
+      auto [it, inserted] = firstUse.emplace(v, i);
+      if (!inserted) unite(it->second, i);
+    }
+  }
+
+  // Deterministic component order: by lowest member constraint index.
+  std::map<std::size_t, std::vector<expr::Ref>> byRoot;
+  for (std::size_t i = 0; i < constraints.size(); ++i)
+    byRoot[find(i)].push_back(constraints[i]);
+
+  std::vector<std::vector<expr::Ref>> components;
+  components.reserve(byRoot.size());
+  for (auto& [root, group] : byRoot) components.push_back(std::move(group));
+  return components;
+}
+
+}  // namespace sde::solver

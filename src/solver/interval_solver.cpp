@@ -1,0 +1,25 @@
+#include "solver/interval_solver.hpp"
+
+namespace sde::solver {
+
+Feasibility checkIntervals(std::span<const expr::Ref> constraints,
+                           expr::IntervalEnv& env) {
+  // Narrow to fixpoint. Each round can only shrink intervals, and each
+  // shrink removes at least one value, so a small round cap suffices in
+  // practice; the cap only costs precision, never soundness.
+  constexpr int kMaxRounds = 4;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    const expr::IntervalEnv before = env;
+    for (expr::Ref c : constraints)
+      if (!expr::refineByConstraint(c, env)) return Feasibility::kInfeasible;
+    if (env == before) break;
+  }
+
+  for (expr::Ref c : constraints) {
+    const expr::Interval ci = expr::intervalOf(c, env);
+    if (ci.isPoint() && ci.lo == 0) return Feasibility::kInfeasible;
+  }
+  return Feasibility::kUnknown;
+}
+
+}  // namespace sde::solver

@@ -1,0 +1,22 @@
+// Interval-based pre-pass: refines per-variable bounds from the
+// constraint conjunction and detects infeasibility cheaply. The bounds it
+// produces seed the enumerative solver's search domains.
+#pragma once
+
+#include <span>
+
+#include "expr/interval.hpp"
+
+namespace sde::solver {
+
+enum class Feasibility {
+  kInfeasible,  // conjunction proven unsatisfiable
+  kUnknown,     // not refuted; env holds sound variable bounds
+};
+
+// Runs constraint-directed narrowing to a fixpoint (bounded rounds) and
+// then evaluates every constraint in the refined environment.
+[[nodiscard]] Feasibility checkIntervals(std::span<const expr::Ref> constraints,
+                                         expr::IntervalEnv& env);
+
+}  // namespace sde::solver

@@ -1,0 +1,128 @@
+#include "solver/solver.hpp"
+
+#include <vector>
+
+namespace sde::solver {
+
+EnumResult Solver::solveConjunction(std::span<const expr::Ref> conjunction) {
+  stats_.bump("solver.queries");
+
+  // Constant shortcuts.
+  for (expr::Ref c : conjunction) {
+    if (c->isFalse()) {
+      stats_.bump("solver.constant_refutations");
+      return {EnumStatus::kUnsat, {}};
+    }
+  }
+
+  const QueryKey key = makeQueryKey(conjunction);
+  if (key.empty()) return {EnumStatus::kSat, {}};
+
+  if (config_.useCache) {
+    if (const EnumResult* hit = cache_.lookup(key)) {
+      stats_.bump("solver.cache_hits");
+      return *hit;
+    }
+    if (auto model = cache_.reuseModel(ctx_, key)) {
+      stats_.bump("solver.model_reuse_hits");
+      EnumResult r{EnumStatus::kSat, std::move(*model)};
+      cache_.insert(key, r);
+      return r;
+    }
+  }
+
+  expr::IntervalEnv env;
+  if (config_.useIntervals) {
+    if (checkIntervals(key, env) == Feasibility::kInfeasible) {
+      stats_.bump("solver.interval_refutations");
+      EnumResult r{EnumStatus::kUnsat, {}};
+      if (config_.useCache) cache_.insert(key, r);
+      return r;
+    }
+  }
+
+  stats_.bump("solver.enum_runs");
+  EnumResult r = enumerateModels(ctx_, key, env, config_.enumeration);
+  if (r.status == EnumStatus::kExhausted) stats_.bump("solver.exhausted");
+  if (config_.useCache) cache_.insert(key, r);
+  return r;
+}
+
+bool Solver::mayBeTrue(const ConstraintSet& constraints, expr::Ref cond) {
+  SDE_ASSERT(cond->width() == 1, "mayBeTrue expects a boolean condition");
+  if (cond->isFalse()) return false;
+  // A variable-free condition carries no variables for the independence
+  // slice to anchor on; the query degenerates to "are the constraints
+  // satisfiable at all", which must consider every component.
+  if (cond->isTrue()) {
+    for (const auto& component : splitComponents(ctx_, constraints.items()))
+      if (solveConjunction(component).status == EnumStatus::kUnsat)
+        return false;
+    return true;
+  }
+
+  std::vector<expr::Ref> conj;
+  if (config_.useIndependence) {
+    conj = sliceForQuery(ctx_, constraints.items(), cond);
+    stats_.bump("solver.sliced_away",
+                constraints.size() - conj.size());
+  } else {
+    conj.assign(constraints.items().begin(), constraints.items().end());
+  }
+  conj.push_back(cond);
+
+  const EnumResult r = solveConjunction(conj);
+  // kExhausted over-approximates to "maybe": exploration stays sound.
+  return r.status != EnumStatus::kUnsat;
+}
+
+bool Solver::mustBeTrue(const ConstraintSet& constraints, expr::Ref cond) {
+  return !mayBeTrue(constraints, ctx_.logicalNot(cond));
+}
+
+Validity Solver::classify(const ConstraintSet& constraints, expr::Ref cond) {
+  const bool canBeTrue = mayBeTrue(constraints, cond);
+  if (!canBeTrue) return Validity::kFalse;
+  const bool canBeFalse = mayBeTrue(constraints, ctx_.logicalNot(cond));
+  return canBeFalse ? Validity::kUnknown : Validity::kTrue;
+}
+
+std::optional<std::uint64_t> Solver::getValue(const ConstraintSet& constraints,
+                                              expr::Ref e) {
+  if (e->isConstant()) return e->value();
+
+  std::vector<expr::Ref> conj;
+  if (config_.useIndependence)
+    conj = sliceForQuery(ctx_, constraints.items(), e);
+  else
+    conj.assign(constraints.items().begin(), constraints.items().end());
+
+  const EnumResult r = solveConjunction(conj);
+  if (r.status == EnumStatus::kUnsat) return std::nullopt;
+
+  expr::Assignment model = r.model;
+  std::vector<expr::Ref> vars;
+  ctx_.collectVariables(e, vars);
+  for (expr::Ref v : vars)
+    if (!model.get(v)) model.set(v, 0);
+  return expr::evaluate(e, model);
+}
+
+std::optional<expr::Assignment> Solver::getModel(
+    const ConstraintSet& constraints) {
+  // Solve each independent component separately and merge: exponentially
+  // cheaper than one joint enumeration and exactly as complete.
+  expr::Assignment merged;
+  for (const auto& component : splitComponents(ctx_, constraints.items())) {
+    const EnumResult r = solveConjunction(component);
+    if (r.status == EnumStatus::kUnsat) return std::nullopt;
+    if (r.status == EnumStatus::kExhausted) {
+      stats_.bump("solver.model_exhausted");
+      return std::nullopt;
+    }
+    for (const auto& [var, value] : r.model.entries()) merged.set(var, value);
+  }
+  return merged;
+}
+
+}  // namespace sde::solver

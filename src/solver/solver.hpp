@@ -1,0 +1,76 @@
+// The solver facade the VM and SDE engine talk to. Mirrors the query API
+// KLEE exposes to its executor (mayBeTrue / mustBeTrue / getValue /
+// getInitialValues) and stacks the same kind of optimisation layers:
+// simplification (done at construction in expr::Context), independence
+// slicing, interval refutation, cached results, model reuse, and finally
+// complete enumeration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "solver/cache.hpp"
+#include "solver/constraint_set.hpp"
+#include "solver/independence.hpp"
+#include "solver/interval_solver.hpp"
+#include "support/stats.hpp"
+
+namespace sde::solver {
+
+struct SolverConfig {
+  bool useIndependence = true;
+  bool useIntervals = true;
+  bool useCache = true;
+  EnumConfig enumeration;
+};
+
+enum class Validity {
+  kTrue,     // holds on every solution of the constraints
+  kFalse,    // fails on every solution
+  kUnknown,  // satisfiable both ways (a genuine symbolic branch)
+};
+
+class Solver {
+ public:
+  explicit Solver(expr::Context& ctx, SolverConfig config = {})
+      : ctx_(ctx), config_(config) {}
+
+  // Is `cond` satisfiable together with `constraints`? An exhausted
+  // search answers `true` (sound for exploration: never prunes a feasible
+  // path; tracked in stats as an over-approximation).
+  [[nodiscard]] bool mayBeTrue(const ConstraintSet& constraints,
+                               expr::Ref cond);
+  [[nodiscard]] bool mustBeTrue(const ConstraintSet& constraints,
+                                expr::Ref cond);
+
+  // Classifies a branch condition in one call (used by the VM at every
+  // symbolic branch).
+  [[nodiscard]] Validity classify(const ConstraintSet& constraints,
+                                  expr::Ref cond);
+
+  // A concrete value `e` can take under `constraints` (the first model
+  // found; deterministic). nullopt if the constraints are unsatisfiable.
+  [[nodiscard]] std::optional<std::uint64_t> getValue(
+      const ConstraintSet& constraints, expr::Ref e);
+
+  // A full model of `constraints`; variables of the set that are
+  // unconstrained within their sliced component get their enumerated
+  // value, variables absent from the set entirely are not bound.
+  [[nodiscard]] std::optional<expr::Assignment> getModel(
+      const ConstraintSet& constraints);
+
+  [[nodiscard]] const support::StatsRegistry& stats() const { return stats_; }
+  support::StatsRegistry& stats() { return stats_; }
+  [[nodiscard]] expr::Context& context() const { return ctx_; }
+
+ private:
+  // Satisfiability of an explicit conjunction (after slicing).
+  EnumResult solveConjunction(std::span<const expr::Ref> conjunction);
+
+  expr::Context& ctx_;  // non-const: queries intern new (negated) terms
+  SolverConfig config_;
+  QueryCache cache_;
+  support::StatsRegistry stats_;
+};
+
+}  // namespace sde::solver

@@ -1,0 +1,28 @@
+// Internal invariant checking. SDE_ASSERT fires in all build types: the
+// mapping algorithms' correctness arguments rest on structural invariants
+// (conflict-freeness, per-dstate uniqueness) that we refuse to run without.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sde::support {
+
+[[noreturn]] inline void assertFail(const char* cond, const char* file,
+                                    int line, const char* msg) {
+  std::fprintf(stderr, "SDE_ASSERT failed: %s\n  at %s:%d\n  %s\n", cond,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace sde::support
+
+#define SDE_ASSERT(cond, msg)                                       \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::sde::support::assertFail(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                               \
+  } while (false)
+
+#define SDE_UNREACHABLE(msg) \
+  ::sde::support::assertFail("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,11 @@
+#include "support/hash.hpp"
+
+// Header-only; this TU exists to give the library an anchor and to
+// compile the inline definitions once under the project's warning set.
+namespace sde::support {
+
+static_assert(fnv1a("kleenet") != fnv1a("kleener"),
+              "fnv1a must distinguish near-identical strings");
+static_assert(mix64(0) != 0, "mix64 must not fix zero");
+
+}  // namespace sde::support

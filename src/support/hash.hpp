@@ -1,0 +1,60 @@
+// Deterministic hashing utilities used for expression interning, state
+// configuration fingerprints, and duplicate detection. All hashes are
+// stable across runs (no per-process seeding) so that test expectations
+// and cross-algorithm equivalence checks are reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sde::support {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t fnv1a(std::string_view data,
+                              std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// 64-bit finalizer (splitmix64); good avalanche for combining fields.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t hashCombine(std::uint64_t seed, std::uint64_t v) {
+  return mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+// Incremental hasher for composite objects (states, packets, dscenarios).
+class Hasher {
+ public:
+  Hasher() = default;
+  explicit Hasher(std::uint64_t seed) : h_(seed) {}
+
+  Hasher& u64(std::uint64_t v) {
+    h_ = hashCombine(h_, v);
+    return *this;
+  }
+  Hasher& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  Hasher& str(std::string_view s) { return u64(fnv1a(s)); }
+  Hasher& ptr(const void* p) {
+    return u64(reinterpret_cast<std::uintptr_t>(p));
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return mix64(h_); }
+
+ private:
+  std::uint64_t h_ = kFnvOffset;
+};
+
+}  // namespace sde::support

@@ -1,0 +1,33 @@
+// Minimal leveled logger. Off by default so test output stays clean;
+// examples and benches enable it for progress reporting. Not thread-safe
+// by design: the engine is single-threaded (the paper lists
+// parallelisation as future work).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sde::support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void setLogLevel(LogLevel level);
+[[nodiscard]] LogLevel logLevel();
+
+void logMessage(LogLevel level, std::string_view component,
+                std::string_view message);
+
+inline void logDebug(std::string_view component, std::string_view message) {
+  logMessage(LogLevel::kDebug, component, message);
+}
+inline void logInfo(std::string_view component, std::string_view message) {
+  logMessage(LogLevel::kInfo, component, message);
+}
+inline void logWarn(std::string_view component, std::string_view message) {
+  logMessage(LogLevel::kWarn, component, message);
+}
+inline void logError(std::string_view component, std::string_view message) {
+  logMessage(LogLevel::kError, component, message);
+}
+
+}  // namespace sde::support

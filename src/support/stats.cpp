@@ -1,0 +1,20 @@
+#include "support/stats.hpp"
+
+#include <sstream>
+
+namespace sde::support {
+
+std::uint64_t StatsRegistry::get(std::string_view name) const {
+  auto it = counters_.find(std::string(name));
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::string StatsRegistry::report() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    os << name << " = " << value << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sde::support

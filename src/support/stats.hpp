@@ -1,0 +1,40 @@
+// Lightweight named-counter registry. Engine components bump counters
+// (solver queries, cache hits, forks, mapping invocations, duplicated
+// states); benches and tests read them to validate behaviour, not just
+// outputs — e.g. "SDS forked zero bystanders".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace sde::support {
+
+class StatsRegistry {
+ public:
+  void bump(std::string_view name, std::uint64_t delta = 1) {
+    counters_[std::string(name)] += delta;
+  }
+  void set(std::string_view name, std::uint64_t value) {
+    counters_[std::string(name)] = value;
+  }
+  void maxOf(std::string_view name, std::uint64_t value) {
+    auto& slot = counters_[std::string(name)];
+    if (value > slot) slot = value;
+  }
+
+  [[nodiscard]] std::uint64_t get(std::string_view name) const;
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const {
+    return counters_;
+  }
+  void clear() { counters_.clear(); }
+
+  // Render "name = value" lines, sorted by name, for bench output.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace sde::support

@@ -1,0 +1,29 @@
+#include "trace/metrics.hpp"
+
+namespace sde::trace {
+
+Engine::Sampler MetricsRecorder::sampler() {
+  return [this](const Engine& engine) {
+    samples_.push_back(MetricSample{
+        engine.wallSeconds(), engine.virtualNow(), engine.numStates(),
+        engine.simulatedMemoryBytes(), engine.mapper().numGroups(),
+        engine.eventsProcessed()});
+  };
+}
+
+const MetricSample& MetricsRecorder::last() const {
+  SDE_ASSERT(!samples_.empty(), "no samples recorded");
+  return samples_.back();
+}
+
+void MetricsRecorder::writeCsv(std::ostream& os,
+                               std::string_view seriesName) const {
+  os << "series,wall_s,virtual_t,states,memory_bytes,groups,events\n";
+  for (const MetricSample& s : samples_) {
+    os << seriesName << ',' << s.wallSeconds << ',' << s.virtualTime << ','
+       << s.states << ',' << s.memoryBytes << ',' << s.groups << ','
+       << s.events << '\n';
+  }
+}
+
+}  // namespace sde::trace

@@ -1,0 +1,45 @@
+// Metric recording for the evaluation harness: samples (wall time,
+// virtual time, state count, simulated memory, group count) over an
+// engine run — the raw series behind the paper's Figure 10 plots and
+// Table I rows.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "sde/engine.hpp"
+
+namespace sde::trace {
+
+struct MetricSample {
+  double wallSeconds = 0;
+  std::uint64_t virtualTime = 0;
+  std::uint64_t states = 0;
+  std::uint64_t memoryBytes = 0;
+  std::uint64_t groups = 0;  // dscenarios (COB) / dstates (COW, SDS)
+  std::uint64_t events = 0;
+};
+
+class MetricsRecorder {
+ public:
+  // Sampler to install via Engine::setSampler. The recorder must outlive
+  // the engine run.
+  [[nodiscard]] Engine::Sampler sampler();
+
+  [[nodiscard]] const std::vector<MetricSample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] const MetricSample& last() const;
+
+  // CSV with header: wall_s,virtual_t,states,memory_bytes,groups,events.
+  void writeCsv(std::ostream& os, std::string_view seriesName) const;
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<MetricSample> samples_;
+};
+
+}  // namespace sde::trace

@@ -1,0 +1,98 @@
+#include "trace/scenario.hpp"
+
+#include <cmath>
+
+namespace sde::trace {
+
+ScenarioResult summarize(Engine& engine, RunOutcome outcome) {
+  ScenarioResult result;
+  result.outcome = outcome;
+  result.wallSeconds = engine.wallSeconds();
+  result.states = engine.numStates();
+  result.memoryBytes = engine.simulatedMemoryBytes();
+  result.groups = engine.mapper().numGroups();
+  result.events = engine.eventsProcessed();
+  result.packets = engine.stats().get("engine.packets");
+  result.duplicatesStrict =
+      findDuplicates(engine.states(), DuplicateMode::kStrict);
+  result.duplicatesContent =
+      findDuplicates(engine.states(), DuplicateMode::kContent);
+  return result;
+}
+
+CollectScenario::CollectScenario(CollectScenarioConfig config)
+    : config_(std::move(config)), program_(rime::buildCollectApp(config_.app)) {
+  net::Topology topology =
+      net::Topology::grid(config_.gridWidth, config_.gridHeight);
+  // Figure 9: sink in the top-left corner (node 0), source in the
+  // bottom-right corner.
+  const net::NodeId sink = 0;
+  source_ = topology.numNodes() - 1;
+  const net::RoutingTable routing = net::RoutingTable::towards(topology, sink);
+
+  plan_ = std::make_unique<os::NetworkPlan>(topology);
+  plan_->runEverywhere(program_);
+  engine_ = std::make_unique<Engine>(*plan_, config_.mapper, config_.engine);
+
+  for (const rime::BootAssignment& boot : rime::collectBootGlobals(
+           topology, routing, source_, config_.sendInterval))
+    engine_->setBootGlobal(boot.node, boot.slot, boot.value);
+
+  // §IV-A: "nodes on the data path towards the destination and their
+  // neighbors should symbolically drop one packet".
+  auto failures = std::make_unique<net::CompositeFailureModel>();
+  const std::vector<net::NodeId> failureNodes =
+      routing.pathAndNeighbors(topology, source_);
+  if (config_.symbolicDrops)
+    failures->add(std::make_unique<net::SymbolicDropModel>(
+        failureNodes, config_.maxDropsPerNode));
+  if (config_.symbolicDuplicates)
+    failures->add(std::make_unique<net::SymbolicDuplicateModel>(
+        failureNodes, config_.maxDropsPerNode));
+  if (config_.symbolicReboots)
+    failures->add(std::make_unique<net::SymbolicRebootModel>(
+        failureNodes, config_.maxDropsPerNode));
+  engine_->setFailureModel(std::move(failures));
+  engine_->setSampler(metrics_.sampler());
+}
+
+ScenarioResult CollectScenario::run() {
+  const RunOutcome outcome = engine_->run(config_.simulationTime);
+  return summarize(*engine_, outcome);
+}
+
+FloodScenario::FloodScenario(FloodScenarioConfig config)
+    : config_(std::move(config)), program_(rime::buildFloodApp()) {
+  net::Topology topology =
+      config_.fullMesh
+          ? net::Topology::fullMesh(config_.nodes)
+          : net::Topology::grid(
+                static_cast<std::uint32_t>(std::lround(
+                    std::sqrt(static_cast<double>(config_.nodes)))),
+                static_cast<std::uint32_t>(std::lround(
+                    std::sqrt(static_cast<double>(config_.nodes)))));
+  const net::NodeId source = topology.numNodes() - 1;
+
+  plan_ = std::make_unique<os::NetworkPlan>(topology);
+  plan_->runEverywhere(program_);
+  engine_ = std::make_unique<Engine>(*plan_, config_.mapper, config_.engine);
+
+  for (const rime::BootAssignment& boot :
+       rime::floodBootGlobals(topology, source, config_.sendInterval))
+    engine_->setBootGlobal(boot.node, boot.slot, boot.value);
+
+  if (config_.symbolicDrops) {
+    std::vector<net::NodeId> everyone(topology.numNodes());
+    for (net::NodeId n = 0; n < topology.numNodes(); ++n) everyone[n] = n;
+    engine_->setFailureModel(std::make_unique<net::SymbolicDropModel>(
+        everyone, config_.maxDropsPerNode));
+  }
+  engine_->setSampler(metrics_.sampler());
+}
+
+ScenarioResult FloodScenario::run() {
+  const RunOutcome outcome = engine_->run(config_.simulationTime);
+  return summarize(*engine_, outcome);
+}
+
+}  // namespace sde::trace

@@ -1,0 +1,102 @@
+// Ready-made evaluation scenarios — the harness layer benches, examples
+// and integration tests share. CollectScenario is the paper's §IV setup:
+// a w×h grid, a source in the bottom-right corner streaming data every
+// second along a static route to the sink in the top-left corner, and
+// symbolic packet drops on the data path and its radio neighbourhood.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "rime/apps.hpp"
+#include "sde/duplicates.hpp"
+#include "trace/metrics.hpp"
+
+namespace sde::trace {
+
+struct ScenarioResult {
+  RunOutcome outcome = RunOutcome::kCompleted;
+  double wallSeconds = 0;
+  std::uint64_t states = 0;
+  std::uint64_t memoryBytes = 0;
+  std::uint64_t groups = 0;
+  std::uint64_t events = 0;
+  std::uint64_t packets = 0;
+  // Paper-model duplicates (packets distinguished by identity; §III-D:
+  // zero for SDS) and content-model duplicates (the §III-D optimisation
+  // headroom).
+  DuplicateReport duplicatesStrict;
+  DuplicateReport duplicatesContent;
+};
+
+// --- The paper's grid data-collection scenario (§IV-A) -----------------------
+struct CollectScenarioConfig {
+  std::uint32_t gridWidth = 5;
+  std::uint32_t gridHeight = 5;
+  // "send a data packet every second", "simulation time is 10 seconds":
+  // we use 1000 virtual-time units per second.
+  std::uint64_t sendInterval = 1000;
+  std::uint64_t simulationTime = 10000;
+  MapperKind mapper = MapperKind::kSds;
+  bool symbolicDrops = true;        // the paper's failure configuration
+  std::uint32_t maxDropsPerNode = 1;
+  bool symbolicDuplicates = false;  // further failures (§IV-A)
+  bool symbolicReboots = false;
+  rime::CollectOptions app;
+  EngineConfig engine;
+};
+
+class CollectScenario {
+ public:
+  explicit CollectScenario(CollectScenarioConfig config);
+
+  // Runs to config.simulationTime (idempotent on repeat calls).
+  ScenarioResult run();
+
+  [[nodiscard]] Engine& engine() { return *engine_; }
+  [[nodiscard]] const MetricsRecorder& metrics() const { return metrics_; }
+  [[nodiscard]] net::NodeId source() const { return source_; }
+  [[nodiscard]] net::NodeId sink() const { return 0; }
+
+ private:
+  CollectScenarioConfig config_;
+  vm::Program program_;
+  std::unique_ptr<os::NetworkPlan> plan_;
+  std::unique_ptr<Engine> engine_;
+  MetricsRecorder metrics_;
+  net::NodeId source_ = 0;
+};
+
+// --- Flooding (the adversarial case, §IV-C) ----------------------------------
+struct FloodScenarioConfig {
+  std::uint32_t nodes = 4;
+  bool fullMesh = true;  // false: grid of nodes (must be a square count)
+  std::uint64_t sendInterval = 1000;
+  std::uint64_t simulationTime = 3000;
+  MapperKind mapper = MapperKind::kSds;
+  bool symbolicDrops = true;
+  std::uint32_t maxDropsPerNode = 1;
+  EngineConfig engine;
+};
+
+class FloodScenario {
+ public:
+  explicit FloodScenario(FloodScenarioConfig config);
+  ScenarioResult run();
+
+  [[nodiscard]] Engine& engine() { return *engine_; }
+  [[nodiscard]] const MetricsRecorder& metrics() const { return metrics_; }
+
+ private:
+  FloodScenarioConfig config_;
+  vm::Program program_;
+  std::unique_ptr<os::NetworkPlan> plan_;
+  std::unique_ptr<Engine> engine_;
+  MetricsRecorder metrics_;
+};
+
+// Shared summary extraction.
+[[nodiscard]] ScenarioResult summarize(Engine& engine, RunOutcome outcome);
+
+}  // namespace sde::trace

@@ -1,0 +1,97 @@
+#include "trace/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace sde::trace {
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  SDE_ASSERT(cells.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  const auto emitRow = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  const auto emitRule = [&] {
+    os << "+";
+    for (const std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+
+  emitRule();
+  emitRow(headers_);
+  emitRule();
+  for (const auto& row : rows_) emitRow(row);
+  emitRule();
+  return os.str();
+}
+
+std::string formatDuration(double seconds) {
+  SDE_ASSERT(seconds >= 0, "negative duration");
+  const auto total = static_cast<std::uint64_t>(std::llround(seconds));
+  char buf[64];
+  if (total >= 3600) {
+    std::snprintf(buf, sizeof buf, "%lluh:%02llum",
+                  static_cast<unsigned long long>(total / 3600),
+                  static_cast<unsigned long long>((total % 3600) / 60));
+  } else if (total >= 60) {
+    std::snprintf(buf, sizeof buf, "%llum:%02llus",
+                  static_cast<unsigned long long>(total / 60),
+                  static_cast<unsigned long long>(total % 60));
+  } else if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%llus",
+                  static_cast<unsigned long long>(total));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fms", seconds * 1000.0);
+  }
+  return buf;
+}
+
+std::string formatCount(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string result;
+  result.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) result.push_back(',');
+    result.push_back(digits[i]);
+  }
+  return result;
+}
+
+std::string formatBytes(std::uint64_t bytes) {
+  constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0)
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  else
+    std::snprintf(buf, sizeof buf, "%.1f %s", value, kUnits[unit]);
+  return buf;
+}
+
+}  // namespace sde::trace

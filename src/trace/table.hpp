@@ -1,0 +1,31 @@
+// Plain-text table rendering and unit formatting for bench output —
+// producing rows shaped like the paper's Table I ("1h:38m", "3.4 GB").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sde::trace {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void addRow(std::vector<std::string> cells);
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// 7.5  -> "7s"; 98.2 -> "1m:38s"; 5875 -> "1h:38m" (paper style).
+[[nodiscard]] std::string formatDuration(double seconds);
+// 1,025,700-style thousands separators.
+[[nodiscard]] std::string formatCount(std::uint64_t value);
+// "38.1 GB" / "3.4 MB" / "512 B".
+[[nodiscard]] std::string formatBytes(std::uint64_t bytes);
+
+}  // namespace sde::trace

@@ -1,0 +1,233 @@
+#include "vm/builder.hpp"
+
+#include <limits>
+
+namespace sde::vm {
+
+namespace {
+constexpr std::size_t kUnbound = std::numeric_limits<std::size_t>::max();
+
+void checkReg(Reg r) {
+  SDE_ASSERT(r.index < kNumRegisters, "register index out of range");
+}
+}  // namespace
+
+IRBuilder::IRBuilder(std::string name) {
+  program_.name_ = std::move(name);
+  internString("");  // index 0 = empty string for instructions without one
+}
+
+void IRBuilder::beginEntry(Entry entry) {
+  SDE_ASSERT(!program_.entries_.contains(entry), "entry declared twice");
+  program_.entries_[entry] = program_.code_.size();
+}
+
+IRBuilder::Label IRBuilder::newLabel() {
+  labelPc_.push_back(kUnbound);
+  return Label(static_cast<std::uint32_t>(labelPc_.size() - 1));
+}
+
+void IRBuilder::bind(Label label) {
+  SDE_ASSERT(label.valid_, "binding a default-constructed label");
+  SDE_ASSERT(labelPc_[label.id_] == kUnbound, "label bound twice");
+  labelPc_[label.id_] = program_.code_.size();
+}
+
+std::size_t IRBuilder::emit(Instr instr) {
+  SDE_ASSERT(!finished_, "emit after finish()");
+  program_.code_.push_back(instr);
+  return program_.code_.size() - 1;
+}
+
+std::uint32_t IRBuilder::internString(std::string_view s) {
+  const auto it = stringIndex_.find(std::string(s));
+  if (it != stringIndex_.end()) return it->second;
+  program_.strings_.emplace_back(s);
+  const auto index = static_cast<std::uint32_t>(program_.strings_.size() - 1);
+  stringIndex_.emplace(std::string(s), index);
+  return index;
+}
+
+void IRBuilder::constant(Reg rd, std::int64_t value) {
+  checkReg(rd);
+  emit({.op = Op::kConst, .a = rd.index, .imm = value});
+}
+
+void IRBuilder::mov(Reg rd, Reg rs) {
+  checkReg(rd);
+  checkReg(rs);
+  emit({.op = Op::kMov, .a = rd.index, .b = rs.index});
+}
+
+void IRBuilder::alu(Op op, Reg rd, Reg ra, Reg rb) {
+  SDE_ASSERT(isBinaryAlu(op), "alu() requires a binary ALU op");
+  checkReg(rd);
+  checkReg(ra);
+  checkReg(rb);
+  emit({.op = op, .a = rd.index, .b = ra.index, .c = rb.index});
+}
+
+void IRBuilder::aluImm(Op op, Reg rd, Reg ra, std::int64_t imm, Reg scratch) {
+  constant(scratch, imm);
+  alu(op, rd, ra, scratch);
+}
+
+void IRBuilder::bvNot(Reg rd, Reg rs) {
+  checkReg(rd);
+  checkReg(rs);
+  emit({.op = Op::kNot, .a = rd.index, .b = rs.index});
+}
+
+void IRBuilder::jump(Label target) {
+  SDE_ASSERT(target.valid_, "jump to default-constructed label");
+  const std::size_t i = emit({.op = Op::kJmp});
+  fixups_.push_back({i, false, target.id_});
+}
+
+void IRBuilder::branch(Reg cond, Label ifTrue, Label ifFalse) {
+  checkReg(cond);
+  SDE_ASSERT(ifTrue.valid_ && ifFalse.valid_, "branch to invalid label");
+  const std::size_t i = emit({.op = Op::kBr, .a = cond.index});
+  fixups_.push_back({i, false, ifTrue.id_});
+  fixups_.push_back({i, true, ifFalse.id_});
+}
+
+void IRBuilder::branchIfZero(Reg cond, Label ifFalse) {
+  Label fallthrough = newLabel();
+  branch(cond, fallthrough, ifFalse);
+  bind(fallthrough);
+}
+
+void IRBuilder::branchIfNonZero(Reg cond, Label ifTrue) {
+  Label fallthrough = newLabel();
+  branch(cond, ifTrue, fallthrough);
+  bind(fallthrough);
+}
+
+void IRBuilder::call(std::string_view function) {
+  const std::size_t i = emit({.op = Op::kCall});
+  callFixups_.push_back({i, std::string(function)});
+}
+
+void IRBuilder::ret() { emit({.op = Op::kRet}); }
+
+void IRBuilder::halt() { emit({.op = Op::kHalt}); }
+
+void IRBuilder::fail(std::string_view message) {
+  emit({.op = Op::kFail, .str = internString(message)});
+}
+
+void IRBuilder::beginFunction(std::string_view name) {
+  const auto [it, inserted] =
+      functionPc_.emplace(std::string(name), program_.code_.size());
+  SDE_ASSERT(inserted, "function defined twice");
+  (void)it;
+}
+
+void IRBuilder::alloc(Reg rd, Reg sizeCells) {
+  checkReg(rd);
+  checkReg(sizeCells);
+  emit({.op = Op::kAlloc, .a = rd.index, .b = sizeCells.index});
+}
+
+void IRBuilder::load(Reg rd, Reg obj, Reg index) {
+  checkReg(rd);
+  checkReg(obj);
+  checkReg(index);
+  emit({.op = Op::kLoad, .a = rd.index, .b = obj.index, .c = index.index});
+}
+
+void IRBuilder::store(Reg src, Reg obj, Reg index) {
+  checkReg(src);
+  checkReg(obj);
+  checkReg(index);
+  emit({.op = Op::kStore, .a = src.index, .b = obj.index, .c = index.index});
+}
+
+void IRBuilder::loadGlobal(Reg rd, std::uint64_t index) {
+  checkReg(rd);
+  emit({.op = Op::kLoadG,
+        .a = rd.index,
+        .imm = static_cast<std::int64_t>(index)});
+}
+
+void IRBuilder::storeGlobal(Reg src, std::uint64_t index) {
+  checkReg(src);
+  emit({.op = Op::kStoreG,
+        .a = src.index,
+        .imm = static_cast<std::int64_t>(index)});
+}
+
+void IRBuilder::makeSymbolic(Reg rd, std::string_view label,
+                             unsigned widthBits) {
+  checkReg(rd);
+  SDE_ASSERT(widthBits >= 1 && widthBits <= 64, "symbolic width out of range");
+  emit({.op = Op::kSymbolic,
+        .a = rd.index,
+        .imm = widthBits,
+        .str = internString(label)});
+}
+
+void IRBuilder::assume(Reg cond) {
+  checkReg(cond);
+  emit({.op = Op::kAssume, .a = cond.index});
+}
+
+void IRBuilder::send(Reg dstNode, Reg payloadObj, Reg lengthCells) {
+  checkReg(dstNode);
+  checkReg(payloadObj);
+  checkReg(lengthCells);
+  emit({.op = Op::kSend,
+        .a = dstNode.index,
+        .b = payloadObj.index,
+        .c = lengthCells.index});
+}
+
+void IRBuilder::setTimer(std::uint32_t timerId, Reg delay) {
+  checkReg(delay);
+  emit({.op = Op::kSetTimer, .a = delay.index, .imm = timerId});
+}
+
+void IRBuilder::stopTimer(std::uint32_t timerId) {
+  emit({.op = Op::kStopTimer, .imm = timerId});
+}
+
+void IRBuilder::self(Reg rd) {
+  checkReg(rd);
+  emit({.op = Op::kSelf, .a = rd.index});
+}
+
+void IRBuilder::now(Reg rd) {
+  checkReg(rd);
+  emit({.op = Op::kNow, .a = rd.index});
+}
+
+void IRBuilder::numNodes(Reg rd) {
+  checkReg(rd);
+  emit({.op = Op::kNumNodes, .a = rd.index});
+}
+
+void IRBuilder::log(std::string_view message, Reg value) {
+  checkReg(value);
+  emit({.op = Op::kLog, .a = value.index, .str = internString(message)});
+}
+
+Program IRBuilder::finish() {
+  SDE_ASSERT(!finished_, "finish() called twice");
+  finished_ = true;
+  for (const Fixup& fixup : fixups_) {
+    const std::size_t pc = labelPc_[fixup.label];
+    SDE_ASSERT(pc != kUnbound, "jump/branch to an unbound label");
+    Instr& ins = program_.code_[fixup.instrIndex];
+    (fixup.second ? ins.imm2 : ins.imm) = static_cast<std::int64_t>(pc);
+  }
+  for (const CallFixup& fixup : callFixups_) {
+    const auto it = functionPc_.find(fixup.function);
+    SDE_ASSERT(it != functionPc_.end(), "call to an undefined function");
+    program_.code_[fixup.instrIndex].imm =
+        static_cast<std::int64_t>(it->second);
+  }
+  return std::move(program_);
+}
+
+}  // namespace sde::vm

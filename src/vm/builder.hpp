@@ -1,0 +1,123 @@
+// Fluent assembler for node programs. The rime layer and the examples
+// author all node software through this interface; it owns label fixups,
+// the string table, and a tiny amount of structured-control sugar so
+// handler code stays readable.
+//
+// Register discipline (see isa.hpp): applications use r0..r15, library
+// routines emitted by sde::rime use r16..r31. The builder does not
+// allocate registers; callers pass explicit Reg values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/program.hpp"
+
+namespace sde::vm {
+
+// A thin wrapper to keep register operands distinct from immediates at
+// call sites (IRBuilder-heavy code is otherwise easy to get wrong).
+struct Reg {
+  std::uint8_t index = 0;
+  constexpr explicit Reg(unsigned i) : index(static_cast<std::uint8_t>(i)) {
+    // SDE_ASSERT is unusable in constexpr; range-checked on emission.
+  }
+};
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(std::string name);
+
+  // --- Program layout ------------------------------------------------------
+  // Reserves the node-global segment (object 0), in cells.
+  void setGlobals(std::uint64_t cells) { program_.globalsSize_ = cells; }
+  // Declares the next emitted instruction as the handler for `entry`.
+  void beginEntry(Entry entry);
+
+  class Label {
+   public:
+    Label() = default;
+
+   private:
+    friend class IRBuilder;
+    explicit Label(std::uint32_t id) : id_(id), valid_(true) {}
+    std::uint32_t id_ = 0;
+    bool valid_ = false;
+  };
+
+  [[nodiscard]] Label newLabel();
+  void bind(Label label);
+
+  // --- Straight-line code --------------------------------------------------
+  void constant(Reg rd, std::int64_t value);
+  void mov(Reg rd, Reg rs);
+  void alu(Op op, Reg rd, Reg ra, Reg rb);
+  // Convenience ALU-with-immediate (emits a Const into `scratch`).
+  void aluImm(Op op, Reg rd, Reg ra, std::int64_t imm, Reg scratch);
+  void bvNot(Reg rd, Reg rs);
+
+  // --- Control flow --------------------------------------------------------
+  void jump(Label target);
+  void branch(Reg cond, Label ifTrue, Label ifFalse);
+  // Structured helpers: branch to `ifFalse` when cond is zero, falling
+  // through otherwise (the most common shape in handler code).
+  void branchIfZero(Reg cond, Label ifFalse);
+  void branchIfNonZero(Reg cond, Label ifTrue);
+  void call(std::string_view function);
+  void ret();
+  void halt();
+  void fail(std::string_view message);
+
+  // Function definition: binds `name` to the next pc (invoked via call).
+  void beginFunction(std::string_view name);
+
+  // --- Memory --------------------------------------------------------------
+  void alloc(Reg rd, Reg sizeCells);
+  void load(Reg rd, Reg obj, Reg index);
+  void store(Reg src, Reg obj, Reg index);
+  void loadGlobal(Reg rd, std::uint64_t index);
+  void storeGlobal(Reg src, std::uint64_t index);
+
+  // --- Intrinsics ----------------------------------------------------------
+  void makeSymbolic(Reg rd, std::string_view label, unsigned widthBits);
+  void assume(Reg cond);
+  void send(Reg dstNode, Reg payloadObj, Reg lengthCells);
+  void setTimer(std::uint32_t timerId, Reg delay);
+  void stopTimer(std::uint32_t timerId);
+  void self(Reg rd);
+  void now(Reg rd);
+  void numNodes(Reg rd);
+  void log(std::string_view message, Reg value);
+
+  // Finalises fixups and returns the program. The builder must not be
+  // used afterwards.
+  [[nodiscard]] Program finish();
+
+ private:
+  std::size_t emit(Instr instr);
+  std::uint32_t internString(std::string_view s);
+
+  Program program_;
+  bool finished_ = false;
+  // label id -> bound pc (or npos while unbound)
+  std::vector<std::size_t> labelPc_;
+  // (instruction index, which-immediate) pairs awaiting a label bind
+  struct Fixup {
+    std::size_t instrIndex;
+    bool second;  // patch imm2 instead of imm
+    std::uint32_t label;
+  };
+  std::vector<Fixup> fixups_;
+  std::unordered_map<std::string, std::size_t> functionPc_;
+  struct CallFixup {
+    std::size_t instrIndex;
+    std::string function;
+  };
+  std::vector<CallFixup> callFixups_;
+  std::unordered_map<std::string, std::uint32_t> stringIndex_;
+};
+
+}  // namespace sde::vm

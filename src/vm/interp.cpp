@@ -1,0 +1,338 @@
+#include "vm/interp.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace sde::vm {
+
+namespace {
+
+// Applies a 64-bit ALU operation through the expression builder.
+expr::Ref applyAlu(expr::Context& ctx, Op op, expr::Ref a, expr::Ref b) {
+  switch (op) {
+    case Op::kAdd:
+      return ctx.add(a, b);
+    case Op::kSub:
+      return ctx.sub(a, b);
+    case Op::kMul:
+      return ctx.mul(a, b);
+    case Op::kUDiv:
+      return ctx.udiv(a, b);
+    case Op::kURem:
+      return ctx.urem(a, b);
+    case Op::kSDiv:
+      return ctx.sdiv(a, b);
+    case Op::kSRem:
+      return ctx.srem(a, b);
+    case Op::kAnd:
+      return ctx.bvAnd(a, b);
+    case Op::kOr:
+      return ctx.bvOr(a, b);
+    case Op::kXor:
+      return ctx.bvXor(a, b);
+    case Op::kShl:
+      return ctx.shl(a, b);
+    case Op::kLShr:
+      return ctx.lshr(a, b);
+    case Op::kAShr:
+      return ctx.ashr(a, b);
+    case Op::kEq:
+      return ctx.zext(ctx.eq(a, b), 64);
+    case Op::kNe:
+      return ctx.zext(ctx.ne(a, b), 64);
+    case Op::kUlt:
+      return ctx.zext(ctx.ult(a, b), 64);
+    case Op::kUle:
+      return ctx.zext(ctx.ule(a, b), 64);
+    case Op::kSlt:
+      return ctx.zext(ctx.slt(a, b), 64);
+    case Op::kSle:
+      return ctx.zext(ctx.sle(a, b), 64);
+    default:
+      SDE_UNREACHABLE("applyAlu: not an ALU op");
+  }
+}
+
+}  // namespace
+
+expr::Ref Interpreter::reg(ExecutionState& state, std::uint8_t index) const {
+  SDE_ASSERT(index < kNumRegisters, "register out of range");
+  expr::Ref v = state.regs_[index];
+  return v == nullptr ? ctx_.constant(0, 64) : v;
+}
+
+void Interpreter::setReg(ExecutionState& state, std::uint8_t index,
+                         expr::Ref value) {
+  SDE_ASSERT(index < kNumRegisters, "register out of range");
+  SDE_ASSERT(value->width() == 64, "registers hold 64-bit words");
+  state.regs_[index] = value;
+}
+
+void Interpreter::kill(ExecutionState& state, std::string_view why) {
+  state.status = StateStatus::kKilled;
+  state.failureMessage = std::string(why);
+  stats_.bump("vm.killed");
+}
+
+std::uint64_t Interpreter::concretize(ExecutionState& state,
+                                      expr::Ref value) {
+  if (value->isConstant()) return value->value();
+  stats_.bump("vm.concretizations");
+  const auto v = solver_.getValue(state.constraints, value);
+  SDE_ASSERT(v.has_value(),
+             "concretize on an infeasible state (engine must not schedule "
+             "infeasible states)");
+  // Pin the state to the chosen value so later paths stay consistent.
+  state.constraints.add(ctx_.eq(value, ctx_.constant(*v, 64)));
+  return *v;
+}
+
+void Interpreter::runEvent(ExecutionState& state, Entry entry,
+                           std::span<const expr::Ref> args, EffectSink& sink) {
+  SDE_ASSERT(state.status == StateStatus::kIdle, "runEvent on non-idle state");
+  const auto entryPc = state.program().entry(entry);
+  SDE_ASSERT(entryPc.has_value(), "program lacks the dispatched entry");
+  SDE_ASSERT(args.size() <= 3, "at most three event arguments");
+
+  state.status = StateStatus::kRunning;
+  state.pc = *entryPc;
+  state.callStack.clear();
+  for (std::size_t i = 0; i < 3; ++i)
+    setReg(state, static_cast<std::uint8_t>(i),
+           i < args.size() ? args[i] : ctx_.constant(0, 64));
+
+  std::deque<ExecutionState*> worklist{&state};
+  while (!worklist.empty()) {
+    ExecutionState* current = worklist.front();
+    worklist.pop_front();
+    std::uint64_t steps = 0;
+    std::vector<ExecutionState*> forked;
+    while (current->status == StateStatus::kRunning) {
+      if (++steps > config_.maxStepsPerEvent) {
+        kill(*current, "per-event step limit exceeded");
+        break;
+      }
+      if (!step(*current, sink, forked)) break;
+    }
+    if (current->status == StateStatus::kRunning)
+      current->status = StateStatus::kIdle;
+    // Forked siblings execute after the current state completes, in
+    // creation order (deterministic breadth-first exploration).
+    for (ExecutionState* child : forked) worklist.push_back(child);
+  }
+}
+
+bool Interpreter::step(ExecutionState& state, EffectSink& sink,
+                       std::vector<ExecutionState*>& worklist) {
+  const Instr& ins = state.program().at(state.pc);
+  ++state.executedInstructions;
+  stats_.bump("vm.instructions");
+  std::size_t nextPc = state.pc + 1;
+
+  if (isBinaryAlu(ins.op)) {
+    setReg(state, ins.a,
+           applyAlu(ctx_, ins.op, reg(state, ins.b), reg(state, ins.c)));
+    state.pc = nextPc;
+    return true;
+  }
+
+  switch (ins.op) {
+    default:
+      SDE_UNREACHABLE("ALU ops handled above");
+    case Op::kNop:
+      break;
+    case Op::kConst:
+      setReg(state, ins.a,
+             ctx_.constant(static_cast<std::uint64_t>(ins.imm), 64));
+      break;
+    case Op::kMov:
+      setReg(state, ins.a, reg(state, ins.b));
+      break;
+    case Op::kNot:
+      setReg(state, ins.a, ctx_.bvNot(reg(state, ins.b)));
+      break;
+    case Op::kJmp:
+      nextPc = static_cast<std::size_t>(ins.imm);
+      break;
+    case Op::kBr: {
+      const expr::Ref value = reg(state, ins.a);
+      const expr::Ref cond = ctx_.boolCast(value);
+      const auto takenPc = static_cast<std::size_t>(ins.imm);
+      const auto fallPc = static_cast<std::size_t>(ins.imm2);
+      if (cond->isConstant()) {
+        nextPc = cond->isTrue() ? takenPc : fallPc;
+        break;
+      }
+      switch (solver_.classify(state.constraints, cond)) {
+        case solver::Validity::kTrue:
+          nextPc = takenPc;
+          break;
+        case solver::Validity::kFalse:
+          nextPc = fallPc;
+          break;
+        case solver::Validity::kUnknown: {
+          stats_.bump("vm.forks");
+          ExecutionState& child = sink.forkState(state);
+          // Parent takes the true edge, child the false edge.
+          state.constraints.add(cond);
+          child.constraints.add(ctx_.logicalNot(cond));
+          child.pc = fallPc;
+          SDE_ASSERT(child.status == StateStatus::kRunning,
+                     "fork of a running state must be running");
+          worklist.push_back(&child);
+          nextPc = takenPc;
+          break;
+        }
+      }
+      break;
+    }
+    case Op::kCall:
+      state.callStack.push_back(nextPc);
+      nextPc = static_cast<std::size_t>(ins.imm);
+      break;
+    case Op::kRet:
+      if (state.callStack.empty()) {
+        // Returning from the handler's entry frame ends the event.
+        state.status = StateStatus::kIdle;
+        return false;
+      }
+      nextPc = state.callStack.back();
+      state.callStack.pop_back();
+      break;
+    case Op::kHalt:
+      state.status = StateStatus::kIdle;
+      return false;
+    case Op::kFail:
+      state.status = StateStatus::kFailed;
+      state.failureMessage = std::string(state.program().string(ins.str));
+      stats_.bump("vm.failures");
+      return false;
+    case Op::kAlloc: {
+      const std::uint64_t cells = concretize(state, reg(state, ins.b));
+      const std::uint64_t id = state.space.alloc(ctx_, cells);
+      setReg(state, ins.a, ctx_.constant(id, 64));
+      break;
+    }
+    case Op::kLoad: {
+      const std::uint64_t obj = concretize(state, reg(state, ins.b));
+      const std::uint64_t index = concretize(state, reg(state, ins.c));
+      if (!state.space.hasObject(obj) ||
+          index >= state.space.objectSize(obj)) {
+        kill(state, "out-of-bounds load");
+        return false;
+      }
+      setReg(state, ins.a, state.space.load(obj, index));
+      break;
+    }
+    case Op::kStore: {
+      const std::uint64_t obj = concretize(state, reg(state, ins.b));
+      const std::uint64_t index = concretize(state, reg(state, ins.c));
+      if (!state.space.hasObject(obj) ||
+          index >= state.space.objectSize(obj)) {
+        kill(state, "out-of-bounds store");
+        return false;
+      }
+      state.space.store(obj, index, reg(state, ins.a));
+      break;
+    }
+    case Op::kLoadG: {
+      const auto index = static_cast<std::uint64_t>(ins.imm);
+      if (index >= state.space.objectSize(kGlobalsObject)) {
+        kill(state, "out-of-bounds global load");
+        return false;
+      }
+      setReg(state, ins.a, state.space.load(kGlobalsObject, index));
+      break;
+    }
+    case Op::kStoreG: {
+      const auto index = static_cast<std::uint64_t>(ins.imm);
+      if (index >= state.space.objectSize(kGlobalsObject)) {
+        kill(state, "out-of-bounds global store");
+        return false;
+      }
+      state.space.store(kGlobalsObject, index, reg(state, ins.a));
+      break;
+    }
+    case Op::kSymbolic: {
+      const std::string label(state.program().string(ins.str));
+      const std::uint32_t n = state.symbolicCounters[label]++;
+      const std::string name = "n" + std::to_string(state.node()) + "." +
+                               label + "." + std::to_string(n);
+      const expr::Ref var =
+          ctx_.variable(name, static_cast<unsigned>(ins.imm));
+      state.symbolics.push_back(var);
+      setReg(state, ins.a, ctx_.zext(var, 64));
+      stats_.bump("vm.symbolics");
+      break;
+    }
+    case Op::kAssume: {
+      const expr::Ref cond = ctx_.boolCast(reg(state, ins.a));
+      if (cond->isTrue()) break;
+      if (cond->isFalse() || !solver_.mayBeTrue(state.constraints, cond)) {
+        state.status = StateStatus::kInfeasible;
+        stats_.bump("vm.infeasible_assumes");
+        return false;
+      }
+      state.constraints.add(cond);
+      break;
+    }
+    case Op::kSend: {
+      const std::uint64_t dst = concretize(state, reg(state, ins.a));
+      const std::uint64_t obj = concretize(state, reg(state, ins.b));
+      const std::uint64_t len = concretize(state, reg(state, ins.c));
+      if (!state.space.hasObject(obj) || len > state.space.objectSize(obj)) {
+        kill(state, "send with invalid payload object");
+        return false;
+      }
+      stats_.bump("vm.sends");
+      // Advance pc before the callback: the mapping algorithm may fork
+      // `state` itself (it never does — senders are not forked — but the
+      // state must be consistent while the engine inspects it).
+      state.pc = nextPc;
+      sink.onSend(state, static_cast<NodeId>(dst),
+                  state.space.read(obj, len));
+      return state.status == StateStatus::kRunning;
+    }
+    case Op::kSetTimer: {
+      const std::uint64_t delay = concretize(state, reg(state, ins.a));
+      const auto timerId = static_cast<std::uint32_t>(ins.imm);
+      // Re-arming replaces any pending expiry of the same timer.
+      std::erase_if(state.pendingEvents, [&](const PendingEvent& e) {
+        return e.kind == EventKind::kTimer && e.a == timerId;
+      });
+      PendingEvent event;
+      event.time = state.clock + delay;
+      event.kind = EventKind::kTimer;
+      event.a = timerId;
+      event.seq = state.nextEventSeq++;
+      state.activeTimers[timerId] = event.seq;
+      state.pendingEvents.push_back(std::move(event));
+      break;
+    }
+    case Op::kStopTimer: {
+      const auto timerId = static_cast<std::uint32_t>(ins.imm);
+      std::erase_if(state.pendingEvents, [&](const PendingEvent& e) {
+        return e.kind == EventKind::kTimer && e.a == timerId;
+      });
+      state.activeTimers.erase(timerId);
+      break;
+    }
+    case Op::kSelf:
+      setReg(state, ins.a, ctx_.constant(state.node(), 64));
+      break;
+    case Op::kNow:
+      setReg(state, ins.a, ctx_.constant(state.clock, 64));
+      break;
+    case Op::kNumNodes:
+      setReg(state, ins.a, ctx_.constant(numNodes_, 64));
+      break;
+    case Op::kLog:
+      sink.onLog(state, state.program().string(ins.str), reg(state, ins.a));
+      break;
+  }
+
+  state.pc = nextPc;
+  return true;
+}
+
+}  // namespace sde::vm

@@ -1,0 +1,92 @@
+// The symbolic interpreter: runs one event handler of one execution
+// state to completion, forking at symbolic branches. Forked siblings
+// finish the same handler within the same call (run-to-completion, like
+// Contiki event handlers under KleeNet).
+//
+// The interpreter is policy-free: everything that concerns the
+// *distributed* execution — which states receive a packet, who gets
+// forked on a conflict — is delegated to the EffectSink, implemented by
+// the SDE engine with a pluggable state-mapping algorithm.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "solver/solver.hpp"
+#include "support/stats.hpp"
+#include "vm/state.hpp"
+
+namespace sde::vm {
+
+class EffectSink {
+ public:
+  virtual ~EffectSink() = default;
+
+  // A local symbolic branch: clone `original`, register the clone with
+  // the run and notify the state-mapping algorithm. Must return the
+  // clone (whose pc/constraints the interpreter then adjusts).
+  virtual ExecutionState& forkState(ExecutionState& original) = 0;
+
+  // `sender` transmitted a packet to node `dst`. The implementation
+  // performs the state mapping and delivery scheduling.
+  virtual void onSend(ExecutionState& sender, NodeId dst,
+                      std::vector<expr::Ref> payload) = 0;
+
+  // Diagnostics (optional).
+  virtual void onLog(ExecutionState& state, std::string_view message,
+                     expr::Ref value) {
+    (void)state;
+    (void)message;
+    (void)value;
+  }
+};
+
+struct InterpConfig {
+  // Per-state fuel per event; exceeding it kills the state (catching
+  // accidental infinite loops in node programs).
+  std::uint64_t maxStepsPerEvent = 1u << 20;
+};
+
+class Interpreter {
+ public:
+  Interpreter(expr::Context& ctx, solver::Solver& solver,
+              InterpConfig config = {})
+      : ctx_(ctx), solver_(solver), config_(config) {}
+
+  // Dispatches `entry` on `state` with up to three argument words in
+  // r0..r2 and runs it (plus any forked siblings) to completion. After
+  // the call every involved state is kIdle or terminal.
+  void runEvent(ExecutionState& state, Entry entry,
+                std::span<const expr::Ref> args, EffectSink& sink);
+
+  [[nodiscard]] const support::StatsRegistry& stats() const { return stats_; }
+
+  // Network size reported by the kNumNodes intrinsic (set by the engine
+  // before the first event is dispatched).
+  void setNumNodes(std::uint32_t n) { numNodes_ = n; }
+
+  // Concretises `value` under the state's constraints, pinning the state
+  // to the chosen value. Exposed for the engine (e.g. symbolic packet
+  // destinations).
+  std::uint64_t concretize(ExecutionState& state, expr::Ref value);
+
+ private:
+  // Executes one instruction; returns false when the handler finished
+  // (by halt/return/failure/kill) for this state.
+  bool step(ExecutionState& state, EffectSink& sink,
+            std::vector<ExecutionState*>& worklist);
+
+  expr::Ref reg(ExecutionState& state, std::uint8_t index) const;
+  void setReg(ExecutionState& state, std::uint8_t index, expr::Ref value);
+  void kill(ExecutionState& state, std::string_view why);
+
+  expr::Context& ctx_;
+  solver::Solver& solver_;
+  InterpConfig config_;
+  std::uint32_t numNodes_ = 0;
+  support::StatsRegistry stats_;
+};
+
+}  // namespace sde::vm

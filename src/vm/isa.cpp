@@ -1,0 +1,124 @@
+#include "vm/isa.hpp"
+
+namespace sde::vm {
+
+std::string_view opName(Op op) {
+  switch (op) {
+    case Op::kNop:
+      return "nop";
+    case Op::kConst:
+      return "const";
+    case Op::kMov:
+      return "mov";
+    case Op::kAdd:
+      return "add";
+    case Op::kSub:
+      return "sub";
+    case Op::kMul:
+      return "mul";
+    case Op::kUDiv:
+      return "udiv";
+    case Op::kURem:
+      return "urem";
+    case Op::kSDiv:
+      return "sdiv";
+    case Op::kSRem:
+      return "srem";
+    case Op::kAnd:
+      return "and";
+    case Op::kOr:
+      return "or";
+    case Op::kXor:
+      return "xor";
+    case Op::kShl:
+      return "shl";
+    case Op::kLShr:
+      return "lshr";
+    case Op::kAShr:
+      return "ashr";
+    case Op::kNot:
+      return "not";
+    case Op::kEq:
+      return "eq";
+    case Op::kNe:
+      return "ne";
+    case Op::kUlt:
+      return "ult";
+    case Op::kUle:
+      return "ule";
+    case Op::kSlt:
+      return "slt";
+    case Op::kSle:
+      return "sle";
+    case Op::kJmp:
+      return "jmp";
+    case Op::kBr:
+      return "br";
+    case Op::kCall:
+      return "call";
+    case Op::kRet:
+      return "ret";
+    case Op::kHalt:
+      return "halt";
+    case Op::kFail:
+      return "fail";
+    case Op::kAlloc:
+      return "alloc";
+    case Op::kLoad:
+      return "load";
+    case Op::kStore:
+      return "store";
+    case Op::kLoadG:
+      return "loadg";
+    case Op::kStoreG:
+      return "storeg";
+    case Op::kSymbolic:
+      return "symbolic";
+    case Op::kAssume:
+      return "assume";
+    case Op::kSend:
+      return "send";
+    case Op::kSetTimer:
+      return "settimer";
+    case Op::kStopTimer:
+      return "stoptimer";
+    case Op::kSelf:
+      return "self";
+    case Op::kNow:
+      return "now";
+    case Op::kNumNodes:
+      return "numnodes";
+    case Op::kLog:
+      return "log";
+  }
+  return "?";
+}
+
+bool isBinaryAlu(Op op) {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kUDiv:
+    case Op::kURem:
+    case Op::kSDiv:
+    case Op::kSRem:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kLShr:
+    case Op::kAShr:
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kUlt:
+    case Op::kUle:
+    case Op::kSlt:
+    case Op::kSle:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace sde::vm

@@ -1,0 +1,94 @@
+// Instruction set of the node VM.
+//
+// The paper's evaluation runs unmodified Contiki binaries (LLVM bitcode)
+// under KLEE; our substitute is a compact register machine with exactly
+// the capabilities the SDE layer needs from an execution engine:
+// symbolic data flow, fork-on-symbolic-branch, copy-on-write memory, and
+// the event/communication intrinsics (send, timers, symbolic input,
+// assertions) KleeNet models as special functions.
+//
+// Conventions:
+//  * 32 general registers r0..r31 holding 64-bit symbolic words.
+//    ABI: r0..r2 carry event arguments at handler entry; library
+//    routines built by sde::rime use r16..r31, applications r0..r15.
+//  * Memory is object-granular: (object id, cell index) addresses a
+//    64-bit cell. Object 0 is the node's globals segment.
+//  * Branches on symbolic conditions fork the execution state; all other
+//    control flow is concrete.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sde::vm {
+
+enum class Op : std::uint8_t {
+  kNop,
+  // Data movement / constants.
+  kConst,   // r[a] = imm
+  kMov,     // r[a] = r[b]
+  // Arithmetic / bitwise (64-bit): r[a] = r[b] <op> r[c].
+  kAdd,
+  kSub,
+  kMul,
+  kUDiv,
+  kURem,
+  kSDiv,
+  kSRem,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kLShr,
+  kAShr,
+  kNot,     // r[a] = ~r[b]
+  // Comparisons: r[a] = (r[b] <op> r[c]) ? 1 : 0.
+  kEq,
+  kNe,
+  kUlt,
+  kUle,
+  kSlt,
+  kSle,
+  // Control flow.
+  kJmp,     // pc = imm
+  kBr,      // if (r[a] != 0) pc = imm else pc = imm2   [symbolic fork point]
+  kCall,    // push pc+1; pc = imm
+  kRet,     // pop pc (returning from the entry frame ends the handler)
+  kHalt,    // end the handler normally
+  kFail,    // assertion failure; message = str
+  // Memory.
+  kAlloc,   // r[a] = new object of r[b] cells (concrete size), zero-filled
+  kLoad,    // r[a] = mem[r[b]][r[c]]
+  kStore,   // mem[r[b]][r[c]] = r[a]
+  kLoadG,   // r[a] = globals[imm]
+  kStoreG,  // globals[imm] = r[a]
+  // Intrinsics (the KleeNet "special function handler" equivalents).
+  kSymbolic,   // r[a] = fresh symbolic value, width imm bits, label str
+  kAssume,     // constrain r[a] != 0 (state dies if infeasible)
+  kSend,       // send: dst node r[a], payload object r[b], length r[c]
+  kSetTimer,   // arm timer imm with delay r[a] (virtual time units)
+  kStopTimer,  // cancel timer imm
+  kSelf,       // r[a] = own node id
+  kNow,        // r[a] = current virtual time
+  kNumNodes,   // r[a] = network size
+  kLog,        // diagnostic: message str, value r[a]
+};
+
+[[nodiscard]] std::string_view opName(Op op);
+
+// True for the three-register ALU forms r[a] = r[b] op r[c].
+[[nodiscard]] bool isBinaryAlu(Op op);
+
+struct Instr {
+  Op op = Op::kNop;
+  std::uint8_t a = 0;   // destination / first register operand
+  std::uint8_t b = 0;
+  std::uint8_t c = 0;
+  std::int64_t imm = 0;   // immediate / jump target
+  std::int64_t imm2 = 0;  // second jump target (kBr false edge)
+  std::uint32_t str = 0;  // string table index (labels, messages)
+};
+
+inline constexpr unsigned kNumRegisters = 32;
+
+}  // namespace sde::vm

@@ -1,0 +1,82 @@
+#include "vm/memory.hpp"
+
+namespace sde::vm {
+
+void AddressSpace::initGlobals(expr::Context& ctx, std::uint64_t cells) {
+  SDE_ASSERT(!objects_.contains(kGlobalsObject), "globals initialised twice");
+  auto payload = std::make_shared<Cells>(cells, ctx.constant(0, 64));
+  objects_.emplace(kGlobalsObject, std::move(payload));
+}
+
+std::uint64_t AddressSpace::alloc(expr::Context& ctx, std::uint64_t cells) {
+  const std::uint64_t id = nextId_++;
+  objects_.emplace(id, std::make_shared<Cells>(cells, ctx.constant(0, 64)));
+  return id;
+}
+
+std::uint64_t AddressSpace::allocFrom(Cells content) {
+  const std::uint64_t id = nextId_++;
+  objects_.emplace(id, std::make_shared<Cells>(std::move(content)));
+  return id;
+}
+
+std::uint64_t AddressSpace::objectSize(std::uint64_t id) const {
+  const auto it = objects_.find(id);
+  SDE_ASSERT(it != objects_.end(), "objectSize of unknown object");
+  return it->second->size();
+}
+
+expr::Ref AddressSpace::load(std::uint64_t id, std::uint64_t index) const {
+  const auto it = objects_.find(id);
+  SDE_ASSERT(it != objects_.end(), "load from unknown object");
+  SDE_ASSERT(index < it->second->size(), "load out of bounds");
+  return (*it->second)[index];
+}
+
+std::shared_ptr<AddressSpace::Cells>& AddressSpace::mutableObject(
+    std::uint64_t id) {
+  const auto it = objects_.find(id);
+  SDE_ASSERT(it != objects_.end(), "store to unknown object");
+  // Copy-on-write: clone the payload if any other state still shares it.
+  if (it->second.use_count() > 1)
+    it->second = std::make_shared<Cells>(*it->second);
+  return it->second;
+}
+
+void AddressSpace::store(std::uint64_t id, std::uint64_t index,
+                         expr::Ref value) {
+  auto& payload = mutableObject(id);
+  SDE_ASSERT(index < payload->size(), "store out of bounds");
+  (*payload)[index] = value;
+}
+
+AddressSpace::Cells AddressSpace::read(std::uint64_t id,
+                                       std::uint64_t count) const {
+  const auto it = objects_.find(id);
+  SDE_ASSERT(it != objects_.end(), "read from unknown object");
+  SDE_ASSERT(count <= it->second->size(), "read beyond object size");
+  return Cells(it->second->begin(),
+               it->second->begin() + static_cast<std::ptrdiff_t>(count));
+}
+
+std::uint64_t AddressSpace::contentHash() const {
+  support::Hasher h;
+  for (const auto& [id, payload] : objects_) {
+    h.u64(id).u64(payload->size());
+    for (expr::Ref cell : *payload) h.u64(cell->hash());
+  }
+  return h.digest();
+}
+
+std::uint64_t AddressSpace::accountBytes(
+    std::map<const void*, std::uint64_t>& seen) const {
+  std::uint64_t bytes = 0;
+  for (const auto& [id, payload] : objects_) {
+    const auto [it, inserted] =
+        seen.emplace(payload.get(), payload->size() * sizeof(expr::Ref));
+    if (inserted) bytes += it->second;
+  }
+  return bytes;
+}
+
+}  // namespace sde::vm

@@ -1,0 +1,67 @@
+// Object-granular copy-on-write memory.
+//
+// An AddressSpace maps object ids to arrays of 64-bit symbolic cells.
+// Forked states share object payloads through shared_ptr; the first
+// store after a fork copies the touched object only (the same COW
+// discipline KLEE applies per memory object). Object ids are allocated
+// deterministically per state, so identical logical executions produce
+// identical address spaces — a property the cross-algorithm equivalence
+// checks depend on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "expr/context.hpp"
+#include "support/hash.hpp"
+
+namespace sde::vm {
+
+// Object 0 is always the node's globals segment.
+inline constexpr std::uint64_t kGlobalsObject = 0;
+
+class AddressSpace {
+ public:
+  using Cells = std::vector<expr::Ref>;
+
+  // Creates the globals segment (object 0) zero-filled.
+  void initGlobals(expr::Context& ctx, std::uint64_t cells);
+
+  // Allocates a fresh zero-filled object; returns its id.
+  std::uint64_t alloc(expr::Context& ctx, std::uint64_t cells);
+  // Allocates a fresh object holding `content` (packet materialisation).
+  std::uint64_t allocFrom(Cells content);
+
+  [[nodiscard]] bool hasObject(std::uint64_t id) const {
+    return objects_.contains(id);
+  }
+  [[nodiscard]] std::uint64_t objectSize(std::uint64_t id) const;
+
+  [[nodiscard]] expr::Ref load(std::uint64_t id, std::uint64_t index) const;
+  void store(std::uint64_t id, std::uint64_t index, expr::Ref value);
+
+  // Reads cells [0, count) of an object (packet payload extraction).
+  [[nodiscard]] Cells read(std::uint64_t id, std::uint64_t count) const;
+
+  // Content fingerprint: object ids, sizes and cell structural hashes.
+  [[nodiscard]] std::uint64_t contentHash() const;
+
+  // Bytes of payload owned by this space, where objects shared with
+  // other spaces are attributed via `seen` (counted only by the first
+  // space that visits them). Used by the simulated-memory meter.
+  [[nodiscard]] std::uint64_t accountBytes(
+      std::map<const void*, std::uint64_t>& seen) const;
+
+  [[nodiscard]] std::size_t numObjects() const { return objects_.size(); }
+
+ private:
+  std::shared_ptr<Cells>& mutableObject(std::uint64_t id);
+
+  // Ordered map: deterministic iteration for hashing and accounting.
+  std::map<std::uint64_t, std::shared_ptr<Cells>> objects_;
+  std::uint64_t nextId_ = 1;
+};
+
+}  // namespace sde::vm

@@ -1,0 +1,36 @@
+#include "vm/program.hpp"
+
+#include <sstream>
+
+namespace sde::vm {
+
+std::string_view entryName(Entry entry) {
+  switch (entry) {
+    case Entry::kInit:
+      return "init";
+    case Entry::kTimer:
+      return "timer";
+    case Entry::kRecv:
+      return "recv";
+  }
+  return "?";
+}
+
+std::string Program::disassemble() const {
+  std::ostringstream os;
+  os << "program " << name_ << " (globals: " << globalsSize_ << " cells)\n";
+  for (const auto& [entry, pc] : entries_)
+    os << "  entry " << entryName(entry) << " -> " << pc << "\n";
+  for (std::size_t pc = 0; pc < code_.size(); ++pc) {
+    const Instr& ins = code_[pc];
+    os << "  " << pc << ": " << opName(ins.op) << " a=" << int(ins.a)
+       << " b=" << int(ins.b) << " c=" << int(ins.c) << " imm=" << ins.imm;
+    if (ins.op == Op::kBr) os << " imm2=" << ins.imm2;
+    if (ins.op == Op::kFail || ins.op == Op::kSymbolic || ins.op == Op::kLog)
+      os << " str=\"" << string(ins.str) << "\"";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sde::vm

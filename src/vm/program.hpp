@@ -1,0 +1,68 @@
+// A node program: the code image every node of a given role executes.
+// Programs are immutable after construction (built via vm::IRBuilder)
+// and shared by all nodes and all execution states of a run.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "vm/isa.hpp"
+
+namespace sde::vm {
+
+// Entry points a program can expose. These mirror Contiki's event model:
+// a boot event, periodic/one-shot timers, and radio reception.
+enum class Entry : std::uint8_t {
+  kInit = 0,    // fired once at node boot
+  kTimer = 1,   // fired when an armed timer expires (r0 = timer id)
+  kRecv = 2,    // fired on packet delivery (r0 = buffer obj, r1 = src,
+                //  r2 = length)
+};
+
+[[nodiscard]] std::string_view entryName(Entry entry);
+
+class Program {
+ public:
+  [[nodiscard]] const Instr& at(std::size_t pc) const {
+    if (pc >= code_.size()) {
+      std::fprintf(stderr, "pc=%zu size=%zu program=%s\n", pc, code_.size(), name_.c_str());
+      SDE_ASSERT(pc < code_.size(), "pc out of range");
+    }
+    return code_[pc];
+  }
+  [[nodiscard]] std::size_t size() const { return code_.size(); }
+
+  [[nodiscard]] std::optional<std::size_t> entry(Entry e) const {
+    const auto it = entries_.find(e);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::string_view string(std::uint32_t index) const {
+    SDE_ASSERT(index < strings_.size(), "string index out of range");
+    return strings_[index];
+  }
+
+  [[nodiscard]] std::uint64_t globalsSize() const { return globalsSize_; }
+  [[nodiscard]] std::string_view name() const { return name_; }
+
+  // Human-readable disassembly (tests and debugging).
+  [[nodiscard]] std::string disassemble() const;
+
+ private:
+  friend class IRBuilder;
+
+  std::string name_;
+  std::vector<Instr> code_;
+  std::map<Entry, std::size_t> entries_;
+  std::vector<std::string> strings_;
+  std::uint64_t globalsSize_ = 0;
+};
+
+}  // namespace sde::vm

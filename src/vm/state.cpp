@@ -1,0 +1,79 @@
+#include "vm/state.hpp"
+
+namespace sde::vm {
+
+std::string_view stateStatusName(StateStatus status) {
+  switch (status) {
+    case StateStatus::kIdle:
+      return "idle";
+    case StateStatus::kRunning:
+      return "running";
+    case StateStatus::kFailed:
+      return "failed";
+    case StateStatus::kInfeasible:
+      return "infeasible";
+    case StateStatus::kKilled:
+      return "killed";
+  }
+  return "?";
+}
+
+std::uint64_t PendingEvent::contentHash() const {
+  support::Hasher h;
+  h.u64(time).u64(static_cast<std::uint64_t>(kind)).u64(a);
+  for (expr::Ref cell : payload) h.u64(cell->hash());
+  return h.digest();
+}
+
+std::unique_ptr<ExecutionState> ExecutionState::fork(StateId newId) const {
+  auto clone = std::make_unique<ExecutionState>(newId, node_, *program_);
+  clone->regs_ = regs_;
+  clone->pc = pc;
+  clone->callStack = callStack;
+  clone->space = space;  // shared_ptr payloads: copy-on-write
+  clone->constraints = constraints;
+  clone->status = status;
+  clone->clock = clock;
+  clone->failureMessage = failureMessage;
+  clone->pendingEvents = pendingEvents;
+  clone->nextEventSeq = nextEventSeq;
+  clone->activeTimers = activeTimers;
+  clone->commLog = commLog;
+  clone->symbolics = symbolics;
+  clone->symbolicCounters = symbolicCounters;
+  clone->executedInstructions = executedInstructions;
+  return clone;
+}
+
+std::uint64_t ExecutionState::configHash() const {
+  support::Hasher h;
+  h.u64(node_).u64(pc).u64(static_cast<std::uint64_t>(status)).u64(clock);
+  for (const std::size_t ret : callStack) h.u64(ret);
+  for (expr::Ref reg : regs_) h.u64(reg == nullptr ? 0 : reg->hash());
+  h.u64(space.contentHash());
+  h.u64(constraints.setHash());
+  // Pending events: hash as a multiset ordered by (time, seq) — the
+  // arming order is deterministic per logical execution.
+  for (const PendingEvent& event : pendingEvents) h.u64(event.contentHash());
+  // Communication history without packet ids: the ids number packets
+  // globally per run and differ across mapping algorithms, while the
+  // logical history (direction, peer, time, content) does not.
+  for (const CommRecord& rec : commLog)
+    h.u64(rec.sent).u64(rec.peer).u64(rec.time).u64(rec.payloadHash);
+  h.str(failureMessage);
+  return h.digest();
+}
+
+std::uint64_t ExecutionState::configHashStrict() const {
+  support::Hasher h;
+  h.u64(configHash());
+  // Distinguish packets by identity on top of the content view: in the
+  // paper's model two transmissions are never "the same packet", even
+  // when byte-identical.
+  for (const PendingEvent& event : pendingEvents)
+    if (event.kind == EventKind::kRecv) h.u64(event.b);
+  for (const CommRecord& rec : commLog) h.u64(rec.packetId);
+  return h.digest();
+}
+
+}  // namespace sde::vm

@@ -1,0 +1,145 @@
+// One symbolic execution state of one node. This is the object the
+// paper's state-mapping algorithms shuffle around: it forks at symbolic
+// branches (locally) and when a mapping algorithm resolves a
+// communication conflict (remotely), and it carries the communication
+// history used to define conflicts (paper §II-B).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "solver/constraint_set.hpp"
+#include "vm/memory.hpp"
+#include "vm/program.hpp"
+
+namespace sde::vm {
+
+using NodeId = std::uint32_t;
+using StateId = std::uint64_t;
+
+enum class StateStatus : std::uint8_t {
+  kIdle,        // between events, schedulable
+  kRunning,     // currently inside a handler (transient)
+  kFailed,      // assertion failure (kept for test-case generation)
+  kInfeasible,  // an Assume contradicted the path constraints
+  kKilled,      // resource limit or VM error
+};
+
+[[nodiscard]] std::string_view stateStatusName(StateStatus status);
+
+// Engine-level event kinds carried by pending events. Declared here (not
+// in sde::os) so that ExecutionState can own its pending-event queue; the
+// os layer builds on the same enum.
+enum class EventKind : std::uint8_t {
+  kBoot = 0,   // dispatches Entry::kInit
+  kTimer = 1,  // a = timer id; dispatches Entry::kTimer
+  kRecv = 2,   // a = source node, payload = packet cells;
+               //  dispatches Entry::kRecv
+};
+
+struct PendingEvent {
+  std::uint64_t time = 0;  // absolute virtual time
+  EventKind kind = EventKind::kBoot;
+  std::uint64_t a = 0;
+  // Run-global packet id for kRecv events (used by conflict detection;
+  // excluded from contentHash because ids number packets per run and
+  // differ across mapping algorithms).
+  std::uint64_t b = 0;
+  std::vector<expr::Ref> payload;
+  std::uint64_t seq = 0;  // per-state arming order; deterministic tie-break
+
+  // Hash excluding `seq` (which encodes arming order, already implied by
+  // time ordering) — used in the state configuration fingerprint.
+  [[nodiscard]] std::uint64_t contentHash() const;
+};
+
+// One entry of the communication history h(s) (paper §II-B). The paper
+// notes the history need not be stored; we store it because the test
+// suite uses it to verify conflict-freeness of every dstate.
+struct CommRecord {
+  bool sent = false;        // true: we transmitted; false: we received
+  NodeId peer = 0;          // destination (sent) or source (received)
+  std::uint64_t time = 0;   // virtual time of the transmission
+  std::uint64_t payloadHash = 0;
+  std::uint64_t packetId = 0;  // unique per transmitted packet in a run
+};
+
+class ExecutionState {
+ public:
+  ExecutionState(StateId id, NodeId node, const Program& program)
+      : id_(id), node_(node), program_(&program) {
+    regs_.fill(nullptr);
+  }
+
+  // Forks this state: the clone shares memory payloads copy-on-write and
+  // copies everything else. The caller (engine) assigns the new id.
+  [[nodiscard]] std::unique_ptr<ExecutionState> fork(StateId newId) const;
+
+  // --- Identity ------------------------------------------------------------
+  [[nodiscard]] StateId id() const { return id_; }
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] const Program& program() const { return *program_; }
+
+  // --- Execution context ----------------------------------------------------
+  std::array<expr::Ref, kNumRegisters> regs_;
+  std::size_t pc = 0;
+  std::vector<std::size_t> callStack;
+  AddressSpace space;
+  solver::ConstraintSet constraints;
+  StateStatus status = StateStatus::kIdle;
+  std::uint64_t clock = 0;  // local virtual time (last dispatched event)
+  std::string failureMessage;
+
+  // --- Event queue -----------------------------------------------------------
+  std::vector<PendingEvent> pendingEvents;
+  std::uint64_t nextEventSeq = 0;
+  // Active timers: timer id -> seq of the arming (re-arming supersedes).
+  std::map<std::uint32_t, std::uint64_t> activeTimers;
+
+  // --- SDE bookkeeping --------------------------------------------------------
+  std::vector<CommRecord> commLog;
+  // Distinct symbolic inputs created on this path, in creation order
+  // (the test case of this state assigns each of them).
+  std::vector<expr::Ref> symbolics;
+  // Per-label counters making symbolic input names deterministic and
+  // node-local: "n<node>.<label>.<k>".
+  std::map<std::string, std::uint32_t> symbolicCounters;
+
+  // Number of VM instructions this state has executed (#(s) in the
+  // paper's complexity analysis).
+  std::uint64_t executedInstructions = 0;
+
+  // --- Fingerprints -------------------------------------------------------------
+  // Configuration hash over node id, program counter, registers, memory,
+  // path constraints, pending events, clock and the packet-id-free view
+  // of the communication history. Stable across runs and across mapping
+  // algorithms — the cross-algorithm equivalence oracle. Because it
+  // ignores packet identity, equal-content packets from rival senders
+  // make states compare equal: this measures the *semantic* duplicates
+  // the paper's §III-D content-analysis optimisation could remove.
+  [[nodiscard]] std::uint64_t configHash() const;
+
+  // Like configHash but distinguishing packets by identity, matching the
+  // paper's formal model where "all packets ... are assumed to be unique
+  // and distinguishable" (§II-B). This is the duplicate notion of the
+  // §III-D non-duplication theorem: SDS never produces two states with
+  // equal strict configuration. Only comparable within one run.
+  [[nodiscard]] std::uint64_t configHashStrict() const;
+
+  [[nodiscard]] bool isTerminal() const {
+    return status == StateStatus::kFailed ||
+           status == StateStatus::kInfeasible ||
+           status == StateStatus::kKilled;
+  }
+
+ private:
+  StateId id_;
+  NodeId node_;
+  const Program* program_;
+};
+
+}  // namespace sde::vm

@@ -1,0 +1,90 @@
+// Concrete evaluation semantics, including the partial evaluator's
+// short-circuiting behaviour.
+#include <gtest/gtest.h>
+
+#include "expr/context.hpp"
+#include "expr/eval.hpp"
+
+namespace sde::expr {
+namespace {
+
+class EvalTest : public ::testing::Test {
+ protected:
+  Context ctx;
+  Ref x = ctx.variable("x", 8);
+  Ref y = ctx.variable("y", 8);
+};
+
+TEST_F(EvalTest, EvaluatesArithmetic) {
+  Assignment a;
+  a.set(x, 200);
+  a.set(y, 100);
+  EXPECT_EQ(evaluate(ctx.add(x, y), a), 44u);  // wraps at width 8
+  EXPECT_EQ(evaluate(ctx.sub(x, y), a), 100u);
+  EXPECT_EQ(evaluate(ctx.mul(x, y), a), (200u * 100u) & 0xff);
+  EXPECT_EQ(evaluate(ctx.udiv(x, y), a), 2u);
+}
+
+TEST_F(EvalTest, EvaluatesSignedOps) {
+  Assignment a;
+  a.set(x, 0xf9);  // -7
+  a.set(y, 2);
+  EXPECT_EQ(evaluate(ctx.sdiv(x, y), a), 0xfdu);  // -3
+  EXPECT_EQ(evaluate(ctx.srem(x, y), a), 0xffu);  // -1
+  EXPECT_EQ(evaluate(ctx.slt(x, y), a), 1u);
+  EXPECT_EQ(evaluate(ctx.ashr(x, ctx.constant(1, 8)), a), 0xfcu);
+}
+
+TEST_F(EvalTest, EvaluatesCastsAndStructure) {
+  Assignment a;
+  a.set(x, 0x80);
+  EXPECT_EQ(evaluate(ctx.zext(x, 16), a), 0x80u);
+  EXPECT_EQ(evaluate(ctx.sext(x, 16), a), 0xff80u);
+  EXPECT_EQ(evaluate(ctx.concat(x, x), a), 0x8080u);
+  EXPECT_EQ(evaluate(ctx.extract(ctx.concat(x, x), 4, 8), a), 0x08u);
+}
+
+TEST_F(EvalTest, MaskRespectsAssignmentWidth) {
+  Assignment a;
+  a.set(x, 0x1ff);  // masked to 8 bits on insertion
+  EXPECT_EQ(*a.get(x), 0xffu);
+}
+
+TEST_F(EvalTest, TryEvaluateReportsUnboundVariables) {
+  Assignment a;
+  a.set(x, 1);
+  EXPECT_EQ(tryEvaluate(ctx.add(x, y), a), std::nullopt);
+  EXPECT_EQ(tryEvaluate(ctx.add(x, x), a), 2u);
+}
+
+TEST_F(EvalTest, TryEvaluateShortCircuitsIte) {
+  // With the condition decided, the untaken arm's unbound variable must
+  // not poison the result.
+  Assignment a;
+  a.set(x, 1);
+  Ref cond = ctx.eq(x, ctx.constant(1, 8));
+  Ref e = ctx.ite(cond, ctx.constant(7, 8), y);
+  EXPECT_EQ(tryEvaluate(e, a), 7u);
+}
+
+TEST_F(EvalTest, ShiftBeyondWidth) {
+  Assignment a;
+  a.set(x, 0xff);
+  a.set(y, 9);
+  EXPECT_EQ(evaluate(ctx.shl(x, y), a), 0u);
+  EXPECT_EQ(evaluate(ctx.lshr(x, y), a), 0u);
+  EXPECT_EQ(evaluate(ctx.ashr(x, y), a), 0xffu);  // sign bit replicates
+}
+
+TEST_F(EvalTest, ComparisonChain) {
+  Assignment a;
+  a.set(x, 5);
+  a.set(y, 250);
+  EXPECT_EQ(evaluate(ctx.ult(x, y), a), 1u);
+  EXPECT_EQ(evaluate(ctx.slt(x, y), a), 0u);  // 250 is -6 signed
+  EXPECT_EQ(evaluate(ctx.ule(y, y), a), 1u);
+  EXPECT_EQ(evaluate(ctx.eq(x, y), a), 0u);
+}
+
+}  // namespace
+}  // namespace sde::expr

@@ -1,0 +1,146 @@
+// Structural properties of the expression DAG: interning, widths,
+// variable identity, hashing.
+#include <gtest/gtest.h>
+
+#include "expr/context.hpp"
+#include "expr/print.hpp"
+
+namespace sde::expr {
+namespace {
+
+TEST(Expr, ConstantsAreInterned) {
+  Context ctx;
+  EXPECT_EQ(ctx.constant(5, 8), ctx.constant(5, 8));
+  EXPECT_NE(ctx.constant(5, 8), ctx.constant(5, 16));
+  EXPECT_NE(ctx.constant(5, 8), ctx.constant(6, 8));
+}
+
+TEST(Expr, ConstantsMaskToWidth) {
+  Context ctx;
+  EXPECT_EQ(ctx.constant(0x1ff, 8)->value(), 0xffu);
+  EXPECT_EQ(ctx.constant(~0ULL, 64)->value(), ~0ULL);
+  EXPECT_EQ(ctx.constant(2, 1), ctx.falseExpr());
+}
+
+TEST(Expr, BoolConstantsAreCanonical) {
+  Context ctx;
+  EXPECT_TRUE(ctx.trueExpr()->isTrue());
+  EXPECT_TRUE(ctx.falseExpr()->isFalse());
+  EXPECT_EQ(ctx.boolConst(true), ctx.constant(1, 1));
+  EXPECT_EQ(ctx.boolConst(false), ctx.constant(0, 1));
+}
+
+TEST(Expr, VariablesInternedByName) {
+  Context ctx;
+  Ref x1 = ctx.variable("x", 8);
+  Ref x2 = ctx.variable("x", 8);
+  Ref y = ctx.variable("y", 8);
+  EXPECT_EQ(x1, x2);
+  EXPECT_NE(x1, y);
+  EXPECT_EQ(x1->name(), "x");
+  EXPECT_EQ(y->name(), "y");
+}
+
+TEST(ExprDeathTest, VariableWidthMismatchAborts) {
+  Context ctx;
+  ctx.variable("x", 8);
+  EXPECT_DEATH(ctx.variable("x", 16), "different width");
+}
+
+TEST(Expr, CompositesAreInterned) {
+  Context ctx;
+  Ref x = ctx.variable("x", 8);
+  Ref y = ctx.variable("y", 8);
+  EXPECT_EQ(ctx.add(x, y), ctx.add(x, y));
+  // Commutative canonicalisation makes both orders the same node.
+  EXPECT_EQ(ctx.add(x, y), ctx.add(y, x));
+  EXPECT_EQ(ctx.mul(x, y), ctx.mul(y, x));
+  EXPECT_EQ(ctx.eq(x, y), ctx.eq(y, x));
+  // Non-commutative operators keep order.
+  EXPECT_NE(ctx.sub(x, y), ctx.sub(y, x));
+  EXPECT_NE(ctx.ult(x, y), ctx.ult(y, x));
+}
+
+TEST(Expr, StructuralHashIsWidthAndKindSensitive) {
+  Context ctx;
+  Ref x8 = ctx.variable("x", 8);
+  Ref y8 = ctx.variable("y", 8);
+  EXPECT_NE(ctx.add(x8, y8)->hash(), ctx.mul(x8, y8)->hash());
+  EXPECT_NE(ctx.constant(1, 8)->hash(), ctx.constant(1, 16)->hash());
+}
+
+TEST(Expr, ComparisonResultWidthIsOne) {
+  Context ctx;
+  Ref x = ctx.variable("x", 32);
+  EXPECT_EQ(ctx.eq(x, ctx.constant(3, 32))->width(), 1u);
+  EXPECT_EQ(ctx.ult(x, ctx.constant(3, 32))->width(), 1u);
+  EXPECT_EQ(ctx.sle(x, ctx.constant(3, 32))->width(), 1u);
+}
+
+TEST(Expr, WidthChangingOps) {
+  Context ctx;
+  Ref x = ctx.variable("x", 8);
+  EXPECT_EQ(ctx.zext(x, 32)->width(), 32u);
+  EXPECT_EQ(ctx.sext(x, 32)->width(), 32u);
+  EXPECT_EQ(ctx.trunc(ctx.zext(x, 32), 8), x);
+  EXPECT_EQ(ctx.zcast(x, 8), x);
+  EXPECT_EQ(ctx.zcast(x, 4)->width(), 4u);
+  EXPECT_EQ(ctx.zcast(x, 16)->width(), 16u);
+}
+
+TEST(Expr, ConcatExtract) {
+  Context ctx;
+  Ref hi = ctx.variable("h", 8);
+  Ref lo = ctx.variable("l", 8);
+  Ref c = ctx.concat(hi, lo);
+  EXPECT_EQ(c->width(), 16u);
+  EXPECT_EQ(ctx.extract(c, 0, 8), lo);
+  EXPECT_EQ(ctx.extract(c, 8, 8), hi);
+}
+
+TEST(Expr, CollectVariablesIsSortedAndDeduplicated) {
+  Context ctx;
+  Ref x = ctx.variable("x", 8);
+  Ref y = ctx.variable("y", 8);
+  Ref e = ctx.add(ctx.mul(x, y), ctx.add(x, ctx.constant(1, 8)));
+  std::vector<Ref> vars;
+  ctx.collectVariables(e, vars);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], x);  // x interned before y => lower id
+  EXPECT_EQ(vars[1], y);
+}
+
+TEST(Expr, PrinterProducesReadableForm) {
+  Context ctx;
+  Ref x = ctx.variable("x", 8);
+  Ref e = ctx.add(x, ctx.constant(3, 8));
+  // Commutative canonicalisation places constants first.
+  EXPECT_EQ(toString(e), "(add w8 3w8 (var x))");
+  EXPECT_EQ(toString(ctx.trueExpr()), "1");
+}
+
+TEST(Expr, BoolCastOnBoolIsIdentity) {
+  Context ctx;
+  Ref b = ctx.variable("b", 1);
+  EXPECT_EQ(ctx.boolCast(b), b);
+  Ref x = ctx.variable("x", 8);
+  Ref cast = ctx.boolCast(x);
+  EXPECT_EQ(cast->width(), 1u);
+}
+
+TEST(Expr, SignExtendHelper) {
+  EXPECT_EQ(signExtend(0xff, 8), -1);
+  EXPECT_EQ(signExtend(0x7f, 8), 127);
+  EXPECT_EQ(signExtend(0x80, 8), -128);
+  EXPECT_EQ(signExtend(1, 1), -1);
+  EXPECT_EQ(signExtend(0xffffffffffffffffULL, 64), -1);
+}
+
+TEST(Expr, MaskToWidthHelper) {
+  EXPECT_EQ(maskToWidth(0x1234, 8), 0x34u);
+  EXPECT_EQ(maskToWidth(~0ULL, 64), ~0ULL);
+  EXPECT_EQ(maskToWidth(~0ULL, 1), 1u);
+}
+
+}  // namespace
+}  // namespace sde::expr

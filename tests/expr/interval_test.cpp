@@ -1,0 +1,145 @@
+// Directed interval-domain tests: transfer functions and the
+// constraint-directed narrowing used to seed solver enumeration.
+#include <gtest/gtest.h>
+
+#include "expr/context.hpp"
+#include "expr/interval.hpp"
+
+namespace sde::expr {
+namespace {
+
+class IntervalTest : public ::testing::Test {
+ protected:
+  Context ctx;
+  Ref x = ctx.variable("x", 8);
+  Ref y = ctx.variable("y", 8);
+  IntervalEnv env;
+};
+
+TEST_F(IntervalTest, ConstantsArePoints) {
+  EXPECT_EQ(intervalOf(ctx.constant(42, 8), env), Interval::point(42));
+}
+
+TEST_F(IntervalTest, UnboundVariableIsTop) {
+  EXPECT_EQ(intervalOf(x, env), (Interval{0, 255}));
+}
+
+TEST_F(IntervalTest, BoundVariableUsesEnv) {
+  env[x] = {10, 20};
+  EXPECT_EQ(intervalOf(x, env), (Interval{10, 20}));
+}
+
+TEST_F(IntervalTest, AddWithoutOverflowIsExact) {
+  env[x] = {10, 20};
+  env[y] = {1, 5};
+  EXPECT_EQ(intervalOf(ctx.add(x, y), env), (Interval{11, 25}));
+}
+
+TEST_F(IntervalTest, AddWithPossibleOverflowIsTop) {
+  env[x] = {200, 255};
+  env[y] = {100, 110};
+  EXPECT_EQ(intervalOf(ctx.add(x, y), env), Interval::top(8));
+}
+
+TEST_F(IntervalTest, SubGuardsWraparound) {
+  env[x] = {50, 60};
+  env[y] = {10, 20};
+  EXPECT_EQ(intervalOf(ctx.sub(x, y), env), (Interval{30, 50}));
+  env[y] = {55, 70};  // x - y may wrap below zero
+  EXPECT_EQ(intervalOf(ctx.sub(x, y), env), Interval::top(8));
+}
+
+TEST_F(IntervalTest, NotIsReversedComplement) {
+  env[x] = {0x0f, 0x1f};
+  EXPECT_EQ(intervalOf(ctx.bvNot(x), env), (Interval{0xe0, 0xf0}));
+}
+
+TEST_F(IntervalTest, AndBoundedByMin) {
+  env[x] = {0, 7};
+  const Interval iv = intervalOf(ctx.bvAnd(x, y), env);
+  EXPECT_EQ(iv.lo, 0u);
+  EXPECT_LE(iv.hi, 7u);
+}
+
+TEST_F(IntervalTest, ComparisonsDecideWhenDisjoint) {
+  env[x] = {0, 10};
+  env[y] = {20, 30};
+  EXPECT_EQ(intervalOf(ctx.ult(x, y), env), Interval::point(1));
+  EXPECT_EQ(intervalOf(ctx.ult(y, x), env), Interval::point(0));
+  EXPECT_EQ(intervalOf(ctx.eq(x, y), env), Interval::point(0));
+  env[y] = {5, 30};  // overlapping: undecided
+  EXPECT_EQ(intervalOf(ctx.eq(x, y), env), Interval::top(1));
+}
+
+TEST_F(IntervalTest, UremBounded) {
+  env[y] = {8, 16};
+  const Interval iv = intervalOf(ctx.urem(x, y), env);
+  EXPECT_LE(iv.hi, 15u);
+}
+
+TEST_F(IntervalTest, RefineEquality) {
+  ASSERT_TRUE(refineByConstraint(ctx.eq(x, ctx.constant(9, 8)), env));
+  EXPECT_EQ(env[x], Interval::point(9));
+}
+
+TEST_F(IntervalTest, RefineEqualityThroughZext) {
+  Ref wide = ctx.zext(x, 32);
+  ASSERT_TRUE(refineByConstraint(ctx.eq(wide, ctx.constant(7, 32)), env));
+  EXPECT_EQ(env[x], Interval::point(7));
+}
+
+TEST_F(IntervalTest, RefineZextOutOfRangeIsInfeasible) {
+  Ref wide = ctx.zext(x, 32);
+  EXPECT_FALSE(refineByConstraint(ctx.eq(wide, ctx.constant(300, 32)), env));
+}
+
+TEST_F(IntervalTest, RefineUnsignedLess) {
+  ASSERT_TRUE(refineByConstraint(ctx.ult(x, ctx.constant(10, 8)), env));
+  EXPECT_EQ(env[x], (Interval{0, 9}));
+  ASSERT_TRUE(refineByConstraint(ctx.ult(ctx.constant(3, 8), x), env));
+  EXPECT_EQ(env[x], (Interval{4, 9}));
+}
+
+TEST_F(IntervalTest, RefineNegatedComparison) {
+  // not(x < 10)  ==  x >= 10
+  Ref c = ctx.logicalNot(ctx.ult(x, ctx.constant(10, 8)));
+  ASSERT_TRUE(refineByConstraint(c, env));
+  EXPECT_EQ(env[x], (Interval{10, 255}));
+}
+
+TEST_F(IntervalTest, RefineConjunction) {
+  Ref c = ctx.logicalAnd(ctx.ule(ctx.constant(5, 8), x),
+                         ctx.ule(x, ctx.constant(7, 8)));
+  ASSERT_TRUE(refineByConstraint(c, env));
+  EXPECT_EQ(env[x], (Interval{5, 7}));
+}
+
+TEST_F(IntervalTest, ContradictionDetected) {
+  ASSERT_TRUE(refineByConstraint(ctx.ult(x, ctx.constant(5, 8)), env));
+  EXPECT_FALSE(refineByConstraint(ctx.ult(ctx.constant(10, 8), x), env));
+}
+
+TEST_F(IntervalTest, DisequalityShavesEndpoint) {
+  env[x] = {0, 10};
+  ASSERT_TRUE(refineByConstraint(ctx.ne(x, ctx.constant(10, 8)), env));
+  EXPECT_EQ(env[x], (Interval{0, 9}));
+  ASSERT_TRUE(refineByConstraint(ctx.ne(x, ctx.constant(0, 8)), env));
+  EXPECT_EQ(env[x], (Interval{1, 9}));
+  // Interior holes are not representable; the env must stay sound.
+  ASSERT_TRUE(refineByConstraint(ctx.ne(x, ctx.constant(5, 8)), env));
+  EXPECT_EQ(env[x], (Interval{1, 9}));
+}
+
+TEST_F(IntervalTest, PointDisequalityIsInfeasible) {
+  env[x] = Interval::point(4);
+  EXPECT_FALSE(refineByConstraint(ctx.ne(x, ctx.constant(4, 8)), env));
+}
+
+TEST_F(IntervalTest, IntervalSizeSaturates) {
+  EXPECT_EQ(Interval::top(64).size(), ~std::uint64_t{0});
+  EXPECT_EQ(Interval::top(8).size(), 256u);
+  EXPECT_EQ(Interval::point(3).size(), 1u);
+}
+
+}  // namespace
+}  // namespace sde::expr

@@ -1,0 +1,155 @@
+// Simplifier rules: every rewrite the builder performs must preserve
+// semantics and produce the expected canonical node.
+#include <gtest/gtest.h>
+
+#include "expr/context.hpp"
+
+namespace sde::expr {
+namespace {
+
+class SimplifyTest : public ::testing::Test {
+ protected:
+  Context ctx;
+  Ref x = ctx.variable("x", 8);
+  Ref y = ctx.variable("y", 8);
+  Ref zero = ctx.constant(0, 8);
+  Ref one = ctx.constant(1, 8);
+  Ref ones = ctx.constant(0xff, 8);
+};
+
+TEST_F(SimplifyTest, ConstantFolding) {
+  EXPECT_EQ(ctx.add(ctx.constant(200, 8), ctx.constant(100, 8)),
+            ctx.constant(44, 8));  // wraps mod 256
+  EXPECT_EQ(ctx.mul(ctx.constant(16, 8), ctx.constant(16, 8)), zero);
+  EXPECT_EQ(ctx.sub(zero, one), ones);
+  EXPECT_EQ(ctx.udiv(ctx.constant(7, 8), ctx.constant(2, 8)),
+            ctx.constant(3, 8));
+  EXPECT_EQ(ctx.urem(ctx.constant(7, 8), ctx.constant(2, 8)), one);
+}
+
+TEST_F(SimplifyTest, DivisionByZeroSemantics) {
+  // KLEE/STP convention: x/0 == all-ones, x%0 == x.
+  EXPECT_EQ(ctx.udiv(ctx.constant(7, 8), zero), ones);
+  EXPECT_EQ(ctx.urem(ctx.constant(7, 8), zero), ctx.constant(7, 8));
+  EXPECT_EQ(ctx.sdiv(ctx.constant(7, 8), zero), ones);
+  EXPECT_EQ(ctx.srem(ctx.constant(7, 8), zero), ctx.constant(7, 8));
+}
+
+TEST_F(SimplifyTest, SignedDivisionEdgeCases) {
+  // INT8_MIN / -1 wraps to INT8_MIN (hardware-style), remainder 0.
+  EXPECT_EQ(ctx.sdiv(ctx.constant(0x80, 8), ones), ctx.constant(0x80, 8));
+  EXPECT_EQ(ctx.srem(ctx.constant(0x80, 8), ones), zero);
+  // -7 / 2 == -3 (truncating), -7 % 2 == -1.
+  EXPECT_EQ(ctx.sdiv(ctx.constant(0xf9, 8), ctx.constant(2, 8)),
+            ctx.constant(0xfd, 8));
+  EXPECT_EQ(ctx.srem(ctx.constant(0xf9, 8), ctx.constant(2, 8)),
+            ctx.constant(0xff, 8));
+}
+
+TEST_F(SimplifyTest, AdditiveIdentities) {
+  EXPECT_EQ(ctx.add(x, zero), x);
+  EXPECT_EQ(ctx.add(zero, x), x);
+  EXPECT_EQ(ctx.sub(x, zero), x);
+  EXPECT_EQ(ctx.sub(x, x), zero);
+}
+
+TEST_F(SimplifyTest, MultiplicativeIdentities) {
+  EXPECT_EQ(ctx.mul(x, one), x);
+  EXPECT_EQ(ctx.mul(one, x), x);
+  EXPECT_EQ(ctx.mul(x, zero), zero);
+  EXPECT_EQ(ctx.udiv(x, one), x);
+  EXPECT_EQ(ctx.urem(x, one), zero);
+}
+
+TEST_F(SimplifyTest, BitwiseIdentities) {
+  EXPECT_EQ(ctx.bvAnd(x, zero), zero);
+  EXPECT_EQ(ctx.bvAnd(x, ones), x);
+  EXPECT_EQ(ctx.bvAnd(x, x), x);
+  EXPECT_EQ(ctx.bvOr(x, zero), x);
+  EXPECT_EQ(ctx.bvOr(x, ones), ones);
+  EXPECT_EQ(ctx.bvOr(x, x), x);
+  EXPECT_EQ(ctx.bvXor(x, zero), x);
+  EXPECT_EQ(ctx.bvXor(x, x), zero);
+}
+
+TEST_F(SimplifyTest, ShiftIdentities) {
+  EXPECT_EQ(ctx.shl(x, zero), x);
+  EXPECT_EQ(ctx.lshr(x, zero), x);
+  EXPECT_EQ(ctx.ashr(x, zero), x);
+  EXPECT_EQ(ctx.shl(zero, x), zero);
+  // Shift by >= width folds to zero for constants.
+  EXPECT_EQ(ctx.shl(one, ctx.constant(8, 8)), zero);
+  EXPECT_EQ(ctx.lshr(ones, ctx.constant(9, 8)), zero);
+}
+
+TEST_F(SimplifyTest, DoubleNegation) {
+  Ref notX = ctx.bvNot(x);
+  EXPECT_EQ(ctx.bvNot(notX), x);
+  EXPECT_EQ(ctx.bvNot(ctx.constant(0xf0, 8)), ctx.constant(0x0f, 8));
+}
+
+TEST_F(SimplifyTest, ComparisonWithSelf) {
+  EXPECT_TRUE(ctx.eq(x, x)->isTrue());
+  EXPECT_TRUE(ctx.ult(x, x)->isFalse());
+  EXPECT_TRUE(ctx.ule(x, x)->isTrue());
+  EXPECT_TRUE(ctx.slt(x, x)->isFalse());
+  EXPECT_TRUE(ctx.sle(x, x)->isTrue());
+  EXPECT_TRUE(ctx.ne(x, x)->isFalse());
+}
+
+TEST_F(SimplifyTest, UnsignedRangeTautologies) {
+  EXPECT_TRUE(ctx.ult(x, zero)->isFalse());  // nothing is below zero
+  EXPECT_TRUE(ctx.ule(zero, x)->isTrue());   // zero is below everything
+  EXPECT_TRUE(ctx.ult(ones, x)->isFalse());  // nothing exceeds all-ones
+}
+
+TEST_F(SimplifyTest, BooleanEqualitySimplifies) {
+  Ref b = ctx.variable("b", 1);
+  EXPECT_EQ(ctx.eq(b, ctx.trueExpr()), b);
+  EXPECT_EQ(ctx.eq(ctx.trueExpr(), b), b);
+  EXPECT_EQ(ctx.eq(b, ctx.falseExpr()), ctx.bvNot(b));
+}
+
+TEST_F(SimplifyTest, IteSimplifies) {
+  Ref b = ctx.variable("b", 1);
+  EXPECT_EQ(ctx.ite(ctx.trueExpr(), x, y), x);
+  EXPECT_EQ(ctx.ite(ctx.falseExpr(), x, y), y);
+  EXPECT_EQ(ctx.ite(b, x, x), x);
+  EXPECT_EQ(ctx.ite(b, ctx.trueExpr(), ctx.falseExpr()), b);
+  EXPECT_EQ(ctx.ite(b, ctx.falseExpr(), ctx.trueExpr()), ctx.bvNot(b));
+}
+
+TEST_F(SimplifyTest, LogicalConnectives) {
+  Ref b = ctx.variable("b", 1);
+  Ref c = ctx.variable("c", 1);
+  EXPECT_EQ(ctx.logicalAnd(b, ctx.trueExpr()), b);
+  EXPECT_EQ(ctx.logicalAnd(b, ctx.falseExpr()), ctx.falseExpr());
+  EXPECT_EQ(ctx.logicalOr(b, ctx.falseExpr()), b);
+  EXPECT_EQ(ctx.logicalOr(b, ctx.trueExpr()), ctx.trueExpr());
+  EXPECT_TRUE(ctx.implies(ctx.falseExpr(), c)->isTrue());
+  EXPECT_EQ(ctx.implies(ctx.trueExpr(), c), c);
+}
+
+TEST_F(SimplifyTest, CastFolding) {
+  EXPECT_EQ(ctx.zext(ctx.constant(5, 8), 32), ctx.constant(5, 32));
+  EXPECT_EQ(ctx.sext(ctx.constant(0xff, 8), 16), ctx.constant(0xffff, 16));
+  EXPECT_EQ(ctx.trunc(ctx.constant(0x1234, 16), 8), ctx.constant(0x34, 8));
+  // trunc(zext(x)) back to the original width is x itself.
+  EXPECT_EQ(ctx.trunc(ctx.zext(x, 32), 8), x);
+}
+
+TEST_F(SimplifyTest, ConcatOfConstants) {
+  EXPECT_EQ(ctx.concat(ctx.constant(0x12, 8), ctx.constant(0x34, 8)),
+            ctx.constant(0x1234, 16));
+  EXPECT_EQ(ctx.concat(ctx.constant(0, 8), x), ctx.zext(x, 16));
+}
+
+TEST_F(SimplifyTest, ExtractThroughConcat) {
+  Ref c = ctx.concat(x, y);  // x = high byte, y = low byte
+  EXPECT_EQ(ctx.extract(c, 0, 8), y);
+  EXPECT_EQ(ctx.extract(c, 8, 8), x);
+  EXPECT_EQ(ctx.extract(x, 0, 8), x);  // full-width extract is identity
+}
+
+}  // namespace
+}  // namespace sde::expr

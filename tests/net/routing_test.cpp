@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/routing.hpp"
+
+namespace sde::net {
+namespace {
+
+TEST(Routing, LineRoutesTowardSink) {
+  const Topology t = Topology::line(5);
+  const RoutingTable r = RoutingTable::towards(t, 0);
+  EXPECT_EQ(r.sink(), 0u);
+  EXPECT_EQ(r.nextHop(0), 0u);  // sink routes to itself
+  EXPECT_EQ(r.nextHop(1), 0u);
+  EXPECT_EQ(r.nextHop(4), 3u);
+}
+
+TEST(Routing, GridShortestPath) {
+  // Figure 9: sink top-left (0), source bottom-right. Every hop must
+  // reduce the BFS distance by one.
+  const Topology t = Topology::grid(5, 5);
+  const RoutingTable r = RoutingTable::towards(t, 0);
+  for (NodeId n = 1; n < t.numNodes(); ++n) {
+    const NodeId hop = r.nextHop(n);
+    EXPECT_TRUE(t.hasEdge(n, hop));
+    EXPECT_EQ(t.hopDistance(hop, 0), t.hopDistance(n, 0) - 1);
+  }
+}
+
+TEST(Routing, PathEndsAtSink) {
+  const Topology t = Topology::grid(3, 3);
+  const RoutingTable r = RoutingTable::towards(t, 0);
+  const auto path = r.path(8);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), 8u);
+  EXPECT_EQ(path.back(), 0u);
+  EXPECT_EQ(path.size(), t.hopDistance(8, 0) + 1);
+}
+
+TEST(Routing, DeterministicTieBreaking) {
+  // From the far corner of a grid multiple shortest paths exist; the
+  // table must pick the same one on every construction.
+  const Topology t = Topology::grid(4, 4);
+  const RoutingTable a = RoutingTable::towards(t, 0);
+  const RoutingTable b = RoutingTable::towards(t, 0);
+  for (NodeId n = 0; n < t.numNodes(); ++n)
+    EXPECT_EQ(a.nextHop(n), b.nextHop(n));
+}
+
+TEST(Routing, PathAndNeighborsMatchesPaperDropSet) {
+  // §IV-A: the symbolic-drop set is the data path plus the one-hop
+  // neighbours of its nodes.
+  const Topology t = Topology::grid(3, 3);
+  const RoutingTable r = RoutingTable::towards(t, 0);
+  const auto set = r.pathAndNeighbors(t, 8);
+  // Every path node is present...
+  for (NodeId n : r.path(8))
+    EXPECT_NE(std::find(set.begin(), set.end(), n), set.end());
+  // ...and every member is a path node or adjacent to one.
+  const auto path = r.path(8);
+  for (NodeId member : set) {
+    const bool onPath =
+        std::find(path.begin(), path.end(), member) != path.end();
+    const bool adjacent =
+        std::any_of(path.begin(), path.end(), [&](NodeId p) {
+          return t.hasEdge(p, member);
+        });
+    EXPECT_TRUE(onPath || adjacent) << "node " << member;
+  }
+  // Sorted and unique.
+  EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+  EXPECT_EQ(std::adjacent_find(set.begin(), set.end()), set.end());
+}
+
+TEST(Routing, FigureNineGridHasBystandersOutsideDropSet) {
+  // In the paper's 5x5 grid (Figure 9) six nodes are shaded as pure
+  // bystanders. With our deterministic staircase route the drop set
+  // leaves a handful of nodes untouched — assert some exist.
+  const Topology t = Topology::grid(5, 5);
+  const RoutingTable r = RoutingTable::towards(t, 0);
+  const auto set = r.pathAndNeighbors(t, 24);
+  EXPECT_LT(set.size(), t.numNodes());
+}
+
+}  // namespace
+}  // namespace sde::net

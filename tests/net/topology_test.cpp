@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace sde::net {
+namespace {
+
+TEST(Topology, LineShape) {
+  const Topology t = Topology::line(4);
+  EXPECT_EQ(t.numNodes(), 4u);
+  EXPECT_TRUE(t.hasEdge(0, 1));
+  EXPECT_TRUE(t.hasEdge(2, 3));
+  EXPECT_FALSE(t.hasEdge(0, 2));
+  EXPECT_EQ(t.neighbors(0).size(), 1u);
+  EXPECT_EQ(t.neighbors(1).size(), 2u);
+}
+
+TEST(Topology, RingShape) {
+  const Topology t = Topology::ring(5);
+  for (NodeId n = 0; n < 5; ++n) EXPECT_EQ(t.neighbors(n).size(), 2u);
+  EXPECT_TRUE(t.hasEdge(0, 4));
+}
+
+TEST(Topology, StarShape) {
+  const Topology t = Topology::star(6);
+  EXPECT_EQ(t.numNodes(), 7u);
+  EXPECT_EQ(t.neighbors(0).size(), 6u);
+  for (NodeId leaf = 1; leaf <= 6; ++leaf) {
+    EXPECT_EQ(t.neighbors(leaf).size(), 1u);
+    EXPECT_TRUE(t.hasEdge(0, leaf));
+  }
+  EXPECT_FALSE(t.hasEdge(1, 2));
+}
+
+TEST(Topology, FullMeshShape) {
+  const Topology t = Topology::fullMesh(5);
+  for (NodeId a = 0; a < 5; ++a) {
+    EXPECT_EQ(t.neighbors(a).size(), 4u);
+    for (NodeId b = 0; b < 5; ++b) {
+      if (a != b) {
+        EXPECT_TRUE(t.hasEdge(a, b));
+      }
+    }
+  }
+}
+
+TEST(Topology, GridFourNeighbourhood) {
+  // 3x3: corner 2 neighbours, edge 3, centre 4 (Figure 9's shape).
+  const Topology t = Topology::grid(3, 3);
+  EXPECT_EQ(t.numNodes(), 9u);
+  EXPECT_EQ(t.neighbors(0).size(), 2u);  // corner
+  EXPECT_EQ(t.neighbors(1).size(), 3u);  // edge
+  EXPECT_EQ(t.neighbors(4).size(), 4u);  // centre
+  EXPECT_TRUE(t.hasEdge(0, 1));
+  EXPECT_TRUE(t.hasEdge(0, 3));
+  EXPECT_FALSE(t.hasEdge(0, 4));  // no diagonals
+  EXPECT_EQ(t.gridWidth(), 3u);
+}
+
+TEST(Topology, HopDistance) {
+  const Topology g = Topology::grid(3, 3);
+  EXPECT_EQ(g.hopDistance(0, 0), 0u);
+  EXPECT_EQ(g.hopDistance(0, 8), 4u);  // manhattan across the grid
+  EXPECT_EQ(g.hopDistance(8, 0), 4u);
+  const Topology l = Topology::line(10);
+  EXPECT_EQ(l.hopDistance(0, 9), 9u);
+}
+
+TEST(Topology, NeighborsSortedAscending) {
+  const Topology t = Topology::grid(3, 3);
+  for (NodeId n = 0; n < t.numNodes(); ++n) {
+    const auto nb = t.neighbors(n);
+    for (std::size_t i = 1; i < nb.size(); ++i) EXPECT_LT(nb[i - 1], nb[i]);
+  }
+}
+
+TEST(TopologyDeathTest, InvalidQueriesAbort) {
+  const Topology t = Topology::line(2);
+  EXPECT_DEATH((void)t.neighbors(5), "out of range");
+  EXPECT_DEATH((void)t.hasEdge(0, 9), "out of range");
+}
+
+}  // namespace
+}  // namespace sde::net

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "sde/dstate.hpp"
+#include "vm/builder.hpp"
+
+namespace sde {
+namespace {
+
+class DStateTest : public ::testing::Test {
+ protected:
+  DStateTest() {
+    vm::IRBuilder b("noop");
+    b.setGlobals(1);
+    b.beginEntry(vm::Entry::kInit);
+    b.halt();
+    program = b.finish();
+  }
+
+  std::unique_ptr<ExecutionState> makeState(NodeId node) {
+    return std::make_unique<ExecutionState>(nextId++, node, program);
+  }
+
+  static void recordSend(ExecutionState& s, NodeId peer, std::uint64_t time,
+                         std::uint64_t packetId) {
+    s.commLog.push_back({true, peer, time, 0x1234, packetId});
+  }
+  static void recordRecv(ExecutionState& s, NodeId peer, std::uint64_t time,
+                         std::uint64_t packetId) {
+    s.commLog.push_back({false, peer, time, 0x1234, packetId});
+  }
+
+  vm::Program program;
+  StateId nextId = 0;
+};
+
+TEST_F(DStateTest, StateGroupMembership) {
+  StateGroup group(3);
+  auto a = makeState(0);
+  auto b1 = makeState(1);
+  auto b2 = makeState(1);
+  group.add(a.get());
+  group.add(b1.get());
+  EXPECT_FALSE(group.coversAllNodes());
+  group.add(b2.get());
+  EXPECT_EQ(group.size(), 3u);
+  EXPECT_EQ(group.statesOf(1).size(), 2u);
+  EXPECT_TRUE(group.contains(b2.get()));
+  EXPECT_TRUE(group.remove(b2.get()));
+  EXPECT_FALSE(group.remove(b2.get()));
+  EXPECT_FALSE(group.contains(b2.get()));
+}
+
+TEST_F(DStateTest, ScenarioFingerprintOrderIndependent) {
+  auto a = makeState(0);
+  auto b = makeState(1);
+  std::vector<ExecutionState*> ab{a.get(), b.get()};
+  std::vector<ExecutionState*> ba{b.get(), a.get()};
+  EXPECT_EQ(scenarioFingerprint(ab), scenarioFingerprint(ba));
+}
+
+TEST_F(DStateTest, ScenarioFingerprintSensitiveToMemberConfig) {
+  auto a = makeState(0);
+  auto b = makeState(1);
+  std::vector<ExecutionState*> scenario{a.get(), b.get()};
+  const auto before = scenarioFingerprint(scenario);
+  b->clock = 99;
+  EXPECT_NE(before, scenarioFingerprint(scenario));
+}
+
+TEST_F(DStateTest, NoConflictWhenHistoriesMatch) {
+  auto s = makeState(0);
+  auto t = makeState(1);
+  recordSend(*s, 1, 10, 100);
+  recordRecv(*t, 0, 11, 100);
+  EXPECT_FALSE(inDirectConflict(*s, *t));
+  EXPECT_FALSE(inDirectConflict(*t, *s));
+}
+
+TEST_F(DStateTest, SentButNeverReceivedIsAConflict) {
+  auto s = makeState(0);
+  auto t = makeState(1);
+  recordSend(*s, 1, 10, 100);
+  EXPECT_TRUE(inDirectConflict(*s, *t));
+}
+
+TEST_F(DStateTest, InFlightPacketIsNotAConflict) {
+  auto s = makeState(0);
+  auto t = makeState(1);
+  recordSend(*s, 1, 10, 100);
+  vm::PendingEvent inflight;
+  inflight.kind = vm::EventKind::kRecv;
+  inflight.b = 100;
+  inflight.time = 11;
+  t->pendingEvents.push_back(std::move(inflight));
+  EXPECT_FALSE(inDirectConflict(*s, *t));
+  EXPECT_TRUE(hasOrWillReceive(*t, 100));
+  EXPECT_FALSE(hasOrWillReceive(*t, 101));
+}
+
+TEST_F(DStateTest, ReceivedButNeverSentIsAConflict) {
+  auto s = makeState(0);
+  auto t = makeState(1);
+  recordRecv(*t, 0, 11, 100);  // t claims node 0 sent packet 100
+  EXPECT_TRUE(inDirectConflict(*t, *s));
+}
+
+TEST_F(DStateTest, ThirdPartyTrafficIsIgnored) {
+  auto s = makeState(0);
+  auto t = makeState(1);
+  recordSend(*s, 2, 10, 100);   // to node 2, not node(t)
+  recordRecv(*t, 3, 11, 200);   // from node 3, not node(s)
+  EXPECT_FALSE(inDirectConflict(*s, *t));
+  EXPECT_FALSE(inDirectConflict(*t, *s));
+}
+
+TEST_F(DStateTest, CountConflictsOverGroup) {
+  StateGroup group(2);
+  auto s = makeState(0);
+  auto t1 = makeState(1);
+  auto t2 = makeState(1);
+  recordSend(*s, 1, 10, 100);
+  recordRecv(*t1, 0, 11, 100);
+  group.add(s.get());
+  group.add(t1.get());
+  group.add(t2.get());  // t2 never received packet 100
+  EXPECT_EQ(countConflicts(group), 1u);
+}
+
+TEST_F(DStateTest, TerminalStatesSkippedInConflictCount) {
+  StateGroup group(2);
+  auto s = makeState(0);
+  auto t = makeState(1);
+  recordSend(*s, 1, 10, 100);
+  t->status = vm::StateStatus::kFailed;  // crashed node: history stops
+  group.add(s.get());
+  group.add(t.get());
+  EXPECT_EQ(countConflicts(group), 0u);
+}
+
+}  // namespace
+}  // namespace sde

@@ -1,0 +1,320 @@
+// Unit tests of the three mapping algorithms against hand-driven
+// branch/transmit sequences — no engine, no VM execution. A stub
+// runtime owns forked states, so each algorithm's structural behaviour
+// (who forks, who receives, how groups evolve) is pinned down exactly
+// as §III specifies.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sde/cob.hpp"
+#include "sde/cow.hpp"
+#include "sde/explode.hpp"
+#include "sde/sds.hpp"
+#include "vm/builder.hpp"
+
+namespace sde {
+namespace {
+
+class StubRuntime final : public MapperRuntime {
+ public:
+  explicit StubRuntime(StateId firstId) : nextId_(firstId) {}
+
+  ExecutionState& forkState(ExecutionState& original) override {
+    owned.push_back(original.fork(nextId_++));
+    ++forks;
+    return *owned.back();
+  }
+  support::StatsRegistry& stats() override { return stats_; }
+
+  std::vector<std::unique_ptr<ExecutionState>> owned;
+  std::size_t forks = 0;
+
+ private:
+  StateId nextId_;
+  support::StatsRegistry stats_;
+};
+
+class MapperUnitTest : public ::testing::Test {
+ protected:
+  MapperUnitTest() {
+    vm::IRBuilder b("noop");
+    b.setGlobals(1);
+    b.beginEntry(vm::Entry::kInit);
+    b.halt();
+    program = b.finish();
+  }
+
+  // k initial states on nodes 0..k-1.
+  std::vector<ExecutionState*> makeInitial(std::uint32_t k) {
+    std::vector<ExecutionState*> initial;
+    for (NodeId node = 0; node < k; ++node) {
+      owned.push_back(std::make_unique<ExecutionState>(nextId++, node,
+                                                       program));
+      initial.push_back(owned.back().get());
+    }
+    return initial;
+  }
+
+  // Emulates the engine's local-branch path: clone + notify the mapper.
+  ExecutionState& branch(StateMapper& mapper, StubRuntime& runtime,
+                         ExecutionState& original) {
+    ExecutionState& sibling = runtime.forkState(original);
+    mapper.onLocalBranch(original, sibling, runtime);
+    return sibling;
+  }
+
+  static net::Packet packetTo(NodeId src, NodeId dst) {
+    net::Packet packet;
+    packet.src = src;
+    packet.dst = dst;
+    packet.id = ++packetCounter;
+    return packet;
+  }
+
+  vm::Program program;
+  std::vector<std::unique_ptr<ExecutionState>> owned;
+  StateId nextId = 0;
+  static inline std::uint64_t packetCounter = 0;
+};
+
+// --- COB ---------------------------------------------------------------------
+
+TEST_F(MapperUnitTest, CobLocalBranchForksWholeDscenario) {
+  CobMapper cob(4);
+  StubRuntime runtime(100);
+  auto initial = makeInitial(4);
+  cob.registerInitialStates(initial);
+  EXPECT_EQ(cob.numGroups(), 1u);
+
+  branch(cob, runtime, *initial[1]);
+  // The sibling plus forked copies of the 3 other nodes (Figure 3).
+  EXPECT_EQ(cob.numGroups(), 2u);
+  EXPECT_EQ(runtime.forks, 1u + 3u);
+  cob.checkInvariants();
+}
+
+TEST_F(MapperUnitTest, CobTransmitIsPureLookup) {
+  CobMapper cob(3);
+  StubRuntime runtime(100);
+  auto initial = makeInitial(3);
+  cob.registerInitialStates(initial);
+
+  const auto receivers =
+      cob.onTransmit(*initial[0], packetTo(0, 2), runtime);
+  ASSERT_EQ(receivers.size(), 1u);
+  EXPECT_EQ(receivers[0], initial[2]);
+  EXPECT_EQ(runtime.forks, 0u);  // never forks on transmit
+}
+
+TEST_F(MapperUnitTest, CobTransmitRoutedWithinOwnDscenario) {
+  CobMapper cob(3);
+  StubRuntime runtime(100);
+  auto initial = makeInitial(3);
+  cob.registerInitialStates(initial);
+  ExecutionState& sibling = branch(cob, runtime, *initial[0]);
+
+  // The sibling's dscenario holds the node-2 *copy*, not the original.
+  const auto receivers = cob.onTransmit(sibling, packetTo(0, 2), runtime);
+  ASSERT_EQ(receivers.size(), 1u);
+  EXPECT_NE(receivers[0], initial[2]);
+  EXPECT_EQ(receivers[0]->node(), 2u);
+  // The original's dscenario still routes to the original.
+  const auto original =
+      cob.onTransmit(*initial[0], packetTo(0, 2), runtime);
+  EXPECT_EQ(original[0], initial[2]);
+}
+
+TEST_F(MapperUnitTest, CobScenarioCountGrowsPerBranch) {
+  CobMapper cob(2);
+  StubRuntime runtime(100);
+  auto initial = makeInitial(2);
+  cob.registerInitialStates(initial);
+  branch(cob, runtime, *initial[0]);
+  branch(cob, runtime, *initial[1]);  // forks into BOTH dscenarios? No —
+  // a branch affects only the dscenario of the branching state.
+  EXPECT_EQ(cob.numGroups(), 3u);
+  cob.checkInvariants();
+}
+
+// --- COW ---------------------------------------------------------------------
+
+TEST_F(MapperUnitTest, CowLocalBranchJustJoins) {
+  CowMapper cow(4);
+  StubRuntime runtime(100);
+  auto initial = makeInitial(4);
+  cow.registerInitialStates(initial);
+
+  ExecutionState& sibling = branch(cow, runtime, *initial[1]);
+  EXPECT_EQ(cow.numGroups(), 1u);
+  EXPECT_EQ(runtime.forks, 1u);  // only the engine's own sibling clone
+  EXPECT_TRUE(cow.dstateOf(sibling).contains(initial[1]));
+  EXPECT_EQ(cow.dstateOf(sibling).statesOf(1).size(), 2u);
+  cow.checkInvariants();
+}
+
+TEST_F(MapperUnitTest, CowTransmitWithoutRivalsDeliversInPlace) {
+  CowMapper cow(3);
+  StubRuntime runtime(100);
+  auto initial = makeInitial(3);
+  cow.registerInitialStates(initial);
+  // Two states on the destination node, single sender state.
+  branch(cow, runtime, *initial[2]);
+
+  const auto receivers = cow.onTransmit(*initial[0], packetTo(0, 2), runtime);
+  EXPECT_EQ(receivers.size(), 2u);  // both node-2 states receive
+  EXPECT_EQ(cow.numGroups(), 1u);  // no conflict: no new dstate
+  EXPECT_EQ(runtime.forks, 1u);    // no forking either
+}
+
+TEST_F(MapperUnitTest, CowTransmitWithRivalsForksTargetsAndBystanders) {
+  CowMapper cow(4);
+  StubRuntime runtime(100);
+  auto initial = makeInitial(4);
+  cow.registerInitialStates(initial);
+  branch(cow, runtime, *initial[0]);  // the sender now has one rival
+  runtime.forks = 0;
+
+  const auto receivers = cow.onTransmit(*initial[0], packetTo(0, 1), runtime);
+  // New dstate: sender + forked target (node 1) + forked bystanders
+  // (nodes 2, 3) — Figure 4.
+  ASSERT_EQ(receivers.size(), 1u);
+  EXPECT_NE(receivers[0], initial[1]);  // a fresh copy receives
+  EXPECT_EQ(runtime.forks, 3u);
+  EXPECT_EQ(runtime.stats().get("map.targets_forked"), 1u);
+  EXPECT_EQ(runtime.stats().get("map.bystanders_forked"), 2u);
+  EXPECT_EQ(cow.numGroups(), 2u);
+  // The rival keeps the originals.
+  cow.checkInvariants();
+}
+
+// --- SDS ---------------------------------------------------------------------
+
+TEST_F(MapperUnitTest, SdsLocalBranchMirrorsVirtuals) {
+  SdsMapper sds(3);
+  StubRuntime runtime(100);
+  auto initial = makeInitial(3);
+  sds.registerInitialStates(initial);
+  EXPECT_EQ(sds.numVirtualStates(), 3u);
+
+  ExecutionState& sibling = branch(sds, runtime, *initial[0]);
+  EXPECT_EQ(sds.numVirtualStates(), 4u);
+  EXPECT_EQ(sds.superDstateSize(sibling), 1u);
+  EXPECT_EQ(sds.numGroups(), 1u);
+  sds.checkInvariants();
+}
+
+TEST_F(MapperUnitTest, SdsTransmitWithoutRivalsDeliversInPlace) {
+  SdsMapper sds(3);
+  StubRuntime runtime(100);
+  auto initial = makeInitial(3);
+  sds.registerInitialStates(initial);
+  branch(sds, runtime, *initial[2]);
+  runtime.forks = 0;
+
+  const auto receivers = sds.onTransmit(*initial[0], packetTo(0, 2), runtime);
+  EXPECT_EQ(receivers.size(), 2u);
+  EXPECT_EQ(runtime.forks, 0u);
+  EXPECT_EQ(sds.numGroups(), 1u);
+  sds.checkInvariants();
+}
+
+TEST_F(MapperUnitTest, SdsTransmitWithRivalsForksOnlyTargets) {
+  SdsMapper sds(4);
+  StubRuntime runtime(100);
+  auto initial = makeInitial(4);
+  sds.registerInitialStates(initial);
+  branch(sds, runtime, *initial[0]);  // rival for the sender
+  runtime.forks = 0;
+
+  const auto receivers = sds.onTransmit(*initial[0], packetTo(0, 1), runtime);
+  ASSERT_EQ(receivers.size(), 1u);
+  // Exactly ONE fork: the target. Bystanders gained virtual states only.
+  EXPECT_EQ(runtime.forks, 1u);
+  EXPECT_EQ(runtime.stats().get("map.targets_forked"), 1u);
+  EXPECT_EQ(runtime.stats().get("map.sds.virtual_bystanders_forked"), 2u);
+  EXPECT_EQ(sds.numGroups(), 2u);
+  // The receiving state is the ORIGINAL target (t receives, t' does
+  // not, §III-C.4); the copy is the non-receiving sibling.
+  EXPECT_EQ(receivers[0], initial[1]);
+  // Bystanders now live in two dstates at once (their super-dstate).
+  EXPECT_EQ(sds.superDstateSize(*initial[2]), 2u);
+  EXPECT_EQ(sds.superDstateSize(*initial[3]), 2u);
+  sds.checkInvariants();
+}
+
+TEST_F(MapperUnitTest, SdsSuperRivalsForkTargetWithoutVirtualForking) {
+  // Figure 7: the sender has no direct rival, but the target shares a
+  // dstate with node-0 states that are NOT the sender (super-rivals).
+  SdsMapper sds(4);
+  StubRuntime runtime(100);
+  auto initial = makeInitial(4);
+  sds.registerInitialStates(initial);
+
+  // Split node 0 into two states and separate them into two dstates by
+  // sending from the sibling (rival conflict) first.
+  ExecutionState& sibling = branch(sds, runtime, *initial[0]);
+  (void)sds.onTransmit(sibling, packetTo(0, 3), runtime);
+  ASSERT_EQ(sds.numGroups(), 2u);
+  // Now `initial[0]` has one virtual in the old dstate; the target on
+  // node 1 has virtuals in both dstates — the sibling's dstate contains
+  // node-0 virtuals that are super-rivals for initial[0]'s next send.
+  runtime.forks = 0;
+  const auto before = sds.numGroups();
+  const auto receivers =
+      sds.onTransmit(*initial[0], packetTo(0, 1), runtime);
+  ASSERT_EQ(receivers.size(), 1u);
+  EXPECT_EQ(runtime.forks, 1u);            // the target forked once
+  EXPECT_EQ(sds.numGroups(), before);      // but no dstate was forked
+  sds.checkInvariants();
+}
+
+TEST_F(MapperUnitTest, SdsTargetForkedAtMostOncePerMapping) {
+  // Multiple sender virtuals (several dstates) targeting the same
+  // actual state must still fork it exactly once (§III-C.3).
+  SdsMapper sds(3);
+  StubRuntime runtime(100);
+  auto initial = makeInitial(3);
+  sds.registerInitialStates(initial);
+  ExecutionState& sibling = branch(sds, runtime, *initial[0]);
+  // Create a second dstate via a conflicting send from the sibling.
+  (void)sds.onTransmit(sibling, packetTo(0, 2), runtime);
+  ASSERT_EQ(sds.numGroups(), 2u);
+  // Let the ORIGINAL now broadcast to node 1, whose single state has
+  // virtuals in both dstates.
+  runtime.forks = 0;
+  const auto forkedBefore = runtime.stats().get("map.targets_forked");
+  const auto receivers = sds.onTransmit(*initial[0], packetTo(0, 1), runtime);
+  ASSERT_EQ(receivers.size(), 1u);
+  EXPECT_LE(runtime.stats().get("map.targets_forked") - forkedBefore, 1u);
+  EXPECT_LE(runtime.forks, 1u);
+  sds.checkInvariants();
+}
+
+// --- Cross-algorithm structure ------------------------------------------------
+
+TEST_F(MapperUnitTest, GroupChoicesShapes) {
+  CobMapper cob(2);
+  CowMapper cow(2);
+  SdsMapper sds(2);
+  StubRuntime runtime(100);
+  auto a = makeInitial(2);
+  cob.registerInitialStates(a);
+  auto b = makeInitial(2);
+  cow.registerInitialStates(b);
+  auto c = makeInitial(2);
+  sds.registerInitialStates(c);
+
+  for (StateMapper* mapper :
+       std::initializer_list<StateMapper*>{&cob, &cow, &sds}) {
+    const auto groups = mapper->groupChoices();
+    ASSERT_EQ(groups.size(), 1u) << mapper->name();
+    ASSERT_EQ(groups[0].size(), 2u);
+    EXPECT_EQ(groups[0][0].size(), 1u);
+    EXPECT_EQ(groups[0][1].size(), 1u);
+    EXPECT_EQ(countScenarios(*mapper), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace sde

@@ -1,0 +1,87 @@
+// Parallelisation partitioning (§VI future work): independently
+// executable state sets.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sde/partition.hpp"
+#include "trace/scenario.hpp"
+
+namespace sde {
+namespace {
+
+trace::CollectScenario runScenario(MapperKind kind, std::uint32_t side = 3,
+                                   std::uint64_t simTime = 4000) {
+  trace::CollectScenarioConfig config;
+  config.gridWidth = side;
+  config.gridHeight = side;
+  config.simulationTime = simTime;
+  config.mapper = kind;
+  trace::CollectScenario scenario(config);
+  scenario.run();
+  return scenario;
+}
+
+TEST(PartitionTest, SizesAccountForEveryMappedState) {
+  auto scenario = runScenario(MapperKind::kSds);
+  const PartitionReport report =
+      partitionStates(scenario.engine().mapper());
+  EXPECT_EQ(std::accumulate(report.sizes.begin(), report.sizes.end(),
+                            std::size_t{0}),
+            report.states);
+  EXPECT_EQ(report.sizes.size(), report.components);
+  // Sizes are sorted descending and the largest is first.
+  EXPECT_TRUE(std::is_sorted(report.sizes.rbegin(), report.sizes.rend()));
+  EXPECT_EQ(report.largestComponent, report.sizes.front());
+}
+
+TEST(PartitionTest, CobComponentsAreItsDscenarios) {
+  // COB states belong to exactly one dscenario each: the partition is
+  // precisely the dscenario list.
+  auto scenario = runScenario(MapperKind::kCob, 2, 3000);
+  const auto& mapper = scenario.engine().mapper();
+  const PartitionReport report = partitionStates(mapper);
+  EXPECT_EQ(report.components, mapper.numGroups());
+  for (const std::size_t size : report.sizes) EXPECT_EQ(size, 4u);  // k
+}
+
+TEST(PartitionTest, CowComponentsAreItsDstates) {
+  auto scenario = runScenario(MapperKind::kCow, 2, 3000);
+  const auto& mapper = scenario.engine().mapper();
+  const PartitionReport report = partitionStates(mapper);
+  EXPECT_EQ(report.components, mapper.numGroups());
+}
+
+TEST(PartitionTest, SdsComponentsNeverExceedDstates) {
+  // SDS states span several dstates (super-dstates), so components can
+  // only be coarser than the dstate partition.
+  auto scenario = runScenario(MapperKind::kSds);
+  const auto& mapper = scenario.engine().mapper();
+  const PartitionReport report = partitionStates(mapper);
+  EXPECT_LE(report.components, mapper.numGroups());
+  EXPECT_GE(report.components, 1u);
+}
+
+TEST(PartitionTest, IndependentBranchingMaximisesParallelism) {
+  // Drop-forked states that never communicate afterwards end up in
+  // separate components: COB's partition on the small grid shows
+  // speedup = #dscenarios (each is an independent simulation).
+  auto scenario = runScenario(MapperKind::kCob, 2, 3000);
+  const PartitionReport report =
+      partitionStates(scenario.engine().mapper());
+  EXPECT_GT(report.maxSpeedup(), 1.0);
+  EXPECT_DOUBLE_EQ(report.maxSpeedup(),
+                   static_cast<double>(report.components));
+}
+
+TEST(PartitionTest, EmptyMapperYieldsEmptyReport) {
+  // A mapper with no registered states (never booted).
+  const auto mapper = makeMapper(MapperKind::kSds, 3);
+  const PartitionReport report = partitionStates(*mapper);
+  EXPECT_EQ(report.states, 0u);
+  EXPECT_EQ(report.components, 0u);
+  EXPECT_DOUBLE_EQ(report.maxSpeedup(), 1.0);
+}
+
+}  // namespace
+}  // namespace sde

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sde/dstate.hpp"
+#include "sde/scheduler.hpp"
+#include "vm/builder.hpp"
+
+namespace sde {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() {
+    vm::IRBuilder b("noop");
+    b.setGlobals(1);
+    b.beginEntry(vm::Entry::kInit);
+    b.halt();
+    program = b.finish();
+  }
+
+  vm::ExecutionState& makeState(NodeId node) {
+    auto state = std::make_unique<vm::ExecutionState>(nextId++, node, program);
+    auto* raw = state.get();
+    byId[raw->id()] = raw;
+    owned.push_back(std::move(state));
+    return *raw;
+  }
+
+  void addEvent(vm::ExecutionState& state, std::uint64_t time,
+                vm::EventKind kind = vm::EventKind::kTimer,
+                std::uint64_t a = 0) {
+    vm::PendingEvent event;
+    event.time = time;
+    event.kind = kind;
+    event.a = a;
+    event.seq = state.nextEventSeq++;
+    state.pendingEvents.push_back(std::move(event));
+  }
+
+  auto resolver() {
+    return [this](StateId id) -> vm::ExecutionState* {
+      const auto it = byId.find(id);
+      return it == byId.end() ? nullptr : it->second;
+    };
+  }
+
+  vm::Program program;
+  Scheduler scheduler;
+  std::vector<std::unique_ptr<vm::ExecutionState>> owned;
+  std::map<StateId, vm::ExecutionState*> byId;
+  StateId nextId = 0;
+};
+
+TEST_F(SchedulerTest, PopsInTimeOrder) {
+  auto& a = makeState(0);
+  auto& b = makeState(1);
+  addEvent(a, 30);
+  addEvent(b, 10);
+  addEvent(a, 20);
+  scheduler.registerState(a);
+  scheduler.registerState(b);
+
+  auto first = scheduler.pop(1000, resolver());
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->event.time, 10u);
+  auto second = scheduler.pop(1000, resolver());
+  EXPECT_EQ(second->event.time, 20u);
+  auto third = scheduler.pop(1000, resolver());
+  EXPECT_EQ(third->event.time, 30u);
+  EXPECT_FALSE(scheduler.pop(1000, resolver()).has_value());
+}
+
+TEST_F(SchedulerTest, TiesBreakByNodeThenSeq) {
+  auto& n2 = makeState(2);
+  auto& n1 = makeState(1);
+  addEvent(n2, 10);
+  addEvent(n1, 10);
+  addEvent(n1, 10);
+  scheduler.registerState(n1);
+  scheduler.registerState(n2);
+
+  auto first = scheduler.pop(1000, resolver());
+  EXPECT_EQ(first->state->node(), 1u);
+  EXPECT_EQ(first->event.seq, 0u);
+  auto second = scheduler.pop(1000, resolver());
+  EXPECT_EQ(second->state->node(), 1u);
+  EXPECT_EQ(second->event.seq, 1u);
+  auto third = scheduler.pop(1000, resolver());
+  EXPECT_EQ(third->state->node(), 2u);
+}
+
+TEST_F(SchedulerTest, HorizonLeavesLaterEventsPending) {
+  auto& a = makeState(0);
+  addEvent(a, 10);
+  addEvent(a, 200);
+  scheduler.registerState(a);
+
+  EXPECT_TRUE(scheduler.pop(100, resolver()).has_value());
+  EXPECT_FALSE(scheduler.pop(100, resolver()).has_value());
+  // The 200-tick event is still in the heap and in the state.
+  EXPECT_EQ(a.pendingEvents.size(), 1u);
+  EXPECT_TRUE(scheduler.pop(300, resolver()).has_value());
+}
+
+TEST_F(SchedulerTest, PopRemovesEventFromState) {
+  auto& a = makeState(0);
+  addEvent(a, 10);
+  scheduler.registerState(a);
+  auto popped = scheduler.pop(100, resolver());
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_TRUE(a.pendingEvents.empty());
+}
+
+TEST_F(SchedulerTest, DuplicateRegistrationIsHarmless) {
+  auto& a = makeState(0);
+  addEvent(a, 10);
+  scheduler.registerState(a);
+  scheduler.registerState(a);
+  scheduler.registerState(a);
+  EXPECT_TRUE(scheduler.pop(100, resolver()).has_value());
+  // The stale duplicates validate against the (now empty) state.
+  EXPECT_FALSE(scheduler.pop(100, resolver()).has_value());
+}
+
+TEST_F(SchedulerTest, CancelledTimerEntriesAreSkipped) {
+  auto& a = makeState(0);
+  addEvent(a, 10, vm::EventKind::kTimer, /*timer id=*/1);
+  scheduler.registerState(a);
+  a.pendingEvents.clear();  // timer cancelled by the program
+  EXPECT_FALSE(scheduler.pop(100, resolver()).has_value());
+}
+
+TEST_F(SchedulerTest, TerminalStatesAreNotScheduled) {
+  auto& a = makeState(0);
+  addEvent(a, 10);
+  scheduler.registerState(a);
+  a.status = vm::StateStatus::kFailed;
+  EXPECT_FALSE(scheduler.pop(100, resolver()).has_value());
+}
+
+TEST_F(SchedulerTest, UnresolvableStatesAreSkipped) {
+  auto& a = makeState(0);
+  addEvent(a, 10);
+  scheduler.registerState(a);
+  byId.clear();  // state disappeared
+  EXPECT_FALSE(scheduler.pop(100, resolver()).has_value());
+}
+
+TEST_F(SchedulerTest, ForkedStateEventsScheduleIndependently) {
+  auto& a = makeState(0);
+  addEvent(a, 10);
+  scheduler.registerState(a);
+  // Fork after registration: the clone carries the same pending event.
+  auto clone = a.fork(nextId++);
+  byId[clone->id()] = clone.get();
+  scheduler.registerState(*clone);
+  owned.push_back(std::move(clone));
+
+  int popped = 0;
+  while (scheduler.pop(100, resolver()).has_value()) ++popped;
+  EXPECT_EQ(popped, 2);
+}
+
+}  // namespace
+}  // namespace sde

@@ -1,0 +1,67 @@
+// The SDS ≡ COW-on-virtual-states duality (§III-C: "Conceptually, the
+// SDS algorithm is equivalent to COW executed on a set of virtual
+// states"). If the implementations are faithful, a full engine run must
+// exhibit, for identical scenarios:
+//
+//   * #virtual states (SDS)  ==  #execution states (COW),
+//   * #dstates (SDS)         ==  #dstates (COW),
+//   * identical exploded dscenario fingerprint sets,
+//
+// because every COW state corresponds to exactly one SDS virtual state.
+#include <gtest/gtest.h>
+
+#include "sde/explode.hpp"
+#include "sde/sds.hpp"
+#include "trace/scenario.hpp"
+
+namespace sde {
+namespace {
+
+struct DualityCase {
+  std::uint32_t width;
+  std::uint32_t height;
+  std::uint64_t simulationTime;
+};
+
+class SdsCowDualityTest : public ::testing::TestWithParam<DualityCase> {};
+
+TEST_P(SdsCowDualityTest, VirtualStatesMirrorCowStates) {
+  const DualityCase& c = GetParam();
+
+  const auto makeScenario = [&](MapperKind kind) {
+    trace::CollectScenarioConfig config;
+    config.gridWidth = c.width;
+    config.gridHeight = c.height;
+    config.simulationTime = c.simulationTime;
+    config.mapper = kind;
+    return trace::CollectScenario(config);
+  };
+
+  auto cow = makeScenario(MapperKind::kCow);
+  auto sds = makeScenario(MapperKind::kSds);
+  const auto cowResult = cow.run();
+  const auto sdsResult = sds.run();
+
+  const auto& sdsMapper =
+      static_cast<const SdsMapper&>(sds.engine().mapper());
+  EXPECT_EQ(sdsMapper.numVirtualStates(), cowResult.states)
+      << "every COW state must correspond to one SDS virtual state";
+  EXPECT_EQ(sdsResult.groups, cowResult.groups);
+  EXPECT_EQ(scenarioFingerprints(sds.engine().mapper()),
+            scenarioFingerprints(cow.engine().mapper()));
+  // And the whole point of the construction: far fewer actual states.
+  EXPECT_LE(sdsResult.states, cowResult.states);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, SdsCowDualityTest,
+    ::testing::Values(DualityCase{2, 2, 4000}, DualityCase{3, 2, 4000},
+                      DualityCase{3, 3, 4000}, DualityCase{4, 3, 3000}),
+    [](const ::testing::TestParamInfo<DualityCase>& info) {
+      return std::to_string(info.param.width) + "x" +
+             std::to_string(info.param.height) + "_t" +
+             std::to_string(info.param.simulationTime);
+    });
+
+}  // namespace
+}  // namespace sde

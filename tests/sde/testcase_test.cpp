@@ -1,0 +1,107 @@
+// Test-case generation: concrete inputs that replay explored paths,
+// including failure decisions (§II-A, §IV-C).
+#include <gtest/gtest.h>
+
+#include "sde/explode.hpp"
+#include "sde/testcase.hpp"
+#include "trace/scenario.hpp"
+
+namespace sde {
+namespace {
+
+class TestCaseTest : public ::testing::Test {
+ protected:
+  TestCaseTest() {
+    trace::CollectScenarioConfig config;
+    config.gridWidth = 2;
+    config.gridHeight = 2;
+    config.simulationTime = 3000;
+    config.mapper = MapperKind::kSds;
+    scenario = std::make_unique<trace::CollectScenario>(config);
+    scenario->run();
+  }
+
+  std::unique_ptr<trace::CollectScenario> scenario;
+};
+
+TEST_F(TestCaseTest, EveryStateYieldsATestCase) {
+  auto& engine = scenario->engine();
+  for (const auto& state : engine.states()) {
+    const auto testCase = generateTestCase(engine.solver(), *state);
+    ASSERT_TRUE(testCase.has_value()) << "state " << state->id();
+    EXPECT_EQ(testCase->node, state->node());
+    EXPECT_EQ(testCase->inputs.size(), state->symbolics.size());
+  }
+}
+
+TEST_F(TestCaseTest, TestCaseValuesSatisfyTheConstraints) {
+  auto& engine = scenario->engine();
+  for (const auto& state : engine.states()) {
+    const auto testCase = generateTestCase(engine.solver(), *state);
+    ASSERT_TRUE(testCase.has_value());
+    expr::Assignment assignment;
+    for (std::size_t i = 0; i < testCase->inputs.size(); ++i)
+      assignment.set(state->symbolics[i], testCase->inputs[i].value);
+    for (expr::Ref c : state->constraints.items())
+      EXPECT_EQ(expr::evaluate(c, assignment), 1u)
+          << "state " << state->id();
+  }
+}
+
+TEST_F(TestCaseTest, DropDecisionsAppearAsInputs) {
+  auto& engine = scenario->engine();
+  bool sawDropInput = false;
+  for (const auto& state : engine.states()) {
+    const auto testCase = generateTestCase(engine.solver(), *state);
+    ASSERT_TRUE(testCase.has_value());
+    for (const auto& input : testCase->inputs)
+      if (input.name.find("netdrop") != std::string::npos)
+        sawDropInput = true;
+  }
+  EXPECT_TRUE(sawDropInput);
+}
+
+TEST_F(TestCaseTest, ScenarioTestCasesAreJointlyConsistent) {
+  auto& engine = scenario->engine();
+  const auto dscenarios = explodeScenarios(engine.mapper());
+  ASSERT_FALSE(dscenarios.empty());
+  for (const auto& dscenario : dscenarios) {
+    const auto cases = generateScenarioTestCases(engine.solver(), dscenario);
+    ASSERT_TRUE(cases.has_value());
+    ASSERT_EQ(cases->size(), dscenario.size());
+    // The same variable must get the same value in every member's view.
+    std::map<std::string, std::uint64_t> global;
+    for (const auto& testCase : *cases) {
+      for (const auto& input : testCase.inputs) {
+        const auto [it, inserted] = global.emplace(input.name, input.value);
+        EXPECT_EQ(it->second, input.value) << input.name;
+      }
+    }
+  }
+}
+
+TEST_F(TestCaseTest, FormatIsStableAndReadable) {
+  TestCase testCase;
+  testCase.state = 7;
+  testCase.node = 3;
+  testCase.inputs = {{"n3.netdrop.0", 1, 1}, {"n3.x.0", 8, 42}};
+  testCase.failureMessage = "boom";
+  const std::string text = formatTestCase(testCase);
+  EXPECT_EQ(text,
+            "test case [node 3, state 7] FAILURE: boom\n"
+            "  n3.netdrop.0 (w1) = 1\n"
+            "  n3.x.0 (w8) = 42\n");
+}
+
+TEST_F(TestCaseTest, UnsatisfiableStateYieldsNoTestCase) {
+  auto& engine = scenario->engine();
+  // Forge an impossible state: contradictory constraints.
+  auto state = engine.states().front()->fork(99999);
+  expr::Ref v = engine.context().variable("impossible", 1);
+  state->constraints.add(v);
+  state->constraints.add(engine.context().logicalNot(v));
+  EXPECT_EQ(generateTestCase(engine.solver(), *state), std::nullopt);
+}
+
+}  // namespace
+}  // namespace sde

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "solver/constraint_set.hpp"
+
+namespace sde::solver {
+namespace {
+
+class ConstraintSetTest : public ::testing::Test {
+ protected:
+  expr::Context ctx;
+  expr::Ref x = ctx.variable("x", 8);
+  expr::Ref y = ctx.variable("y", 8);
+};
+
+TEST_F(ConstraintSetTest, AddTracksOutcome) {
+  ConstraintSet cs;
+  EXPECT_EQ(cs.add(ctx.ult(x, ctx.constant(5, 8))),
+            ConstraintSet::AddResult::kAdded);
+  EXPECT_EQ(cs.add(ctx.ult(x, ctx.constant(5, 8))),
+            ConstraintSet::AddResult::kRedundant);
+  EXPECT_EQ(cs.add(ctx.trueExpr()), ConstraintSet::AddResult::kRedundant);
+  EXPECT_EQ(cs.add(ctx.falseExpr()),
+            ConstraintSet::AddResult::kTriviallyFalse);
+  EXPECT_EQ(cs.size(), 1u);
+}
+
+TEST_F(ConstraintSetTest, SetHashIsOrderIndependent) {
+  expr::Ref c1 = ctx.ult(x, ctx.constant(5, 8));
+  expr::Ref c2 = ctx.eq(y, ctx.constant(1, 8));
+  ConstraintSet a;
+  ConstraintSet b;
+  a.add(c1);
+  a.add(c2);
+  b.add(c2);
+  b.add(c1);
+  EXPECT_EQ(a.setHash(), b.setHash());
+}
+
+TEST_F(ConstraintSetTest, SetHashDistinguishesSets) {
+  ConstraintSet a;
+  ConstraintSet b;
+  a.add(ctx.ult(x, ctx.constant(5, 8)));
+  b.add(ctx.ult(x, ctx.constant(6, 8)));
+  EXPECT_NE(a.setHash(), b.setHash());
+  EXPECT_NE(a.setHash(), ConstraintSet{}.setHash());
+}
+
+TEST_F(ConstraintSetTest, CopyIsIndependent) {
+  ConstraintSet a;
+  a.add(ctx.ult(x, ctx.constant(5, 8)));
+  ConstraintSet b = a;  // forked state copies its path constraints
+  b.add(ctx.eq(y, ctx.constant(1, 8)));
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_NE(a.setHash(), b.setHash());
+}
+
+TEST_F(ConstraintSetTest, VariablesSortedAndDeduplicated) {
+  ConstraintSet cs;
+  cs.add(ctx.ult(y, ctx.constant(5, 8)));
+  cs.add(ctx.eq(ctx.add(x, y), ctx.constant(3, 8)));
+  const auto vars = cs.variables(ctx);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], x);
+  EXPECT_EQ(vars[1], y);
+}
+
+TEST_F(ConstraintSetTest, BooleanWidthEnforced) {
+  ConstraintSet cs;
+  EXPECT_DEATH(cs.add(x), "boolean");
+}
+
+}  // namespace
+}  // namespace sde::solver

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "solver/independence.hpp"
+
+namespace sde::solver {
+namespace {
+
+class IndependenceTest : public ::testing::Test {
+ protected:
+  expr::Context ctx;
+  expr::Ref a = ctx.variable("a", 8);
+  expr::Ref b = ctx.variable("b", 8);
+  expr::Ref c = ctx.variable("c", 8);
+  expr::Ref d = ctx.variable("d", 8);
+
+  expr::Ref lt(expr::Ref v, int k) { return ctx.ult(v, ctx.constant(k, 8)); }
+};
+
+TEST_F(IndependenceTest, SliceKeepsOnlyConnectedConstraints) {
+  std::vector<expr::Ref> cs = {lt(a, 5), lt(b, 5), lt(c, 5)};
+  const auto slice = sliceForQuery(ctx, cs, ctx.eq(a, ctx.constant(1, 8)));
+  ASSERT_EQ(slice.size(), 1u);
+  EXPECT_EQ(slice[0], cs[0]);
+}
+
+TEST_F(IndependenceTest, SliceFollowsTransitiveLinks) {
+  // a~b via first constraint, b~c via second; query on a pulls all three
+  // links but leaves d alone.
+  std::vector<expr::Ref> cs = {ctx.ult(a, b), ctx.ult(b, c), lt(d, 9)};
+  const auto slice = sliceForQuery(ctx, cs, ctx.eq(a, ctx.constant(0, 8)));
+  EXPECT_EQ(slice.size(), 2u);
+}
+
+TEST_F(IndependenceTest, SliceEmptyWhenQueryDisjoint) {
+  std::vector<expr::Ref> cs = {lt(a, 5), lt(b, 5)};
+  const auto slice = sliceForQuery(ctx, cs, ctx.eq(c, ctx.constant(1, 8)));
+  EXPECT_TRUE(slice.empty());
+}
+
+TEST_F(IndependenceTest, SlicePreservesOriginalOrder) {
+  std::vector<expr::Ref> cs = {lt(a, 9), lt(b, 9), ctx.ult(a, b)};
+  const auto slice = sliceForQuery(ctx, cs, ctx.eq(b, ctx.constant(1, 8)));
+  ASSERT_EQ(slice.size(), 3u);
+  EXPECT_EQ(slice[0], cs[0]);
+  EXPECT_EQ(slice[1], cs[1]);
+  EXPECT_EQ(slice[2], cs[2]);
+}
+
+TEST_F(IndependenceTest, SplitComponentsPartitions) {
+  std::vector<expr::Ref> cs = {lt(a, 5), lt(b, 6), ctx.ult(a, c), lt(d, 7)};
+  const auto comps = splitComponents(ctx, cs);
+  ASSERT_EQ(comps.size(), 3u);
+  // Component containing `a` also contains the a<c link.
+  EXPECT_EQ(comps[0].size(), 2u);
+  EXPECT_EQ(comps[1].size(), 1u);
+  EXPECT_EQ(comps[2].size(), 1u);
+}
+
+TEST_F(IndependenceTest, SplitComponentsOnEmptyInput) {
+  const auto comps = splitComponents(ctx, {});
+  EXPECT_TRUE(comps.empty());
+}
+
+TEST_F(IndependenceTest, SplitSingleComponentWhenFullyConnected) {
+  std::vector<expr::Ref> cs = {ctx.ult(a, b), ctx.ult(b, c), ctx.ult(c, d)};
+  const auto comps = splitComponents(ctx, cs);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].size(), 3u);
+}
+
+}  // namespace
+}  // namespace sde::solver

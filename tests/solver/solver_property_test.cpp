@@ -1,0 +1,179 @@
+// Property tests: the stacked solver must agree with ground-truth brute
+// force enumeration on randomly generated small-domain constraint sets.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "expr/eval.hpp"
+#include "solver/solver.hpp"
+#include "support/rng.hpp"
+
+namespace sde::solver {
+namespace {
+
+// Ground truth: enumerate all assignments of `vars` (4-bit domains) and
+// report whether any satisfies every constraint.
+bool bruteForceSat(const std::vector<expr::Ref>& vars,
+                   const std::vector<expr::Ref>& constraints) {
+  const std::size_t n = vars.size();
+  const std::uint64_t total = 1ULL << (4 * n);
+  for (std::uint64_t enc = 0; enc < total; ++enc) {
+    expr::Assignment a;
+    for (std::size_t i = 0; i < n; ++i) a.set(vars[i], (enc >> (4 * i)) & 0xf);
+    bool ok = true;
+    for (expr::Ref c : constraints)
+      if (expr::evaluate(c, a) == 0) {
+        ok = false;
+        break;
+      }
+    if (ok) return true;
+  }
+  return false;
+}
+
+class RandomConstraintGen {
+ public:
+  RandomConstraintGen(expr::Context& ctx, support::Rng& rng)
+      : ctx_(ctx), rng_(rng) {
+    for (int i = 0; i < 3; ++i)
+      vars_.push_back(ctx_.variable("q" + std::to_string(i), 4));
+  }
+
+  const std::vector<expr::Ref>& vars() const { return vars_; }
+
+  expr::Ref term(int depth) {
+    if (depth == 0 || rng_.chance(0.4)) {
+      if (rng_.chance(0.5)) return vars_[rng_.below(vars_.size())];
+      return ctx_.constant(rng_.below(16), 4);
+    }
+    expr::Ref a = term(depth - 1);
+    expr::Ref b = term(depth - 1);
+    switch (rng_.below(5)) {
+      case 0:
+        return ctx_.add(a, b);
+      case 1:
+        return ctx_.sub(a, b);
+      case 2:
+        return ctx_.bvAnd(a, b);
+      case 3:
+        return ctx_.bvXor(a, b);
+      default:
+        return ctx_.mul(a, b);
+    }
+  }
+
+  expr::Ref comparison() {
+    expr::Ref a = term(2);
+    expr::Ref b = term(2);
+    switch (rng_.below(4)) {
+      case 0:
+        return ctx_.eq(a, b);
+      case 1:
+        return ctx_.ne(a, b);
+      case 2:
+        return ctx_.ult(a, b);
+      default:
+        return ctx_.ule(a, b);
+    }
+  }
+
+ private:
+  expr::Context& ctx_;
+  support::Rng& rng_;
+  std::vector<expr::Ref> vars_;
+};
+
+class SolverPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverPropertyTest, AgreesWithBruteForce) {
+  expr::Context ctx;
+  support::Rng rng(GetParam());
+  RandomConstraintGen gen(ctx, rng);
+  Solver solver(ctx);
+
+  for (int round = 0; round < 40; ++round) {
+    std::vector<expr::Ref> raw;
+    ConstraintSet cs;
+    bool triviallyFalse = false;
+    const int n = 1 + static_cast<int>(rng.below(4));
+    for (int i = 0; i < n; ++i) {
+      expr::Ref c = gen.comparison();
+      raw.push_back(c);
+      if (cs.add(c) == ConstraintSet::AddResult::kTriviallyFalse)
+        triviallyFalse = true;
+    }
+    const bool expected = bruteForceSat(gen.vars(), raw);
+    const bool actual =
+        !triviallyFalse && solver.mayBeTrue(cs, ctx.trueExpr());
+    EXPECT_EQ(actual, expected) << "seed=" << GetParam()
+                                << " round=" << round;
+  }
+}
+
+TEST_P(SolverPropertyTest, ModelsActuallySatisfy) {
+  expr::Context ctx;
+  support::Rng rng(GetParam() ^ 0x99ULL);
+  RandomConstraintGen gen(ctx, rng);
+  Solver solver(ctx);
+
+  for (int round = 0; round < 40; ++round) {
+    ConstraintSet cs;
+    bool triviallyFalse = false;
+    const int n = 1 + static_cast<int>(rng.below(3));
+    for (int i = 0; i < n; ++i)
+      if (cs.add(gen.comparison()) ==
+          ConstraintSet::AddResult::kTriviallyFalse)
+        triviallyFalse = true;
+    if (triviallyFalse) continue;
+
+    const auto model = solver.getModel(cs);
+    if (!model) continue;  // UNSAT: checked by the other property
+    expr::Assignment complete = *model;
+    for (expr::Ref v : gen.vars())
+      if (!complete.get(v)) complete.set(v, 0);
+    for (expr::Ref c : cs.items())
+      EXPECT_EQ(expr::evaluate(c, complete), 1u)
+          << "seed=" << GetParam() << " round=" << round;
+  }
+}
+
+TEST_P(SolverPropertyTest, MustAndMayAreConsistent) {
+  expr::Context ctx;
+  support::Rng rng(GetParam() ^ 0x777ULL);
+  RandomConstraintGen gen(ctx, rng);
+  Solver solver(ctx);
+
+  for (int round = 0; round < 30; ++round) {
+    ConstraintSet cs;
+    if (cs.add(gen.comparison()) ==
+        ConstraintSet::AddResult::kTriviallyFalse)
+      continue;
+    expr::Ref q = gen.comparison();
+    const bool may = solver.mayBeTrue(cs, q);
+    const bool must = solver.mustBeTrue(cs, q);
+    // mustBeTrue implies mayBeTrue whenever the constraints are
+    // satisfiable at all.
+    if (solver.mayBeTrue(cs, ctx.trueExpr()) && must) {
+      EXPECT_TRUE(may);
+    }
+    // classify must agree with the two primitive queries.
+    const Validity v = solver.classify(cs, q);
+    if (v == Validity::kTrue) {
+      EXPECT_TRUE(must);
+    }
+    if (v == Validity::kFalse) {
+      EXPECT_FALSE(may);
+    }
+    if (v == Validity::kUnknown) {
+      EXPECT_TRUE(may);
+      EXPECT_FALSE(must);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808));
+
+}  // namespace
+}  // namespace sde::solver

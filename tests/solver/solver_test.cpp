@@ -1,0 +1,162 @@
+// Directed solver tests over the query API the VM uses.
+#include <gtest/gtest.h>
+
+#include "solver/solver.hpp"
+
+namespace sde::solver {
+namespace {
+
+class SolverTest : public ::testing::Test {
+ protected:
+  expr::Context ctx;
+  Solver solver{ctx};
+  expr::Ref x = ctx.variable("x", 8);
+  expr::Ref y = ctx.variable("y", 8);
+
+  expr::Ref k(int v) { return ctx.constant(v, 8); }
+};
+
+TEST_F(SolverTest, EmptyConstraintsEverythingIsPossible) {
+  ConstraintSet cs;
+  EXPECT_TRUE(solver.mayBeTrue(cs, ctx.eq(x, k(0))));
+  EXPECT_TRUE(solver.mayBeTrue(cs, ctx.eq(x, k(255))));
+  EXPECT_FALSE(solver.mustBeTrue(cs, ctx.eq(x, k(0))));
+  EXPECT_EQ(solver.classify(cs, ctx.eq(x, k(3))), Validity::kUnknown);
+}
+
+TEST_F(SolverTest, ConstantConditionsShortCircuit) {
+  ConstraintSet cs;
+  EXPECT_TRUE(solver.mayBeTrue(cs, ctx.trueExpr()));
+  EXPECT_FALSE(solver.mayBeTrue(cs, ctx.falseExpr()));
+  EXPECT_TRUE(solver.mustBeTrue(cs, ctx.trueExpr()));
+  EXPECT_FALSE(solver.mustBeTrue(cs, ctx.falseExpr()));
+  EXPECT_EQ(solver.classify(cs, ctx.trueExpr()), Validity::kTrue);
+  EXPECT_EQ(solver.classify(cs, ctx.falseExpr()), Validity::kFalse);
+}
+
+TEST_F(SolverTest, ConstraintsNarrowPossibilities) {
+  ConstraintSet cs;
+  cs.add(ctx.ult(x, k(10)));
+  EXPECT_TRUE(solver.mayBeTrue(cs, ctx.eq(x, k(9))));
+  EXPECT_FALSE(solver.mayBeTrue(cs, ctx.eq(x, k(10))));
+  EXPECT_TRUE(solver.mustBeTrue(cs, ctx.ult(x, k(11))));
+  EXPECT_FALSE(solver.mustBeTrue(cs, ctx.ult(x, k(9))));
+}
+
+TEST_F(SolverTest, ClassifyDetectsImpliedBranches) {
+  ConstraintSet cs;
+  cs.add(ctx.eq(x, k(7)));
+  EXPECT_EQ(solver.classify(cs, ctx.ult(x, k(8))), Validity::kTrue);
+  EXPECT_EQ(solver.classify(cs, ctx.ult(x, k(7))), Validity::kFalse);
+  EXPECT_EQ(solver.classify(cs, ctx.ult(y, k(7))), Validity::kUnknown);
+}
+
+TEST_F(SolverTest, UnsatisfiableConjunction) {
+  ConstraintSet cs;
+  cs.add(ctx.ult(x, k(5)));
+  cs.add(ctx.ult(k(5), x));
+  EXPECT_FALSE(solver.mayBeTrue(cs, ctx.trueExpr()));
+  EXPECT_EQ(solver.getModel(cs), std::nullopt);
+}
+
+TEST_F(SolverTest, CrossVariableConstraints) {
+  ConstraintSet cs;
+  cs.add(ctx.eq(ctx.add(x, y), k(10)));
+  cs.add(ctx.ult(x, k(3)));
+  ASSERT_TRUE(solver.mayBeTrue(cs, ctx.trueExpr()));
+  const auto model = solver.getModel(cs);
+  ASSERT_TRUE(model.has_value());
+  const std::uint64_t xv = *model->get(x);
+  const std::uint64_t yv = *model->get(y);
+  EXPECT_LT(xv, 3u);
+  EXPECT_EQ((xv + yv) & 0xff, 10u);
+}
+
+TEST_F(SolverTest, GetValueReturnsAWitness) {
+  ConstraintSet cs;
+  cs.add(ctx.ult(k(250), x));  // x in {251..255}
+  const auto v = solver.getValue(cs, x);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_GT(*v, 250u);
+  // Constants evaluate to themselves without any solving.
+  EXPECT_EQ(solver.getValue(cs, k(42)), 42u);
+}
+
+TEST_F(SolverTest, GetValueOfDerivedExpression) {
+  ConstraintSet cs;
+  cs.add(ctx.eq(x, k(7)));
+  const auto v = solver.getValue(cs, ctx.add(x, k(1)));
+  EXPECT_EQ(v, 8u);
+}
+
+TEST_F(SolverTest, GetValueUnboundVariableDefaultsToZero) {
+  ConstraintSet cs;  // y unconstrained: first witness is 0
+  const auto v = solver.getValue(cs, ctx.add(y, k(5)));
+  EXPECT_EQ(v, 5u);
+}
+
+TEST_F(SolverTest, ModelCoversAllComponents) {
+  ConstraintSet cs;
+  cs.add(ctx.eq(x, k(1)));
+  cs.add(ctx.eq(y, k(2)));  // independent component
+  const auto model = solver.getModel(cs);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(*model->get(x), 1u);
+  EXPECT_EQ(*model->get(y), 2u);
+}
+
+TEST_F(SolverTest, WrapAroundArithmeticIsModelledCorrectly) {
+  ConstraintSet cs;
+  cs.add(ctx.eq(ctx.add(x, k(1)), k(0)));  // x + 1 == 0 (mod 256)
+  const auto v = solver.getValue(cs, x);
+  EXPECT_EQ(v, 255u);
+}
+
+TEST_F(SolverTest, CacheHitsOnRepeatedQueries) {
+  ConstraintSet cs;
+  cs.add(ctx.ult(x, k(10)));
+  (void)solver.mayBeTrue(cs, ctx.eq(x, k(3)));
+  const auto before = solver.stats().get("solver.cache_hits");
+  (void)solver.mayBeTrue(cs, ctx.eq(x, k(3)));
+  EXPECT_GT(solver.stats().get("solver.cache_hits"), before);
+}
+
+TEST_F(SolverTest, IndependenceKeepsQueriesSmall) {
+  ConstraintSet cs;
+  // Many unrelated constraints plus one on x.
+  for (int i = 0; i < 20; ++i)
+    cs.add(ctx.ult(ctx.variable("pad" + std::to_string(i), 8), k(100)));
+  cs.add(ctx.ult(x, k(10)));
+  EXPECT_TRUE(solver.mayBeTrue(cs, ctx.eq(x, k(5))));
+  EXPECT_GT(solver.stats().get("solver.sliced_away"), 0u);
+}
+
+TEST_F(SolverTest, SolverWithoutOptimisationsStillCorrect) {
+  SolverConfig config;
+  config.useCache = false;
+  config.useIndependence = false;
+  config.useIntervals = false;
+  Solver plain(ctx, config);
+  ConstraintSet cs;
+  cs.add(ctx.ult(x, k(10)));
+  EXPECT_TRUE(plain.mayBeTrue(cs, ctx.eq(x, k(9))));
+  EXPECT_FALSE(plain.mayBeTrue(cs, ctx.eq(x, k(10))));
+}
+
+TEST_F(SolverTest, BooleanDropFlagScenario) {
+  // The exact query shape SDE's failure models produce: a fresh boolean
+  // per symbolic packet drop.
+  ConstraintSet received;
+  ConstraintSet dropped;
+  expr::Ref drop = ctx.variable("drop_n3_p0", 1);
+  received.add(ctx.logicalNot(drop));
+  dropped.add(drop);
+  EXPECT_EQ(solver.classify(received, drop), Validity::kFalse);
+  EXPECT_EQ(solver.classify(dropped, drop), Validity::kTrue);
+  const auto model = solver.getModel(dropped);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(*model->get(drop), 1u);
+}
+
+}  // namespace
+}  // namespace sde::solver

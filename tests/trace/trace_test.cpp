@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/metrics.hpp"
+#include "trace/scenario.hpp"
+#include "trace/table.hpp"
+
+namespace sde::trace {
+namespace {
+
+TEST(Table, RendersAlignedGrid) {
+  TextTable table({"a", "long header"});
+  table.addRow({"xxxx", "1"});
+  const std::string out = table.render();
+  EXPECT_EQ(out,
+            "+------+-------------+\n"
+            "| a    | long header |\n"
+            "+------+-------------+\n"
+            "| xxxx | 1           |\n"
+            "+------+-------------+\n");
+}
+
+TEST(TableDeathTest, RowWidthMismatchAborts) {
+  TextTable table({"one"});
+  EXPECT_DEATH(table.addRow({"a", "b"}), "width mismatch");
+}
+
+TEST(Format, DurationMatchesPaperStyle) {
+  EXPECT_EQ(formatDuration(0.002), "2ms");
+  EXPECT_EQ(formatDuration(7.4), "7s");
+  EXPECT_EQ(formatDuration(98.0), "1m:38s");
+  EXPECT_EQ(formatDuration(5880.0), "1h:38m");   // Table I's COW row
+  EXPECT_EQ(formatDuration(34740.0), "9h:39m");  // Table I's COB row
+}
+
+TEST(Format, CountWithThousandsSeparators) {
+  EXPECT_EQ(formatCount(0), "0");
+  EXPECT_EQ(formatCount(999), "999");
+  EXPECT_EQ(formatCount(1000), "1,000");
+  EXPECT_EQ(formatCount(1025700), "1,025,700");  // Table I's COB states
+}
+
+TEST(Format, BytesHumanReadable) {
+  EXPECT_EQ(formatBytes(512), "512 B");
+  EXPECT_EQ(formatBytes(2048), "2.0 KB");
+  EXPECT_EQ(formatBytes(3650722202ull), "3.4 GB");  // Table I's COW RAM
+}
+
+TEST(Metrics, RecorderCapturesEngineProgress) {
+  CollectScenarioConfig config;
+  config.gridWidth = 2;
+  config.gridHeight = 2;
+  config.simulationTime = 3000;
+  config.engine.sampleEveryEvents = 1;
+  config.engine.adaptiveSampling = false;
+  CollectScenario scenario(config);
+  scenario.run();
+
+  const auto& samples = scenario.metrics().samples();
+  ASSERT_GT(samples.size(), 2u);
+  // Monotone in events and virtual time; states never shrink.
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].events, samples[i - 1].events);
+    EXPECT_GE(samples[i].virtualTime, samples[i - 1].virtualTime);
+    EXPECT_GE(samples[i].states, samples[i - 1].states);
+  }
+  EXPECT_EQ(scenario.metrics().last().states,
+            scenario.engine().numStates());
+}
+
+TEST(Metrics, CsvHasHeaderAndRows) {
+  MetricsRecorder recorder;
+  CollectScenarioConfig config;
+  config.gridWidth = 2;
+  config.gridHeight = 2;
+  config.simulationTime = 2000;
+  CollectScenario scenario(config);
+  scenario.run();
+
+  std::ostringstream os;
+  scenario.metrics().writeCsv(os, "SDS");
+  const std::string text = os.str();
+  EXPECT_NE(text.find("series,wall_s,virtual_t,states,memory_bytes"),
+            std::string::npos);
+  EXPECT_NE(text.find("SDS,"), std::string::npos);
+}
+
+TEST(Scenario, SummarizeReflectsEngine) {
+  CollectScenarioConfig config;
+  config.gridWidth = 2;
+  config.gridHeight = 2;
+  config.simulationTime = 2000;
+  CollectScenario scenario(config);
+  const auto result = scenario.run();
+  EXPECT_EQ(result.states, scenario.engine().numStates());
+  EXPECT_EQ(result.groups, scenario.engine().mapper().numGroups());
+  EXPECT_EQ(result.events, scenario.engine().eventsProcessed());
+  EXPECT_GT(result.packets, 0u);
+  EXPECT_GT(result.memoryBytes, 0u);
+}
+
+TEST(Scenario, SourceAndSinkPlacementMatchesFigureNine) {
+  CollectScenarioConfig config;
+  config.gridWidth = 3;
+  config.gridHeight = 3;
+  CollectScenario scenario(config);
+  EXPECT_EQ(scenario.sink(), 0u);        // top-left corner
+  EXPECT_EQ(scenario.source(), 8u);      // bottom-right corner
+}
+
+TEST(Scenario, FloodScenarioRunsAllMappers) {
+  for (const MapperKind kind :
+       {MapperKind::kCob, MapperKind::kCow, MapperKind::kSds}) {
+    FloodScenarioConfig config;
+    config.nodes = 3;
+    config.simulationTime = 1500;
+    config.mapper = kind;
+    FloodScenario scenario(config);
+    const auto result = scenario.run();
+    EXPECT_EQ(result.outcome, RunOutcome::kCompleted);
+    EXPECT_GE(result.states, 3u);
+  }
+}
+
+}  // namespace
+}  // namespace sde::trace

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "vm/builder.hpp"
+
+namespace sde::vm {
+namespace {
+
+TEST(Builder, EntriesRecorded) {
+  IRBuilder b("prog");
+  b.setGlobals(4);
+  b.beginEntry(Entry::kInit);
+  b.halt();
+  b.beginEntry(Entry::kTimer);
+  b.halt();
+  const Program p = b.finish();
+  EXPECT_EQ(p.entry(Entry::kInit), 0u);
+  EXPECT_EQ(p.entry(Entry::kTimer), 1u);
+  EXPECT_EQ(p.entry(Entry::kRecv), std::nullopt);
+  EXPECT_EQ(p.globalsSize(), 4u);
+  EXPECT_EQ(p.name(), "prog");
+}
+
+TEST(Builder, LabelFixupsPatchTargets) {
+  IRBuilder b("prog");
+  b.beginEntry(Entry::kInit);
+  auto skip = b.newLabel();
+  b.jump(skip);          // 0
+  b.fail("unreachable");  // 1
+  b.bind(skip);
+  b.halt();  // 2
+  const Program p = b.finish();
+  EXPECT_EQ(p.at(0).op, Op::kJmp);
+  EXPECT_EQ(p.at(0).imm, 2);
+}
+
+TEST(Builder, BranchPatchesBothEdges) {
+  IRBuilder b("prog");
+  b.beginEntry(Entry::kInit);
+  auto yes = b.newLabel();
+  auto no = b.newLabel();
+  b.constant(Reg(0), 1);   // 0
+  b.branch(Reg(0), yes, no);  // 1
+  b.bind(yes);
+  b.halt();  // 2
+  b.bind(no);
+  b.fail("no");  // 3
+  const Program p = b.finish();
+  EXPECT_EQ(p.at(1).op, Op::kBr);
+  EXPECT_EQ(p.at(1).imm, 2);
+  EXPECT_EQ(p.at(1).imm2, 3);
+}
+
+TEST(Builder, CallFixupsResolveByName) {
+  IRBuilder b("prog");
+  b.beginEntry(Entry::kInit);
+  b.call("helper");  // 0
+  b.halt();          // 1
+  b.beginFunction("helper");
+  b.ret();  // 2
+  const Program p = b.finish();
+  EXPECT_EQ(p.at(0).op, Op::kCall);
+  EXPECT_EQ(p.at(0).imm, 2);
+}
+
+TEST(Builder, StringsInterned) {
+  IRBuilder b("prog");
+  b.beginEntry(Entry::kInit);
+  b.fail("boom");  // 0
+  b.fail("boom");  // 1
+  b.fail("bang");  // 2
+  const Program p = b.finish();
+  EXPECT_EQ(p.at(0).str, p.at(1).str);
+  EXPECT_NE(p.at(0).str, p.at(2).str);
+  EXPECT_EQ(p.string(p.at(2).str), "bang");
+}
+
+TEST(Builder, DisassemblyMentionsEntriesAndOps) {
+  IRBuilder b("demo");
+  b.beginEntry(Entry::kInit);
+  b.constant(Reg(1), 42);
+  b.halt();
+  const Program p = b.finish();
+  const std::string dis = p.disassemble();
+  EXPECT_NE(dis.find("program demo"), std::string::npos);
+  EXPECT_NE(dis.find("entry init"), std::string::npos);
+  EXPECT_NE(dis.find("const"), std::string::npos);
+  EXPECT_NE(dis.find("halt"), std::string::npos);
+}
+
+TEST(BuilderDeathTest, UnboundLabelRejected) {
+  IRBuilder b("prog");
+  b.beginEntry(Entry::kInit);
+  auto dangling = b.newLabel();
+  b.jump(dangling);
+  EXPECT_DEATH((void)b.finish(), "unbound label");
+}
+
+TEST(BuilderDeathTest, UndefinedFunctionRejected) {
+  IRBuilder b("prog");
+  b.beginEntry(Entry::kInit);
+  b.call("nope");
+  EXPECT_DEATH((void)b.finish(), "undefined function");
+}
+
+TEST(BuilderDeathTest, DoubleEntryRejected) {
+  IRBuilder b("prog");
+  b.beginEntry(Entry::kInit);
+  EXPECT_DEATH(b.beginEntry(Entry::kInit), "twice");
+}
+
+}  // namespace
+}  // namespace sde::vm

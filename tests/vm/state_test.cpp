@@ -1,0 +1,136 @@
+// ExecutionState: fork semantics and the two configuration fingerprints
+// (content vs strict; see duplicates.hpp for why both exist).
+#include <gtest/gtest.h>
+
+#include "vm/builder.hpp"
+#include "vm/state.hpp"
+
+namespace sde::vm {
+namespace {
+
+class StateTest : public ::testing::Test {
+ protected:
+  StateTest() {
+    IRBuilder b("noop");
+    b.setGlobals(2);
+    b.beginEntry(Entry::kInit);
+    b.halt();
+    program = b.finish();
+  }
+
+  ExecutionState makeState(NodeId node = 1) {
+    ExecutionState state(nextId++, node, program);
+    state.space.initGlobals(ctx, 2);
+    return state;
+  }
+
+  expr::Context ctx;
+  Program program;
+  StateId nextId = 0;
+};
+
+TEST_F(StateTest, ForkCopiesEverythingButId) {
+  ExecutionState s = makeState();
+  s.pc = 7;
+  s.clock = 42;
+  s.callStack = {1, 2};
+  s.constraints.add(ctx.variable("c", 1));
+  s.commLog.push_back({true, 2, 10, 0xfeed, 3});
+  s.symbolics.push_back(ctx.variable("c", 1));
+  s.symbolicCounters["drop"] = 2;
+  s.executedInstructions = 99;
+
+  auto clone = s.fork(1234);
+  EXPECT_EQ(clone->id(), 1234u);
+  EXPECT_NE(clone->id(), s.id());
+  EXPECT_EQ(clone->node(), s.node());
+  EXPECT_EQ(clone->pc, 7u);
+  EXPECT_EQ(clone->clock, 42u);
+  EXPECT_EQ(clone->callStack, s.callStack);
+  EXPECT_EQ(clone->constraints.size(), 1u);
+  EXPECT_EQ(clone->commLog.size(), 1u);
+  EXPECT_EQ(clone->symbolics.size(), 1u);
+  EXPECT_EQ(clone->symbolicCounters.at("drop"), 2u);
+  EXPECT_EQ(clone->executedInstructions, 99u);
+  EXPECT_EQ(clone->configHash(), s.configHash());
+  EXPECT_EQ(clone->configHashStrict(), s.configHashStrict());
+}
+
+TEST_F(StateTest, ForkedMemoryIsIndependent) {
+  ExecutionState s = makeState();
+  auto clone = s.fork(99);
+  clone->space.store(kGlobalsObject, 0, ctx.constant(5, 64));
+  EXPECT_EQ(s.space.load(kGlobalsObject, 0), ctx.constant(0, 64));
+  EXPECT_NE(clone->configHash(), s.configHash());
+}
+
+TEST_F(StateTest, ContentHashIgnoresPacketIds) {
+  // Two states that exchanged *content-identical* packets with different
+  // ids: equal content hash, different strict hash.
+  ExecutionState a = makeState();
+  ExecutionState b = makeState();
+  a.commLog.push_back({false, 2, 10, 0xabc, /*packetId=*/7});
+  b.commLog.push_back({false, 2, 10, 0xabc, /*packetId=*/8});
+  EXPECT_EQ(a.configHash(), b.configHash());
+  EXPECT_NE(a.configHashStrict(), b.configHashStrict());
+}
+
+TEST_F(StateTest, StrictHashSeesPendingPacketIdentity) {
+  ExecutionState a = makeState();
+  ExecutionState b = makeState();
+  PendingEvent ea;
+  ea.kind = EventKind::kRecv;
+  ea.time = 5;
+  ea.b = 100;
+  PendingEvent eb = ea;
+  eb.b = 200;
+  a.pendingEvents.push_back(ea);
+  b.pendingEvents.push_back(eb);
+  EXPECT_EQ(a.configHash(), b.configHash());
+  EXPECT_NE(a.configHashStrict(), b.configHashStrict());
+}
+
+TEST_F(StateTest, HashCoversStatusClockAndFailure) {
+  ExecutionState a = makeState();
+  const auto base = a.configHash();
+  a.status = StateStatus::kFailed;
+  EXPECT_NE(a.configHash(), base);
+  a.status = StateStatus::kIdle;
+  a.clock = 77;
+  EXPECT_NE(a.configHash(), base);
+  a.clock = 0;
+  a.failureMessage = "boom";
+  EXPECT_NE(a.configHash(), base);
+}
+
+TEST_F(StateTest, HashCoversRegistersAndConstraints) {
+  ExecutionState a = makeState();
+  const auto base = a.configHash();
+  a.regs_[5] = ctx.constant(1, 64);
+  const auto withReg = a.configHash();
+  EXPECT_NE(withReg, base);
+  a.constraints.add(ctx.variable("x", 1));
+  EXPECT_NE(a.configHash(), withReg);
+}
+
+TEST_F(StateTest, TerminalPredicate) {
+  ExecutionState s = makeState();
+  EXPECT_FALSE(s.isTerminal());
+  for (const StateStatus status :
+       {StateStatus::kFailed, StateStatus::kInfeasible,
+        StateStatus::kKilled}) {
+    s.status = status;
+    EXPECT_TRUE(s.isTerminal());
+  }
+  s.status = StateStatus::kRunning;
+  EXPECT_FALSE(s.isTerminal());
+}
+
+TEST_F(StateTest, NodeIdsDifferentiateHashes) {
+  ExecutionState a = makeState(1);
+  ExecutionState b = makeState(2);
+  EXPECT_NE(a.configHash(), b.configHash());
+}
+
+}  // namespace
+}  // namespace sde::vm
