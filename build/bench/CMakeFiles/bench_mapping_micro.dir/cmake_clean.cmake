@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mapping_micro.dir/bench_mapping_micro.cpp.o"
+  "CMakeFiles/bench_mapping_micro.dir/bench_mapping_micro.cpp.o.d"
+  "bench_mapping_micro"
+  "bench_mapping_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mapping_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_collect.dir/grid_collect.cpp.o"
+  "CMakeFiles/grid_collect.dir/grid_collect.cpp.o.d"
+  "grid_collect"
+  "grid_collect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sde/cob.cpp" "src/CMakeFiles/sde_core.dir/sde/cob.cpp.o" "gcc" "src/CMakeFiles/sde_core.dir/sde/cob.cpp.o.d"
+  "/root/repo/src/sde/cow.cpp" "src/CMakeFiles/sde_core.dir/sde/cow.cpp.o" "gcc" "src/CMakeFiles/sde_core.dir/sde/cow.cpp.o.d"
+  "/root/repo/src/sde/dstate.cpp" "src/CMakeFiles/sde_core.dir/sde/dstate.cpp.o" "gcc" "src/CMakeFiles/sde_core.dir/sde/dstate.cpp.o.d"
+  "/root/repo/src/sde/duplicates.cpp" "src/CMakeFiles/sde_core.dir/sde/duplicates.cpp.o" "gcc" "src/CMakeFiles/sde_core.dir/sde/duplicates.cpp.o.d"
+  "/root/repo/src/sde/engine.cpp" "src/CMakeFiles/sde_core.dir/sde/engine.cpp.o" "gcc" "src/CMakeFiles/sde_core.dir/sde/engine.cpp.o.d"
+  "/root/repo/src/sde/explode.cpp" "src/CMakeFiles/sde_core.dir/sde/explode.cpp.o" "gcc" "src/CMakeFiles/sde_core.dir/sde/explode.cpp.o.d"
+  "/root/repo/src/sde/mapper.cpp" "src/CMakeFiles/sde_core.dir/sde/mapper.cpp.o" "gcc" "src/CMakeFiles/sde_core.dir/sde/mapper.cpp.o.d"
+  "/root/repo/src/sde/partition.cpp" "src/CMakeFiles/sde_core.dir/sde/partition.cpp.o" "gcc" "src/CMakeFiles/sde_core.dir/sde/partition.cpp.o.d"
+  "/root/repo/src/sde/scheduler.cpp" "src/CMakeFiles/sde_core.dir/sde/scheduler.cpp.o" "gcc" "src/CMakeFiles/sde_core.dir/sde/scheduler.cpp.o.d"
+  "/root/repo/src/sde/sds.cpp" "src/CMakeFiles/sde_core.dir/sde/sds.cpp.o" "gcc" "src/CMakeFiles/sde_core.dir/sde/sds.cpp.o.d"
+  "/root/repo/src/sde/testcase.cpp" "src/CMakeFiles/sde_core.dir/sde/testcase.cpp.o" "gcc" "src/CMakeFiles/sde_core.dir/sde/testcase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sde_rime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

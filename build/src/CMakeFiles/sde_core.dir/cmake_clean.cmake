@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sde_core.dir/sde/cob.cpp.o"
+  "CMakeFiles/sde_core.dir/sde/cob.cpp.o.d"
+  "CMakeFiles/sde_core.dir/sde/cow.cpp.o"
+  "CMakeFiles/sde_core.dir/sde/cow.cpp.o.d"
+  "CMakeFiles/sde_core.dir/sde/dstate.cpp.o"
+  "CMakeFiles/sde_core.dir/sde/dstate.cpp.o.d"
+  "CMakeFiles/sde_core.dir/sde/duplicates.cpp.o"
+  "CMakeFiles/sde_core.dir/sde/duplicates.cpp.o.d"
+  "CMakeFiles/sde_core.dir/sde/engine.cpp.o"
+  "CMakeFiles/sde_core.dir/sde/engine.cpp.o.d"
+  "CMakeFiles/sde_core.dir/sde/explode.cpp.o"
+  "CMakeFiles/sde_core.dir/sde/explode.cpp.o.d"
+  "CMakeFiles/sde_core.dir/sde/mapper.cpp.o"
+  "CMakeFiles/sde_core.dir/sde/mapper.cpp.o.d"
+  "CMakeFiles/sde_core.dir/sde/partition.cpp.o"
+  "CMakeFiles/sde_core.dir/sde/partition.cpp.o.d"
+  "CMakeFiles/sde_core.dir/sde/scheduler.cpp.o"
+  "CMakeFiles/sde_core.dir/sde/scheduler.cpp.o.d"
+  "CMakeFiles/sde_core.dir/sde/sds.cpp.o"
+  "CMakeFiles/sde_core.dir/sde/sds.cpp.o.d"
+  "CMakeFiles/sde_core.dir/sde/testcase.cpp.o"
+  "CMakeFiles/sde_core.dir/sde/testcase.cpp.o.d"
+  "libsde_core.a"
+  "libsde_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sde_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/context.cpp" "src/CMakeFiles/sde_expr.dir/expr/context.cpp.o" "gcc" "src/CMakeFiles/sde_expr.dir/expr/context.cpp.o.d"
+  "/root/repo/src/expr/eval.cpp" "src/CMakeFiles/sde_expr.dir/expr/eval.cpp.o" "gcc" "src/CMakeFiles/sde_expr.dir/expr/eval.cpp.o.d"
+  "/root/repo/src/expr/expr.cpp" "src/CMakeFiles/sde_expr.dir/expr/expr.cpp.o" "gcc" "src/CMakeFiles/sde_expr.dir/expr/expr.cpp.o.d"
+  "/root/repo/src/expr/interval.cpp" "src/CMakeFiles/sde_expr.dir/expr/interval.cpp.o" "gcc" "src/CMakeFiles/sde_expr.dir/expr/interval.cpp.o.d"
+  "/root/repo/src/expr/print.cpp" "src/CMakeFiles/sde_expr.dir/expr/print.cpp.o" "gcc" "src/CMakeFiles/sde_expr.dir/expr/print.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sde_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

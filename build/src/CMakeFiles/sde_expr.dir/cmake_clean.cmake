@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sde_expr.dir/expr/context.cpp.o"
+  "CMakeFiles/sde_expr.dir/expr/context.cpp.o.d"
+  "CMakeFiles/sde_expr.dir/expr/eval.cpp.o"
+  "CMakeFiles/sde_expr.dir/expr/eval.cpp.o.d"
+  "CMakeFiles/sde_expr.dir/expr/expr.cpp.o"
+  "CMakeFiles/sde_expr.dir/expr/expr.cpp.o.d"
+  "CMakeFiles/sde_expr.dir/expr/interval.cpp.o"
+  "CMakeFiles/sde_expr.dir/expr/interval.cpp.o.d"
+  "CMakeFiles/sde_expr.dir/expr/print.cpp.o"
+  "CMakeFiles/sde_expr.dir/expr/print.cpp.o.d"
+  "libsde_expr.a"
+  "libsde_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sde_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

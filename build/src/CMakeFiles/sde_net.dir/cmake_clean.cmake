@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sde_net.dir/net/failure.cpp.o"
+  "CMakeFiles/sde_net.dir/net/failure.cpp.o.d"
+  "CMakeFiles/sde_net.dir/net/packet.cpp.o"
+  "CMakeFiles/sde_net.dir/net/packet.cpp.o.d"
+  "CMakeFiles/sde_net.dir/net/routing.cpp.o"
+  "CMakeFiles/sde_net.dir/net/routing.cpp.o.d"
+  "CMakeFiles/sde_net.dir/net/topology.cpp.o"
+  "CMakeFiles/sde_net.dir/net/topology.cpp.o.d"
+  "libsde_net.a"
+  "libsde_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sde_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

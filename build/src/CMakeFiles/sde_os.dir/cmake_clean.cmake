@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sde_os.dir/os/events.cpp.o"
+  "CMakeFiles/sde_os.dir/os/events.cpp.o.d"
+  "CMakeFiles/sde_os.dir/os/node.cpp.o"
+  "CMakeFiles/sde_os.dir/os/node.cpp.o.d"
+  "CMakeFiles/sde_os.dir/os/runtime.cpp.o"
+  "CMakeFiles/sde_os.dir/os/runtime.cpp.o.d"
+  "libsde_os.a"
+  "libsde_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sde_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

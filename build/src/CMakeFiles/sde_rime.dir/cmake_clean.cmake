@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sde_rime.dir/rime/apps.cpp.o"
+  "CMakeFiles/sde_rime.dir/rime/apps.cpp.o.d"
+  "CMakeFiles/sde_rime.dir/rime/header.cpp.o"
+  "CMakeFiles/sde_rime.dir/rime/header.cpp.o.d"
+  "CMakeFiles/sde_rime.dir/rime/stack.cpp.o"
+  "CMakeFiles/sde_rime.dir/rime/stack.cpp.o.d"
+  "libsde_rime.a"
+  "libsde_rime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sde_rime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/cache.cpp" "src/CMakeFiles/sde_solver.dir/solver/cache.cpp.o" "gcc" "src/CMakeFiles/sde_solver.dir/solver/cache.cpp.o.d"
+  "/root/repo/src/solver/constraint_set.cpp" "src/CMakeFiles/sde_solver.dir/solver/constraint_set.cpp.o" "gcc" "src/CMakeFiles/sde_solver.dir/solver/constraint_set.cpp.o.d"
+  "/root/repo/src/solver/enum_solver.cpp" "src/CMakeFiles/sde_solver.dir/solver/enum_solver.cpp.o" "gcc" "src/CMakeFiles/sde_solver.dir/solver/enum_solver.cpp.o.d"
+  "/root/repo/src/solver/independence.cpp" "src/CMakeFiles/sde_solver.dir/solver/independence.cpp.o" "gcc" "src/CMakeFiles/sde_solver.dir/solver/independence.cpp.o.d"
+  "/root/repo/src/solver/interval_solver.cpp" "src/CMakeFiles/sde_solver.dir/solver/interval_solver.cpp.o" "gcc" "src/CMakeFiles/sde_solver.dir/solver/interval_solver.cpp.o.d"
+  "/root/repo/src/solver/solver.cpp" "src/CMakeFiles/sde_solver.dir/solver/solver.cpp.o" "gcc" "src/CMakeFiles/sde_solver.dir/solver/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sde_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

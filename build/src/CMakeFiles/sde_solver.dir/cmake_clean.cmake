@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sde_solver.dir/solver/cache.cpp.o"
+  "CMakeFiles/sde_solver.dir/solver/cache.cpp.o.d"
+  "CMakeFiles/sde_solver.dir/solver/constraint_set.cpp.o"
+  "CMakeFiles/sde_solver.dir/solver/constraint_set.cpp.o.d"
+  "CMakeFiles/sde_solver.dir/solver/enum_solver.cpp.o"
+  "CMakeFiles/sde_solver.dir/solver/enum_solver.cpp.o.d"
+  "CMakeFiles/sde_solver.dir/solver/independence.cpp.o"
+  "CMakeFiles/sde_solver.dir/solver/independence.cpp.o.d"
+  "CMakeFiles/sde_solver.dir/solver/interval_solver.cpp.o"
+  "CMakeFiles/sde_solver.dir/solver/interval_solver.cpp.o.d"
+  "CMakeFiles/sde_solver.dir/solver/solver.cpp.o"
+  "CMakeFiles/sde_solver.dir/solver/solver.cpp.o.d"
+  "libsde_solver.a"
+  "libsde_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sde_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sde_support.dir/support/hash.cpp.o"
+  "CMakeFiles/sde_support.dir/support/hash.cpp.o.d"
+  "CMakeFiles/sde_support.dir/support/logging.cpp.o"
+  "CMakeFiles/sde_support.dir/support/logging.cpp.o.d"
+  "CMakeFiles/sde_support.dir/support/rng.cpp.o"
+  "CMakeFiles/sde_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/sde_support.dir/support/stats.cpp.o"
+  "CMakeFiles/sde_support.dir/support/stats.cpp.o.d"
+  "libsde_support.a"
+  "libsde_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sde_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sde_trace.dir/trace/metrics.cpp.o"
+  "CMakeFiles/sde_trace.dir/trace/metrics.cpp.o.d"
+  "CMakeFiles/sde_trace.dir/trace/scenario.cpp.o"
+  "CMakeFiles/sde_trace.dir/trace/scenario.cpp.o.d"
+  "CMakeFiles/sde_trace.dir/trace/table.cpp.o"
+  "CMakeFiles/sde_trace.dir/trace/table.cpp.o.d"
+  "libsde_trace.a"
+  "libsde_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sde_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

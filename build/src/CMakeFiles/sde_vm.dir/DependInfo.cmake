@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/builder.cpp" "src/CMakeFiles/sde_vm.dir/vm/builder.cpp.o" "gcc" "src/CMakeFiles/sde_vm.dir/vm/builder.cpp.o.d"
+  "/root/repo/src/vm/interp.cpp" "src/CMakeFiles/sde_vm.dir/vm/interp.cpp.o" "gcc" "src/CMakeFiles/sde_vm.dir/vm/interp.cpp.o.d"
+  "/root/repo/src/vm/isa.cpp" "src/CMakeFiles/sde_vm.dir/vm/isa.cpp.o" "gcc" "src/CMakeFiles/sde_vm.dir/vm/isa.cpp.o.d"
+  "/root/repo/src/vm/memory.cpp" "src/CMakeFiles/sde_vm.dir/vm/memory.cpp.o" "gcc" "src/CMakeFiles/sde_vm.dir/vm/memory.cpp.o.d"
+  "/root/repo/src/vm/program.cpp" "src/CMakeFiles/sde_vm.dir/vm/program.cpp.o" "gcc" "src/CMakeFiles/sde_vm.dir/vm/program.cpp.o.d"
+  "/root/repo/src/vm/state.cpp" "src/CMakeFiles/sde_vm.dir/vm/state.cpp.o" "gcc" "src/CMakeFiles/sde_vm.dir/vm/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sde_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sde_vm.dir/vm/builder.cpp.o"
+  "CMakeFiles/sde_vm.dir/vm/builder.cpp.o.d"
+  "CMakeFiles/sde_vm.dir/vm/interp.cpp.o"
+  "CMakeFiles/sde_vm.dir/vm/interp.cpp.o.d"
+  "CMakeFiles/sde_vm.dir/vm/isa.cpp.o"
+  "CMakeFiles/sde_vm.dir/vm/isa.cpp.o.d"
+  "CMakeFiles/sde_vm.dir/vm/memory.cpp.o"
+  "CMakeFiles/sde_vm.dir/vm/memory.cpp.o.d"
+  "CMakeFiles/sde_vm.dir/vm/program.cpp.o"
+  "CMakeFiles/sde_vm.dir/vm/program.cpp.o.d"
+  "CMakeFiles/sde_vm.dir/vm/state.cpp.o"
+  "CMakeFiles/sde_vm.dir/vm/state.cpp.o.d"
+  "libsde_vm.a"
+  "libsde_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sde_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsde_vm.a"
+)

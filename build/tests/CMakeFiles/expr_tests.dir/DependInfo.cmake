@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/expr/determinism_test.cpp" "tests/CMakeFiles/expr_tests.dir/expr/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/expr_tests.dir/expr/determinism_test.cpp.o.d"
+  "/root/repo/tests/expr/eval_test.cpp" "tests/CMakeFiles/expr_tests.dir/expr/eval_test.cpp.o" "gcc" "tests/CMakeFiles/expr_tests.dir/expr/eval_test.cpp.o.d"
+  "/root/repo/tests/expr/expr_test.cpp" "tests/CMakeFiles/expr_tests.dir/expr/expr_test.cpp.o" "gcc" "tests/CMakeFiles/expr_tests.dir/expr/expr_test.cpp.o.d"
+  "/root/repo/tests/expr/interval_test.cpp" "tests/CMakeFiles/expr_tests.dir/expr/interval_test.cpp.o" "gcc" "tests/CMakeFiles/expr_tests.dir/expr/interval_test.cpp.o.d"
+  "/root/repo/tests/expr/property_test.cpp" "tests/CMakeFiles/expr_tests.dir/expr/property_test.cpp.o" "gcc" "tests/CMakeFiles/expr_tests.dir/expr/property_test.cpp.o.d"
+  "/root/repo/tests/expr/simplify_test.cpp" "tests/CMakeFiles/expr_tests.dir/expr/simplify_test.cpp.o" "gcc" "tests/CMakeFiles/expr_tests.dir/expr/simplify_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sde_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_tests.dir/expr/determinism_test.cpp.o"
+  "CMakeFiles/expr_tests.dir/expr/determinism_test.cpp.o.d"
+  "CMakeFiles/expr_tests.dir/expr/eval_test.cpp.o"
+  "CMakeFiles/expr_tests.dir/expr/eval_test.cpp.o.d"
+  "CMakeFiles/expr_tests.dir/expr/expr_test.cpp.o"
+  "CMakeFiles/expr_tests.dir/expr/expr_test.cpp.o.d"
+  "CMakeFiles/expr_tests.dir/expr/interval_test.cpp.o"
+  "CMakeFiles/expr_tests.dir/expr/interval_test.cpp.o.d"
+  "CMakeFiles/expr_tests.dir/expr/property_test.cpp.o"
+  "CMakeFiles/expr_tests.dir/expr/property_test.cpp.o.d"
+  "CMakeFiles/expr_tests.dir/expr/simplify_test.cpp.o"
+  "CMakeFiles/expr_tests.dir/expr/simplify_test.cpp.o.d"
+  "expr_tests"
+  "expr_tests.pdb"
+  "expr_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/os/os_test.cpp" "tests/CMakeFiles/os_tests.dir/os/os_test.cpp.o" "gcc" "tests/CMakeFiles/os_tests.dir/os/os_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sde_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

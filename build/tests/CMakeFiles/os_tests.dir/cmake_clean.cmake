@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_tests.dir/os/os_test.cpp.o"
+  "CMakeFiles/os_tests.dir/os/os_test.cpp.o.d"
+  "os_tests"
+  "os_tests.pdb"
+  "os_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rime_tests.dir/rime/hello_sensor_test.cpp.o"
+  "CMakeFiles/rime_tests.dir/rime/hello_sensor_test.cpp.o.d"
+  "CMakeFiles/rime_tests.dir/rime/rime_test.cpp.o"
+  "CMakeFiles/rime_tests.dir/rime/rime_test.cpp.o.d"
+  "rime_tests"
+  "rime_tests.pdb"
+  "rime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sde/dstate_test.cpp" "tests/CMakeFiles/sde_tests.dir/sde/dstate_test.cpp.o" "gcc" "tests/CMakeFiles/sde_tests.dir/sde/dstate_test.cpp.o.d"
+  "/root/repo/tests/sde/engine_test.cpp" "tests/CMakeFiles/sde_tests.dir/sde/engine_test.cpp.o" "gcc" "tests/CMakeFiles/sde_tests.dir/sde/engine_test.cpp.o.d"
+  "/root/repo/tests/sde/equivalence_test.cpp" "tests/CMakeFiles/sde_tests.dir/sde/equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/sde_tests.dir/sde/equivalence_test.cpp.o.d"
+  "/root/repo/tests/sde/explode_test.cpp" "tests/CMakeFiles/sde_tests.dir/sde/explode_test.cpp.o" "gcc" "tests/CMakeFiles/sde_tests.dir/sde/explode_test.cpp.o.d"
+  "/root/repo/tests/sde/fuzz_equivalence_test.cpp" "tests/CMakeFiles/sde_tests.dir/sde/fuzz_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/sde_tests.dir/sde/fuzz_equivalence_test.cpp.o.d"
+  "/root/repo/tests/sde/mapper_unit_test.cpp" "tests/CMakeFiles/sde_tests.dir/sde/mapper_unit_test.cpp.o" "gcc" "tests/CMakeFiles/sde_tests.dir/sde/mapper_unit_test.cpp.o.d"
+  "/root/repo/tests/sde/partition_test.cpp" "tests/CMakeFiles/sde_tests.dir/sde/partition_test.cpp.o" "gcc" "tests/CMakeFiles/sde_tests.dir/sde/partition_test.cpp.o.d"
+  "/root/repo/tests/sde/scheduler_test.cpp" "tests/CMakeFiles/sde_tests.dir/sde/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/sde_tests.dir/sde/scheduler_test.cpp.o.d"
+  "/root/repo/tests/sde/sds_cow_duality_test.cpp" "tests/CMakeFiles/sde_tests.dir/sde/sds_cow_duality_test.cpp.o" "gcc" "tests/CMakeFiles/sde_tests.dir/sde/sds_cow_duality_test.cpp.o.d"
+  "/root/repo/tests/sde/testcase_test.cpp" "tests/CMakeFiles/sde_tests.dir/sde/testcase_test.cpp.o" "gcc" "tests/CMakeFiles/sde_tests.dir/sde/testcase_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sde_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_rime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sde_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

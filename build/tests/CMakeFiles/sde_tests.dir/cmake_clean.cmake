@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sde_tests.dir/sde/dstate_test.cpp.o"
+  "CMakeFiles/sde_tests.dir/sde/dstate_test.cpp.o.d"
+  "CMakeFiles/sde_tests.dir/sde/engine_test.cpp.o"
+  "CMakeFiles/sde_tests.dir/sde/engine_test.cpp.o.d"
+  "CMakeFiles/sde_tests.dir/sde/equivalence_test.cpp.o"
+  "CMakeFiles/sde_tests.dir/sde/equivalence_test.cpp.o.d"
+  "CMakeFiles/sde_tests.dir/sde/explode_test.cpp.o"
+  "CMakeFiles/sde_tests.dir/sde/explode_test.cpp.o.d"
+  "CMakeFiles/sde_tests.dir/sde/fuzz_equivalence_test.cpp.o"
+  "CMakeFiles/sde_tests.dir/sde/fuzz_equivalence_test.cpp.o.d"
+  "CMakeFiles/sde_tests.dir/sde/mapper_unit_test.cpp.o"
+  "CMakeFiles/sde_tests.dir/sde/mapper_unit_test.cpp.o.d"
+  "CMakeFiles/sde_tests.dir/sde/partition_test.cpp.o"
+  "CMakeFiles/sde_tests.dir/sde/partition_test.cpp.o.d"
+  "CMakeFiles/sde_tests.dir/sde/scheduler_test.cpp.o"
+  "CMakeFiles/sde_tests.dir/sde/scheduler_test.cpp.o.d"
+  "CMakeFiles/sde_tests.dir/sde/sds_cow_duality_test.cpp.o"
+  "CMakeFiles/sde_tests.dir/sde/sds_cow_duality_test.cpp.o.d"
+  "CMakeFiles/sde_tests.dir/sde/testcase_test.cpp.o"
+  "CMakeFiles/sde_tests.dir/sde/testcase_test.cpp.o.d"
+  "sde_tests"
+  "sde_tests.pdb"
+  "sde_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sde_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

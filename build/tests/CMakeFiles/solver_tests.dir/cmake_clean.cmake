@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_tests.dir/solver/constraint_set_test.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver/constraint_set_test.cpp.o.d"
+  "CMakeFiles/solver_tests.dir/solver/independence_test.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver/independence_test.cpp.o.d"
+  "CMakeFiles/solver_tests.dir/solver/solver_property_test.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver/solver_property_test.cpp.o.d"
+  "CMakeFiles/solver_tests.dir/solver/solver_test.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver/solver_test.cpp.o.d"
+  "solver_tests"
+  "solver_tests.pdb"
+  "solver_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/expr_tests[1]_include.cmake")
+include("/root/repo/build/tests/vm_tests[1]_include.cmake")
+include("/root/repo/build/tests/solver_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
+include("/root/repo/build/tests/os_tests[1]_include.cmake")
+include("/root/repo/build/tests/rime_tests[1]_include.cmake")
+include("/root/repo/build/tests/sde_tests[1]_include.cmake")
+include("/root/repo/build/tests/trace_tests[1]_include.cmake")
