@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full verification: tier-1 build + test suite, then a ThreadSanitizer
+# build running the concurrency-sensitive tests (thread pool, parallel
+# partitioned execution). Run from anywhere; builds live in the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== tier-1: configure + build ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+
+echo "=== tier-1: ctest ==="
+ctest --test-dir build --output-on-failure -j
+
+echo "=== tsan: configure + build (SDE_SANITIZE=thread) ==="
+cmake -B build-tsan -S . -DSDE_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-tsan -j --target support_tests sde_tests
+
+echo "=== tsan: thread pool + parallel execution tests ==="
+./build-tsan/tests/support_tests --gtest_filter='*ThreadPool*'
+./build-tsan/tests/sde_tests --gtest_filter='*Parallel*'
+
+echo "=== verify: all green ==="

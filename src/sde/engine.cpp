@@ -89,6 +89,7 @@ void Engine::boot() {
     states_.push_back(std::move(state));
   }
   stats_.set("engine.initial_states", initial.size());
+  if (sharedCaps_ != nullptr) sharedCaps_->noteStatesCreated(initial.size());
   mapper_->registerInitialStates(initial);
   for (ExecutionState* state : initial) scheduler_.registerState(*state);
 }
@@ -101,6 +102,7 @@ ExecutionState& Engine::cloneInternal(ExecutionState& original) {
   touched_.push_back(&ref);
   stats_.bump("engine.forks_total");
   stats_.maxOf("engine.peak_states", states_.size());
+  if (sharedCaps_ != nullptr) sharedCaps_->noteStatesCreated(1);
   return ref;
 }
 
@@ -188,17 +190,47 @@ void Engine::sendOne(ExecutionState& sender, NodeId dst,
   }
 }
 
-expr::Ref Engine::makeFailureVariable(ExecutionState& state,
-                                      std::string_view label) {
+Engine::FailureVariable Engine::makeFailureVariable(ExecutionState& state,
+                                                    std::string_view label) {
   // Mirrors the interpreter's kSymbolic naming so failure decisions are
   // first-class symbolic inputs in generated test cases.
   const std::string key(label);
   const std::uint32_t n = state.symbolicCounters[key]++;
-  const std::string name = "n" + std::to_string(state.node()) + "." + key +
-                           "." + std::to_string(n);
+  std::string name = "n" + std::to_string(state.node()) + "." + key + "." +
+                     std::to_string(n);
   const expr::Ref var = ctx_.variable(name, 1);
   state.symbolics.push_back(var);
-  return var;
+  return FailureVariable{var, std::move(name)};
+}
+
+// Runs one branch of a failure decision on `state`: failed = false is
+// the normal delivery, failed = true the failure semantics of `kind`.
+void Engine::applyFailureBranch(ExecutionState& state, net::FailureKind kind,
+                                bool failed, const vm::PendingEvent& event) {
+  if (!failed) {
+    deliver(state, event);
+    return;
+  }
+  switch (kind) {
+    case net::FailureKind::kDrop:
+      // The radio received the packet (the communication history stays
+      // conflict-free) but the stack dropped it — no handler runs.
+      break;
+    case net::FailureKind::kDuplicate:
+      if (!state.isTerminal()) {
+        deliver(state, event);  // first copy
+        if (!state.isTerminal()) {
+          const vm::PendingEvent dup = event;
+          deliver(state, dup);  // duplicated delivery
+        }
+      }
+      break;
+    case net::FailureKind::kReboot:
+      if (!state.isTerminal()) os::reboot(ctx_, state, event.time);
+      break;
+    case net::FailureKind::kNone:
+      SDE_UNREACHABLE("kNone is not a failure branch");
+  }
 }
 
 void Engine::appendRecvRecord(ExecutionState& state,
@@ -240,41 +272,41 @@ void Engine::processEvent(ExecutionState& state, vm::PendingEvent event) {
     return;
   }
 
-  const expr::Ref failVar = makeFailureVariable(state, decision.label);
+  const FailureVariable failVar = makeFailureVariable(state, decision.label);
   appendRecvRecord(state, event);
+
+  const auto forced = decisionFilter_.find(failVar.name);
+  if (forced != decisionFilter_.end()) {
+    // Replay / partition mode: take only the filtered branch. The path
+    // constraint and decision record match the corresponding branch of
+    // an unfiltered run exactly; the other branch belongs to a
+    // different partition job (or was not the recorded decision).
+    const bool failed = forced->second;
+    state.constraints.add(failed ? failVar.var
+                                 : ctx_.logicalNot(failVar.var));
+    state.decisions.push_back({failVar.var, failed});
+    stats_.bump("engine.forced_decisions");
+    applyFailureBranch(state, decision.kind, failed, event);
+    return;
+  }
+
   // Local-branch fork: the mapper treats failure forks exactly like
   // program branches (they are triggered by local state only).
   ExecutionState& failing = forkLocal(state);
-  state.constraints.add(ctx_.logicalNot(failVar));
-  failing.constraints.add(failVar);
+  state.constraints.add(ctx_.logicalNot(failVar.var));
+  failing.constraints.add(failVar.var);
+  state.decisions.push_back({failVar.var, false});
+  failing.decisions.push_back({failVar.var, true});
   stats_.bump("engine.failure_forks");
 
-  switch (decision.kind) {
-    case net::FailureKind::kDrop:
-      // `state` processes the packet; `failing` saw the radio receive it
-      // but the stack dropped it — no handler runs.
-      deliver(state, event);
-      break;
-    case net::FailureKind::kDuplicate:
-      deliver(state, event);
-      if (!failing.isTerminal()) {
-        deliver(failing, event);  // first copy
-        if (!failing.isTerminal()) {
-          vm::PendingEvent dup = event;
-          deliver(failing, dup);  // duplicated delivery
-        }
-      }
-      break;
-    case net::FailureKind::kReboot:
-      deliver(state, event);
-      if (!failing.isTerminal()) os::reboot(ctx_, failing, event.time);
-      break;
-    case net::FailureKind::kNone:
-      SDE_UNREACHABLE("handled above");
-  }
+  applyFailureBranch(state, decision.kind, /*failed=*/false, event);
+  if (!failing.isTerminal())
+    applyFailureBranch(failing, decision.kind, /*failed=*/true, event);
 }
 
 std::optional<RunOutcome> Engine::checkCaps() {
+  if (sharedCaps_ != nullptr)
+    if (const auto shared = sharedCaps_->check()) return *shared;
   if (config_.maxStates != 0 && states_.size() >= config_.maxStates)
     return RunOutcome::kAbortedStates;
   if (config_.maxEvents != 0 && eventsProcessed_ >= config_.maxEvents)
@@ -316,10 +348,20 @@ RunOutcome Engine::run(std::uint64_t untilVirtualTime) {
     if (eventsProcessed_ >= nextSampleAt) {
       // The memory meter walks all live state, so it only runs at
       // sampling points (the cap may overshoot by up to one gap).
-      if (config_.maxSimulatedMemoryBytes != 0 &&
-          simulatedMemoryBytes() >= config_.maxSimulatedMemoryBytes) {
-        outcome = RunOutcome::kAbortedMemory;
-        break;
+      if (config_.maxSimulatedMemoryBytes != 0 ||
+          (sharedCaps_ != nullptr && sharedCaps_->tracksMemory())) {
+        const std::uint64_t memory = simulatedMemoryBytes();
+        if (sharedCaps_ != nullptr && sharedCaps_->tracksMemory()) {
+          sharedCaps_->noteMemoryDelta(
+              static_cast<std::int64_t>(memory) -
+              static_cast<std::int64_t>(lastReportedMemoryBytes_));
+          lastReportedMemoryBytes_ = memory;
+        }
+        if (config_.maxSimulatedMemoryBytes != 0 &&
+            memory >= config_.maxSimulatedMemoryBytes) {
+          outcome = RunOutcome::kAbortedMemory;
+          break;
+        }
       }
       sampleAndCheck();
       nextSampleAt = eventsProcessed_ + sampleGap();
@@ -354,6 +396,10 @@ RunOutcome Engine::run(std::uint64_t untilVirtualTime) {
                                     runStart_)
           .count();
   stats_.maxOf("engine.peak_memory_bytes", simulatedMemoryBytes());
+  // A locally tripped cap aborts the whole fleet: partition jobs are
+  // only comparable when every job saw the same caps fire.
+  if (outcome != RunOutcome::kCompleted && sharedCaps_ != nullptr)
+    sharedCaps_->latch(outcome);
   return outcome;
 }
 

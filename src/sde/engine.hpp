@@ -6,11 +6,14 @@
 // (COB / COW / SDS).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <string>
 #include <unordered_map>
 
 #include "net/failure.hpp"
@@ -32,6 +35,11 @@ struct EngineConfig {
                                 // loops produce exponentially many packets
                                 // without creating new states)
   double maxWallSeconds = 0;
+  // Worker threads of the parallel execution mode (sde/parallel.hpp).
+  // Each Engine instance stays single-threaded; this is the fleet size
+  // the partitioned runner spreads jobs over. 1 = current sequential
+  // behavior.
+  unsigned workers = 1;
   // Metric sampling / memory-cap checking cadence, in processed events.
   std::uint64_t sampleEveryEvents = 16;
   // Grow the sampling gap with the state count (a full sample walks all
@@ -57,6 +65,83 @@ enum class RunOutcome : std::uint8_t {
 
 [[nodiscard]] std::string_view runOutcomeName(RunOutcome outcome);
 
+// Fleet-wide resource caps for a partitioned run (the paper's 40 GB
+// cap-abort semantics, §IV-B, lifted to many engines): every engine
+// checks the abort latch on each event, contributes its state count and
+// sampled memory to the fleet totals, and the first worker to trip a
+// cap latches the abort for everyone. All members are lock-free;
+// engines on other threads observe the latch at their next event.
+class SharedCaps {
+ public:
+  SharedCaps(std::uint64_t maxTotalStates, std::uint64_t maxTotalMemoryBytes,
+             double maxWallSeconds)
+      : maxTotalStates_(maxTotalStates),
+        maxTotalMemoryBytes_(maxTotalMemoryBytes),
+        maxWallSeconds_(maxWallSeconds),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void noteStatesCreated(std::uint64_t n) {
+    totalStates_.fetch_add(n, std::memory_order_relaxed);
+  }
+  // Engines report the change in their simulated-memory footprint at
+  // sampling points (the same cadence the single-threaded memory cap
+  // uses).
+  void noteMemoryDelta(std::int64_t delta) {
+    totalMemory_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  // Latches `reason` if no abort is latched yet (first cap wins).
+  void latch(RunOutcome reason) {
+    std::uint8_t expected = kNotLatched;
+    latched_.compare_exchange_strong(expected,
+                                     static_cast<std::uint8_t>(reason),
+                                     std::memory_order_relaxed);
+  }
+
+  // Called by every engine on every event: the latched abort, or a
+  // freshly tripped cap (which this call latches).
+  [[nodiscard]] std::optional<RunOutcome> check() {
+    const std::uint8_t latched = latched_.load(std::memory_order_relaxed);
+    if (latched != kNotLatched) return static_cast<RunOutcome>(latched);
+    if (maxTotalStates_ != 0 &&
+        totalStates_.load(std::memory_order_relaxed) >= maxTotalStates_) {
+      latch(RunOutcome::kAbortedStates);
+    } else if (maxTotalMemoryBytes_ != 0 &&
+               totalMemory_.load(std::memory_order_relaxed) >=
+                   static_cast<std::int64_t>(maxTotalMemoryBytes_)) {
+      latch(RunOutcome::kAbortedMemory);
+    } else if (maxWallSeconds_ != 0 &&
+               std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+                       .count() >= maxWallSeconds_) {
+      latch(RunOutcome::kAbortedWallTime);
+    } else {
+      return std::nullopt;
+    }
+    return static_cast<RunOutcome>(latched_.load(std::memory_order_relaxed));
+  }
+
+  [[nodiscard]] bool aborted() const {
+    return latched_.load(std::memory_order_relaxed) != kNotLatched;
+  }
+  // Whether engines need to meter memory for these caps at all.
+  [[nodiscard]] bool tracksMemory() const { return maxTotalMemoryBytes_ != 0; }
+  [[nodiscard]] std::uint64_t totalStates() const {
+    return totalStates_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint8_t kNotLatched = 0xFF;
+
+  std::uint64_t maxTotalStates_;
+  std::uint64_t maxTotalMemoryBytes_;
+  double maxWallSeconds_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> totalStates_{0};
+  std::atomic<std::int64_t> totalMemory_{0};
+  std::atomic<std::uint8_t> latched_{kNotLatched};
+};
+
 class Engine {
  public:
   Engine(const os::NetworkPlan& plan, MapperKind mapperKind,
@@ -76,6 +161,22 @@ class Engine {
   // at the end of each run (metric recording for the benches).
   using Sampler = std::function<void(const Engine&)>;
   void setSampler(Sampler sampler) { sampler_ = std::move(sampler); }
+
+  // Deterministic-replay filter: failure decisions whose fully scoped
+  // variable name ("n<node>.<label>.<k>") appears here are not forked —
+  // the engine takes only the mapped branch (true = the failure branch)
+  // and adds the same path constraint the corresponding branch of an
+  // unfiltered run would carry. This is how the parallel runner turns
+  // one exploration into disjoint partition jobs, and how a recorded
+  // decision log replays a specific dscenario.
+  void setDecisionFilter(
+      std::unordered_map<std::string, bool> forcedDecisions) {
+    decisionFilter_ = std::move(forcedDecisions);
+  }
+
+  // Attaches fleet-wide caps (cooperative abort across the engines of a
+  // partitioned run). The SharedCaps object must outlive all runs.
+  void setSharedCaps(SharedCaps* caps) { sharedCaps_ = caps; }
 
   // --- Execution -------------------------------------------------------------
   // Processes all events with time <= `untilVirtualTime`. May be called
@@ -155,7 +256,14 @@ class Engine {
   void sendOne(ExecutionState& sender, NodeId dst,
                const std::vector<expr::Ref>& payload);
   ExecutionState& cloneInternal(ExecutionState& original);
-  expr::Ref makeFailureVariable(ExecutionState& state, std::string_view label);
+  struct FailureVariable {
+    expr::Ref var = nullptr;
+    std::string name;
+  };
+  FailureVariable makeFailureVariable(ExecutionState& state,
+                                      std::string_view label);
+  void applyFailureBranch(ExecutionState& state, net::FailureKind kind,
+                          bool failed, const vm::PendingEvent& event);
   void appendRecvRecord(ExecutionState& state, const vm::PendingEvent& event);
   void sampleAndCheck();
   [[nodiscard]] std::optional<RunOutcome> checkCaps();
@@ -169,6 +277,9 @@ class Engine {
   std::unique_ptr<net::FailureModel> failureModel_;
   Scheduler scheduler_;
   Sampler sampler_;
+  std::unordered_map<std::string, bool> decisionFilter_;
+  SharedCaps* sharedCaps_ = nullptr;
+  std::uint64_t lastReportedMemoryBytes_ = 0;
   support::StatsRegistry stats_;
   InterpSink interpSink_;
   Runtime mapperRuntime_;

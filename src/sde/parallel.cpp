@@ -1,0 +1,272 @@
+#include "sde/parallel.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "sde/explode.hpp"
+#include "sde/testcase.hpp"
+#include "support/hash.hpp"
+#include "support/logging.hpp"
+#include "support/thread_pool.hpp"
+
+namespace sde {
+
+namespace {
+
+// The deterministic per-job extraction pass: run outcome, sizes, and —
+// after the ownership rule — the job's share of the dscenario universe.
+JobResult collectJob(Engine& engine, const PartitionJob& job,
+                     const ParallelConfig& config, RunOutcome outcome) {
+  JobResult result;
+  result.jobId = job.id;
+  result.outcome = outcome;
+  result.states = engine.numStates();
+  result.events = engine.eventsProcessed();
+  result.groups = engine.mapper().numGroups();
+  result.memoryBytes = engine.simulatedMemoryBytes();
+  result.scenariosRepresented = countScenarios(engine.mapper());
+  result.wallSeconds = engine.wallSeconds();
+
+  // Ownership rule: paths that never reached a partition variable are
+  // explored by several jobs (every job agreeing on the variables they
+  // did decide). The canonical owner is the job forcing all remaining
+  // variables to false, i.e. a job owns a dscenario iff each of its
+  // forced-TRUE variables was actually decided on some member's path.
+  //
+  // The rule factorises per node: decision names are node-scoped
+  // ("n<node>.<label>.<k>", minted by the engine from state.node()), so
+  // a forced variable of node X can only appear in the decision log of
+  // the dscenario's member FOR node X. Filtering each node's choice
+  // list down to the states that decided the node's forced variables
+  // therefore yields exactly the owned sub-product — counting is pure
+  // arithmetic and enumeration only ever visits owned dscenarios.
+  std::unordered_map<NodeId, std::vector<std::string_view>> forcedByNode;
+  bool unreachableVariable = false;
+  for (const auto& [name, value] : job.forced) {
+    if (!value) continue;
+    NodeId node = 0;
+    std::size_t pos = 1;
+    if (name.size() < 2 || name[0] != 'n' || !std::isdigit(name[1])) {
+      unreachableVariable = true;  // not an engine decision name: no
+      break;                       // path can ever decide it
+    }
+    while (pos < name.size() && std::isdigit(name[pos]))
+      node = node * 10 + static_cast<NodeId>(name[pos++] - '0');
+    forcedByNode[node].emplace_back(name);
+  }
+
+  std::set<std::uint64_t> scenarioPrints;
+  std::set<std::string> testcases;
+  if (!unreachableVariable) {
+    // Decision logs are short; memoise the containment test per state
+    // (states are shared across many groups under COW/SDS).
+    std::unordered_map<const ExecutionState*, bool> satisfiesCache;
+    const auto satisfies = [&](const ExecutionState* state,
+                               const std::vector<std::string_view>& vars) {
+      const auto [it, fresh] = satisfiesCache.try_emplace(state, false);
+      if (fresh) {
+        it->second = std::all_of(
+            vars.begin(), vars.end(), [&](std::string_view name) {
+              for (const auto& decision : state->decisions)
+                if (decision.var->name() == name) return true;
+              return false;
+            });
+      }
+      return it->second;
+    };
+
+    for (const auto& group : engine.mapper().groupChoices()) {
+      std::vector<std::vector<ExecutionState*>> ownedChoices;
+      ownedChoices.reserve(group.size());
+      std::uint64_t product = 1;
+      for (NodeId node = 0; node < group.size(); ++node) {
+        const auto forcedIt = forcedByNode.find(node);
+        if (forcedIt == forcedByNode.end()) {
+          ownedChoices.push_back(group[node]);
+        } else {
+          std::vector<ExecutionState*> kept;
+          for (ExecutionState* state : group[node])
+            if (satisfies(state, forcedIt->second)) kept.push_back(state);
+          ownedChoices.push_back(std::move(kept));
+        }
+        product *= ownedChoices.back().size();
+      }
+      result.scenariosOwned += product;
+      if (product == 0 ||
+          (!config.collectScenarioFingerprints && !config.collectTestcases))
+        continue;
+
+      // Node-major odometer over the owned sub-product.
+      std::vector<std::size_t> odometer(ownedChoices.size(), 0);
+      std::vector<ExecutionState*> scenario(ownedChoices.size());
+      bool exhausted = false;
+      while (!exhausted) {
+        for (std::size_t node = 0; node < ownedChoices.size(); ++node)
+          scenario[node] = ownedChoices[node][odometer[node]];
+        if (config.collectScenarioFingerprints)
+          scenarioPrints.insert(scenarioFingerprint(scenario));
+        if (config.collectTestcases)
+          testcases.insert(
+              canonicalScenarioTestcase(engine.solver(), scenario));
+        std::size_t digit = odometer.size();
+        while (true) {
+          if (digit == 0) {
+            exhausted = true;
+            break;
+          }
+          --digit;
+          if (++odometer[digit] < ownedChoices[digit].size()) break;
+          odometer[digit] = 0;
+        }
+      }
+    }
+  }
+  result.scenarioFingerprints.assign(scenarioPrints.begin(),
+                                     scenarioPrints.end());
+  result.testcases.assign(testcases.begin(), testcases.end());
+
+  if (config.collectStateFingerprints) {
+    std::set<std::uint64_t> statePrints;
+    for (const auto& state : engine.states())
+      statePrints.insert(state->configHash());
+    result.stateFingerprints.assign(statePrints.begin(), statePrints.end());
+  }
+
+  result.stats.mergeFrom(engine.stats());
+  result.stats.mergeFrom(engine.interpStats());
+  result.stats.mergeFrom(engine.solverStats());
+  return result;
+}
+
+}  // namespace
+
+PartitionPlan planPartitions(std::span<const std::string> variables,
+                             std::uint64_t seed) {
+  SDE_ASSERT(variables.size() <= 16,
+             "2^B jobs: refusing more than 16 partition variables");
+  PartitionPlan plan;
+  plan.variables.assign(variables.begin(), variables.end());
+  const std::uint32_t numJobs = 1u << variables.size();
+  plan.jobs.reserve(numJobs);
+  for (std::uint32_t id = 0; id < numJobs; ++id) {
+    PartitionJob job;
+    job.id = id;
+    support::Hasher h;
+    h.u64(seed).u64(id);
+    for (const std::string& name : plan.variables) h.str(name);
+    job.seed = h.digest();
+    job.forced.reserve(variables.size());
+    for (std::size_t bit = 0; bit < variables.size(); ++bit)
+      job.forced.emplace_back(plan.variables[bit], (id >> bit & 1u) != 0);
+    plan.jobs.push_back(std::move(job));
+  }
+  return plan;
+}
+
+std::string canonicalScenarioTestcase(
+    solver::Solver& solver, std::span<ExecutionState* const> scenario) {
+  const auto cases = generateScenarioTestCases(solver, scenario);
+  if (!cases) return "<unsatisfiable scenario>";
+  std::ostringstream os;
+  for (const TestCase& testCase : *cases) {
+    os << "node " << testCase.node;
+    if (!testCase.failureMessage.empty())
+      os << " FAILURE: " << testCase.failureMessage;
+    os << "\n";
+    for (const TestCaseInput& input : testCase.inputs)
+      os << "  " << input.name << " (w" << input.width << ") = " << input.value
+         << "\n";
+  }
+  return os.str();
+}
+
+ParallelResult runPartitioned(const EngineFactory& factory,
+                              const PartitionPlan& plan,
+                              const ParallelConfig& config) {
+  SDE_ASSERT(factory != nullptr, "runPartitioned needs an engine factory");
+  SDE_ASSERT(!plan.jobs.empty(), "empty partition plan");
+  const auto start = std::chrono::steady_clock::now();
+
+  std::unique_ptr<SharedCaps> caps;
+  if (config.maxTotalStates != 0 || config.maxTotalMemoryBytes != 0 ||
+      config.maxWallSeconds != 0) {
+    caps = std::make_unique<SharedCaps>(config.maxTotalStates,
+                                        config.maxTotalMemoryBytes,
+                                        config.maxWallSeconds);
+  }
+
+  ParallelResult result;
+  result.jobs.resize(plan.jobs.size());
+
+  const unsigned workers = std::max<unsigned>(
+      1, std::min<unsigned>(config.workers,
+                            static_cast<unsigned>(plan.jobs.size())));
+  {
+    support::ThreadPool pool(workers);
+    for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+      pool.submit([&, i] {
+        const PartitionJob& job = plan.jobs[i];
+        std::unique_ptr<Engine> engine = factory(job);
+        SDE_ASSERT(engine != nullptr, "engine factory returned null");
+        engine->setDecisionFilter(std::unordered_map<std::string, bool>(
+            job.forced.begin(), job.forced.end()));
+        if (caps != nullptr) engine->setSharedCaps(caps.get());
+        const RunOutcome outcome = engine->run(config.horizon);
+        result.jobs[i] = collectJob(*engine, job, config, outcome);
+      });
+    }
+    pool.wait();
+  }
+
+  // Deterministic merge barrier: fold the jobs in id order.
+  std::set<std::uint64_t> scenarioPrints;
+  std::set<std::uint64_t> statePrints;
+  std::set<std::string> testcases;
+  for (const JobResult& job : result.jobs) {
+    if (result.outcome == RunOutcome::kCompleted &&
+        job.outcome != RunOutcome::kCompleted)
+      result.outcome = job.outcome;
+    result.totalStates += job.states;
+    result.totalEvents += job.events;
+    result.totalScenariosOwned += job.scenariosOwned;
+    scenarioPrints.insert(job.scenarioFingerprints.begin(),
+                          job.scenarioFingerprints.end());
+    statePrints.insert(job.stateFingerprints.begin(),
+                       job.stateFingerprints.end());
+    testcases.insert(job.testcases.begin(), job.testcases.end());
+    result.stats.mergeFrom(job.stats);
+  }
+  result.scenarioFingerprints.assign(scenarioPrints.begin(),
+                                     scenarioPrints.end());
+  result.stateFingerprints.assign(statePrints.begin(), statePrints.end());
+  result.testcases.assign(testcases.begin(), testcases.end());
+  result.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+std::uint64_t ParallelResult::fingerprintDigest() const {
+  support::Hasher h;
+  h.u64(static_cast<std::uint64_t>(outcome));
+  h.u64(totalStates).u64(totalEvents).u64(totalScenariosOwned);
+  for (const JobResult& job : jobs) {
+    h.u64(job.jobId).u64(static_cast<std::uint64_t>(job.outcome));
+    h.u64(job.states).u64(job.events).u64(job.groups).u64(job.memoryBytes);
+    h.u64(job.scenariosRepresented).u64(job.scenariosOwned);
+    for (const std::uint64_t print : job.scenarioFingerprints) h.u64(print);
+    for (const std::uint64_t print : job.stateFingerprints) h.u64(print);
+    for (const std::string& testcase : job.testcases) h.str(testcase);
+    for (const auto& [name, value] : job.stats.all()) h.str(name).u64(value);
+  }
+  for (const std::uint64_t print : scenarioFingerprints) h.u64(print);
+  for (const std::uint64_t print : stateFingerprints) h.u64(print);
+  for (const std::string& testcase : testcases) h.str(testcase);
+  return h.digest();
+}
+
+}  // namespace sde

@@ -1,0 +1,130 @@
+// Parallel dscenario exploration (paper §VI).
+//
+// The paper observes that distributed symbolic execution parallelises
+// naturally: dscenarios are independent once the failure decisions that
+// separate them are fixed. We exploit exactly that: a PartitionPlan
+// names B failure-decision variables and spawns 2^B *partition jobs*,
+// one per assignment. Each job runs a complete, shared-nothing Engine
+// (own expression context, solver, query cache, scheduler) with the
+// plan's variables forced through the engine's decision filter, so the
+// jobs explore disjoint slices of the legacy search tree and never
+// share mutable state — workers need no locks around engine internals.
+//
+// Determinism: the plan depends only on (variables, seed), jobs are
+// merged in job-id order at a barrier, and each engine is sequential —
+// so the merged result is byte-identical for any worker count and any
+// thread interleaving. Paths that never decide a partition variable are
+// re-explored by every job that agrees on the variables they *did*
+// decide; the ownership rule (each dscenario is owned by the job whose
+// extra forced-true variables all appear in the members' decision logs)
+// assigns every legacy dscenario to exactly one job, so owned counts
+// and fingerprint unions match the single-engine run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sde/engine.hpp"
+#include "support/stats.hpp"
+
+namespace sde {
+
+// One slice of the search tree: run the engine with every listed
+// variable forced to the paired value.
+struct PartitionJob {
+  std::uint32_t id = 0;      // bit i = forced value of plan.variables[i]
+  std::uint64_t seed = 0;    // per-job stream, derived from the plan seed
+  std::vector<std::pair<std::string, bool>> forced;
+};
+
+struct PartitionPlan {
+  std::vector<std::string> variables;  // failure-decision variable names
+  std::vector<PartitionJob> jobs;      // 2^variables.size(), in id order
+};
+
+// Builds the full-factorial plan over `variables` (at most 16 — jobs
+// grow as 2^B). Deterministic in (variables, seed).
+[[nodiscard]] PartitionPlan planPartitions(
+    std::span<const std::string> variables, std::uint64_t seed = 0);
+
+struct ParallelConfig {
+  unsigned workers = 1;        // thread-pool size (jobs stay sequential)
+  std::uint64_t horizon = 0;   // virtual-time horizon passed to run()
+  bool collectScenarioFingerprints = true;
+  bool collectStateFingerprints = true;
+  // Generate canonical test cases for every owned dscenario (solver
+  // work per dscenario — keep off for large runs).
+  bool collectTestcases = false;
+  // Fleet-wide cooperative caps (0 = off). When a cap trips, the abort
+  // latches and every job observes it at its next event; capped runs
+  // abort deterministically in *which* cap fired, but not in how far
+  // each job got, so the equivalence oracles only apply to runs that
+  // did not trip a cap.
+  std::uint64_t maxTotalStates = 0;
+  std::uint64_t maxTotalMemoryBytes = 0;
+  double maxWallSeconds = 0;
+};
+
+// Everything observable about one finished partition job. All fields
+// except wallSeconds are deterministic functions of the job definition.
+struct JobResult {
+  std::uint32_t jobId = 0;
+  RunOutcome outcome = RunOutcome::kCompleted;
+  std::uint64_t states = 0;
+  std::uint64_t events = 0;
+  std::uint64_t groups = 0;
+  std::uint64_t memoryBytes = 0;
+  std::uint64_t scenariosRepresented = 0;  // countScenarios() of the job
+  std::uint64_t scenariosOwned = 0;        // after the ownership rule
+  double wallSeconds = 0;
+  std::vector<std::uint64_t> scenarioFingerprints;  // owned, sorted distinct
+  std::vector<std::uint64_t> stateFingerprints;     // configHash, sorted
+                                                    // distinct
+  std::vector<std::string> testcases;  // canonical (id-free), sorted
+  support::StatsRegistry stats;        // engine + interpreter + solver
+};
+
+struct ParallelResult {
+  std::vector<JobResult> jobs;  // job-id order
+  RunOutcome outcome = RunOutcome::kCompleted;
+  std::uint64_t totalStates = 0;
+  std::uint64_t totalEvents = 0;
+  std::uint64_t totalScenariosOwned = 0;  // == legacy countScenarios()
+  std::vector<std::uint64_t> scenarioFingerprints;  // union, sorted distinct
+  std::vector<std::uint64_t> stateFingerprints;     // union, sorted distinct
+  std::vector<std::string> testcases;               // union, sorted distinct
+  support::StatsRegistry stats;
+  double wallSeconds = 0;  // whole fleet, wall clock
+
+  // Digest over every deterministic field — the workers-invariance
+  // oracle: runs of the same plan must produce equal digests for any
+  // worker count.
+  [[nodiscard]] std::uint64_t fingerprintDigest() const;
+};
+
+// Builds the engine for one job: a fresh Engine over the same network
+// plan and configuration every time. Called from worker threads
+// concurrently — must not touch shared mutable data. The runner applies
+// the job's decision filter and the shared caps afterwards, so the
+// factory only constructs and configures scenario-level detail (failure
+// model, boot globals, samplers).
+using EngineFactory =
+    std::function<std::unique_ptr<Engine>(const PartitionJob&)>;
+
+[[nodiscard]] ParallelResult runPartitioned(const EngineFactory& factory,
+                                            const PartitionPlan& plan,
+                                            const ParallelConfig& config);
+
+// Canonical, run-independent rendering of a dscenario's test cases: the
+// member states' inputs under one joint model, keyed by node — state
+// ids (which depend on exploration order) are deliberately absent, so
+// the strings compare equal across partitioned and legacy runs.
+[[nodiscard]] std::string canonicalScenarioTestcase(
+    solver::Solver& solver, std::span<ExecutionState* const> scenario);
+
+}  // namespace sde

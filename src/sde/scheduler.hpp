@@ -56,14 +56,20 @@ class Scheduler {
       if (top.time > horizon) return std::nullopt;
       heap_.pop();
       vm::ExecutionState* state = resolve(top.state);
-      if (state == nullptr || state->isTerminal()) continue;
+      if (state == nullptr || state->isTerminal()) {
+        ++staleDrops_;
+        continue;
+      }
       const auto it = std::find_if(
           state->pendingEvents.begin(), state->pendingEvents.end(),
           [&](const vm::PendingEvent& e) {
             return e.seq == top.seq && e.time == top.time &&
                    static_cast<std::uint8_t>(e.kind) == top.kind;
           });
-      if (it == state->pendingEvents.end()) continue;  // stale entry
+      if (it == state->pendingEvents.end()) {  // stale entry
+        ++staleDrops_;
+        continue;
+      }
       Popped popped{state, std::move(*it)};
       state->pendingEvents.erase(it);
       return popped;
@@ -73,6 +79,10 @@ class Scheduler {
 
   [[nodiscard]] bool maybeEmpty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t heapSize() const { return heap_.size(); }
+  // Entries discarded by lazy invalidation (consumed events, re-armed
+  // timers, duplicate registrations). Observable so stress tests can
+  // verify the invalidation path actually ran.
+  [[nodiscard]] std::uint64_t staleDrops() const { return staleDrops_; }
 
  private:
   struct After {
@@ -81,6 +91,7 @@ class Scheduler {
     }
   };
   std::priority_queue<Entry, std::vector<Entry>, After> heap_;
+  std::uint64_t staleDrops_ = 0;
 };
 
 }  // namespace sde

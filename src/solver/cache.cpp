@@ -58,6 +58,14 @@ std::optional<expr::Assignment> QueryCache::reuseModel(
   return std::nullopt;
 }
 
+void QueryCache::mergeFrom(const QueryCache& other) {
+  for (const auto& [key, result] : other.results_) results_.emplace(key, result);
+  for (auto it = other.recentModels_.rbegin(); it != other.recentModels_.rend();
+       ++it)
+    recentModels_.push_front(*it);
+  while (recentModels_.size() > maxRecentModels_) recentModels_.pop_back();
+}
+
 void QueryCache::clear() {
   results_.clear();
   recentModels_.clear();

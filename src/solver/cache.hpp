@@ -40,7 +40,19 @@ class QueryCache {
       const expr::Context& ctx,
       std::span<const expr::Ref> constraints) const;
 
+  // Merges `other` into this cache (the post-run barrier of the parallel
+  // execution mode: per-worker caches accumulate into one). Result
+  // entries are unioned — when both caches solved the same canonical
+  // key the results are necessarily equal, so existing entries win —
+  // and the recent-model pool keeps the newest models of both caches up
+  // to the retention bound. Merging never fabricates an entry for a
+  // constraint set neither cache actually solved.
+  void mergeFrom(const QueryCache& other);
+
   [[nodiscard]] std::size_t size() const { return results_.size(); }
+  [[nodiscard]] std::size_t numRecentModels() const {
+    return recentModels_.size();
+  }
   void clear();
 
  private:

@@ -62,6 +62,11 @@ class Solver {
   [[nodiscard]] const support::StatsRegistry& stats() const { return stats_; }
   support::StatsRegistry& stats() { return stats_; }
   [[nodiscard]] expr::Context& context() const { return ctx_; }
+  // The query cache, exposed for the parallel runner's post-run merge
+  // barrier (per-worker caches are folded into one so hits accumulate
+  // across the fleet).
+  [[nodiscard]] QueryCache& cache() { return cache_; }
+  [[nodiscard]] const QueryCache& cache() const { return cache_; }
 
  private:
   // Satisfiability of an explicit conjunction (after slicing).

@@ -4,6 +4,15 @@
 
 namespace sde::support {
 
+void StatsRegistry::mergeFrom(const StatsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    if (name.find("peak") != std::string::npos)
+      maxOf(name, value);
+    else
+      counters_[name] += value;
+  }
+}
+
 std::uint64_t StatsRegistry::get(std::string_view name) const {
   auto it = counters_.find(std::string(name));
   return it == counters_.end() ? 0 : it->second;

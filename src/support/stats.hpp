@@ -24,6 +24,12 @@ class StatsRegistry {
     if (value > slot) slot = value;
   }
 
+  // Aggregates a per-worker registry into this one: counters are
+  // summed, except high-water marks (names containing "peak"), which
+  // take the maximum — a fleet's peak is the largest worker's peak, not
+  // their sum.
+  void mergeFrom(const StatsRegistry& other);
+
   [[nodiscard]] std::uint64_t get(std::string_view name) const;
   [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const {
     return counters_;

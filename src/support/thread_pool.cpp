@@ -1,0 +1,64 @@
+#include "support/thread_pool.hpp"
+
+namespace sde::support {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) workers = 1;
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    stopping_ = true;
+  }
+  taskReady_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  taskReady_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  allDone_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  if (firstError_) {
+    std::exception_ptr error = firstError_;
+    firstError_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    taskReady_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+    if (tasks_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    std::function<void()> task = std::move(tasks_.front());
+    tasks_.pop_front();
+    ++active_;
+    lock.unlock();
+    try {
+      task();
+    } catch (...) {
+      lock.lock();
+      if (!firstError_) firstError_ = std::current_exception();
+      lock.unlock();
+    }
+    lock.lock();
+    --active_;
+    if (tasks_.empty() && active_ == 0) allDone_.notify_all();
+  }
+}
+
+}  // namespace sde::support

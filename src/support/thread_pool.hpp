@@ -1,0 +1,53 @@
+// Fixed-size worker pool for the parallel execution mode. Deliberately
+// minimal: submit() enqueues a task, wait() blocks until every submitted
+// task has finished. Determinism of the SDE parallel runner does not
+// come from here — tasks may run in any order on any worker — it comes
+// from the runner merging results in partition order afterwards.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sde::support {
+
+class ThreadPool {
+ public:
+  // Spawns `workers` threads (at least one).
+  explicit ThreadPool(unsigned workers);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  // Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  // Enqueues a task. Tasks must not submit further tasks from within
+  // wait() callers' threads after shutdown began.
+  void submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and no task is running. If any task
+  // threw, rethrows the first captured exception here (once).
+  void wait();
+
+  [[nodiscard]] unsigned workers() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+ private:
+  void workerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable taskReady_;
+  std::condition_variable allDone_;
+  std::deque<std::function<void()>> tasks_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr firstError_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace sde::support

@@ -1,5 +1,7 @@
 #include "trace/metrics.hpp"
 
+#include <algorithm>
+
 namespace sde::trace {
 
 Engine::Sampler MetricsRecorder::sampler() {
@@ -24,6 +26,29 @@ void MetricsRecorder::writeCsv(std::ostream& os,
        << s.states << ',' << s.memoryBytes << ',' << s.groups << ','
        << s.events << '\n';
   }
+}
+
+std::vector<MetricSample> stitchSamples(
+    std::span<const std::vector<MetricSample>> series) {
+  struct Keyed {
+    MetricSample sample;
+    std::size_t seriesIndex = 0;
+  };
+  std::vector<Keyed> keyed;
+  for (std::size_t i = 0; i < series.size(); ++i)
+    for (const MetricSample& sample : series[i]) keyed.push_back({sample, i});
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const Keyed& a, const Keyed& b) {
+                     if (a.sample.virtualTime != b.sample.virtualTime)
+                       return a.sample.virtualTime < b.sample.virtualTime;
+                     if (a.sample.events != b.sample.events)
+                       return a.sample.events < b.sample.events;
+                     return a.seriesIndex < b.seriesIndex;
+                   });
+  std::vector<MetricSample> merged;
+  merged.reserve(keyed.size());
+  for (const Keyed& k : keyed) merged.push_back(k.sample);
+  return merged;
 }
 
 }  // namespace sde::trace

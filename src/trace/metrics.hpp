@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <ostream>
+#include <span>
 #include <vector>
 
 #include "sde/engine.hpp"
@@ -41,5 +42,12 @@ class MetricsRecorder {
  private:
   std::vector<MetricSample> samples_;
 };
+
+// Merges per-worker metric series into one deterministic timeline,
+// ordered by (virtualTime, events, series index) — wall-clock stamps
+// are kept but deliberately not used as a sort key, since they vary
+// across runs while the virtual-time axis does not.
+[[nodiscard]] std::vector<MetricSample> stitchSamples(
+    std::span<const std::vector<MetricSample>> series);
 
 }  // namespace sde::trace

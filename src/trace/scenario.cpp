@@ -29,31 +29,53 @@ CollectScenario::CollectScenario(CollectScenarioConfig config)
   const net::NodeId sink = 0;
   source_ = topology.numNodes() - 1;
   const net::RoutingTable routing = net::RoutingTable::towards(topology, sink);
+  route_ = routing.path(source_);
+  // §IV-A: "nodes on the data path towards the destination and their
+  // neighbors should symbolically drop one packet".
+  failureNodes_ = routing.pathAndNeighbors(topology, source_);
+  bootGlobals_ =
+      rime::collectBootGlobals(topology, routing, source_, config_.sendInterval);
 
   plan_ = std::make_unique<os::NetworkPlan>(topology);
   plan_->runEverywhere(program_);
-  engine_ = std::make_unique<Engine>(*plan_, config_.mapper, config_.engine);
+  engine_ = makeEngine();
+  engine_->setSampler(metrics_.sampler());
+}
 
-  for (const rime::BootAssignment& boot : rime::collectBootGlobals(
-           topology, routing, source_, config_.sendInterval))
-    engine_->setBootGlobal(boot.node, boot.slot, boot.value);
-
-  // §IV-A: "nodes on the data path towards the destination and their
-  // neighbors should symbolically drop one packet".
+std::unique_ptr<Engine> CollectScenario::makeEngine() const {
+  auto engine = std::make_unique<Engine>(*plan_, config_.mapper, config_.engine);
+  for (const rime::BootAssignment& boot : bootGlobals_)
+    engine->setBootGlobal(boot.node, boot.slot, boot.value);
   auto failures = std::make_unique<net::CompositeFailureModel>();
-  const std::vector<net::NodeId> failureNodes =
-      routing.pathAndNeighbors(topology, source_);
   if (config_.symbolicDrops)
     failures->add(std::make_unique<net::SymbolicDropModel>(
-        failureNodes, config_.maxDropsPerNode));
+        failureNodes_, config_.maxDropsPerNode));
   if (config_.symbolicDuplicates)
     failures->add(std::make_unique<net::SymbolicDuplicateModel>(
-        failureNodes, config_.maxDropsPerNode));
+        failureNodes_, config_.maxDropsPerNode));
   if (config_.symbolicReboots)
     failures->add(std::make_unique<net::SymbolicRebootModel>(
-        failureNodes, config_.maxDropsPerNode));
-  engine_->setFailureModel(std::move(failures));
-  engine_->setSampler(metrics_.sampler());
+        failureNodes_, config_.maxDropsPerNode));
+  engine->setFailureModel(std::move(failures));
+  return engine;
+}
+
+std::vector<std::string> CollectScenario::partitionVariables(
+    std::size_t maxVariables) const {
+  std::vector<std::string> variables;
+  if (!config_.symbolicDrops) return variables;
+  // route_[0] is the source, which transmits but never receives data
+  // packets — its drop decision would rarely be reached.
+  for (std::size_t hop = 1;
+       hop < route_.size() && variables.size() < maxVariables; ++hop) {
+    variables.push_back("n" + std::to_string(route_[hop]) + "." +
+                        net::SymbolicDropModel::kLabel + ".0");
+  }
+  return variables;
+}
+
+EngineFactory CollectScenario::engineFactory() const {
+  return [this](const PartitionJob&) { return makeEngine(); };
 }
 
 ScenarioResult CollectScenario::run() {
@@ -93,6 +115,36 @@ FloodScenario::FloodScenario(FloodScenarioConfig config)
 ScenarioResult FloodScenario::run() {
   const RunOutcome outcome = engine_->run(config_.simulationTime);
   return summarize(*engine_, outcome);
+}
+
+PartitionedCollectResult runCollectPartitioned(
+    const CollectScenarioConfig& config, ParallelConfig parallelConfig,
+    std::size_t numPartitionVariables) {
+  CollectScenario scenario(config);
+  const PartitionPlan plan =
+      planPartitions(scenario.partitionVariables(numPartitionVariables));
+  if (parallelConfig.horizon == 0)
+    parallelConfig.horizon = config.simulationTime;
+
+  // One recorder per job, attached inside the factory: the vector is
+  // pre-sized, so concurrent workers touch disjoint elements.
+  std::vector<MetricsRecorder> recorders(plan.jobs.size());
+  const EngineFactory base = scenario.engineFactory();
+  const EngineFactory withMetrics =
+      [&base, &recorders](const PartitionJob& job) {
+        std::unique_ptr<Engine> engine = base(job);
+        engine->setSampler(recorders[job.id].sampler());
+        return engine;
+      };
+
+  PartitionedCollectResult result;
+  result.result = runPartitioned(withMetrics, plan, parallelConfig);
+  std::vector<std::vector<MetricSample>> series;
+  series.reserve(recorders.size());
+  for (const MetricsRecorder& recorder : recorders)
+    series.push_back(recorder.samples());
+  result.samples = stitchSamples(series);
+  return result;
 }
 
 }  // namespace sde::trace

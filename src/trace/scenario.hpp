@@ -11,6 +11,7 @@
 
 #include "rime/apps.hpp"
 #include "sde/duplicates.hpp"
+#include "sde/parallel.hpp"
 #include "trace/metrics.hpp"
 
 namespace sde::trace {
@@ -59,13 +60,32 @@ class CollectScenario {
   [[nodiscard]] net::NodeId source() const { return source_; }
   [[nodiscard]] net::NodeId sink() const { return 0; }
 
+  // Partition-variable candidates for this scenario: the first drop
+  // decision ("n<node>.netdrop.0") of each data-path node, hop order
+  // from the source — decisions that fire early on almost every path,
+  // which keeps the re-explored (undecided) overlap between partition
+  // jobs small. At most `maxVariables`; empty without symbolic drops.
+  [[nodiscard]] std::vector<std::string> partitionVariables(
+      std::size_t maxVariables) const;
+
+  // Thread-safe factory building an identically configured engine per
+  // partition job (same plan, boot globals, failure models; no sampler
+  // — the partitioned runners attach their own). `this` must outlive
+  // every factory call.
+  [[nodiscard]] EngineFactory engineFactory() const;
+
  private:
+  [[nodiscard]] std::unique_ptr<Engine> makeEngine() const;
+
   CollectScenarioConfig config_;
   vm::Program program_;
   std::unique_ptr<os::NetworkPlan> plan_;
   std::unique_ptr<Engine> engine_;
   MetricsRecorder metrics_;
   net::NodeId source_ = 0;
+  std::vector<net::NodeId> route_;  // source -> sink, inclusive
+  std::vector<net::NodeId> failureNodes_;
+  std::vector<rime::BootAssignment> bootGlobals_;
 };
 
 // --- Flooding (the adversarial case, §IV-C) ----------------------------------
@@ -98,5 +118,20 @@ class FloodScenario {
 
 // Shared summary extraction.
 [[nodiscard]] ScenarioResult summarize(Engine& engine, RunOutcome outcome);
+
+// --- Partitioned execution of the collect scenario ---------------------------
+struct PartitionedCollectResult {
+  ParallelResult result;
+  // Per-job metric series stitched into one virtual-time-ordered
+  // timeline (see stitchSamples).
+  std::vector<MetricSample> samples;
+};
+
+// Runs the collect scenario partitioned over `numPartitionVariables`
+// drop decisions (2^n jobs) on parallelConfig.workers threads. A zero
+// parallelConfig.horizon defaults to config.simulationTime.
+[[nodiscard]] PartitionedCollectResult runCollectPartitioned(
+    const CollectScenarioConfig& config, ParallelConfig parallelConfig,
+    std::size_t numPartitionVariables);
 
 }  // namespace sde::trace

@@ -39,6 +39,7 @@ std::unique_ptr<ExecutionState> ExecutionState::fork(StateId newId) const {
   clone->nextEventSeq = nextEventSeq;
   clone->activeTimers = activeTimers;
   clone->commLog = commLog;
+  clone->decisions = decisions;
   clone->symbolics = symbolics;
   clone->symbolicCounters = symbolicCounters;
   clone->executedInstructions = executedInstructions;

@@ -100,8 +100,20 @@ class ExecutionState {
   // Active timers: timer id -> seq of the arming (re-arming supersedes).
   std::map<std::uint32_t, std::uint64_t> activeTimers;
 
+  // One engine-level failure decision taken on this path, in decision
+  // order — the deterministic-replay log. Re-running the engine with all
+  // of these decisions forced (Engine decision filter) reproduces this
+  // state's distributed scenario without exploring the rest of the tree;
+  // the parallel runner uses the log to assign each explored dscenario
+  // to exactly one partition job.
+  struct DecisionRecord {
+    expr::Ref var = nullptr;  // the symbolic decision variable
+    bool failed = false;      // branch taken: true = the failure branch
+  };
+
   // --- SDE bookkeeping --------------------------------------------------------
   std::vector<CommRecord> commLog;
+  std::vector<DecisionRecord> decisions;
   // Distinct symbolic inputs created on this path, in creation order
   // (the test case of this state assigns each of them).
   std::vector<expr::Ref> symbolics;

@@ -1,0 +1,140 @@
+// Scheduler stress: fork storms, cancellations and state deaths racing
+// (logically) with pops. The lazily-invalidated heap accumulates stale
+// entries — duplicate registrations after forks, events of dead states,
+// consumed events re-registered — and must never yield an event twice
+// or yield an event that is no longer pending.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sde/scheduler.hpp"
+#include "support/rng.hpp"
+#include "vm/builder.hpp"
+
+namespace sde {
+namespace {
+
+class SchedulerStressTest : public ::testing::Test {
+ protected:
+  SchedulerStressTest() {
+    vm::IRBuilder b("noop");
+    b.setGlobals(1);
+    b.beginEntry(vm::Entry::kInit);
+    b.halt();
+    program = b.finish();
+  }
+
+  vm::ExecutionState& makeState(vm::NodeId node) {
+    auto state = std::make_unique<vm::ExecutionState>(nextId++, node, program);
+    auto* raw = state.get();
+    byId[raw->id()] = raw;
+    owned.push_back(std::move(state));
+    return *raw;
+  }
+
+  void addEvent(vm::ExecutionState& state, std::uint64_t time) {
+    vm::PendingEvent event;
+    event.time = time;
+    event.kind = vm::EventKind::kTimer;
+    event.seq = state.nextEventSeq++;
+    state.pendingEvents.push_back(std::move(event));
+  }
+
+  auto resolver() {
+    return [this](vm::StateId id) -> vm::ExecutionState* {
+      const auto it = byId.find(id);
+      return it == byId.end() ? nullptr : it->second;
+    };
+  }
+
+  vm::Program program;
+  Scheduler scheduler;
+  std::vector<std::unique_ptr<vm::ExecutionState>> owned;
+  std::map<vm::StateId, vm::ExecutionState*> byId;
+  vm::StateId nextId = 0;
+};
+
+TEST_F(SchedulerStressTest, ForkStormNeverYieldsAConsumedEvent) {
+  support::Rng rng(12345);
+  std::vector<vm::ExecutionState*> live;
+  for (vm::NodeId n = 0; n < 4; ++n) {
+    auto& state = makeState(n);
+    for (int i = 0; i < 3; ++i) addEvent(state, 1 + rng.below(50));
+    scheduler.registerState(state);
+    live.push_back(&state);
+  }
+
+  // (state id, seq) pairs already consumed: seqs are unique per state
+  // (nextEventSeq is monotonic and forks copy it), so a repeat means
+  // the heap yielded a stale entry as live.
+  std::set<std::pair<vm::StateId, std::uint64_t>> consumed;
+  std::uint64_t now = 0;
+  int pops = 0;
+
+  while (pops < 2000) {
+    auto popped = scheduler.pop(now + 100, resolver());
+    if (!popped) {
+      now += 100;
+      if (scheduler.maybeEmpty() && now > 10'000) break;
+      if (now > 100'000) break;
+      continue;
+    }
+    ++pops;
+    ASSERT_TRUE(
+        consumed.insert({popped->state->id(), popped->event.seq}).second)
+        << "event yielded twice: state " << popped->state->id() << " seq "
+        << popped->event.seq;
+
+    // Fork storm: duplicate the popped state's whole timeline (a fresh
+    // registration for every still-pending event, all duplicates of
+    // live heap entries).
+    if (rng.chance(0.4) && owned.size() < 400) {
+      auto clone = popped->state->fork(nextId++);
+      for (int i = 0; i < 2; ++i)
+        addEvent(*clone, popped->event.time + 1 + rng.below(30));
+      byId[clone->id()] = clone.get();
+      scheduler.registerState(*clone);
+      live.push_back(clone.get());
+      owned.push_back(std::move(clone));
+    }
+    // Keep the storm going on the popped state too.
+    if (rng.chance(0.5)) {
+      addEvent(*popped->state, popped->event.time + 1 + rng.below(30));
+      scheduler.registerState(*popped->state);
+    }
+    // Random cancellation: silently drop a pending event, leaving its
+    // heap entry stale.
+    if (rng.chance(0.2)) {
+      auto* victim = live[rng.below(live.size())];
+      if (!victim->pendingEvents.empty()) victim->pendingEvents.pop_back();
+    }
+    // Random death: terminal states must never be scheduled again.
+    if (rng.chance(0.05)) {
+      auto* victim = live[rng.below(live.size())];
+      victim->status = vm::StateStatus::kKilled;
+    }
+    // Duplicate registrations of random states are harmless.
+    if (rng.chance(0.3))
+      scheduler.registerState(*live[rng.below(live.size())]);
+  }
+
+  EXPECT_GT(pops, 100);
+  // The storm must actually have exercised the invalidation path.
+  EXPECT_GT(scheduler.staleDrops(), 0u);
+
+  // Drain: whatever remains must still honour the uniqueness invariant
+  // and leave the popped events removed from their states.
+  while (auto popped = scheduler.pop(1'000'000, resolver())) {
+    ASSERT_TRUE(
+        consumed.insert({popped->state->id(), popped->event.seq}).second);
+  }
+  for (const auto& state : owned)
+    if (!state->isTerminal())
+      for (const auto& event : state->pendingEvents)
+        EXPECT_FALSE(consumed.contains({state->id(), event.seq}))
+            << "consumed event still pending in state " << state->id();
+}
+
+}  // namespace
+}  // namespace sde

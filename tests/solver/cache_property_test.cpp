@@ -1,0 +1,168 @@
+// QueryCache property tests (the cache is shared-nothing per worker in
+// the parallel execution mode and merged at the barrier, so its two
+// soundness properties carry the whole design):
+//  1. A model returned by reuseModel ALWAYS satisfies the query it was
+//     reused for — reuse is verified by evaluation, never assumed.
+//  2. mergeFrom never fabricates a result: every key in the merged
+//     cache was solved by one of the inputs, with an equal result, and
+//     dropped constraint sets stay absent.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "solver/cache.hpp"
+#include "solver/solver.hpp"
+#include "support/rng.hpp"
+
+namespace sde::solver {
+namespace {
+
+// Random conjunctions over a small pool of narrow variables: satisfiable
+// often, unsatisfiable sometimes, with heavy key overlap across draws.
+class QueryGen {
+ public:
+  QueryGen(expr::Context& ctx, std::uint64_t seed) : ctx_(ctx), rng_(seed) {
+    for (int i = 0; i < 4; ++i)
+      vars_.push_back(ctx_.variable("q" + std::to_string(i), 4));
+  }
+
+  std::vector<expr::Ref> query() {
+    std::vector<expr::Ref> constraints;
+    const std::uint64_t count = 1 + rng_.below(4);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      expr::Ref var = vars_[rng_.below(vars_.size())];
+      expr::Ref bound = ctx_.constant(rng_.below(16), 4);
+      switch (rng_.below(4)) {
+        case 0:
+          constraints.push_back(ctx_.ult(var, bound));
+          break;
+        case 1:
+          constraints.push_back(ctx_.uge(var, bound));
+          break;
+        case 2:
+          constraints.push_back(ctx_.eq(var, bound));
+          break;
+        default:
+          constraints.push_back(
+              ctx_.ne(ctx_.bvXor(var, vars_[rng_.below(vars_.size())]),
+                      bound));
+          break;
+      }
+    }
+    return constraints;
+  }
+
+ private:
+  expr::Context& ctx_;
+  support::Rng rng_;
+  std::vector<expr::Ref> vars_;
+};
+
+bool satisfies(std::span<const expr::Ref> constraints,
+               const expr::Assignment& model) {
+  for (expr::Ref c : constraints)
+    if (expr::evaluate(c, model) == 0) return false;
+  return true;
+}
+
+TEST(CachePropertyTest, ReusedModelAlwaysSatisfiesTheNewQuery) {
+  expr::Context ctx;
+  Solver solver(ctx);
+  QueryGen gen(ctx, 99);
+
+  int reuses = 0;
+  for (int round = 0; round < 300; ++round) {
+    const std::vector<expr::Ref> constraints = gen.query();
+    // Populate the recent-model pool through the solver's own path.
+    solver::ConstraintSet set;
+    for (expr::Ref c : constraints) set.add(c);
+    (void)solver.getModel(set);
+
+    // Property: whatever model the cache offers for the NEXT query must
+    // satisfy it, even though it was found for a different query.
+    const std::vector<expr::Ref> next = gen.query();
+    if (const auto reused = solver.cache().reuseModel(ctx, next)) {
+      ++reuses;
+      EXPECT_TRUE(satisfies(next, *reused)) << "round " << round;
+    }
+  }
+  // The workload overlaps heavily, so reuse must actually trigger —
+  // otherwise the property above was vacuous.
+  EXPECT_GT(reuses, 10);
+}
+
+TEST(CachePropertyTest, MergeNeverFabricatesResults) {
+  expr::Context ctx;
+  QueryGen gen(ctx, 7);
+
+  QueryCache a;
+  QueryCache b;
+  std::vector<QueryKey> keysA;
+  std::vector<QueryKey> keysB;
+  std::vector<QueryKey> dropped;  // solved by NO cache
+
+  const auto solve = [&](const std::vector<expr::Ref>& constraints) {
+    return enumerateModels(ctx, constraints, expr::IntervalEnv{});
+  };
+
+  for (int i = 0; i < 60; ++i) {
+    const auto constraints = gen.query();
+    const QueryKey key = makeQueryKey(constraints);
+    switch (i % 3) {
+      case 0:
+        a.insert(key, solve(constraints));
+        keysA.push_back(key);
+        break;
+      case 1:
+        b.insert(key, solve(constraints));
+        keysB.push_back(key);
+        break;
+      default:
+        dropped.push_back(key);
+        break;
+    }
+  }
+
+  QueryCache merged;
+  merged.mergeFrom(a);
+  merged.mergeFrom(b);
+
+  // Every input key survives with a result equal to an input's result.
+  for (const QueryKey& key : keysA) {
+    const EnumResult* inA = a.lookup(key);
+    const EnumResult* got = merged.lookup(key);
+    ASSERT_NE(got, nullptr);
+    ASSERT_NE(inA, nullptr);
+    EXPECT_EQ(got->status, inA->status);
+  }
+  for (const QueryKey& key : keysB) {
+    const EnumResult* got = merged.lookup(key);
+    ASSERT_NE(got, nullptr);
+    const EnumResult* inA = a.lookup(key);
+    const EnumResult* inB = b.lookup(key);
+    ASSERT_TRUE(inA != nullptr || inB != nullptr);
+    // Same canonical key => same logical query => statuses agree
+    // whichever input won the merge.
+    EXPECT_EQ(got->status, (inA != nullptr ? inA : inB)->status);
+  }
+  // Dropped constraint sets were never solved: the merge must not
+  // resurrect them from the recent-model pool or anywhere else.
+  for (const QueryKey& key : dropped) {
+    if (a.lookup(key) != nullptr || b.lookup(key) != nullptr)
+      continue;  // the generator can re-draw an inserted query
+    EXPECT_EQ(merged.lookup(key), nullptr);
+  }
+  EXPECT_EQ(merged.size(), a.size() + b.size() -
+                               [&] {
+                                 std::size_t overlap = 0;
+                                 for (const QueryKey& key : keysB)
+                                   if (a.lookup(key) != nullptr) ++overlap;
+                                 return overlap;
+                               }());
+
+  // The recent-model retention bound survives merging.
+  EXPECT_LE(merged.numRecentModels(), 8u);
+}
+
+}  // namespace
+}  // namespace sde::solver

@@ -1,0 +1,110 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+namespace sde::support {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i)
+      pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, SingleWorkerStillDrainsTheQueue) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i)
+    pool.submit([&order, i] { order.push_back(i); });
+  pool.wait();
+  // One worker: strict FIFO, no synchronisation needed in the tasks.
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, TasksActuallyRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> inside{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&] {
+      const int now = inside.fetch_add(1) + 1;
+      int expected = peak.load();
+      while (expected < now &&
+             !peak.compare_exchange_weak(expected, now)) {
+      }
+      // Give the other workers a chance to overlap; on a single-core
+      // host this may still observe peak == 1, so only the >= 1
+      // invariant is hard.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      inside.fetch_sub(1);
+    });
+  }
+  pool.wait();
+  EXPECT_GE(peak.load(), 1);
+  EXPECT_EQ(inside.load(), 0);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsTheFirstTaskError) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 10; ++i)
+    pool.submit([&completed] { completed.fetch_add(1); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The error is reported once; the pool stays usable.
+  pool.submit([&completed] { completed.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(completed.load(), 11);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsWithoutWait) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 30; ++i)
+      pool.submit([&counter] { counter.fetch_add(1); });
+    // No wait(): the destructor must drain and join.
+  }
+  EXPECT_EQ(counter.load(), 30);
+}
+
+TEST(ThreadPoolTest, ManyMoreTasksThanWorkers) {
+  ThreadPool pool(2);
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.submit([&] {
+      counter.fetch_add(1);
+      const std::lock_guard<std::mutex> lock(mutex);
+      seen.insert(std::this_thread::get_id());
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 500);
+  EXPECT_LE(seen.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sde::support
