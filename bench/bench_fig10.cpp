@@ -8,12 +8,22 @@
 //
 // Usage: bench_fig10 [--nodes 25|49|100] [--time T] [--wall-cap SECONDS]
 //                    [--outdir DIR] [--paper]
+//                    [--checkpoint-dir DIR] [--resume]
+//
+// With --checkpoint-dir, every (nodes, algorithm) run periodically writes
+// an engine checkpoint; --resume continues a suspended run from it (e.g.
+// after a wall-cap abort or a killed process) instead of starting over.
+// A resumed run's CSV only covers the samples recorded after the resume —
+// the states/memory endpoints still match the uninterrupted run.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "snapshot/checkpoint.hpp"
+#include "snapshot/manifest.hpp"
 #include "trace/scenario.hpp"
 #include "trace/table.hpp"
 
@@ -28,6 +38,8 @@ struct Options {
   double wallCap = 60.0;
   std::string outdir = ".";
   bool paper = false;
+  std::string checkpointDir;
+  bool resume = false;
 };
 
 Options parseArgs(int argc, char** argv) {
@@ -47,6 +59,10 @@ Options parseArgs(int argc, char** argv) {
       options.outdir = argv[++i];
     else if (arg == "--paper")
       options.paper = true;
+    else if (arg == "--checkpoint-dir" && i + 1 < argc)
+      options.checkpointDir = argv[++i];
+    else if (arg == "--resume")
+      options.resume = true;
     else
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
   }
@@ -99,9 +115,24 @@ int main(int argc, char** argv) {
       config.engine.maxStates = 2'000'000;
 
       trace::CollectScenario scenario(config);
-      const trace::ScenarioResult result = scenario.run();
-
       const std::string name(mapperKindName(kind));
+
+      std::filesystem::path ckpt;
+      if (!options.checkpointDir.empty()) {
+        ckpt = std::filesystem::path(options.checkpointDir) /
+               ("fig10_" + std::to_string(nodes) + "_" + name + ".ckpt");
+        if (trace::attachCheckpointing(scenario.engine(), ckpt,
+                                       options.resume))
+          std::fprintf(stderr, "[resume] %u nodes %s from %s\n", nodes,
+                       name.c_str(), ckpt.string().c_str());
+      }
+
+      const trace::ScenarioResult result = scenario.run();
+      if (!ckpt.empty() && result.outcome == RunOutcome::kCompleted) {
+        std::error_code ec;
+        std::filesystem::remove(ckpt, ec);  // run finished: nothing to resume
+      }
+
       const std::string path = options.outdir + "/fig10_" +
                                std::to_string(nodes) + "_" + name + ".csv";
       std::ofstream csv(path);

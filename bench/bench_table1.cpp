@@ -12,8 +12,15 @@
 // Usage: bench_table1 [--width W] [--height H] [--time T]
 //                     [--cob-state-cap N] [--cob-wall-cap SECONDS]
 //                     [--paper]   (full 10-second simulation; slow)
+//                     [--checkpoint-dir DIR] [--resume]
+//
+// With --checkpoint-dir, each algorithm's run periodically checkpoints
+// (and checkpoints once more when a cap aborts it — the paper's COB
+// abort suspends instead of discarding); --resume continues from the
+// recorded checkpoints.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "sde/explode.hpp"
@@ -28,6 +35,8 @@ struct Options {
   std::uint64_t simulationTime = 5000;
   std::uint64_t cobStateCap = 1'100'000;
   double cobWallCap = 120.0;
+  std::string checkpointDir;
+  bool resume = false;
 };
 
 Options parseArgs(int argc, char** argv) {
@@ -46,6 +55,10 @@ Options parseArgs(int argc, char** argv) {
       options.cobWallCap = static_cast<double>(next());
     else if (arg == "--paper")
       options.simulationTime = 10000;
+    else if (arg == "--checkpoint-dir" && i + 1 < argc)
+      options.checkpointDir = argv[++i];
+    else if (arg == "--resume")
+      options.resume = true;
     else
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
   }
@@ -81,7 +94,21 @@ int main(int argc, char** argv) {
       config.engine.maxWallSeconds = options.cobWallCap;
     }
     trace::CollectScenario scenario(config);
+
+    std::filesystem::path ckpt;
+    if (!options.checkpointDir.empty()) {
+      ckpt = std::filesystem::path(options.checkpointDir) /
+             ("table1_" + std::string(mapperKindName(kind)) + ".ckpt");
+      if (trace::attachCheckpointing(scenario.engine(), ckpt, options.resume))
+        std::fprintf(stderr, "[resume] %s from %s\n",
+                     mapperKindName(kind).data(), ckpt.string().c_str());
+    }
+
     const trace::ScenarioResult result = scenario.run();
+    if (!ckpt.empty() && result.outcome == RunOutcome::kCompleted) {
+      std::error_code ec;
+      std::filesystem::remove(ckpt, ec);  // run finished: nothing to resume
+    }
 
     std::string runtime = trace::formatDuration(result.wallSeconds);
     if (result.outcome != RunOutcome::kCompleted) runtime += " (aborted)";

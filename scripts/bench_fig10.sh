@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates the Figure-10 CSVs committed in bench_results/
+# (fig10_{25,49,100}_{COB,COW,SDS}.csv plus the summary/log captures)
+# by running bench_fig10 over all three grid sizes. The run is durable:
+# checkpoints land in <outdir>/ckpt and a second invocation with
+# --resume picks a killed or wall-capped run back up instead of
+# starting over.
+#
+# Usage: scripts/bench_fig10.sh [outdir] [extra bench_fig10 flags...]
+#   scripts/bench_fig10.sh                      # refresh bench_results/
+#   scripts/bench_fig10.sh /tmp/out --paper     # full-duration runs
+#   scripts/bench_fig10.sh bench_results --resume   # continue after a kill
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+outdir="${1:-bench_results}"
+shift || true
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target bench_fig10 >/dev/null
+
+mkdir -p "$outdir"
+./build/bench/bench_fig10 \
+  --outdir "$outdir" \
+  --checkpoint-dir "$outdir/ckpt" \
+  "$@" \
+  > "$outdir/fig10_summary.txt" \
+  2> "$outdir/fig10_log.txt"
+
+# Completed runs delete their checkpoints; an empty ckpt dir means
+# nothing was left suspended.
+rmdir "$outdir/ckpt" 2>/dev/null || true
+
+echo "fig10 CSVs written to $outdir/:"
+ls "$outdir"/fig10_*.csv

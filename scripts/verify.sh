@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Full verification: tier-1 build + test suite, then a ThreadSanitizer
 # build running the concurrency-sensitive tests (thread pool, parallel
-# partitioned execution). Run from anywhere; builds live in the repo.
+# partitioned execution, durable resume) and an AddressSanitizer build
+# running the full suite (the snapshot codec hand-rolls binary framing,
+# exactly where ASan earns its keep). Run from anywhere; builds live in
+# the repo. The fork()+SIGKILL crash test skips itself under both
+# sanitizers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,10 +19,19 @@ ctest --test-dir build --output-on-failure -j
 echo "=== tsan: configure + build (SDE_SANITIZE=thread) ==="
 cmake -B build-tsan -S . -DSDE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-tsan -j --target support_tests sde_tests
+cmake --build build-tsan -j --target support_tests sde_tests snapshot_tests
 
-echo "=== tsan: thread pool + parallel execution tests ==="
+echo "=== tsan: thread pool + parallel execution + resume tests ==="
 ./build-tsan/tests/support_tests --gtest_filter='*ThreadPool*'
 ./build-tsan/tests/sde_tests --gtest_filter='*Parallel*'
+./build-tsan/tests/snapshot_tests --gtest_filter='*Resume*:*CrashRecovery*'
+
+echo "=== asan: configure + build (SDE_SANITIZE=address) ==="
+cmake -B build-asan -S . -DSDE_SANITIZE=address \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-asan -j
+
+echo "=== asan: ctest ==="
+ctest --test-dir build-asan --output-on-failure -j
 
 echo "=== verify: all green ==="

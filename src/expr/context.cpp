@@ -145,6 +145,28 @@ Ref Context::variable(std::string_view name, unsigned width) {
   return node;
 }
 
+Ref Context::nodeAt(std::size_t index) const {
+  SDE_ASSERT(index < nodes_.size(), "expression node index out of range");
+  return &nodes_[index];
+}
+
+Ref Context::restoreNode(Kind kind, unsigned width, std::uint64_t aux,
+                         std::string_view varName,
+                         std::span<const Ref> ops) {
+  if (kind == Kind::kConstant) return constant(aux, width);
+  if (kind == Kind::kVariable) return variable(varName, width);
+  switch (ops.size()) {
+    case 1:
+      return intern(kind, width, aux, {ops[0]});
+    case 2:
+      return intern(kind, width, aux, {ops[0], ops[1]});
+    case 3:
+      return intern(kind, width, aux, {ops[0], ops[1], ops[2]});
+    default:
+      SDE_UNREACHABLE("restoreNode with invalid operand count");
+  }
+}
+
 std::string_view Context::variableName(std::uint64_t index) const {
   SDE_ASSERT(index < varNames_.size(), "variable index out of range");
   return varNames_[static_cast<std::size_t>(index)];

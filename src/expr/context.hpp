@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -88,6 +89,22 @@ class Context {
   // Collect the distinct variables appearing in `x` (deterministic order:
   // by variable table index).
   void collectVariables(Ref x, std::vector<Ref>& out) const;
+
+  // --- Snapshot support ----------------------------------------------------
+  // The node with interning index `index` (Expr::id() equals the index
+  // into the interning log, so the whole DAG can be serialized as that
+  // log and every Ref as a u32 index).
+  [[nodiscard]] Ref nodeAt(std::size_t index) const;
+
+  // Re-interns one node of a serialized interning log *exactly* — no
+  // simplification, no canonical reordering — so that replaying the log
+  // in order reproduces every node at its original index. Constants and
+  // variables route through their interning builders (which never
+  // rewrite); `varName` is only read for kVariable nodes (variables are
+  // serialized by name because their aux payload, the name-table index,
+  // is reassigned in replay order).
+  Ref restoreNode(Kind kind, unsigned width, std::uint64_t aux,
+                  std::string_view varName, std::span<const Ref> ops);
 
  private:
   friend class Expr;

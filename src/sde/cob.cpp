@@ -1,5 +1,8 @@
 #include "sde/cob.hpp"
 
+#include "snapshot/reader.hpp"
+#include "snapshot/writer.hpp"
+
 namespace sde {
 
 void CobMapper::registerInitialStates(
@@ -63,6 +66,35 @@ CobMapper::groupChoices() const {
     result.push_back(std::move(group));
   }
   return result;
+}
+
+void CobMapper::snapshotSave(snapshot::Writer& out) const {
+  out.u64(nextScenarioId_);
+  out.u64(scenarios_.size());
+  for (const Scenario& scenario : scenarios_) {
+    out.u64(scenario.id);
+    for (const ExecutionState* state : scenario.byNode) out.u64(state->id());
+  }
+}
+
+void CobMapper::snapshotLoad(snapshot::Reader& in,
+                             const StateResolver& resolve) {
+  SDE_ASSERT(scenarios_.empty(), "snapshotLoad needs a fresh mapper");
+  nextScenarioId_ = in.u64();
+  const std::uint64_t count = in.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Scenario& scenario = scenarios_.emplace_back();
+    scenario.id = in.u64();
+    scenario.byNode.resize(numNodes_);
+    for (NodeId node = 0; node < numNodes_; ++node) {
+      ExecutionState* state = resolve(in.u64());
+      if (state == nullptr)
+        throw snapshot::SnapshotError(
+            "COB snapshot references an unknown state");
+      scenario.byNode[node] = state;
+      scenarioOf_[state] = &scenario;
+    }
+  }
 }
 
 void CobMapper::checkInvariants() const {

@@ -37,6 +37,10 @@ class CobMapper final : public StateMapper {
   groupChoices() const override;
   void checkInvariants() const override;
 
+  void snapshotSave(snapshot::Writer& out) const override;
+  void snapshotLoad(snapshot::Reader& in,
+                    const StateResolver& resolve) override;
+
  private:
   struct Scenario {
     std::uint64_t id = 0;

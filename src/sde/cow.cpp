@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "snapshot/reader.hpp"
+#include "snapshot/writer.hpp"
+
 namespace sde {
 
 void CowMapper::registerInitialStates(
@@ -104,6 +107,44 @@ CowMapper::groupChoices() const {
     result.push_back(std::move(group));
   }
   return result;
+}
+
+void CowMapper::snapshotSave(snapshot::Writer& out) const {
+  out.u64(nextDstateId_);
+  out.u64(dstates_.size());
+  for (const DState& dstate : dstates_) {
+    out.u64(dstate.id);
+    // Node-major with explicit per-node counts: the slot order inside a
+    // node's member list is the order onTransmit returns receivers in,
+    // so it must survive the round trip verbatim.
+    for (NodeId node = 0; node < numNodes_; ++node) {
+      const auto members = dstate.members.statesOf(node);
+      out.u64(members.size());
+      for (const ExecutionState* member : members) out.u64(member->id());
+    }
+  }
+}
+
+void CowMapper::snapshotLoad(snapshot::Reader& in,
+                             const StateResolver& resolve) {
+  SDE_ASSERT(dstates_.empty(), "snapshotLoad needs a fresh mapper");
+  nextDstateId_ = in.u64();
+  const std::uint64_t count = in.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DState& dstate = dstates_.emplace_back(numNodes_);
+    dstate.id = in.u64();
+    for (NodeId node = 0; node < numNodes_; ++node) {
+      const std::uint64_t members = in.u64();
+      for (std::uint64_t m = 0; m < members; ++m) {
+        ExecutionState* state = resolve(in.u64());
+        if (state == nullptr)
+          throw snapshot::SnapshotError(
+              "COW snapshot references an unknown state");
+        dstate.members.add(state);
+        dstateOf_[state] = &dstate;
+      }
+    }
+  }
 }
 
 void CowMapper::checkInvariants() const {

@@ -38,6 +38,10 @@ class CowMapper final : public StateMapper {
   groupChoices() const override;
   void checkInvariants() const override;
 
+  void snapshotSave(snapshot::Writer& out) const override;
+  void snapshotLoad(snapshot::Reader& in,
+                    const StateResolver& resolve) override;
+
   // Test hook: the dstate membership of `state` as a StateGroup view.
   [[nodiscard]] const StateGroup& dstateOf(const ExecutionState& state) const;
 

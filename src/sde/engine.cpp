@@ -364,6 +364,11 @@ RunOutcome Engine::run(std::uint64_t untilVirtualTime) {
         }
       }
       sampleAndCheck();
+      if (checkpointSink_ && checkpointEveryEvents_ != 0 &&
+          eventsProcessed_ - lastCheckpointAt_ >= checkpointEveryEvents_) {
+        checkpointSink_(*this);
+        lastCheckpointAt_ = eventsProcessed_;
+      }
       nextSampleAt = eventsProcessed_ + sampleGap();
     }
 
@@ -396,10 +401,15 @@ RunOutcome Engine::run(std::uint64_t untilVirtualTime) {
                                     runStart_)
           .count();
   stats_.maxOf("engine.peak_memory_bytes", simulatedMemoryBytes());
-  // A locally tripped cap aborts the whole fleet: partition jobs are
-  // only comparable when every job saw the same caps fire.
-  if (outcome != RunOutcome::kCompleted && sharedCaps_ != nullptr)
-    sharedCaps_->latch(outcome);
+  if (outcome != RunOutcome::kCompleted) {
+    // A cap latch suspends instead of discarding: the final checkpoint
+    // captures the exact abort point, so a resumed run (with the cap
+    // lifted) completes as if never interrupted.
+    if (checkpointSink_) checkpointSink_(*this);
+    // A locally tripped cap aborts the whole fleet: partition jobs are
+    // only comparable when every job saw the same caps fire.
+    if (sharedCaps_ != nullptr) sharedCaps_->latch(outcome);
+  }
   return outcome;
 }
 

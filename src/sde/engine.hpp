@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string>
@@ -183,6 +184,34 @@ class Engine {
   // repeatedly with increasing horizons.
   RunOutcome run(std::uint64_t untilVirtualTime);
 
+  // --- Checkpoint / restore ---------------------------------------------------
+  // Serializes the complete run state — expression DAG, states (with
+  // copy-on-write memory sharing preserved), constraints, solver cache
+  // and stats, scheduler heap, mapper grouping — such that a restored
+  // engine continues the run exactly where the original stood: the
+  // resumed run's merged fingerprint digest is byte-identical to the
+  // uninterrupted run's. Implemented in snapshot/checkpoint.cpp.
+  void checkpoint(std::ostream& out) const;
+  // Restores a checkpoint into this engine, which must be freshly
+  // constructed over the same network plan, mapper kind and
+  // configuration as the engine that wrote it. Throws
+  // snapshot::SnapshotError on version/shape mismatches or corrupt
+  // streams (the engine is then unusable — construct a new one).
+  void restore(std::istream& in);
+
+  // Auto-checkpoint: once at least `everyEvents` events have been
+  // processed since the last checkpoint, `sink` is invoked at the next
+  // sampling point (the cadence rides the sampling hook, so the actual
+  // gap is max(everyEvents, sampling gap)); the sink is also invoked
+  // once when a resource cap aborts the run, turning cap latches into
+  // suspensions instead of lost work. everyEvents = 0 disables the
+  // periodic trigger but keeps the abort-time checkpoint.
+  using CheckpointSink = std::function<void(const Engine&)>;
+  void setCheckpointSink(CheckpointSink sink, std::uint64_t everyEvents) {
+    checkpointSink_ = std::move(sink);
+    checkpointEveryEvents_ = everyEvents;
+  }
+
   // --- Introspection -----------------------------------------------------------
   [[nodiscard]] std::uint64_t numStates() const { return states_.size(); }
   [[nodiscard]] std::uint64_t numLiveStates() const;
@@ -277,6 +306,10 @@ class Engine {
   std::unique_ptr<net::FailureModel> failureModel_;
   Scheduler scheduler_;
   Sampler sampler_;
+  CheckpointSink checkpointSink_;
+  std::uint64_t checkpointEveryEvents_ = 0;
+  std::uint64_t lastCheckpointAt_ = 0;  // not serialized: a resumed run
+                                        // restarts its cadence
   std::unordered_map<std::string, bool> decisionFilter_;
   SharedCaps* sharedCaps_ = nullptr;
   std::uint64_t lastReportedMemoryBytes_ = 0;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string_view>
@@ -18,6 +19,11 @@
 #include "net/packet.hpp"
 #include "sde/dstate.hpp"
 #include "support/stats.hpp"
+
+namespace sde::snapshot {
+class Writer;
+class Reader;
+}  // namespace sde::snapshot
 
 namespace sde {
 
@@ -72,6 +78,19 @@ class StateMapper {
   // Structural self-check; fires SDE_ASSERT on violation (used by tests
   // and the engine's checkInvariants mode).
   virtual void checkInvariants() const = 0;
+
+  // --- Checkpoint / restore (snapshot subsystem) ---------------------------
+  // Serializes the complete grouping structure — group membership, the
+  // per-node slot orders (which determine future receiver order, so
+  // they must round-trip exactly), and the id allocators. snapshotLoad
+  // runs on a freshly constructed mapper of the same kind and network
+  // size; `resolve` maps serialized state ids to the engine's restored
+  // states and returns nullptr for unknown ids (a corrupt snapshot —
+  // implementations throw snapshot::SnapshotError).
+  using StateResolver = std::function<ExecutionState*(StateId)>;
+  virtual void snapshotSave(snapshot::Writer& out) const = 0;
+  virtual void snapshotLoad(snapshot::Reader& in,
+                            const StateResolver& resolve) = 0;
 };
 
 enum class MapperKind : std::uint8_t { kCob, kCow, kSds };

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <unordered_map>
 
 #include "sde/explode.hpp"
 #include "sde/testcase.hpp"
+#include "snapshot/manifest.hpp"
 #include "support/hash.hpp"
 #include "support/logging.hpp"
 #include "support/thread_pool.hpp"
@@ -202,6 +205,36 @@ ParallelResult runPartitioned(const EngineFactory& factory,
   ParallelResult result;
   result.jobs.resize(plan.jobs.size());
 
+  // Durable mode: bind the run to its checkpoint directory. A resume
+  // must find a manifest of *this* run (or no manifest at all — then it
+  // degrades to a fresh start); a fresh start clears leftover per-job
+  // files so checkpoints of an older run can never leak into this one.
+  namespace fs = std::filesystem;
+  const bool durable = !config.checkpointDir.empty();
+  const fs::path dir = config.checkpointDir;
+  bool resuming = false;
+  if (durable) {
+    fs::create_directories(dir);
+    const snapshot::RunManifest manifest{config.scenarioSpec, config.horizon,
+                                         plan};
+    if (config.resume && fs::exists(snapshot::manifestPath(dir))) {
+      const snapshot::RunManifest prior = snapshot::readManifest(dir);
+      if (!snapshot::sameRun(prior, manifest))
+        throw snapshot::SnapshotError(
+            "checkpoint directory " + dir.string() +
+            " belongs to a different run (manifest mismatch); refusing to "
+            "resume");
+      resuming = true;
+    } else {
+      for (const PartitionJob& job : plan.jobs) {
+        std::error_code ec;
+        fs::remove(snapshot::jobCheckpointPath(dir, job.id), ec);
+        fs::remove(snapshot::jobDonePath(dir, job.id), ec);
+      }
+      snapshot::writeManifest(dir, manifest);
+    }
+  }
+
   const unsigned workers = std::max<unsigned>(
       1, std::min<unsigned>(config.workers,
                             static_cast<unsigned>(plan.jobs.size())));
@@ -210,13 +243,58 @@ ParallelResult runPartitioned(const EngineFactory& factory,
     for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
       pool.submit([&, i] {
         const PartitionJob& job = plan.jobs[i];
-        std::unique_ptr<Engine> engine = factory(job);
-        SDE_ASSERT(engine != nullptr, "engine factory returned null");
-        engine->setDecisionFilter(std::unordered_map<std::string, bool>(
-            job.forced.begin(), job.forced.end()));
-        if (caps != nullptr) engine->setSharedCaps(caps.get());
+
+        // Completed jobs are never re-run: their recorded result is the
+        // result (checked before any engine is even constructed).
+        if (resuming) {
+          const fs::path done = snapshot::jobDonePath(dir, job.id);
+          if (fs::exists(done)) {
+            try {
+              result.jobs[i] = snapshot::readJobResultFile(done);
+              return;
+            } catch (const snapshot::SnapshotError&) {
+              // Torn .done file (hard crash mid-write): re-run the job.
+            }
+          }
+        }
+
+        const auto makeEngine = [&] {
+          std::unique_ptr<Engine> engine = factory(job);
+          SDE_ASSERT(engine != nullptr, "engine factory returned null");
+          engine->setDecisionFilter(std::unordered_map<std::string, bool>(
+              job.forced.begin(), job.forced.end()));
+          if (caps != nullptr) engine->setSharedCaps(caps.get());
+          return engine;
+        };
+        std::unique_ptr<Engine> engine = makeEngine();
+
+        const fs::path ckpt =
+            durable ? snapshot::jobCheckpointPath(dir, job.id) : fs::path();
+        if (resuming && fs::exists(ckpt)) {
+          try {
+            std::ifstream in(ckpt, std::ios::binary);
+            engine->restore(in);
+          } catch (const snapshot::SnapshotError&) {
+            engine = makeEngine();  // torn checkpoint: restart from scratch
+          }
+        }
+        if (durable) {
+          engine->setCheckpointSink(
+              [&ckpt](const Engine& e) {
+                snapshot::atomicWriteFile(
+                    ckpt, [&](std::ostream& os) { e.checkpoint(os); });
+              },
+              config.checkpointEveryEvents);
+        }
+
         const RunOutcome outcome = engine->run(config.horizon);
         result.jobs[i] = collectJob(*engine, job, config, outcome);
+        if (durable && outcome == RunOutcome::kCompleted) {
+          snapshot::writeJobResultFile(snapshot::jobDonePath(dir, job.id),
+                                       result.jobs[i]);
+          std::error_code ec;
+          fs::remove(ckpt, ec);  // superseded by the .done file
+        }
       });
     }
     pool.wait();

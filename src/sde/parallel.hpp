@@ -68,6 +68,25 @@ struct ParallelConfig {
   std::uint64_t maxTotalStates = 0;
   std::uint64_t maxTotalMemoryBytes = 0;
   double maxWallSeconds = 0;
+  // --- Durable runs (snapshot subsystem) -------------------------------------
+  // Non-empty: the run is crash-tolerant. The directory receives a run
+  // manifest, one periodic checkpoint per unfinished job and one .done
+  // file per completed job (see snapshot/manifest.hpp for the layout).
+  std::string checkpointDir;
+  // Minimum processed events between two checkpoints of one job (the
+  // cadence rides the engine's sampling hook; 0 checkpoints only when a
+  // resource cap aborts a job).
+  std::uint64_t checkpointEveryEvents = 256;
+  // Resume from `checkpointDir`: completed jobs are loaded from their
+  // .done files and never re-run, suspended jobs continue from their
+  // last checkpoint, everything else starts fresh. The directory's
+  // manifest must describe this run (variables, jobs, horizon, spec) —
+  // a mismatch throws snapshot::SnapshotError rather than silently
+  // mixing two runs. A missing manifest degrades to a fresh start.
+  bool resume = false;
+  // Opaque scenario descriptor recorded in the manifest so external
+  // tools (sde_checkpoint resume) can rebuild the engine factory.
+  std::string scenarioSpec;
 };
 
 // Everything observable about one finished partition job. All fields

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <optional>
 #include <queue>
+#include <span>
 #include <vector>
 
 #include "vm/state.hpp"
@@ -83,6 +84,30 @@ class Scheduler {
   // timers, duplicate registrations). Observable so stress tests can
   // verify the invalidation path actually ran.
   [[nodiscard]] std::uint64_t staleDrops() const { return staleDrops_; }
+
+  // --- Snapshot support ----------------------------------------------------
+  // Every heap entry in ascending pop order — *including* stale ones.
+  // Rebuilding the heap from live states instead would silently shed
+  // the stale entries and change the staleDrops() trajectory of the
+  // resumed run, breaking resume-equivalence of anything that observes
+  // it; the heap multiset is therefore serialized as-is.
+  [[nodiscard]] std::vector<Entry> snapshotEntries() const {
+    auto copy = heap_;
+    std::vector<Entry> entries;
+    entries.reserve(copy.size());
+    while (!copy.empty()) {
+      entries.push_back(copy.top());
+      copy.pop();
+    }
+    return entries;
+  }
+  void restoreSnapshot(std::span<const Entry> entries,
+                       std::uint64_t staleDrops) {
+    SDE_ASSERT(heap_.empty() && staleDrops_ == 0,
+               "restoreSnapshot needs a fresh scheduler");
+    for (const Entry& entry : entries) heap_.push(entry);
+    staleDrops_ = staleDrops;
+  }
 
  private:
   struct After {

@@ -1,7 +1,11 @@
 #include "sde/sds.hpp"
 
 #include <algorithm>
+#include <map>
 #include <unordered_set>
+
+#include "snapshot/reader.hpp"
+#include "snapshot/writer.hpp"
 
 namespace sde {
 
@@ -205,6 +209,113 @@ SdsMapper::groupChoices() const {
 std::size_t SdsMapper::superDstateSize(const ExecutionState& s) const {
   const auto it = byActual_.find(&s);
   return it == byActual_.end() ? 0 : it->second.size();
+}
+
+void SdsMapper::snapshotSave(snapshot::Writer& out) const {
+  // Virtual states and dstates are only ever appended, so their ids
+  // equal their container indices — serialized references are ids.
+  out.u64(nextVirtualId_);
+  out.u64(nextDstateId_);
+  out.u64(liveVirtuals_);
+
+  out.u64(virtualPool_.size());
+  std::uint64_t poolIndex = 0;
+  for (const VState& v : virtualPool_) {
+    SDE_ASSERT(v.id == poolIndex++, "virtual pool ids must equal indices");
+    out.u64(v.actual->id());
+    out.u64(v.dstate->id);
+  }
+
+  out.u64(dstates_.size());
+  std::uint64_t dstateIndex = 0;
+  for (const VDState& dstate : dstates_) {
+    SDE_ASSERT(dstate.id == dstateIndex++, "dstate ids must equal indices");
+    // Per-node slot order determines receiver order on future
+    // transmissions — serialized verbatim.
+    for (NodeId node = 0; node < numNodes_; ++node) {
+      out.u64(dstate.byNode[node].size());
+      for (const VState* v : dstate.byNode[node]) out.u64(v->id);
+    }
+  }
+
+  // byActual_ is an unordered map of ordered vectors; the vector order
+  // matters (virtualsOf() snapshots drive onTransmit's iteration), the
+  // map order does not — serialize keyed by state id, sorted.
+  std::map<StateId, const std::vector<VState*>*> byActual;
+  for (const auto& [actual, virtuals] : byActual_)
+    byActual[actual->id()] = &virtuals;
+  out.u64(byActual.size());
+  for (const auto& [stateId, virtuals] : byActual) {
+    out.u64(stateId);
+    out.u64(virtuals->size());
+    for (const VState* v : *virtuals) out.u64(v->id);
+  }
+}
+
+void SdsMapper::snapshotLoad(snapshot::Reader& in,
+                             const StateResolver& resolve) {
+  SDE_ASSERT(dstates_.empty() && virtualPool_.empty(),
+             "snapshotLoad needs a fresh mapper");
+  nextVirtualId_ = in.u64();
+  nextDstateId_ = in.u64();
+  liveVirtuals_ = in.u64();
+
+  const std::uint64_t poolSize = in.u64();
+  struct PendingVirtual {
+    StateId actual = 0;
+    std::uint64_t dstate = 0;
+  };
+  std::vector<PendingVirtual> pending(poolSize);
+  for (std::uint64_t i = 0; i < poolSize; ++i) {
+    pending[i].actual = in.u64();
+    pending[i].dstate = in.u64();
+  }
+
+  const std::uint64_t numDstates = in.u64();
+  for (std::uint64_t i = 0; i < numDstates; ++i) {
+    VDState& dstate = dstates_.emplace_back();
+    dstate.id = i;
+    dstate.byNode.resize(numNodes_);
+  }
+
+  for (std::uint64_t i = 0; i < poolSize; ++i) {
+    VState& v = virtualPool_.emplace_back();
+    v.id = i;
+    v.actual = resolve(pending[i].actual);
+    if (v.actual == nullptr || pending[i].dstate >= dstates_.size())
+      throw snapshot::SnapshotError(
+          "SDS snapshot references an unknown state or dstate");
+    v.dstate = &dstates_[pending[i].dstate];
+  }
+
+  const auto virtualAt = [this](std::uint64_t id) -> VState& {
+    if (id >= virtualPool_.size())
+      throw snapshot::SnapshotError(
+          "SDS snapshot references an unknown virtual state");
+    return virtualPool_[id];
+  };
+
+  for (VDState& dstate : dstates_) {
+    for (NodeId node = 0; node < numNodes_; ++node) {
+      const std::uint64_t count = in.u64();
+      dstate.byNode[node].reserve(count);
+      for (std::uint64_t m = 0; m < count; ++m)
+        dstate.byNode[node].push_back(&virtualAt(in.u64()));
+    }
+  }
+
+  const std::uint64_t numActuals = in.u64();
+  for (std::uint64_t i = 0; i < numActuals; ++i) {
+    ExecutionState* actual = resolve(in.u64());
+    if (actual == nullptr)
+      throw snapshot::SnapshotError(
+          "SDS snapshot references an unknown state");
+    const std::uint64_t count = in.u64();
+    std::vector<VState*>& virtuals = byActual_[actual];
+    virtuals.reserve(count);
+    for (std::uint64_t m = 0; m < count; ++m)
+      virtuals.push_back(&virtualAt(in.u64()));
+  }
 }
 
 void SdsMapper::checkInvariants() const {

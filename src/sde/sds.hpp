@@ -38,6 +38,10 @@ class SdsMapper final : public StateMapper {
   groupChoices() const override;
   void checkInvariants() const override;
 
+  void snapshotSave(snapshot::Writer& out) const override;
+  void snapshotLoad(snapshot::Reader& in,
+                    const StateResolver& resolve) override;
+
   // Test hooks.
   [[nodiscard]] std::size_t numVirtualStates() const { return liveVirtuals_; }
   [[nodiscard]] std::size_t superDstateSize(const ExecutionState& s) const;

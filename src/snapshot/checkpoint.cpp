@@ -1,0 +1,605 @@
+#include "snapshot/checkpoint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/context.hpp"
+#include "sde/engine.hpp"
+#include "snapshot/reader.hpp"
+#include "snapshot/writer.hpp"
+
+// This translation unit implements Engine::checkpoint / Engine::restore
+// (member functions, for access to the run's private state) plus the
+// reusable pieces declared in checkpoint.hpp. Section order in the file
+// format mirrors restore-time data dependencies: expressions before
+// anything holding a Ref, memory blobs before states, states before the
+// scheduler and the mapper (both reference states by id).
+
+namespace sde::snapshot {
+
+namespace {
+
+constexpr std::uint32_t kNullRef = 0xFFFFFFFFu;
+
+void writeStats(Writer& out, const support::StatsRegistry& stats,
+                std::string_view skip = {}) {
+  std::uint64_t count = 0;
+  for (const auto& [name, value] : stats.all())
+    if (skip.empty() || name != skip) ++count;
+  out.u64(count);
+  for (const auto& [name, value] : stats.all()) {
+    if (!skip.empty() && name == skip) continue;
+    out.str(name);
+    out.u64(value);
+  }
+}
+
+void readStats(Reader& in, support::StatsRegistry& stats) {
+  stats.clear();
+  const std::uint64_t count = in.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string name = in.str();
+    stats.set(name, in.u64());
+  }
+}
+
+// Assignments are unordered maps; serialize entries sorted by variable
+// id so identical runs write identical bytes.
+void writeAssignment(Writer& out, const expr::Assignment& model) {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> entries;
+  entries.reserve(model.size());
+  for (const auto& [var, value] : model.entries())
+    entries.emplace_back(var->id(), value);
+  std::sort(entries.begin(), entries.end());
+  out.u64(entries.size());
+  for (const auto& [id, value] : entries) {
+    out.u32(id);
+    out.u64(value);
+  }
+}
+
+expr::Assignment readAssignment(Reader& in, const expr::Context& ctx) {
+  expr::Assignment model;
+  const std::uint64_t count = in.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint32_t id = in.u32();
+    const std::uint64_t value = in.u64();
+    if (id >= ctx.numNodes())
+      throw SnapshotError("model references an unknown expression node");
+    const expr::Ref var = ctx.nodeAt(id);
+    if (!var->isVariable())
+      throw SnapshotError("model binds a non-variable expression node");
+    model.set(var, value);
+  }
+  return model;
+}
+
+}  // namespace
+
+void writeRef(Writer& out, expr::Ref ref) {
+  out.u32(ref == nullptr ? kNullRef : ref->id());
+}
+
+expr::Ref readRef(Reader& in, const expr::Context& ctx) {
+  const std::uint32_t id = in.u32();
+  if (id == kNullRef) return nullptr;
+  if (id >= ctx.numNodes())
+    throw SnapshotError("expression reference " + std::to_string(id) +
+                        " is out of range (table holds " +
+                        std::to_string(ctx.numNodes()) + " nodes)");
+  return ctx.nodeAt(id);
+}
+
+void writeExprTable(Writer& out, const expr::Context& ctx) {
+  out.u64(ctx.numNodes());
+  for (std::size_t i = 0; i < ctx.numNodes(); ++i) {
+    const expr::Ref node = ctx.nodeAt(i);
+    out.u8(static_cast<std::uint8_t>(node->kind()));
+    out.u8(static_cast<std::uint8_t>(node->width()));
+    switch (node->kind()) {
+      case expr::Kind::kConstant:
+        out.u64(node->value());
+        break;
+      case expr::Kind::kVariable:
+        // By name, not by name-table index: replaying the log in order
+        // reassigns identical indices, and variables hash by name.
+        out.str(node->name());
+        break;
+      default:
+        out.u64(node->kind() == expr::Kind::kExtract ? node->extractOffset()
+                                                     : 0);
+        out.u8(static_cast<std::uint8_t>(node->numOperands()));
+        for (const expr::Ref op : node->operands()) out.u32(op->id());
+        break;
+    }
+  }
+}
+
+void readExprTable(Reader& in, expr::Context& ctx) {
+  // A fresh context holds exactly the pre-interned false/true constants,
+  // which every log also starts with (they re-intern onto themselves).
+  SDE_ASSERT(ctx.numNodes() == 2,
+             "readExprTable needs a freshly constructed context");
+  const std::uint64_t count = in.u64();
+  if (count < 2)
+    throw SnapshotError("expression table too short (corrupt checkpoint)");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto kind = static_cast<expr::Kind>(in.u8());
+    if (kind > expr::Kind::kExtract)
+      throw SnapshotError("unknown expression kind in checkpoint");
+    const unsigned width = in.u8();
+    if (width < 1 || width > 64)
+      throw SnapshotError("expression width out of range in checkpoint");
+
+    expr::Ref node = nullptr;
+    if (kind == expr::Kind::kConstant) {
+      node = ctx.restoreNode(kind, width, in.u64(), {}, {});
+    } else if (kind == expr::Kind::kVariable) {
+      const std::string name = in.str();
+      node = ctx.restoreNode(kind, width, 0, name, {});
+    } else {
+      const std::uint64_t aux = in.u64();
+      const unsigned numOps = in.u8();
+      if (numOps < 1 || numOps > 3)
+        throw SnapshotError("expression operand count out of range");
+      std::array<expr::Ref, 3> ops{};
+      for (unsigned op = 0; op < numOps; ++op) {
+        const std::uint32_t opId = in.u32();
+        if (opId >= i)
+          throw SnapshotError(
+              "expression table has a forward operand reference");
+        ops[op] = ctx.nodeAt(opId);
+      }
+      node = ctx.restoreNode(kind, width, aux, {}, {ops.data(), numOps});
+    }
+    if (node->id() != i)
+      throw SnapshotError(
+          "expression table replay drifted (node " + std::to_string(i) +
+          " re-interned as " + std::to_string(node->id()) + ")");
+  }
+}
+
+CheckpointInfo inspectCheckpointHeader(std::istream& is) {
+  Reader in(is);
+  in.expectMagic(kCheckpointMagic, "not an SDE checkpoint file");
+  CheckpointInfo info;
+  info.version = in.u32();
+  if (info.version != kCheckpointVersion)
+    throw SnapshotError("unsupported checkpoint version " +
+                        std::to_string(info.version) + " (this build reads " +
+                        std::to_string(kCheckpointVersion) + ")");
+  info.numNodes = in.u32();
+  info.mapper = in.str();
+  info.booted = in.b();
+  info.numStates = in.u64();
+  info.virtualNow = in.u64();
+  info.eventsProcessed = in.u64();
+  return info;
+}
+
+}  // namespace sde::snapshot
+
+namespace sde {
+
+namespace {
+
+using snapshot::Reader;
+using snapshot::readRef;
+using snapshot::SnapshotError;
+using snapshot::Writer;
+using snapshot::writeRef;
+
+// The stats counter excluded from checkpoints (see checkpoint.hpp).
+constexpr std::string_view kPeakMemoryCounter = "engine.peak_memory_bytes";
+
+void writeState(Writer& out, const ExecutionState& state,
+                const std::unordered_map<const void*, std::uint64_t>& blobOf) {
+  out.u64(state.id());
+  out.u32(state.node());
+  out.u8(static_cast<std::uint8_t>(state.status));
+  out.str(state.failureMessage);
+  out.u64(state.clock);
+  out.u64(state.pc);
+
+  out.u64(state.callStack.size());
+  for (const std::size_t frame : state.callStack) out.u64(frame);
+
+  for (const expr::Ref reg : state.regs_) writeRef(out, reg);
+
+  out.u64(state.space.nextObjectId());
+  out.u64(state.space.objects().size());
+  for (const auto& [objectId, cells] : state.space.objects()) {
+    out.u64(objectId);
+    out.u64(blobOf.at(cells.get()));
+  }
+
+  out.u64(state.constraints.size());
+  for (const expr::Ref c : state.constraints.items()) writeRef(out, c);
+
+  out.u64(state.pendingEvents.size());
+  for (const vm::PendingEvent& event : state.pendingEvents) {
+    out.u64(event.time);
+    out.u8(static_cast<std::uint8_t>(event.kind));
+    out.u64(event.a);
+    out.u64(event.b);
+    out.u64(event.payload.size());
+    for (const expr::Ref cell : event.payload) writeRef(out, cell);
+    out.u64(event.seq);
+  }
+  out.u64(state.nextEventSeq);
+
+  out.u64(state.activeTimers.size());
+  for (const auto& [timer, seq] : state.activeTimers) {
+    out.u32(timer);
+    out.u64(seq);
+  }
+
+  out.u64(state.commLog.size());
+  for (const vm::CommRecord& record : state.commLog) {
+    out.b(record.sent);
+    out.u32(record.peer);
+    out.u64(record.time);
+    out.u64(record.payloadHash);
+    out.u64(record.packetId);
+  }
+
+  out.u64(state.decisions.size());
+  for (const auto& decision : state.decisions) {
+    writeRef(out, decision.var);
+    out.b(decision.failed);
+  }
+
+  out.u64(state.symbolics.size());
+  for (const expr::Ref symbolic : state.symbolics) writeRef(out, symbolic);
+
+  out.u64(state.symbolicCounters.size());
+  for (const auto& [label, next] : state.symbolicCounters) {
+    out.str(label);
+    out.u32(next);
+  }
+
+  out.u64(state.executedInstructions);
+}
+
+void readStateBody(
+    Reader& in, const expr::Context& ctx, ExecutionState& state,
+    const std::vector<std::shared_ptr<vm::AddressSpace::Cells>>& blobs) {
+  const std::uint8_t status = in.u8();
+  if (status > static_cast<std::uint8_t>(vm::StateStatus::kKilled))
+    throw SnapshotError("unknown state status in checkpoint");
+  state.status = static_cast<vm::StateStatus>(status);
+  state.failureMessage = in.str();
+  state.clock = in.u64();
+  state.pc = in.u64();
+
+  const std::uint64_t frames = in.u64();
+  state.callStack.reserve(frames);
+  for (std::uint64_t i = 0; i < frames; ++i)
+    state.callStack.push_back(static_cast<std::size_t>(in.u64()));
+
+  for (expr::Ref& reg : state.regs_) reg = readRef(in, ctx);
+
+  const std::uint64_t nextObjectId = in.u64();
+  const std::uint64_t numObjects = in.u64();
+  std::map<std::uint64_t, std::shared_ptr<vm::AddressSpace::Cells>> objects;
+  for (std::uint64_t i = 0; i < numObjects; ++i) {
+    const std::uint64_t objectId = in.u64();
+    const std::uint64_t blob = in.u64();
+    if (blob >= blobs.size())
+      throw SnapshotError("state references an unknown memory blob");
+    objects.emplace(objectId, blobs[blob]);
+  }
+  state.space.restoreSnapshot(std::move(objects), nextObjectId);
+
+  const std::uint64_t constraints = in.u64();
+  for (std::uint64_t i = 0; i < constraints; ++i)
+    state.constraints.add(readRef(in, ctx));
+
+  const std::uint64_t events = in.u64();
+  state.pendingEvents.reserve(events);
+  for (std::uint64_t i = 0; i < events; ++i) {
+    vm::PendingEvent event;
+    event.time = in.u64();
+    const std::uint8_t kind = in.u8();
+    if (kind > static_cast<std::uint8_t>(vm::EventKind::kRecv))
+      throw SnapshotError("unknown event kind in checkpoint");
+    event.kind = static_cast<vm::EventKind>(kind);
+    event.a = in.u64();
+    event.b = in.u64();
+    const std::uint64_t cells = in.u64();
+    event.payload.reserve(cells);
+    for (std::uint64_t c = 0; c < cells; ++c)
+      event.payload.push_back(readRef(in, ctx));
+    event.seq = in.u64();
+    state.pendingEvents.push_back(std::move(event));
+  }
+  state.nextEventSeq = in.u64();
+
+  const std::uint64_t timers = in.u64();
+  for (std::uint64_t i = 0; i < timers; ++i) {
+    const std::uint32_t timer = in.u32();
+    state.activeTimers[timer] = in.u64();
+  }
+
+  const std::uint64_t records = in.u64();
+  state.commLog.reserve(records);
+  for (std::uint64_t i = 0; i < records; ++i) {
+    vm::CommRecord record;
+    record.sent = in.b();
+    record.peer = in.u32();
+    record.time = in.u64();
+    record.payloadHash = in.u64();
+    record.packetId = in.u64();
+    state.commLog.push_back(record);
+  }
+
+  const std::uint64_t decisions = in.u64();
+  state.decisions.reserve(decisions);
+  for (std::uint64_t i = 0; i < decisions; ++i) {
+    ExecutionState::DecisionRecord decision;
+    decision.var = readRef(in, ctx);
+    decision.failed = in.b();
+    state.decisions.push_back(decision);
+  }
+
+  const std::uint64_t symbolics = in.u64();
+  state.symbolics.reserve(symbolics);
+  for (std::uint64_t i = 0; i < symbolics; ++i)
+    state.symbolics.push_back(readRef(in, ctx));
+
+  const std::uint64_t counters = in.u64();
+  for (std::uint64_t i = 0; i < counters; ++i) {
+    const std::string label = in.str();
+    state.symbolicCounters[label] = in.u32();
+  }
+
+  state.executedInstructions = in.u64();
+}
+
+void writeQueryCache(Writer& out, const solver::QueryCache& cache) {
+  // The result map is unordered; serialize sorted by key (node-id
+  // lexicographic — keys are distinct sets, so this is a total order)
+  // for deterministic bytes.
+  std::vector<const std::pair<const solver::QueryKey, solver::EnumResult>*>
+      entries;
+  entries.reserve(cache.results().size());
+  for (const auto& entry : cache.results()) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(), [](const auto* a, const auto* b) {
+    return std::lexicographical_compare(
+        a->first.begin(), a->first.end(), b->first.begin(), b->first.end(),
+        [](expr::Ref x, expr::Ref y) { return x->id() < y->id(); });
+  });
+
+  out.u64(entries.size());
+  for (const auto* entry : entries) {
+    out.u64(entry->first.size());
+    for (const expr::Ref c : entry->first) writeRef(out, c);
+    out.u8(static_cast<std::uint8_t>(entry->second.status));
+    snapshot::writeAssignment(out, entry->second.model);
+  }
+
+  out.u64(cache.recentModels().size());
+  for (const expr::Assignment& model : cache.recentModels())
+    snapshot::writeAssignment(out, model);
+}
+
+void readQueryCache(Reader& in, const expr::Context& ctx,
+                    solver::QueryCache& cache) {
+  const std::uint64_t numResults = in.u64();
+  std::vector<std::pair<solver::QueryKey, solver::EnumResult>> results;
+  results.reserve(numResults);
+  for (std::uint64_t i = 0; i < numResults; ++i) {
+    solver::QueryKey key;
+    const std::uint64_t terms = in.u64();
+    key.reserve(terms);
+    for (std::uint64_t t = 0; t < terms; ++t) key.push_back(readRef(in, ctx));
+    solver::EnumResult result;
+    const std::uint8_t status = in.u8();
+    if (status > static_cast<std::uint8_t>(solver::EnumStatus::kExhausted))
+      throw SnapshotError("unknown solver status in checkpoint");
+    result.status = static_cast<solver::EnumStatus>(status);
+    result.model = snapshot::readAssignment(in, ctx);
+    results.emplace_back(std::move(key), std::move(result));
+  }
+
+  std::deque<expr::Assignment> models;
+  const std::uint64_t numModels = in.u64();
+  for (std::uint64_t i = 0; i < numModels; ++i)
+    models.push_back(snapshot::readAssignment(in, ctx));
+
+  cache.restoreSnapshot(std::move(results), std::move(models));
+}
+
+}  // namespace
+
+void Engine::checkpoint(std::ostream& os) const {
+  Writer out(os);
+  out.magic(snapshot::kCheckpointMagic);
+  out.u32(snapshot::kCheckpointVersion);
+
+  // Run summary (fixed prefix; see inspectCheckpointHeader).
+  out.u32(plan_.topology().numNodes());
+  out.str(mapper_->name());
+  out.b(booted_);
+  out.u64(states_.size());
+  out.u64(virtualNow_);
+  out.u64(eventsProcessed_);
+
+  snapshot::writeExprTable(out, ctx_);
+
+  // Memory payload blob table: one entry per distinct Cells allocation,
+  // in first-encounter order (states in creation order, objects in id
+  // order). States then reference blobs by index, which preserves the
+  // copy-on-write sharing classes — and with them the byte-exact
+  // simulated-memory accounting — across the round trip.
+  std::unordered_map<const void*, std::uint64_t> blobOf;
+  std::vector<const vm::AddressSpace::Cells*> blobs;
+  for (const auto& state : states_) {
+    for (const auto& [objectId, cells] : state->space.objects()) {
+      if (blobOf.try_emplace(cells.get(), blobs.size()).second)
+        blobs.push_back(cells.get());
+    }
+  }
+  out.u64(blobs.size());
+  for (const vm::AddressSpace::Cells* cells : blobs) {
+    out.u64(cells->size());
+    for (const expr::Ref cell : *cells) writeRef(out, cell);
+  }
+
+  // Engine scalars.
+  out.u64(nextStateId_);
+  out.u64(nextPacketId_);
+  out.f64(wallSecondsAccumulated_);
+
+  // Decision filter (sorted: the member is an unordered map).
+  std::vector<std::pair<std::string, bool>> filter(decisionFilter_.begin(),
+                                                   decisionFilter_.end());
+  std::sort(filter.begin(), filter.end());
+  out.u64(filter.size());
+  for (const auto& [name, value] : filter) {
+    out.str(name);
+    out.b(value);
+  }
+
+  // Stats registries (all three feed the fingerprint digest). The
+  // peak-memory counter is deliberately dropped — checkpoint.hpp
+  // explains why.
+  snapshot::writeStats(out, stats_, kPeakMemoryCounter);
+  snapshot::writeStats(out, interp_.stats());
+  snapshot::writeStats(out, solver_.stats());
+
+  writeQueryCache(out, solver_.cache());
+
+  out.u64(states_.size());
+  for (const auto& state : states_) writeState(out, *state, blobOf);
+
+  // Scheduler heap (ascending pop order) and its stale-drop counter.
+  out.u64(scheduler_.staleDrops());
+  const std::vector<Scheduler::Entry> entries = scheduler_.snapshotEntries();
+  out.u64(entries.size());
+  for (const Scheduler::Entry& entry : entries) {
+    out.u64(entry.time);
+    out.u32(entry.node);
+    out.u8(entry.kind);
+    out.u64(entry.seq);
+    out.u64(entry.state);
+  }
+
+  mapper_->snapshotSave(out);
+
+  out.magic(snapshot::kCheckpointTrailer);
+  SDE_ASSERT(out.ok(), "checkpoint stream write failed");
+}
+
+void Engine::restore(std::istream& is) {
+  SDE_ASSERT(!booted_ && states_.empty() && eventsProcessed_ == 0,
+             "restore needs a freshly constructed engine");
+  Reader in(is);
+  in.expectMagic(snapshot::kCheckpointMagic, "not an SDE checkpoint file");
+  const std::uint32_t version = in.u32();
+  if (version != snapshot::kCheckpointVersion)
+    throw SnapshotError("unsupported checkpoint version " +
+                        std::to_string(version) + " (this build reads " +
+                        std::to_string(snapshot::kCheckpointVersion) + ")");
+
+  const std::uint32_t numNodes = in.u32();
+  if (numNodes != plan_.topology().numNodes())
+    throw SnapshotError(
+        "checkpoint is for a " + std::to_string(numNodes) +
+        "-node network, this engine has " +
+        std::to_string(plan_.topology().numNodes()) + " nodes");
+  const std::string mapperName = in.str();
+  if (mapperName != mapper_->name())
+    throw SnapshotError("checkpoint was written under mapper " + mapperName +
+                        ", this engine runs " + std::string(mapper_->name()));
+  const bool booted = in.b();
+  const std::uint64_t numStatesHeader = in.u64();
+  virtualNow_ = in.u64();
+  eventsProcessed_ = in.u64();
+
+  snapshot::readExprTable(in, ctx_);
+
+  std::vector<std::shared_ptr<vm::AddressSpace::Cells>> blobs;
+  const std::uint64_t numBlobs = in.u64();
+  blobs.reserve(numBlobs);
+  for (std::uint64_t i = 0; i < numBlobs; ++i) {
+    auto cells = std::make_shared<vm::AddressSpace::Cells>();
+    const std::uint64_t size = in.u64();
+    cells->reserve(size);
+    for (std::uint64_t c = 0; c < size; ++c)
+      cells->push_back(readRef(in, ctx_));
+    blobs.push_back(std::move(cells));
+  }
+
+  nextStateId_ = in.u64();
+  nextPacketId_ = in.u64();
+  wallSecondsAccumulated_ = in.f64();
+
+  decisionFilter_.clear();
+  const std::uint64_t filterSize = in.u64();
+  for (std::uint64_t i = 0; i < filterSize; ++i) {
+    const std::string name = in.str();
+    decisionFilter_[name] = in.b();
+  }
+
+  snapshot::readStats(in, stats_);
+  snapshot::readStats(in, interp_.stats());
+  snapshot::readStats(in, solver_.stats());
+
+  readQueryCache(in, ctx_, solver_.cache());
+
+  // Programs come from the plan, not the checkpoint: the caller
+  // guarantees an identically configured engine.
+  std::unordered_map<NodeId, const vm::Program*> programOf;
+  for (const os::NodeConfig& node : plan_.nodes())
+    programOf[node.id] = node.program.get();
+
+  const std::uint64_t numStates = in.u64();
+  if (numStates != numStatesHeader)
+    throw SnapshotError("checkpoint header/body state counts disagree");
+  for (std::uint64_t i = 0; i < numStates; ++i) {
+    const StateId id = in.u64();
+    const NodeId node = in.u32();
+    const auto programIt = programOf.find(node);
+    if (programIt == programOf.end())
+      throw SnapshotError("checkpoint state lives on node " +
+                          std::to_string(node) +
+                          ", which this plan does not define");
+    auto state =
+        std::make_unique<ExecutionState>(id, node, *programIt->second);
+    readStateBody(in, ctx_, *state, blobs);
+    if (!byId_.emplace(id, state.get()).second)
+      throw SnapshotError("checkpoint contains duplicate state ids");
+    states_.push_back(std::move(state));
+  }
+  booted_ = booted;
+  if (sharedCaps_ != nullptr && !states_.empty())
+    sharedCaps_->noteStatesCreated(states_.size());
+
+  const std::uint64_t staleDrops = in.u64();
+  const std::uint64_t numEntries = in.u64();
+  std::vector<Scheduler::Entry> entries;
+  entries.reserve(numEntries);
+  for (std::uint64_t i = 0; i < numEntries; ++i) {
+    Scheduler::Entry entry;
+    entry.time = in.u64();
+    entry.node = in.u32();
+    entry.kind = in.u8();
+    entry.seq = in.u64();
+    entry.state = in.u64();
+    entries.push_back(entry);
+  }
+  scheduler_.restoreSnapshot(entries, staleDrops);
+
+  mapper_->snapshotLoad(in, [this](StateId id) -> ExecutionState* {
+    const auto it = byId_.find(id);
+    return it == byId_.end() ? nullptr : it->second;
+  });
+
+  in.expectMagic(snapshot::kCheckpointTrailer,
+                 "checkpoint trailer missing (truncated file?)");
+}
+
+}  // namespace sde

@@ -1,0 +1,20 @@
+// Error type of the snapshot subsystem. Thrown (never asserted) for
+// conditions a correct program can encounter at runtime: truncated or
+// corrupt checkpoint files, version mismatches, checkpoints written for
+// a different scenario. Callers that can fall back (the parallel runner
+// restarting a job whose checkpoint is torn) catch it; tools surface the
+// message to the user.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sde::snapshot {
+
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace sde::snapshot

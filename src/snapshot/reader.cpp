@@ -1,0 +1,71 @@
+#include "snapshot/reader.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace sde::snapshot {
+
+void Reader::raw(void* data, std::size_t n) {
+  is_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(is_.gcount()) != n)
+    throw SnapshotError("unexpected end of snapshot stream (wanted " +
+                        std::to_string(n) + " more bytes)");
+}
+
+std::uint8_t Reader::u8() {
+  std::uint8_t v = 0;
+  raw(&v, 1);
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  std::array<std::uint8_t, 4> bytes{};
+  raw(bytes.data(), bytes.size());
+  std::uint32_t v = 0;
+  for (unsigned i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  std::array<std::uint8_t, 8> bytes{};
+  raw(bytes.data(), bytes.size());
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  return v;
+}
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string Reader::str(std::uint64_t maxLength) {
+  const std::uint64_t length = u64();
+  if (length > maxLength)
+    throw SnapshotError("snapshot string length " + std::to_string(length) +
+                        " exceeds the sanity bound " +
+                        std::to_string(maxLength) + " (corrupt stream?)");
+  std::string s(static_cast<std::size_t>(length), '\0');
+  raw(s.data(), s.size());
+  return s;
+}
+
+void Reader::expectMagic(std::string_view tag, std::string_view what) {
+  std::array<char, kMagicSize> found{};
+  raw(found.data(), found.size());
+  std::array<char, kMagicSize> expected{};
+  std::memcpy(expected.data(), tag.data(), tag.size());
+  if (found != expected)
+    throw SnapshotError(std::string(what) + " (bad framing tag, expected \"" +
+                        std::string(tag) + "\")");
+}
+
+std::string Reader::peekTag() {
+  std::array<char, kMagicSize> found{};
+  raw(found.data(), found.size());
+  std::size_t n = kMagicSize;
+  while (n > 0 && found[n - 1] == '\0') --n;
+  return std::string(found.data(), n);
+}
+
+}  // namespace sde::snapshot

@@ -1,0 +1,43 @@
+// Binary snapshot reader, the inverse of snapshot::Writer. Every read
+// is bounds-checked against the stream: a truncated or foreign file
+// raises SnapshotError with a message naming what was expected — never
+// undefined behaviour, never a silent partial restore.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <string_view>
+
+#include "snapshot/error.hpp"
+#include "snapshot/writer.hpp"  // kMagicSize
+
+namespace sde::snapshot {
+
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {}
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] bool b() { return u8() != 0; }
+  [[nodiscard]] double f64();
+  // Length-prefixed string; `maxLength` guards against trusting a
+  // corrupt length field with an allocation.
+  [[nodiscard]] std::string str(std::uint64_t maxLength = 1u << 20);
+  // Reads 8 bytes and checks them against `tag`; throws SnapshotError
+  // naming `what` when they differ (e.g. "not an SDE checkpoint file").
+  void expectMagic(std::string_view tag, std::string_view what);
+  // Reads 8 bytes and returns them NUL-trimmed (header sniffing).
+  [[nodiscard]] std::string peekTag();
+
+  void raw(void* data, std::size_t n);
+
+ private:
+  std::istream& is_;
+};
+
+}  // namespace sde::snapshot

@@ -1,0 +1,44 @@
+#include "snapshot/writer.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "support/assert.hpp"
+
+namespace sde::snapshot {
+
+void Writer::u32(std::uint32_t v) {
+  std::array<std::uint8_t, 4> bytes{};
+  for (unsigned i = 0; i < 4; ++i)
+    bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  raw(bytes.data(), bytes.size());
+}
+
+void Writer::u64(std::uint64_t v) {
+  std::array<std::uint8_t, 8> bytes{};
+  for (unsigned i = 0; i < 8; ++i)
+    bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  raw(bytes.data(), bytes.size());
+}
+
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::str(std::string_view s) {
+  u64(s.size());
+  raw(s.data(), s.size());
+}
+
+void Writer::magic(std::string_view tag) {
+  SDE_ASSERT(tag.size() <= kMagicSize, "magic tag too long");
+  std::array<char, kMagicSize> padded{};
+  std::memcpy(padded.data(), tag.data(), tag.size());
+  raw(padded.data(), padded.size());
+}
+
+void Writer::raw(const void* data, std::size_t n) {
+  os_.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(n));
+}
+
+}  // namespace sde::snapshot

@@ -1,0 +1,46 @@
+// Binary snapshot writer: little-endian fixed-width primitives over a
+// std::ostream. The format is deliberately simple — no schema, no
+// varints, no compression — because checkpoints are consumed by the
+// matching Reader of the same kCheckpointVersion only; the version
+// header (see checkpoint.hpp / manifest.hpp) is the compatibility
+// contract, not the wire encoding.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+namespace sde::snapshot {
+
+// Framing tags are exactly 8 bytes so readers can reject foreign files
+// before trusting any length field.
+inline constexpr std::size_t kMagicSize = 8;
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& os) : os_(os) {}
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void b(bool v) { u8(v ? 1 : 0); }
+  // Exact bit pattern; NaNs and signed zeros round-trip.
+  void f64(double v);
+  // Length-prefixed (u64) byte string.
+  void str(std::string_view s);
+  // Fixed 8-byte framing tag (shorter tags are NUL-padded).
+  void magic(std::string_view tag);
+
+  void raw(const void* data, std::size_t n);
+
+  // Stream health; a full disk surfaces here, not as a torn file the
+  // reader must diagnose.
+  [[nodiscard]] bool ok() const { return os_.good(); }
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace sde::snapshot

@@ -66,6 +66,16 @@ void QueryCache::mergeFrom(const QueryCache& other) {
   while (recentModels_.size() > maxRecentModels_) recentModels_.pop_back();
 }
 
+void QueryCache::restoreSnapshot(
+    std::vector<std::pair<QueryKey, EnumResult>> results,
+    std::deque<expr::Assignment> models) {
+  clear();
+  for (auto& [key, result] : results)
+    results_.emplace(std::move(key), std::move(result));
+  recentModels_ = std::move(models);
+  while (recentModels_.size() > maxRecentModels_) recentModels_.pop_back();
+}
+
 void QueryCache::clear() {
   results_.clear();
   recentModels_.clear();

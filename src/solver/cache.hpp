@@ -26,6 +26,10 @@ using QueryKey = std::vector<expr::Ref>;
 
 class QueryCache {
  public:
+  struct KeyHash {
+    std::size_t operator()(const QueryKey& key) const;
+  };
+
   explicit QueryCache(std::size_t maxRecentModels = 8)
       : maxRecentModels_(maxRecentModels) {}
 
@@ -55,11 +59,22 @@ class QueryCache {
   }
   void clear();
 
- private:
-  struct KeyHash {
-    std::size_t operator()(const QueryKey& key) const;
-  };
+  // --- Snapshot support ----------------------------------------------------
+  // The recent-model deque is ordered state: reuseModel() returns the
+  // *first* satisfying model, so a restored cache must reproduce the
+  // deque exactly or resumed runs could pin symbolic values to
+  // different (equally valid) models than the uninterrupted run.
+  [[nodiscard]] const std::unordered_map<QueryKey, EnumResult, KeyHash>&
+  results() const {
+    return results_;
+  }
+  [[nodiscard]] const std::deque<expr::Assignment>& recentModels() const {
+    return recentModels_;
+  }
+  void restoreSnapshot(std::vector<std::pair<QueryKey, EnumResult>> results,
+                       std::deque<expr::Assignment> models);
 
+ private:
   std::unordered_map<QueryKey, EnumResult, KeyHash> results_;
   std::deque<expr::Assignment> recentModels_;
   std::size_t maxRecentModels_;

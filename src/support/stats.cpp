@@ -6,7 +6,7 @@ namespace sde::support {
 
 void StatsRegistry::mergeFrom(const StatsRegistry& other) {
   for (const auto& [name, value] : other.counters_) {
-    if (name.find("peak") != std::string::npos)
+    if (isPeakCounter(name))
       maxOf(name, value);
     else
       counters_[name] += value;

@@ -11,6 +11,16 @@
 
 namespace sde::support {
 
+// Is `name` a high-water-mark counter? The rule is a substring match:
+// any counter whose name contains "peak" (e.g. "engine.peak_states",
+// "engine.peak_memory_bytes") records a maximum, not a running total.
+// Aggregation (StatsRegistry::mergeFrom) therefore folds such counters
+// with max instead of +: a fleet's peak is the largest worker's peak,
+// not their sum.
+[[nodiscard]] inline bool isPeakCounter(std::string_view name) {
+  return name.find("peak") != std::string_view::npos;
+}
+
 class StatsRegistry {
  public:
   void bump(std::string_view name, std::uint64_t delta = 1) {

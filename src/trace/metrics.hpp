@@ -43,10 +43,18 @@ class MetricsRecorder {
   std::vector<MetricSample> samples_;
 };
 
-// Merges per-worker metric series into one deterministic timeline,
-// ordered by (virtualTime, events, series index) — wall-clock stamps
-// are kept but deliberately not used as a sort key, since they vary
-// across runs while the virtual-time axis does not.
+// Merges per-worker metric series into one deterministic timeline.
+//
+// Sort key and tie-breaks: samples are ordered by virtualTime first;
+// samples with equal virtualTime by their events count; full ties
+// (equal virtualTime AND equal events) by series index — so when two
+// workers sample the same instant, the lower-indexed series
+// contributes first. The sort is stable, so samples of ONE series that
+// tie on the whole key (e.g. repeated end-of-run samples) keep their
+// original recording order. Wall-clock stamps are carried through but
+// deliberately never used as a sort key: they vary across runs while
+// the virtual-time axis does not, and the stitched timeline must be
+// byte-identical for any worker count.
 [[nodiscard]] std::vector<MetricSample> stitchSamples(
     std::span<const std::vector<MetricSample>> series);
 

@@ -1,8 +1,31 @@
 #include "trace/scenario.hpp"
 
 #include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "snapshot/manifest.hpp"
 
 namespace sde::trace {
+
+bool attachCheckpointing(Engine& engine, const std::filesystem::path& file,
+                         bool resume, std::uint64_t everyEvents) {
+  if (file.has_parent_path())
+    std::filesystem::create_directories(file.parent_path());
+  bool restored = false;
+  if (resume && std::filesystem::exists(file)) {
+    std::ifstream in(file, std::ios::binary);
+    engine.restore(in);
+    restored = true;
+  }
+  engine.setCheckpointSink(
+      [file](const Engine& e) {
+        snapshot::atomicWriteFile(
+            file, [&](std::ostream& os) { e.checkpoint(os); });
+      },
+      everyEvents);
+  return restored;
+}
 
 ScenarioResult summarize(Engine& engine, RunOutcome outcome) {
   ScenarioResult result;
@@ -117,6 +140,101 @@ ScenarioResult FloodScenario::run() {
   return summarize(*engine_, outcome);
 }
 
+std::string encodeCollectScenarioSpec(const CollectScenarioConfig& config,
+                                      std::size_t numPartitionVariables) {
+  std::ostringstream os;
+  os << "collect/1"
+     << " grid=" << config.gridWidth << "x" << config.gridHeight
+     << " send=" << config.sendInterval << " sim=" << config.simulationTime
+     << " mapper=" << mapperKindName(config.mapper)
+     << " drops=" << (config.symbolicDrops ? 1 : 0)
+     << " maxdrops=" << config.maxDropsPerNode
+     << " dups=" << (config.symbolicDuplicates ? 1 : 0)
+     << " reboots=" << (config.symbolicReboots ? 1 : 0)
+     << " faildup=" << (config.app.failOnDuplicateSeqno ? 1 : 0)
+     << " faillost=" << (config.app.failOnLostSeqno ? 1 : 0)
+     << " latency=" << config.engine.linkLatency
+     << " maxstates=" << config.engine.maxStates
+     << " maxmem=" << config.engine.maxSimulatedMemoryBytes
+     << " maxevents=" << config.engine.maxEvents
+     << " sample=" << config.engine.sampleEveryEvents
+     << " adaptive=" << (config.engine.adaptiveSampling ? 1 : 0)
+     << " vars=" << numPartitionVariables;
+  return os.str();
+}
+
+std::optional<DecodedCollectSpec> decodeCollectScenarioSpec(
+    const std::string& spec) {
+  std::istringstream is(spec);
+  std::string tag;
+  is >> tag;
+  if (tag != "collect/1") return std::nullopt;
+
+  DecodedCollectSpec decoded;
+  std::string token;
+  while (is >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    try {
+      if (key == "grid") {
+        const std::size_t x = value.find('x');
+        if (x == std::string::npos) return std::nullopt;
+        decoded.config.gridWidth =
+            static_cast<std::uint32_t>(std::stoul(value.substr(0, x)));
+        decoded.config.gridHeight =
+            static_cast<std::uint32_t>(std::stoul(value.substr(x + 1)));
+      } else if (key == "send") {
+        decoded.config.sendInterval = std::stoull(value);
+      } else if (key == "sim") {
+        decoded.config.simulationTime = std::stoull(value);
+      } else if (key == "mapper") {
+        if (value == "COB")
+          decoded.config.mapper = MapperKind::kCob;
+        else if (value == "COW")
+          decoded.config.mapper = MapperKind::kCow;
+        else if (value == "SDS")
+          decoded.config.mapper = MapperKind::kSds;
+        else
+          return std::nullopt;
+      } else if (key == "drops") {
+        decoded.config.symbolicDrops = value != "0";
+      } else if (key == "maxdrops") {
+        decoded.config.maxDropsPerNode =
+            static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "dups") {
+        decoded.config.symbolicDuplicates = value != "0";
+      } else if (key == "reboots") {
+        decoded.config.symbolicReboots = value != "0";
+      } else if (key == "faildup") {
+        decoded.config.app.failOnDuplicateSeqno = value != "0";
+      } else if (key == "faillost") {
+        decoded.config.app.failOnLostSeqno = value != "0";
+      } else if (key == "latency") {
+        decoded.config.engine.linkLatency = std::stoull(value);
+      } else if (key == "maxstates") {
+        decoded.config.engine.maxStates = std::stoull(value);
+      } else if (key == "maxmem") {
+        decoded.config.engine.maxSimulatedMemoryBytes = std::stoull(value);
+      } else if (key == "maxevents") {
+        decoded.config.engine.maxEvents = std::stoull(value);
+      } else if (key == "sample") {
+        decoded.config.engine.sampleEveryEvents = std::stoull(value);
+      } else if (key == "adaptive") {
+        decoded.config.engine.adaptiveSampling = value != "0";
+      } else if (key == "vars") {
+        decoded.numPartitionVariables = std::stoull(value);
+      } else {
+        return std::nullopt;  // unknown key: not a spec this build wrote
+      }
+    } catch (const std::exception&) {
+      return std::nullopt;  // malformed number
+    }
+  }
+  return decoded;
+}
+
 PartitionedCollectResult runCollectPartitioned(
     const CollectScenarioConfig& config, ParallelConfig parallelConfig,
     std::size_t numPartitionVariables) {
@@ -125,6 +243,10 @@ PartitionedCollectResult runCollectPartitioned(
       planPartitions(scenario.partitionVariables(numPartitionVariables));
   if (parallelConfig.horizon == 0)
     parallelConfig.horizon = config.simulationTime;
+  if (!parallelConfig.checkpointDir.empty() &&
+      parallelConfig.scenarioSpec.empty())
+    parallelConfig.scenarioSpec =
+        encodeCollectScenarioSpec(config, numPartitionVariables);
 
   // One recorder per job, attached inside the factory: the vector is
   // pre-sized, so concurrent workers touch disjoint elements.

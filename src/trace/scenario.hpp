@@ -5,6 +5,7 @@
 // symbolic packet drops on the data path and its radio neighbourhood.
 #pragma once
 
+#include <filesystem>
 #include <memory>
 #include <optional>
 #include <string>
@@ -119,6 +120,18 @@ class FloodScenario {
 // Shared summary extraction.
 [[nodiscard]] ScenarioResult summarize(Engine& engine, RunOutcome outcome);
 
+// --- Single-engine durable runs ----------------------------------------------
+// Attaches periodic checkpointing of `engine` to `file` (atomic
+// temp-file + rename writes, cadence in processed events, plus the
+// final checkpoint a resource-cap abort triggers) and, when `resume` is
+// set and the file exists, restores the engine from it first — the
+// engine must still be fresh (not yet run). Returns true if a
+// checkpoint was restored; throws snapshot::SnapshotError on a corrupt
+// or incompatible file. Backs the benches' --checkpoint-dir/--resume
+// flags.
+bool attachCheckpointing(Engine& engine, const std::filesystem::path& file,
+                         bool resume, std::uint64_t everyEvents = 4096);
+
 // --- Partitioned execution of the collect scenario ---------------------------
 struct PartitionedCollectResult {
   ParallelResult result;
@@ -129,9 +142,31 @@ struct PartitionedCollectResult {
 
 // Runs the collect scenario partitioned over `numPartitionVariables`
 // drop decisions (2^n jobs) on parallelConfig.workers threads. A zero
-// parallelConfig.horizon defaults to config.simulationTime.
+// parallelConfig.horizon defaults to config.simulationTime. When
+// parallelConfig.checkpointDir is set and no scenarioSpec was provided,
+// the encoded spec of (config, numPartitionVariables) is recorded in
+// the run manifest, making the directory self-describing.
 [[nodiscard]] PartitionedCollectResult runCollectPartitioned(
     const CollectScenarioConfig& config, ParallelConfig parallelConfig,
     std::size_t numPartitionVariables);
+
+// --- Durable-run scenario codec ----------------------------------------------
+// Renders a CollectScenarioConfig (plus the partition-variable count)
+// as the opaque scenario spec recorded in a run manifest, and parses it
+// back, so `sde_checkpoint resume` can rebuild the identical fleet from
+// the checkpoint directory alone. The codec covers every field that
+// influences the explored state space; encode/decode round-trips
+// exactly.
+[[nodiscard]] std::string encodeCollectScenarioSpec(
+    const CollectScenarioConfig& config, std::size_t numPartitionVariables);
+
+struct DecodedCollectSpec {
+  CollectScenarioConfig config;
+  std::size_t numPartitionVariables = 0;
+};
+// nullopt if `spec` is not an encoded collect scenario (foreign or
+// hand-edited manifest).
+[[nodiscard]] std::optional<DecodedCollectSpec> decodeCollectScenarioSpec(
+    const std::string& spec);
 
 }  // namespace sde::trace

@@ -62,6 +62,9 @@ class Interpreter {
                 std::span<const expr::Ref> args, EffectSink& sink);
 
   [[nodiscard]] const support::StatsRegistry& stats() const { return stats_; }
+  // Mutable access for checkpoint restore (interpreter counters feed the
+  // parallel runner's fingerprint digest, so they must round-trip).
+  [[nodiscard]] support::StatsRegistry& stats() { return stats_; }
 
   // Network size reported by the kNumNodes intrinsic (set by the engine
   // before the first event is dispatched).

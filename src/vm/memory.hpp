@@ -56,6 +56,24 @@ class AddressSpace {
 
   [[nodiscard]] std::size_t numObjects() const { return objects_.size(); }
 
+  // --- Snapshot support ----------------------------------------------------
+  // The raw object table (ordered by id). The snapshot layer serializes
+  // payloads through a pointer-identity blob table so that objects
+  // shared copy-on-write between forked states stay shared after
+  // restore — accountBytes() must attribute them once, exactly as in
+  // the original run.
+  [[nodiscard]] const std::map<std::uint64_t, std::shared_ptr<Cells>>&
+  objects() const {
+    return objects_;
+  }
+  [[nodiscard]] std::uint64_t nextObjectId() const { return nextId_; }
+  void restoreSnapshot(
+      std::map<std::uint64_t, std::shared_ptr<Cells>> objects,
+      std::uint64_t nextId) {
+    objects_ = std::move(objects);
+    nextId_ = nextId;
+  }
+
  private:
   std::shared_ptr<Cells>& mutableObject(std::uint64_t id);
 

@@ -1,0 +1,217 @@
+// Single-engine checkpoint/restore (checkpoint.hpp format, all layers).
+//
+// The correctness bar is ISSUE-level: a run suspended at an arbitrary
+// point and restored into a freshly constructed engine must finish
+// indistinguishably from the uninterrupted run — same states (by
+// configuration hash), same dscenario universe, same event count, same
+// statistics. Framing is tested separately: version header rejection,
+// magic rejection, truncation.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "sde/explode.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "snapshot/error.hpp"
+#include "trace/scenario.hpp"
+
+namespace sde {
+namespace {
+
+// COB's state count is the full cross product, so it runs on a smaller
+// grid (as everywhere else in the suite); COW/SDS get the paper's 5x5.
+trace::CollectScenarioConfig smallGrid(MapperKind mapper,
+                                       std::uint64_t simulationTime) {
+  trace::CollectScenarioConfig config;
+  const std::uint32_t side = mapper == MapperKind::kCob ? 3 : 5;
+  config.gridWidth = side;
+  config.gridHeight = side;
+  config.simulationTime = simulationTime;
+  config.mapper = mapper;
+  return config;
+}
+
+std::set<std::uint64_t> configHashes(const Engine& engine) {
+  std::set<std::uint64_t> hashes;
+  for (const auto& state : engine.states()) hashes.insert(state->configHash());
+  return hashes;
+}
+
+std::string checkpointBlob(const Engine& engine) {
+  std::ostringstream out(std::ios::binary);
+  engine.checkpoint(out);
+  return out.str();
+}
+
+class CheckpointTest : public ::testing::TestWithParam<MapperKind> {};
+
+TEST_P(CheckpointTest, SuspendRestoreMatchesUninterrupted) {
+  const auto config = smallGrid(GetParam(), 4000);
+
+  // Reference: one uninterrupted run to the horizon.
+  trace::CollectScenario reference(config);
+  ASSERT_EQ(reference.run().outcome, RunOutcome::kCompleted);
+  Engine& uninterrupted = reference.engine();
+
+  // Suspended run: stop halfway, checkpoint, and restore into a freshly
+  // constructed (identically configured) engine.
+  trace::CollectScenario suspended(config);
+  ASSERT_EQ(suspended.engine().run(2000), RunOutcome::kCompleted);
+  const std::string blob = checkpointBlob(suspended.engine());
+
+  trace::CollectScenario resumedScenario(config);
+  Engine& resumed = resumedScenario.engine();
+  {
+    std::istringstream in(blob, std::ios::binary);
+    resumed.restore(in);
+  }
+  EXPECT_EQ(resumed.numStates(), suspended.engine().numStates());
+  EXPECT_EQ(resumed.virtualNow(), suspended.engine().virtualNow());
+  ASSERT_EQ(resumed.run(config.simulationTime), RunOutcome::kCompleted);
+
+  // Semantically lossless: the resumed run is indistinguishable from
+  // the uninterrupted one.
+  EXPECT_EQ(resumed.numStates(), uninterrupted.numStates());
+  EXPECT_EQ(resumed.eventsProcessed(), uninterrupted.eventsProcessed());
+  EXPECT_EQ(resumed.virtualNow(), uninterrupted.virtualNow());
+  EXPECT_EQ(configHashes(resumed), configHashes(uninterrupted));
+  EXPECT_EQ(countScenarios(resumed.mapper()),
+            countScenarios(uninterrupted.mapper()));
+  const auto resumedPrints = scenarioFingerprints(resumed.mapper());
+  const auto referencePrints = scenarioFingerprints(uninterrupted.mapper());
+  EXPECT_EQ(std::set<std::uint64_t>(resumedPrints.begin(),
+                                    resumedPrints.end()),
+            std::set<std::uint64_t>(referencePrints.begin(),
+                                    referencePrints.end()));
+  // Every statistic — engine, interpreter and solver — continues from
+  // the restored value to the uninterrupted total (peak_memory_bytes
+  // included: it is recomputed at run end and memory is monotone).
+  EXPECT_EQ(resumed.stats().all(), uninterrupted.stats().all());
+  EXPECT_EQ(resumed.interpStats().all(), uninterrupted.interpStats().all());
+  EXPECT_EQ(resumed.solverStats().all(), uninterrupted.solverStats().all());
+  EXPECT_EQ(resumed.simulatedMemoryBytes(),
+            uninterrupted.simulatedMemoryBytes());
+
+  // The suspended engine itself also finishes identically (the
+  // checkpoint call must not perturb the run it snapshots).
+  ASSERT_EQ(suspended.engine().run(config.simulationTime),
+            RunOutcome::kCompleted);
+  EXPECT_EQ(configHashes(suspended.engine()), configHashes(uninterrupted));
+}
+
+TEST_P(CheckpointTest, RestoreIsLosslessAtManySuspensionPoints) {
+  // "Any checkpoint" means any: cut the same run at several virtual
+  // times and check the resumed exploration converges each time.
+  const auto config = smallGrid(GetParam(), 3000);
+  trace::CollectScenario reference(config);
+  ASSERT_EQ(reference.run().outcome, RunOutcome::kCompleted);
+  const auto want = configHashes(reference.engine());
+
+  for (const std::uint64_t cut : {std::uint64_t{1}, std::uint64_t{1200},
+                                  std::uint64_t{2999}}) {
+    trace::CollectScenario suspended(config);
+    ASSERT_EQ(suspended.engine().run(cut), RunOutcome::kCompleted);
+    const std::string blob = checkpointBlob(suspended.engine());
+
+    trace::CollectScenario resumedScenario(config);
+    std::istringstream in(blob, std::ios::binary);
+    resumedScenario.engine().restore(in);
+    ASSERT_EQ(resumedScenario.engine().run(config.simulationTime),
+              RunOutcome::kCompleted);
+    EXPECT_EQ(configHashes(resumedScenario.engine()), want)
+        << "suspended at " << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Mappers, CheckpointTest,
+                         ::testing::Values(MapperKind::kSds, MapperKind::kCow,
+                                           MapperKind::kCob),
+                         [](const auto& info) {
+                           return std::string(mapperKindName(info.param));
+                         });
+
+TEST(CheckpointHeaderTest, InspectReportsTheRunSummary) {
+  const auto config = smallGrid(MapperKind::kSds, 4000);
+  trace::CollectScenario scenario(config);
+  ASSERT_EQ(scenario.engine().run(2000), RunOutcome::kCompleted);
+  std::ostringstream out(std::ios::binary);
+  scenario.engine().checkpoint(out);
+
+  std::istringstream in(out.str(), std::ios::binary);
+  const snapshot::CheckpointInfo info = snapshot::inspectCheckpointHeader(in);
+  EXPECT_EQ(info.version, snapshot::kCheckpointVersion);
+  EXPECT_EQ(info.numNodes, 25u);
+  EXPECT_EQ(info.mapper, "SDS");
+  EXPECT_TRUE(info.booted);
+  EXPECT_EQ(info.numStates, scenario.engine().numStates());
+  EXPECT_EQ(info.virtualNow, scenario.engine().virtualNow());
+  EXPECT_EQ(info.eventsProcessed, scenario.engine().eventsProcessed());
+}
+
+class CheckpointFramingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_ = smallGrid(MapperKind::kSds, 2000);
+    trace::CollectScenario scenario(config_);
+    ASSERT_EQ(scenario.engine().run(1000), RunOutcome::kCompleted);
+    std::ostringstream out(std::ios::binary);
+    scenario.engine().checkpoint(out);
+    blob_ = out.str();
+  }
+
+  // What the restore path says about a (possibly corrupted) blob.
+  std::string restoreError(const std::string& blob) {
+    trace::CollectScenario fresh(config_);
+    std::istringstream in(blob, std::ios::binary);
+    try {
+      fresh.engine().restore(in);
+    } catch (const snapshot::SnapshotError& error) {
+      return error.what();
+    }
+    return {};
+  }
+
+  trace::CollectScenarioConfig config_;
+  std::string blob_;
+};
+
+TEST_F(CheckpointFramingTest, UnknownVersionIsRejectedWithAClearError) {
+  // The version is the little-endian u32 right after the 8-byte magic.
+  std::string patched = blob_;
+  patched[8] = '\xff';
+  patched[9] = '\xff';
+  patched[10] = 0;
+  patched[11] = 0;
+  const std::string message = restoreError(patched);
+  EXPECT_NE(message.find("unsupported checkpoint version"), std::string::npos)
+      << "actual error: " << message;
+  EXPECT_NE(message.find("this build reads"), std::string::npos)
+      << "actual error: " << message;
+
+  std::istringstream in(patched, std::ios::binary);
+  EXPECT_THROW(snapshot::inspectCheckpointHeader(in), snapshot::SnapshotError);
+}
+
+TEST_F(CheckpointFramingTest, ForeignFilesAreRejected) {
+  std::string patched = blob_;
+  patched[0] = 'X';
+  EXPECT_NE(restoreError(patched).find("not an SDE checkpoint"),
+            std::string::npos);
+  // A plain-text file is not a checkpoint either.
+  EXPECT_FALSE(restoreError("hello, this is not a checkpoint\n").empty());
+}
+
+TEST_F(CheckpointFramingTest, TruncationIsDetected) {
+  // Any prefix must fail loudly — the trailer magic guards the tail, a
+  // short read anywhere else throws from the Reader.
+  for (const std::size_t keep :
+       {blob_.size() / 4, blob_.size() / 2, blob_.size() - 3}) {
+    EXPECT_FALSE(restoreError(blob_.substr(0, keep)).empty())
+        << "prefix of " << keep << " bytes";
+  }
+}
+
+}  // namespace
+}  // namespace sde

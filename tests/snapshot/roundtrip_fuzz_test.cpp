@@ -1,0 +1,241 @@
+// Round-trip fuzzing of the expression-table codec (checkpoint layer 1).
+//
+// Property: serializing a Context's interning log and replaying it into
+// a fresh Context reproduces the DAG *exactly* — same node count, and
+// per node the same interning id, kind, width, structural hash, operand
+// wiring, constant payload and variable name. This is the foundation
+// the rest of the checkpoint format rests on: every Ref elsewhere in a
+// checkpoint is a u32 index into this log, so any drift here corrupts
+// everything downstream.
+//
+// Constraint sets ride along: re-adding the restored items in recorded
+// order must reproduce the order-independent setHash.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "expr/context.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "snapshot/error.hpp"
+#include "snapshot/reader.hpp"
+#include "snapshot/writer.hpp"
+#include "solver/constraint_set.hpp"
+#include "support/rng.hpp"
+
+namespace sde {
+namespace {
+
+using expr::Ref;
+
+// Grows a random DAG in `ctx` through the public builders (which
+// simplify and canonicalize — irrelevant here: whatever nodes end up
+// interned form the log the codec must reproduce). Returns the pool of
+// roots built along the way.
+std::vector<Ref> growRandomDag(expr::Context& ctx, support::Rng& rng,
+                               std::size_t steps) {
+  std::vector<Ref> pool;
+  const auto randomWidth = [&]() -> unsigned {
+    return static_cast<unsigned>(1 + rng.below(64));
+  };
+  // Leaves first so every op has operands to draw from.
+  const std::size_t numVars = 3 + rng.below(5);
+  for (std::size_t i = 0; i < numVars; ++i)
+    pool.push_back(
+        ctx.variable("v" + std::to_string(i), randomWidth()));
+  for (std::size_t i = 0; i < 4; ++i)
+    pool.push_back(ctx.constant(rng.next(), randomWidth()));
+
+  const auto pick = [&]() { return pool[rng.below(pool.size())]; };
+  for (std::size_t step = 0; step < steps; ++step) {
+    const Ref a = pick();
+    const Ref b = pick();
+    Ref made = nullptr;
+    switch (rng.below(12)) {
+      case 0:
+        made = ctx.bvNot(a);
+        break;
+      case 1:
+        made = a->width() < 64
+                   ? ctx.zext(a, static_cast<unsigned>(
+                                     rng.range(a->width() + 1, 64)))
+                   : ctx.boolCast(a);
+        break;
+      case 2:
+        made = a->width() > 1
+                   ? ctx.trunc(a, static_cast<unsigned>(
+                                      rng.range(1, a->width() - 1)))
+                   : ctx.bvNot(a);
+        break;
+      case 3:
+        made = ctx.add(a, ctx.zcast(b, a->width()));
+        break;
+      case 4:
+        made = ctx.mul(a, ctx.zcast(b, a->width()));
+        break;
+      case 5:
+        made = ctx.bvXor(a, ctx.zcast(b, a->width()));
+        break;
+      case 6:
+        made = ctx.ult(a, ctx.zcast(b, a->width()));
+        break;
+      case 7:
+        made = ctx.eq(a, ctx.zcast(b, a->width()));
+        break;
+      case 8:
+        made = ctx.ite(ctx.boolCast(pick()), a, ctx.zcast(b, a->width()));
+        break;
+      case 9:
+        made = a->width() < 64
+                   ? ctx.concat(
+                         a, ctx.zcast(b, static_cast<unsigned>(rng.range(
+                                             1, 64 - a->width()))))
+                   : ctx.lshr(a, ctx.zcast(b, a->width()));
+        break;
+      case 10: {
+        const unsigned w =
+            static_cast<unsigned>(rng.range(1, a->width()));
+        const unsigned off =
+            static_cast<unsigned>(rng.below(a->width() - w + 1));
+        made = ctx.extract(a, off, w);
+        break;
+      }
+      default:
+        made = ctx.sub(ctx.zcast(b, a->width()), a);
+        break;
+    }
+    pool.push_back(made);
+  }
+  return pool;
+}
+
+class SnapshotRoundtripFuzzTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SnapshotRoundtripFuzzTest, ExprTableReplaysExactly) {
+  support::Rng rng(GetParam());
+  expr::Context ctx;
+  const std::vector<Ref> pool = growRandomDag(ctx, rng, 160);
+
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  snapshot::Writer writer(buffer);
+  snapshot::writeExprTable(writer, ctx);
+  // A handful of Refs (plus null) the way the state codec writes them.
+  std::vector<Ref> sample{nullptr};
+  for (int i = 0; i < 8; ++i) sample.push_back(pool[rng.below(pool.size())]);
+  for (const Ref ref : sample) snapshot::writeRef(writer, ref);
+  ASSERT_TRUE(writer.ok());
+
+  expr::Context restored;
+  snapshot::Reader reader(buffer);
+  snapshot::readExprTable(reader, restored);
+
+  ASSERT_EQ(restored.numNodes(), ctx.numNodes()) << "seed " << GetParam();
+  for (std::size_t i = 0; i < ctx.numNodes(); ++i) {
+    const Ref original = ctx.nodeAt(i);
+    const Ref replayed = restored.nodeAt(i);
+    ASSERT_EQ(replayed->id(), original->id()) << "node " << i;
+    ASSERT_EQ(replayed->kind(), original->kind()) << "node " << i;
+    ASSERT_EQ(replayed->width(), original->width()) << "node " << i;
+    ASSERT_EQ(replayed->hash(), original->hash()) << "node " << i;
+    ASSERT_EQ(replayed->numOperands(), original->numOperands()) << "node " << i;
+    for (unsigned op = 0; op < original->numOperands(); ++op)
+      ASSERT_EQ(replayed->operand(op)->id(), original->operand(op)->id())
+          << "node " << i << " operand " << op;
+    if (original->isConstant()) {
+      ASSERT_EQ(replayed->value(), original->value()) << "node " << i;
+    }
+    if (original->isVariable()) {
+      ASSERT_EQ(replayed->name(), original->name()) << "node " << i;
+    }
+  }
+
+  // The sampled Refs resolve to the same interning ids.
+  for (const Ref ref : sample) {
+    const Ref back = snapshot::readRef(reader, restored);
+    if (ref == nullptr) {
+      ASSERT_EQ(back, nullptr);
+    } else {
+      ASSERT_NE(back, nullptr);
+      ASSERT_EQ(back->id(), ref->id());
+    }
+  }
+
+  // Hash-consing still holds in the restored context: re-requesting a
+  // variable by name must not grow the table.
+  const std::size_t before = restored.numNodes();
+  for (std::size_t i = 0; i < ctx.numNodes(); ++i) {
+    if (ctx.nodeAt(i)->isVariable()) {
+      const Ref again = restored.variable(ctx.nodeAt(i)->name(),
+                                          ctx.nodeAt(i)->width());
+      ASSERT_EQ(again, restored.nodeAt(i));
+    }
+  }
+  ASSERT_EQ(restored.numNodes(), before);
+}
+
+TEST_P(SnapshotRoundtripFuzzTest, ConstraintSetHashSurvivesRoundtrip) {
+  support::Rng rng(GetParam() ^ 0x5eedULL);
+  expr::Context ctx;
+  const std::vector<Ref> pool = growRandomDag(ctx, rng, 120);
+
+  // A constraint set of random boolean roots, recorded the way the
+  // state codec records it: the item list in insertion order.
+  solver::ConstraintSet constraints;
+  std::vector<Ref> recorded;
+  for (const Ref root : pool) constraints.add(ctx.boolCast(root));
+  for (const Ref item : constraints.items()) recorded.push_back(item);
+
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  snapshot::Writer writer(buffer);
+  snapshot::writeExprTable(writer, ctx);
+  writer.u64(recorded.size());
+  for (const Ref item : recorded) snapshot::writeRef(writer, item);
+  ASSERT_TRUE(writer.ok());
+
+  expr::Context restoredCtx;
+  snapshot::Reader reader(buffer);
+  snapshot::readExprTable(reader, restoredCtx);
+  const std::uint64_t count = reader.u64();
+  solver::ConstraintSet restored;
+  for (std::uint64_t i = 0; i < count; ++i)
+    restored.add(snapshot::readRef(reader, restoredCtx));
+
+  EXPECT_EQ(restored.size(), constraints.size()) << "seed " << GetParam();
+  EXPECT_EQ(restored.setHash(), constraints.setHash()) << "seed " << GetParam();
+}
+
+TEST(SnapshotRoundtripTest, ForwardReferenceIsRejected) {
+  // Hand-craft a log whose first interned node references node index 5
+  // (not yet replayed): the reader must throw, not crash.
+  expr::Context ctx;
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  snapshot::Writer writer(buffer);
+  writer.u64(3);  // claim 3 nodes: the two booleans plus one bad op
+  // The two pre-interned boolean constants, as writeExprTable emits them.
+  writer.u8(static_cast<std::uint8_t>(expr::Kind::kConstant));
+  writer.u8(1);
+  writer.u64(0);
+  writer.u8(static_cast<std::uint8_t>(expr::Kind::kConstant));
+  writer.u8(1);
+  writer.u64(1);
+  // A unary op whose operand points forward.
+  writer.u8(static_cast<std::uint8_t>(expr::Kind::kNot));
+  writer.u8(1);
+  writer.u64(0);  // aux
+  writer.u8(1);   // one operand
+  writer.u32(5);  // forward reference
+  ASSERT_TRUE(writer.ok());
+
+  expr::Context restored;
+  snapshot::Reader reader(buffer);
+  EXPECT_THROW(snapshot::readExprTable(reader, restored),
+               snapshot::SnapshotError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotRoundtripFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace sde

@@ -87,6 +87,35 @@ TEST(Stats, MaxOfKeepsMaximum) {
   EXPECT_EQ(stats.get("peak"), 12u);
 }
 
+TEST(Stats, IsPeakCounterMatchesBySubstring) {
+  EXPECT_TRUE(isPeakCounter("engine.peak_states"));
+  EXPECT_TRUE(isPeakCounter("engine.peak_memory_bytes"));
+  EXPECT_TRUE(isPeakCounter("peak"));
+  EXPECT_TRUE(isPeakCounter("solver.peakiness"));  // substring, by design
+  EXPECT_FALSE(isPeakCounter(""));
+  EXPECT_FALSE(isPeakCounter("engine.forks_total"));
+  EXPECT_FALSE(isPeakCounter("engine.PEAK_states"));  // case-sensitive
+}
+
+TEST(Stats, MergeFromMaxesPeaksAndSumsTheRest) {
+  StatsRegistry a;
+  StatsRegistry b;
+  a.set("engine.peak_states", 10);
+  b.set("engine.peak_states", 7);
+  a.bump("engine.forks_total", 5);
+  b.bump("engine.forks_total", 3);
+  b.bump("only.in.other", 2);
+  a.mergeFrom(b);
+  EXPECT_EQ(a.get("engine.peak_states"), 10u);  // fleet peak: max, not 17
+  EXPECT_EQ(a.get("engine.forks_total"), 8u);   // running total: sum
+  EXPECT_EQ(a.get("only.in.other"), 2u);
+
+  // A peak missing on the left adopts the right-hand value unchanged.
+  StatsRegistry c;
+  c.mergeFrom(a);
+  EXPECT_EQ(c.get("engine.peak_states"), 10u);
+}
+
 TEST(Stats, ReportListsAllCountersSorted) {
   StatsRegistry stats;
   stats.bump("b");

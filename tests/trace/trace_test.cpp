@@ -86,6 +86,70 @@ TEST(Metrics, CsvHasHeaderAndRows) {
   EXPECT_NE(text.find("SDS,"), std::string::npos);
 }
 
+namespace {
+MetricSample sample(std::uint64_t virtualTime, std::uint64_t events,
+                    std::uint64_t states, double wallSeconds = 0) {
+  MetricSample s;
+  s.virtualTime = virtualTime;
+  s.events = events;
+  s.states = states;
+  s.wallSeconds = wallSeconds;
+  return s;
+}
+}  // namespace
+
+TEST(Stitch, EmptyAndAllEmptySeriesYieldAnEmptyTimeline) {
+  EXPECT_TRUE(stitchSamples({}).empty());
+  const std::vector<std::vector<MetricSample>> hollow(3);
+  EXPECT_TRUE(stitchSamples(hollow).empty());
+}
+
+TEST(Stitch, SingleSeriesPassesThroughInRecordedOrder) {
+  // A single worker's series is already sorted by construction (an
+  // engine samples at monotone virtual times); stitching must return
+  // it untouched — including repeated end-of-run samples, which tie on
+  // the whole key and rely on the stable sort.
+  const std::vector<std::vector<MetricSample>> one{{
+      sample(0, 0, 1),
+      sample(500, 10, 4),
+      sample(500, 10, 4),  // repeated sample: order preserved
+      sample(1000, 25, 9),
+  }};
+  const std::vector<MetricSample> stitched = stitchSamples(one);
+  ASSERT_EQ(stitched.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(stitched[i].virtualTime, one[0][i].virtualTime) << i;
+    EXPECT_EQ(stitched[i].events, one[0][i].events) << i;
+    EXPECT_EQ(stitched[i].states, one[0][i].states) << i;
+  }
+}
+
+TEST(Stitch, DuplicateVirtualTimesBreakTiesByEventsThenSeriesIndex) {
+  // Three workers sampling the same virtual instant: ordered by events
+  // first; full ties (virtualTime AND events equal) by series index,
+  // so the lower-indexed worker contributes first. Wall-clock stamps
+  // are deliberately irrelevant — series 0 carries the LARGEST wall
+  // time yet must still sort first on a full tie.
+  const std::vector<std::vector<MetricSample>> series{
+      {sample(100, 7, 11, /*wallSeconds=*/9.0)},
+      {sample(100, 7, 22, /*wallSeconds=*/1.0), sample(100, 9, 33)},
+      {sample(100, 3, 44), sample(200, 1, 55)},
+  };
+  const std::vector<MetricSample> stitched = stitchSamples(series);
+  ASSERT_EQ(stitched.size(), 5u);
+  // virtualTime 100, events 3 (series 2) first.
+  EXPECT_EQ(stitched[0].states, 44u);
+  // Full tie at (100, 7): series 0 before series 1, wall time ignored.
+  EXPECT_EQ(stitched[1].states, 11u);
+  EXPECT_EQ(stitched[2].states, 22u);
+  // (100, 9) after both, then virtualTime 200.
+  EXPECT_EQ(stitched[3].states, 33u);
+  EXPECT_EQ(stitched[4].states, 55u);
+  // The virtual-time axis is sorted.
+  for (std::size_t i = 1; i < stitched.size(); ++i)
+    EXPECT_LE(stitched[i - 1].virtualTime, stitched[i].virtualTime);
+}
+
 TEST(Scenario, SummarizeReflectsEngine) {
   CollectScenarioConfig config;
   config.gridWidth = 2;
