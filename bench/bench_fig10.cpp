@@ -8,20 +8,28 @@
 //
 // Usage: bench_fig10 [--nodes 25|49|100] [--time T] [--wall-cap SECONDS]
 //                    [--outdir DIR] [--paper]
-//                    [--checkpoint-dir DIR] [--resume]
+//                    [--checkpoint-dir DIR] [--resume] [--trace-out DIR]
 //
 // With --checkpoint-dir, every (nodes, algorithm) run periodically writes
 // an engine checkpoint; --resume continues a suspended run from it (e.g.
 // after a wall-cap abort or a killed process) instead of starting over.
 // A resumed run's CSV only covers the samples recorded after the resume —
 // the states/memory endpoints still match the uninterrupted run.
+//
+// With --trace-out, every run additionally streams a structured event
+// trace to DIR/trace_<nodes>_<alg>.trc (inspect with sde_trace) and
+// attaches a phase profiler whose per-phase self-times land both in the
+// trace's profile section and in the printed stats block.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/profiler.hpp"
+#include "obs/trace_io.hpp"
 #include "snapshot/checkpoint.hpp"
 #include "snapshot/manifest.hpp"
 #include "trace/scenario.hpp"
@@ -40,6 +48,7 @@ struct Options {
   bool paper = false;
   std::string checkpointDir;
   bool resume = false;
+  std::string traceDir;
 };
 
 Options parseArgs(int argc, char** argv) {
@@ -63,6 +72,8 @@ Options parseArgs(int argc, char** argv) {
       options.checkpointDir = argv[++i];
     else if (arg == "--resume")
       options.resume = true;
+    else if (arg == "--trace-out" && i + 1 < argc)
+      options.traceDir = argv[++i];
     else
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
   }
@@ -117,6 +128,27 @@ int main(int argc, char** argv) {
       trace::CollectScenario scenario(config);
       const std::string name(mapperKindName(kind));
 
+      // Tracing + profiling attach before any checkpoint restore so a
+      // resumed run continues its event stream (see Engine docs).
+      std::ofstream traceStream;
+      std::unique_ptr<obs::StreamTraceSink> traceSink;
+      obs::PhaseProfiler profiler;
+      std::filesystem::path tracePath;
+      if (!options.traceDir.empty()) {
+        std::filesystem::create_directories(options.traceDir);
+        tracePath = std::filesystem::path(options.traceDir) /
+                    ("trace_" + std::to_string(nodes) + "_" + name + ".trc");
+        traceStream.open(tracePath, std::ios::binary | std::ios::trunc);
+        obs::TraceHeader header;
+        header.numNodes = nodes;
+        header.mapper = name;
+        header.scenario = "fig10 grid " + std::to_string(side) + "x" +
+                          std::to_string(side);
+        traceSink = std::make_unique<obs::StreamTraceSink>(traceStream, header);
+        scenario.engine().setTraceSink(traceSink.get());
+        scenario.engine().setProfiler(&profiler);
+      }
+
       std::filesystem::path ckpt;
       if (!options.checkpointDir.empty()) {
         ckpt = std::filesystem::path(options.checkpointDir) /
@@ -139,6 +171,20 @@ int main(int argc, char** argv) {
       scenario.metrics().writeCsv(csv, name);
       std::fprintf(stderr, "[done] %u nodes %s -> %s\n", nodes, name.c_str(),
                    path.c_str());
+
+      if (traceSink != nullptr) {
+        scenario.engine().setTraceSink(nullptr);
+        scenario.engine().setProfiler(nullptr);
+        traceSink->setProfile(profiler.profile());
+        traceSink->close();
+        std::fprintf(stderr, "[trace] %u nodes %s -> %s\n", nodes,
+                     name.c_str(), tracePath.string().c_str());
+        support::StatsRegistry profileStats;
+        profiler.profile().toStats(profileStats);
+        std::printf("%s phase profile:\n%s%s", name.c_str(),
+                    profiler.profile().report().c_str(),
+                    profileStats.report().c_str());
+      }
 
       table.addRow({name, std::string(runOutcomeName(result.outcome)),
                     trace::formatDuration(result.wallSeconds),

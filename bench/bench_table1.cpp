@@ -12,17 +12,23 @@
 // Usage: bench_table1 [--width W] [--height H] [--time T]
 //                     [--cob-state-cap N] [--cob-wall-cap SECONDS]
 //                     [--paper]   (full 10-second simulation; slow)
-//                     [--checkpoint-dir DIR] [--resume]
+//                     [--checkpoint-dir DIR] [--resume] [--trace-out DIR]
 //
 // With --checkpoint-dir, each algorithm's run periodically checkpoints
 // (and checkpoints once more when a cap aborts it — the paper's COB
 // abort suspends instead of discarding); --resume continues from the
-// recorded checkpoints.
+// recorded checkpoints. With --trace-out, each algorithm's run streams
+// a structured event trace to DIR/table1_<alg>.trc and prints a phase
+// profile (where the wall-clock went) next to its table row.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <memory>
 #include <string>
 
+#include "obs/profiler.hpp"
+#include "obs/trace_io.hpp"
 #include "sde/explode.hpp"
 #include "trace/scenario.hpp"
 #include "trace/table.hpp"
@@ -37,6 +43,7 @@ struct Options {
   double cobWallCap = 120.0;
   std::string checkpointDir;
   bool resume = false;
+  std::string traceDir;
 };
 
 Options parseArgs(int argc, char** argv) {
@@ -59,6 +66,8 @@ Options parseArgs(int argc, char** argv) {
       options.checkpointDir = argv[++i];
     else if (arg == "--resume")
       options.resume = true;
+    else if (arg == "--trace-out" && i + 1 < argc)
+      options.traceDir = argv[++i];
     else
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
   }
@@ -95,6 +104,27 @@ int main(int argc, char** argv) {
     }
     trace::CollectScenario scenario(config);
 
+    // Tracing + profiling attach before any checkpoint restore so a
+    // resumed run continues its event stream (see Engine docs).
+    std::ofstream traceStream;
+    std::unique_ptr<obs::StreamTraceSink> traceSink;
+    obs::PhaseProfiler profiler;
+    std::filesystem::path tracePath;
+    if (!options.traceDir.empty()) {
+      std::filesystem::create_directories(options.traceDir);
+      tracePath = std::filesystem::path(options.traceDir) /
+                  ("table1_" + std::string(mapperKindName(kind)) + ".trc");
+      traceStream.open(tracePath, std::ios::binary | std::ios::trunc);
+      obs::TraceHeader header;
+      header.numNodes = options.width * options.height;
+      header.mapper = std::string(mapperKindName(kind));
+      header.scenario = "table1 grid " + std::to_string(options.width) + "x" +
+                        std::to_string(options.height);
+      traceSink = std::make_unique<obs::StreamTraceSink>(traceStream, header);
+      scenario.engine().setTraceSink(traceSink.get());
+      scenario.engine().setProfiler(&profiler);
+    }
+
     std::filesystem::path ckpt;
     if (!options.checkpointDir.empty()) {
       ckpt = std::filesystem::path(options.checkpointDir) /
@@ -123,6 +153,17 @@ int main(int argc, char** argv) {
                  mapperKindName(kind).data(),
                  runOutcomeName(result.outcome).data(),
                  static_cast<unsigned long long>(result.states));
+
+    if (traceSink != nullptr) {
+      scenario.engine().setTraceSink(nullptr);
+      scenario.engine().setProfiler(nullptr);
+      traceSink->setProfile(profiler.profile());
+      traceSink->close();
+      std::fprintf(stderr, "[trace] %s -> %s\n", mapperKindName(kind).data(),
+                   tracePath.string().c_str());
+      std::printf("%s phase profile:\n%s", mapperKindName(kind).data(),
+                  profiler.profile().report().c_str());
+    }
   }
 
   std::printf("%s", table.render().c_str());

@@ -16,6 +16,21 @@ cmake --build build -j
 echo "=== tier-1: ctest ==="
 ctest --test-dir build --output-on-failure -j
 
+echo "=== trace smoke: bench --trace-out -> sde_trace validate/export ==="
+TRACE_SMOKE=$(mktemp -d)
+trap 'rm -rf "$TRACE_SMOKE"' EXIT
+./build/bench/bench_table1 --width 4 --height 4 --time 3000 \
+  --trace-out "$TRACE_SMOKE" >/dev/null
+./build/tools/sde_trace validate "$TRACE_SMOKE"/table1_*.trc
+./build/tools/sde_trace summarize "$TRACE_SMOKE/table1_SDS.trc" >/dev/null
+./build/tools/sde_trace diff "$TRACE_SMOKE/table1_SDS.trc" \
+  "$TRACE_SMOKE/table1_COW.trc" >/dev/null || true  # traces differ by design
+./build/tools/sde_trace export-chrome "$TRACE_SMOKE/table1_SDS.trc" \
+  "$TRACE_SMOKE/table1_SDS.json"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+  "$TRACE_SMOKE/table1_SDS.json" 2>/dev/null \
+  || echo "(python3 unavailable: skipped JSON well-formedness check)"
+
 echo "=== tsan: configure + build (SDE_SANITIZE=thread) ==="
 cmake -B build-tsan -S . -DSDE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null

@@ -1,0 +1,167 @@
+#include "obs/chrome_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <utility>
+
+namespace sde::obs {
+
+namespace {
+
+void appendJsonString(std::string& out, std::string_view value) {
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void appendArg(std::string& out, bool& firstArg, std::string_view key,
+               std::uint64_t value) {
+  if (!firstArg) out += ',';
+  firstArg = false;
+  appendJsonString(out, key);
+  out += ':';
+  out += std::to_string(value);
+}
+
+std::string renderArgs(const TraceEvent& event) {
+  std::string out = "{";
+  bool first = true;
+  appendArg(out, first, "seq", event.seq);
+  switch (event.kind) {
+    case TraceEventKind::kStateCreate:
+      appendArg(out, first, "state", event.stateId);
+      appendArg(out, first, "group", event.groupId);
+      break;
+    case TraceEventKind::kStateFork: {
+      appendArg(out, first, "state", event.stateId);
+      appendArg(out, first, "parent", event.parentStateId);
+      appendArg(out, first, "group", event.groupId);
+      out += ",\"cause\":";
+      appendJsonString(out,
+                       forkCauseName(static_cast<ForkCause>(event.detail)));
+      break;
+    }
+    case TraceEventKind::kStateTerminate:
+      appendArg(out, first, "state", event.stateId);
+      break;
+    case TraceEventKind::kPacketTransmit:
+      appendArg(out, first, "state", event.stateId);
+      appendArg(out, first, "packet", event.packetId);
+      appendArg(out, first, "dst", event.peer);
+      appendArg(out, first, "receivers", event.a);
+      break;
+    case TraceEventKind::kPacketDeliver:
+      appendArg(out, first, "state", event.stateId);
+      appendArg(out, first, "packet", event.packetId);
+      appendArg(out, first, "src", event.peer);
+      break;
+    case TraceEventKind::kMappingInvoked:
+      appendArg(out, first, "packet", event.packetId);
+      appendArg(out, first, "group", event.groupId);
+      appendArg(out, first, "targets_forked", event.a);
+      appendArg(out, first, "bystanders_forked", event.b);
+      break;
+    case TraceEventKind::kGroupFork:
+      appendArg(out, first, "group", event.groupId);
+      appendArg(out, first, "source_group", event.a);
+      appendArg(out, first, "forks", event.b);
+      appendArg(out, first, "detail", event.detail);
+      break;
+    case TraceEventKind::kCheckpointSuspend:
+    case TraceEventKind::kCheckpointRestore:
+      appendArg(out, first, "events_processed", event.a);
+      break;
+    case TraceEventKind::kSolverQuery: {
+      appendArg(out, first, "conjuncts", event.a);
+      appendArg(out, first, "sat", event.b);
+      out += ",\"source\":";
+      appendJsonString(
+          out,
+          solverQueryDetailName(static_cast<SolverQueryDetail>(event.detail)));
+      break;
+    }
+    default:
+      break;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+void exportChromeTrace(std::ostream& os, const TraceFile& trace) {
+  os << "{\"traceEvents\":[";
+  bool firstRecord = true;
+  const auto comma = [&] {
+    if (!firstRecord) os << ",\n";
+    firstRecord = false;
+  };
+
+  // Name the pid/tid lanes up front so the viewer shows "stream N" /
+  // "node N" instead of bare numbers.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> lanes;
+  std::set<std::uint32_t> streams;
+  for (const TraceEvent& event : trace.events) {
+    lanes.insert({event.stream, event.node});
+    streams.insert(event.stream);
+  }
+  for (const std::uint32_t stream : streams) {
+    comma();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << stream
+       << ",\"tid\":0,\"args\":{\"name\":\"stream " << stream << "\"}}";
+  }
+  for (const auto& [stream, node] : lanes) {
+    comma();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << stream
+       << ",\"tid\":" << node << ",\"args\":{\"name\":\"node " << node
+       << "\"}}";
+  }
+
+  for (const TraceEvent& event : trace.events) {
+    comma();
+    std::string name;
+    appendJsonString(name, traceEventKindName(event.kind));
+    os << "{\"name\":" << name << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+       << event.time << ",\"pid\":" << event.stream
+       << ",\"tid\":" << event.node << ",\"args\":" << renderArgs(event)
+       << "}";
+  }
+
+  std::string mapper;
+  appendJsonString(mapper, trace.header.mapper);
+  std::string scenario;
+  appendJsonString(scenario, trace.header.scenario);
+  os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"mapper\":" << mapper
+     << ",\"scenario\":" << scenario
+     << ",\"numNodes\":" << trace.header.numNodes
+     << ",\"merged\":" << (trace.header.merged ? "true" : "false") << "}}\n";
+  if (!os.good()) throw TraceError("chrome trace export write failed");
+}
+
+void exportChromeTraceFile(const std::string& path, const TraceFile& trace) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw TraceError("cannot create chrome trace file " + path);
+  exportChromeTrace(os, trace);
+  os.flush();
+  if (!os.good()) throw TraceError("chrome trace export failed: " + path);
+}
+
+}  // namespace sde::obs

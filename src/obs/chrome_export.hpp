@@ -1,0 +1,21 @@
+// Chrome trace_event JSON exporter: renders an SDE trace as instant
+// events loadable in chrome://tracing and Perfetto.
+//
+// Mapping onto the viewer's model: pid = trace stream (partition job),
+// tid = node, ts = virtual time (1 virtual time unit rendered as 1 µs).
+// Kind-specific payloads land in `args`, so clicking an event in the
+// viewer shows the lineage ids. Ties in virtual time keep file order
+// (the deterministic merge order), which the viewer preserves.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace_io.hpp"
+
+namespace sde::obs {
+
+void exportChromeTrace(std::ostream& os, const TraceFile& trace);
+void exportChromeTraceFile(const std::string& path, const TraceFile& trace);
+
+}  // namespace sde::obs

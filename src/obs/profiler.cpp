@@ -1,0 +1,74 @@
+#include "obs/profiler.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace sde::obs {
+
+std::string_view phaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kInterp:
+      return "interp";
+    case Phase::kMapping:
+      return "mapping";
+    case Phase::kSolver:
+      return "solver";
+    case Phase::kCheckpoint:
+      return "checkpoint";
+    case Phase::kScheduler:
+      return "scheduler";
+    case Phase::kNumPhases:
+      break;
+  }
+  return "?";
+}
+
+std::uint64_t PhaseProfile::totalNanos() const {
+  std::uint64_t total = 0;
+  for (const Entry& entry : phases) total += entry.nanos;
+  return total;
+}
+
+bool PhaseProfile::empty() const {
+  for (const Entry& entry : phases)
+    if (entry.nanos != 0 || entry.calls != 0) return false;
+  return true;
+}
+
+void PhaseProfile::toStats(support::StatsRegistry& stats) const {
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const std::string prefix =
+        "profile." + std::string(phaseName(static_cast<Phase>(i)));
+    stats.bump(prefix + ".micros", phases[i].nanos / 1000);
+    stats.bump(prefix + ".calls", phases[i].calls);
+  }
+}
+
+std::string PhaseProfile::report() const {
+  const std::uint64_t total = totalNanos();
+  std::ostringstream os;
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const Entry& entry = phases[i];
+    const double millis = static_cast<double>(entry.nanos) / 1e6;
+    const double share =
+        total == 0 ? 0.0
+                   : 100.0 * static_cast<double>(entry.nanos) /
+                         static_cast<double>(total);
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-10s %10.2f ms  %10llu calls  %5.1f%%\n",
+                  std::string(phaseName(static_cast<Phase>(i))).c_str(), millis,
+                  static_cast<unsigned long long>(entry.calls), share);
+    os << line;
+  }
+  return os.str();
+}
+
+PhaseProfile& PhaseProfile::mergeFrom(const PhaseProfile& other) {
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    phases[i].nanos += other.phases[i].nanos;
+    phases[i].calls += other.phases[i].calls;
+  }
+  return *this;
+}
+
+}  // namespace sde::obs

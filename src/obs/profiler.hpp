@@ -1,0 +1,120 @@
+// Scoped phase profiler: where does the wall-clock go — interpretation,
+// mapping, solving, checkpointing, or scheduling?
+//
+// Accounting is *self-time*: entering a nested phase pauses the
+// enclosing one, so the per-phase totals partition the instrumented
+// wall-time instead of double-counting it (solver time spent inside an
+// interpreter step is charged to kSolver, not to both). The profiler is
+// opt-in and pointer-guarded exactly like the trace sink: a null
+// profiler costs one compare per scope, no clock read.
+//
+// The profiler is NOT thread-safe by design — each Engine is
+// single-threaded and owns at most one; a partitioned run uses one
+// profiler per job and merges the snapshots.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/stats.hpp"
+
+namespace sde::obs {
+
+enum class Phase : std::uint8_t {
+  kInterp = 0,      // event dispatch / bytecode interpretation
+  kMapping,         // StateMapper::onTransmit / onLocalBranch
+  kSolver,          // solver facade entry points
+  kCheckpoint,      // Engine::checkpoint / restore
+  kScheduler,       // scheduler pop + re-registration
+  kNumPhases,
+};
+inline constexpr std::size_t kNumPhases =
+    static_cast<std::size_t>(Phase::kNumPhases);
+
+[[nodiscard]] std::string_view phaseName(Phase phase);
+
+// Deterministic-shape snapshot of a profiler (or of a trace file's
+// profile section): per-phase self-time and enter counts.
+struct PhaseProfile {
+  struct Entry {
+    std::uint64_t nanos = 0;
+    std::uint64_t calls = 0;
+  };
+  std::array<Entry, kNumPhases> phases{};
+
+  [[nodiscard]] std::uint64_t totalNanos() const;
+  [[nodiscard]] bool empty() const;
+  // Folds per-phase totals into a StatsRegistry as
+  // "profile.<phase>.micros" / "profile.<phase>.calls" — the bench
+  // report surface. Micros, not nanos: these counters are summed by
+  // StatsRegistry::mergeFrom across a fleet and stay readable.
+  void toStats(support::StatsRegistry& stats) const;
+  // Rendered table rows: phase, self time, calls, share of total.
+  [[nodiscard]] std::string report() const;
+
+  PhaseProfile& mergeFrom(const PhaseProfile& other);
+};
+
+class PhaseProfiler {
+ public:
+  void enter(Phase phase) {
+    const auto now = Clock::now();
+    if (!stack_.empty()) accumulate(stack_.back(), now);
+    stack_.push_back(phase);
+    ++profile_.phases[index(phase)].calls;
+    sliceStart_ = now;
+  }
+  void exit() {
+    SDE_ASSERT(!stack_.empty(), "phase exit without matching enter");
+    accumulate(stack_.back(), Clock::now());
+    stack_.pop_back();
+    sliceStart_ = Clock::now();
+  }
+
+  [[nodiscard]] const PhaseProfile& profile() const {
+    SDE_ASSERT(stack_.empty(), "profile read inside an open phase scope");
+    return profile_;
+  }
+  void clear() {
+    SDE_ASSERT(stack_.empty(), "clear inside an open phase scope");
+    profile_ = PhaseProfile{};
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static std::size_t index(Phase phase) {
+    return static_cast<std::size_t>(phase);
+  }
+  void accumulate(Phase phase, Clock::time_point now) {
+    profile_.phases[index(phase)].nanos += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - sliceStart_)
+            .count());
+  }
+
+  PhaseProfile profile_;
+  std::vector<Phase> stack_;
+  Clock::time_point sliceStart_{};
+};
+
+// RAII scope; null profiler => a single pointer compare, nothing else.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseProfiler* profiler, Phase phase) : profiler_(profiler) {
+    if (profiler_ != nullptr) profiler_->enter(phase);
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+  ~ScopedPhase() {
+    if (profiler_ != nullptr) profiler_->exit();
+  }
+
+ private:
+  PhaseProfiler* profiler_;
+};
+
+}  // namespace sde::obs

@@ -1,0 +1,64 @@
+#include "obs/trace_event.hpp"
+
+namespace sde::obs {
+
+std::string_view traceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kStateCreate:
+      return "state_create";
+    case TraceEventKind::kStateFork:
+      return "state_fork";
+    case TraceEventKind::kStateTerminate:
+      return "state_terminate";
+    case TraceEventKind::kPacketTransmit:
+      return "packet_transmit";
+    case TraceEventKind::kPacketDeliver:
+      return "packet_deliver";
+    case TraceEventKind::kMappingInvoked:
+      return "mapping_invoked";
+    case TraceEventKind::kGroupFork:
+      return "group_fork";
+    case TraceEventKind::kCheckpointSuspend:
+      return "checkpoint_suspend";
+    case TraceEventKind::kCheckpointRestore:
+      return "checkpoint_restore";
+    case TraceEventKind::kSolverQuery:
+      return "solver_query";
+  }
+  return "?";
+}
+
+std::string_view forkCauseName(ForkCause cause) {
+  switch (cause) {
+    case ForkCause::kBranch:
+      return "branch";
+    case ForkCause::kFailure:
+      return "failure";
+    case ForkCause::kMapping:
+      return "mapping";
+  }
+  return "?";
+}
+
+std::string_view solverQueryDetailName(SolverQueryDetail detail) {
+  switch (detail) {
+    case SolverQueryDetail::kConstant:
+      return "constant";
+    case SolverQueryDetail::kCacheHit:
+      return "cache_hit";
+    case SolverQueryDetail::kModelReuse:
+      return "model_reuse";
+    case SolverQueryDetail::kInterval:
+      return "interval_refuted";
+    case SolverQueryDetail::kEnumerated:
+      return "enumerated";
+  }
+  return "?";
+}
+
+bool validTraceEventKind(std::uint8_t kind) {
+  return kind >= static_cast<std::uint8_t>(TraceEventKind::kStateCreate) &&
+         kind < kNumTraceEventKinds;
+}
+
+}  // namespace sde::obs

@@ -1,0 +1,87 @@
+// Structured trace events — the observability layer's vocabulary.
+//
+// Every record answers the paper's central question ("where do states
+// and memory come from?") for one concrete occurrence: a state fork
+// carries its causal lineage (parent -> child), a mapping invocation
+// carries how many targets and bystanders it forked, a solver query
+// carries whether the cache answered it. Records are plain data and
+// strictly deterministic: virtual time, sequence numbers and ids only —
+// never wall-clock — so the merged trace of a partitioned run is
+// byte-identical for any worker count (the same contract
+// trace::stitchSamples keeps for metric samples).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sde::obs {
+
+enum class TraceEventKind : std::uint8_t {
+  kStateCreate = 1,     // boot: one initial state per node
+  kStateFork,           // parentStateId forked into stateId (detail: ForkCause)
+  kStateTerminate,      // stateId finished or crashed during a delivery
+  kPacketTransmit,      // stateId sent packetId node -> peer; a = #receivers
+  kPacketDeliver,       // stateId received packetId from peer
+  kMappingInvoked,      // onTransmit summary: a = targets forked,
+                        // b = bystanders forked, groupId = sender's group
+  kGroupFork,           // mapper grouping split (detail: GroupForkDetail);
+                        // groupId = new group, a = source group, b = forks
+  kCheckpointSuspend,   // engine serialized mid-run; a = events processed
+  kCheckpointRestore,   // engine resumed from a checkpoint; a = events
+  kSolverQuery,         // detail: SolverQueryDetail; a = conjunction size,
+                        // b = 1 if satisfiable (0 unsat, 2 exhausted)
+};
+inline constexpr std::uint8_t kNumTraceEventKinds = 11;  // 1-based sentinel
+
+// Why a state fork happened. kBranch and kFailure together are the
+// engine's "local" forks; kMapping forks are performed by the mapping
+// algorithm (COW bystander copies, SDS target copies, COB dscenario
+// materialisation) — the quantity Table I is about.
+enum class ForkCause : std::uint8_t {
+  kBranch = 1,   // symbolic branch in the interpreter
+  kFailure = 2,  // symbolic network-failure decision
+  kMapping = 3,  // fork performed by the mapping algorithm
+};
+
+enum class GroupForkDetail : std::uint8_t {
+  kScenarioFork = 1,  // COB: a local branch materialised a new dscenario
+  kDstateSplit = 2,   // COW: conflict resolution split off a fresh dstate
+  kVirtualSplit = 3,  // SDS: virtual-level conflict resolution
+};
+
+enum class SolverQueryDetail : std::uint8_t {
+  kConstant = 1,    // refuted by a constant-false conjunct
+  kCacheHit = 2,    // exact query-cache hit
+  kModelReuse = 3,  // satisfied by re-checking a cached model
+  kInterval = 4,    // refuted by interval analysis
+  kEnumerated = 5,  // answered by model enumeration
+};
+
+// One trace record. `seq` is a per-stream strictly consecutive counter
+// assigned by the sink; `stream` identifies the producing engine in a
+// merged multi-worker trace (the partition job id). Unused fields stay
+// zero for kinds that do not need them.
+struct TraceEvent {
+  TraceEventKind kind{};
+  std::uint8_t detail = 0;   // ForkCause / GroupForkDetail / SolverQueryDetail
+  std::uint32_t stream = 0;  // producing stream (partition job id)
+  std::uint32_t node = 0;    // node the record is about (sender/owner)
+  std::uint32_t peer = 0;    // other endpoint (packet destination/source)
+  std::uint64_t time = 0;    // virtual time (stamped by the sink)
+  std::uint64_t seq = 0;     // per-stream consecutive (stamped by the sink)
+  std::uint64_t stateId = 0;
+  std::uint64_t parentStateId = 0;
+  std::uint64_t groupId = 0;
+  std::uint64_t packetId = 0;
+  std::uint64_t a = 0;  // kind-specific payload (see the kind comments)
+  std::uint64_t b = 0;
+
+  [[nodiscard]] bool operator==(const TraceEvent&) const = default;
+};
+
+[[nodiscard]] std::string_view traceEventKindName(TraceEventKind kind);
+[[nodiscard]] std::string_view forkCauseName(ForkCause cause);
+[[nodiscard]] std::string_view solverQueryDetailName(SolverQueryDetail detail);
+[[nodiscard]] bool validTraceEventKind(std::uint8_t kind);
+
+}  // namespace sde::obs

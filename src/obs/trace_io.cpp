@@ -1,0 +1,172 @@
+#include "obs/trace_io.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "snapshot/error.hpp"
+#include "snapshot/reader.hpp"
+#include "snapshot/writer.hpp"
+
+namespace sde::obs {
+
+namespace {
+
+void writeHeader(snapshot::Writer& out, const TraceHeader& header) {
+  out.magic(kTraceMagic);
+  out.u32(kTraceVersion);
+  out.u32(header.numNodes);
+  out.u32(header.stream);
+  out.b(header.merged);
+  out.str(header.mapper);
+  out.str(header.scenario);
+}
+
+void writeEvent(snapshot::Writer& out, const TraceEvent& event) {
+  out.u8(static_cast<std::uint8_t>(event.kind));
+  out.u8(event.detail);
+  out.u32(event.stream);
+  out.u32(event.node);
+  out.u32(event.peer);
+  out.u64(event.time);
+  out.u64(event.seq);
+  out.u64(event.stateId);
+  out.u64(event.parentStateId);
+  out.u64(event.groupId);
+  out.u64(event.packetId);
+  out.u64(event.a);
+  out.u64(event.b);
+}
+
+void writeTail(snapshot::Writer& out, const PhaseProfile& profile) {
+  out.u8(kTraceEventTerminator);
+  out.b(!profile.empty());
+  if (!profile.empty()) {
+    out.u64(kNumPhases);
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+      out.str(phaseName(static_cast<Phase>(i)));
+      out.u64(profile.phases[i].nanos);
+      out.u64(profile.phases[i].calls);
+    }
+  }
+  out.magic(kTraceTrailer);
+}
+
+}  // namespace
+
+StreamTraceSink::StreamTraceSink(std::ostream& os, TraceHeader header)
+    : os_(os) {
+  setStream(header.stream);
+  snapshot::Writer out(os_);
+  writeHeader(out, header);
+  if (!out.ok()) throw TraceError("trace header write failed");
+}
+
+StreamTraceSink::~StreamTraceSink() {
+  try {
+    close();
+  } catch (const TraceError&) {
+    // Destructors must not throw; a close() failure after an explicit
+    // close would already have surfaced to the caller.
+  }
+}
+
+void StreamTraceSink::record(const TraceEvent& event) {
+  snapshot::Writer out(os_);
+  writeEvent(out, event);
+}
+
+void StreamTraceSink::close() {
+  if (closed_) return;
+  closed_ = true;
+  snapshot::Writer out(os_);
+  writeTail(out, profile_);
+  os_.flush();
+  if (!out.ok()) throw TraceError("trace stream write failed");
+}
+
+TraceFile readTrace(std::istream& is) {
+  snapshot::Reader in(is);
+  TraceFile trace;
+  try {
+    in.expectMagic(kTraceMagic, "not an SDE trace file");
+    const std::uint32_t version = in.u32();
+    if (version != kTraceVersion)
+      throw TraceError("unsupported trace version " + std::to_string(version) +
+                       " (this build reads " + std::to_string(kTraceVersion) +
+                       ")");
+    trace.header.numNodes = in.u32();
+    trace.header.stream = in.u32();
+    trace.header.merged = in.b();
+    trace.header.mapper = in.str();
+    trace.header.scenario = in.str();
+
+    while (true) {
+      const std::uint8_t kind = in.u8();
+      if (kind == kTraceEventTerminator) break;
+      if (!validTraceEventKind(kind))
+        throw TraceError("unknown trace event kind " + std::to_string(kind) +
+                         " (corrupt or truncated file)");
+      TraceEvent event;
+      event.kind = static_cast<TraceEventKind>(kind);
+      event.detail = in.u8();
+      event.stream = in.u32();
+      event.node = in.u32();
+      event.peer = in.u32();
+      event.time = in.u64();
+      event.seq = in.u64();
+      event.stateId = in.u64();
+      event.parentStateId = in.u64();
+      event.groupId = in.u64();
+      event.packetId = in.u64();
+      event.a = in.u64();
+      event.b = in.u64();
+      trace.events.push_back(event);
+    }
+
+    if (in.b()) {
+      const std::uint64_t numPhases = in.u64();
+      for (std::uint64_t i = 0; i < numPhases; ++i) {
+        const std::string name = in.str();
+        const std::uint64_t nanos = in.u64();
+        const std::uint64_t calls = in.u64();
+        // Tolerate phase-set evolution: names this build does not know
+        // are dropped rather than rejected.
+        for (std::size_t p = 0; p < kNumPhases; ++p) {
+          if (phaseName(static_cast<Phase>(p)) == name) {
+            trace.profile.phases[p].nanos = nanos;
+            trace.profile.phases[p].calls = calls;
+            break;
+          }
+        }
+      }
+    }
+    in.expectMagic(kTraceTrailer, "trace trailer missing (torn file)");
+  } catch (const snapshot::SnapshotError& e) {
+    throw TraceError(e.what());
+  }
+  return trace;
+}
+
+TraceFile readTraceFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw TraceError("cannot open trace file " + path);
+  return readTrace(is);
+}
+
+void writeTrace(std::ostream& os, const TraceFile& trace) {
+  snapshot::Writer out(os);
+  writeHeader(out, trace.header);
+  for (const TraceEvent& event : trace.events) writeEvent(out, event);
+  writeTail(out, trace.profile);
+  if (!out.ok()) throw TraceError("trace write failed");
+}
+
+void writeTraceFile(const std::string& path, const TraceFile& trace) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw TraceError("cannot create trace file " + path);
+  writeTrace(os, trace);
+  os.flush();
+  if (!os.good()) throw TraceError("trace file write failed: " + path);
+}
+
+}  // namespace sde::obs

@@ -1,0 +1,88 @@
+// Binary trace container: framing, streaming writer sink, and a
+// whole-file reader.
+//
+// Layout (all primitives via snapshot::Writer — little-endian, fixed
+// width):
+//
+//   magic "SDETRACE" | u32 version | header | event records... |
+//   u8 0xFF terminator | profile section | magic "SDETREND"
+//
+// Events are streamed as they are emitted (the writer never buffers the
+// whole run), each prefixed by its kind byte; 0xFF ends the sequence so
+// the reader needs no up-front count. The optional profile section
+// carries the phase profiler's totals — the only wall-clock data in the
+// file, which is why the multi-worker merge (trace_merge.hpp) drops it:
+// merged traces must be byte-identical across runs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/profiler.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace sde::obs {
+
+inline constexpr std::string_view kTraceMagic = "SDETRACE";
+inline constexpr std::string_view kTraceTrailer = "SDETREND";
+inline constexpr std::uint32_t kTraceVersion = 1;
+inline constexpr std::uint8_t kTraceEventTerminator = 0xFF;
+
+class TraceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Identity of the producing run; free-form fields are informational
+// (the CLI prints them), numNodes feeds validation.
+struct TraceHeader {
+  std::uint32_t numNodes = 0;
+  std::uint32_t stream = 0;     // partition job id (0 for single runs)
+  bool merged = false;          // true: multi-stream merge output
+  std::string mapper;           // mapping algorithm name
+  std::string scenario;         // free-form scenario label
+};
+
+// A fully parsed trace.
+struct TraceFile {
+  TraceHeader header;
+  std::vector<TraceEvent> events;
+  PhaseProfile profile;  // empty() when the file carries no profile
+};
+
+// Streaming sink writing the container to `os` as events arrive. The
+// stream must outlive the sink; close() (or destruction) writes the
+// terminator, the profile section and the trailer. A profile attached
+// via setProfile before close lands in the file.
+class StreamTraceSink final : public TraceSink {
+ public:
+  StreamTraceSink(std::ostream& os, TraceHeader header);
+  ~StreamTraceSink() override;
+
+  void setProfile(const PhaseProfile& profile) { profile_ = profile; }
+  // Finalizes the container; idempotent. Throws TraceError if the
+  // stream went bad (disk full surfaces here, not as a torn file).
+  void close();
+
+ protected:
+  void record(const TraceEvent& event) override;
+
+ private:
+  std::ostream& os_;
+  PhaseProfile profile_;
+  bool closed_ = false;
+};
+
+// Whole-file reader; throws TraceError on foreign magic, version
+// mismatch, truncation, or an unknown event kind.
+[[nodiscard]] TraceFile readTrace(std::istream& is);
+[[nodiscard]] TraceFile readTraceFile(const std::string& path);
+
+// One-shot writer (merge output, tests).
+void writeTrace(std::ostream& os, const TraceFile& trace);
+void writeTraceFile(const std::string& path, const TraceFile& trace);
+
+}  // namespace sde::obs

@@ -1,0 +1,54 @@
+#include "obs/trace_merge.hpp"
+
+#include <algorithm>
+
+namespace sde::obs {
+
+TraceFile mergeTraces(std::span<const TraceFile> inputs) {
+  TraceFile merged;
+  merged.header.merged = true;
+  if (inputs.empty()) return merged;
+
+  merged.header.numNodes = inputs.front().header.numNodes;
+  merged.header.mapper = inputs.front().header.mapper;
+  merged.header.scenario = inputs.front().header.scenario;
+  for (const TraceFile& input : inputs) {
+    if (input.header.numNodes != merged.header.numNodes)
+      throw TraceError("refusing to merge traces of different networks (" +
+                       std::to_string(input.header.numNodes) + " vs " +
+                       std::to_string(merged.header.numNodes) + " nodes)");
+  }
+
+  struct Keyed {
+    TraceEvent event;
+    std::size_t inputIndex = 0;
+  };
+  std::vector<Keyed> keyed;
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    for (const TraceEvent& event : inputs[i].events)
+      keyed.push_back({event, i});
+  // The stitchSamples key, verbatim: virtual time, then the per-stream
+  // progress counter (seq here, events there), then input index.
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const Keyed& a, const Keyed& b) {
+                     if (a.event.time != b.event.time)
+                       return a.event.time < b.event.time;
+                     if (a.event.seq != b.event.seq)
+                       return a.event.seq < b.event.seq;
+                     return a.inputIndex < b.inputIndex;
+                   });
+  merged.events.reserve(keyed.size());
+  for (const Keyed& k : keyed) merged.events.push_back(k.event);
+  return merged;
+}
+
+void mergeTraceFiles(std::span<const std::string> inputPaths,
+                     const std::string& outputPath) {
+  std::vector<TraceFile> inputs;
+  inputs.reserve(inputPaths.size());
+  for (const std::string& path : inputPaths)
+    inputs.push_back(readTraceFile(path));
+  writeTraceFile(outputPath, mergeTraces(inputs));
+}
+
+}  // namespace sde::obs

@@ -1,0 +1,33 @@
+// Deterministic multi-stream trace merge.
+//
+// Mirrors trace::stitchSamples exactly: events are ordered by virtual
+// time first, equal times by the per-stream sequence number, full ties
+// by input-stream index — and the sort is stable, so one stream's
+// events never reorder. The key never looks at wall-clock (there is
+// none in a trace) or thread interleaving, so merging the per-job
+// traces of a partitioned run produces byte-identical output for any
+// worker count.
+//
+// The merged header keeps numNodes/mapper/scenario from the first input
+// (inputs must agree on numNodes) and sets `merged`; per-stream
+// identity lives on in each event's `stream` field. Profile sections
+// are deliberately dropped: they carry wall-clock totals, which would
+// break byte-identity across runs.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/trace_io.hpp"
+
+namespace sde::obs {
+
+[[nodiscard]] TraceFile mergeTraces(std::span<const TraceFile> inputs);
+
+// Reads `inputPaths` in order (the order defines the tie-break stream
+// index) and writes the merged container to `outputPath`.
+void mergeTraceFiles(std::span<const std::string> inputPaths,
+                     const std::string& outputPath);
+
+}  // namespace sde::obs

@@ -1,0 +1,75 @@
+// Trace sink interface. Emitters (engine, mappers, solver) hold a plain
+// `TraceSink*` that is nullptr when tracing is off — the entire cost of
+// a disabled tracer is one pointer compare per emit site, no allocation,
+// no virtual call.
+//
+// The sink owns the two deterministic stamps every record carries: the
+// ambient virtual time (set by the engine once per processed event, so
+// emitters below the engine — the solver, the mappers — need no clock
+// of their own) and the per-stream sequence number (strictly
+// consecutive; serialized into checkpoints so a resumed run continues
+// numbering where the suspended run stopped).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace_event.hpp"
+
+namespace sde::obs {
+
+class TraceSink {
+ public:
+  TraceSink() = default;
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+  virtual ~TraceSink() = default;
+
+  // Stamps `event` with the ambient virtual time, the stream id and the
+  // next sequence number, then records it.
+  void emit(TraceEvent event) {
+    event.time = ambientTime_;
+    event.seq = nextSeq_++;
+    event.stream = stream_;
+    record(event);
+  }
+
+  void setAmbientTime(std::uint64_t virtualTime) {
+    ambientTime_ = virtualTime;
+  }
+  [[nodiscard]] std::uint64_t ambientTime() const { return ambientTime_; }
+
+  void setStream(std::uint32_t stream) { stream_ = stream; }
+  [[nodiscard]] std::uint32_t stream() const { return stream_; }
+
+  // Checkpoint continuity: the engine serializes nextSeq() and a resumed
+  // run re-applies it, so the post-resume stream picks up numbering
+  // exactly after the suspend record.
+  void setNextSeq(std::uint64_t seq) { nextSeq_ = seq; }
+  [[nodiscard]] std::uint64_t nextSeq() const { return nextSeq_; }
+
+ protected:
+  virtual void record(const TraceEvent& event) = 0;
+
+ private:
+  std::uint64_t ambientTime_ = 0;
+  std::uint64_t nextSeq_ = 0;
+  std::uint32_t stream_ = 0;
+};
+
+// In-memory sink for tests and programmatic inspection.
+class MemoryTraceSink final : public TraceSink {
+ public:
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  void clear() { events_.clear(); }
+
+ protected:
+  void record(const TraceEvent& event) override { events_.push_back(event); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace sde::obs

@@ -1,5 +1,6 @@
 #include "sde/cob.hpp"
 
+#include "obs/trace_sink.hpp"
 #include "snapshot/reader.hpp"
 #include "snapshot/writer.hpp"
 
@@ -31,6 +32,7 @@ void CobMapper::onLocalBranch(ExecutionState& original,
   Scenario& scenario = scenarios_.emplace_back();
   scenario.id = nextScenarioId_++;
   scenario.byNode.resize(numNodes_);
+  std::uint64_t copies = 0;
   for (NodeId node = 0; node < numNodes_; ++node) {
     ExecutionState* member = orig.byNode[node];
     if (member == &original) {
@@ -40,8 +42,21 @@ void CobMapper::onLocalBranch(ExecutionState& original,
     ExecutionState& copy = runtime.forkState(*member);
     scenario.byNode[node] = &copy;
     runtime.stats().bump("map.cob.scenario_copies");
+    ++copies;
   }
   for (ExecutionState* state : scenario.byNode) scenarioOf_[state] = &scenario;
+  if (obs::TraceSink* trace = runtime.trace()) {
+    obs::TraceEvent event;
+    event.kind = obs::TraceEventKind::kGroupFork;
+    event.detail =
+        static_cast<std::uint8_t>(obs::GroupForkDetail::kScenarioFork);
+    event.node = original.node();
+    event.stateId = sibling.id();
+    event.groupId = scenario.id;
+    event.a = orig.id;
+    event.b = copies;
+    trace->emit(event);
+  }
 }
 
 std::vector<ExecutionState*> CobMapper::onTransmit(ExecutionState& sender,

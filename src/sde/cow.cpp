@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace_sink.hpp"
 #include "snapshot/reader.hpp"
 #include "snapshot/writer.hpp"
 
@@ -65,12 +66,15 @@ std::vector<ExecutionState*> CowMapper::onTransmit(ExecutionState& sender,
   runtime.stats().bump("map.cow.conflict_resolutions");
   DState& fresh = dstates_.emplace_back(numNodes_);
   DState& old = mutableDstateOf(sender);  // deque kept `old` stable
+  const std::uint64_t oldId = old.id;
   fresh.id = nextDstateId_++;
 
   old.members.remove(&sender);
   fresh.members.add(&sender);
   dstateOf_[&sender] = &fresh;
 
+  std::uint64_t targetsForked = 0;
+  std::uint64_t bystandersForked = 0;
   std::vector<ExecutionState*> receivers;
   for (NodeId node = 0; node < numNodes_; ++node) {
     if (node == sender.node()) continue;  // rivals stay, sender moved
@@ -81,12 +85,37 @@ std::vector<ExecutionState*> CowMapper::onTransmit(ExecutionState& sender,
       if (node == dst) {
         receivers.push_back(&copy);
         runtime.stats().bump("map.targets_forked");
+        ++targetsForked;
       } else {
         runtime.stats().bump("map.bystanders_forked");
+        ++bystandersForked;
       }
     }
   }
   SDE_ASSERT(!receivers.empty(), "dstate must cover the destination node");
+  if (obs::TraceSink* trace = runtime.trace()) {
+    obs::TraceEvent split;
+    split.kind = obs::TraceEventKind::kGroupFork;
+    split.detail =
+        static_cast<std::uint8_t>(obs::GroupForkDetail::kDstateSplit);
+    split.node = sender.node();
+    split.stateId = sender.id();
+    split.groupId = fresh.id;
+    split.a = oldId;
+    split.b = targetsForked + bystandersForked;
+    trace->emit(split);
+
+    obs::TraceEvent invoked;
+    invoked.kind = obs::TraceEventKind::kMappingInvoked;
+    invoked.node = sender.node();
+    invoked.peer = dst;
+    invoked.stateId = sender.id();
+    invoked.groupId = fresh.id;
+    invoked.packetId = packet.id;
+    invoked.a = targetsForked;
+    invoked.b = bystandersForked;
+    trace->emit(invoked);
+  }
   return receivers;
 }
 

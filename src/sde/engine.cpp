@@ -92,6 +92,25 @@ void Engine::boot() {
   if (sharedCaps_ != nullptr) sharedCaps_->noteStatesCreated(initial.size());
   mapper_->registerInitialStates(initial);
   for (ExecutionState* state : initial) scheduler_.registerState(*state);
+  if (trace_ != nullptr) {
+    for (const ExecutionState* state : initial) {
+      obs::TraceEvent event;
+      event.kind = obs::TraceEventKind::kStateCreate;
+      event.node = state->node();
+      event.stateId = state->id();
+      trace_->emit(event);
+    }
+  }
+}
+
+void Engine::setTraceSink(obs::TraceSink* sink) {
+  trace_ = sink;
+  solver_.setTraceSink(sink);
+}
+
+void Engine::setProfiler(obs::PhaseProfiler* profiler) {
+  profiler_ = profiler;
+  solver_.setProfiler(profiler);
 }
 
 ExecutionState& Engine::cloneInternal(ExecutionState& original) {
@@ -106,15 +125,28 @@ ExecutionState& Engine::cloneInternal(ExecutionState& original) {
   return ref;
 }
 
-ExecutionState& Engine::forkLocal(ExecutionState& original) {
+ExecutionState& Engine::forkLocal(ExecutionState& original,
+                                  obs::ForkCause cause) {
   ExecutionState& sibling = cloneInternal(original);
   stats_.bump("engine.forks_local");
-  mapper_->onLocalBranch(original, sibling, mapperRuntime_);
+  if (trace_ != nullptr) {
+    obs::TraceEvent event;
+    event.kind = obs::TraceEventKind::kStateFork;
+    event.detail = static_cast<std::uint8_t>(cause);
+    event.node = original.node();
+    event.stateId = sibling.id();
+    event.parentStateId = original.id();
+    trace_->emit(event);
+  }
+  {
+    obs::ScopedPhase phase(profiler_, obs::Phase::kMapping);
+    mapper_->onLocalBranch(original, sibling, mapperRuntime_);
+  }
   return sibling;
 }
 
 ExecutionState& Engine::InterpSink::forkState(ExecutionState& original) {
-  return engine_.forkLocal(original);
+  return engine_.forkLocal(original, obs::ForkCause::kBranch);
 }
 
 void Engine::InterpSink::onSend(ExecutionState& sender, NodeId dst,
@@ -146,10 +178,21 @@ void Engine::InterpSink::onLog(ExecutionState& state,
 ExecutionState& Engine::Runtime::forkState(ExecutionState& original) {
   ExecutionState& clone = engine_.cloneInternal(original);
   engine_.stats_.bump("engine.forks_mapping");
+  if (engine_.trace_ != nullptr) {
+    obs::TraceEvent event;
+    event.kind = obs::TraceEventKind::kStateFork;
+    event.detail = static_cast<std::uint8_t>(obs::ForkCause::kMapping);
+    event.node = original.node();
+    event.stateId = clone.id();
+    event.parentStateId = original.id();
+    engine_.trace_->emit(event);
+  }
   return clone;
 }
 
 support::StatsRegistry& Engine::Runtime::stats() { return engine_.stats_; }
+
+obs::TraceSink* Engine::Runtime::trace() { return engine_.trace_; }
 
 void Engine::sendOne(ExecutionState& sender, NodeId dst,
                      const std::vector<expr::Ref>& payload) {
@@ -169,9 +212,22 @@ void Engine::sendOne(ExecutionState& sender, NodeId dst,
   packet.sendTime = sender.clock;
   packet.payload = payload;
 
-  const std::vector<ExecutionState*> receivers =
-      mapper_->onTransmit(sender, packet, mapperRuntime_);
+  std::vector<ExecutionState*> receivers;
+  {
+    obs::ScopedPhase phase(profiler_, obs::Phase::kMapping);
+    receivers = mapper_->onTransmit(sender, packet, mapperRuntime_);
+  }
   stats_.bump("engine.packets");
+  if (trace_ != nullptr) {
+    obs::TraceEvent event;
+    event.kind = obs::TraceEventKind::kPacketTransmit;
+    event.node = sender.node();
+    event.peer = dst;
+    event.stateId = sender.id();
+    event.packetId = packet.id;
+    event.a = receivers.size();
+    trace_->emit(event);
+  }
 
   sender.commLog.push_back({/*sent=*/true, dst, sender.clock,
                             packet.payloadHash(), packet.id});
@@ -239,6 +295,15 @@ void Engine::appendRecvRecord(ExecutionState& state,
   view.payload = event.payload;
   state.commLog.push_back({/*sent=*/false, static_cast<NodeId>(event.a),
                            event.time, view.payloadHash(), event.b});
+  if (trace_ != nullptr) {
+    obs::TraceEvent record;
+    record.kind = obs::TraceEventKind::kPacketDeliver;
+    record.node = state.node();
+    record.peer = static_cast<NodeId>(event.a);
+    record.stateId = state.id();
+    record.packetId = event.b;
+    trace_->emit(record);
+  }
 }
 
 void Engine::deliver(ExecutionState& state, const vm::PendingEvent& event) {
@@ -247,6 +312,7 @@ void Engine::deliver(ExecutionState& state, const vm::PendingEvent& event) {
 
 void Engine::processEvent(ExecutionState& state, vm::PendingEvent event) {
   virtualNow_ = std::max(virtualNow_, event.time);
+  if (trace_ != nullptr) trace_->setAmbientTime(virtualNow_);
   touched_.push_back(&state);
 
   if (event.kind != vm::EventKind::kRecv) {
@@ -292,7 +358,7 @@ void Engine::processEvent(ExecutionState& state, vm::PendingEvent event) {
 
   // Local-branch fork: the mapper treats failure forks exactly like
   // program branches (they are triggered by local state only).
-  ExecutionState& failing = forkLocal(state);
+  ExecutionState& failing = forkLocal(state, obs::ForkCause::kFailure);
   state.constraints.add(ctx_.logicalNot(failVar.var));
   failing.constraints.add(failVar.var);
   state.decisions.push_back({failVar.var, false});
@@ -372,17 +438,25 @@ RunOutcome Engine::run(std::uint64_t untilVirtualTime) {
       nextSampleAt = eventsProcessed_ + sampleGap();
     }
 
-    auto popped = scheduler_.pop(untilVirtualTime, resolve);
+    decltype(scheduler_.pop(untilVirtualTime, resolve)) popped;
+    {
+      obs::ScopedPhase phase(profiler_, obs::Phase::kScheduler);
+      popped = scheduler_.pop(untilVirtualTime, resolve);
+    }
     if (!popped) break;
 
     touched_.clear();
-    processEvent(*popped->state, std::move(popped->event));
+    {
+      obs::ScopedPhase phase(profiler_, obs::Phase::kInterp);
+      processEvent(*popped->state, std::move(popped->event));
+    }
     ++eventsProcessed_;
     stats_.bump("engine.events");
 
     // Re-register every state whose timeline changed (the dispatched
     // state, forked siblings, delivery receivers). Duplicate heap
     // entries are validated away on pop.
+    obs::ScopedPhase phase(profiler_, obs::Phase::kScheduler);
     std::sort(touched_.begin(), touched_.end(),
               [](const ExecutionState* a, const ExecutionState* b) {
                 return a->id() < b->id();
@@ -390,6 +464,18 @@ RunOutcome Engine::run(std::uint64_t untilVirtualTime) {
     touched_.erase(std::unique(touched_.begin(), touched_.end()),
                    touched_.end());
     for (ExecutionState* state : touched_) scheduler_.registerState(*state);
+    if (trace_ != nullptr) {
+      for (const ExecutionState* state : touched_) {
+        if (!state->isTerminal() ||
+            !traceTerminated_.insert(state->id()).second)
+          continue;
+        obs::TraceEvent record;
+        record.kind = obs::TraceEventKind::kStateTerminate;
+        record.node = state->node();
+        record.stateId = state->id();
+        trace_->emit(record);
+      }
+    }
   }
 
   if (outcome == RunOutcome::kCompleted)

@@ -16,8 +16,11 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "net/failure.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace_sink.hpp"
 #include "os/events.hpp"
 #include "os/node.hpp"
 #include "os/runtime.hpp"
@@ -179,6 +182,19 @@ class Engine {
   // partitioned run). The SharedCaps object must outlive all runs.
   void setSharedCaps(SharedCaps* caps) { sharedCaps_ = caps; }
 
+  // --- Observability ---------------------------------------------------------
+  // Attaches a structured event tracer (obs/). nullptr (the default)
+  // disables tracing; every emit site is a single pointer compare then.
+  // The sink must outlive all runs; install it *before* restore() so a
+  // resumed run continues the suspended run's sequence numbering.
+  void setTraceSink(obs::TraceSink* sink);
+  [[nodiscard]] obs::TraceSink* traceSink() const { return trace_; }
+  // Attaches a phase profiler (wall-time by engine phase). Never feeds
+  // stats_: profiler output is wall-clock and must stay out of the
+  // deterministic fingerprint.
+  void setProfiler(obs::PhaseProfiler* profiler);
+  [[nodiscard]] obs::PhaseProfiler* profiler() const { return profiler_; }
+
   // --- Execution -------------------------------------------------------------
   // Processes all events with time <= `untilVirtualTime`. May be called
   // repeatedly with increasing horizons.
@@ -272,6 +288,7 @@ class Engine {
     explicit Runtime(Engine& engine) : engine_(engine) {}
     ExecutionState& forkState(ExecutionState& original) override;
     support::StatsRegistry& stats() override;
+    obs::TraceSink* trace() override;
 
    private:
     Engine& engine_;
@@ -280,8 +297,9 @@ class Engine {
   void boot();
   void processEvent(ExecutionState& state, vm::PendingEvent event);
   void deliver(ExecutionState& state, const vm::PendingEvent& event);
-  // The local-branch fork path (interpreter and failure models).
-  ExecutionState& forkLocal(ExecutionState& original);
+  // The local-branch fork path (interpreter and failure models);
+  // `cause` is the trace attribution (kBranch or kFailure).
+  ExecutionState& forkLocal(ExecutionState& original, obs::ForkCause cause);
   void sendOne(ExecutionState& sender, NodeId dst,
                const std::vector<expr::Ref>& payload);
   ExecutionState& cloneInternal(ExecutionState& original);
@@ -312,6 +330,13 @@ class Engine {
                                         // restarts its cadence
   std::unordered_map<std::string, bool> decisionFilter_;
   SharedCaps* sharedCaps_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
+  obs::PhaseProfiler* profiler_ = nullptr;
+  // States whose termination was already traced (only populated while a
+  // sink is attached; deliberately not serialized — a resumed trace may
+  // re-report a termination, which the validator tolerates for resumed
+  // streams).
+  std::unordered_set<StateId> traceTerminated_;
   std::uint64_t lastReportedMemoryBytes_ = 0;
   support::StatsRegistry stats_;
   InterpSink interpSink_;

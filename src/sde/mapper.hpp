@@ -25,6 +25,10 @@ class Writer;
 class Reader;
 }  // namespace sde::snapshot
 
+namespace sde::obs {
+class TraceSink;
+}  // namespace sde::obs
+
 namespace sde {
 
 // Engine services available to mapping algorithms. Forking through the
@@ -35,6 +39,9 @@ class MapperRuntime {
   virtual ~MapperRuntime() = default;
   virtual ExecutionState& forkState(ExecutionState& original) = 0;
   virtual support::StatsRegistry& stats() = 0;
+  // The engine's trace sink; nullptr (the default) when tracing is off.
+  // Mappers emit kMappingInvoked / kGroupFork records through it.
+  virtual obs::TraceSink* trace() { return nullptr; }
 };
 
 class StateMapper {

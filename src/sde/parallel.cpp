@@ -9,6 +9,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "obs/trace_io.hpp"
+#include "obs/trace_merge.hpp"
 #include "sde/explode.hpp"
 #include "sde/testcase.hpp"
 #include "snapshot/manifest.hpp"
@@ -145,6 +147,11 @@ JobResult collectJob(Engine& engine, const PartitionJob& job,
   return result;
 }
 
+std::filesystem::path jobTracePath(const std::filesystem::path& dir,
+                                   std::uint32_t jobId) {
+  return dir / ("trace_job" + std::to_string(jobId) + ".trc");
+}
+
 }  // namespace
 
 PartitionPlan planPartitions(std::span<const std::string> variables,
@@ -210,6 +217,9 @@ ParallelResult runPartitioned(const EngineFactory& factory,
   // degrades to a fresh start); a fresh start clears leftover per-job
   // files so checkpoints of an older run can never leak into this one.
   namespace fs = std::filesystem;
+  const bool tracing = !config.traceDir.empty();
+  const fs::path traceDirPath = config.traceDir;
+  if (tracing) fs::create_directories(traceDirPath);
   const bool durable = !config.checkpointDir.empty();
   const fs::path dir = config.checkpointDir;
   bool resuming = false;
@@ -268,6 +278,24 @@ ParallelResult runPartitioned(const EngineFactory& factory,
         };
         std::unique_ptr<Engine> engine = makeEngine();
 
+        // Tracing: the sink is installed *before* restore so a resumed
+        // job continues the suspended run's sequence numbering (the
+        // file itself restarts — the pre-crash events live in the old
+        // process's file, which this open truncates).
+        std::ofstream traceOs;
+        std::unique_ptr<obs::StreamTraceSink> traceSink;
+        if (tracing) {
+          traceOs.open(jobTracePath(traceDirPath, job.id),
+                       std::ios::binary | std::ios::trunc);
+          obs::TraceHeader header;
+          header.numNodes = engine->topology().numNodes();
+          header.stream = job.id;
+          header.mapper = std::string(engine->mapper().name());
+          header.scenario = config.scenarioSpec;
+          traceSink = std::make_unique<obs::StreamTraceSink>(traceOs, header);
+          engine->setTraceSink(traceSink.get());
+        }
+
         const fs::path ckpt =
             durable ? snapshot::jobCheckpointPath(dir, job.id) : fs::path();
         if (resuming && fs::exists(ckpt)) {
@@ -276,6 +304,7 @@ ParallelResult runPartitioned(const EngineFactory& factory,
             engine->restore(in);
           } catch (const snapshot::SnapshotError&) {
             engine = makeEngine();  // torn checkpoint: restart from scratch
+            if (traceSink != nullptr) engine->setTraceSink(traceSink.get());
           }
         }
         if (durable) {
@@ -289,6 +318,14 @@ ParallelResult runPartitioned(const EngineFactory& factory,
 
         const RunOutcome outcome = engine->run(config.horizon);
         result.jobs[i] = collectJob(*engine, job, config, outcome);
+        if (traceSink != nullptr) {
+          engine->setTraceSink(nullptr);
+          try {
+            traceSink->close();
+          } catch (const obs::TraceError& e) {
+            support::logError("trace", e.what());
+          }
+        }
         if (durable && outcome == RunOutcome::kCompleted) {
           snapshot::writeJobResultFile(snapshot::jobDonePath(dir, job.id),
                                        result.jobs[i]);
@@ -322,6 +359,23 @@ ParallelResult runPartitioned(const EngineFactory& factory,
                                      scenarioPrints.end());
   result.stateFingerprints.assign(statePrints.begin(), statePrints.end());
   result.testcases.assign(testcases.begin(), testcases.end());
+  // Trace merge, after the barrier and in job-id order (the input order
+  // is the merge tie-break, so it must not depend on completion order).
+  // Jobs loaded from .done files on a resume did not run here and have
+  // no trace file; they are simply absent from the merge.
+  if (tracing) {
+    std::vector<std::string> inputs;
+    for (const PartitionJob& job : plan.jobs) {
+      const fs::path path = jobTracePath(traceDirPath, job.id);
+      if (fs::exists(path)) inputs.push_back(path.string());
+    }
+    try {
+      obs::mergeTraceFiles(inputs, (traceDirPath / "merged.trc").string());
+    } catch (const obs::TraceError& e) {
+      support::logError("trace", e.what());
+    }
+  }
+
   result.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -87,6 +87,14 @@ struct ParallelConfig {
   // Opaque scenario descriptor recorded in the manifest so external
   // tools (sde_checkpoint resume) can rebuild the engine factory.
   std::string scenarioSpec;
+  // --- Tracing (obs/) --------------------------------------------------------
+  // Non-empty: every job streams a structured event trace to
+  // <traceDir>/trace_job<id>.trc (stream id = job id), and after the
+  // merge barrier the runner stitches all job traces into
+  // <traceDir>/merged.trc. The merge is keyed on virtual time and
+  // per-stream sequence numbers only (the stitchSamples contract), so
+  // the merged file is byte-identical for any worker count.
+  std::string traceDir;
 };
 
 // Everything observable about one finished partition job. All fields

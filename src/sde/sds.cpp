@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_set>
 
+#include "obs/trace_sink.hpp"
 #include "snapshot/reader.hpp"
 #include "snapshot/writer.hpp"
 
@@ -118,6 +119,7 @@ std::vector<ExecutionState*> SdsMapper::onTransmit(ExecutionState& sender,
   };
   std::unordered_map<const ExecutionState*, TargetFork> forkOf;
 
+  std::uint64_t targetsForked = 0;
   std::vector<ExecutionState*> receivers;
   for (ExecutionState* target : targets) {
     bool needFork = false;
@@ -135,6 +137,7 @@ std::vector<ExecutionState*> SdsMapper::onTransmit(ExecutionState& sender,
     if (needFork) {
       fork.nonReceiving = &runtime.forkState(*target);
       runtime.stats().bump("map.targets_forked");
+      ++targetsForked;
       // Phase 4a: virtual states of the target in super-rival dstates
       // (no sending virtual there) migrate to the non-receiving copy —
       // no virtual forking, the dstate itself is untouched (Figure 7).
@@ -157,12 +160,14 @@ std::vector<ExecutionState*> SdsMapper::onTransmit(ExecutionState& sender,
     VDState& old = *vs->dstate;
     if (!hasDirectRivals(old)) continue;  // delivery happens in place
     runtime.stats().bump("map.sds.virtual_conflict_resolutions");
+    const std::uint64_t oldId = old.id;
 
     VDState& fresh = dstates_.emplace_back();
     fresh.id = nextDstateId_++;
     fresh.byNode.resize(numNodes_);
     moveVirtual(*vs, fresh);
 
+    std::uint64_t freshVirtuals = 0;
     for (NodeId node = 0; node < numNodes_; ++node) {
       if (node == src) continue;  // direct rivals stay behind
       const std::vector<VState*> snapshot = old.byNode[node];
@@ -181,8 +186,36 @@ std::vector<ExecutionState*> SdsMapper::onTransmit(ExecutionState& sender,
           newVirtual(v->actual, fresh);  // bystander: a reference, no fork
           runtime.stats().bump("map.sds.virtual_bystanders_forked");
         }
+        ++freshVirtuals;
       }
     }
+    if (obs::TraceSink* trace = runtime.trace()) {
+      // b counts fresh *virtual* members — SDS never forks actual
+      // bystanders, which is exactly what this record shows next to a
+      // COW kDstateSplit of the same run.
+      obs::TraceEvent split;
+      split.kind = obs::TraceEventKind::kGroupFork;
+      split.detail =
+          static_cast<std::uint8_t>(obs::GroupForkDetail::kVirtualSplit);
+      split.node = src;
+      split.stateId = sender.id();
+      split.groupId = fresh.id;
+      split.a = oldId;
+      split.b = freshVirtuals;
+      trace->emit(split);
+    }
+  }
+
+  if (runtime.trace() != nullptr && targetsForked > 0) {
+    obs::TraceEvent invoked;
+    invoked.kind = obs::TraceEventKind::kMappingInvoked;
+    invoked.node = src;
+    invoked.peer = dst;
+    invoked.stateId = sender.id();
+    invoked.packetId = packet.id;
+    invoked.a = targetsForked;
+    invoked.b = 0;  // the SDS payoff: bystanders are never forked
+    runtime.trace()->emit(invoked);
   }
 
   return receivers;

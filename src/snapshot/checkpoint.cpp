@@ -415,6 +415,18 @@ void readQueryCache(Reader& in, const expr::Context& ctx,
 }  // namespace
 
 void Engine::checkpoint(std::ostream& os) const {
+  obs::ScopedPhase scope(profiler_, obs::Phase::kCheckpoint);
+  // The suspend record is written *before* the trace-seq scalar below,
+  // so the serialized nextSeq points one past it and a resumed run's
+  // kCheckpointRestore continues the numbering without a gap.
+  if (trace_ != nullptr) {
+    trace_->setAmbientTime(virtualNow_);
+    obs::TraceEvent event;
+    event.kind = obs::TraceEventKind::kCheckpointSuspend;
+    event.a = eventsProcessed_;
+    trace_->emit(event);
+  }
+
   Writer out(os);
   out.magic(snapshot::kCheckpointMagic);
   out.u32(snapshot::kCheckpointVersion);
@@ -452,6 +464,10 @@ void Engine::checkpoint(std::ostream& os) const {
   out.u64(nextStateId_);
   out.u64(nextPacketId_);
   out.f64(wallSecondsAccumulated_);
+  // Trace continuity (v2): where the suspended run's event numbering
+  // stops. 0 when the run was not traced — a traced resume of an
+  // untraced run simply starts a fresh stream.
+  out.u64(trace_ != nullptr ? trace_->nextSeq() : 0);
 
   // Decision filter (sorted: the member is an unordered map).
   std::vector<std::pair<std::string, bool>> filter(decisionFilter_.begin(),
@@ -494,6 +510,7 @@ void Engine::checkpoint(std::ostream& os) const {
 }
 
 void Engine::restore(std::istream& is) {
+  obs::ScopedPhase scope(profiler_, obs::Phase::kCheckpoint);
   SDE_ASSERT(!booted_ && states_.empty() && eventsProcessed_ == 0,
              "restore needs a freshly constructed engine");
   Reader in(is);
@@ -536,6 +553,7 @@ void Engine::restore(std::istream& is) {
   nextStateId_ = in.u64();
   nextPacketId_ = in.u64();
   wallSecondsAccumulated_ = in.f64();
+  const std::uint64_t traceSeq = in.u64();
 
   decisionFilter_.clear();
   const std::uint64_t filterSize = in.u64();
@@ -600,6 +618,19 @@ void Engine::restore(std::istream& is) {
 
   in.expectMagic(snapshot::kCheckpointTrailer,
                  "checkpoint trailer missing (truncated file?)");
+
+  // Trace continuity: a sink installed before restore() picks up the
+  // suspended run's numbering and marks the resumption. Installed
+  // after? The stream starts at seq 0 and the validator treats it as a
+  // fresh (non-resumed) stream — consistent either way.
+  if (trace_ != nullptr) {
+    trace_->setNextSeq(traceSeq);
+    trace_->setAmbientTime(virtualNow_);
+    obs::TraceEvent event;
+    event.kind = obs::TraceEventKind::kCheckpointRestore;
+    event.a = eventsProcessed_;
+    trace_->emit(event);
+  }
 }
 
 }  // namespace sde

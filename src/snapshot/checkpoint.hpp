@@ -39,7 +39,9 @@ class Reader;
 
 inline constexpr std::string_view kCheckpointMagic = "SDECKPT";
 inline constexpr std::string_view kCheckpointTrailer = "SDEEND";
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+// v2: appended the trace-sequence scalar (obs/ trace continuity across
+// suspend/resume) to the engine-scalars section.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 // --- Expression DAG (exposed for the round-trip fuzz test) -------------------
 // Serializes the whole interning log of `ctx` in creation order; a Ref

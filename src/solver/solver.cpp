@@ -4,6 +4,21 @@
 
 namespace sde::solver {
 
+void Solver::traceQuery(obs::SolverQueryDetail detail, std::size_t conjuncts,
+                        EnumStatus status) {
+  if (trace_ == nullptr) return;
+  obs::TraceEvent event;
+  event.kind = obs::TraceEventKind::kSolverQuery;
+  event.detail = static_cast<std::uint8_t>(detail);
+  event.a = conjuncts;
+  switch (status) {
+    case EnumStatus::kUnsat: event.b = 0; break;
+    case EnumStatus::kSat: event.b = 1; break;
+    case EnumStatus::kExhausted: event.b = 2; break;
+  }
+  trace_->emit(event);
+}
+
 EnumResult Solver::solveConjunction(std::span<const expr::Ref> conjunction) {
   stats_.bump("solver.queries");
 
@@ -11,6 +26,8 @@ EnumResult Solver::solveConjunction(std::span<const expr::Ref> conjunction) {
   for (expr::Ref c : conjunction) {
     if (c->isFalse()) {
       stats_.bump("solver.constant_refutations");
+      traceQuery(obs::SolverQueryDetail::kConstant, conjunction.size(),
+                 EnumStatus::kUnsat);
       return {EnumStatus::kUnsat, {}};
     }
   }
@@ -21,10 +38,14 @@ EnumResult Solver::solveConjunction(std::span<const expr::Ref> conjunction) {
   if (config_.useCache) {
     if (const EnumResult* hit = cache_.lookup(key)) {
       stats_.bump("solver.cache_hits");
+      traceQuery(obs::SolverQueryDetail::kCacheHit, conjunction.size(),
+                 hit->status);
       return *hit;
     }
     if (auto model = cache_.reuseModel(ctx_, key)) {
       stats_.bump("solver.model_reuse_hits");
+      traceQuery(obs::SolverQueryDetail::kModelReuse, conjunction.size(),
+                 EnumStatus::kSat);
       EnumResult r{EnumStatus::kSat, std::move(*model)};
       cache_.insert(key, r);
       return r;
@@ -35,6 +56,8 @@ EnumResult Solver::solveConjunction(std::span<const expr::Ref> conjunction) {
   if (config_.useIntervals) {
     if (checkIntervals(key, env) == Feasibility::kInfeasible) {
       stats_.bump("solver.interval_refutations");
+      traceQuery(obs::SolverQueryDetail::kInterval, conjunction.size(),
+                 EnumStatus::kUnsat);
       EnumResult r{EnumStatus::kUnsat, {}};
       if (config_.useCache) cache_.insert(key, r);
       return r;
@@ -44,11 +67,14 @@ EnumResult Solver::solveConjunction(std::span<const expr::Ref> conjunction) {
   stats_.bump("solver.enum_runs");
   EnumResult r = enumerateModels(ctx_, key, env, config_.enumeration);
   if (r.status == EnumStatus::kExhausted) stats_.bump("solver.exhausted");
+  traceQuery(obs::SolverQueryDetail::kEnumerated, conjunction.size(),
+             r.status);
   if (config_.useCache) cache_.insert(key, r);
   return r;
 }
 
 bool Solver::mayBeTrue(const ConstraintSet& constraints, expr::Ref cond) {
+  obs::ScopedPhase scope(profiler_, obs::Phase::kSolver);
   SDE_ASSERT(cond->width() == 1, "mayBeTrue expects a boolean condition");
   if (cond->isFalse()) return false;
   // A variable-free condition carries no variables for the independence
@@ -90,6 +116,7 @@ Validity Solver::classify(const ConstraintSet& constraints, expr::Ref cond) {
 std::optional<std::uint64_t> Solver::getValue(const ConstraintSet& constraints,
                                               expr::Ref e) {
   if (e->isConstant()) return e->value();
+  obs::ScopedPhase scope(profiler_, obs::Phase::kSolver);
 
   std::vector<expr::Ref> conj;
   if (config_.useIndependence)
@@ -110,6 +137,7 @@ std::optional<std::uint64_t> Solver::getValue(const ConstraintSet& constraints,
 
 std::optional<expr::Assignment> Solver::getModel(
     const ConstraintSet& constraints) {
+  obs::ScopedPhase scope(profiler_, obs::Phase::kSolver);
   // Solve each independent component separately and merge: exponentially
   // cheaper than one joint enumeration and exactly as complete.
   expr::Assignment merged;

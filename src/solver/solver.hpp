@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <optional>
 
+#include "obs/profiler.hpp"
+#include "obs/trace_sink.hpp"
 #include "solver/cache.hpp"
 #include "solver/constraint_set.hpp"
 #include "solver/independence.hpp"
@@ -68,14 +70,26 @@ class Solver {
   [[nodiscard]] QueryCache& cache() { return cache_; }
   [[nodiscard]] const QueryCache& cache() const { return cache_; }
 
+  // Observability (obs/): a trace sink records every non-trivial query
+  // with its answer source (cache hit, interval refutation, ...); the
+  // profiler charges solver wall-time to Phase::kSolver. Both are
+  // nullptr by default (zero cost) and typically installed by
+  // Engine::setTraceSink / setProfiler.
+  void setTraceSink(obs::TraceSink* sink) { trace_ = sink; }
+  void setProfiler(obs::PhaseProfiler* profiler) { profiler_ = profiler; }
+
  private:
   // Satisfiability of an explicit conjunction (after slicing).
   EnumResult solveConjunction(std::span<const expr::Ref> conjunction);
+  void traceQuery(obs::SolverQueryDetail detail, std::size_t conjuncts,
+                  EnumStatus status);
 
   expr::Context& ctx_;  // non-const: queries intern new (negated) terms
   SolverConfig config_;
   QueryCache cache_;
   support::StatsRegistry stats_;
+  obs::TraceSink* trace_ = nullptr;
+  obs::PhaseProfiler* profiler_ = nullptr;
 };
 
 }  // namespace sde::solver

@@ -1,11 +1,17 @@
 #include "support/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace sde::support {
 
 namespace {
-LogLevel g_level = LogLevel::kOff;
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+
+// Serializes the fprintf so concurrent partition workers never
+// interleave characters within one line.
+std::mutex g_logMutex;
 
 const char* levelName(LogLevel level) {
   switch (level) {
@@ -24,13 +30,16 @@ const char* levelName(LogLevel level) {
 }
 }  // namespace
 
-void setLogLevel(LogLevel level) { g_level = level; }
+void setLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel logLevel() { return g_level; }
+LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void logMessage(LogLevel level, std::string_view component,
                 std::string_view message) {
-  if (level < g_level) return;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  const std::lock_guard<std::mutex> lock(g_logMutex);
   std::fprintf(stderr, "[%s] %.*s: %.*s\n", levelName(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());

@@ -1,7 +1,7 @@
 // Minimal leveled logger. Off by default so test output stays clean;
-// examples and benches enable it for progress reporting. Not thread-safe
-// by design: the engine is single-threaded (the paper lists
-// parallelisation as future work).
+// examples and benches enable it for progress reporting. logMessage is
+// thread-safe (parallel partition workers log concurrently); the level
+// itself is an atomic that callers normally set once at startup.
 #pragma once
 
 #include <string>

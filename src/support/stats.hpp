@@ -4,6 +4,7 @@
 // outputs — e.g. "SDS forked zero bystanders".
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -11,14 +12,25 @@
 
 namespace sde::support {
 
-// Is `name` a high-water-mark counter? The rule is a substring match:
-// any counter whose name contains "peak" (e.g. "engine.peak_states",
-// "engine.peak_memory_bytes") records a maximum, not a running total.
-// Aggregation (StatsRegistry::mergeFrom) therefore folds such counters
-// with max instead of +: a fleet's peak is the largest worker's peak,
-// not their sum.
+// Is `name` a high-water-mark counter? The rule is a *component* match:
+// a counter records a maximum iff some dot-separated component of its
+// name starts with "peak_" or is exactly "peak" (e.g.
+// "engine.peak_states", "engine.peak_memory_bytes"). Aggregation
+// (StatsRegistry::mergeFrom) folds such counters with max instead of +:
+// a fleet's peak is the largest worker's peak, not their sum. A mere
+// substring match would be too loose — e.g. a hypothetical
+// "engine.speaker_events" is a running total and must be summed.
 [[nodiscard]] inline bool isPeakCounter(std::string_view name) {
-  return name.find("peak") != std::string_view::npos;
+  std::size_t pos = 0;
+  while (pos <= name.size()) {
+    const std::size_t dot = name.find('.', pos);
+    const std::string_view component =
+        name.substr(pos, dot == std::string_view::npos ? dot : dot - pos);
+    if (component == "peak" || component.substr(0, 5) == "peak_") return true;
+    if (dot == std::string_view::npos) break;
+    pos = dot + 1;
+  }
+  return false;
 }
 
 class StatsRegistry {

@@ -20,6 +20,12 @@ const MetricSample& MetricsRecorder::last() const {
 
 void MetricsRecorder::writeCsv(std::ostream& os,
                                std::string_view seriesName) const {
+  // A comma or newline inside the series name would silently shift every
+  // column of every row; reject it at the source instead.
+  SDE_ASSERT(seriesName.find(',') == std::string_view::npos &&
+                 seriesName.find('\n') == std::string_view::npos &&
+                 seriesName.find('\r') == std::string_view::npos,
+             "CSV series name must not contain commas or newlines");
   os << "series,wall_s,virtual_t,states,memory_bytes,groups,events\n";
   for (const MetricSample& s : samples_) {
     os << seriesName << ',' << s.wallSeconds << ',' << s.virtualTime << ','

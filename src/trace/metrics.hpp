@@ -35,6 +35,8 @@ class MetricsRecorder {
   [[nodiscard]] const MetricSample& last() const;
 
   // CSV with header: wall_s,virtual_t,states,memory_bytes,groups,events.
+  // seriesName lands verbatim in the first column, so names containing
+  // commas or newlines are rejected (SDE_ASSERT).
   void writeCsv(std::ostream& os, std::string_view seriesName) const;
 
   void clear() { samples_.clear(); }

@@ -1,0 +1,103 @@
+// Phase profiler: self-time accounting, the stats/report surfaces, and
+// the null-profiler fast path.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "obs/profiler.hpp"
+
+namespace sde::obs {
+namespace {
+
+TEST(PhaseProfile, FreshProfileIsEmpty) {
+  const PhaseProfile profile;
+  EXPECT_TRUE(profile.empty());
+  EXPECT_EQ(profile.totalNanos(), 0u);
+}
+
+TEST(PhaseProfiler, CountsEveryEnter) {
+  PhaseProfiler profiler;
+  for (int i = 0; i < 3; ++i) {
+    ScopedPhase scope(&profiler, Phase::kSolver);
+  }
+  {
+    ScopedPhase scope(&profiler, Phase::kInterp);
+  }
+  const PhaseProfile& profile = profiler.profile();
+  EXPECT_EQ(profile.phases[static_cast<std::size_t>(Phase::kSolver)].calls,
+            3u);
+  EXPECT_EQ(profile.phases[static_cast<std::size_t>(Phase::kInterp)].calls,
+            1u);
+  EXPECT_EQ(
+      profile.phases[static_cast<std::size_t>(Phase::kCheckpoint)].calls, 0u);
+  EXPECT_FALSE(profile.empty());
+}
+
+TEST(PhaseProfiler, NestedPhasesAccountSelfTimeNotInclusiveTime) {
+  // kInterp encloses kSolver; the solver sleep must be charged to
+  // kSolver only — self-time partitions the instrumented wall-time.
+  PhaseProfiler profiler;
+  {
+    ScopedPhase interp(&profiler, Phase::kInterp);
+    ScopedPhase solver(&profiler, Phase::kSolver);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const PhaseProfile& profile = profiler.profile();
+  const auto solverNanos =
+      profile.phases[static_cast<std::size_t>(Phase::kSolver)].nanos;
+  const auto interpNanos =
+      profile.phases[static_cast<std::size_t>(Phase::kInterp)].nanos;
+  EXPECT_GE(solverNanos, 10'000'000u);  // the sleep, minus scheduler slop
+  // The enclosing phase was paused during the sleep: it keeps only its
+  // own (tiny) slice, far below the nested phase's.
+  EXPECT_LT(interpNanos, solverNanos / 2);
+  EXPECT_EQ(profile.totalNanos(), solverNanos + interpNanos);
+}
+
+TEST(PhaseProfiler, NullProfilerScopesAreNoOps) {
+  // The disabled path everywhere in the engine: must not crash, must
+  // not record.
+  ScopedPhase scope(nullptr, Phase::kMapping);
+  SUCCEED();
+}
+
+TEST(PhaseProfile, ToStatsEmitsMicrosAndCallsPerActivePhase) {
+  PhaseProfile profile;
+  profile.phases[static_cast<std::size_t>(Phase::kSolver)] = {2'500, 3};
+  support::StatsRegistry stats;
+  profile.toStats(stats);
+  EXPECT_EQ(stats.get("profile.solver.micros"), 2u);  // 2500ns -> 2us
+  EXPECT_EQ(stats.get("profile.solver.calls"), 3u);
+}
+
+TEST(PhaseProfile, MergeFromSumsBothNanosAndCalls) {
+  PhaseProfile a;
+  PhaseProfile b;
+  a.phases[0] = {100, 1};
+  b.phases[0] = {50, 2};
+  b.phases[3] = {7, 1};
+  a.mergeFrom(b);
+  EXPECT_EQ(a.phases[0].nanos, 150u);
+  EXPECT_EQ(a.phases[0].calls, 3u);
+  EXPECT_EQ(a.phases[3].nanos, 7u);
+  EXPECT_EQ(a.totalNanos(), 157u);
+}
+
+TEST(PhaseProfile, ReportNamesEveryRecordedPhase) {
+  PhaseProfiler profiler;
+  {
+    ScopedPhase scope(&profiler, Phase::kScheduler);
+  }
+  const std::string report = profiler.profile().report();
+  EXPECT_NE(report.find("scheduler"), std::string::npos);
+}
+
+TEST(PhaseProfilerDeathTest, ProfileReadInsideAnOpenScopeAsserts) {
+  PhaseProfiler profiler;
+  profiler.enter(Phase::kInterp);
+  EXPECT_DEATH((void)profiler.profile(), "open phase scope");
+}
+
+}  // namespace
+}  // namespace sde::obs

@@ -1,0 +1,181 @@
+// Multi-stream trace merging: the stitchSamples ordering contract
+// applied to event records, and the end-to-end determinism oracle —
+// the merged trace of a partitioned run is byte-identical for any
+// worker count.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/summary.hpp"
+#include "obs/trace_merge.hpp"
+#include "trace/metrics.hpp"
+#include "trace/scenario.hpp"
+
+namespace fs = std::filesystem;
+
+namespace sde::obs {
+namespace {
+
+TraceEvent at(std::uint64_t time, std::uint64_t seq, std::uint32_t stream,
+              std::uint64_t stateId) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kStateCreate;
+  e.time = time;
+  e.seq = seq;
+  e.stream = stream;
+  e.stateId = stateId;
+  return e;
+}
+
+TraceFile stream(std::uint32_t id, std::vector<TraceEvent> events) {
+  TraceFile trace;
+  trace.header.numNodes = 4;
+  trace.header.stream = id;
+  trace.events = std::move(events);
+  return trace;
+}
+
+TEST(TraceMerge, OrdersByTimeThenSeqThenInputIndex) {
+  const std::vector<TraceFile> inputs{
+      stream(0, {at(100, 0, 0, 1), at(300, 1, 0, 2)}),
+      stream(1, {at(100, 0, 1, 3), at(200, 1, 1, 4)}),
+  };
+  const TraceFile merged = mergeTraces(inputs);
+  ASSERT_EQ(merged.events.size(), 4u);
+  // Full tie at (100, 0): input 0 first — the stitchSamples rule.
+  EXPECT_EQ(merged.events[0].stateId, 1u);
+  EXPECT_EQ(merged.events[1].stateId, 3u);
+  EXPECT_EQ(merged.events[2].stateId, 4u);  // time 200
+  EXPECT_EQ(merged.events[3].stateId, 2u);  // time 300
+  EXPECT_TRUE(merged.header.merged);
+  // Per-stream identity survives in the records.
+  EXPECT_EQ(merged.events[0].stream, 0u);
+  EXPECT_EQ(merged.events[1].stream, 1u);
+}
+
+TEST(TraceMerge, EmptyStreamAmongNonEmptyIsHarmless) {
+  const std::vector<TraceFile> inputs{
+      stream(0, {at(100, 0, 0, 1)}),
+      stream(1, {}),
+      stream(2, {at(100, 0, 2, 3)}),
+  };
+  const TraceFile merged = mergeTraces(inputs);
+  ASSERT_EQ(merged.events.size(), 2u);
+  EXPECT_EQ(merged.events[0].stateId, 1u);
+  EXPECT_EQ(merged.events[1].stateId, 3u);
+}
+
+TEST(TraceMerge, RejectsNetworkSizeMismatch) {
+  TraceFile a = stream(0, {});
+  TraceFile b = stream(1, {});
+  b.header.numNodes = 99;
+  const std::vector<TraceFile> inputs{a, b};
+  EXPECT_THROW((void)mergeTraces(inputs), TraceError);
+}
+
+TEST(TraceMerge, DropsProfileSections) {
+  // Profiles carry wall-clock, the one thing that varies run to run;
+  // keeping them would break byte-identity of merged files.
+  TraceFile a = stream(0, {at(1, 0, 0, 1)});
+  a.profile.phases[0] = {12345, 3};
+  const std::vector<TraceFile> inputs{a};
+  EXPECT_TRUE(mergeTraces(inputs).profile.empty());
+}
+
+// The satellite oracle: the event merge and the metric-sample stitch
+// implement the SAME ordering contract. Feed both sides keys built from
+// one common schedule and require identical cross-stream order.
+TEST(TraceMerge, AgreesWithStitchSamplesOnEventOrdering) {
+  struct Key {
+    std::uint64_t time;
+    std::uint64_t seq;
+    std::uint32_t stream;
+  };
+  // Two workers sampling interleaved virtual times, with a full tie at
+  // (200, 1) that only the input index can break.
+  const std::vector<std::vector<Key>> schedule{
+      {{100, 0, 0}, {200, 1, 0}, {400, 2, 0}},
+      {{150, 0, 1}, {200, 1, 1}, {300, 2, 1}},
+  };
+
+  std::vector<TraceFile> traces;
+  std::vector<std::vector<trace::MetricSample>> series;
+  for (const auto& worker : schedule) {
+    TraceFile trace = stream(worker.front().stream, {});
+    std::vector<trace::MetricSample> samples;
+    for (const Key& key : worker) {
+      trace.events.push_back(at(key.time, key.seq, key.stream, 0));
+      trace::MetricSample sample;
+      sample.virtualTime = key.time;
+      sample.events = key.seq;  // the stitch key's second component
+      sample.states = key.stream;
+      samples.push_back(sample);
+    }
+    traces.push_back(std::move(trace));
+    series.push_back(std::move(samples));
+  }
+
+  const TraceFile merged = mergeTraces(traces);
+  const std::vector<trace::MetricSample> stitched =
+      trace::stitchSamples(series);
+  ASSERT_EQ(merged.events.size(), stitched.size());
+  for (std::size_t i = 0; i < stitched.size(); ++i) {
+    EXPECT_EQ(merged.events[i].time, stitched[i].virtualTime) << i;
+    EXPECT_EQ(merged.events[i].stream, stitched[i].states) << i;
+  }
+}
+
+// --- End-to-end determinism --------------------------------------------------
+
+std::string fileBytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(TraceMerge, MergedTraceIsByteIdenticalForAnyWorkerCount) {
+  trace::CollectScenarioConfig config;
+  config.gridWidth = 5;
+  config.gridHeight = 5;
+  config.simulationTime = 3000;
+  config.mapper = MapperKind::kSds;
+
+  std::string reference;
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    const fs::path dir = fs::path(::testing::TempDir()) /
+                         ("sde_trace_merge_w" + std::to_string(workers));
+    fs::remove_all(dir);
+    ParallelConfig parallel;
+    parallel.workers = workers;
+    parallel.traceDir = dir.string();
+    const trace::PartitionedCollectResult run =
+        trace::runCollectPartitioned(config, parallel, /*vars=*/2);
+    ASSERT_EQ(run.result.outcome, RunOutcome::kCompleted);
+
+    const fs::path mergedPath = dir / "merged.trc";
+    ASSERT_TRUE(fs::exists(mergedPath)) << mergedPath;
+    const std::string bytes = fileBytes(mergedPath);
+    if (reference.empty()) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference) << "workers = " << workers;
+    }
+
+    // The merged trace is well-formed and covers every job stream.
+    const TraceFile merged = readTraceFile(mergedPath.string());
+    EXPECT_TRUE(merged.header.merged);
+    const TraceSummary summary = summarizeTrace(merged);
+    EXPECT_EQ(summary.eventsByStream.size(), run.result.jobs.size());
+    for (const std::string& violation : validateTrace(merged))
+      ADD_FAILURE() << violation;
+    fs::remove_all(dir);
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+}  // namespace
+}  // namespace sde::obs

@@ -87,14 +87,32 @@ TEST(Stats, MaxOfKeepsMaximum) {
   EXPECT_EQ(stats.get("peak"), 12u);
 }
 
-TEST(Stats, IsPeakCounterMatchesBySubstring) {
+TEST(Stats, IsPeakCounterMatchesAPeakNameComponent) {
   EXPECT_TRUE(isPeakCounter("engine.peak_states"));
   EXPECT_TRUE(isPeakCounter("engine.peak_memory_bytes"));
   EXPECT_TRUE(isPeakCounter("peak"));
-  EXPECT_TRUE(isPeakCounter("solver.peakiness"));  // substring, by design
+  EXPECT_TRUE(isPeakCounter("peak_states"));
+  EXPECT_TRUE(isPeakCounter("a.peak.b"));
+  // Substring hits inside a component are NOT peaks: these are running
+  // totals and must be summed by mergeFrom.
+  EXPECT_FALSE(isPeakCounter("solver.peakiness"));
+  EXPECT_FALSE(isPeakCounter("engine.speaker_events"));
+  EXPECT_FALSE(isPeakCounter("engine.repeak"));
   EXPECT_FALSE(isPeakCounter(""));
   EXPECT_FALSE(isPeakCounter("engine.forks_total"));
   EXPECT_FALSE(isPeakCounter("engine.PEAK_states"));  // case-sensitive
+}
+
+TEST(Stats, MergeFromSumsCountersThatMerelyContainPeak) {
+  // Regression: "speaker" contains "peak" as a substring; a naive
+  // substring rule would max-fold it and a fleet of workers would
+  // under-report the total.
+  StatsRegistry a;
+  StatsRegistry b;
+  a.bump("engine.speaker_events", 5);
+  b.bump("engine.speaker_events", 3);
+  a.mergeFrom(b);
+  EXPECT_EQ(a.get("engine.speaker_events"), 8u);  // summed, not max(5,3)
 }
 
 TEST(Stats, MergeFromMaxesPeaksAndSumsTheRest) {

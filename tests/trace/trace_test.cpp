@@ -104,6 +104,30 @@ TEST(Stitch, EmptyAndAllEmptySeriesYieldAnEmptyTimeline) {
   EXPECT_TRUE(stitchSamples(hollow).empty());
 }
 
+TEST(Stitch, EmptySeriesAmongNonEmptyContributesNothing) {
+  // A worker that never sampled (e.g. a resumed .done job) must not
+  // disturb the tie-break indices of its neighbours: series indices are
+  // positional, so the empty series in the middle still counts as index
+  // 1 and the last series ties AFTER series 0.
+  const std::vector<std::vector<MetricSample>> series{
+      {sample(100, 7, 11)},
+      {},
+      {sample(100, 7, 22), sample(300, 9, 33)},
+  };
+  const std::vector<MetricSample> stitched = stitchSamples(series);
+  ASSERT_EQ(stitched.size(), 3u);
+  EXPECT_EQ(stitched[0].states, 11u);  // full tie: series 0 before 2
+  EXPECT_EQ(stitched[1].states, 22u);
+  EXPECT_EQ(stitched[2].states, 33u);
+}
+
+TEST(MetricsDeathTest, CsvRejectsSeriesNamesThatBreakTheFormat) {
+  MetricsRecorder recorder;
+  std::ostringstream os;
+  EXPECT_DEATH(recorder.writeCsv(os, "bad,name"), "series name");
+  EXPECT_DEATH(recorder.writeCsv(os, "bad\nname"), "series name");
+}
+
 TEST(Stitch, SingleSeriesPassesThroughInRecordedOrder) {
   // A single worker's series is already sorted by construction (an
   // engine samples at monotone virtual times); stitching must return

@@ -1,0 +1,298 @@
+// sde_trace — inspect, validate, summarize, diff, merge and export the
+// structured event traces the engine emits (obs/ subsystem).
+//
+//   sde_trace inspect       <file.trc>          header + event/phase totals
+//   sde_trace validate      <file.trc>...       structural validation; nonzero
+//                                               exit on any violation
+//   sde_trace summarize     <file.trc> [--top K]
+//                                               fork attribution, per-node
+//                                               forks, top-K forking
+//                                               transmissions, solver + phase
+//                                               breakdown
+//   sde_trace diff          <a.trc> <b.trc>     side-by-side summary deltas
+//                                               (e.g. SDS vs COW of one
+//                                               scenario); nonzero exit when
+//                                               the traces differ
+//   sde_trace merge         <out.trc> <in.trc>...
+//                                               deterministic multi-stream
+//                                               merge (virtual-time order)
+//   sde_trace export-chrome <in.trc> <out.json> chrome://tracing / Perfetto
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/chrome_export.hpp"
+#include "obs/summary.hpp"
+#include "obs/trace_io.hpp"
+#include "obs/trace_merge.hpp"
+
+namespace {
+
+using namespace sde;
+
+unsigned long long ull(std::uint64_t v) {
+  return static_cast<unsigned long long>(v);
+}
+
+void printHeader(const obs::TraceFile& trace) {
+  std::printf("format version   %u\n", obs::kTraceVersion);
+  std::printf("network nodes    %u\n", trace.header.numNodes);
+  std::printf("stream           %u%s\n", trace.header.stream,
+              trace.header.merged ? " (merged)" : "");
+  std::printf("mapper           %s\n", trace.header.mapper.empty()
+                                           ? "<unset>"
+                                           : trace.header.mapper.c_str());
+  std::printf("scenario         %s\n", trace.header.scenario.empty()
+                                           ? "<unset>"
+                                           : trace.header.scenario.c_str());
+  std::printf("events           %zu\n", trace.events.size());
+}
+
+int cmdInspect(const std::string& path) {
+  const obs::TraceFile trace = obs::readTraceFile(path);
+  std::printf("trace            %s\n", path.c_str());
+  printHeader(trace);
+  const obs::TraceSummary summary = obs::summarizeTrace(trace);
+  for (std::uint8_t k = 1; k < obs::kNumTraceEventKinds; ++k) {
+    const auto kind = static_cast<obs::TraceEventKind>(k);
+    if (summary.count(kind) == 0) continue;
+    std::printf("  %-22s %llu\n",
+                std::string(obs::traceEventKindName(kind)).c_str(),
+                ull(summary.count(kind)));
+  }
+  if (!trace.profile.empty()) {
+    std::printf("\nphase profile (self-time)\n%s",
+                trace.profile.report().c_str());
+  }
+  return 0;
+}
+
+int cmdValidate(const std::vector<std::string>& paths) {
+  int broken = 0;
+  for (const std::string& path : paths) {
+    try {
+      const obs::TraceFile trace = obs::readTraceFile(path);
+      const std::vector<std::string> violations = obs::validateTrace(trace);
+      if (violations.empty()) {
+        std::printf("%s: OK (%zu events)\n", path.c_str(),
+                    trace.events.size());
+        continue;
+      }
+      ++broken;
+      std::printf("%s: %zu violation(s)\n", path.c_str(), violations.size());
+      for (const std::string& violation : violations)
+        std::printf("  %s\n", violation.c_str());
+    } catch (const obs::TraceError& e) {
+      ++broken;
+      std::printf("%s: UNREADABLE: %s\n", path.c_str(), e.what());
+    }
+  }
+  return broken == 0 ? 0 : 1;
+}
+
+void printSummary(const obs::TraceSummary& summary, std::size_t topK) {
+  std::printf("\nstate lifecycle\n");
+  std::printf("  initial states         %llu\n",
+              ull(summary.count(obs::TraceEventKind::kStateCreate)));
+  std::printf("  forks total            %llu\n", ull(summary.forksTotal()));
+  std::printf("    branch forks         %llu\n", ull(summary.forksBranch));
+  std::printf("    failure forks        %llu\n", ull(summary.forksFailure));
+  std::printf("    mapping forks        %llu\n", ull(summary.forksMapping));
+  std::printf("  terminated             %llu\n",
+              ull(summary.count(obs::TraceEventKind::kStateTerminate)));
+
+  std::printf("\nnetwork\n");
+  std::printf("  transmissions          %llu\n",
+              ull(summary.count(obs::TraceEventKind::kPacketTransmit)));
+  std::printf("  deliveries             %llu\n",
+              ull(summary.count(obs::TraceEventKind::kPacketDeliver)));
+
+  std::printf("\nmapping layer\n");
+  std::printf("  targets forked         %llu\n", ull(summary.targetsForked));
+  std::printf("  bystanders forked      %llu\n",
+              ull(summary.bystandersForked));
+  std::printf("  scenario copies (COB)  %llu\n", ull(summary.scenarioCopies));
+  std::printf("  group forks            %llu\n", ull(summary.groupForks));
+
+  if (summary.solverQueries > 0) {
+    std::printf("\nsolver queries by answer source\n");
+    std::printf("  total                  %llu\n", ull(summary.solverQueries));
+    std::printf("  constant refuted       %llu\n", ull(summary.solverConstant));
+    std::printf("  cache hits             %llu\n",
+                ull(summary.solverCacheHits));
+    std::printf("  model reuse            %llu\n",
+                ull(summary.solverModelReuse));
+    std::printf("  interval refuted       %llu\n",
+                ull(summary.solverIntervalRefuted));
+    std::printf("  enumerated             %llu\n",
+                ull(summary.solverEnumerated));
+  }
+
+  if (summary.count(obs::TraceEventKind::kCheckpointSuspend) +
+          summary.count(obs::TraceEventKind::kCheckpointRestore) >
+      0) {
+    std::printf("\ncheckpointing\n");
+    std::printf("  suspends               %llu\n",
+                ull(summary.count(obs::TraceEventKind::kCheckpointSuspend)));
+    std::printf("  restores               %llu\n",
+                ull(summary.count(obs::TraceEventKind::kCheckpointRestore)));
+  }
+
+  if (!summary.forksByNode.empty()) {
+    std::printf("\nforks by node\n");
+    for (const auto& [node, forks] : summary.forksByNode)
+      std::printf("  node %-4u %llu\n", node, ull(forks));
+  }
+
+  if (!summary.forkingTransmissions.empty()) {
+    std::printf("\ntop forking transmissions\n");
+    std::printf("  %-8s %-6s %-6s %-10s %-8s %s\n", "packet", "src", "dst",
+                "time", "targets", "bystanders");
+    std::size_t shown = 0;
+    for (const obs::TransmissionForks& tx : summary.forkingTransmissions) {
+      if (shown++ >= topK) break;
+      std::printf("  %-8llu %-6u %-6u %-10llu %-8llu %llu\n", ull(tx.packetId),
+                  tx.src, tx.dst, ull(tx.time), ull(tx.targetsForked),
+                  ull(tx.bystandersForked));
+    }
+    if (summary.forkingTransmissions.size() > topK)
+      std::printf("  ... %zu more\n",
+                  summary.forkingTransmissions.size() - topK);
+  }
+}
+
+int cmdSummarize(const std::string& path, std::size_t topK) {
+  const obs::TraceFile trace = obs::readTraceFile(path);
+  std::printf("trace            %s\n", path.c_str());
+  printHeader(trace);
+  printSummary(obs::summarizeTrace(trace), topK);
+  if (!trace.profile.empty())
+    std::printf("\nphase profile (self-time)\n%s",
+                trace.profile.report().c_str());
+  return 0;
+}
+
+int cmdDiff(const std::string& pathA, const std::string& pathB) {
+  const obs::TraceFile traceA = obs::readTraceFile(pathA);
+  const obs::TraceFile traceB = obs::readTraceFile(pathB);
+  const obs::TraceSummary a = obs::summarizeTrace(traceA);
+  const obs::TraceSummary b = obs::summarizeTrace(traceB);
+
+  std::printf("A: %s (%s)\n", pathA.c_str(),
+              traceA.header.mapper.empty() ? "?"
+                                           : traceA.header.mapper.c_str());
+  std::printf("B: %s (%s)\n\n", pathB.c_str(),
+              traceB.header.mapper.empty() ? "?"
+                                           : traceB.header.mapper.c_str());
+
+  int differences = 0;
+  const auto row = [&](const char* label, std::uint64_t va,
+                       std::uint64_t vb) {
+    const long long delta =
+        static_cast<long long>(vb) - static_cast<long long>(va);
+    if (delta != 0) ++differences;
+    std::printf("  %-24s %12llu %12llu %+12lld\n", label, ull(va), ull(vb),
+                delta);
+  };
+  std::printf("  %-24s %12s %12s %12s\n", "metric", "A", "B", "B-A");
+  row("events", traceA.events.size(), traceB.events.size());
+  for (std::uint8_t k = 1; k < obs::kNumTraceEventKinds; ++k) {
+    const auto kind = static_cast<obs::TraceEventKind>(k);
+    if (a.count(kind) == 0 && b.count(kind) == 0) continue;
+    row(std::string(obs::traceEventKindName(kind)).c_str(), a.count(kind),
+        b.count(kind));
+  }
+  row("branch forks", a.forksBranch, b.forksBranch);
+  row("failure forks", a.forksFailure, b.forksFailure);
+  row("mapping forks", a.forksMapping, b.forksMapping);
+  row("targets forked", a.targetsForked, b.targetsForked);
+  row("bystanders forked", a.bystandersForked, b.bystandersForked);
+  row("scenario copies", a.scenarioCopies, b.scenarioCopies);
+  row("solver queries", a.solverQueries, b.solverQueries);
+  row("solver cache hits", a.solverCacheHits, b.solverCacheHits);
+  row("last virtual time", a.lastTime, b.lastTime);
+
+  std::printf("\nforks by node (A vs B)\n");
+  std::map<std::uint32_t, std::pair<std::uint64_t, std::uint64_t>> byNode;
+  for (const auto& [node, forks] : a.forksByNode) byNode[node].first = forks;
+  for (const auto& [node, forks] : b.forksByNode) byNode[node].second = forks;
+  for (const auto& [node, forks] : byNode) {
+    if (forks.first != forks.second) ++differences;
+    std::printf("  node %-4u %12llu %12llu %+12lld\n", node, ull(forks.first),
+                ull(forks.second),
+                static_cast<long long>(forks.second) -
+                    static_cast<long long>(forks.first));
+  }
+
+  std::printf("\n%d differing metric(s)\n", differences);
+  return differences == 0 ? 0 : 1;
+}
+
+int cmdMerge(const std::string& outPath,
+             const std::vector<std::string>& inputs) {
+  obs::mergeTraceFiles(inputs, outPath);
+  const obs::TraceFile merged = obs::readTraceFile(outPath);
+  std::printf("merged %zu trace(s) -> %s (%zu events)\n", inputs.size(),
+              outPath.c_str(), merged.events.size());
+  return 0;
+}
+
+int cmdExportChrome(const std::string& inPath, const std::string& outPath) {
+  const obs::TraceFile trace = obs::readTraceFile(inPath);
+  obs::exportChromeTraceFile(outPath, trace);
+  std::printf("exported %zu events -> %s\n", trace.events.size(),
+              outPath.c_str());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  sde_trace inspect       <file.trc>\n"
+      "  sde_trace validate      <file.trc>...\n"
+      "  sde_trace summarize     <file.trc> [--top K]\n"
+      "  sde_trace diff          <a.trc> <b.trc>\n"
+      "  sde_trace merge         <out.trc> <in.trc>...\n"
+      "  sde_trace export-chrome <in.trc> <out.json>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "inspect" && args.size() == 1) return cmdInspect(args[0]);
+    if (command == "validate" && !args.empty()) return cmdValidate(args);
+    if (command == "summarize" && !args.empty()) {
+      std::size_t topK = 10;
+      std::vector<std::string> rest;
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--top" && i + 1 < args.size())
+          topK = static_cast<std::size_t>(std::stoul(args[++i]));
+        else
+          rest.push_back(args[i]);
+      }
+      if (rest.size() != 1) return usage();
+      return cmdSummarize(rest[0], topK);
+    }
+    if (command == "diff" && args.size() == 2) return cmdDiff(args[0], args[1]);
+    if (command == "merge" && args.size() >= 2)
+      return cmdMerge(args[0], {args.begin() + 1, args.end()});
+    if (command == "export-chrome" && args.size() == 2)
+      return cmdExportChrome(args[0], args[1]);
+  } catch (const obs::TraceError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
