@@ -32,6 +32,7 @@
 #include "obs/trace_io.hpp"
 #include "snapshot/checkpoint.hpp"
 #include "snapshot/manifest.hpp"
+#include "support/pvector.hpp"
 #include "trace/scenario.hpp"
 #include "trace/table.hpp"
 
@@ -49,6 +50,7 @@ struct Options {
   std::string checkpointDir;
   bool resume = false;
   std::string traceDir;
+  bool deepCopy = false;  // legacy eager-copy forks (E17 memory baseline)
 };
 
 Options parseArgs(int argc, char** argv) {
@@ -74,6 +76,8 @@ Options parseArgs(int argc, char** argv) {
       options.resume = true;
     else if (arg == "--trace-out" && i + 1 < argc)
       options.traceDir = argv[++i];
+    else if (arg == "--deep-copy")
+      options.deepCopy = true;
     else
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
   }
@@ -100,6 +104,10 @@ std::uint32_t sideOf(std::uint32_t nodes) {
 int main(int argc, char** argv) {
   using namespace sde;
   const Options options = parseArgs(argc, argv);
+  if (options.deepCopy) {
+    support::setPersistDeepCopyMode(true);
+    std::printf("[deep-copy] legacy eager-copy forks (pre-sharing baseline)\n");
+  }
 
   for (const std::uint32_t nodes : options.nodeCounts) {
     const std::uint32_t side = sideOf(nodes);

@@ -1,0 +1,86 @@
+// E17 — fork-cost microbenchmarks (google-benchmark): how much work a
+// single ExecutionState::fork does as the state's append-only histories
+// grow, persistent structural sharing vs the legacy eager deep copy.
+// The per-iteration `copied_elems` counter (from support::persistStats)
+// is the payload-copy cost the tentpole claims is O(1): flat in history
+// size for the persistent representation, linear for the legacy one.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "support/pvector.hpp"
+#include "vm/builder.hpp"
+#include "vm/state.hpp"
+
+namespace {
+
+using namespace sde;
+
+vm::Program noopProgram() {
+  vm::IRBuilder b("noop");
+  b.setGlobals(2);
+  b.beginEntry(vm::Entry::kInit);
+  b.halt();
+  return b.finish();
+}
+
+// A state whose every chunked history holds `records` entries — the
+// shape a long-lived state has after thousands of events.
+vm::ExecutionState grownState(expr::Context& ctx, const vm::Program& program,
+                              std::uint64_t records) {
+  vm::ExecutionState state(1, 1, program);
+  state.space.initGlobals(ctx, 2);
+  for (std::uint64_t i = 0; i < records; ++i) {
+    state.constraints.add(
+        ctx.ult(ctx.variable("v", 32), ctx.constant(i + 1, 32)));
+    state.commLog.push_back({(i & 1) == 0, 2, i, i * 31, i});
+    state.decisions.push_back({ctx.variable("d", 1), (i & 1) == 0});
+    state.symbolics.push_back(ctx.variable("s" + std::to_string(i), 8));
+  }
+  return state;
+}
+
+void BM_Fork(benchmark::State& state, bool deepCopy) {
+  const auto records = static_cast<std::uint64_t>(state.range(0));
+  expr::Context ctx;
+  const vm::Program program = noopProgram();
+  vm::ExecutionState original = grownState(ctx, program, records);
+
+  support::setPersistDeepCopyMode(deepCopy);
+  const std::uint64_t advertised = original.forkCopyCost();
+  const std::uint64_t sharedChunks = original.forkSharedChunks();
+  auto& stats = support::persistStats();
+  const std::uint64_t copiedBefore =
+      stats.elementsCopied.load(std::memory_order_relaxed);
+  vm::StateId next = 100;
+  std::uint64_t iterations = 0;
+  for (auto _ : state) {
+    auto clone = original.fork(next++);
+    benchmark::DoNotOptimize(clone->configHash());
+    ++iterations;
+  }
+  support::setPersistDeepCopyMode(false);
+
+  const std::uint64_t copied =
+      stats.elementsCopied.load(std::memory_order_relaxed) - copiedBefore;
+  state.counters["copied_elems"] = benchmark::Counter(
+      static_cast<double>(copied) / static_cast<double>(iterations));
+  state.counters["advertised"] = static_cast<double>(advertised);
+  state.counters["shared_chunks"] = static_cast<double>(sharedChunks);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Fork, persistent, false)
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Fork, deep_copy, true)
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -13,6 +13,8 @@
 //                     [--cob-state-cap N] [--cob-wall-cap SECONDS]
 //                     [--paper]   (full 10-second simulation; slow)
 //                     [--checkpoint-dir DIR] [--resume] [--trace-out DIR]
+//                     [--deep-copy]  (legacy eager-copy forks: the
+//                                     pre-sharing memory baseline for E17)
 //
 // With --checkpoint-dir, each algorithm's run periodically checkpoints
 // (and checkpoints once more when a cap aborts it — the paper's COB
@@ -30,6 +32,7 @@
 #include "obs/profiler.hpp"
 #include "obs/trace_io.hpp"
 #include "sde/explode.hpp"
+#include "support/pvector.hpp"
 #include "trace/scenario.hpp"
 #include "trace/table.hpp"
 
@@ -44,6 +47,7 @@ struct Options {
   std::string checkpointDir;
   bool resume = false;
   std::string traceDir;
+  bool deepCopy = false;
 };
 
 Options parseArgs(int argc, char** argv) {
@@ -68,6 +72,8 @@ Options parseArgs(int argc, char** argv) {
       options.resume = true;
     else if (arg == "--trace-out" && i + 1 < argc)
       options.traceDir = argv[++i];
+    else if (arg == "--deep-copy")
+      options.deepCopy = true;
     else
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
   }
@@ -79,6 +85,10 @@ Options parseArgs(int argc, char** argv) {
 int main(int argc, char** argv) {
   using namespace sde;
   const Options options = parseArgs(argc, argv);
+  if (options.deepCopy) {
+    support::setPersistDeepCopyMode(true);
+    std::printf("[deep-copy] legacy eager-copy forks (pre-sharing baseline)\n");
+  }
 
   std::printf(
       "Table I — %ux%u grid (%u nodes), source->sink collect, symbolic "
@@ -87,8 +97,8 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(options.simulationTime));
 
   trace::TextTable table({"State mapping algorithm", "Runtime", "States",
-                          "RAM", "dstates/dscenarios", "dup (strict)",
-                          "dup (content)"});
+                          "RAM", "Peak RAM", "dstates/dscenarios",
+                          "dup (strict)", "dup (content)"});
 
   for (const MapperKind kind :
        {MapperKind::kCob, MapperKind::kCow, MapperKind::kSds}) {
@@ -145,6 +155,7 @@ int main(int argc, char** argv) {
     table.addRow({std::string(mapperKindName(kind)), runtime,
                   trace::formatCount(result.states),
                   trace::formatBytes(result.memoryBytes),
+                  trace::formatBytes(result.peakMemoryBytes),
                   trace::formatCount(result.groups),
                   trace::formatCount(result.duplicatesStrict.duplicateStates),
                   trace::formatCount(

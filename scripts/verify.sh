@@ -31,6 +31,19 @@ python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
   "$TRACE_SMOKE/table1_SDS.json" 2>/dev/null \
   || echo "(python3 unavailable: skipped JSON well-formedness check)"
 
+echo "=== release: configure + build (CMAKE_BUILD_TYPE=Release) ==="
+# Optimised build: the persistent-sharing fork paths are exactly the
+# kind of code where -O2 reorders lifetimes; the differential fuzz
+# oracle (fixed seeds baked into the test) must agree here too.
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-release -j
+
+echo "=== release: ctest ==="
+ctest --test-dir build-release --output-on-failure -j
+
+echo "=== release: fork-sharing differential fuzz oracle ==="
+./build-release/tests/fork_sharing_tests
+
 echo "=== tsan: configure + build (SDE_SANITIZE=thread) ==="
 cmake -B build-tsan -S . -DSDE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null

@@ -39,6 +39,11 @@ void CobMapper::onLocalBranch(ExecutionState& original,
       scenario.byNode[node] = &sibling;
       continue;
     }
+    // Elements the scenario copy actually deep-copies (sequence tails
+    // under the persistent representation): the per-mapper face of the
+    // paper's k-1-sibling-copies cost that aborts COB in Table I.
+    runtime.stats().bump("map.cob.scenario_copy_elements",
+                         member->forkCopyCost());
     ExecutionState& copy = runtime.forkState(*member);
     scenario.byNode[node] = &copy;
     runtime.stats().bump("map.cob.scenario_copies");

@@ -79,6 +79,8 @@ std::vector<ExecutionState*> CowMapper::onTransmit(ExecutionState& sender,
   for (NodeId node = 0; node < numNodes_; ++node) {
     if (node == sender.node()) continue;  // rivals stay, sender moved
     for (ExecutionState* member : old.members.statesOf(node)) {
+      runtime.stats().bump("map.cow.split_copy_elements",
+                           member->forkCopyCost());
       ExecutionState& copy = runtime.forkState(*member);
       fresh.members.add(&copy);
       dstateOf_[&copy] = &fresh;

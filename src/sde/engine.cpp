@@ -6,23 +6,6 @@
 
 namespace sde {
 
-namespace {
-
-// Fixed per-state overhead charged by the simulated-memory meter, on top
-// of the (shared-aware) memory payloads: the state object itself plus
-// bookkeeping vectors' elements.
-std::uint64_t stateOverheadBytes(const ExecutionState& state) {
-  std::uint64_t bytes = sizeof(ExecutionState);
-  bytes += state.constraints.size() * 32;  // constraint bookkeeping
-  bytes += state.commLog.size() * sizeof(vm::CommRecord);
-  bytes += state.symbolics.size() * sizeof(expr::Ref);
-  for (const vm::PendingEvent& event : state.pendingEvents)
-    bytes += sizeof(vm::PendingEvent) + event.payload.size() * 8;
-  return bytes;
-}
-
-}  // namespace
-
 std::string_view runOutcomeName(RunOutcome outcome) {
   switch (outcome) {
     case RunOutcome::kCompleted:
@@ -114,12 +97,20 @@ void Engine::setProfiler(obs::PhaseProfiler* profiler) {
 }
 
 ExecutionState& Engine::cloneInternal(ExecutionState& original) {
+  // Fork cost is a deterministic structural function of the parent
+  // (sequence tails + CoW queue), recorded before the fork and carried
+  // on the kStateFork trace event — the observable backing the O(1)
+  // fork claim.
+  lastForkCopiedElements_ = original.forkCopyCost();
+  lastForkSharedChunks_ = original.forkSharedChunks();
   auto clone = original.fork(nextStateId_++);
   ExecutionState& ref = *clone;
   byId_[ref.id()] = &ref;
   states_.push_back(std::move(clone));
   touched_.push_back(&ref);
   stats_.bump("engine.forks_total");
+  stats_.bump("engine.fork_copied_elements", lastForkCopiedElements_);
+  stats_.bump("engine.fork_shared_chunks", lastForkSharedChunks_);
   stats_.maxOf("engine.peak_states", states_.size());
   if (sharedCaps_ != nullptr) sharedCaps_->noteStatesCreated(1);
   return ref;
@@ -136,6 +127,8 @@ ExecutionState& Engine::forkLocal(ExecutionState& original,
     event.node = original.node();
     event.stateId = sibling.id();
     event.parentStateId = original.id();
+    event.a = lastForkCopiedElements_;
+    event.b = lastForkSharedChunks_;
     trace_->emit(event);
   }
   {
@@ -185,6 +178,8 @@ ExecutionState& Engine::Runtime::forkState(ExecutionState& original) {
     event.node = original.node();
     event.stateId = clone.id();
     event.parentStateId = original.id();
+    event.a = engine_.lastForkCopiedElements_;
+    event.b = engine_.lastForkSharedChunks_;
     engine_.trace_->emit(event);
   }
   return clone;
@@ -523,12 +518,13 @@ std::vector<ExecutionState*> Engine::statesOfNode(NodeId node) const {
 }
 
 std::uint64_t Engine::simulatedMemoryBytes() const {
+  // All-component shared-aware accounting: every shared block — memory
+  // payloads, sealed history chunks, CoW event queues — is charged to
+  // the first state that reaches it, so the total is what a deduplicated
+  // heap would hold (the quantity the paper's Table I RAM column caps).
   std::map<const void*, std::uint64_t> seen;
   std::uint64_t total = 0;
-  for (const auto& state : states_) {
-    total += stateOverheadBytes(*state);
-    total += state->space.accountBytes(seen);
-  }
+  for (const auto& state : states_) total += state->accountBytes(seen);
   return total;
 }
 

@@ -348,6 +348,10 @@ class Engine {
       bootGlobals_;
 
   std::vector<ExecutionState*> touched_;  // re-register after each event
+  // Fork cost of the most recent cloneInternal (deterministic per state
+  // shape); carried on the kStateFork trace event by both fork paths.
+  std::uint64_t lastForkCopiedElements_ = 0;
+  std::uint64_t lastForkSharedChunks_ = 0;
   bool booted_ = false;
   StateId nextStateId_ = 0;
   std::uint64_t nextPacketId_ = 1;

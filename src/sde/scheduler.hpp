@@ -71,7 +71,7 @@ class Scheduler {
         ++staleDrops_;
         continue;
       }
-      Popped popped{state, std::move(*it)};
+      Popped popped{state, *it};  // copy: erase may CoW-clone the storage
       state->pendingEvents.erase(it);
       return popped;
     }

@@ -135,6 +135,8 @@ std::vector<ExecutionState*> SdsMapper::onTransmit(ExecutionState& sender,
     TargetFork fork;
     fork.receiving = target;
     if (needFork) {
+      runtime.stats().bump("map.sds.target_copy_elements",
+                           target->forkCopyCost());
       fork.nonReceiving = &runtime.forkState(*target);
       runtime.stats().bump("map.targets_forked");
       ++targetsForked;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "expr/context.hpp"
+#include "support/pvector.hpp"
 #include "sde/engine.hpp"
 #include "snapshot/reader.hpp"
 #include "snapshot/writer.hpp"
@@ -194,8 +196,186 @@ using snapshot::writeRef;
 // The stats counter excluded from checkpoints (see checkpoint.hpp).
 constexpr std::string_view kPeakMemoryCounter = "engine.peak_memory_bytes";
 
+// v3: shared-sequence chunk tables. Sealed PVector chunks and CoW event
+// queue payloads serialize exactly like memory blobs — one table entry
+// per distinct allocation, registered in first-encounter order (states
+// in creation order, sequences in fixed member order), referenced by
+// index from the states. Restoring through the table reproduces the
+// structural-sharing classes, so forkCopyCost and simulatedMemoryBytes
+// of a resumed run match the uninterrupted run byte-for-byte.
+constexpr std::uint64_t kNullQueue = 0xFFFFFFFFFFFFFFFFull;
+
+template <typename T>
+struct ChunkTable {
+  std::unordered_map<const void*, std::uint64_t> indexOf;
+  std::vector<const std::vector<T>*> chunks;
+
+  void registerSequence(const support::PVector<T>& seq) {
+    if (seq.spine() == nullptr) return;
+    for (const auto& chunk : *seq.spine())
+      if (indexOf.try_emplace(chunk.get(), chunks.size()).second)
+        chunks.push_back(chunk.get());
+  }
+};
+
+struct QueueTable {
+  std::unordered_map<const void*, std::uint64_t> indexOf;
+  std::vector<const std::vector<vm::PendingEvent>*> queues;
+
+  void registerQueue(const vm::EventQueue& queue) {
+    const auto& payload = queue.events().raw();
+    if (payload == nullptr) return;
+    if (indexOf.try_emplace(payload.get(), queues.size()).second)
+      queues.push_back(payload.get());
+  }
+};
+
+struct SharedTables {
+  ChunkTable<expr::Ref> refs;            // constraints + symbolics
+  ChunkTable<vm::CommRecord> comm;
+  ChunkTable<ExecutionState::DecisionRecord> decisions;
+  QueueTable queues;
+
+  void registerState(const ExecutionState& state) {
+    refs.registerSequence(state.constraints.items());
+    comm.registerSequence(state.commLog.records());
+    decisions.registerSequence(state.decisions);
+    refs.registerSequence(state.symbolics);
+    queues.registerQueue(state.pendingEvents);
+  }
+};
+
+void writeCommRecord(Writer& out, const vm::CommRecord& record) {
+  out.b(record.sent);
+  out.u32(record.peer);
+  out.u64(record.time);
+  out.u64(record.payloadHash);
+  out.u64(record.packetId);
+}
+
+vm::CommRecord readCommRecord(Reader& in) {
+  vm::CommRecord record;
+  record.sent = in.b();
+  record.peer = in.u32();
+  record.time = in.u64();
+  record.payloadHash = in.u64();
+  record.packetId = in.u64();
+  return record;
+}
+
+void writeDecisionRecord(Writer& out,
+                         const ExecutionState::DecisionRecord& decision) {
+  writeRef(out, decision.var);
+  out.b(decision.failed);
+}
+
+ExecutionState::DecisionRecord readDecisionRecord(Reader& in,
+                                                  const expr::Context& ctx) {
+  ExecutionState::DecisionRecord decision;
+  decision.var = readRef(in, ctx);
+  decision.failed = in.b();
+  return decision;
+}
+
+void writePendingEvent(Writer& out, const vm::PendingEvent& event) {
+  out.u64(event.time);
+  out.u8(static_cast<std::uint8_t>(event.kind));
+  out.u64(event.a);
+  out.u64(event.b);
+  out.u64(event.payload.size());
+  for (const expr::Ref& cell : event.payload) writeRef(out, cell);
+  out.u64(event.seq);
+}
+
+vm::PendingEvent readPendingEvent(Reader& in, const expr::Context& ctx) {
+  vm::PendingEvent event;
+  event.time = in.u64();
+  const std::uint8_t kind = in.u8();
+  if (kind > static_cast<std::uint8_t>(vm::EventKind::kRecv))
+    throw SnapshotError("unknown event kind in checkpoint");
+  event.kind = static_cast<vm::EventKind>(kind);
+  event.a = in.u64();
+  event.b = in.u64();
+  const std::uint64_t cells = in.u64();
+  event.payload.reserve(cells);
+  for (std::uint64_t c = 0; c < cells; ++c)
+    event.payload.push_back(readRef(in, ctx));
+  event.seq = in.u64();
+  return event;
+}
+
+template <typename T, typename WriteElem>
+void writeChunkTable(Writer& out, const ChunkTable<T>& table,
+                     WriteElem writeElem) {
+  out.u64(table.chunks.size());
+  for (const std::vector<T>* chunk : table.chunks) {
+    out.u64(chunk->size());
+    for (const T& item : *chunk) writeElem(item);
+  }
+}
+
+template <typename T, typename ReadElem>
+std::vector<std::shared_ptr<const std::vector<T>>> readChunkTable(
+    Reader& in, ReadElem readElem) {
+  const std::uint64_t count = in.u64();
+  std::vector<std::shared_ptr<const std::vector<T>>> chunks;
+  chunks.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t size = in.u64();
+    if (size != support::PVector<T>::chunkCapacity())
+      throw SnapshotError("sequence chunk has the wrong size "
+                          "(corrupt checkpoint)");
+    auto chunk = std::make_shared<std::vector<T>>();
+    chunk->reserve(size);
+    for (std::uint64_t c = 0; c < size; ++c) chunk->push_back(readElem());
+    chunks.push_back(std::move(chunk));
+  }
+  return chunks;
+}
+
+template <typename T, typename WriteElem>
+void writeSequence(Writer& out, const support::PVector<T>& seq,
+                   const ChunkTable<T>& table, WriteElem writeElem) {
+  const auto* spine = seq.spine();
+  out.u64(spine == nullptr ? 0 : spine->size());
+  if (spine != nullptr)
+    for (const auto& chunk : *spine) out.u64(table.indexOf.at(chunk.get()));
+  out.u64(seq.tail().size());
+  for (const T& item : seq.tail()) writeElem(item);
+}
+
+template <typename T, typename ReadElem>
+support::PVector<T> readSequence(
+    Reader& in, const std::vector<std::shared_ptr<const std::vector<T>>>& table,
+    ReadElem readElem) {
+  using Sequence = support::PVector<T>;
+  const std::uint64_t numChunks = in.u64();
+  std::shared_ptr<const typename Sequence::Spine> spine;
+  if (numChunks != 0) {
+    auto building = std::make_shared<typename Sequence::Spine>();
+    building->reserve(numChunks);
+    for (std::uint64_t i = 0; i < numChunks; ++i) {
+      const std::uint64_t index = in.u64();
+      if (index >= table.size())
+        throw SnapshotError("state references an unknown sequence chunk");
+      building->push_back(table[index]);
+    }
+    spine = std::move(building);
+  }
+  const std::uint64_t tailSize = in.u64();
+  if (tailSize >= Sequence::chunkCapacity())
+    throw SnapshotError("sequence tail over-full (corrupt checkpoint)");
+  std::vector<T> tail;
+  tail.reserve(tailSize);
+  for (std::uint64_t i = 0; i < tailSize; ++i) tail.push_back(readElem());
+  Sequence seq;
+  seq.restoreSnapshot(std::move(spine), std::move(tail));
+  return seq;
+}
+
 void writeState(Writer& out, const ExecutionState& state,
-                const std::unordered_map<const void*, std::uint64_t>& blobOf) {
+                const std::unordered_map<const void*, std::uint64_t>& blobOf,
+                const SharedTables& tables) {
   out.u64(state.id());
   out.u32(state.node());
   out.u8(static_cast<std::uint8_t>(state.status));
@@ -215,19 +395,18 @@ void writeState(Writer& out, const ExecutionState& state,
     out.u64(blobOf.at(cells.get()));
   }
 
-  out.u64(state.constraints.size());
-  for (const expr::Ref c : state.constraints.items()) writeRef(out, c);
+  const auto writeRefElem = [&out](const expr::Ref& ref) {
+    writeRef(out, ref);
+  };
+  writeSequence(out, state.constraints.items(), tables.refs, writeRefElem);
 
-  out.u64(state.pendingEvents.size());
-  for (const vm::PendingEvent& event : state.pendingEvents) {
-    out.u64(event.time);
-    out.u8(static_cast<std::uint8_t>(event.kind));
-    out.u64(event.a);
-    out.u64(event.b);
-    out.u64(event.payload.size());
-    for (const expr::Ref cell : event.payload) writeRef(out, cell);
-    out.u64(event.seq);
-  }
+  // Event queue: a reference into the queue blob table (or the null
+  // sentinel for an empty queue) — its CoW sharing class round-trips
+  // like a memory blob's.
+  const auto& queuePayload = state.pendingEvents.events().raw();
+  out.u64(queuePayload == nullptr ? kNullQueue
+                                  : tables.queues.indexOf.at(
+                                        queuePayload.get()));
   out.u64(state.nextEventSeq);
 
   out.u64(state.activeTimers.size());
@@ -236,23 +415,17 @@ void writeState(Writer& out, const ExecutionState& state,
     out.u64(seq);
   }
 
-  out.u64(state.commLog.size());
-  for (const vm::CommRecord& record : state.commLog) {
-    out.b(record.sent);
-    out.u32(record.peer);
-    out.u64(record.time);
-    out.u64(record.payloadHash);
-    out.u64(record.packetId);
-  }
+  writeSequence(out, state.commLog.records(), tables.comm,
+                [&out](const vm::CommRecord& record) {
+                  writeCommRecord(out, record);
+                });
 
-  out.u64(state.decisions.size());
-  for (const auto& decision : state.decisions) {
-    writeRef(out, decision.var);
-    out.b(decision.failed);
-  }
+  writeSequence(out, state.decisions, tables.decisions,
+                [&out](const ExecutionState::DecisionRecord& decision) {
+                  writeDecisionRecord(out, decision);
+                });
 
-  out.u64(state.symbolics.size());
-  for (const expr::Ref symbolic : state.symbolics) writeRef(out, symbolic);
+  writeSequence(out, state.symbolics, tables.refs, writeRefElem);
 
   out.u64(state.symbolicCounters.size());
   for (const auto& [label, next] : state.symbolicCounters) {
@@ -263,9 +436,20 @@ void writeState(Writer& out, const ExecutionState& state,
   out.u64(state.executedInstructions);
 }
 
+// Reader-side counterpart of SharedTables: the deserialized shared
+// blocks, indexed as the writer numbered them.
+struct RestoredTables {
+  std::vector<std::shared_ptr<const std::vector<expr::Ref>>> refs;
+  std::vector<std::shared_ptr<const std::vector<vm::CommRecord>>> comm;
+  std::vector<std::shared_ptr<const std::vector<ExecutionState::DecisionRecord>>>
+      decisions;
+  std::vector<std::shared_ptr<std::vector<vm::PendingEvent>>> queues;
+};
+
 void readStateBody(
     Reader& in, const expr::Context& ctx, ExecutionState& state,
-    const std::vector<std::shared_ptr<vm::AddressSpace::Cells>>& blobs) {
+    const std::vector<std::shared_ptr<vm::AddressSpace::Cells>>& blobs,
+    const RestoredTables& tables) {
   const std::uint8_t status = in.u8();
   if (status > static_cast<std::uint8_t>(vm::StateStatus::kKilled))
     throw SnapshotError("unknown state status in checkpoint");
@@ -293,27 +477,17 @@ void readStateBody(
   }
   state.space.restoreSnapshot(std::move(objects), nextObjectId);
 
-  const std::uint64_t constraints = in.u64();
-  for (std::uint64_t i = 0; i < constraints; ++i)
-    state.constraints.add(readRef(in, ctx));
+  const auto readRefElem = [&in, &ctx]() { return readRef(in, ctx); };
+  state.constraints.restoreSnapshot(
+      readSequence(in, tables.refs, readRefElem));
 
-  const std::uint64_t events = in.u64();
-  state.pendingEvents.reserve(events);
-  for (std::uint64_t i = 0; i < events; ++i) {
-    vm::PendingEvent event;
-    event.time = in.u64();
-    const std::uint8_t kind = in.u8();
-    if (kind > static_cast<std::uint8_t>(vm::EventKind::kRecv))
-      throw SnapshotError("unknown event kind in checkpoint");
-    event.kind = static_cast<vm::EventKind>(kind);
-    event.a = in.u64();
-    event.b = in.u64();
-    const std::uint64_t cells = in.u64();
-    event.payload.reserve(cells);
-    for (std::uint64_t c = 0; c < cells; ++c)
-      event.payload.push_back(readRef(in, ctx));
-    event.seq = in.u64();
-    state.pendingEvents.push_back(std::move(event));
+  const std::uint64_t queueIndex = in.u64();
+  if (queueIndex != kNullQueue) {
+    if (queueIndex >= tables.queues.size())
+      throw SnapshotError("state references an unknown event queue blob");
+    vm::EventQueue::Events events;
+    events.restoreSnapshot(tables.queues[queueIndex]);
+    state.pendingEvents.restoreSnapshot(std::move(events));
   }
   state.nextEventSeq = in.u64();
 
@@ -323,31 +497,14 @@ void readStateBody(
     state.activeTimers[timer] = in.u64();
   }
 
-  const std::uint64_t records = in.u64();
-  state.commLog.reserve(records);
-  for (std::uint64_t i = 0; i < records; ++i) {
-    vm::CommRecord record;
-    record.sent = in.b();
-    record.peer = in.u32();
-    record.time = in.u64();
-    record.payloadHash = in.u64();
-    record.packetId = in.u64();
-    state.commLog.push_back(record);
-  }
+  state.commLog.restoreSnapshot(
+      readSequence(in, tables.comm, [&in]() { return readCommRecord(in); }));
 
-  const std::uint64_t decisions = in.u64();
-  state.decisions.reserve(decisions);
-  for (std::uint64_t i = 0; i < decisions; ++i) {
-    ExecutionState::DecisionRecord decision;
-    decision.var = readRef(in, ctx);
-    decision.failed = in.b();
-    state.decisions.push_back(decision);
-  }
+  state.decisions = readSequence(in, tables.decisions, [&in, &ctx]() {
+    return readDecisionRecord(in, ctx);
+  });
 
-  const std::uint64_t symbolics = in.u64();
-  state.symbolics.reserve(symbolics);
-  for (std::uint64_t i = 0; i < symbolics; ++i)
-    state.symbolics.push_back(readRef(in, ctx));
+  state.symbolics = readSequence(in, tables.refs, readRefElem);
 
   const std::uint64_t counters = in.u64();
   for (std::uint64_t i = 0; i < counters; ++i) {
@@ -457,7 +614,27 @@ void Engine::checkpoint(std::ostream& os) const {
   out.u64(blobs.size());
   for (const vm::AddressSpace::Cells* cells : blobs) {
     out.u64(cells->size());
-    for (const expr::Ref cell : *cells) writeRef(out, cell);
+    for (const expr::Ref& cell : *cells) writeRef(out, cell);
+  }
+
+  // v3: shared-sequence chunk tables (same pointer-identity discipline
+  // as the memory blobs, extended to the persistent state histories and
+  // the CoW event queues).
+  SharedTables tables;
+  for (const auto& state : states_) tables.registerState(*state);
+  writeChunkTable(out, tables.refs,
+                  [&out](const expr::Ref& ref) { writeRef(out, ref); });
+  writeChunkTable(out, tables.comm, [&out](const vm::CommRecord& record) {
+    writeCommRecord(out, record);
+  });
+  writeChunkTable(out, tables.decisions,
+                  [&out](const ExecutionState::DecisionRecord& decision) {
+                    writeDecisionRecord(out, decision);
+                  });
+  out.u64(tables.queues.queues.size());
+  for (const std::vector<vm::PendingEvent>* queue : tables.queues.queues) {
+    out.u64(queue->size());
+    for (const vm::PendingEvent& event : *queue) writePendingEvent(out, event);
   }
 
   // Engine scalars.
@@ -489,7 +666,7 @@ void Engine::checkpoint(std::ostream& os) const {
   writeQueryCache(out, solver_.cache());
 
   out.u64(states_.size());
-  for (const auto& state : states_) writeState(out, *state, blobOf);
+  for (const auto& state : states_) writeState(out, *state, blobOf, tables);
 
   // Scheduler heap (ascending pop order) and its stale-drop counter.
   out.u64(scheduler_.staleDrops());
@@ -550,6 +727,24 @@ void Engine::restore(std::istream& is) {
     blobs.push_back(std::move(cells));
   }
 
+  RestoredTables tables;
+  tables.refs = readChunkTable<expr::Ref>(
+      in, [&in, this]() { return readRef(in, ctx_); });
+  tables.comm = readChunkTable<vm::CommRecord>(
+      in, [&in]() { return readCommRecord(in); });
+  tables.decisions = readChunkTable<ExecutionState::DecisionRecord>(
+      in, [&in, this]() { return readDecisionRecord(in, ctx_); });
+  const std::uint64_t numQueues = in.u64();
+  tables.queues.reserve(numQueues);
+  for (std::uint64_t i = 0; i < numQueues; ++i) {
+    auto queue = std::make_shared<std::vector<vm::PendingEvent>>();
+    const std::uint64_t size = in.u64();
+    queue->reserve(size);
+    for (std::uint64_t e = 0; e < size; ++e)
+      queue->push_back(readPendingEvent(in, ctx_));
+    tables.queues.push_back(std::move(queue));
+  }
+
   nextStateId_ = in.u64();
   nextPacketId_ = in.u64();
   wallSecondsAccumulated_ = in.f64();
@@ -587,7 +782,7 @@ void Engine::restore(std::istream& is) {
                           ", which this plan does not define");
     auto state =
         std::make_unique<ExecutionState>(id, node, *programIt->second);
-    readStateBody(in, ctx_, *state, blobs);
+    readStateBody(in, ctx_, *state, blobs, tables);
     if (!byId_.emplace(id, state.get()).second)
       throw SnapshotError("checkpoint contains duplicate state ids");
     states_.push_back(std::move(state));

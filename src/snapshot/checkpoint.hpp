@@ -41,7 +41,12 @@ inline constexpr std::string_view kCheckpointMagic = "SDECKPT";
 inline constexpr std::string_view kCheckpointTrailer = "SDEEND";
 // v2: appended the trace-sequence scalar (obs/ trace continuity across
 // suspend/resume) to the engine-scalars section.
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+// v3: state histories (constraints, comm log, decisions, symbolics) are
+// persistent chunked sequences and the pending-event queue is CoW;
+// their shared blocks serialize through pointer-identity chunk tables
+// (like the memory blob table) so structural sharing — and the
+// all-component simulated-memory accounting — survives restore.
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 // --- Expression DAG (exposed for the round-trip fuzz test) -------------------
 // Serializes the whole interning log of `ctx` in creation order; a Ref

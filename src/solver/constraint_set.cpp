@@ -1,6 +1,7 @@
 #include "solver/constraint_set.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/hash.hpp"
 
@@ -11,26 +12,43 @@ ConstraintSet::AddResult ConstraintSet::add(expr::Ref c) {
   if (c->isTrue()) return AddResult::kRedundant;
   if (c->isFalse()) return AddResult::kTriviallyFalse;
   if (contains(c)) return AddResult::kRedundant;
-  constraints_.push_back(c);
   // XOR of mixed per-item hashes: commutative, so the set hash is
   // independent of insertion order.
   setHash_ ^= support::mix64(c->hash());
+  constraints_.push_back(std::move(c));
   return AddResult::kAdded;
 }
 
-bool ConstraintSet::contains(expr::Ref c) const {
-  return std::find(constraints_.begin(), constraints_.end(), c) !=
-         constraints_.end();
+bool ConstraintSet::contains(const expr::Ref& c) const {
+  for (const expr::Ref& item : constraints_)
+    if (item == c) return true;
+  return false;
+}
+
+std::vector<expr::Ref> ConstraintSet::toVector() const {
+  std::vector<expr::Ref> flat;
+  flat.reserve(constraints_.size());
+  for (const expr::Ref& c : constraints_) flat.push_back(c);
+  return flat;
 }
 
 std::vector<expr::Ref> ConstraintSet::variables(
     const expr::Context& ctx) const {
   std::vector<expr::Ref> vars;
-  for (expr::Ref c : constraints_) ctx.collectVariables(c, vars);
+  for (const expr::Ref& c : constraints_) ctx.collectVariables(c, vars);
   std::sort(vars.begin(), vars.end(),
-            [](expr::Ref a, expr::Ref b) { return a->id() < b->id(); });
+            [](const expr::Ref& a, const expr::Ref& b) {
+              return a->id() < b->id();
+            });
   vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
   return vars;
+}
+
+void ConstraintSet::restoreSnapshot(Items items) {
+  constraints_ = std::move(items);
+  setHash_ = 0;
+  for (const expr::Ref& c : constraints_)
+    setHash_ ^= support::mix64(c->hash());
 }
 
 }  // namespace sde::solver

@@ -80,8 +80,11 @@ bool Solver::mayBeTrue(const ConstraintSet& constraints, expr::Ref cond) {
   // A variable-free condition carries no variables for the independence
   // slice to anchor on; the query degenerates to "are the constraints
   // satisfiable at all", which must consider every component.
+  // Flatten the chunked constraint sequence once: the independence
+  // slicer and component splitter work over contiguous spans.
+  const std::vector<expr::Ref> all = constraints.toVector();
   if (cond->isTrue()) {
-    for (const auto& component : splitComponents(ctx_, constraints.items()))
+    for (const auto& component : splitComponents(ctx_, all))
       if (solveConjunction(component).status == EnumStatus::kUnsat)
         return false;
     return true;
@@ -89,11 +92,10 @@ bool Solver::mayBeTrue(const ConstraintSet& constraints, expr::Ref cond) {
 
   std::vector<expr::Ref> conj;
   if (config_.useIndependence) {
-    conj = sliceForQuery(ctx_, constraints.items(), cond);
-    stats_.bump("solver.sliced_away",
-                constraints.size() - conj.size());
+    conj = sliceForQuery(ctx_, all, cond);
+    stats_.bump("solver.sliced_away", all.size() - conj.size());
   } else {
-    conj.assign(constraints.items().begin(), constraints.items().end());
+    conj = all;
   }
   conj.push_back(cond);
 
@@ -118,11 +120,8 @@ std::optional<std::uint64_t> Solver::getValue(const ConstraintSet& constraints,
   if (e->isConstant()) return e->value();
   obs::ScopedPhase scope(profiler_, obs::Phase::kSolver);
 
-  std::vector<expr::Ref> conj;
-  if (config_.useIndependence)
-    conj = sliceForQuery(ctx_, constraints.items(), e);
-  else
-    conj.assign(constraints.items().begin(), constraints.items().end());
+  std::vector<expr::Ref> conj = constraints.toVector();
+  if (config_.useIndependence) conj = sliceForQuery(ctx_, conj, e);
 
   const EnumResult r = solveConjunction(conj);
   if (r.status == EnumStatus::kUnsat) return std::nullopt;
@@ -141,7 +140,8 @@ std::optional<expr::Assignment> Solver::getModel(
   // Solve each independent component separately and merge: exponentially
   // cheaper than one joint enumeration and exactly as complete.
   expr::Assignment merged;
-  for (const auto& component : splitComponents(ctx_, constraints.items())) {
+  const std::vector<expr::Ref> all = constraints.toVector();
+  for (const auto& component : splitComponents(ctx_, all)) {
     const EnumResult r = solveConjunction(component);
     if (r.status == EnumStatus::kUnsat) return std::nullopt;
     if (r.status == EnumStatus::kExhausted) {

@@ -1,0 +1,389 @@
+// Persistent, structurally-shared sequences — the state-fork cost model.
+//
+// The paper's Table I is a memory story: COB dies at the RAM cap because
+// every local branch copies all k-1 sibling states. Our ExecutionState
+// used to deep-copy its append-only histories (constraints, comm log,
+// decision log, symbolic inputs) on every fork; these containers make
+// that copy O(1) by the same discipline AddressSpace applies to memory
+// objects, extended to sequences:
+//
+//  * PVector<T>  — an append-only sequence stored as immutable, shared
+//    chunks of kChunkCapacity elements plus a small mutable tail.
+//    Copying shares every sealed chunk (one shared_ptr spine copy) and
+//    clones only the tail (< kChunkCapacity elements), so a fork costs
+//    O(1) in the sequence length. Sealing a full tail copies the spine
+//    pointer array — amortised one pointer per push.
+//
+//  * CowVec<T>   — a random-access sequence shared whole-sale between
+//    copies; the first mutation after a copy clones the payload (the
+//    event queue needs erase-in-the-middle, which chunk sharing cannot
+//    express). Copying is O(1); mutation is pay-on-write.
+//
+// Both containers attribute their shared payloads once through the
+// `seen`-map accounting protocol (vm::AddressSpace::accountBytes), feed
+// the global sharing counters below (fork-cost observability: benches
+// and the O(1)-fork unit tests read them), and honour the process-wide
+// deep-copy mode — the legacy eager-copy representation kept alive as
+// the differential-fuzz baseline: identical semantics, zero sharing.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace sde::support {
+
+// --- Sharing counters (process-wide, relaxed) --------------------------------
+// Written on every container copy/seal/clone; read by bench_fork and the
+// structural-sharing unit tests. Relaxed atomics: the counters are
+// observability, never control flow, and per-engine determinism is
+// provided by ExecutionState::forkCopyCost() instead.
+struct PersistStats {
+  std::atomic<std::uint64_t> elementsCopied{0};  // deep element copies
+  std::atomic<std::uint64_t> chunksShared{0};    // chunk refs shared on copy
+  std::atomic<std::uint64_t> chunksSealed{0};    // tails frozen into chunks
+  std::atomic<std::uint64_t> cowClones{0};       // CowVec clone-on-write events
+
+  void reset() {
+    elementsCopied.store(0, std::memory_order_relaxed);
+    chunksShared.store(0, std::memory_order_relaxed);
+    chunksSealed.store(0, std::memory_order_relaxed);
+    cowClones.store(0, std::memory_order_relaxed);
+  }
+};
+
+inline PersistStats& persistStats() {
+  static PersistStats stats;
+  return stats;
+}
+
+// --- Legacy eager-copy mode --------------------------------------------------
+// When set, every container copy clones its payload instead of sharing
+// it — byte-for-byte the pre-persistent representation. The differential
+// fuzz oracle runs the same exploration in both modes and demands
+// identical digests; production code never sets this.
+inline std::atomic<bool>& persistDeepCopyFlag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+[[nodiscard]] inline bool persistDeepCopyMode() {
+  return persistDeepCopyFlag().load(std::memory_order_relaxed);
+}
+inline void setPersistDeepCopyMode(bool on) {
+  persistDeepCopyFlag().store(on, std::memory_order_relaxed);
+}
+
+// RAII scope for tests: flips into deep-copy mode and restores on exit.
+class ScopedDeepCopyMode {
+ public:
+  explicit ScopedDeepCopyMode(bool on = true) : previous_(persistDeepCopyMode()) {
+    setPersistDeepCopyMode(on);
+  }
+  ~ScopedDeepCopyMode() { setPersistDeepCopyMode(previous_); }
+  ScopedDeepCopyMode(const ScopedDeepCopyMode&) = delete;
+  ScopedDeepCopyMode& operator=(const ScopedDeepCopyMode&) = delete;
+
+ private:
+  bool previous_;
+};
+
+// --- PVector -----------------------------------------------------------------
+// The default chunk size is tuned to the engine's workloads: states are
+// per-node VMs whose histories (comm records, path constraints,
+// decisions) grow by a handful of entries per simulated send, so chunks
+// must seal within tens of pushes for forks to share anything on
+// realistic scenario lengths. 8 keeps the spine overhead at one pointer
+// per 8 elements while letting even short runs build shared prefixes.
+template <typename T, std::size_t kChunkCapacity = 8>
+class PVector {
+ public:
+  static_assert(kChunkCapacity >= 2, "degenerate chunk size");
+  using Chunk = std::vector<T>;  // exactly kChunkCapacity elements once sealed
+  using Spine = std::vector<std::shared_ptr<const Chunk>>;
+  static constexpr std::size_t chunkCapacity() { return kChunkCapacity; }
+
+  PVector() = default;
+  PVector(PVector&&) noexcept = default;
+  PVector& operator=(PVector&&) noexcept = default;
+  PVector(const PVector& other) { copyFrom(other); }
+  PVector& operator=(const PVector& other) {
+    if (this != &other) {
+      spine_ = nullptr;
+      tail_.clear();
+      copyFrom(other);
+    }
+    return *this;
+  }
+
+  void push_back(T value) {
+    tail_.push_back(std::move(value));
+    if (tail_.size() == kChunkCapacity) seal();
+  }
+
+  [[nodiscard]] std::size_t size() const { return sealedSize() + tail_.size(); }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    const std::size_t sealed = sealedSize();
+    if (i >= sealed) return tail_[i - sealed];
+    return (*(*spine_)[i / kChunkCapacity])[i % kChunkCapacity];
+  }
+  [[nodiscard]] const T& back() const {
+    SDE_ASSERT(!empty(), "back() of an empty PVector");
+    return (*this)[size() - 1];
+  }
+
+  // Forward const iterator (indices into the chunked storage).
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const T*;
+    using reference = const T&;
+
+    const_iterator() = default;
+    const_iterator(const PVector* owner, std::size_t index)
+        : owner_(owner), index_(index) {}
+
+    reference operator*() const { return (*owner_)[index_]; }
+    pointer operator->() const { return &(*owner_)[index_]; }
+    const_iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator old = *this;
+      ++index_;
+      return old;
+    }
+    [[nodiscard]] bool operator==(const const_iterator& other) const {
+      return index_ == other.index_;
+    }
+    [[nodiscard]] bool operator!=(const const_iterator& other) const {
+      return index_ != other.index_;
+    }
+
+   private:
+    const PVector* owner_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  [[nodiscard]] const_iterator begin() const { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const { return {this, size()}; }
+
+  // --- Fork-cost observability ------------------------------------------------
+  // Elements a copy of this container deep-copies right now — the tail
+  // in persistent mode, everything in legacy deep-copy mode. This is
+  // the deterministic per-state quantity the engine's fork counters and
+  // kStateFork trace records carry (the global PersistStats counters
+  // are process-wide and interleave across engines).
+  [[nodiscard]] std::uint64_t copyCostElements() const {
+    return persistDeepCopyMode() ? size() : tail_.size();
+  }
+  // Chunk references a copy shares instead of cloning (zero in legacy
+  // mode, which clones them).
+  [[nodiscard]] std::uint64_t sharedChunksOnCopy() const {
+    return persistDeepCopyMode() ? 0 : numChunks();
+  }
+  [[nodiscard]] std::size_t numChunks() const {
+    return spine_ == nullptr ? 0 : spine_->size();
+  }
+  [[nodiscard]] std::size_t tailSize() const { return tail_.size(); }
+
+  // --- Memory accounting ------------------------------------------------------
+  // Bytes held by this sequence, attributing each shared chunk once via
+  // `seen` (the AddressSpace protocol: first visitor pays). The spine
+  // pointer array and tail are billed per owner — both are private to
+  // one container — as a deterministic function of the shape, so the
+  // total survives checkpoint/restore byte-for-byte.
+  [[nodiscard]] std::uint64_t accountBytes(
+      std::map<const void*, std::uint64_t>& seen) const {
+    std::uint64_t bytes = tail_.size() * sizeof(T);
+    bytes += numChunks() * sizeof(void*);  // spine entries
+    if (spine_ != nullptr) {
+      for (const std::shared_ptr<const Chunk>& chunk : *spine_) {
+        const auto [it, inserted] =
+            seen.emplace(chunk.get(), chunk->size() * sizeof(T));
+        if (inserted) bytes += it->second;
+      }
+    }
+    return bytes;
+  }
+
+  // --- Snapshot support -------------------------------------------------------
+  // The snapshot layer serializes chunks through a pointer-identity
+  // table (exactly like AddressSpace memory blobs) so that structural
+  // sharing — and with it the memory accounting — survives restore.
+  [[nodiscard]] const Spine* spine() const { return spine_.get(); }
+  [[nodiscard]] const std::vector<T>& tail() const { return tail_; }
+  void restoreSnapshot(std::shared_ptr<const Spine> spine,
+                       std::vector<T> tail) {
+    SDE_ASSERT(empty(), "restoreSnapshot needs an empty PVector");
+    SDE_ASSERT(tail.size() < kChunkCapacity, "restored tail over-full");
+    spine_ = std::move(spine);
+    tail_ = std::move(tail);
+  }
+
+ private:
+  [[nodiscard]] std::size_t sealedSize() const {
+    return numChunks() * kChunkCapacity;
+  }
+
+  void seal() {
+    auto chunk = std::make_shared<const Chunk>(std::move(tail_));
+    tail_.clear();
+    auto spine = std::make_shared<Spine>();
+    spine->reserve(numChunks() + 1);
+    if (spine_ != nullptr) *spine = *spine_;
+    spine->push_back(std::move(chunk));
+    spine_ = std::move(spine);
+    persistStats().chunksSealed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void copyFrom(const PVector& other) {
+    PersistStats& stats = persistStats();
+    tail_ = other.tail_;
+    std::uint64_t copied = other.tail_.size();
+    if (other.spine_ != nullptr) {
+      if (persistDeepCopyMode()) {
+        // Legacy representation: clone every chunk (the fuzz baseline).
+        auto spine = std::make_shared<Spine>();
+        spine->reserve(other.spine_->size());
+        for (const std::shared_ptr<const Chunk>& chunk : *other.spine_) {
+          spine->push_back(std::make_shared<const Chunk>(*chunk));
+          copied += chunk->size();
+        }
+        spine_ = std::move(spine);
+      } else {
+        spine_ = other.spine_;
+        stats.chunksShared.fetch_add(other.spine_->size(),
+                                     std::memory_order_relaxed);
+      }
+    }
+    stats.elementsCopied.fetch_add(copied, std::memory_order_relaxed);
+  }
+
+  std::shared_ptr<const Spine> spine_;  // null = no sealed chunks yet
+  std::vector<T> tail_;                 // < kChunkCapacity elements
+};
+
+// --- CowVec ------------------------------------------------------------------
+template <typename T>
+class CowVec {
+ public:
+  using const_iterator = typename std::vector<T>::const_iterator;
+
+  CowVec() = default;
+  CowVec(CowVec&&) noexcept = default;
+  CowVec& operator=(CowVec&&) noexcept = default;
+  CowVec(const CowVec& other) { copyFrom(other); }
+  CowVec& operator=(const CowVec& other) {
+    if (this != &other) {
+      data_ = nullptr;
+      copyFrom(other);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] const std::vector<T>& view() const {
+    return data_ == nullptr ? emptyVector() : *data_;
+  }
+  [[nodiscard]] std::size_t size() const { return view().size(); }
+  [[nodiscard]] bool empty() const { return view().empty(); }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return view()[i]; }
+  [[nodiscard]] const T& back() const { return view().back(); }
+  [[nodiscard]] const_iterator begin() const { return view().begin(); }
+  [[nodiscard]] const_iterator end() const { return view().end(); }
+
+  void push_back(T value) { mut().push_back(std::move(value)); }
+  void pop_back() { mut().pop_back(); }
+  void clear() { data_ = nullptr; }  // drops our reference; sharers keep theirs
+
+  void erase(const_iterator pos) {
+    const std::size_t index =
+        static_cast<std::size_t>(pos - view().begin());
+    std::vector<T>& items = mut();  // may reallocate: use the index, not pos
+    items.erase(items.begin() + static_cast<std::ptrdiff_t>(index));
+  }
+
+  // Removes all elements matching `pred` (which must be pure: it may run
+  // multiple times per element). Returns the number removed. A no-match
+  // scan never clones shared storage.
+  template <typename Pred>
+  std::size_t eraseIf(Pred pred) {
+    const std::vector<T>& items = view();
+    if (std::none_of(items.begin(), items.end(), pred)) return 0;
+    return std::erase_if(mut(), pred);
+  }
+
+  [[nodiscard]] std::uint64_t copyCostElements() const {
+    return persistDeepCopyMode() ? size() : 0;
+  }
+  [[nodiscard]] std::uint64_t sharedChunksOnCopy() const {
+    return (!persistDeepCopyMode() && data_ != nullptr) ? 1 : 0;
+  }
+
+  // Shared-aware accounting; `itemBytes` prices one element (payload
+  // vectors included), charged once per distinct storage block.
+  template <typename ItemBytes>
+  [[nodiscard]] std::uint64_t accountBytes(
+      std::map<const void*, std::uint64_t>& seen, ItemBytes itemBytes) const {
+    if (data_ == nullptr) return 0;
+    const auto found = seen.find(data_.get());
+    if (found != seen.end()) return 0;
+    std::uint64_t bytes = 0;
+    for (const T& item : *data_) bytes += itemBytes(item);
+    seen.emplace(data_.get(), bytes);
+    return bytes;
+  }
+
+  // --- Snapshot support -------------------------------------------------------
+  [[nodiscard]] const std::shared_ptr<std::vector<T>>& raw() const {
+    return data_;
+  }
+  void restoreSnapshot(std::shared_ptr<std::vector<T>> data) {
+    SDE_ASSERT(data_ == nullptr, "restoreSnapshot needs an empty CowVec");
+    data_ = std::move(data);
+  }
+
+ private:
+  static const std::vector<T>& emptyVector() {
+    static const std::vector<T> empty;
+    return empty;
+  }
+
+  std::vector<T>& mut() {
+    if (data_ == nullptr) {
+      data_ = std::make_shared<std::vector<T>>();
+    } else if (data_.use_count() > 1) {
+      PersistStats& stats = persistStats();
+      stats.cowClones.fetch_add(1, std::memory_order_relaxed);
+      stats.elementsCopied.fetch_add(data_->size(), std::memory_order_relaxed);
+      data_ = std::make_shared<std::vector<T>>(*data_);
+    }
+    return *data_;
+  }
+
+  void copyFrom(const CowVec& other) {
+    if (other.data_ == nullptr) return;
+    if (persistDeepCopyMode()) {
+      data_ = std::make_shared<std::vector<T>>(*other.data_);
+      persistStats().elementsCopied.fetch_add(other.data_->size(),
+                                              std::memory_order_relaxed);
+    } else {
+      data_ = other.data_;
+    }
+  }
+
+  std::shared_ptr<std::vector<T>> data_;  // null = empty
+};
+
+}  // namespace sde::support

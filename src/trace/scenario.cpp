@@ -33,6 +33,7 @@ ScenarioResult summarize(Engine& engine, RunOutcome outcome) {
   result.wallSeconds = engine.wallSeconds();
   result.states = engine.numStates();
   result.memoryBytes = engine.simulatedMemoryBytes();
+  result.peakMemoryBytes = engine.stats().get("engine.peak_memory_bytes");
   result.groups = engine.mapper().numGroups();
   result.events = engine.eventsProcessed();
   result.packets = engine.stats().get("engine.packets");

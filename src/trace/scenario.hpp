@@ -21,7 +21,8 @@ struct ScenarioResult {
   RunOutcome outcome = RunOutcome::kCompleted;
   double wallSeconds = 0;
   std::uint64_t states = 0;
-  std::uint64_t memoryBytes = 0;
+  std::uint64_t memoryBytes = 0;      // all-component footprint at run end
+  std::uint64_t peakMemoryBytes = 0;  // engine.peak_memory_bytes high-water
   std::uint64_t groups = 0;
   std::uint64_t events = 0;
   std::uint64_t packets = 0;

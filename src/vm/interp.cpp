@@ -297,7 +297,7 @@ bool Interpreter::step(ExecutionState& state, EffectSink& sink,
       const std::uint64_t delay = concretize(state, reg(state, ins.a));
       const auto timerId = static_cast<std::uint32_t>(ins.imm);
       // Re-arming replaces any pending expiry of the same timer.
-      std::erase_if(state.pendingEvents, [&](const PendingEvent& e) {
+      state.pendingEvents.eraseIf([&](const PendingEvent& e) {
         return e.kind == EventKind::kTimer && e.a == timerId;
       });
       PendingEvent event;
@@ -311,7 +311,7 @@ bool Interpreter::step(ExecutionState& state, EffectSink& sink,
     }
     case Op::kStopTimer: {
       const auto timerId = static_cast<std::uint32_t>(ins.imm);
-      std::erase_if(state.pendingEvents, [&](const PendingEvent& e) {
+      state.pendingEvents.eraseIf([&](const PendingEvent& e) {
         return e.kind == EventKind::kTimer && e.a == timerId;
       });
       state.activeTimers.erase(timerId);

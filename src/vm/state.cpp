@@ -21,8 +21,41 @@ std::string_view stateStatusName(StateStatus status) {
 std::uint64_t PendingEvent::contentHash() const {
   support::Hasher h;
   h.u64(time).u64(static_cast<std::uint64_t>(kind)).u64(a);
-  for (expr::Ref cell : payload) h.u64(cell->hash());
+  for (const expr::Ref& cell : payload) h.u64(cell->hash());
   return h.digest();
+}
+
+void CommLog::restoreSnapshot(Records records) {
+  records_ = std::move(records);
+  contentChain_ = 0;
+  strictChain_ = 0;
+  for (const CommRecord& rec : records_) {
+    contentChain_ = support::hashCombine(contentChain_, rec.sent ? 1 : 0);
+    contentChain_ = support::hashCombine(contentChain_, rec.peer);
+    contentChain_ = support::hashCombine(contentChain_, rec.time);
+    contentChain_ = support::hashCombine(contentChain_, rec.payloadHash);
+    strictChain_ = support::hashCombine(strictChain_, rec.packetId);
+  }
+}
+
+namespace {
+
+std::uint64_t pendingEventBytes(const PendingEvent& event) {
+  return sizeof(PendingEvent) + event.payload.size() * sizeof(expr::Ref);
+}
+
+}  // namespace
+
+std::uint64_t EventQueue::accountBytes(
+    std::map<const void*, std::uint64_t>& seen) const {
+  return events_.accountBytes(seen, pendingEventBytes);
+}
+
+void EventQueue::restoreSnapshot(Events events) {
+  events_ = std::move(events);
+  contentMultiset_ = 0;
+  strictRecvMultiset_ = 0;
+  for (const PendingEvent& event : events_) noteInsert(event);
 }
 
 std::unique_ptr<ExecutionState> ExecutionState::fork(StateId newId) const {
@@ -31,36 +64,71 @@ std::unique_ptr<ExecutionState> ExecutionState::fork(StateId newId) const {
   clone->pc = pc;
   clone->callStack = callStack;
   clone->space = space;  // shared_ptr payloads: copy-on-write
-  clone->constraints = constraints;
+  clone->constraints = constraints;      // chunk-shared, O(tail)
   clone->status = status;
   clone->clock = clock;
   clone->failureMessage = failureMessage;
-  clone->pendingEvents = pendingEvents;
+  clone->pendingEvents = pendingEvents;  // CoW-shared queue payload
   clone->nextEventSeq = nextEventSeq;
   clone->activeTimers = activeTimers;
-  clone->commLog = commLog;
-  clone->decisions = decisions;
-  clone->symbolics = symbolics;
+  clone->commLog = commLog;              // chunk-shared, O(tail)
+  clone->decisions = decisions;          // chunk-shared, O(tail)
+  clone->symbolics = symbolics;          // chunk-shared, O(tail)
   clone->symbolicCounters = symbolicCounters;
   clone->executedInstructions = executedInstructions;
   return clone;
+}
+
+std::uint64_t ExecutionState::forkCopyCost() const {
+  return constraints.copyCostElements() + commLog.copyCostElements() +
+         decisions.copyCostElements() + symbolics.copyCostElements() +
+         pendingEvents.copyCostElements();
+}
+
+std::uint64_t ExecutionState::forkSharedChunks() const {
+  return constraints.sharedChunksOnCopy() + commLog.sharedChunksOnCopy() +
+         decisions.sharedChunksOnCopy() + symbolics.sharedChunksOnCopy() +
+         pendingEvents.sharedChunksOnCopy();
+}
+
+std::uint64_t ExecutionState::accountBytes(
+    std::map<const void*, std::uint64_t>& seen) const {
+  // Fixed per-state footprint plus per-state private containers, as a
+  // deterministic function of the state's shape (sizes, not capacities,
+  // so the total survives checkpoint/restore byte-for-byte), plus each
+  // shared block charged once via `seen`.
+  std::uint64_t bytes = sizeof(ExecutionState);
+  bytes += callStack.size() * sizeof(std::size_t);
+  bytes += failureMessage.size();
+  bytes += activeTimers.size() *
+           (sizeof(std::uint32_t) + sizeof(std::uint64_t));
+  for (const auto& [label, count] : symbolicCounters)
+    bytes += label.size() + sizeof(count);
+  bytes += space.accountBytes(seen);
+  bytes += constraints.accountBytes(seen);
+  bytes += commLog.accountBytes(seen);
+  bytes += decisions.accountBytes(seen);
+  bytes += symbolics.accountBytes(seen);
+  bytes += pendingEvents.accountBytes(seen);
+  return bytes;
 }
 
 std::uint64_t ExecutionState::configHash() const {
   support::Hasher h;
   h.u64(node_).u64(pc).u64(static_cast<std::uint64_t>(status)).u64(clock);
   for (const std::size_t ret : callStack) h.u64(ret);
-  for (expr::Ref reg : regs_) h.u64(reg == nullptr ? 0 : reg->hash());
+  for (const expr::Ref& reg : regs_) h.u64(reg == nullptr ? 0 : reg->hash());
   h.u64(space.contentHash());
   h.u64(constraints.setHash());
-  // Pending events: hash as a multiset ordered by (time, seq) — the
-  // arming order is deterministic per logical execution.
-  for (const PendingEvent& event : pendingEvents) h.u64(event.contentHash());
+  // Pending events: an order-independent multiset fingerprint maintained
+  // incrementally by the queue (arming order is deterministic per
+  // logical execution, so nothing is lost by dropping it here).
+  h.u64(pendingEvents.contentHash());
   // Communication history without packet ids: the ids number packets
   // globally per run and differ across mapping algorithms, while the
-  // logical history (direction, peer, time, content) does not.
-  for (const CommRecord& rec : commLog)
-    h.u64(rec.sent).u64(rec.peer).u64(rec.time).u64(rec.payloadHash);
+  // logical history (direction, peer, time, content) does not. The chain
+  // is maintained on append, never recomputed.
+  h.u64(commLog.contentChainHash());
   h.str(failureMessage);
   return h.digest();
 }
@@ -71,9 +139,8 @@ std::uint64_t ExecutionState::configHashStrict() const {
   // Distinguish packets by identity on top of the content view: in the
   // paper's model two transmissions are never "the same packet", even
   // when byte-identical.
-  for (const PendingEvent& event : pendingEvents)
-    if (event.kind == EventKind::kRecv) h.u64(event.b);
-  for (const CommRecord& rec : commLog) h.u64(rec.packetId);
+  h.u64(pendingEvents.strictRecvHash());
+  h.u64(commLog.strictChainHash());
   return h.digest();
 }
 

@@ -3,6 +3,14 @@
 // branches (locally) and when a mapping algorithm resolves a
 // communication conflict (remotely), and it carries the communication
 // history used to define conflicts (paper §II-B).
+//
+// Forking is O(1) in the size of every append-only component: the
+// constraint set, communication history, decision log and symbolic-input
+// list live in persistent chunked sequences (support::PVector) whose
+// sealed chunks are shared between parent and child, and the pending
+// event queue is shared whole-sale copy-on-write (support::CowVec).
+// The fingerprints over those histories are maintained incrementally on
+// append, so configHash never rewalks them either.
 #pragma once
 
 #include <array>
@@ -13,6 +21,8 @@
 #include <vector>
 
 #include "solver/constraint_set.hpp"
+#include "support/hash.hpp"
+#include "support/pvector.hpp"
 #include "vm/memory.hpp"
 #include "vm/program.hpp"
 
@@ -68,6 +78,141 @@ struct CommRecord {
   std::uint64_t packetId = 0;  // unique per transmitted packet in a run
 };
 
+// The communication history: append-only, chunk-shared across forks,
+// with two incrementally-chained fingerprints — the packet-id-free
+// content view (direction, peer, time, payload) feeding configHash, and
+// the packet-identity chain feeding configHashStrict. Appending updates
+// both in O(1); copying shares all sealed chunks.
+class CommLog {
+ public:
+  using Records = support::PVector<CommRecord>;
+  using const_iterator = Records::const_iterator;
+
+  void push_back(const CommRecord& rec) {
+    contentChain_ = support::hashCombine(contentChain_, rec.sent ? 1 : 0);
+    contentChain_ = support::hashCombine(contentChain_, rec.peer);
+    contentChain_ = support::hashCombine(contentChain_, rec.time);
+    contentChain_ = support::hashCombine(contentChain_, rec.payloadHash);
+    strictChain_ = support::hashCombine(strictChain_, rec.packetId);
+    records_.push_back(rec);
+  }
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  [[nodiscard]] const CommRecord& operator[](std::size_t i) const {
+    return records_[i];
+  }
+  [[nodiscard]] const CommRecord& back() const { return records_.back(); }
+  [[nodiscard]] const_iterator begin() const { return records_.begin(); }
+  [[nodiscard]] const_iterator end() const { return records_.end(); }
+
+  [[nodiscard]] std::uint64_t contentChainHash() const { return contentChain_; }
+  [[nodiscard]] std::uint64_t strictChainHash() const { return strictChain_; }
+
+  [[nodiscard]] std::uint64_t copyCostElements() const {
+    return records_.copyCostElements();
+  }
+  [[nodiscard]] std::uint64_t sharedChunksOnCopy() const {
+    return records_.sharedChunksOnCopy();
+  }
+  [[nodiscard]] std::uint64_t accountBytes(
+      std::map<const void*, std::uint64_t>& seen) const {
+    return records_.accountBytes(seen);
+  }
+
+  // --- Snapshot support -------------------------------------------------------
+  [[nodiscard]] const Records& records() const { return records_; }
+  void restoreSnapshot(Records records);
+
+ private:
+  Records records_;
+  std::uint64_t contentChain_ = 0;
+  std::uint64_t strictChain_ = 0;
+};
+
+// The pending-event queue. Not append-only — the scheduler erases from
+// the middle, timers re-arm via eraseIf, reboot clears — so it shares
+// its storage whole-sale copy-on-write instead of chunk-wise. The
+// configuration fingerprints are *additive multiset hashes* (sum of
+// mixed per-item hashes mod 2^64): commutative so removal subtracts in
+// O(payload), and duplicates accumulate instead of cancelling as an XOR
+// multiset would.
+class EventQueue {
+ public:
+  using Events = support::CowVec<PendingEvent>;
+  using const_iterator = Events::const_iterator;
+
+  void push_back(PendingEvent event) {
+    noteInsert(event);
+    events_.push_back(std::move(event));
+  }
+  void pop_back() {
+    noteErase(events_.back());
+    events_.pop_back();
+  }
+  void clear() {
+    events_.clear();
+    contentMultiset_ = 0;
+    strictRecvMultiset_ = 0;
+  }
+  void erase(const_iterator pos) {
+    noteErase(*pos);
+    events_.erase(pos);
+  }
+  // Removes events matching `pred` (must be pure; may run repeatedly).
+  template <typename Pred>
+  std::size_t eraseIf(Pred pred) {
+    for (const PendingEvent& event : events_)
+      if (pred(event)) noteErase(event);
+    return events_.eraseIf(pred);
+  }
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] const PendingEvent& operator[](std::size_t i) const {
+    return events_[i];
+  }
+  [[nodiscard]] const PendingEvent& back() const { return events_.back(); }
+  [[nodiscard]] const_iterator begin() const { return events_.begin(); }
+  [[nodiscard]] const_iterator end() const { return events_.end(); }
+
+  // Order-independent fingerprint of the queued events' contentHash()es.
+  [[nodiscard]] std::uint64_t contentHash() const { return contentMultiset_; }
+  // Multiset of packet ids over queued kRecv events (strict view).
+  [[nodiscard]] std::uint64_t strictRecvHash() const {
+    return strictRecvMultiset_;
+  }
+
+  [[nodiscard]] std::uint64_t copyCostElements() const {
+    return events_.copyCostElements();
+  }
+  [[nodiscard]] std::uint64_t sharedChunksOnCopy() const {
+    return events_.sharedChunksOnCopy();
+  }
+  [[nodiscard]] std::uint64_t accountBytes(
+      std::map<const void*, std::uint64_t>& seen) const;
+
+  // --- Snapshot support -------------------------------------------------------
+  [[nodiscard]] const Events& events() const { return events_; }
+  void restoreSnapshot(Events events);
+
+ private:
+  void noteInsert(const PendingEvent& event) {
+    contentMultiset_ += support::mix64(event.contentHash());
+    if (event.kind == EventKind::kRecv)
+      strictRecvMultiset_ += support::mix64(event.b);
+  }
+  void noteErase(const PendingEvent& event) {
+    contentMultiset_ -= support::mix64(event.contentHash());
+    if (event.kind == EventKind::kRecv)
+      strictRecvMultiset_ -= support::mix64(event.b);
+  }
+
+  Events events_;
+  std::uint64_t contentMultiset_ = 0;
+  std::uint64_t strictRecvMultiset_ = 0;
+};
+
 class ExecutionState {
  public:
   ExecutionState(StateId id, NodeId node, const Program& program)
@@ -75,8 +220,10 @@ class ExecutionState {
     regs_.fill(nullptr);
   }
 
-  // Forks this state: the clone shares memory payloads copy-on-write and
-  // copies everything else. The caller (engine) assigns the new id.
+  // Forks this state: the clone shares memory payloads copy-on-write,
+  // shares every sealed chunk of the append-only histories, and copies
+  // only registers, scalars and sequence tails — O(1) in history sizes.
+  // The caller (engine) assigns the new id.
   [[nodiscard]] std::unique_ptr<ExecutionState> fork(StateId newId) const;
 
   // --- Identity ------------------------------------------------------------
@@ -95,7 +242,7 @@ class ExecutionState {
   std::string failureMessage;
 
   // --- Event queue -----------------------------------------------------------
-  std::vector<PendingEvent> pendingEvents;
+  EventQueue pendingEvents;
   std::uint64_t nextEventSeq = 0;
   // Active timers: timer id -> seq of the arming (re-arming supersedes).
   std::map<std::uint32_t, std::uint64_t> activeTimers;
@@ -112,11 +259,11 @@ class ExecutionState {
   };
 
   // --- SDE bookkeeping --------------------------------------------------------
-  std::vector<CommRecord> commLog;
-  std::vector<DecisionRecord> decisions;
+  CommLog commLog;
+  support::PVector<DecisionRecord> decisions;
   // Distinct symbolic inputs created on this path, in creation order
   // (the test case of this state assigns each of them).
-  std::vector<expr::Ref> symbolics;
+  support::PVector<expr::Ref> symbolics;
   // Per-label counters making symbolic input names deterministic and
   // node-local: "n<node>.<label>.<k>".
   std::map<std::string, std::uint32_t> symbolicCounters;
@@ -124,6 +271,23 @@ class ExecutionState {
   // Number of VM instructions this state has executed (#(s) in the
   // paper's complexity analysis).
   std::uint64_t executedInstructions = 0;
+
+  // --- Fork cost / memory accounting -----------------------------------------
+  // Elements fork() deep-copies right now across all shared-capable
+  // components (sequence tails in persistent mode; full histories in the
+  // legacy deep-copy mode). A pure structural function of this state —
+  // deterministic across runs and worker counts, unlike the process-wide
+  // support::persistStats() counters.
+  [[nodiscard]] std::uint64_t forkCopyCost() const;
+  // Storage blocks fork() shares instead of copying (sealed chunks +
+  // the CoW event queue payload).
+  [[nodiscard]] std::uint64_t forkSharedChunks() const;
+  // Bytes attributable to this state, charging each shared block
+  // (memory-object payloads, sealed history chunks, the event-queue
+  // payload) only on first encounter in `seen` — the all-component
+  // extension of AddressSpace::accountBytes.
+  [[nodiscard]] std::uint64_t accountBytes(
+      std::map<const void*, std::uint64_t>& seen) const;
 
   // --- Fingerprints -------------------------------------------------------------
   // Configuration hash over node id, program counter, registers, memory,
@@ -133,6 +297,8 @@ class ExecutionState {
   // ignores packet identity, equal-content packets from rival senders
   // make states compare equal: this measures the *semantic* duplicates
   // the paper's §III-D content-analysis optimisation could remove.
+  // Combines the incrementally-maintained component fingerprints: O(1)
+  // in the history sizes.
   [[nodiscard]] std::uint64_t configHash() const;
 
   // Like configHash but distinguishing packets by identity, matching the

@@ -8,13 +8,16 @@
 // magic rejection, truncation.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "sde/explode.hpp"
 #include "snapshot/checkpoint.hpp"
 #include "snapshot/error.hpp"
+#include "support/pvector.hpp"
 #include "trace/scenario.hpp"
 
 namespace sde {
@@ -69,6 +72,11 @@ TEST_P(CheckpointTest, SuspendRestoreMatchesUninterrupted) {
   }
   EXPECT_EQ(resumed.numStates(), suspended.engine().numStates());
   EXPECT_EQ(resumed.virtualNow(), suspended.engine().virtualNow());
+  // The v3 chunk tables must reproduce the structural-sharing classes
+  // exactly: the restored engine's all-component memory accounting is
+  // byte-identical to the suspended one *before* any further execution.
+  EXPECT_EQ(resumed.simulatedMemoryBytes(),
+            suspended.engine().simulatedMemoryBytes());
   ASSERT_EQ(resumed.run(config.simulationTime), RunOutcome::kCompleted);
 
   // Semantically lossless: the resumed run is indistinguishable from
@@ -128,6 +136,61 @@ TEST_P(CheckpointTest, RestoreIsLosslessAtManySuspensionPoints) {
 INSTANTIATE_TEST_SUITE_P(Mappers, CheckpointTest,
                          ::testing::Values(MapperKind::kSds, MapperKind::kCow,
                                            MapperKind::kCob),
+                         [](const auto& info) {
+                           return std::string(mapperKindName(info.param));
+                         });
+
+// --- Memory-accounting invariants (persistent shared representation) ---------
+
+class MemoryAccountingTest : public ::testing::TestWithParam<MapperKind> {};
+
+TEST_P(MemoryAccountingTest, SharedAccountingIsBelowTheDeepCopyBaseline) {
+  // The same scenario run under the legacy eager-copy representation is
+  // the pre-change memory baseline; the persistent representation must
+  // explore identically (digests) and account strictly less memory —
+  // the tentpole's Table I claim.
+  const auto config = smallGrid(GetParam(), 3000);
+
+  trace::CollectScenario persistent(config);
+  ASSERT_EQ(persistent.run().outcome, RunOutcome::kCompleted);
+  const std::uint64_t sharedBytes = persistent.engine().simulatedMemoryBytes();
+
+  support::ScopedDeepCopyMode legacy;
+  trace::CollectScenario baseline(config);
+  ASSERT_EQ(baseline.run().outcome, RunOutcome::kCompleted);
+  const std::uint64_t deepBytes = baseline.engine().simulatedMemoryBytes();
+
+  EXPECT_EQ(configHashes(persistent.engine()), configHashes(baseline.engine()));
+  EXPECT_LT(sharedBytes, deepBytes);
+  EXPECT_EQ(persistent.engine().stats().get("engine.peak_states"),
+            baseline.engine().stats().get("engine.peak_states"));
+}
+
+TEST_P(MemoryAccountingTest, AccountingIsIndependentOfStateVisitOrder) {
+  // The seen-map discipline bills each shared block to its first
+  // visitor; the *total* must not depend on who that is.
+  const auto config = smallGrid(GetParam(), 3000);
+  trace::CollectScenario scenario(config);
+  ASSERT_EQ(scenario.run().outcome, RunOutcome::kCompleted);
+
+  std::vector<const vm::ExecutionState*> states;
+  for (const auto& state : scenario.engine().states())
+    states.push_back(state.get());
+
+  const auto total = [&](auto begin, auto end) {
+    std::map<const void*, std::uint64_t> seen;
+    std::uint64_t bytes = 0;
+    for (auto it = begin; it != end; ++it) bytes += (*it)->accountBytes(seen);
+    return bytes;
+  };
+  const std::uint64_t forward = total(states.begin(), states.end());
+  const std::uint64_t backward = total(states.rbegin(), states.rend());
+  EXPECT_EQ(forward, backward);
+  EXPECT_EQ(forward, scenario.engine().simulatedMemoryBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Mappers, MemoryAccountingTest,
+                         ::testing::Values(MapperKind::kSds, MapperKind::kCow),
                          [](const auto& info) {
                            return std::string(mapperKindName(info.param));
                          });

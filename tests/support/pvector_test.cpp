@@ -1,0 +1,231 @@
+// Unit tests for the persistent structurally-shared sequences backing
+// ExecutionState::fork — the O(1)-fork claim at the container level:
+// copying shares sealed chunks (PVector) or the whole payload (CowVec),
+// deep-copies only tails, and the shared-aware byte accounting charges
+// every block exactly once regardless of traversal order.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "support/pvector.hpp"
+
+namespace sde::support {
+namespace {
+
+using IntSeq = PVector<std::uint64_t>;
+constexpr std::size_t kChunk = IntSeq::chunkCapacity();
+
+std::uint64_t copiedNow() {
+  return persistStats().elementsCopied.load(std::memory_order_relaxed);
+}
+
+TEST(PVectorTest, PushIndexAndIterateMatchAReferenceVector) {
+  IntSeq seq;
+  std::vector<std::uint64_t> reference;
+  for (std::uint64_t i = 0; i < 5 * kChunk + 7; ++i) {
+    seq.push_back(i * 3 + 1);
+    reference.push_back(i * 3 + 1);
+  }
+  ASSERT_EQ(seq.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    EXPECT_EQ(seq[i], reference[i]) << "index " << i;
+  EXPECT_EQ(seq.back(), reference.back());
+
+  std::vector<std::uint64_t> iterated;
+  for (const std::uint64_t v : seq) iterated.push_back(v);
+  EXPECT_EQ(iterated, reference);
+}
+
+TEST(PVectorTest, CopyCostIsTheTailNotTheHistory) {
+  IntSeq seq;
+  const std::size_t total = 10 * kChunk + 5;
+  for (std::uint64_t i = 0; i < total; ++i) seq.push_back(i);
+  ASSERT_EQ(seq.tailSize(), 5u);
+  ASSERT_EQ(seq.numChunks(), 10u);
+
+  // The advertised cost (used by ExecutionState::forkCopyCost) and the
+  // observed cost (global copy counters) must both be the tail size —
+  // independent of the 10-chunk history.
+  EXPECT_EQ(seq.copyCostElements(), 5u);
+  EXPECT_EQ(seq.sharedChunksOnCopy(), 10u);
+  const std::uint64_t before = copiedNow();
+  const IntSeq copy = seq;
+  EXPECT_EQ(copiedNow() - before, 5u);
+  EXPECT_EQ(copy.size(), seq.size());
+  EXPECT_EQ(copy[3 * kChunk + 1], seq[3 * kChunk + 1]);
+}
+
+TEST(PVectorTest, CopiesDivergeIndependently) {
+  IntSeq parent;
+  for (std::uint64_t i = 0; i < 2 * kChunk + 3; ++i) parent.push_back(i);
+  IntSeq child = parent;
+  child.push_back(1000);
+  parent.push_back(2000);
+  parent.push_back(2001);
+  ASSERT_EQ(child.size(), 2 * kChunk + 4);
+  ASSERT_EQ(parent.size(), 2 * kChunk + 5);
+  EXPECT_EQ(child.back(), 1000u);
+  EXPECT_EQ(parent.back(), 2001u);
+  // The shared prefix is untouched by either side.
+  for (std::size_t i = 0; i < 2 * kChunk + 3; ++i) {
+    EXPECT_EQ(parent[i], i);
+    EXPECT_EQ(child[i], i);
+  }
+}
+
+TEST(PVectorTest, DeepCopyModeClonesEveryChunk) {
+  IntSeq seq;
+  const std::size_t total = 4 * kChunk + 2;
+  for (std::uint64_t i = 0; i < total; ++i) seq.push_back(i);
+
+  ScopedDeepCopyMode legacy;
+  EXPECT_EQ(seq.copyCostElements(), total);
+  EXPECT_EQ(seq.sharedChunksOnCopy(), 0u);
+  const std::uint64_t before = copiedNow();
+  const IntSeq copy = seq;
+  EXPECT_EQ(copiedNow() - before, total);
+  // Same contents either way — the representations are interchangeable.
+  for (std::size_t i = 0; i < total; ++i) EXPECT_EQ(copy[i], seq[i]);
+}
+
+TEST(PVectorTest, AccountBytesChargesSharedChunksOnce) {
+  IntSeq a;
+  for (std::uint64_t i = 0; i < 6 * kChunk; ++i) a.push_back(i);
+  const IntSeq b = a;  // shares all 6 chunks
+
+  std::map<const void*, std::uint64_t> seenSolo;
+  const std::uint64_t solo = a.accountBytes(seenSolo);
+
+  std::map<const void*, std::uint64_t> seenBoth;
+  const std::uint64_t both =
+      a.accountBytes(seenBoth) + b.accountBytes(seenBoth);
+  // Two sharers cost one payload plus two (identical) spine overheads —
+  // far below twice the solo cost.
+  EXPECT_LT(both, 2 * solo);
+  EXPECT_EQ(both, solo + 6 * sizeof(void*));
+
+  // Traversal order must not change the total (first visitor pays).
+  std::map<const void*, std::uint64_t> seenReversed;
+  const std::uint64_t reversed =
+      b.accountBytes(seenReversed) + a.accountBytes(seenReversed);
+  EXPECT_EQ(reversed, both);
+}
+
+TEST(PVectorTest, AccountBytesNeverExceedsTheDeepCopyTotal) {
+  IntSeq a;
+  for (std::uint64_t i = 0; i < 3 * kChunk + 9; ++i) a.push_back(i);
+  const IntSeq b = a;
+
+  std::map<const void*, std::uint64_t> seenShared;
+  const std::uint64_t shared =
+      a.accountBytes(seenShared) + b.accountBytes(seenShared);
+
+  ScopedDeepCopyMode legacy;
+  const IntSeq c = a;  // cloned chunks: nothing shared with a
+  std::map<const void*, std::uint64_t> seenDeep;
+  const std::uint64_t deep =
+      a.accountBytes(seenDeep) + c.accountBytes(seenDeep);
+  EXPECT_LE(shared, deep);
+}
+
+TEST(PVectorTest, SnapshotRoundTripPreservesContentsAndSharing) {
+  IntSeq original;
+  for (std::uint64_t i = 0; i < 2 * kChunk + 1; ++i) original.push_back(i);
+
+  // Rebuild through the snapshot interface, sharing the original spine
+  // (what the checkpoint chunk table does across restore).
+  IntSeq restored;
+  auto spine = std::make_shared<IntSeq::Spine>(*original.spine());
+  restored.restoreSnapshot(std::move(spine), original.tail());
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_EQ(restored[i], original[i]);
+
+  std::map<const void*, std::uint64_t> seen;
+  const std::uint64_t first = original.accountBytes(seen);
+  const std::uint64_t second = restored.accountBytes(seen);
+  EXPECT_LT(second, first);  // chunks already charged to `original`
+}
+
+TEST(CowVecTest, CopyIsFreeAndFirstMutationClones) {
+  CowVec<std::uint64_t> a;
+  for (std::uint64_t i = 0; i < 100; ++i) a.push_back(i);
+
+  const std::uint64_t copiesBefore = copiedNow();
+  CowVec<std::uint64_t> b = a;
+  EXPECT_EQ(copiedNow() - copiesBefore, 0u);  // O(1) copy
+  EXPECT_EQ(b.copyCostElements(), 0u);
+  EXPECT_EQ(b.sharedChunksOnCopy(), 1u);
+
+  const std::uint64_t clonesBefore =
+      persistStats().cowClones.load(std::memory_order_relaxed);
+  b.push_back(500);  // mutation pays for the clone
+  EXPECT_EQ(persistStats().cowClones.load(std::memory_order_relaxed),
+            clonesBefore + 1);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(b.size(), 101u);
+  EXPECT_EQ(a[99], 99u);
+  EXPECT_EQ(b[100], 500u);
+}
+
+TEST(CowVecTest, EraseAndEraseIfMatchAReferenceVector) {
+  CowVec<std::uint64_t> cow;
+  std::vector<std::uint64_t> reference;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    cow.push_back(i);
+    reference.push_back(i);
+  }
+  const CowVec<std::uint64_t> frozen = cow;  // must not observe mutations
+
+  cow.erase(cow.begin() + 5);
+  reference.erase(reference.begin() + 5);
+
+  const auto odd = [](std::uint64_t v) { return v % 2 == 1; };
+  EXPECT_EQ(cow.eraseIf(odd), std::erase_if(reference, odd));
+  ASSERT_EQ(cow.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    EXPECT_EQ(cow[i], reference[i]);
+
+  // A no-match predicate must not clone shared storage.
+  const CowVec<std::uint64_t> sharer = cow;
+  const std::uint64_t clonesBefore =
+      persistStats().cowClones.load(std::memory_order_relaxed);
+  EXPECT_EQ(cow.eraseIf([](std::uint64_t v) { return v > 10000; }), 0u);
+  EXPECT_EQ(persistStats().cowClones.load(std::memory_order_relaxed),
+            clonesBefore);
+
+  EXPECT_EQ(frozen.size(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(frozen[i], i);
+  (void)sharer;
+}
+
+TEST(CowVecTest, ClearDropsOnlyOurReference) {
+  CowVec<std::uint64_t> a;
+  a.push_back(7);
+  CowVec<std::uint64_t> b = a;
+  a.clear();
+  EXPECT_TRUE(a.empty());
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], 7u);
+}
+
+TEST(CowVecTest, AccountBytesChargesTheSharedPayloadOnce) {
+  CowVec<std::uint64_t> a;
+  for (std::uint64_t i = 0; i < 50; ++i) a.push_back(i);
+  const CowVec<std::uint64_t> b = a;
+
+  const auto itemBytes = [](const std::uint64_t&) -> std::uint64_t {
+    return sizeof(std::uint64_t);
+  };
+  std::map<const void*, std::uint64_t> seen;
+  const std::uint64_t first = a.accountBytes(seen, itemBytes);
+  const std::uint64_t second = b.accountBytes(seen, itemBytes);
+  EXPECT_EQ(first, 50 * sizeof(std::uint64_t));
+  EXPECT_EQ(second, 0u);
+}
+
+}  // namespace
+}  // namespace sde::support

@@ -1,0 +1,120 @@
+// Differential fuzz oracle for the persistent state representation.
+//
+// The structurally-shared fork (PVector chunks, CoW event queue,
+// incremental fingerprints) is a pure representation change: running the
+// same random program under the legacy eager-copy mode must produce the
+// *same exploration* — identical state digests, identical dscenario
+// universes, identical semantic statistics — while the persistent mode
+// accounts no more memory. Any divergence here is aliasing (a fork
+// observing its sibling's mutations) or a fingerprint drifting from the
+// content it summarises.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <tuple>
+
+#include "../sde/random_program.hpp"
+#include "sde/explode.hpp"
+#include "sde/sds.hpp"
+#include "support/pvector.hpp"
+#include "trace/scenario.hpp"
+
+namespace sde {
+namespace {
+
+// Counters that describe the exploration itself. Fork-cost counters
+// (engine.fork_copied_elements, map.*_copy_elements, ...) legitimately
+// differ between the two representations and are excluded on purpose.
+constexpr std::string_view kSemanticCounters[] = {
+    "engine.events",        "engine.forks_total",  "engine.forks_local",
+    "engine.forks_mapping", "engine.packets",      "engine.failure_forks",
+    "engine.peak_states",   "engine.initial_states",
+    "net.undeliverable",
+};
+
+struct RunDigest {
+  RunOutcome outcome = RunOutcome::kCompleted;
+  std::uint64_t numStates = 0;
+  std::uint64_t eventsProcessed = 0;
+  std::multiset<std::uint64_t> contentHashes;
+  std::multiset<std::uint64_t> strictHashes;
+  std::set<std::uint64_t> scenarios;
+  std::map<std::string_view, std::uint64_t> counters;
+  std::uint64_t memoryBytes = 0;
+};
+
+RunDigest runOnce(const vm::Program& program, MapperKind kind) {
+  os::NetworkPlan plan(net::Topology::line(3));
+  plan.runEverywhere(program);
+  EngineConfig config;
+  config.maxStates = 3'000;
+  config.maxEvents = 10'000;
+  config.solver.enumeration.maxCandidates = 1u << 12;
+  Engine engine(plan, kind, config);
+
+  RunDigest digest;
+  digest.outcome = engine.run(2000);
+  digest.numStates = engine.numStates();
+  digest.eventsProcessed = engine.eventsProcessed();
+  for (const auto& state : engine.states()) {
+    digest.contentHashes.insert(state->configHash());
+    digest.strictHashes.insert(state->configHashStrict());
+  }
+  const auto prints = scenarioFingerprints(engine.mapper());
+  digest.scenarios.insert(prints.begin(), prints.end());
+  for (const std::string_view counter : kSemanticCounters)
+    digest.counters[counter] = engine.stats().get(counter);
+  digest.memoryBytes = engine.simulatedMemoryBytes();
+  return digest;
+}
+
+class ForkSharingFuzzTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, MapperKind>> {};
+
+TEST_P(ForkSharingFuzzTest, PersistentForksMatchEagerDeepCopies) {
+  const auto [seed, kind] = GetParam();
+  RandomProgramGen gen(seed);
+  const vm::Program program = gen.generate();
+
+  ASSERT_FALSE(support::persistDeepCopyMode());
+  const RunDigest persistent = runOnce(program, kind);
+  RunDigest legacy;
+  {
+    support::ScopedDeepCopyMode deepCopies;
+    legacy = runOnce(program, kind);
+  }
+
+  ASSERT_EQ(persistent.outcome, legacy.outcome) << "seed " << seed;
+  if (persistent.outcome != RunOutcome::kCompleted)
+    GTEST_SKIP() << "seed " << seed << " exceeds the exploration budget";
+
+  EXPECT_EQ(persistent.numStates, legacy.numStates) << "seed " << seed;
+  EXPECT_EQ(persistent.eventsProcessed, legacy.eventsProcessed)
+      << "seed " << seed;
+  EXPECT_EQ(persistent.contentHashes, legacy.contentHashes) << "seed " << seed;
+  EXPECT_EQ(persistent.strictHashes, legacy.strictHashes) << "seed " << seed;
+  EXPECT_EQ(persistent.scenarios, legacy.scenarios) << "seed " << seed;
+  for (const std::string_view counter : kSemanticCounters) {
+    EXPECT_EQ(persistent.counters.at(counter), legacy.counters.at(counter))
+        << "seed " << seed << " counter " << counter;
+  }
+  // Structural sharing can only reduce the accounted footprint.
+  EXPECT_LE(persistent.memoryBytes, legacy.memoryBytes) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByMapper, ForkSharingFuzzTest,
+    ::testing::Combine(::testing::Values(11, 22, 33, 44, 55, 66, 77, 88),
+                       ::testing::Values(MapperKind::kCob, MapperKind::kCow,
+                                         MapperKind::kSds)),
+    [](const auto& info) {
+      return std::string(mapperKindName(std::get<1>(info.param))) + "_seed" +
+             std::to_string(std::get<0>(info.param));
+    });
+
+}  // namespace
+}  // namespace sde

@@ -132,5 +132,78 @@ TEST_F(StateTest, NodeIdsDifferentiateHashes) {
   EXPECT_NE(a.configHash(), b.configHash());
 }
 
+TEST_F(StateTest, ForkCopyCostIsBoundedRegardlessOfHistorySize) {
+  // The O(1)-fork claim at the state level: growing every append-only
+  // history tenfold must not grow the fork's deep-copy cost — only the
+  // bounded sequence tails (< one chunk each) are ever copied.
+  const std::size_t chunk = support::PVector<expr::Ref>::chunkCapacity();
+  const auto grow = [&](ExecutionState& s, std::uint64_t records) {
+    for (std::uint64_t i = 0; i < records; ++i) {
+      s.constraints.add(ctx.ult(ctx.variable("v", 16),
+                                ctx.constant(i + 1, 16)));
+      s.commLog.push_back({true, 2, i, i * 31, i});
+      s.decisions.push_back({ctx.variable("d", 1), i % 2 == 0});
+      s.symbolics.push_back(ctx.variable("s" + std::to_string(i), 8));
+      PendingEvent event;
+      event.time = i;
+      event.seq = s.nextEventSeq++;
+      s.pendingEvents.push_back(std::move(event));
+    }
+  };
+
+  ExecutionState small = makeState();
+  grow(small, 50);
+  ExecutionState large = makeState();
+  grow(large, 500);
+
+  // Four chunked sequences with tails under one chunk each, plus the
+  // CoW event queue at zero.
+  EXPECT_LE(small.forkCopyCost(), 4 * (chunk - 1));
+  EXPECT_LE(large.forkCopyCost(), 4 * (chunk - 1));
+  EXPECT_GT(large.forkSharedChunks(), small.forkSharedChunks());
+
+  // The advertised cost matches what a fork actually deep-copies.
+  auto& stats = support::persistStats();
+  const std::uint64_t before =
+      stats.elementsCopied.load(std::memory_order_relaxed);
+  const auto clone = large.fork(4242);
+  const std::uint64_t copied =
+      stats.elementsCopied.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(copied, large.forkCopyCost());
+  EXPECT_EQ(clone->configHash(), large.configHash());
+  EXPECT_EQ(clone->configHashStrict(), large.configHashStrict());
+}
+
+TEST_F(StateTest, AccountBytesChargesSharedHistoryOnce) {
+  ExecutionState s = makeState();
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    s.constraints.add(ctx.ult(ctx.variable("v", 16), ctx.constant(i + 1, 16)));
+    s.commLog.push_back({true, 2, i, i * 31, i});
+  }
+  std::map<const void*, std::uint64_t> seenSolo;
+  const std::uint64_t solo = s.accountBytes(seenSolo);
+
+  const auto clone = s.fork(777);
+  std::map<const void*, std::uint64_t> seenPair;
+  const std::uint64_t pair =
+      s.accountBytes(seenPair) + clone->accountBytes(seenPair);
+  // Far from double: the clone re-pays only tails and fixed overhead.
+  EXPECT_LT(pair, 2 * solo);
+
+  // Order independence of the seen-map discipline.
+  std::map<const void*, std::uint64_t> seenReversed;
+  const std::uint64_t reversed =
+      clone->accountBytes(seenReversed) + s.accountBytes(seenReversed);
+  EXPECT_EQ(reversed, pair);
+
+  // The legacy deep-copy representation is the upper bound.
+  support::ScopedDeepCopyMode legacy;
+  const auto deepClone = s.fork(778);
+  std::map<const void*, std::uint64_t> seenDeep;
+  const std::uint64_t deep =
+      s.accountBytes(seenDeep) + deepClone->accountBytes(seenDeep);
+  EXPECT_LE(pair, deep);
+}
+
 }  // namespace
 }  // namespace sde::vm
