@@ -31,6 +31,9 @@ python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
   "$TRACE_SMOKE/table1_SDS.json" 2>/dev/null \
   || echo "(python3 unavailable: skipped JSON well-formedness check)"
 
+echo "=== solver smoke: every pipeline layer sees traffic on the example scenario ==="
+./build/tests/sde_tests --gtest_filter='SolverSmokeTest.*'
+
 echo "=== release: configure + build (CMAKE_BUILD_TYPE=Release) ==="
 # Optimised build: the persistent-sharing fork paths are exactly the
 # kind of code where -O2 reorders lifetimes; the differential fuzz
@@ -61,5 +64,16 @@ cmake --build build-asan -j
 
 echo "=== asan: ctest ==="
 ctest --test-dir build-asan --output-on-failure -j
+
+echo "=== ubsan: configure + build (SDE_SANITIZE=undefined) ==="
+# UB surfaces in the expr hashing / shift-heavy solver layers and the
+# snapshot codec's byte packing; -fno-sanitize-recover turns any hit
+# into a test failure.
+cmake -B build-ubsan -S . -DSDE_SANITIZE=undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-ubsan -j
+
+echo "=== ubsan: ctest ==="
+ctest --test-dir build-ubsan --output-on-failure -j
 
 echo "=== verify: all green ==="

@@ -95,7 +95,7 @@ std::string renderArgs(const TraceEvent& event) {
       out += ",\"source\":";
       appendJsonString(
           out,
-          solverQueryDetailName(static_cast<SolverQueryDetail>(event.detail)));
+          solverLayerDetailName(static_cast<SolverLayerDetail>(event.detail)));
       break;
     }
     default:

@@ -23,9 +23,9 @@ bool validGroupForkDetail(std::uint8_t detail) {
          detail <= static_cast<std::uint8_t>(GroupForkDetail::kVirtualSplit);
 }
 
-bool validSolverQueryDetail(std::uint8_t detail) {
-  return detail >= static_cast<std::uint8_t>(SolverQueryDetail::kConstant) &&
-         detail <= static_cast<std::uint8_t>(SolverQueryDetail::kEnumerated);
+bool validSolverLayerDetail(std::uint8_t detail) {
+  return detail >= static_cast<std::uint8_t>(SolverLayerDetail::kConstant) &&
+         detail <= static_cast<std::uint8_t>(SolverLayerDetail::kSharedCache);
 }
 
 std::string at(std::size_t index, const TraceEvent& event) {
@@ -103,17 +103,23 @@ TraceSummary summarizeTrace(const TraceFile& trace) {
         break;
       case TraceEventKind::kSolverQuery:
         ++summary.solverQueries;
-        switch (static_cast<SolverQueryDetail>(event.detail)) {
-          case SolverQueryDetail::kConstant: ++summary.solverConstant; break;
-          case SolverQueryDetail::kCacheHit: ++summary.solverCacheHits; break;
-          case SolverQueryDetail::kModelReuse:
+        switch (static_cast<SolverLayerDetail>(event.detail)) {
+          case SolverLayerDetail::kConstant: ++summary.solverConstant; break;
+          case SolverLayerDetail::kCacheHit: ++summary.solverCacheHits; break;
+          case SolverLayerDetail::kModelReuse:
             ++summary.solverModelReuse;
             break;
-          case SolverQueryDetail::kInterval:
+          case SolverLayerDetail::kInterval:
             ++summary.solverIntervalRefuted;
             break;
-          case SolverQueryDetail::kEnumerated:
+          case SolverLayerDetail::kEnumerated:
             ++summary.solverEnumerated;
+            break;
+          case SolverLayerDetail::kSubsumption:
+            ++summary.solverSubsumption;
+            break;
+          case SolverLayerDetail::kSharedCache:
+            ++summary.solverSharedCache;
             break;
         }
         break;
@@ -240,7 +246,7 @@ std::vector<std::string> validateTrace(const TraceFile& trace) {
           claimedScenarioCopies += event.b;
         break;
       case TraceEventKind::kSolverQuery:
-        if (!validSolverQueryDetail(event.detail))
+        if (!validSolverLayerDetail(event.detail))
           flag(at(i, event) + ": invalid solver-query detail " +
                std::to_string(event.detail));
         break;

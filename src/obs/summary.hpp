@@ -53,13 +53,15 @@ struct TraceSummary {
   std::uint64_t scenarioCopies = 0;  // COB local-branch materialisation
   std::uint64_t groupForks = 0;
 
-  // Solver query outcomes by answer source.
+  // Solver query outcomes by answering pipeline layer.
   std::uint64_t solverQueries = 0;
   std::uint64_t solverCacheHits = 0;
   std::uint64_t solverModelReuse = 0;
   std::uint64_t solverIntervalRefuted = 0;
   std::uint64_t solverEnumerated = 0;
   std::uint64_t solverConstant = 0;
+  std::uint64_t solverSubsumption = 0;
+  std::uint64_t solverSharedCache = 0;
 
   std::uint64_t firstTime = 0;
   std::uint64_t lastTime = 0;

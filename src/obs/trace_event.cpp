@@ -40,18 +40,22 @@ std::string_view forkCauseName(ForkCause cause) {
   return "?";
 }
 
-std::string_view solverQueryDetailName(SolverQueryDetail detail) {
+std::string_view solverLayerDetailName(SolverLayerDetail detail) {
   switch (detail) {
-    case SolverQueryDetail::kConstant:
+    case SolverLayerDetail::kConstant:
       return "constant";
-    case SolverQueryDetail::kCacheHit:
+    case SolverLayerDetail::kCacheHit:
       return "cache_hit";
-    case SolverQueryDetail::kModelReuse:
+    case SolverLayerDetail::kModelReuse:
       return "model_reuse";
-    case SolverQueryDetail::kInterval:
+    case SolverLayerDetail::kInterval:
       return "interval_refuted";
-    case SolverQueryDetail::kEnumerated:
+    case SolverLayerDetail::kEnumerated:
       return "enumerated";
+    case SolverLayerDetail::kSubsumption:
+      return "subsumption";
+    case SolverLayerDetail::kSharedCache:
+      return "shared_cache";
   }
   return "?";
 }

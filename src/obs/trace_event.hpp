@@ -28,7 +28,7 @@ enum class TraceEventKind : std::uint8_t {
                         // groupId = new group, a = source group, b = forks
   kCheckpointSuspend,   // engine serialized mid-run; a = events processed
   kCheckpointRestore,   // engine resumed from a checkpoint; a = events
-  kSolverQuery,         // detail: SolverQueryDetail; a = conjunction size,
+  kSolverQuery,         // detail: SolverLayerDetail; a = conjunction size,
                         // b = 1 if satisfiable (0 unsat, 2 exhausted)
 };
 inline constexpr std::uint8_t kNumTraceEventKinds = 11;  // 1-based sentinel
@@ -49,12 +49,17 @@ enum class GroupForkDetail : std::uint8_t {
   kVirtualSplit = 3,  // SDS: virtual-level conflict resolution
 };
 
-enum class SolverQueryDetail : std::uint8_t {
-  kConstant = 1,    // refuted by a constant-false conjunct
-  kCacheHit = 2,    // exact query-cache hit
-  kModelReuse = 3,  // satisfied by re-checking a cached model
-  kInterval = 4,    // refuted by interval analysis
-  kEnumerated = 5,  // answered by model enumeration
+// Which pipeline layer answered a solver query. Values 1..5 predate the
+// layered pipeline and keep their numbering so old traces read
+// unchanged; 6 and 7 are the layers the pipeline added.
+enum class SolverLayerDetail : std::uint8_t {
+  kConstant = 1,     // refuted by a constant-false conjunct
+  kCacheHit = 2,     // exact query-cache hit
+  kModelReuse = 3,   // satisfied by re-checking a recently cached model
+  kInterval = 4,     // refuted by interval analysis
+  kEnumerated = 5,   // answered by model enumeration
+  kSubsumption = 6,  // UNSAT-subset or model-pool subsumption hit
+  kSharedCache = 7,  // answered by the cross-worker shared cache
 };
 
 // One trace record. `seq` is a per-stream strictly consecutive counter
@@ -63,7 +68,7 @@ enum class SolverQueryDetail : std::uint8_t {
 // zero for kinds that do not need them.
 struct TraceEvent {
   TraceEventKind kind{};
-  std::uint8_t detail = 0;   // ForkCause / GroupForkDetail / SolverQueryDetail
+  std::uint8_t detail = 0;   // ForkCause / GroupForkDetail / SolverLayerDetail
   std::uint32_t stream = 0;  // producing stream (partition job id)
   std::uint32_t node = 0;    // node the record is about (sender/owner)
   std::uint32_t peer = 0;    // other endpoint (packet destination/source)
@@ -81,7 +86,7 @@ struct TraceEvent {
 
 [[nodiscard]] std::string_view traceEventKindName(TraceEventKind kind);
 [[nodiscard]] std::string_view forkCauseName(ForkCause cause);
-[[nodiscard]] std::string_view solverQueryDetailName(SolverQueryDetail detail);
+[[nodiscard]] std::string_view solverLayerDetailName(SolverLayerDetail detail);
 [[nodiscard]] bool validTraceEventKind(std::uint8_t kind);
 
 }  // namespace sde::obs

@@ -26,6 +26,7 @@
 #include "os/runtime.hpp"
 #include "sde/mapper.hpp"
 #include "sde/scheduler.hpp"
+#include "solver/solver.hpp"
 
 namespace sde {
 

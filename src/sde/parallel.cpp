@@ -5,6 +5,7 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <unordered_map>
@@ -14,6 +15,8 @@
 #include "sde/explode.hpp"
 #include "sde/testcase.hpp"
 #include "snapshot/manifest.hpp"
+#include "snapshot/shared_cache_io.hpp"
+#include "solver/shared_cache.hpp"
 #include "support/hash.hpp"
 #include "support/logging.hpp"
 #include "support/thread_pool.hpp"
@@ -178,7 +181,7 @@ PartitionPlan planPartitions(std::span<const std::string> variables,
 }
 
 std::string canonicalScenarioTestcase(
-    solver::Solver& solver, std::span<ExecutionState* const> scenario) {
+    solver::SolverClient& solver, std::span<ExecutionState* const> scenario) {
   const auto cases = generateScenarioTestCases(solver, scenario);
   if (!cases) return "<unsatisfiable scenario>";
   std::ostringstream os;
@@ -245,6 +248,28 @@ ParallelResult runPartitioned(const EngineFactory& factory,
     }
   }
 
+  // Live cross-worker query sharing: one cache for the whole fleet,
+  // attached to every job's solver. Durable runs persist it as the
+  // shared_cache.bin sidecar (checkpoint format v4) so a resumed run
+  // keeps the warm cache; a torn or missing sidecar degrades to a cold
+  // start, never to an error.
+  std::unique_ptr<solver::SharedQueryCache> sharedCache;
+  std::mutex sharedCacheFileMu;
+  const fs::path sharedCacheFile =
+      durable ? fs::path(snapshot::sharedCachePath(dir.string())) : fs::path();
+  if (config.sharedQueryCache) {
+    sharedCache = std::make_unique<solver::SharedQueryCache>();
+    if (resuming && fs::exists(sharedCacheFile)) {
+      try {
+        std::ifstream in(sharedCacheFile, std::ios::binary);
+        snapshot::readSharedCache(in, *sharedCache);
+      } catch (const snapshot::SnapshotError& e) {
+        support::logError("snapshot", e.what());
+        sharedCache->clear();
+      }
+    }
+  }
+
   const unsigned workers = std::max<unsigned>(
       1, std::min<unsigned>(config.workers,
                             static_cast<unsigned>(plan.jobs.size())));
@@ -274,6 +299,8 @@ ParallelResult runPartitioned(const EngineFactory& factory,
           engine->setDecisionFilter(std::unordered_map<std::string, bool>(
               job.forced.begin(), job.forced.end()));
           if (caps != nullptr) engine->setSharedCaps(caps.get());
+          if (sharedCache != nullptr)
+            engine->solver().setSharedCache(sharedCache.get());
           return engine;
         };
         std::unique_ptr<Engine> engine = makeEngine();
@@ -309,9 +336,19 @@ ParallelResult runPartitioned(const EngineFactory& factory,
         }
         if (durable) {
           engine->setCheckpointSink(
-              [&ckpt](const Engine& e) {
+              [&](const Engine& e) {
                 snapshot::atomicWriteFile(
                     ckpt, [&](std::ostream& os) { e.checkpoint(os); });
+                // Piggyback the shared-cache sidecar on the job cadence
+                // (serialized: jobs checkpoint concurrently and the
+                // atomic-write temp file is path-derived).
+                if (sharedCache != nullptr) {
+                  std::lock_guard<std::mutex> lock(sharedCacheFileMu);
+                  snapshot::atomicWriteFile(
+                      sharedCacheFile, [&](std::ostream& os) {
+                        snapshot::writeSharedCache(os, *sharedCache);
+                      });
+                }
               },
               config.checkpointEveryEvents);
         }
@@ -335,6 +372,19 @@ ParallelResult runPartitioned(const EngineFactory& factory,
       });
     }
     pool.wait();
+  }
+
+  // Final sidecar write: leave the fully warm cache behind so a later
+  // resume (e.g. after a cap-triggered abort) starts from everything
+  // the whole fleet solved.
+  if (durable && sharedCache != nullptr) {
+    try {
+      snapshot::atomicWriteFile(sharedCacheFile, [&](std::ostream& os) {
+        snapshot::writeSharedCache(os, *sharedCache);
+      });
+    } catch (const snapshot::SnapshotError& e) {
+      support::logError("snapshot", e.what());
+    }
   }
 
   // Deterministic merge barrier: fold the jobs in id order.
@@ -393,7 +443,15 @@ std::uint64_t ParallelResult::fingerprintDigest() const {
     for (const std::uint64_t print : job.scenarioFingerprints) h.u64(print);
     for (const std::uint64_t print : job.stateFingerprints) h.u64(print);
     for (const std::string& testcase : job.testcases) h.str(testcase);
-    for (const auto& [name, value] : job.stats.all()) h.str(name).u64(value);
+    for (const auto& [name, value] : job.stats.all()) {
+      // "solver." counters are attribution, not exploration: with live
+      // sharing, *which* layer answered a query depends on what other
+      // workers already published (and layer latencies are wall-clock).
+      // Everything the run explored is covered by the fingerprints,
+      // testcases and engine counters hashed here.
+      if (name.starts_with("solver.")) continue;
+      h.str(name).u64(value);
+    }
   }
   for (const std::uint64_t print : scenarioFingerprints) h.u64(print);
   for (const std::uint64_t print : stateFingerprints) h.u64(print);

@@ -8,7 +8,14 @@
 // (own expression context, solver, query cache, scheduler) with the
 // plan's variables forced through the engine's decision filter, so the
 // jobs explore disjoint slices of the legacy search tree and never
-// share mutable state — workers need no locks around engine internals.
+// share mutable engine state — workers need no locks around engine
+// internals. The one deliberately shared structure is the
+// SharedQueryCache the runner attaches to every job's solver: workers
+// consult it live and publish canonical results, so a query one job
+// solved is never enumerated again anywhere in the fleet. Its contract
+// (context-independent keys, canonical values only — see
+// solver/shared_cache.hpp) keeps every determinism guarantee below
+// intact with the cache on or off.
 //
 // Determinism: the plan depends only on (variables, seed), jobs are
 // merged in job-id order at a barrier, and each engine is sequential —
@@ -68,6 +75,11 @@ struct ParallelConfig {
   std::uint64_t maxTotalStates = 0;
   std::uint64_t maxTotalMemoryBytes = 0;
   double maxWallSeconds = 0;
+  // Live cross-worker query sharing: one SharedQueryCache attached to
+  // every job's solver for the duration of the run. Off reverts to
+  // fully isolated per-job caches. Exploration results are identical
+  // either way; only solver work changes.
+  bool sharedQueryCache = true;
   // --- Durable runs (snapshot subsystem) -------------------------------------
   // Non-empty: the run is crash-tolerant. The directory receives a run
   // manifest, one periodic checkpoint per unfinished job and one .done
@@ -130,7 +142,11 @@ struct ParallelResult {
 
   // Digest over every deterministic field — the workers-invariance
   // oracle: runs of the same plan must produce equal digests for any
-  // worker count.
+  // worker count, with the solver pipeline or the shared query cache
+  // on or off. "solver."-prefixed counters are excluded: *what* was
+  // explored is timing-invariant, but *which pipeline layer* answered
+  // each query legitimately depends on what the shared cache already
+  // held (and layer latencies are wall-clock).
   [[nodiscard]] std::uint64_t fingerprintDigest() const;
 };
 
@@ -152,6 +168,6 @@ using EngineFactory =
 // ids (which depend on exploration order) are deliberately absent, so
 // the strings compare equal across partitioned and legacy runs.
 [[nodiscard]] std::string canonicalScenarioTestcase(
-    solver::Solver& solver, std::span<ExecutionState* const> scenario);
+    solver::SolverClient& solver, std::span<ExecutionState* const> scenario);
 
 }  // namespace sde

@@ -25,7 +25,7 @@ TestCase buildFromModel(const ExecutionState& state,
 
 }  // namespace
 
-std::optional<TestCase> generateTestCase(solver::Solver& solver,
+std::optional<TestCase> generateTestCase(solver::SolverClient& solver,
                                          const ExecutionState& state) {
   const auto model = solver.getModel(state.constraints);
   if (!model) return std::nullopt;
@@ -33,7 +33,7 @@ std::optional<TestCase> generateTestCase(solver::Solver& solver,
 }
 
 std::optional<std::vector<TestCase>> generateScenarioTestCases(
-    solver::Solver& solver, std::span<ExecutionState* const> scenario) {
+    solver::SolverClient& solver, std::span<ExecutionState* const> scenario) {
   // Union of all members' path constraints: one consistent run of the
   // whole network.
   solver::ConstraintSet combined;

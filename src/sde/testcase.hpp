@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "sde/dstate.hpp"
-#include "solver/solver.hpp"
+#include "solver/client.hpp"
 
 namespace sde {
 
@@ -35,7 +35,7 @@ struct TestCase {
 // are unsatisfiable (which the engine's branch feasibility checks rule
 // out for states it created) or the solver budget was exhausted.
 [[nodiscard]] std::optional<TestCase> generateTestCase(
-    solver::Solver& solver, const ExecutionState& state);
+    solver::SolverClient& solver, const ExecutionState& state);
 
 // Test cases for a whole dscenario: the member states' constraints are
 // solved *jointly*, because symbolic data flows across the network (a
@@ -43,7 +43,7 @@ struct TestCase {
 // Returns one test case per member state under a single global model;
 // nullopt if the combined system is unsatisfiable.
 [[nodiscard]] std::optional<std::vector<TestCase>> generateScenarioTestCases(
-    solver::Solver& solver, std::span<ExecutionState* const> scenario);
+    solver::SolverClient& solver, std::span<ExecutionState* const> scenario);
 
 // Renders a test case as a stable, human-readable block (examples and
 // golden tests).

@@ -540,6 +540,14 @@ void writeQueryCache(Writer& out, const solver::QueryCache& cache) {
   out.u64(cache.recentModels().size());
   for (const expr::Assignment& model : cache.recentModels())
     snapshot::writeAssignment(out, model);
+
+  // v4: the subsumption layer's long-lived model pool. Ordered state —
+  // pool reuse returns the first satisfying model, so a resumed run
+  // must see the identical deque. (The UNSAT-subset index is derived
+  // from the result entries and rebuilt on restore.)
+  out.u64(cache.poolModels().size());
+  for (const expr::Assignment& model : cache.poolModels())
+    snapshot::writeAssignment(out, model);
 }
 
 void readQueryCache(Reader& in, const expr::Context& ctx,
@@ -561,12 +569,18 @@ void readQueryCache(Reader& in, const expr::Context& ctx,
     results.emplace_back(std::move(key), std::move(result));
   }
 
-  std::deque<expr::Assignment> models;
-  const std::uint64_t numModels = in.u64();
-  for (std::uint64_t i = 0; i < numModels; ++i)
-    models.push_back(snapshot::readAssignment(in, ctx));
+  std::deque<expr::Assignment> recentModels;
+  const std::uint64_t numRecent = in.u64();
+  for (std::uint64_t i = 0; i < numRecent; ++i)
+    recentModels.push_back(snapshot::readAssignment(in, ctx));
 
-  cache.restoreSnapshot(std::move(results), std::move(models));
+  std::deque<expr::Assignment> poolModels;
+  const std::uint64_t numPool = in.u64();
+  for (std::uint64_t i = 0; i < numPool; ++i)
+    poolModels.push_back(snapshot::readAssignment(in, ctx));
+
+  cache.restoreSnapshot(std::move(results), std::move(recentModels),
+                        std::move(poolModels));
 }
 
 }  // namespace

@@ -46,7 +46,11 @@ inline constexpr std::string_view kCheckpointTrailer = "SDEEND";
 // their shared blocks serialize through pointer-identity chunk tables
 // (like the memory blob table) so structural sharing — and the
 // all-component simulated-memory accounting — survives restore.
-inline constexpr std::uint32_t kCheckpointVersion = 3;
+// v4: the query-cache section gains the subsumption layer's model pool
+// (after the recent-model deque), and a parallel run's warm
+// SharedQueryCache persists as a shared_cache.bin sidecar in the
+// checkpoint directory (see writeSharedCache/readSharedCache).
+inline constexpr std::uint32_t kCheckpointVersion = 4;
 
 // --- Expression DAG (exposed for the round-trip fuzz test) -------------------
 // Serializes the whole interning log of `ctx` in creation order; a Ref

@@ -1,0 +1,75 @@
+#include "snapshot/shared_cache_io.hpp"
+
+#include <filesystem>
+#include <istream>
+#include <ostream>
+
+#include "snapshot/reader.hpp"
+#include "snapshot/writer.hpp"
+
+namespace sde::snapshot {
+
+namespace {
+// Bumped with kCheckpointVersion whenever the sidecar layout changes.
+constexpr std::uint32_t kSharedCacheFormat = 1;
+}  // namespace
+
+void writeSharedCache(std::ostream& os,
+                      const solver::SharedQueryCache& cache) {
+  Writer out(os);
+  out.magic(kSharedCacheMagic);
+  out.u32(kSharedCacheFormat);
+  const auto entries = cache.sortedEntries();
+  out.u64(entries.size());
+  for (const auto& [key, result] : entries) {
+    out.u64(key.size());
+    for (const std::uint64_t hash : key) out.u64(hash);
+    out.u8(static_cast<std::uint8_t>(result.status));
+    out.u64(result.model.size());
+    for (const solver::SharedBinding& binding : result.model) {
+      out.str(binding.name);
+      out.u32(binding.width);
+      out.u64(binding.value);
+    }
+  }
+  if (!out.ok()) throw SnapshotError("shared-cache sidecar write failed");
+}
+
+void readSharedCache(std::istream& is, solver::SharedQueryCache& cache) {
+  Reader in(is);
+  in.expectMagic(kSharedCacheMagic, "not a shared-cache sidecar");
+  const std::uint32_t format = in.u32();
+  if (format != kSharedCacheFormat)
+    throw SnapshotError("shared-cache sidecar format " +
+                        std::to_string(format) + " (expected " +
+                        std::to_string(kSharedCacheFormat) + ")");
+  cache.clear();
+  const std::uint64_t numEntries = in.u64();
+  for (std::uint64_t i = 0; i < numEntries; ++i) {
+    solver::SharedQueryKey key;
+    const std::uint64_t terms = in.u64();
+    key.reserve(terms);
+    for (std::uint64_t t = 0; t < terms; ++t) key.push_back(in.u64());
+    solver::SharedQueryResult result;
+    const std::uint8_t status = in.u8();
+    if (status > static_cast<std::uint8_t>(solver::EnumStatus::kExhausted))
+      throw SnapshotError("unknown solver status in shared-cache sidecar");
+    result.status = static_cast<solver::EnumStatus>(status);
+    const std::uint64_t bindings = in.u64();
+    result.model.reserve(bindings);
+    for (std::uint64_t b = 0; b < bindings; ++b) {
+      solver::SharedBinding binding;
+      binding.name = in.str();
+      binding.width = in.u32();
+      binding.value = in.u64();
+      result.model.push_back(std::move(binding));
+    }
+    cache.insert(std::move(key), std::move(result));
+  }
+}
+
+std::string sharedCachePath(const std::string& checkpointDir) {
+  return (std::filesystem::path(checkpointDir) / "shared_cache.bin").string();
+}
+
+}  // namespace sde::snapshot

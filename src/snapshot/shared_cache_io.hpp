@@ -1,0 +1,33 @@
+// Serialization of the cross-worker SharedQueryCache — the
+// shared_cache.bin sidecar a durable parallel run keeps next to its
+// per-job checkpoints (checkpoint format v4). Unlike per-engine
+// checkpoints, the shared cache is already context-independent
+// (structural-hash keys, name/width/value model bindings), so the
+// sidecar needs no expression table and can be re-read into any run of
+// the same scenario: a resumed run starts with the warm cache the
+// crashed run had built.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "solver/shared_cache.hpp"
+
+namespace sde::snapshot {
+
+inline constexpr std::string_view kSharedCacheMagic = "SDESHC";
+
+// Appends every entry of `cache` to the stream, sorted by key for
+// deterministic bytes. Thread-safe against concurrent inserts (each
+// shard is locked while copied), but the result is only a point-in-time
+// snapshot of a quiescent cache.
+void writeSharedCache(std::ostream& os, const solver::SharedQueryCache& cache);
+
+// Replaces the contents of `cache` with the stream's entries. Throws
+// SnapshotError on framing or version mismatch.
+void readSharedCache(std::istream& is, solver::SharedQueryCache& cache);
+
+// The sidecar's location inside a checkpoint directory.
+[[nodiscard]] std::string sharedCachePath(const std::string& checkpointDir);
+
+}  // namespace sde::snapshot

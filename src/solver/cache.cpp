@@ -7,7 +7,14 @@
 namespace sde::solver {
 
 QueryKey makeQueryKey(std::span<const expr::Ref> constraints) {
-  QueryKey key(constraints.begin(), constraints.end());
+  QueryKey key;
+  key.reserve(constraints.size());
+  // Tautological conjuncts carry no information; dropping them before
+  // sorting makes {x<5, true} and {x<5} the same key (and lets the
+  // all-true conjunction collapse to the empty key, answered without
+  // touching any cache).
+  for (expr::Ref c : constraints)
+    if (!c->isTrue()) key.push_back(c);
   // Sort by structural hash (stable across runs), breaking the
   // astronomically-unlikely ties by pointer for total order within a run.
   std::sort(key.begin(), key.end(), [](expr::Ref a, expr::Ref b) {
@@ -33,16 +40,53 @@ void QueryCache::insert(const QueryKey& key, EnumResult result) {
     recentModels_.push_front(result.model);
     if (recentModels_.size() > maxRecentModels_) recentModels_.pop_back();
   }
-  results_.emplace(key, std::move(result));
+  const auto [it, inserted] = results_.emplace(key, std::move(result));
+  if (inserted) indexResult(it->first, it->second);
 }
 
-std::optional<expr::Assignment> QueryCache::reuseModel(
-    const expr::Context& ctx,
+void QueryCache::indexResult(const QueryKey& key, const EnumResult& result) {
+  switch (result.status) {
+    case EnumStatus::kUnsat: {
+      const auto id = static_cast<std::uint32_t>(unsatKeys_.size());
+      unsatKeys_.push_back(static_cast<std::uint32_t>(key.size()));
+      for (expr::Ref c : key) unsatPostings_[c].push_back(id);
+      break;
+    }
+    case EnumStatus::kSat:
+      poolModels_.push_front(result.model);
+      if (poolModels_.size() > maxPoolModels_) poolModels_.pop_back();
+      break;
+    case EnumStatus::kExhausted:
+      break;
+  }
+}
+
+bool QueryCache::subsumesUnsat(const QueryKey& key) const {
+  if (unsatKeys_.empty() || key.empty()) return false;
+  // Count, per cached UNSAT key, how many of its conjuncts appear in
+  // the query. A key whose count reaches its size is a subset of the
+  // query; the query then contains an unsatisfiable core. (Keys are
+  // deduplicated, so counting occurrences is counting distinct members.)
+  std::unordered_map<std::uint32_t, std::uint32_t> seen;
+  for (expr::Ref c : key) {
+    const auto it = unsatPostings_.find(c);
+    if (it == unsatPostings_.end()) continue;
+    for (const std::uint32_t id : it->second) {
+      // Exact matches are the exact-key layer's job; subsumption only
+      // needs proper subsets, but catching equality here is harmless.
+      if (++seen[id] == unsatKeys_[id]) return true;
+    }
+  }
+  return false;
+}
+
+std::optional<expr::Assignment> QueryCache::reuseFrom(
+    const std::deque<expr::Assignment>& models, const expr::Context& ctx,
     std::span<const expr::Ref> constraints) const {
   std::vector<expr::Ref> queryVars;
   for (expr::Ref c : constraints) ctx.collectVariables(c, queryVars);
 
-  for (const expr::Assignment& model : recentModels_) {
+  for (const expr::Assignment& model : models) {
     // Build a candidate restricted to the query's own variables (zero
     // where the stored model is silent). Restricting matters: callers
     // merge per-component models, and stray bindings for unrelated
@@ -58,27 +102,61 @@ std::optional<expr::Assignment> QueryCache::reuseModel(
   return std::nullopt;
 }
 
+std::optional<expr::Assignment> QueryCache::reuseModel(
+    const expr::Context& ctx, std::span<const expr::Ref> constraints) const {
+  return reuseFrom(recentModels_, ctx, constraints);
+}
+
+std::optional<expr::Assignment> QueryCache::reusePoolModel(
+    const expr::Context& ctx, std::span<const expr::Ref> constraints) const {
+  return reuseFrom(poolModels_, ctx, constraints);
+}
+
 void QueryCache::mergeFrom(const QueryCache& other) {
-  for (const auto& [key, result] : other.results_) results_.emplace(key, result);
+  for (const auto& [key, result] : other.results_) {
+    const auto [it, inserted] = results_.emplace(key, result);
+    if (inserted && it->second.status == EnumStatus::kUnsat)
+      indexResult(it->first, it->second);
+  }
   for (auto it = other.recentModels_.rbegin(); it != other.recentModels_.rend();
        ++it)
     recentModels_.push_front(*it);
   while (recentModels_.size() > maxRecentModels_) recentModels_.pop_back();
+  for (auto it = other.poolModels_.rbegin(); it != other.poolModels_.rend();
+       ++it)
+    poolModels_.push_front(*it);
+  while (poolModels_.size() > maxPoolModels_) poolModels_.pop_back();
 }
 
 void QueryCache::restoreSnapshot(
     std::vector<std::pair<QueryKey, EnumResult>> results,
-    std::deque<expr::Assignment> models) {
+    std::deque<expr::Assignment> recentModels,
+    std::deque<expr::Assignment> poolModels) {
   clear();
-  for (auto& [key, result] : results)
-    results_.emplace(std::move(key), std::move(result));
-  recentModels_ = std::move(models);
+  for (auto& [key, result] : results) {
+    const auto [it, inserted] = results_.emplace(std::move(key),
+                                                 std::move(result));
+    // Rebuild the UNSAT subsumption index from the restored results
+    // (the model pool, being ordered history, is restored verbatim
+    // below rather than re-derived).
+    if (inserted && it->second.status == EnumStatus::kUnsat) {
+      const auto id = static_cast<std::uint32_t>(unsatKeys_.size());
+      unsatKeys_.push_back(static_cast<std::uint32_t>(it->first.size()));
+      for (expr::Ref c : it->first) unsatPostings_[c].push_back(id);
+    }
+  }
+  recentModels_ = std::move(recentModels);
   while (recentModels_.size() > maxRecentModels_) recentModels_.pop_back();
+  poolModels_ = std::move(poolModels);
+  while (poolModels_.size() > maxPoolModels_) poolModels_.pop_back();
 }
 
 void QueryCache::clear() {
   results_.clear();
   recentModels_.clear();
+  poolModels_.clear();
+  unsatKeys_.clear();
+  unsatPostings_.clear();
 }
 
 }  // namespace sde::solver

@@ -1,0 +1,56 @@
+// The narrow query interface the rest of the system programs against.
+// Everything above the solver (VM interpreter, SDE engine, test-case
+// generation, benches) sees only these five entry points; the layered
+// pipeline, caches and enumeration behind them are implementation
+// detail of the concrete Solver. Keeping the client surface this small
+// is what lets the pipeline be recomposed — or a whole solver swapped —
+// without touching a single call site.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "expr/context.hpp"
+#include "expr/eval.hpp"
+#include "solver/constraint_set.hpp"
+
+namespace sde::solver {
+
+enum class Validity {
+  kTrue,     // holds on every solution of the constraints
+  kFalse,    // fails on every solution
+  kUnknown,  // satisfiable both ways (a genuine symbolic branch)
+};
+
+class SolverClient {
+ public:
+  virtual ~SolverClient() = default;
+
+  // Is `cond` satisfiable together with `constraints`? An exhausted
+  // search answers `true` (sound for exploration: never prunes a
+  // feasible path).
+  [[nodiscard]] virtual bool mayBeTrue(const ConstraintSet& constraints,
+                                       expr::Ref cond) = 0;
+  [[nodiscard]] virtual bool mustBeTrue(const ConstraintSet& constraints,
+                                        expr::Ref cond) = 0;
+
+  // Classifies a branch condition in one call (used by the VM at every
+  // symbolic branch).
+  [[nodiscard]] virtual Validity classify(const ConstraintSet& constraints,
+                                          expr::Ref cond) = 0;
+
+  // A concrete value `e` can take under `constraints` (the first model
+  // found; deterministic). nullopt if the constraints are unsatisfiable.
+  [[nodiscard]] virtual std::optional<std::uint64_t> getValue(
+      const ConstraintSet& constraints, expr::Ref e) = 0;
+
+  // A full model of `constraints`; variables of the set that are
+  // unconstrained within their sliced component get their enumerated
+  // value, variables absent from the set entirely are not bound.
+  [[nodiscard]] virtual std::optional<expr::Assignment> getModel(
+      const ConstraintSet& constraints) = 0;
+
+  [[nodiscard]] virtual expr::Context& context() const = 0;
+};
+
+}  // namespace sde::solver

@@ -61,11 +61,20 @@ EnumResult enumerateModels(const expr::Context& ctx,
     return result;
   }
 
-  // Gather variables (deterministic order by interning id).
+  // Gather variables. The order must be context-independent — variables
+  // hash by name, so sorting by (structural hash, name) makes the
+  // search order, and therefore the first model found, a pure function
+  // of the constraint set: any worker in any expr::Context enumerates
+  // the identical model for the same query. The cross-worker shared
+  // cache relies on exactly this to publish enumerated models as
+  // canonical values. (Interning ids, the old key, are allocation-order
+  // dependent and differ between contexts.)
   std::vector<expr::Ref> vars;
   for (expr::Ref c : constraints) ctx.collectVariables(c, vars);
-  std::sort(vars.begin(), vars.end(),
-            [](expr::Ref a, expr::Ref b) { return a->id() < b->id(); });
+  std::sort(vars.begin(), vars.end(), [](expr::Ref a, expr::Ref b) {
+    return a->hash() != b->hash() ? a->hash() < b->hash()
+                                  : a->name() < b->name();
+  });
   vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
 
   std::vector<SearchVar> order;

@@ -4,7 +4,7 @@
 
 namespace sde::solver {
 
-void Solver::traceQuery(obs::SolverQueryDetail detail, std::size_t conjuncts,
+void Solver::traceQuery(obs::SolverLayerDetail detail, std::size_t conjuncts,
                         EnumStatus status) {
   if (trace_ == nullptr) return;
   obs::TraceEvent event;
@@ -19,14 +19,27 @@ void Solver::traceQuery(obs::SolverQueryDetail detail, std::size_t conjuncts,
   trace_->emit(event);
 }
 
-EnumResult Solver::solveConjunction(std::span<const expr::Ref> conjunction) {
+EnumResult Solver::solveConjunction(std::span<const expr::Ref> conjunction,
+                                    bool needModel) {
   stats_.bump("solver.queries");
+  if (recorder_) recorder_(conjunction, needModel);
+  if (!config_.usePipeline) return solveConjunctionMonolithic(conjunction);
 
+  LayerAnswer answer = pipeline_.solve(conjunction, needModel);
+  // A zero detail marks an untraced answer (the vacuously-true empty
+  // key — not solver work, and the monolithic path never traced it).
+  if (static_cast<std::uint8_t>(answer.detail) != 0)
+    traceQuery(answer.detail, conjunction.size(), answer.result.status);
+  return std::move(answer.result);
+}
+
+EnumResult Solver::solveConjunctionMonolithic(
+    std::span<const expr::Ref> conjunction) {
   // Constant shortcuts.
   for (expr::Ref c : conjunction) {
     if (c->isFalse()) {
       stats_.bump("solver.constant_refutations");
-      traceQuery(obs::SolverQueryDetail::kConstant, conjunction.size(),
+      traceQuery(obs::SolverLayerDetail::kConstant, conjunction.size(),
                  EnumStatus::kUnsat);
       return {EnumStatus::kUnsat, {}};
     }
@@ -38,13 +51,13 @@ EnumResult Solver::solveConjunction(std::span<const expr::Ref> conjunction) {
   if (config_.useCache) {
     if (const EnumResult* hit = cache_.lookup(key)) {
       stats_.bump("solver.cache_hits");
-      traceQuery(obs::SolverQueryDetail::kCacheHit, conjunction.size(),
+      traceQuery(obs::SolverLayerDetail::kCacheHit, conjunction.size(),
                  hit->status);
       return *hit;
     }
     if (auto model = cache_.reuseModel(ctx_, key)) {
       stats_.bump("solver.model_reuse_hits");
-      traceQuery(obs::SolverQueryDetail::kModelReuse, conjunction.size(),
+      traceQuery(obs::SolverLayerDetail::kModelReuse, conjunction.size(),
                  EnumStatus::kSat);
       EnumResult r{EnumStatus::kSat, std::move(*model)};
       cache_.insert(key, r);
@@ -56,7 +69,7 @@ EnumResult Solver::solveConjunction(std::span<const expr::Ref> conjunction) {
   if (config_.useIntervals) {
     if (checkIntervals(key, env) == Feasibility::kInfeasible) {
       stats_.bump("solver.interval_refutations");
-      traceQuery(obs::SolverQueryDetail::kInterval, conjunction.size(),
+      traceQuery(obs::SolverLayerDetail::kInterval, conjunction.size(),
                  EnumStatus::kUnsat);
       EnumResult r{EnumStatus::kUnsat, {}};
       if (config_.useCache) cache_.insert(key, r);
@@ -67,7 +80,7 @@ EnumResult Solver::solveConjunction(std::span<const expr::Ref> conjunction) {
   stats_.bump("solver.enum_runs");
   EnumResult r = enumerateModels(ctx_, key, env, config_.enumeration);
   if (r.status == EnumStatus::kExhausted) stats_.bump("solver.exhausted");
-  traceQuery(obs::SolverQueryDetail::kEnumerated, conjunction.size(),
+  traceQuery(obs::SolverLayerDetail::kEnumerated, conjunction.size(),
              r.status);
   if (config_.useCache) cache_.insert(key, r);
   return r;
@@ -85,7 +98,8 @@ bool Solver::mayBeTrue(const ConstraintSet& constraints, expr::Ref cond) {
   const std::vector<expr::Ref> all = constraints.toVector();
   if (cond->isTrue()) {
     for (const auto& component : splitComponents(ctx_, all))
-      if (solveConjunction(component).status == EnumStatus::kUnsat)
+      if (solveConjunction(component, /*needModel=*/false).status ==
+          EnumStatus::kUnsat)
         return false;
     return true;
   }
@@ -99,7 +113,7 @@ bool Solver::mayBeTrue(const ConstraintSet& constraints, expr::Ref cond) {
   }
   conj.push_back(cond);
 
-  const EnumResult r = solveConjunction(conj);
+  const EnumResult r = solveConjunction(conj, /*needModel=*/false);
   // kExhausted over-approximates to "maybe": exploration stays sound.
   return r.status != EnumStatus::kUnsat;
 }
@@ -123,7 +137,7 @@ std::optional<std::uint64_t> Solver::getValue(const ConstraintSet& constraints,
   std::vector<expr::Ref> conj = constraints.toVector();
   if (config_.useIndependence) conj = sliceForQuery(ctx_, conj, e);
 
-  const EnumResult r = solveConjunction(conj);
+  const EnumResult r = solveConjunction(conj, /*needModel=*/true);
   if (r.status == EnumStatus::kUnsat) return std::nullopt;
 
   expr::Assignment model = r.model;
@@ -142,7 +156,7 @@ std::optional<expr::Assignment> Solver::getModel(
   expr::Assignment merged;
   const std::vector<expr::Ref> all = constraints.toVector();
   for (const auto& component : splitComponents(ctx_, all)) {
-    const EnumResult r = solveConjunction(component);
+    const EnumResult r = solveConjunction(component, /*needModel=*/true);
     if (r.status == EnumStatus::kUnsat) return std::nullopt;
     if (r.status == EnumStatus::kExhausted) {
       stats_.bump("solver.model_exhausted");

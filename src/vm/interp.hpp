@@ -14,7 +14,7 @@
 #include <string_view>
 #include <vector>
 
-#include "solver/solver.hpp"
+#include "solver/client.hpp"
 #include "support/stats.hpp"
 #include "vm/state.hpp"
 
@@ -51,7 +51,7 @@ struct InterpConfig {
 
 class Interpreter {
  public:
-  Interpreter(expr::Context& ctx, solver::Solver& solver,
+  Interpreter(expr::Context& ctx, solver::SolverClient& solver,
               InterpConfig config = {})
       : ctx_(ctx), solver_(solver), config_(config) {}
 
@@ -86,7 +86,7 @@ class Interpreter {
   void kill(ExecutionState& state, std::string_view why);
 
   expr::Context& ctx_;
-  solver::Solver& solver_;
+  solver::SolverClient& solver_;
   InterpConfig config_;
   std::uint32_t numNodes_ = 0;
   support::StatsRegistry stats_;

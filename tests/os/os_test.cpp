@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "solver/solver.hpp"
 #include "os/events.hpp"
 #include "os/node.hpp"
 #include "os/runtime.hpp"

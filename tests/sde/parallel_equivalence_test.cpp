@@ -146,6 +146,46 @@ INSTANTIATE_TEST_SUITE_P(Mappers, ParallelEquivalenceTest,
                            return std::string(mapperKindName(info.param));
                          });
 
+// The solver refactor's determinism contract, enforced end-to-end: the
+// layered pipeline vs the monolithic path, the live shared query cache
+// on vs off, and every worker count must all produce the byte-identical
+// exploration digest and canonical test-case set. Any layer whose
+// answer depends on timing, worker interleaving, or cache history would
+// show up here as a digest mismatch.
+TEST(SolverPipelineDifferentialTest,
+     DigestInvariantAcrossPipelineSharedCacheAndWorkers) {
+  auto config = smallGrid(MapperKind::kSds, 2500);
+
+  std::optional<std::uint64_t> digest;
+  std::optional<std::set<std::string>> testcases;
+  for (const bool pipeline : {true, false}) {
+    for (const bool shared : {true, false}) {
+      for (const unsigned workers : {1u, 2u, 4u, 8u}) {
+        config.engine.solver.usePipeline = pipeline;
+        ParallelConfig parallel;
+        parallel.workers = workers;
+        parallel.collectTestcases = true;
+        parallel.sharedQueryCache = shared;
+        const trace::PartitionedCollectResult run =
+            trace::runCollectPartitioned(config, parallel, /*vars=*/2);
+        ASSERT_EQ(run.result.outcome, RunOutcome::kCompleted);
+        const std::string combo = std::string("pipeline=") +
+                                  (pipeline ? "on" : "off") + " shared=" +
+                                  (shared ? "on" : "off") + " workers=" +
+                                  std::to_string(workers);
+        if (!digest) {
+          digest = run.result.fingerprintDigest();
+          testcases = asSet(run.result.testcases);
+          EXPECT_FALSE(testcases->empty());
+        } else {
+          EXPECT_EQ(*digest, run.result.fingerprintDigest()) << combo;
+          EXPECT_EQ(*testcases, asSet(run.result.testcases)) << combo;
+        }
+      }
+    }
+  }
+}
+
 TEST(ParallelCapsTest, SharedStateCapAbortsTheWholeFleet) {
   const auto config = smallGrid(MapperKind::kSds, 6000);
   ParallelConfig parallel;

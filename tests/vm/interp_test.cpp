@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "expr/eval.hpp"
+#include "solver/solver.hpp"
 #include "vm/builder.hpp"
 #include "vm/interp.hpp"
 

@@ -118,13 +118,17 @@ void printSummary(const obs::TraceSummary& summary, std::size_t topK) {
   std::printf("  group forks            %llu\n", ull(summary.groupForks));
 
   if (summary.solverQueries > 0) {
-    std::printf("\nsolver queries by answer source\n");
+    std::printf("\nsolver queries by answering layer\n");
     std::printf("  total                  %llu\n", ull(summary.solverQueries));
     std::printf("  constant refuted       %llu\n", ull(summary.solverConstant));
     std::printf("  cache hits             %llu\n",
                 ull(summary.solverCacheHits));
     std::printf("  model reuse            %llu\n",
                 ull(summary.solverModelReuse));
+    std::printf("  subsumption            %llu\n",
+                ull(summary.solverSubsumption));
+    std::printf("  shared cache           %llu\n",
+                ull(summary.solverSharedCache));
     std::printf("  interval refuted       %llu\n",
                 ull(summary.solverIntervalRefuted));
     std::printf("  enumerated             %llu\n",
@@ -213,6 +217,8 @@ int cmdDiff(const std::string& pathA, const std::string& pathB) {
   row("scenario copies", a.scenarioCopies, b.scenarioCopies);
   row("solver queries", a.solverQueries, b.solverQueries);
   row("solver cache hits", a.solverCacheHits, b.solverCacheHits);
+  row("solver subsumption", a.solverSubsumption, b.solverSubsumption);
+  row("solver shared cache", a.solverSharedCache, b.solverSharedCache);
   row("last virtual time", a.lastTime, b.lastTime);
 
   std::printf("\nforks by node (A vs B)\n");
