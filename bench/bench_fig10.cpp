@@ -9,6 +9,14 @@
 // Usage: bench_fig10 [--nodes 25|49|100] [--time T] [--wall-cap SECONDS]
 //                    [--outdir DIR] [--paper]
 //                    [--checkpoint-dir DIR] [--resume] [--trace-out DIR]
+//                    [--fleet N]
+//
+// With --fleet N every (nodes, algorithm) scenario additionally runs as
+// an N-process fleet (sde/fleet.hpp) over a 4-job partition plan, adding
+// a comparison row: same states universe, process-isolated wall-clock.
+// No metric series is recorded for the fleet rows (the workers own the
+// engine sampler), so the CSV files always come from the single-engine
+// runs.
 //
 // With --checkpoint-dir, every (nodes, algorithm) run periodically writes
 // an engine checkpoint; --resume continues a suspended run from it (e.g.
@@ -51,6 +59,7 @@ struct Options {
   bool resume = false;
   std::string traceDir;
   bool deepCopy = false;  // legacy eager-copy forks (E17 memory baseline)
+  unsigned fleet = 0;     // 0 = no fleet comparison rows
 };
 
 Options parseArgs(int argc, char** argv) {
@@ -78,6 +87,8 @@ Options parseArgs(int argc, char** argv) {
       options.traceDir = argv[++i];
     else if (arg == "--deep-copy")
       options.deepCopy = true;
+    else if (arg == "--fleet")
+      options.fleet = static_cast<unsigned>(next());
     else
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
   }
@@ -199,6 +210,27 @@ int main(int argc, char** argv) {
                     trace::formatCount(result.states),
                     trace::formatBytes(result.memoryBytes),
                     trace::formatCount(scenario.metrics().samples().size())});
+
+      // Threads-vs-processes comparison row: the same scenario as an
+      // N-process fleet over a 4-job partition plan.
+      if (options.fleet > 0) {
+        const std::filesystem::path fleetDir =
+            std::filesystem::temp_directory_path() /
+            ("sde_fig10_fleet_" + std::to_string(nodes) + "_" + name);
+        std::filesystem::remove_all(fleetDir);
+        FleetConfig fleet;
+        fleet.processes = options.fleet;
+        fleet.collectStateFingerprints = false;
+        fleet.collectScenarioFingerprints = false;
+        fleet.checkpointDir = fleetDir.string();
+        const FleetResult run =
+            trace::runCollectFleet(config, fleet, /*numPartitionVariables=*/2);
+        table.addRow({name + " fleet x" + std::to_string(options.fleet),
+                      std::string(runOutcomeName(run.result.outcome)),
+                      trace::formatDuration(run.result.wallSeconds),
+                      trace::formatCount(run.result.totalStates), "-", "-"});
+        std::filesystem::remove_all(fleetDir);
+      }
     }
     std::printf("%s\n", table.render().c_str());
   }

@@ -13,16 +13,26 @@
 //    workers collapses to the work-splitting term alone.
 //
 // Usage: bench_parallel [--nodes 25|49|100] [--time T] [--vars B]
-//                       [--mapper sds|cow|all]
+//                       [--mapper sds|cow|all] [--fleet N]
+//
+// With --fleet N the bench additionally runs the multi-process fleet
+// (sde/fleet.hpp) at N worker processes over the same plan — the
+// threads-vs-processes comparison row. The fleet digest must equal the
+// thread rows' (process isolation and the shm query cache are
+// unobservable); its wall-clock includes fork/coordination overhead,
+// which is the honest price of crash isolation.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "sde/explode.hpp"
+#include "sde/fleet.hpp"
 #include "trace/scenario.hpp"
 #include "trace/table.hpp"
 
@@ -33,6 +43,7 @@ struct Options {
   std::uint64_t simulationTime = 5000;
   std::size_t vars = 2;
   std::string mapper = "all";
+  unsigned fleet = 0;  // 0 = no fleet row
 };
 
 Options parseArgs(int argc, char** argv) {
@@ -50,6 +61,8 @@ Options parseArgs(int argc, char** argv) {
       options.vars = static_cast<std::size_t>(next());
     else if (arg == "--mapper" && i + 1 < argc)
       options.mapper = argv[++i];
+    else if (arg == "--fleet")
+      options.fleet = static_cast<unsigned>(next());
     else
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
   }
@@ -184,12 +197,58 @@ int main(int argc, char** argv) {
                     trace::formatCount(result.totalScenariosOwned), digestHex});
     }
 
+    // Threads-vs-processes: the same plan as a multi-process fleet.
+    std::uint64_t shmHits = 0;
+    if (options.fleet > 0) {
+      namespace fs = std::filesystem;
+      const fs::path dir =
+          fs::temp_directory_path() /
+          ("sde_bench_fleet_" + std::to_string(static_cast<long>(::getpid())));
+      fs::remove_all(dir);
+      FleetConfig fleet;
+      fleet.processes = options.fleet;
+      fleet.collectStateFingerprints = false;
+      fleet.collectScenarioFingerprints = false;
+      fleet.checkpointDir = dir.string();
+      const FleetResult run =
+          trace::runCollectFleet(config, fleet, options.vars);
+      shmHits = run.shmHits;
+      if (run.result.fingerprintDigest() != digest) digestsAgree = false;
+
+      char label[40];
+      std::snprintf(label, sizeof label, "%u procs (fleet)", options.fleet);
+      char speedup[32];
+      std::snprintf(speedup, sizeof speedup, "%.2fx",
+                    base.wallSeconds / run.result.wallSeconds);
+      const double critical =
+          criticalPathSeconds(sequentialJobSeconds, options.fleet);
+      char cpSpeedup[32];
+      std::snprintf(cpSpeedup, sizeof cpSpeedup, "%.2fx",
+                    base.wallSeconds / critical);
+      char digestHex[32];
+      std::snprintf(digestHex, sizeof digestHex, "%016llx",
+                    static_cast<unsigned long long>(
+                        run.result.fingerprintDigest()));
+      table.addRow({label, std::string(runOutcomeName(run.result.outcome)),
+                    trace::formatDuration(run.result.wallSeconds), speedup,
+                    trace::formatDuration(critical), cpSpeedup,
+                    trace::formatCount(run.result.totalStates),
+                    trace::formatCount(run.result.totalScenariosOwned),
+                    digestHex});
+      fs::remove_all(dir);
+    }
+
     std::printf("--- %s (%zu partition vars -> %zu jobs) ---\n%s",
                 std::string(mapperKindName(kind)).c_str(), actualVars,
                 static_cast<std::size_t>(1) << actualVars,
                 table.render().c_str());
-    std::printf("merged digests %s across worker counts\n\n",
-                digestsAgree ? "IDENTICAL" : "DIFFER (BUG)");
+    std::printf("merged digests %s across worker counts%s\n",
+                digestsAgree ? "IDENTICAL" : "DIFFER (BUG)",
+                options.fleet > 0 ? " and the process fleet" : "");
+    if (options.fleet > 0)
+      std::printf("fleet shm query cache: %llu cross-process hits\n",
+                  static_cast<unsigned long long>(shmHits));
+    std::printf("\n");
     if (!digestsAgree) return 1;
   }
 

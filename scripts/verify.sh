@@ -4,8 +4,14 @@
 # partitioned execution, durable resume) and an AddressSanitizer build
 # running the full suite (the snapshot codec hand-rolls binary framing,
 # exactly where ASan earns its keep). Run from anywhere; builds live in
-# the repo. The fork()+SIGKILL crash test skips itself under both
-# sanitizers.
+# the repo. The fork()+SIGKILL crash and chaos tests skip themselves
+# under both sanitizers; the plain-fork fleet tests (equivalence matrix,
+# shm cache property battery) run under ASan like everything else.
+#
+# The fleet smoke stage launches a real 4-process fleet through the
+# sde_fleet CLI and checks its fingerprint digest against a
+# single-process launch of the same plan — the process count must be
+# unobservable in the results (see DESIGN.md §16).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +39,22 @@ python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
 
 echo "=== solver smoke: every pipeline layer sees traffic on the example scenario ==="
 ./build/tests/sde_tests --gtest_filter='SolverSmokeTest.*'
+
+echo "=== fleet smoke: 4-process launch digest == 1-process launch digest ==="
+FLEET_SMOKE=$(mktemp -d)
+trap 'rm -rf "$TRACE_SMOKE" "$FLEET_SMOKE"' EXIT
+# --testcases drives real traffic through the shared-memory query cache
+# (model enumeration is what gets published cross-process).
+./build/tools/sde_fleet launch "$FLEET_SMOKE/p4" --processes 4 \
+  --nodes '5*5' --time 4000 --vars 3 --testcases | tee "$FLEET_SMOKE/p4.out"
+./build/tools/sde_fleet status "$FLEET_SMOKE/p4" >/dev/null
+./build/tools/sde_fleet launch "$FLEET_SMOKE/p1" --processes 1 \
+  --nodes '5*5' --time 4000 --vars 3 --testcases > "$FLEET_SMOKE/p1.out"
+DIGEST_P4=$(grep -o 'digest [0-9a-f]*' "$FLEET_SMOKE/p4.out" | head -1)
+DIGEST_P1=$(grep -o 'digest [0-9a-f]*' "$FLEET_SMOKE/p1.out" | head -1)
+test -n "$DIGEST_P4" && test "$DIGEST_P4" = "$DIGEST_P1" \
+  || { echo "fleet digest mismatch: p4='$DIGEST_P4' p1='$DIGEST_P1'"; exit 1; }
+echo "fleet digests agree: $DIGEST_P4"
 
 echo "=== release: configure + build (CMAKE_BUILD_TYPE=Release) ==="
 # Optimised build: the persistent-sharing fork paths are exactly the

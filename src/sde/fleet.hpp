@@ -1,0 +1,175 @@
+// Multi-process fleet execution (ROADMAP item "scale out to worker
+// processes").
+//
+// The thread runner (sde/parallel.hpp) spreads partition jobs over a
+// thread pool inside one process. The fleet runner spreads the same
+// jobs over N forked worker *processes* — the test-depth/prefix
+// partitioning view: the 2^B partition jobs are a prefix enumeration of
+// the failure-decision space, and a *shard* is a contiguous job-id
+// range a worker leases. Because each job is a complete shared-nothing
+// engine run, a worker process needs nothing from anyone else to make
+// progress; everything cross-process is coordination:
+//
+//   * Durable job queue. The PR 2 checkpoint substrate IS the queue:
+//     the run directory's manifest fixes the job table, `job_<id>.ckpt`
+//     is a suspended job, `job_<id>.done` (atomic temp+rename) is the
+//     completion marker. A SIGKILLed worker's shard is simply re-leased
+//     to a fresh process; re-running an already-completed job is
+//     impossible (.done short-circuits before an engine is built) and
+//     re-running a half-done one resumes from its checkpoint. Nothing
+//     in the protocol below is load-bearing for correctness — a crash
+//     at ANY point loses at most in-flight work, never results.
+//
+//   * Pipe protocol. Each worker has a command pipe (coordinator →
+//     worker) and a status pipe (worker → coordinator), carrying
+//     length-prefixed fixed-size frames smaller than PIPE_BUF (writes
+//     are atomic, no interleaving). Workers report progress and
+//     frontier sizes; the coordinator poll()s all status pipes.
+//
+//   * Work stealing. When a worker goes idle and the re-lease pool is
+//     empty, the coordinator picks the fattest victim (most strictly-
+//     pending jobs in its shard, by the coordinator's mirror) and sends
+//     kSteal. The *victim* splits — it alone knows its true progress —
+//     handing over the upper half of [next+1, hi), shrinking its own
+//     hi first and replying second. A victim killed between the two
+//     steps is handled by the death path: the coordinator drains the
+//     status pipe to EOF (pipes preserve written data past writer
+//     death, so a written reply is never lost), then re-leases
+//     [nextKnown, hi) of its mirror — the reply, if received, already
+//     shrank the mirror, so stolen ranges are never double-leased.
+//
+//   * Death handling. POLLHUP/EOF on a status pipe → drain, waitpid,
+//     re-lease the mirror range to the pool, fork a replacement (up to
+//     maxWorkerRestarts). Workers set PR_SET_PDEATHSIG so a dead
+//     coordinator reaps its fleet instead of leaking it.
+//
+//   * Shared-memory query cache. The PR 5 SharedQueryCache promoted to
+//     a process-external store (solver/shm_cache.hpp): the coordinator
+//     creates (or, on resume, attaches) the segment, seeds it from the
+//     durable shared_cache.bin sidecar, and every worker's solver
+//     shares queries through it live. A torn pre-existing segment
+//     degrades to a cold cache (FleetResult::shmDegraded), never to an
+//     error, and never to different exploration results — the store
+//     contract guarantees digest equality with the cache on or off.
+//
+// Merge: after shutdown the coordinator loads every job's .done file in
+// job-id order and folds them through the same finalizeParallelResult
+// the thread runner uses, so "fleet digest == partitioned digest ==
+// single-engine digest" is a structural property. Per-worker trace
+// files merge into the same deterministic merged.trc.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sde/parallel.hpp"
+
+namespace sde {
+
+class FleetError : public std::runtime_error {
+ public:
+  explicit FleetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Test-only fault-injection hooks. They run INSIDE the worker process
+// (the closures are captured at fork time); a chaos test typically
+// raises SIGKILL on itself when an on-disk sentinel says it is this
+// worker's turn to die. Because a respawned worker restarts from the
+// same fork image, kill-once conditions must live on the file system,
+// not in captured memory.
+struct FleetChaos {
+  // Before the worker runs `jobId` (after leasing, before any engine).
+  std::function<void(unsigned slot, std::uint32_t jobId)> beforeJob;
+  // Inside the checkpoint sink, right after the engine checkpoint was
+  // atomically written ("mid-checkpoint-write" from the job's view: the
+  // job is suspended on disk but far from done).
+  std::function<void(unsigned slot, std::uint32_t jobId)> onCheckpoint;
+};
+
+struct FleetConfig {
+  unsigned processes = 1;     // worker processes to fork
+  std::uint64_t horizon = 0;  // virtual-time horizon passed to run()
+  bool collectScenarioFingerprints = true;
+  bool collectStateFingerprints = true;
+  bool collectTestcases = false;
+  // The process-external shared query cache. Off runs every worker with
+  // fully isolated caches; exploration results are identical either
+  // way (the digest gate of fleet_equivalence_test).
+  bool shmQueryCache = true;
+  // POSIX shm name of the segment ("/sde_qc_..."). Empty derives a
+  // per-run name from the coordinator pid. When a segment of this name
+  // already exists, the coordinator tries to attach (warm cache across
+  // fleets); a torn/foreign/stale segment is unlinked and replaced by a
+  // fresh cold one (FleetResult::shmDegraded).
+  std::string shmName;
+  std::size_t shmBytes = 32u << 20;
+  // REQUIRED — the durable job queue lives here (manifest, .ckpt/.done
+  // files; see snapshot/manifest.hpp). Same layout as the thread
+  // runner's durable mode, so sde_checkpoint understands fleet runs.
+  std::string checkpointDir;
+  std::uint64_t checkpointEveryEvents = 256;
+  // Resume from checkpointDir: .done jobs load instead of running,
+  // suspended jobs continue from their .ckpt, the shm cache seeds from
+  // the shared_cache.bin sidecar. Manifest mismatch throws.
+  bool resume = false;
+  std::string scenarioSpec;
+  // Non-empty: per-job trace files (trace_job<id>.trc) merged into
+  // <traceDir>/merged.trc after the run, exactly like the thread
+  // runner. Note: with a live shared cache, kSolverQuery layer
+  // attribution is timing-dependent — byte-compare merged traces only
+  // with the cache off (digests are safe either way).
+  std::string traceDir;
+  // Status-frame cadence, in processed events per worker.
+  std::uint64_t statusEveryEvents = 256;
+  // Initial shard leases as contiguous [lo, hi) job-id ranges, one per
+  // worker slot (tests use this to force skew). Empty = even split.
+  // Ranges must be disjoint and cover all jobs.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> initialLeases;
+  // Replacement workers forked across the whole run before the
+  // coordinator gives up with FleetError.
+  unsigned maxWorkerRestarts = 16;
+  // No frame from any worker for this long → the fleet is declared
+  // wedged: workers are killed and FleetError thrown. 0 disables.
+  double watchdogSeconds = 120;
+  FleetChaos chaos;
+};
+
+struct FleetResult {
+  // Merged exactly like the thread runner's result; fingerprintDigest()
+  // is the cross-mode equivalence oracle.
+  ParallelResult result;
+  unsigned processes = 0;
+  std::uint64_t steals = 0;        // non-empty steal handoffs completed
+  std::uint64_t workerDeaths = 0;  // unexpected worker exits
+  std::uint64_t respawns = 0;      // replacement workers forked
+  // Times each job ran an engine AND reported completion (jobs loaded
+  // from .done files count 0; a worker killed mid-job reports nothing,
+  // so its aborted attempt is invisible here). In a crash-free run
+  // every executed job counts exactly 1 — the no-double-execution
+  // oracle of the stealing tests.
+  std::vector<std::uint32_t> executedCounts;
+  // Shared-memory cache outcome (zeros when shmQueryCache is off).
+  bool shmDegraded = false;  // pre-existing segment was torn; ran cold
+  std::uint64_t shmEntries = 0;
+  std::uint64_t shmHits = 0;
+  std::uint64_t shmMisses = 0;
+  std::uint64_t shmInserts = 0;
+  std::uint64_t shmDropped = 0;
+};
+
+// Runs `plan` over config.processes forked workers. The factory is
+// called inside worker processes (and once in the coordinator for
+// validation-free setup paths); it must therefore not depend on state
+// the coordinator mutates after runFleet starts. Throws FleetError on
+// coordination failures (fork/pipe errors, restart budget exhausted,
+// watchdog) and snapshot::SnapshotError on a foreign checkpoint
+// directory.
+[[nodiscard]] FleetResult runFleet(const EngineFactory& factory,
+                                   const PartitionPlan& plan,
+                                   const FleetConfig& config);
+
+}  // namespace sde

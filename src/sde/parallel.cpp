@@ -23,12 +23,8 @@
 
 namespace sde {
 
-namespace {
-
-// The deterministic per-job extraction pass: run outcome, sizes, and —
-// after the ownership rule — the job's share of the dscenario universe.
-JobResult collectJob(Engine& engine, const PartitionJob& job,
-                     const ParallelConfig& config, RunOutcome outcome) {
+JobResult collectJobResult(Engine& engine, const PartitionJob& job,
+                           const ParallelConfig& config, RunOutcome outcome) {
   JobResult result;
   result.jobId = job.id;
   result.outcome = outcome;
@@ -150,12 +146,54 @@ JobResult collectJob(Engine& engine, const PartitionJob& job,
   return result;
 }
 
-std::filesystem::path jobTracePath(const std::filesystem::path& dir,
-                                   std::uint32_t jobId) {
-  return dir / ("trace_job" + std::to_string(jobId) + ".trc");
+std::string jobTracePath(const std::string& traceDir, std::uint32_t jobId) {
+  return (std::filesystem::path(traceDir) /
+          ("trace_job" + std::to_string(jobId) + ".trc"))
+      .string();
 }
 
-}  // namespace
+void finalizeParallelResult(ParallelResult& result, const PartitionPlan& plan,
+                            const ParallelConfig& config) {
+  namespace fs = std::filesystem;
+  std::set<std::uint64_t> scenarioPrints;
+  std::set<std::uint64_t> statePrints;
+  std::set<std::string> testcases;
+  for (const JobResult& job : result.jobs) {
+    if (result.outcome == RunOutcome::kCompleted &&
+        job.outcome != RunOutcome::kCompleted)
+      result.outcome = job.outcome;
+    result.totalStates += job.states;
+    result.totalEvents += job.events;
+    result.totalScenariosOwned += job.scenariosOwned;
+    scenarioPrints.insert(job.scenarioFingerprints.begin(),
+                          job.scenarioFingerprints.end());
+    statePrints.insert(job.stateFingerprints.begin(),
+                       job.stateFingerprints.end());
+    testcases.insert(job.testcases.begin(), job.testcases.end());
+    result.stats.mergeFrom(job.stats);
+  }
+  result.scenarioFingerprints.assign(scenarioPrints.begin(),
+                                     scenarioPrints.end());
+  result.stateFingerprints.assign(statePrints.begin(), statePrints.end());
+  result.testcases.assign(testcases.begin(), testcases.end());
+  // Trace merge, after the barrier and in job-id order (the input order
+  // is the merge tie-break, so it must not depend on completion order).
+  // Jobs loaded from .done files on a resume did not run here and have
+  // no trace file; they are simply absent from the merge.
+  if (!config.traceDir.empty()) {
+    std::vector<std::string> inputs;
+    for (const PartitionJob& job : plan.jobs) {
+      const std::string path = jobTracePath(config.traceDir, job.id);
+      if (fs::exists(path)) inputs.push_back(path);
+    }
+    try {
+      obs::mergeTraceFiles(
+          inputs, (fs::path(config.traceDir) / "merged.trc").string());
+    } catch (const obs::TraceError& e) {
+      support::logError("trace", e.what());
+    }
+  }
+}
 
 PartitionPlan planPartitions(std::span<const std::string> variables,
                              std::uint64_t seed) {
@@ -230,22 +268,7 @@ ParallelResult runPartitioned(const EngineFactory& factory,
     fs::create_directories(dir);
     const snapshot::RunManifest manifest{config.scenarioSpec, config.horizon,
                                          plan};
-    if (config.resume && fs::exists(snapshot::manifestPath(dir))) {
-      const snapshot::RunManifest prior = snapshot::readManifest(dir);
-      if (!snapshot::sameRun(prior, manifest))
-        throw snapshot::SnapshotError(
-            "checkpoint directory " + dir.string() +
-            " belongs to a different run (manifest mismatch); refusing to "
-            "resume");
-      resuming = true;
-    } else {
-      for (const PartitionJob& job : plan.jobs) {
-        std::error_code ec;
-        fs::remove(snapshot::jobCheckpointPath(dir, job.id), ec);
-        fs::remove(snapshot::jobDonePath(dir, job.id), ec);
-      }
-      snapshot::writeManifest(dir, manifest);
-    }
+    resuming = snapshot::prepareRunDir(dir, manifest, config.resume);
   }
 
   // Live cross-worker query sharing: one cache for the whole fleet,
@@ -312,7 +335,7 @@ ParallelResult runPartitioned(const EngineFactory& factory,
         std::ofstream traceOs;
         std::unique_ptr<obs::StreamTraceSink> traceSink;
         if (tracing) {
-          traceOs.open(jobTracePath(traceDirPath, job.id),
+          traceOs.open(jobTracePath(config.traceDir, job.id),
                        std::ios::binary | std::ios::trunc);
           obs::TraceHeader header;
           header.numNodes = engine->topology().numNodes();
@@ -354,7 +377,7 @@ ParallelResult runPartitioned(const EngineFactory& factory,
         }
 
         const RunOutcome outcome = engine->run(config.horizon);
-        result.jobs[i] = collectJob(*engine, job, config, outcome);
+        result.jobs[i] = collectJobResult(*engine, job, config, outcome);
         if (traceSink != nullptr) {
           engine->setTraceSink(nullptr);
           try {
@@ -388,43 +411,7 @@ ParallelResult runPartitioned(const EngineFactory& factory,
   }
 
   // Deterministic merge barrier: fold the jobs in id order.
-  std::set<std::uint64_t> scenarioPrints;
-  std::set<std::uint64_t> statePrints;
-  std::set<std::string> testcases;
-  for (const JobResult& job : result.jobs) {
-    if (result.outcome == RunOutcome::kCompleted &&
-        job.outcome != RunOutcome::kCompleted)
-      result.outcome = job.outcome;
-    result.totalStates += job.states;
-    result.totalEvents += job.events;
-    result.totalScenariosOwned += job.scenariosOwned;
-    scenarioPrints.insert(job.scenarioFingerprints.begin(),
-                          job.scenarioFingerprints.end());
-    statePrints.insert(job.stateFingerprints.begin(),
-                       job.stateFingerprints.end());
-    testcases.insert(job.testcases.begin(), job.testcases.end());
-    result.stats.mergeFrom(job.stats);
-  }
-  result.scenarioFingerprints.assign(scenarioPrints.begin(),
-                                     scenarioPrints.end());
-  result.stateFingerprints.assign(statePrints.begin(), statePrints.end());
-  result.testcases.assign(testcases.begin(), testcases.end());
-  // Trace merge, after the barrier and in job-id order (the input order
-  // is the merge tie-break, so it must not depend on completion order).
-  // Jobs loaded from .done files on a resume did not run here and have
-  // no trace file; they are simply absent from the merge.
-  if (tracing) {
-    std::vector<std::string> inputs;
-    for (const PartitionJob& job : plan.jobs) {
-      const fs::path path = jobTracePath(traceDirPath, job.id);
-      if (fs::exists(path)) inputs.push_back(path.string());
-    }
-    try {
-      obs::mergeTraceFiles(inputs, (traceDirPath / "merged.trc").string());
-    } catch (const obs::TraceError& e) {
-      support::logError("trace", e.what());
-    }
-  }
+  finalizeParallelResult(result, plan, config);
 
   result.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

@@ -170,4 +170,30 @@ using EngineFactory =
 [[nodiscard]] std::string canonicalScenarioTestcase(
     solver::SolverClient& solver, std::span<ExecutionState* const> scenario);
 
+// --- Building blocks shared with the fleet runner (sde/fleet.hpp) ----------
+// The thread runner above and the multi-process fleet produce their
+// digests through the same extraction and merge code, which is what
+// makes "fleet digest == partitioned digest" a structural property
+// rather than a re-implementation kept in sync by tests alone.
+
+// The deterministic per-job extraction pass: run outcome, sizes, and —
+// after the ownership rule — the job's share of the dscenario universe.
+[[nodiscard]] JobResult collectJobResult(Engine& engine,
+                                         const PartitionJob& job,
+                                         const ParallelConfig& config,
+                                         RunOutcome outcome);
+
+// Per-job trace file location inside a trace directory
+// ("trace_job<id>.trc", stream id = job id).
+[[nodiscard]] std::string jobTracePath(const std::string& traceDir,
+                                       std::uint32_t jobId);
+
+// The deterministic merge barrier: folds result.jobs (already filled,
+// job-id order) into the totals, fingerprint/testcase unions and the
+// run outcome, then — when config.traceDir is set — stitches the
+// existing per-job trace files into <traceDir>/merged.trc in job-id
+// order. Does not touch result.wallSeconds.
+void finalizeParallelResult(ParallelResult& result, const PartitionPlan& plan,
+                            const ParallelConfig& config);
+
 }  // namespace sde

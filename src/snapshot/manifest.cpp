@@ -129,6 +129,26 @@ RunManifest readManifest(const std::filesystem::path& dir) {
   return manifest;
 }
 
+bool prepareRunDir(const std::filesystem::path& dir,
+                   const RunManifest& manifest, bool resume) {
+  if (resume && std::filesystem::exists(manifestPath(dir))) {
+    const RunManifest prior = readManifest(dir);
+    if (!sameRun(prior, manifest))
+      throw SnapshotError(
+          "checkpoint directory " + dir.string() +
+          " belongs to a different run (manifest mismatch); refusing to "
+          "resume");
+    return true;
+  }
+  for (const PartitionJob& job : manifest.plan.jobs) {
+    std::error_code ec;
+    std::filesystem::remove(jobCheckpointPath(dir, job.id), ec);
+    std::filesystem::remove(jobDonePath(dir, job.id), ec);
+  }
+  writeManifest(dir, manifest);
+  return false;
+}
+
 void writeJobResult(std::ostream& os, const JobResult& result) {
   Writer out(os);
   out.magic(kJobResultMagic);

@@ -69,6 +69,15 @@ void writeManifest(const std::filesystem::path& dir,
 // Throws SnapshotError on missing/foreign/corrupt manifests.
 [[nodiscard]] RunManifest readManifest(const std::filesystem::path& dir);
 
+// Binds a run to its directory — the shared entry point of the thread
+// runner and the process fleet. With `resume` set and a manifest
+// present, validates it describes the same run (throws SnapshotError
+// otherwise) and returns true; else clears leftover per-job files of
+// any older run, writes the manifest, and returns false (fresh start).
+// The directory must already exist.
+bool prepareRunDir(const std::filesystem::path& dir,
+                   const RunManifest& manifest, bool resume);
+
 // Stream-level JobResult codec (exposed for the CLI inspector).
 void writeJobResult(std::ostream& os, const JobResult& result);
 [[nodiscard]] JobResult readJobResult(std::istream& is);

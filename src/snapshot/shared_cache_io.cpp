@@ -14,12 +14,11 @@ namespace {
 constexpr std::uint32_t kSharedCacheFormat = 1;
 }  // namespace
 
-void writeSharedCache(std::ostream& os,
-                      const solver::SharedQueryCache& cache) {
+void writeSharedCacheEntries(std::ostream& os,
+                             const SharedCacheEntries& entries) {
   Writer out(os);
   out.magic(kSharedCacheMagic);
   out.u32(kSharedCacheFormat);
-  const auto entries = cache.sortedEntries();
   out.u64(entries.size());
   for (const auto& [key, result] : entries) {
     out.u64(key.size());
@@ -35,7 +34,7 @@ void writeSharedCache(std::ostream& os,
   if (!out.ok()) throw SnapshotError("shared-cache sidecar write failed");
 }
 
-void readSharedCache(std::istream& is, solver::SharedQueryCache& cache) {
+SharedCacheEntries readSharedCacheEntries(std::istream& is) {
   Reader in(is);
   in.expectMagic(kSharedCacheMagic, "not a shared-cache sidecar");
   const std::uint32_t format = in.u32();
@@ -43,8 +42,9 @@ void readSharedCache(std::istream& is, solver::SharedQueryCache& cache) {
     throw SnapshotError("shared-cache sidecar format " +
                         std::to_string(format) + " (expected " +
                         std::to_string(kSharedCacheFormat) + ")");
-  cache.clear();
+  SharedCacheEntries entries;
   const std::uint64_t numEntries = in.u64();
+  entries.reserve(numEntries);
   for (std::uint64_t i = 0; i < numEntries; ++i) {
     solver::SharedQueryKey key;
     const std::uint64_t terms = in.u64();
@@ -64,8 +64,20 @@ void readSharedCache(std::istream& is, solver::SharedQueryCache& cache) {
       binding.value = in.u64();
       result.model.push_back(std::move(binding));
     }
-    cache.insert(std::move(key), std::move(result));
+    entries.emplace_back(std::move(key), std::move(result));
   }
+  return entries;
+}
+
+void writeSharedCache(std::ostream& os,
+                      const solver::SharedQueryCache& cache) {
+  writeSharedCacheEntries(os, cache.sortedEntries());
+}
+
+void readSharedCache(std::istream& is, solver::SharedQueryCache& cache) {
+  cache.clear();
+  for (auto& [key, result] : readSharedCacheEntries(is))
+    cache.insert(std::move(key), std::move(result));
 }
 
 std::string sharedCachePath(const std::string& checkpointDir) {

@@ -10,12 +10,28 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "solver/shared_cache.hpp"
 
 namespace sde::snapshot {
 
 inline constexpr std::string_view kSharedCacheMagic = "SDESHC";
+
+// The sidecar's payload, store-agnostic: any SharedQueryStore that can
+// enumerate its entries sorted by key serializes through these (the
+// in-process SharedQueryCache and the fleet's ShmQueryCache both do).
+using SharedCacheEntries =
+    std::vector<std::pair<solver::SharedQueryKey, solver::SharedQueryResult>>;
+
+// Writes `entries` (expected key-sorted for deterministic bytes).
+void writeSharedCacheEntries(std::ostream& os,
+                             const SharedCacheEntries& entries);
+
+// Parses a sidecar stream. Throws SnapshotError on framing or version
+// mismatch.
+[[nodiscard]] SharedCacheEntries readSharedCacheEntries(std::istream& is);
 
 // Appends every entry of `cache` to the stream, sorted by key for
 // deterministic bytes. Thread-safe against concurrent inserts (each

@@ -54,7 +54,7 @@
 
 namespace sde::solver {
 
-class SharedQueryCache;
+class SharedQueryStore;
 
 struct SolverConfig {
   bool useIndependence = true;
@@ -81,7 +81,7 @@ struct LayerQuery {
   QueryKey key;                            // filled by canonicalize
   expr::IntervalEnv intervals;             // filled by the interval layer
   QueryCache& cache;
-  SharedQueryCache* shared = nullptr;
+  SharedQueryStore* shared = nullptr;
   // Whether the caller consumes the model (getValue/getModel) or only
   // the status (mayBeTrue and friends). Model-pool reuse answers only
   // status-only queries: its models are genuine but need not match the
@@ -134,8 +134,8 @@ class SolverPipeline {
   [[nodiscard]] LayerAnswer solve(std::span<const expr::Ref> conjunction,
                                   bool needModel);
 
-  void setSharedCache(SharedQueryCache* shared) { shared_ = shared; }
-  [[nodiscard]] SharedQueryCache* sharedCache() const { return shared_; }
+  void setSharedCache(SharedQueryStore* shared) { shared_ = shared; }
+  [[nodiscard]] SharedQueryStore* sharedCache() const { return shared_; }
 
   [[nodiscard]] const std::vector<std::unique_ptr<SolverLayer>>& layers()
       const {
@@ -147,7 +147,7 @@ class SolverPipeline {
   const SolverConfig& config_;
   QueryCache& cache_;
   support::StatsRegistry& stats_;
-  SharedQueryCache* shared_ = nullptr;
+  SharedQueryStore* shared_ = nullptr;
   std::vector<std::unique_ptr<SolverLayer>> layers_;
 };
 

@@ -80,7 +80,30 @@ struct SharedQueryResult {
 [[nodiscard]] EnumResult fromSharedResult(expr::Context& ctx,
                                           const SharedQueryResult& result);
 
-class SharedQueryCache {
+// The store interface the solver pipeline shares queries through. Two
+// implementations: the in-process mutex-striped SharedQueryCache below
+// (threads of one partitioned run) and the process-external
+// solver::ShmQueryCache (worker processes of a fleet run, see
+// shm_cache.hpp). Both obey the same contract — context-independent
+// keys, canonical values only, first writer wins — so exploration
+// results are byte-identical whichever store (or none) is attached.
+class SharedQueryStore {
+ public:
+  virtual ~SharedQueryStore() = default;
+
+  // Thread-safe. Returns the cached result by value (a reference could
+  // dangle or point into concurrently mutated storage).
+  [[nodiscard]] virtual std::optional<SharedQueryResult> lookup(
+      const SharedQueryKey& key) const = 0;
+
+  // Thread-safe. First writer wins: once a key holds a result, later
+  // inserts (necessarily equal — only canonical values are published)
+  // are dropped. Best-effort: a full fixed-size store may drop inserts.
+  virtual void insert(const SharedQueryKey& key,
+                      SharedQueryResult result) = 0;
+};
+
+class SharedQueryCache final : public SharedQueryStore {
  public:
   explicit SharedQueryCache(std::size_t shards = 16);
   SharedQueryCache(const SharedQueryCache&) = delete;
@@ -89,12 +112,12 @@ class SharedQueryCache {
   // Thread-safe. Returns the cached result by value (a reference would
   // dangle once another thread rehashes the shard).
   [[nodiscard]] std::optional<SharedQueryResult> lookup(
-      const SharedQueryKey& key) const;
+      const SharedQueryKey& key) const override;
 
   // Thread-safe. First writer wins: once a key holds a result, later
   // inserts (necessarily equal — only canonical values are published)
   // are dropped.
-  void insert(const SharedQueryKey& key, SharedQueryResult result);
+  void insert(const SharedQueryKey& key, SharedQueryResult result) override;
 
   // Thread-safe counters (relaxed; reporting only).
   [[nodiscard]] std::uint64_t hits() const {

@@ -1,0 +1,395 @@
+#include "solver/shm_cache.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "support/hash.hpp"
+
+namespace sde::solver {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'D', 'E', 'S', 'H', 'M', 'Q', 'C'};
+// Bumped on any header or slot layout change; attach() rejects every
+// other version (no migration, same policy as the snapshot formats).
+constexpr std::uint32_t kLayoutVersion = 1;
+// Two-phase init: the creator publishes this marker only after the
+// header geometry is fully written, so an attacher racing a crashed
+// creator sees a not-ready segment, never half-written geometry.
+constexpr std::uint64_t kReadyMarker = 0x52454144u;  // "READ"
+
+// Slot lifecycle. Claimed-but-never-published slots are the residue of
+// a writer killed mid-insert; everyone probes past them.
+constexpr std::uint64_t kSlotEmpty = 0;
+constexpr std::uint64_t kSlotClaimed = 1;
+constexpr std::uint64_t kSlotPublished = 2;
+
+// Bounded probing: beyond this the table is effectively saturated and
+// inserts are dropped (lookups that probe this far without a match
+// report a miss, which is always sound).
+constexpr std::uint64_t kMaxProbe = 128;
+
+std::uint64_t keyDigest(const SharedQueryKey& key) {
+  support::Hasher h;
+  for (const std::uint64_t v : key) h.u64(v);
+  // Digest 0 is reserved as "impossible" so a zeroed slot never
+  // accidentally matches a real key.
+  const std::uint64_t digest = h.digest();
+  return digest == 0 ? 1 : digest;
+}
+
+}  // namespace
+
+// The header is a fixed prelude of the segment; every field is written
+// by the creator before the ready marker, except the atomics, which any
+// attached process may bump.
+struct ShmQueryCache::Header {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t pad0;
+  std::uint64_t capacity;      // number of slots
+  std::uint32_t maxConjuncts;  // slot geometry
+  std::uint32_t maxBindings;
+  std::uint32_t nameBytes;
+  std::uint32_t pad1;
+  std::atomic<std::uint64_t> ready;
+  std::atomic<std::uint64_t> entries;
+  std::atomic<std::uint64_t> hits;
+  std::atomic<std::uint64_t> misses;
+  std::atomic<std::uint64_t> inserts;
+  std::atomic<std::uint64_t> dropped;
+};
+
+// One open-addressed table slot. The variable-size tail (key hashes,
+// then bindings) is laid out after the fixed fields according to the
+// header geometry; `state` is the publication gate.
+struct ShmQueryCache::Slot {
+  std::atomic<std::uint64_t> state;
+  std::uint64_t digest;
+  std::uint32_t keyLen;
+  std::uint32_t numBindings;
+  std::uint8_t status;  // EnumStatus
+  std::uint8_t pad[7];
+
+  [[nodiscard]] std::uint64_t* keyHashes() {
+    return reinterpret_cast<std::uint64_t*>(this + 1);
+  }
+  [[nodiscard]] const std::uint64_t* keyHashes() const {
+    return reinterpret_cast<const std::uint64_t*>(this + 1);
+  }
+};
+
+namespace {
+
+// One serialized binding in the slot tail: name (NUL-padded), width,
+// value.
+struct SlotBinding {
+  std::uint32_t width;
+  std::uint32_t pad;
+  std::uint64_t value;
+  // name[nameBytes] follows
+};
+
+}  // namespace
+
+ShmQueryCache::Header& ShmQueryCache::header() const {
+  return *static_cast<Header*>(base_);
+}
+
+std::uint64_t ShmQueryCache::slotBytesFor(std::uint32_t maxConjuncts,
+                                          std::uint32_t maxBindings,
+                                          std::uint32_t nameBytes) {
+  const std::uint64_t fixed = sizeof(Slot);
+  const std::uint64_t keys = std::uint64_t{maxConjuncts} * sizeof(std::uint64_t);
+  // Binding payloads are 8-byte aligned; round the name field up.
+  const std::uint64_t nameAligned = (std::uint64_t{nameBytes} + 7) & ~7ull;
+  const std::uint64_t bindings =
+      std::uint64_t{maxBindings} * (sizeof(SlotBinding) + nameAligned);
+  return fixed + keys + bindings;
+}
+
+std::uint64_t ShmQueryCache::slotBytes() const {
+  const Header& h = header();
+  return slotBytesFor(h.maxConjuncts, h.maxBindings, h.nameBytes);
+}
+
+ShmQueryCache::Slot* ShmQueryCache::slotAt(std::uint64_t index) const {
+  char* table = static_cast<char*>(base_) + sizeof(Header);
+  return reinterpret_cast<Slot*>(table + index * slotBytes());
+}
+
+ShmQueryCache::ShmQueryCache(std::string name, int fd, void* base,
+                             std::size_t bytes)
+    : name_(std::move(name)), fd_(fd), base_(base), mappedBytes_(bytes) {}
+
+ShmQueryCache::~ShmQueryCache() {
+  if (base_ != nullptr) ::munmap(base_, mappedBytes_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<ShmQueryCache> ShmQueryCache::create(
+    const std::string& name, const ShmCacheConfig& config) {
+  if (config.nameBytes < 2 || config.maxConjuncts == 0 ||
+      config.maxBindings == 0)
+    throw ShmCacheError("shm cache: degenerate geometry");
+  const std::uint64_t slotSize =
+      slotBytesFor(config.maxConjuncts, config.maxBindings, config.nameBytes);
+  if (config.bytes < sizeof(Header) + slotSize)
+    throw ShmCacheError("shm cache: segment too small for a single slot");
+  const std::uint64_t capacity = (config.bytes - sizeof(Header)) / slotSize;
+
+  const int fd = ::shm_open(name.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+  if (fd < 0)
+    throw ShmCacheError("shm_open(" + name +
+                        ") failed: " + std::strerror(errno));
+  if (::ftruncate(fd, static_cast<off_t>(config.bytes)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    throw ShmCacheError("ftruncate(" + name +
+                        ") failed: " + std::strerror(err));
+  }
+  void* base = ::mmap(nullptr, config.bytes, PROT_READ | PROT_WRITE,
+                      MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    const int err = errno;
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    throw ShmCacheError("mmap(" + name + ") failed: " + std::strerror(err));
+  }
+
+  // ftruncate zero-fills, so every slot already reads kSlotEmpty; only
+  // the header needs explicit initialization.
+  auto cache = std::unique_ptr<ShmQueryCache>(
+      new ShmQueryCache(name, fd, base, config.bytes));
+  Header& h = cache->header();
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.version = kLayoutVersion;
+  h.capacity = capacity;
+  h.maxConjuncts = config.maxConjuncts;
+  h.maxBindings = config.maxBindings;
+  h.nameBytes = config.nameBytes;
+  h.entries.store(0, std::memory_order_relaxed);
+  h.hits.store(0, std::memory_order_relaxed);
+  h.misses.store(0, std::memory_order_relaxed);
+  h.inserts.store(0, std::memory_order_relaxed);
+  h.dropped.store(0, std::memory_order_relaxed);
+  h.ready.store(kReadyMarker, std::memory_order_release);
+  return cache;
+}
+
+std::unique_ptr<ShmQueryCache> ShmQueryCache::attach(const std::string& name) {
+  const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0)
+    throw ShmCacheError("shm_open(" + name +
+                        ") failed: " + std::strerror(errno));
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw ShmCacheError("fstat(" + name + ") failed");
+  }
+  const std::size_t bytes = static_cast<std::size_t>(st.st_size);
+  if (bytes < sizeof(Header)) {
+    ::close(fd);
+    throw ShmCacheError("shm cache segment " + name +
+                        " is truncated (smaller than its header)");
+  }
+  void* base = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    ::close(fd);
+    throw ShmCacheError("mmap(" + name + ") failed");
+  }
+  auto cache =
+      std::unique_ptr<ShmQueryCache>(new ShmQueryCache(name, fd, base, bytes));
+
+  const Header& h = cache->header();
+  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0)
+    throw ShmCacheError("segment " + name + " is not an SDE shm query cache");
+  if (h.version != kLayoutVersion)
+    throw ShmCacheError("shm cache layout version " +
+                        std::to_string(h.version) + " (this build expects " +
+                        std::to_string(kLayoutVersion) + ")");
+  if (h.ready.load(std::memory_order_acquire) != kReadyMarker)
+    throw ShmCacheError("segment " + name +
+                        " was never fully initialized (creator crashed?)");
+  if (h.nameBytes < 2 || h.maxConjuncts == 0 || h.maxBindings == 0 ||
+      h.capacity == 0)
+    throw ShmCacheError("segment " + name + " has degenerate geometry");
+  // The geometry must fit the mapping exactly as created: a segment
+  // truncated after creation would otherwise SIGBUS on first probe.
+  const std::uint64_t need =
+      sizeof(Header) + h.capacity * slotBytesFor(h.maxConjuncts, h.maxBindings,
+                                                 h.nameBytes);
+  if (need > bytes)
+    throw ShmCacheError("segment " + name + " is torn: header advertises " +
+                        std::to_string(need) + " bytes but only " +
+                        std::to_string(bytes) + " are mapped");
+  return cache;
+}
+
+void ShmQueryCache::unlinkSegment(const std::string& name) {
+  ::shm_unlink(name.c_str());
+}
+
+bool ShmQueryCache::segmentExists(const std::string& name) {
+  const int fd = ::shm_open(name.c_str(), O_RDONLY, 0);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+std::size_t ShmQueryCache::capacitySlots() const {
+  return static_cast<std::size_t>(header().capacity);
+}
+
+std::uint64_t ShmQueryCache::entries() const {
+  return header().entries.load(std::memory_order_relaxed);
+}
+std::uint64_t ShmQueryCache::hits() const {
+  return header().hits.load(std::memory_order_relaxed);
+}
+std::uint64_t ShmQueryCache::misses() const {
+  return header().misses.load(std::memory_order_relaxed);
+}
+std::uint64_t ShmQueryCache::inserts() const {
+  return header().inserts.load(std::memory_order_relaxed);
+}
+std::uint64_t ShmQueryCache::dropped() const {
+  return header().dropped.load(std::memory_order_relaxed);
+}
+
+std::optional<SharedQueryResult> ShmQueryCache::lookup(
+    const SharedQueryKey& key) const {
+  Header& h = header();  // counters in the segment are logically mutable
+  if (key.empty() || key.size() > h.maxConjuncts) {
+    h.misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const std::uint64_t digest = keyDigest(key);
+  const std::uint64_t probes = std::min<std::uint64_t>(kMaxProbe, h.capacity);
+  for (std::uint64_t i = 0; i < probes; ++i) {
+    const Slot* slot = slotAt((digest + i) % h.capacity);
+    const std::uint64_t state = slot->state.load(std::memory_order_acquire);
+    if (state == kSlotEmpty) break;  // claimed slots: keep probing
+    if (state != kSlotPublished) continue;
+    if (slot->digest != digest || slot->keyLen != key.size()) continue;
+    if (!std::equal(key.begin(), key.end(), slot->keyHashes())) continue;
+
+    SharedQueryResult result;
+    result.status = static_cast<EnumStatus>(slot->status);
+    result.model.reserve(slot->numBindings);
+    const std::uint64_t nameAligned = (std::uint64_t{h.nameBytes} + 7) & ~7ull;
+    const char* cursor =
+        reinterpret_cast<const char*>(slot->keyHashes() + h.maxConjuncts);
+    for (std::uint32_t b = 0; b < slot->numBindings; ++b) {
+      const auto* payload = reinterpret_cast<const SlotBinding*>(cursor);
+      const char* name = cursor + sizeof(SlotBinding);
+      SharedBinding binding;
+      // The writer NUL-terminates within nameBytes; strnlen guards a
+      // (theoretically impossible) unterminated name anyway.
+      binding.name.assign(name, ::strnlen(name, h.nameBytes));
+      binding.width = payload->width;
+      binding.value = payload->value;
+      result.model.push_back(std::move(binding));
+      cursor += sizeof(SlotBinding) + nameAligned;
+    }
+    h.hits.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+  h.misses.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void ShmQueryCache::insert(const SharedQueryKey& key,
+                           SharedQueryResult result) {
+  Header& h = header();
+  if (key.empty() || key.size() > h.maxConjuncts ||
+      result.model.size() > h.maxBindings) {
+    h.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  for (const SharedBinding& binding : result.model) {
+    if (binding.name.size() + 1 > h.nameBytes) {
+      h.dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+
+  const std::uint64_t digest = keyDigest(key);
+  const std::uint64_t probes = std::min<std::uint64_t>(kMaxProbe, h.capacity);
+  for (std::uint64_t i = 0; i < probes; ++i) {
+    Slot* slot = slotAt((digest + i) % h.capacity);
+    std::uint64_t state = slot->state.load(std::memory_order_acquire);
+    if (state == kSlotPublished) {
+      // First writer wins: an equal key already published means drop.
+      if (slot->digest == digest && slot->keyLen == key.size() &&
+          std::equal(key.begin(), key.end(), slot->keyHashes()))
+        return;
+      continue;
+    }
+    if (state == kSlotClaimed) continue;  // stuck or mid-write: probe past
+    if (!slot->state.compare_exchange_strong(state, kSlotClaimed,
+                                             std::memory_order_acq_rel))
+      continue;  // lost the race for this slot; try the next one
+
+    slot->digest = digest;
+    slot->keyLen = static_cast<std::uint32_t>(key.size());
+    slot->status = static_cast<std::uint8_t>(result.status);
+    slot->numBindings = static_cast<std::uint32_t>(result.model.size());
+    std::copy(key.begin(), key.end(), slot->keyHashes());
+    const std::uint64_t nameAligned = (std::uint64_t{h.nameBytes} + 7) & ~7ull;
+    char* cursor = reinterpret_cast<char*>(slot->keyHashes() + h.maxConjuncts);
+    for (const SharedBinding& binding : result.model) {
+      auto* payload = reinterpret_cast<SlotBinding*>(cursor);
+      payload->width = binding.width;
+      payload->pad = 0;
+      payload->value = binding.value;
+      char* name = cursor + sizeof(SlotBinding);
+      std::memset(name, 0, nameAligned);
+      std::memcpy(name, binding.name.data(), binding.name.size());
+      cursor += sizeof(SlotBinding) + nameAligned;
+    }
+    slot->state.store(kSlotPublished, std::memory_order_release);
+    h.entries.fetch_add(1, std::memory_order_relaxed);
+    h.inserts.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  h.dropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<SharedQueryKey, SharedQueryResult>>
+ShmQueryCache::sortedEntries() const {
+  const Header& h = header();
+  std::vector<std::pair<SharedQueryKey, SharedQueryResult>> entries;
+  const std::uint64_t nameAligned = (std::uint64_t{h.nameBytes} + 7) & ~7ull;
+  for (std::uint64_t i = 0; i < h.capacity; ++i) {
+    const Slot* slot = slotAt(i);
+    if (slot->state.load(std::memory_order_acquire) != kSlotPublished)
+      continue;
+    SharedQueryKey key(slot->keyHashes(), slot->keyHashes() + slot->keyLen);
+    SharedQueryResult result;
+    result.status = static_cast<EnumStatus>(slot->status);
+    const char* cursor =
+        reinterpret_cast<const char*>(slot->keyHashes() + h.maxConjuncts);
+    for (std::uint32_t b = 0; b < slot->numBindings; ++b) {
+      const auto* payload = reinterpret_cast<const SlotBinding*>(cursor);
+      const char* name = cursor + sizeof(SlotBinding);
+      result.model.push_back(SharedBinding{
+          std::string(name, ::strnlen(name, h.nameBytes)), payload->width,
+          payload->value});
+      cursor += sizeof(SlotBinding) + nameAligned;
+    }
+    entries.emplace_back(std::move(key), std::move(result));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
+}
+
+}  // namespace sde::solver

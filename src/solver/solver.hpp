@@ -65,10 +65,10 @@ class Solver final : public SolverClient {
   // Attaches the cross-worker shared cache (not owned; must outlive
   // this solver). The pipeline consults it live on every query that
   // misses the local layers and publishes canonical results back.
-  void setSharedCache(SharedQueryCache* shared) {
+  void setSharedCache(SharedQueryStore* shared) {
     pipeline_.setSharedCache(shared);
   }
-  [[nodiscard]] SharedQueryCache* sharedCache() const {
+  [[nodiscard]] SharedQueryStore* sharedCache() const {
     return pipeline_.sharedCache();
   }
 

@@ -270,4 +270,17 @@ PartitionedCollectResult runCollectPartitioned(
   return result;
 }
 
+FleetResult runCollectFleet(const CollectScenarioConfig& config,
+                            FleetConfig fleetConfig,
+                            std::size_t numPartitionVariables) {
+  CollectScenario scenario(config);
+  const PartitionPlan plan =
+      planPartitions(scenario.partitionVariables(numPartitionVariables));
+  if (fleetConfig.horizon == 0) fleetConfig.horizon = config.simulationTime;
+  if (fleetConfig.scenarioSpec.empty())
+    fleetConfig.scenarioSpec =
+        encodeCollectScenarioSpec(config, numPartitionVariables);
+  return runFleet(scenario.engineFactory(), plan, fleetConfig);
+}
+
 }  // namespace sde::trace

@@ -12,6 +12,7 @@
 
 #include "rime/apps.hpp"
 #include "sde/duplicates.hpp"
+#include "sde/fleet.hpp"
 #include "sde/parallel.hpp"
 #include "trace/metrics.hpp"
 
@@ -150,6 +151,17 @@ struct PartitionedCollectResult {
 [[nodiscard]] PartitionedCollectResult runCollectPartitioned(
     const CollectScenarioConfig& config, ParallelConfig parallelConfig,
     std::size_t numPartitionVariables);
+
+// Runs the collect scenario as a multi-process fleet (sde/fleet.hpp)
+// over `numPartitionVariables` drop decisions. A zero
+// fleetConfig.horizon defaults to config.simulationTime, and the
+// encoded scenario spec is recorded in the run manifest so sde_fleet
+// can resume the directory on its own. Unlike runCollectPartitioned,
+// no metric series is collected — the fleet workers own the engine
+// sampler for the steal/status protocol.
+[[nodiscard]] FleetResult runCollectFleet(const CollectScenarioConfig& config,
+                                          FleetConfig fleetConfig,
+                                          std::size_t numPartitionVariables);
 
 // --- Durable-run scenario codec ----------------------------------------------
 // Renders a CollectScenarioConfig (plus the partition-variable count)

@@ -1,0 +1,201 @@
+// Work-stealing stress for the fleet coordinator (sde/fleet.hpp).
+//
+// The leases are deliberately skewed — one worker owns the whole job
+// table, the others start empty — so the only way the fleet finishes
+// with every worker contributing is through the steal protocol. Oracles:
+//  - steals actually happen (the skew forces them; a zero count means
+//    the idle workers starved while the victim ground through its shard
+//    alone — the protocol silently regressed to no-op);
+//  - no job is ever double-executed (executedCounts all exactly 1, one
+//    .done file per job) — stolen ranges are handed over exactly once;
+//  - the digest equals the unskewed run's (stealing moves work, never
+//    changes it);
+//  - a victim dying mid-shard with steals in flight loses no jobs and
+//    completes no job twice durably (the chaos variant, skipped under
+//    sanitizers like every fork+SIGKILL test).
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "sde/fleet.hpp"
+#include "snapshot/manifest.hpp"
+#include "trace/scenario.hpp"
+
+namespace sde {
+namespace {
+
+namespace fs = std::filesystem;
+
+trace::CollectScenarioConfig smallGrid(std::uint64_t simulationTime) {
+  trace::CollectScenarioConfig config;
+  config.gridWidth = 5;
+  config.gridHeight = 5;
+  config.simulationTime = simulationTime;
+  config.mapper = MapperKind::kSds;
+  return config;
+}
+
+fs::path freshDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("sde_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+bool sanitizersActive() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+std::uint64_t referenceDigest(const trace::CollectScenarioConfig& config,
+                              std::size_t vars) {
+  ParallelConfig threads;
+  threads.workers = 1;
+  return trace::runCollectPartitioned(config, threads, vars)
+      .result.fingerprintDigest();
+}
+
+TEST(WorkStealingTest, SkewedLeasesForceStealsWithoutDoubleExecution) {
+  const auto config = smallGrid(4000);
+  const std::uint64_t want = referenceDigest(config, /*vars=*/3);
+
+  // Slot 0 owns all 8 jobs; slots 1..3 start empty and can only ever
+  // work via steals.
+  const fs::path dir = freshDir("steal_skew");
+  FleetConfig fleet;
+  fleet.processes = 4;
+  fleet.checkpointDir = dir.string();
+  fleet.initialLeases = {{0, 8}};
+  // A tight status cadence keeps the coordinator's frontier mirror
+  // fresh, so victims still look fat when the idle workers ask.
+  fleet.statusEveryEvents = 16;
+  const FleetResult run = trace::runCollectFleet(config, fleet, /*vars=*/3);
+
+  ASSERT_EQ(run.result.outcome, RunOutcome::kCompleted);
+  EXPECT_EQ(run.result.fingerprintDigest(), want);
+  EXPECT_GE(run.steals, 1u) << "skewed fleet finished without stealing";
+  EXPECT_EQ(run.workerDeaths, 0u);
+
+  // No double execution, no lost job: every job ran exactly once and
+  // left exactly its own completion marker.
+  ASSERT_EQ(run.executedCounts.size(), 8u);
+  for (std::size_t job = 0; job < run.executedCounts.size(); ++job)
+    EXPECT_EQ(run.executedCounts[job], 1u) << "job " << job;
+  std::size_t doneFiles = 0;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.path().extension() == ".done") ++doneFiles;
+  EXPECT_EQ(doneFiles, 8u);
+  fs::remove_all(dir);
+}
+
+TEST(WorkStealingTest, TwoWorkerHandoffKeepsFrontierExact) {
+  // Minimal steal topology: two workers, one fat lease. Checks the
+  // split arithmetic end-to-end — victim keeps its current job, thief
+  // gets the upper half, nothing overlaps, nothing is skipped.
+  const auto config = smallGrid(2500);
+  const std::uint64_t want = referenceDigest(config, /*vars=*/3);
+
+  const fs::path dir = freshDir("steal_pair");
+  FleetConfig fleet;
+  fleet.processes = 2;
+  fleet.checkpointDir = dir.string();
+  fleet.initialLeases = {{0, 8}};
+  fleet.statusEveryEvents = 16;
+  const FleetResult run = trace::runCollectFleet(config, fleet, /*vars=*/3);
+
+  ASSERT_EQ(run.result.outcome, RunOutcome::kCompleted);
+  EXPECT_EQ(run.result.fingerprintDigest(), want);
+  for (std::size_t job = 0; job < run.executedCounts.size(); ++job)
+    EXPECT_EQ(run.executedCounts[job], 1u) << "job " << job;
+  fs::remove_all(dir);
+}
+
+TEST(WorkStealingTest, VictimDeathMidHandoffLosesNothing) {
+  if (sanitizersActive())
+    GTEST_SKIP() << "fork()+SIGKILL is not sanitizer-safe";
+
+  const auto config = smallGrid(4000);
+  const std::uint64_t want = referenceDigest(config, /*vars=*/3);
+
+  // Slot 0 owns everything, so the idle workers are stealing from it
+  // throughout. Whoever ends up leasing job 6 — the skewed owner late
+  // in its shard, or (far likelier) a thief holding stolen range — is
+  // SIGKILLed with the handoff machinery mid-flight. The kill-once gate
+  // lives on disk because a respawned worker restarts from the
+  // identical fork image.
+  const fs::path dir = freshDir("steal_victim_death");
+  const fs::path sentinel = dir / "killed_once.sentinel";
+  FleetConfig fleet;
+  fleet.processes = 4;
+  fleet.checkpointDir = dir.string();
+  fleet.initialLeases = {{0, 8}};
+  fleet.statusEveryEvents = 16;
+  fleet.chaos.beforeJob = [sentinel](unsigned, std::uint32_t jobId) {
+    if (jobId != 6) return;
+    if (fs::exists(sentinel)) return;
+    { std::ofstream mark(sentinel); }
+    ::raise(SIGKILL);
+  };
+  const FleetResult run = trace::runCollectFleet(config, fleet, /*vars=*/3);
+
+  ASSERT_EQ(run.result.outcome, RunOutcome::kCompleted);
+  EXPECT_EQ(run.result.fingerprintDigest(), want)
+      << "victim death changed the exploration";
+  EXPECT_GE(run.workerDeaths, 1u);
+  EXPECT_GE(run.respawns, 1u);
+  EXPECT_GE(run.steals, 1u);
+
+  // Every job ran (once, or twice if the kill interrupted it mid-run);
+  // none was skipped, and completion markers are unique per job.
+  ASSERT_EQ(run.executedCounts.size(), 8u);
+  for (std::size_t job = 0; job < run.executedCounts.size(); ++job) {
+    EXPECT_GE(run.executedCounts[job], 1u) << "job " << job;
+    EXPECT_LE(run.executedCounts[job], 2u) << "job " << job;
+  }
+  std::size_t doneFiles = 0;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.path().extension() == ".done") ++doneFiles;
+  EXPECT_EQ(doneFiles, 8u);
+  fs::remove_all(dir);
+}
+
+TEST(WorkStealingTest, MalformedLeasesAreRejected) {
+  const auto config = smallGrid(1000);
+  const fs::path dir = freshDir("steal_bad_leases");
+
+  FleetConfig gap;  // hole between the leases
+  gap.processes = 2;
+  gap.checkpointDir = dir.string();
+  gap.initialLeases = {{0, 3}, {4, 8}};
+  EXPECT_THROW((void)trace::runCollectFleet(config, gap, /*vars=*/3),
+               FleetError);
+
+  FleetConfig overlap;
+  overlap.processes = 2;
+  overlap.checkpointDir = dir.string();
+  overlap.initialLeases = {{0, 5}, {4, 8}};
+  EXPECT_THROW((void)trace::runCollectFleet(config, overlap, /*vars=*/3),
+               FleetError);
+
+  FleetConfig tooMany;  // more leases than workers
+  tooMany.processes = 1;
+  tooMany.checkpointDir = dir.string();
+  tooMany.initialLeases = {{0, 4}, {4, 8}};
+  EXPECT_THROW((void)trace::runCollectFleet(config, tooMany, /*vars=*/3),
+               FleetError);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sde

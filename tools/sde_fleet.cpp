@@ -1,0 +1,268 @@
+// sde_fleet — launch, inspect and resume multi-process fleet runs.
+//
+//   sde_fleet launch <dir> [--processes N] [--vars B] [--nodes W*H]
+//                          [--time T] [--mapper cow|sds|cob]
+//                          [--no-shm-cache] [--shm-name /name]
+//                          [--trace-dir D] [--testcases]
+//                    starts a fresh fleet of the collect scenario with
+//                    <dir> as the durable job queue and prints the
+//                    merged summary + fingerprint digest
+//   sde_fleet status <dir>
+//                    per-job progress of the durable queue (done /
+//                    suspended / pending), without running anything
+//   sde_fleet resume <dir> [--processes N] [--no-shm-cache]
+//                    rebuilds the fleet from the recorded scenario spec
+//                    and finishes the run (completed jobs load from
+//                    their .done files, suspended jobs continue from
+//                    their checkpoints, the shm cache seeds from the
+//                    shared_cache.bin sidecar)
+//
+// `resume` needs a manifest whose scenario spec this build can decode
+// (runs started by `launch`, trace::runCollectFleet or
+// trace::runCollectPartitioned); foreign runs resume from the program
+// that owns the engine factory.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "sde/fleet.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "snapshot/manifest.hpp"
+#include "trace/scenario.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace sde;
+
+struct Options {
+  unsigned processes = 4;
+  std::size_t vars = 2;
+  std::uint32_t gridWidth = 5;
+  std::uint32_t gridHeight = 5;
+  std::uint64_t time = 5000;
+  MapperKind mapper = MapperKind::kSds;
+  bool shmCache = true;
+  std::string shmName;
+  std::string traceDir;
+  bool testcases = false;
+};
+
+bool parseCommon(int argc, char** argv, int first, Options& options) {
+  for (int i = first; i < argc; ++i) {
+    const auto needValue = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--processes") == 0) {
+      const char* v = needValue("--processes");
+      if (v == nullptr) return false;
+      options.processes = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--vars") == 0) {
+      const char* v = needValue("--vars");
+      if (v == nullptr) return false;
+      options.vars = std::strtoul(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--nodes") == 0) {
+      const char* v = needValue("--nodes");
+      if (v == nullptr) return false;
+      const char* star = std::strchr(v, '*');
+      if (star == nullptr) {
+        std::fprintf(stderr, "--nodes wants W*H (e.g. 5*5)\n");
+        return false;
+      }
+      options.gridWidth =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      options.gridHeight =
+          static_cast<std::uint32_t>(std::strtoul(star + 1, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--time") == 0) {
+      const char* v = needValue("--time");
+      if (v == nullptr) return false;
+      options.time = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--mapper") == 0) {
+      const char* v = needValue("--mapper");
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "cow") == 0)
+        options.mapper = MapperKind::kCow;
+      else if (std::strcmp(v, "sds") == 0)
+        options.mapper = MapperKind::kSds;
+      else if (std::strcmp(v, "cob") == 0)
+        options.mapper = MapperKind::kCob;
+      else {
+        std::fprintf(stderr, "unknown mapper %s\n", v);
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--no-shm-cache") == 0) {
+      options.shmCache = false;
+    } else if (std::strcmp(argv[i], "--shm-name") == 0) {
+      const char* v = needValue("--shm-name");
+      if (v == nullptr) return false;
+      options.shmName = v;
+    } else if (std::strcmp(argv[i], "--trace-dir") == 0) {
+      const char* v = needValue("--trace-dir");
+      if (v == nullptr) return false;
+      options.traceDir = v;
+    } else if (std::strcmp(argv[i], "--testcases") == 0) {
+      options.testcases = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+void printFleetResult(const FleetResult& fleet) {
+  const ParallelResult& result = fleet.result;
+  std::printf("outcome            %s\n",
+              std::string(runOutcomeName(result.outcome)).c_str());
+  std::printf("processes          %u\n", fleet.processes);
+  std::printf("total states       %llu\n",
+              static_cast<unsigned long long>(result.totalStates));
+  std::printf("total events       %llu\n",
+              static_cast<unsigned long long>(result.totalEvents));
+  std::printf("owned scenarios    %llu\n",
+              static_cast<unsigned long long>(result.totalScenariosOwned));
+  std::printf("steals             %llu\n",
+              static_cast<unsigned long long>(fleet.steals));
+  std::printf("worker deaths      %llu (respawns %llu)\n",
+              static_cast<unsigned long long>(fleet.workerDeaths),
+              static_cast<unsigned long long>(fleet.respawns));
+  std::printf("shm cache          entries %llu, hits %llu, misses %llu%s\n",
+              static_cast<unsigned long long>(fleet.shmEntries),
+              static_cast<unsigned long long>(fleet.shmHits),
+              static_cast<unsigned long long>(fleet.shmMisses),
+              fleet.shmDegraded ? " (degraded: torn segment discarded)" : "");
+  std::printf("wall seconds       %.3f\n", result.wallSeconds);
+  std::printf("fingerprint digest %016llx\n",
+              static_cast<unsigned long long>(result.fingerprintDigest()));
+}
+
+int launch(const fs::path& dir, const Options& options, bool resume) {
+  trace::CollectScenarioConfig scenario;
+  scenario.gridWidth = options.gridWidth;
+  scenario.gridHeight = options.gridHeight;
+  scenario.simulationTime = options.time;
+  scenario.mapper = options.mapper;
+
+  std::size_t vars = options.vars;
+  if (resume) {
+    // The run directory is authoritative: rebuild the identical fleet
+    // from the recorded spec.
+    const snapshot::RunManifest manifest = snapshot::readManifest(dir);
+    const auto decoded = trace::decodeCollectScenarioSpec(manifest.scenarioSpec);
+    if (!decoded) {
+      std::fprintf(stderr,
+                   "manifest has no decodable scenario spec (\"%s\"); resume "
+                   "this run from the program that started it\n",
+                   manifest.scenarioSpec.c_str());
+      return 1;
+    }
+    scenario = decoded->config;
+    vars = decoded->numPartitionVariables;
+  }
+
+  FleetConfig fleet;
+  fleet.processes = options.processes;
+  fleet.checkpointDir = dir.string();
+  fleet.resume = resume;
+  fleet.shmQueryCache = options.shmCache;
+  fleet.shmName = options.shmName;
+  fleet.traceDir = options.traceDir;
+  fleet.collectTestcases = options.testcases;
+
+  const FleetResult result = trace::runCollectFleet(scenario, fleet, vars);
+  printFleetResult(result);
+  return result.result.outcome == RunOutcome::kCompleted ? 0 : 2;
+}
+
+int statusCommand(const fs::path& dir) {
+  const snapshot::RunManifest manifest = snapshot::readManifest(dir);
+  std::printf("run directory    %s\n", dir.string().c_str());
+  std::printf("horizon          %llu\n",
+              static_cast<unsigned long long>(manifest.horizon));
+  std::printf("jobs             %zu\n", manifest.plan.jobs.size());
+  std::printf("scenario spec    %s\n\n", manifest.scenarioSpec.empty()
+                                             ? "<none>"
+                                             : manifest.scenarioSpec.c_str());
+  std::size_t done = 0, suspended = 0, pending = 0, broken = 0;
+  for (const PartitionJob& job : manifest.plan.jobs) {
+    const fs::path donePath = snapshot::jobDonePath(dir, job.id);
+    const fs::path ckptPath = snapshot::jobCheckpointPath(dir, job.id);
+    std::string state;
+    if (fs::exists(donePath)) {
+      try {
+        const JobResult result = snapshot::readJobResultFile(donePath);
+        state = "done      (" + std::to_string(result.states) + " states)";
+        ++done;
+      } catch (const snapshot::SnapshotError&) {
+        state = "BROKEN done file";
+        ++broken;
+      }
+    } else if (fs::exists(ckptPath)) {
+      try {
+        std::ifstream is(ckptPath, std::ios::binary);
+        const snapshot::CheckpointInfo info =
+            snapshot::inspectCheckpointHeader(is);
+        state = "suspended (" + std::to_string(info.numStates) +
+                " states at t=" + std::to_string(info.virtualNow) + ")";
+        ++suspended;
+      } catch (const snapshot::SnapshotError&) {
+        state = "BROKEN checkpoint";
+        ++broken;
+      }
+    } else {
+      state = "pending";
+      ++pending;
+    }
+    std::printf("job %-4u %s\n", job.id, state.c_str());
+  }
+  std::printf("\n%zu done, %zu suspended, %zu pending", done, suspended,
+              pending);
+  if (broken != 0) std::printf(", %zu BROKEN", broken);
+  std::printf("\n");
+  return broken == 0 ? 0 : 1;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: sde_fleet launch <dir> [--processes N] [--vars B]\n"
+      "                 [--nodes W*H] [--time T] [--mapper cow|sds|cob]\n"
+      "                 [--no-shm-cache] [--shm-name /name]\n"
+      "                 [--trace-dir D] [--testcases]\n"
+      "       sde_fleet status <dir>\n"
+      "       sde_fleet resume <dir> [--processes N] [--no-shm-cache]\n");
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const fs::path dir = argv[2];
+  Options options;
+  try {
+    if (command == "launch") {
+      if (!parseCommon(argc, argv, 3, options)) return usage();
+      return launch(dir, options, /*resume=*/false);
+    }
+    if (command == "resume") {
+      if (!parseCommon(argc, argv, 3, options)) return usage();
+      return launch(dir, options, /*resume=*/true);
+    }
+    if (command == "status") return statusCommand(dir);
+  } catch (const sde::snapshot::SnapshotError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const sde::FleetError& e) {
+    std::fprintf(stderr, "fleet error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
