@@ -56,6 +56,57 @@ test -n "$DIGEST_P4" && test "$DIGEST_P4" = "$DIGEST_P1" \
   || { echo "fleet digest mismatch: p4='$DIGEST_P4' p1='$DIGEST_P1'"; exit 1; }
 echo "fleet digests agree: $DIGEST_P4"
 
+echo "=== serve smoke: submit, SIGKILL the daemon mid-job, restart, digests match direct runs ==="
+SERVE_SMOKE=$(mktemp -d)
+trap 'rm -rf "$TRACE_SMOKE" "$FLEET_SMOKE" "$SERVE_SMOKE"' EXIT
+SERVE_SOCK="$SERVE_SMOKE/root/serve.sock"
+# A stale socket file from a killed daemon still exists while the new
+# daemon rebinds, so wait with a real status round trip, not -S.
+serve_wait() {
+  for _ in $(seq 100); do
+    ./build/tools/sde_submit status "$SERVE_SOCK" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "sde_serve did not come up"; return 1
+}
+./build/tools/sde_serve "$SERVE_SMOKE/root" --slots 2 --poll-ms 10 \
+  --tenant batch:1 --tenant vip:4 >/dev/null &
+SERVE_PID=$!
+serve_wait
+# Job 1: low priority, big enough to still be running at the kill.
+./build/tools/sde_submit submit "$SERVE_SOCK" --tenant batch --priority 0 \
+  --processes 2 --vars 2 --nodes '5*5' --time 12000 >/dev/null
+# Job 2: higher priority, small.
+./build/tools/sde_submit submit "$SERVE_SOCK" --tenant vip --priority 5 \
+  --processes 2 --vars 2 --nodes '4*4' --time 3000 >/dev/null
+sleep 0.6   # let the fleet get into the thick of job 1
+kill -9 "$SERVE_PID"; wait "$SERVE_PID" 2>/dev/null || true
+sleep 0.5   # runners notice via PDEATHSIG and suspend
+./build/tools/sde_serve "$SERVE_SMOKE/root" --slots 2 --poll-ms 10 \
+  --tenant batch:1 --tenant vip:4 >/dev/null &
+SERVE_PID=$!
+serve_wait
+./build/tools/sde_submit watch "$SERVE_SOCK" 1 >/dev/null
+./build/tools/sde_submit watch "$SERVE_SOCK" 2 >/dev/null
+SERVE_D1=$(./build/tools/sde_submit fetch "$SERVE_SOCK" 1 digest.txt)
+SERVE_D2=$(./build/tools/sde_submit fetch "$SERVE_SOCK" 2 digest.txt)
+./build/tools/sde_submit shutdown "$SERVE_SOCK"
+wait "$SERVE_PID"
+# Reference digests from direct fleet runs of the identical plans
+# (shm cache off to mirror the service runner's configuration; the
+# digest is cache-invariant either way).
+./build/tools/sde_fleet launch "$SERVE_SMOKE/d1" --processes 2 --vars 2 \
+  --nodes '5*5' --time 12000 --no-shm-cache > "$SERVE_SMOKE/d1.out"
+./build/tools/sde_fleet launch "$SERVE_SMOKE/d2" --processes 2 --vars 2 \
+  --nodes '4*4' --time 3000 --no-shm-cache > "$SERVE_SMOKE/d2.out"
+# digest.txt is decimal, sde_fleet prints hex; bash $(( )) wraps both
+# mod 2^64 identically, so -eq compares the full u64.
+DIRECT_D1=$(( 16#$(grep -o 'digest [0-9a-f]*' "$SERVE_SMOKE/d1.out" | head -1 | cut -d' ' -f2) ))
+DIRECT_D2=$(( 16#$(grep -o 'digest [0-9a-f]*' "$SERVE_SMOKE/d2.out" | head -1 | cut -d' ' -f2) ))
+test "$(( SERVE_D1 ))" -eq "$DIRECT_D1" && test "$(( SERVE_D2 ))" -eq "$DIRECT_D2" \
+  || { echo "serve digest mismatch: job1 $SERVE_D1 vs $DIRECT_D1, job2 $SERVE_D2 vs $DIRECT_D2"; exit 1; }
+echo "serve digests survive SIGKILL+restart: job1=$SERVE_D1 job2=$SERVE_D2"
+
 echo "=== release: configure + build (CMAKE_BUILD_TYPE=Release) ==="
 # Optimised build: the persistent-sharing fork paths are exactly the
 # kind of code where -O2 reorders lifetimes; the differential fuzz

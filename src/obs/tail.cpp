@@ -1,0 +1,138 @@
+#include "obs/tail.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace sde::obs {
+
+namespace {
+
+// Fixed event record size: kind + detail + three u32 ids + eight u64
+// payload fields. Everything after the header is this wide until the
+// terminator byte, which is what makes tailing possible.
+constexpr std::size_t kEventRecordBytes = 1 + 1 + 3 * 4 + 8 * 8;
+
+// Little-endian decoders over the pending buffer — must mirror
+// snapshot::Writer exactly (trace files are written through it).
+std::uint32_t loadU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (unsigned i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t loadU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::size_t TraceTailer::poll() {
+  if (finished_) return 0;
+
+  std::ifstream is(path_, std::ios::binary);
+  if (!is) return 0;  // not created yet (or gone) — wait
+  is.seekg(0, std::ios::end);
+  const auto end = is.tellg();
+  if (end < 0 || static_cast<std::uint64_t>(end) <= fileOffset_) return 0;
+  const std::uint64_t fresh = static_cast<std::uint64_t>(end) - fileOffset_;
+  is.seekg(static_cast<std::streamoff>(fileOffset_), std::ios::beg);
+  const std::size_t old = pending_.size();
+  pending_.resize(old + static_cast<std::size_t>(fresh));
+  is.read(reinterpret_cast<char*>(pending_.data() + old),
+          static_cast<std::streamsize>(fresh));
+  const auto got = static_cast<std::uint64_t>(is.gcount());
+  pending_.resize(old + static_cast<std::size_t>(got));
+  fileOffset_ += got;
+
+  std::size_t consumed = 0;
+  if (!headerParsed_) consumed = parseHeader();
+  std::size_t newEvents = 0;
+  if (headerParsed_) {
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(consumed));
+    newEvents = parseEvents();
+  }
+  return newEvents;
+}
+
+// Returns the number of header bytes consumed (0 = incomplete, wait).
+std::size_t TraceTailer::parseHeader() {
+  const std::uint8_t* p = pending_.data();
+  const std::size_t n = pending_.size();
+  // Fixed prefix: magic(8) version(4) numNodes(4) stream(4) merged(1).
+  if (n < 8 + 4 + 4 + 4 + 1) return 0;
+  if (std::memcmp(p, kTraceMagic.data(), kTraceMagic.size()) != 0)
+    throw TraceError("not an SDE trace file: " + path_);
+  const std::uint32_t version = loadU32(p + 8);
+  if (version != kTraceVersion)
+    throw TraceError("unsupported trace version " + std::to_string(version) +
+                     " in " + path_);
+  std::size_t at = 8 + 4;
+  TraceHeader header;
+  header.numNodes = loadU32(p + at);
+  at += 4;
+  header.stream = loadU32(p + at);
+  at += 4;
+  header.merged = p[at] != 0;
+  at += 1;
+  // Two length-prefixed strings (mapper, scenario).
+  for (std::string* field : {&header.mapper, &header.scenario}) {
+    if (n < at + 8) return 0;
+    const std::uint64_t length = loadU64(p + at);
+    if (length > (1u << 20))
+      throw TraceError("implausible header string length in " + path_);
+    at += 8;
+    if (n < at + length) return 0;
+    field->assign(reinterpret_cast<const char*>(p + at),
+                  static_cast<std::size_t>(length));
+    at += static_cast<std::size_t>(length);
+  }
+  header_ = std::move(header);
+  headerParsed_ = true;
+  return at;
+}
+
+std::size_t TraceTailer::parseEvents() {
+  std::size_t consumed = 0;
+  std::size_t newEvents = 0;
+  while (pending_.size() - consumed >= 1) {
+    const std::uint8_t* p = pending_.data() + consumed;
+    if (*p == kTraceEventTerminator) {
+      // The run is over; the profile section and trailer carry no
+      // events, so the tailer's job ends here.
+      finished_ = true;
+      pending_.clear();
+      return newEvents;
+    }
+    if (!validTraceEventKind(*p))
+      throw TraceError("unknown trace event kind " + std::to_string(*p) +
+                       " while tailing " + path_);
+    if (pending_.size() - consumed < kEventRecordBytes) break;
+    TraceEvent event;
+    event.kind = static_cast<TraceEventKind>(p[0]);
+    event.detail = p[1];
+    event.stream = loadU32(p + 2);
+    event.node = loadU32(p + 6);
+    event.peer = loadU32(p + 10);
+    event.time = loadU64(p + 14);
+    event.seq = loadU64(p + 22);
+    event.stateId = loadU64(p + 30);
+    event.parentStateId = loadU64(p + 38);
+    event.groupId = loadU64(p + 46);
+    event.packetId = loadU64(p + 54);
+    event.a = loadU64(p + 62);
+    event.b = loadU64(p + 70);
+    builder_.add(event);
+    consumed += kEventRecordBytes;
+    ++newEvents;
+  }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(consumed));
+  return newEvents;
+}
+
+}  // namespace sde::obs

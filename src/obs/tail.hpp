@@ -1,0 +1,70 @@
+// Incremental trace tailing — live progress out of a growing .trc file.
+//
+// A running engine streams its trace container (trace_io.hpp) to disk
+// as events happen; only the terminator/trailer is missing until the
+// run ends. Because event records are fixed-width after the variable
+// header, a reader polling the file can consume every *complete* record
+// already flushed and simply wait on a partial tail — no locking, no
+// coordination with the writer, works across processes. This is how
+// sde_serve streams live job progress: tail the worker's trace file,
+// fold new events through a SummaryBuilder, ship the aggregate.
+//
+// The tailer is deliberately conservative about what it calls corrupt:
+// a short file is "not enough yet" (the writer may still be flushing),
+// but a wrong magic, a foreign version or an unknown event kind inside
+// the settled region throws TraceError — those bytes will never become
+// valid by waiting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/summary.hpp"
+#include "obs/trace_io.hpp"
+
+namespace sde::obs {
+
+class TraceTailer {
+ public:
+  // `path` may not exist yet; poll() treats a missing file as "no new
+  // events" so a tailer can be armed before the worker starts.
+  explicit TraceTailer(std::string path) : path_(std::move(path)) {}
+
+  // Reads whatever the file has grown by since the last poll, feeds
+  // complete event records into the builder, and returns how many new
+  // events were consumed. Returns 0 (without error) when the file is
+  // missing, the header is still incomplete, or no full record landed.
+  // Throws TraceError on structurally corrupt bytes.
+  std::size_t poll();
+
+  // Header fields become meaningful once headerParsed().
+  [[nodiscard]] bool headerParsed() const { return headerParsed_; }
+  [[nodiscard]] const TraceHeader& header() const { return header_; }
+
+  // True once the event terminator was read: the trace is complete and
+  // further polls are no-ops.
+  [[nodiscard]] bool finished() const { return finished_; }
+
+  [[nodiscard]] std::uint64_t eventsSeen() const {
+    return builder_.eventsSeen();
+  }
+  // Aggregate of everything consumed so far (snapshot; callable while
+  // the file keeps growing).
+  [[nodiscard]] TraceSummary summary() const { return builder_.finish(); }
+
+ private:
+  std::size_t parseHeader();
+  std::size_t parseEvents();
+
+  std::string path_;
+  std::vector<std::uint8_t> pending_;  // unconsumed bytes from the file
+  std::uint64_t fileOffset_ = 0;       // bytes read from the file so far
+  TraceHeader header_;
+  bool headerParsed_ = false;
+  bool finished_ = false;
+  SummaryBuilder builder_;
+};
+
+}  // namespace sde::obs

@@ -18,6 +18,8 @@ std::string_view runOutcomeName(RunOutcome outcome) {
       return "aborted (event cap)";
     case RunOutcome::kAbortedWallTime:
       return "aborted (wall-clock cap)";
+    case RunOutcome::kSuspended:
+      return "suspended";
   }
   return "?";
 }
@@ -366,6 +368,10 @@ void Engine::processEvent(ExecutionState& state, vm::PendingEvent event) {
 }
 
 std::optional<RunOutcome> Engine::checkCaps() {
+  // External suspend outranks every cap: the requester wants the
+  // checkpoint written NOW, not after more exploration.
+  if (suspendRequested_.load(std::memory_order_relaxed))
+    return RunOutcome::kSuspended;
   if (sharedCaps_ != nullptr)
     if (const auto shared = sharedCaps_->check()) return *shared;
   if (config_.maxStates != 0 && states_.size() >= config_.maxStates)

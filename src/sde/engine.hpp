@@ -66,6 +66,7 @@ enum class RunOutcome : std::uint8_t {
   kAbortedMemory,    // simulated-memory cap hit
   kAbortedEvents,    // event cap hit
   kAbortedWallTime,  // wall-clock cap hit
+  kSuspended,        // external suspend request (requestSuspend)
 };
 
 [[nodiscard]] std::string_view runOutcomeName(RunOutcome outcome);
@@ -182,6 +183,19 @@ class Engine {
   // Attaches fleet-wide caps (cooperative abort across the engines of a
   // partitioned run). The SharedCaps object must outlive all runs.
   void setSharedCaps(SharedCaps* caps) { sharedCaps_ = caps; }
+
+  // Cooperative external suspend: the current (or next) run() returns
+  // RunOutcome::kSuspended at its next event boundary, after triggering
+  // the abort-time checkpoint exactly like a resource-cap latch — a
+  // restored checkpoint continues the run losslessly. Safe to call from
+  // a signal-handling context of the same thread (the sampler hook) or
+  // another thread; sticky until clearSuspendRequest().
+  void requestSuspend() {
+    suspendRequested_.store(true, std::memory_order_relaxed);
+  }
+  void clearSuspendRequest() {
+    suspendRequested_.store(false, std::memory_order_relaxed);
+  }
 
   // --- Observability ---------------------------------------------------------
   // Attaches a structured event tracer (obs/). nullptr (the default)
@@ -331,6 +345,7 @@ class Engine {
                                         // restarts its cadence
   std::unordered_map<std::string, bool> decisionFilter_;
   SharedCaps* sharedCaps_ = nullptr;
+  std::atomic<bool> suspendRequested_{false};
   obs::TraceSink* trace_ = nullptr;
   obs::PhaseProfiler* profiler_ = nullptr;
   // States whose termination was already traced (only populated while a

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -44,6 +45,9 @@ enum class FrameType : std::uint8_t {
                     //                  states=c, events=d
   kStealReply = 7,  // worker -> coord: seq=a, victimNext=b,
                     //                  stolen=[c, d)
+  kSuspendFleet = 8,  // coord -> worker: checkpoint in-flight job, exit
+  kSuspended = 9,     // worker -> coord: job=a checkpointed (states=c,
+                      //                  events=d); worker exits next
 };
 
 struct Frame {
@@ -153,6 +157,8 @@ struct WorkerContext {
   std::uint32_t hi = 0;
   bool active = false;
   bool shutdown = false;
+  bool suspend = false;             // graceful fleet suspend requested
+  Engine* runningEngine = nullptr;  // engine of the in-flight job, if any
 };
 
 [[noreturn]] void workerExit(int code) { ::_exit(code); }
@@ -211,6 +217,12 @@ void workerProcessCommand(WorkerContext& w, const Frame& frame) {
     case FrameType::kShutdown:
       w.shutdown = true;
       break;
+    case FrameType::kSuspendFleet:
+      w.suspend = true;
+      // Mid-job: ask the engine to abort at its next event; its abort
+      // path writes the checkpoint, workerRunOneJob sees kSuspended.
+      if (w.runningEngine != nullptr) w.runningEngine->requestSuspend();
+      break;
     default:
       break;  // coordinator-only frame types: ignore
   }
@@ -229,7 +241,10 @@ void workerDrainCommands(WorkerContext& w) {
   }
 }
 
-void workerRunOneJob(WorkerContext& w) {
+// Runs the job at w.next. Returns true if the run was interrupted by a
+// fleet suspend (checkpoint written, kSuspended reported — the caller
+// must exit instead of advancing).
+bool workerRunOneJob(WorkerContext& w) {
   const PartitionJob& job = w.plan->jobs[w.next];
   const FleetConfig& config = *w.config;
   if (config.chaos.beforeJob) config.chaos.beforeJob(w.slot, job.id);
@@ -299,6 +314,11 @@ void workerRunOneJob(WorkerContext& w) {
         if (traceSink != nullptr) engine->setTraceSink(traceSink.get());
       }
     }
+    // Visible to the command pump so a kSuspendFleet arriving mid-run
+    // aborts this engine; a suspend that raced job startup is applied
+    // here instead of being lost.
+    w.runningEngine = engine.get();
+    if (w.suspend) engine->requestSuspend();
 
     engine->setCheckpointSink(
         [&](const Engine& e) {
@@ -328,6 +348,26 @@ void workerRunOneJob(WorkerContext& w) {
     });
 
     outcome = engine->run(w.pc.horizon);
+    w.runningEngine = nullptr;
+    if (outcome == RunOutcome::kSuspended) {
+      // The abort path already wrote the checkpoint. Report and bail —
+      // no result extraction for a job that is deliberately unfinished.
+      if (traceSink != nullptr) {
+        engine->setTraceSink(nullptr);
+        try {
+          traceSink->close();
+        } catch (const obs::TraceError& e) {
+          support::logError("trace", e.what());
+        }
+      }
+      Frame suspendedFrame;
+      suspendedFrame.type = FrameType::kSuspended;
+      suspendedFrame.a = job.id;
+      suspendedFrame.c = engine->numStates();
+      suspendedFrame.d = engine->eventsProcessed();
+      workerSend(w, suspendedFrame);
+      return true;
+    }
     const JobResult result = collectJobResult(*engine, job, w.pc, outcome);
     if (traceSink != nullptr) {
       engine->setTraceSink(nullptr);
@@ -355,16 +395,17 @@ void workerRunOneJob(WorkerContext& w) {
   doneFrame.d = events;
   workerSend(w, doneFrame);
   ++w.next;
+  return false;
 }
 
 [[noreturn]] void workerMain(WorkerContext& w) {
   for (;;) {
-    if (w.shutdown) workerExit(0);
+    if (w.shutdown || w.suspend) workerExit(0);
     if (w.active) {
       workerDrainCommands(w);  // a steal may have shrunk hi
-      if (w.shutdown) workerExit(0);
+      if (w.shutdown || w.suspend) workerExit(0);
       if (w.next < w.hi) {
-        workerRunOneJob(w);
+        if (workerRunOneJob(w)) workerExit(0);
         continue;
       }
       w.active = false;
@@ -384,6 +425,31 @@ void workerRunOneJob(WorkerContext& w) {
 
 // ---------------------------------------------------------------------------
 // Coordinator.
+
+// SIGTERM-triggered graceful suspend (FleetConfig::installSigtermSuspend).
+// The handler only sets the flag; the coordinator polls it between
+// protocol rounds. File-scope because signal handlers cannot capture.
+volatile std::sig_atomic_t g_fleetSigterm = 0;
+
+void fleetSigtermHandler(int) { g_fleetSigterm = 1; }
+
+class ScopedSigtermSuspend {
+ public:
+  explicit ScopedSigtermSuspend(bool install) : installed_(install) {
+    if (!installed_) return;
+    g_fleetSigterm = 0;
+    struct sigaction action {};
+    action.sa_handler = fleetSigtermHandler;
+    ::sigaction(SIGTERM, &action, &saved_);
+  }
+  ~ScopedSigtermSuspend() {
+    if (installed_) ::sigaction(SIGTERM, &saved_, nullptr);
+  }
+
+ private:
+  bool installed_;
+  struct sigaction saved_ {};
+};
 
 struct SlotState {
   pid_t pid = -1;
@@ -450,13 +516,34 @@ class Coordinator {
     }
 
     lastActivity_ = std::chrono::steady_clock::now();
-    while (!(completed_ == numJobs && shuttingDown_ && allDead())) {
-      if (completed_ == numJobs && !shuttingDown_) beginShutdown();
+    for (;;) {
+      if (suspending_) {
+        if (allDead()) break;
+      } else if (completed_ == numJobs) {
+        if (!shuttingDown_)
+          beginShutdown();
+        else if (allDead())
+          break;
+      } else if (suspendRequested()) {
+        beginSuspend();
+      }
       pollOnce();
     }
     reapAll();
 
-    merge();
+    if (suspending_ && completed_ != numJobs) {
+      // Deliberately unfinished: count what the durable queue holds and
+      // skip the merge — digests only exist for finished runs.
+      result_.suspended = true;
+      result_.result.outcome = RunOutcome::kSuspended;
+      const fs::path dir = config_.checkpointDir;
+      for (const PartitionJob& job : plan_.jobs)
+        if (fs::exists(snapshot::jobDonePath(dir, job.id)))
+          ++result_.jobsDone;
+    } else {
+      merge();
+      result_.jobsDone = static_cast<std::uint32_t>(plan_.jobs.size());
+    }
     result_.result.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
@@ -579,6 +666,19 @@ class Coordinator {
       if (s.alive) writeFrame(s.cmdW, frame);
   }
 
+  [[nodiscard]] bool suspendRequested() const {
+    if (config_.installSigtermSuspend && g_fleetSigterm != 0) return true;
+    return config_.stopRequested && config_.stopRequested();
+  }
+
+  void beginSuspend() {
+    suspending_ = true;
+    Frame frame;
+    frame.type = FrameType::kSuspendFleet;
+    for (SlotState& s : slots_)
+      if (s.alive) writeFrame(s.cmdW, frame);
+  }
+
   void pollOnce() {
     std::vector<struct pollfd> fds;
     std::vector<unsigned> slotOf;
@@ -588,7 +688,7 @@ class Coordinator {
       slotOf.push_back(slot);
     }
     if (fds.empty()) {
-      if (completed_ != plan_.jobs.size())
+      if (completed_ != plan_.jobs.size() && !suspending_)
         throw FleetError(
             "all fleet workers died with jobs remaining (restart budget "
             "exhausted)");
@@ -670,6 +770,12 @@ class Coordinator {
         s.nextKnown = std::max(s.nextKnown, jobId + 1);
         break;
       }
+      case FrameType::kSuspended:
+        // The worker checkpointed its in-flight job and will exit; its
+        // mirror range re-enters the pool via the (clean) death path on
+        // resume, but during a suspend nothing is re-leased.
+        ++result_.jobsSuspendedMidRun;
+        break;
       case FrameType::kStealReply: {
         if (frame.a != s.stealSeq) break;  // stale reply (victim respawned)
         s.stealSeq = 0;
@@ -745,7 +851,7 @@ class Coordinator {
     s.cmdW = s.statusR = -1;
     int status = 0;
     ::waitpid(s.pid, &status, 0);
-    const bool clean = shuttingDown_ && WIFEXITED(status) &&
+    const bool clean = (shuttingDown_ || suspending_) && WIFEXITED(status) &&
                        WEXITSTATUS(status) == 0;
     s.alive = false;
     s.idle = false;
@@ -778,7 +884,7 @@ class Coordinator {
     // Respawn while the budget lasts; past it, surviving workers pick
     // up the re-leased pool, and only a fully dead fleet with jobs
     // remaining is fatal (pollOnce throws then).
-    if (completed_ != plan_.jobs.size() && respawnPossible()) {
+    if (completed_ != plan_.jobs.size() && !suspending_ && respawnPossible()) {
       ++result_.respawns;
       spawn(slot);
       if (!pool_.empty()) {
@@ -876,6 +982,7 @@ class Coordinator {
   std::uint32_t completed_ = 0;
   std::uint32_t stealSeqCounter_ = 0;
   bool shuttingDown_ = false;
+  bool suspending_ = false;
   std::chrono::steady_clock::time_point lastActivity_{};
   FleetResult result_;
 };
@@ -909,6 +1016,7 @@ FleetResult runFleet(const EngineFactory& factory, const PartitionPlan& plan,
         "fleet runs require a checkpoint directory (the durable job queue)");
 
   ScopedSigpipeIgnore sigpipe;
+  ScopedSigtermSuspend sigterm(config.installSigtermSuspend);
 
   // Durable queue setup — identical semantics to the thread runner's
   // durable mode, so sde_checkpoint and resume tooling work unchanged.

@@ -57,6 +57,15 @@
 // the thread runner uses, so "fleet digest == partitioned digest ==
 // single-engine digest" is a structural property. Per-worker trace
 // files merge into the same deterministic merged.trc.
+//
+// Graceful suspend: a FleetConfig::stopRequested poll (or SIGTERM with
+// installSigtermSuspend) broadcasts kSuspendFleet; each worker asks its
+// running engine to suspend (Engine::requestSuspend), the abort path
+// writes the job checkpoint, the worker reports kSuspended and exits
+// cleanly. The coordinator returns FleetResult::suspended without
+// merging; the durable queue holds everything needed to resume. This is
+// what makes preemption free for a scheduler embedding the fleet: a
+// suspended run costs one checkpoint write, never lost exploration.
 #pragma once
 
 #include <cstdint>
@@ -93,6 +102,20 @@ struct FleetChaos {
 struct FleetConfig {
   unsigned processes = 1;     // worker processes to fork
   std::uint64_t horizon = 0;  // virtual-time horizon passed to run()
+  // --- Graceful suspend (the embed-able coordinator API) ---------------------
+  // Polled by the coordinator between protocol rounds (~5x/s). Returning
+  // true triggers a fleet-wide graceful suspend: every worker checkpoints
+  // its in-flight job (engine abort path -> job_<id>.ckpt) and exits
+  // cleanly, runFleet returns with FleetResult::suspended set, and a
+  // later run with FleetConfig::resume finishes the run losslessly —
+  // same digest as an uninterrupted run. This is how an embedding
+  // service preempts a fleet without losing work.
+  std::function<bool()> stopRequested;
+  // Install a SIGTERM handler for the duration of runFleet that triggers
+  // the same graceful suspend (restored on return). The idiom for
+  // daemon-managed fleet processes: SIGTERM means "checkpoint and yield",
+  // SIGKILL still degrades to the crash-recovery path.
+  bool installSigtermSuspend = false;
   bool collectScenarioFingerprints = true;
   bool collectStateFingerprints = true;
   bool collectTestcases = false;
@@ -142,6 +165,15 @@ struct FleetResult {
   // Merged exactly like the thread runner's result; fingerprintDigest()
   // is the cross-mode equivalence oracle.
   ParallelResult result;
+  // A stopRequested/SIGTERM suspend interrupted the run: in-flight jobs
+  // are checkpointed in the durable queue, `result` carries outcome
+  // kSuspended with jobsDone completed entries, and nothing is merged
+  // (digests only exist for finished runs). Resume with
+  // FleetConfig::resume to finish.
+  bool suspended = false;
+  std::uint32_t jobsDone = 0;        // .done files present at return
+  std::uint32_t jobsSuspendedMidRun = 0;  // workers that checkpointed a
+                                          // job in response to suspend
   unsigned processes = 0;
   std::uint64_t steals = 0;        // non-empty steal handoffs completed
   std::uint64_t workerDeaths = 0;  // unexpected worker exits

@@ -1,0 +1,119 @@
+#include "serve/client.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "serve/wire.hpp"
+
+namespace sde::serve {
+
+namespace {
+
+[[noreturn]] void throwDaemonError(const ErrorReply& error) {
+  throw ServeError(error.message);
+}
+
+}  // namespace
+
+Client::Client(const std::string& socketPath)
+    : fd_(connectUnixSocket(socketPath)) {}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Message Client::recv() {
+  const auto payload = recvFrame(fd_);
+  if (!payload) throw ServeError("daemon closed the connection");
+  return decodeMessage(*payload);
+}
+
+Message Client::call(const Message& request) {
+  sendFrame(fd_, encodeMessage(request));
+  return recv();
+}
+
+std::uint64_t Client::submit(const SubmitRequest& request) {
+  const Message reply = call(request);
+  if (const auto* error = std::get_if<ErrorReply>(&reply))
+    throwDaemonError(*error);
+  const auto* ok = std::get_if<SubmitReply>(&reply);
+  if (ok == nullptr) throw ServeError("unexpected reply to submit");
+  return ok->jobId;
+}
+
+std::vector<JobStatus> Client::status(std::uint64_t jobId) {
+  const Message reply = call(StatusRequest{jobId});
+  if (const auto* error = std::get_if<ErrorReply>(&reply))
+    throwDaemonError(*error);
+  const auto* ok = std::get_if<StatusReply>(&reply);
+  if (ok == nullptr) throw ServeError("unexpected reply to status");
+  return ok->jobs;
+}
+
+JobStatus Client::watch(
+    std::uint64_t jobId,
+    const std::function<void(const JobStatus&)>& onProgress) {
+  Message reply = call(WatchRequest{jobId});
+  while (true) {
+    if (const auto* error = std::get_if<ErrorReply>(&reply))
+      throwDaemonError(*error);
+    const auto* frame = std::get_if<ProgressFrame>(&reply);
+    if (frame == nullptr) throw ServeError("unexpected reply to watch");
+    if (onProgress) onProgress(frame->status);
+    if (frame->final) return frame->status;
+    reply = recv();
+  }
+}
+
+JobState Client::cancel(std::uint64_t jobId) {
+  const Message reply = call(CancelRequest{jobId});
+  if (const auto* error = std::get_if<ErrorReply>(&reply))
+    throwDaemonError(*error);
+  const auto* ok = std::get_if<CancelReply>(&reply);
+  if (ok == nullptr) throw ServeError("unexpected reply to cancel");
+  return ok->state;
+}
+
+std::vector<std::string> Client::listArtifacts(std::uint64_t jobId) {
+  const Message reply = call(ListArtifactsRequest{jobId});
+  if (const auto* error = std::get_if<ErrorReply>(&reply))
+    throwDaemonError(*error);
+  const auto* ok = std::get_if<ArtifactList>(&reply);
+  if (ok == nullptr) throw ServeError("unexpected reply to list");
+  return ok->names;
+}
+
+std::string Client::fetch(std::uint64_t jobId, const std::string& name) {
+  const Message reply = call(FetchRequest{jobId, name});
+  if (const auto* error = std::get_if<ErrorReply>(&reply))
+    throwDaemonError(*error);
+  const auto* ok = std::get_if<ArtifactReply>(&reply);
+  if (ok == nullptr) throw ServeError("unexpected reply to fetch");
+  return ok->bytes;
+}
+
+void Client::shutdownDaemon() {
+  const Message reply = call(ShutdownRequest{});
+  if (const auto* error = std::get_if<ErrorReply>(&reply))
+    throwDaemonError(*error);
+}
+
+bool waitForDaemon(const std::string& socketPath, double timeoutSeconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeoutSeconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    try {
+      Client probe(socketPath);
+      (void)probe.status();
+      return true;
+    } catch (const ServeError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  return false;
+}
+
+}  // namespace sde::serve

@@ -1,0 +1,55 @@
+// Blocking client for the exploration service — the sde_submit tool and
+// the e2e tests both speak through this, so the wire protocol has
+// exactly one client implementation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace sde::serve {
+
+class Client {
+ public:
+  // Connects immediately; throws ServeError when nobody listens.
+  explicit Client(const std::string& socketPath);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // One request/reply round trip. Throws ServeError on transport
+  // failure or a malformed reply; an ErrorReply from the daemon is
+  // returned, not thrown (the caller decides severity).
+  [[nodiscard]] Message call(const Message& request);
+
+  // Convenience verbs. Each throws ServeError on daemon-side rejection
+  // (carrying the daemon's message).
+  [[nodiscard]] std::uint64_t submit(const SubmitRequest& request);
+  [[nodiscard]] std::vector<JobStatus> status(std::uint64_t jobId = 0);
+  // Streams progress frames into `onProgress` until the final one;
+  // returns the final status.
+  [[nodiscard]] JobStatus watch(
+      std::uint64_t jobId,
+      const std::function<void(const JobStatus&)>& onProgress = nullptr);
+  [[nodiscard]] JobState cancel(std::uint64_t jobId);
+  [[nodiscard]] std::vector<std::string> listArtifacts(std::uint64_t jobId);
+  [[nodiscard]] std::string fetch(std::uint64_t jobId,
+                                  const std::string& name);
+  void shutdownDaemon();
+
+ private:
+  [[nodiscard]] Message recv();
+  int fd_ = -1;
+};
+
+// Polls `socketPath` until a daemon accepts a connection or the timeout
+// elapses. True on success — used by tools and tests that just started
+// the daemon process.
+[[nodiscard]] bool waitForDaemon(const std::string& socketPath,
+                                 double timeoutSeconds);
+
+}  // namespace sde::serve

@@ -1,0 +1,109 @@
+// The exploration service daemon: one poll loop owning the Unix socket,
+// the job registry, the WFQ scheduler and the runner processes.
+//
+// Crash-safety inventory (what each failure costs):
+//   * daemon SIGKILL — runners notice via PDEATHSIG(SIGTERM), suspend
+//     their fleets (one checkpoint write each) and exit; the restarted
+//     daemon rebuilds the registry from the job directories and
+//     reschedules. No accepted job is lost: spec.sde is written
+//     atomically BEFORE SubmitReply goes out.
+//   * runner SIGKILL — the fleet's own crash story applies (durable
+//     queue, .done short-circuit); the daemon sees the death and
+//     reschedules, the re-run resumes from checkpoints.
+//   * client vanishes — its fd errors out of the poll set; watches die
+//     with it, jobs do not (jobs belong to the registry, not to the
+//     connection that submitted them).
+//
+// Scheduling is delegated to the pure Scheduler (scheduler.hpp); the
+// daemon's tick translates its decisions into fork/SIGTERM, reaps
+// children with waitpid(WNOHANG), derives job states from disk, tails
+// running jobs' trace files (obs/tail.hpp) for live progress frames,
+// and applies retention after each completion.
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/tail.hpp"
+#include "serve/job.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/wire.hpp"
+
+namespace sde::serve {
+
+struct ServeConfig {
+  std::string root;        // service root (jobs/, socket default home)
+  std::string socketPath;  // empty: <root>/serve.sock
+  unsigned slots = 4;      // fleet worker slots shared across all jobs
+  std::size_t retainJobs = 0;  // terminal jobs kept on disk; 0 = all
+  std::map<std::string, TenantPolicy> tenants;
+  unsigned pollMs = 50;  // tick cadence (scheduler + progress)
+};
+
+class Daemon {
+ public:
+  explicit Daemon(ServeConfig config);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  // Runs until a ShutdownRequest frame or SIGTERM/SIGINT. On the way
+  // out every runner is SIGTERMed (graceful fleet suspend) and reaped,
+  // so "stop the daemon" never costs exploration either.
+  void run();
+
+  [[nodiscard]] const std::string& socketPath() const { return socketPath_; }
+
+ private:
+  struct Client {
+    int fd = -1;
+    FrameBuffer frames;
+    bool watching = false;
+    std::uint64_t watchJobId = 0;
+  };
+  struct RunningJob {
+    pid_t pid = -1;
+    std::chrono::steady_clock::time_point lastCharge;
+    bool preempting = false;
+    // Live progress: one tailer per fleet worker trace file, recreated
+    // whenever the runner (re)starts because resume truncates them.
+    std::map<std::string, std::unique_ptr<obs::TraceTailer>> tailers;
+  };
+
+  void tick();
+  void reapRunners();
+  void schedule();
+  void startJob(std::uint64_t jobId);
+  void preemptJob(std::uint64_t jobId);
+  void refreshProgress();
+  void pushProgress();
+  void acceptClients();
+  void serviceClient(Client& client);
+  void handleMessage(Client& client, const Message& message);
+  [[nodiscard]] JobStatus statusOf(const JobRecord& record);
+  void sendTo(Client& client, const Message& message);
+  void shutdownRunners();
+
+  ServeConfig config_;
+  std::string socketPath_;
+  int listenFd_ = -1;
+  bool stopping_ = false;
+  Scheduler scheduler_;
+  std::map<std::uint64_t, JobRecord> jobs_;
+  std::uint64_t nextId_ = 1;
+  std::map<std::uint64_t, RunningJob> running_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  // Cached live counters per running job (survive until the next
+  // refresh; terminal states keep the last observed values).
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
+      liveCounters_;  // jobId -> {eventsSeen, statesSeen}
+};
+
+}  // namespace sde::serve

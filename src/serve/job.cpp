@@ -1,0 +1,141 @@
+#include "serve/job.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "snapshot/error.hpp"
+#include "snapshot/manifest.hpp"
+#include "snapshot/tagged_file.hpp"
+#include "trace/scenario.hpp"
+
+namespace sde::serve {
+
+namespace fs = std::filesystem;
+
+std::optional<std::string> validateJobSpec(const JobSpec& spec) {
+  if (spec.tenant.empty()) return "tenant must not be empty";
+  if (spec.processes == 0) return "processes must be at least 1";
+  if (spec.processes > 256)
+    return "processes " + std::to_string(spec.processes) +
+           " exceeds the per-job limit of 256";
+  const auto decoded = trace::decodeCollectScenarioSpec(spec.scenarioSpec);
+  if (!decoded) {
+    // The codec only reports pass/fail; reconstruct the reason so the
+    // submitter learns what to fix, not just that something is wrong.
+    std::istringstream is(spec.scenarioSpec);
+    std::string tag;
+    is >> tag;
+    if (tag != "collect/1")
+      return "scenario spec tag \"" + tag +
+             "\" is not \"collect/1\" (foreign or truncated spec)";
+    std::string token;
+    while (is >> token) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos)
+        return "malformed scenario spec token \"" + token +
+               "\" (expected key=value; truncated spec?)";
+      if (token.compare(0, eq + 1, "mapper=") == 0) {
+        const std::string value = token.substr(eq + 1);
+        if (value != "COB" && value != "COW" && value != "SDS")
+          return "unknown mapper name \"" + value +
+                 "\" (this build knows COB, COW, SDS)";
+      }
+    }
+    return "scenario spec rejected by the collect codec";
+  }
+  if (decoded->config.simulationTime == 0)
+    return "zero-budget job: simulationTime must be positive";
+  if (decoded->config.gridWidth == 0 || decoded->config.gridHeight == 0)
+    return "degenerate topology: grid dimensions must be positive";
+  if (decoded->numPartitionVariables > 16)
+    return "partition variable count " +
+           std::to_string(decoded->numPartitionVariables) +
+           " exceeds the per-job limit of 16 (65536 fleet jobs)";
+  return std::nullopt;
+}
+
+fs::path jobsDir(const fs::path& root) { return root / "jobs"; }
+
+fs::path jobDir(const fs::path& root, std::uint64_t jobId) {
+  return jobsDir(root) / ("job_" + std::to_string(jobId));
+}
+
+fs::path jobSpecPath(const fs::path& dir) { return dir / "spec.sde"; }
+fs::path jobQueueDir(const fs::path& dir) { return dir / "queue"; }
+fs::path jobResultDir(const fs::path& dir) { return dir / "result"; }
+fs::path jobCancelledMarker(const fs::path& dir) { return dir / "cancelled"; }
+fs::path jobErrorPath(const fs::path& dir) { return dir / "error.txt"; }
+
+void writeJobSpec(const fs::path& dir, const JobSpec& spec) {
+  snapshot::writeTaggedFile(jobSpecPath(dir), kJobSpecMagic, kJobSpecVersion,
+                            [&](snapshot::Writer& out) {
+                              out.str(spec.tenant);
+                              out.u32(spec.priority);
+                              out.u32(spec.processes);
+                              out.str(spec.scenarioSpec);
+                              out.b(spec.collectTestcases);
+                            });
+}
+
+JobSpec readJobSpec(const fs::path& dir) {
+  JobSpec spec;
+  snapshot::readTaggedFile(jobSpecPath(dir), kJobSpecMagic, kJobSpecVersion,
+                           "not an SDE job spec", [&](snapshot::Reader& in) {
+                             spec.tenant = in.str();
+                             spec.priority = in.u32();
+                             spec.processes = in.u32();
+                             spec.scenarioSpec = in.str();
+                             spec.collectTestcases = in.b();
+                           });
+  return spec;
+}
+
+JobState deriveJobState(const fs::path& dir) {
+  if (fs::exists(jobCancelledMarker(dir))) return JobState::kCancelled;
+  if (fs::exists(jobResultDir(dir))) return JobState::kDone;
+  if (fs::exists(jobErrorPath(dir))) return JobState::kFailed;
+  if (fs::exists(snapshot::manifestPath(jobQueueDir(dir))))
+    return JobState::kSuspended;
+  return JobState::kQueued;
+}
+
+std::map<std::uint64_t, JobRecord> loadJobs(const fs::path& root) {
+  std::map<std::uint64_t, JobRecord> jobs;
+  const fs::path base = jobsDir(root);
+  if (!fs::exists(base)) return jobs;
+  for (const auto& entry : fs::directory_iterator(base)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("job_", 0) != 0) continue;
+    std::uint64_t id = 0;
+    try {
+      id = std::stoull(name.substr(4));
+    } catch (...) {
+      continue;  // foreign directory
+    }
+    JobRecord record;
+    record.id = id;
+    try {
+      record.spec = readJobSpec(entry.path());
+    } catch (const snapshot::SnapshotError&) {
+      // Crash between mkdir and the atomic spec write: the submit was
+      // never acknowledged, so this is not a job.
+      continue;
+    }
+    record.state = deriveJobState(entry.path());
+    if (record.state == JobState::kFailed) {
+      std::ifstream is(jobErrorPath(entry.path()));
+      std::ostringstream text;
+      text << is.rdbuf();
+      record.error = std::move(text).str();
+    }
+    jobs.emplace(id, std::move(record));
+  }
+  return jobs;
+}
+
+std::uint64_t nextJobId(const std::map<std::uint64_t, JobRecord>& jobs) {
+  return jobs.empty() ? 1 : jobs.rbegin()->first + 1;
+}
+
+}  // namespace sde::serve

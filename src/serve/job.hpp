@@ -1,0 +1,95 @@
+// Durable jobs: the spec codec, the on-disk layout, and the registry a
+// (re)booting daemon rebuilds from nothing but the directory tree.
+//
+// Layout under the service root:
+//
+//   <root>/jobs/job_<id>/
+//     spec.sde       tagged file (SDEJBSPC): tenant, priority, slots,
+//                    scenario spec, flags — atomically written BEFORE
+//                    the submit is acknowledged, so an accepted job
+//                    exists on disk by the time the client hears "ok"
+//     queue/         the fleet's durable run directory (manifest.sde,
+//                    job_<k>.ckpt / .done) — appears on first run
+//     result/        published artifacts (atomic tmp+rename, see
+//                    results.hpp) — its existence defines "done"
+//     cancelled      marker: terminal, never scheduled again
+//     error.txt      failure reason: terminal unless removed by hand
+//
+// State is derived, never stored: done = result/ exists, cancelled =
+// marker, failed = error.txt, suspended = queue/manifest.sde exists
+// (the fleet ran at least once), else queued. A SIGKILLed daemon
+// therefore cannot lose or corrupt job state — the next boot recomputes
+// it from artifacts that were each written atomically.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace sde::serve {
+
+inline constexpr std::string_view kJobSpecMagic = "SDEJBSPC";
+inline constexpr std::uint32_t kJobSpecVersion = 1;
+
+struct JobSpec {
+  std::string tenant;
+  std::uint32_t priority = 0;
+  std::uint32_t processes = 1;
+  std::string scenarioSpec;
+  bool collectTestcases = false;
+};
+
+// Rejects a spec before it costs anything: empty tenant, zero or absurd
+// process count, a scenario spec the codec cannot parse (foreign tag,
+// truncated key=value body, unknown mapper), or a zero-budget job
+// (simulationTime 0 explores nothing and would wedge the queue).
+// Returns the human-readable rejection; nullopt means acceptable.
+[[nodiscard]] std::optional<std::string> validateJobSpec(const JobSpec& spec);
+
+// Paths of the layout above.
+[[nodiscard]] std::filesystem::path jobsDir(const std::filesystem::path& root);
+[[nodiscard]] std::filesystem::path jobDir(const std::filesystem::path& root,
+                                           std::uint64_t jobId);
+[[nodiscard]] std::filesystem::path jobSpecPath(
+    const std::filesystem::path& dir);
+[[nodiscard]] std::filesystem::path jobQueueDir(
+    const std::filesystem::path& dir);
+[[nodiscard]] std::filesystem::path jobResultDir(
+    const std::filesystem::path& dir);
+[[nodiscard]] std::filesystem::path jobCancelledMarker(
+    const std::filesystem::path& dir);
+[[nodiscard]] std::filesystem::path jobErrorPath(
+    const std::filesystem::path& dir);
+
+void writeJobSpec(const std::filesystem::path& dir, const JobSpec& spec);
+[[nodiscard]] JobSpec readJobSpec(const std::filesystem::path& dir);
+
+struct JobRecord {
+  std::uint64_t id = 0;
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  std::string error;  // from error.txt when failed
+};
+
+// Scans <root>/jobs and rebuilds every job's record. Entries whose
+// spec.sde is missing or torn (a crash between mkdir and the atomic
+// spec write) are skipped — the submit was never acknowledged, so the
+// job never existed. Running state cannot be recovered (no daemon, no
+// runner): jobs that were mid-run come back as suspended or queued and
+// get rescheduled.
+[[nodiscard]] std::map<std::uint64_t, JobRecord> loadJobs(
+    const std::filesystem::path& root);
+
+// One past the highest job id on disk (1 for an empty root).
+[[nodiscard]] std::uint64_t nextJobId(
+    const std::map<std::uint64_t, JobRecord>& jobs);
+
+// Derives the current state of one job dir (see the layout comment).
+[[nodiscard]] JobState deriveJobState(const std::filesystem::path& dir);
+
+}  // namespace sde::serve

@@ -1,0 +1,82 @@
+#include "serve/results.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace sde::serve {
+
+namespace fs = std::filesystem;
+
+void publishResult(
+    const fs::path& jobDir,
+    const std::function<void(const fs::path& stage)>& producer) {
+  const fs::path target = jobResultDir(jobDir);
+  const fs::path stage = jobDir / "result.tmp";
+  std::error_code ec;
+  fs::remove_all(stage, ec);  // leftover from a crashed publisher
+  fs::create_directories(stage);
+  producer(stage);
+  if (fs::exists(target)) {
+    // Someone already published (a racing resume after a daemon
+    // restart): first one wins, ours is identical by the digest
+    // contract anyway.
+    fs::remove_all(stage, ec);
+    return;
+  }
+  fs::rename(stage, target, ec);
+  if (ec)
+    throw ServeError("cannot publish result for " + jobDir.string() + ": " +
+                     ec.message());
+}
+
+std::vector<std::string> listArtifacts(const fs::path& jobDir) {
+  std::vector<std::string> names;
+  const fs::path dir = jobResultDir(jobDir);
+  if (!fs::exists(dir)) return names;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.is_regular_file())
+      names.push_back(entry.path().filename().string());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::optional<std::string> readArtifact(const fs::path& jobDir,
+                                        const std::string& name,
+                                        std::size_t maxBytes) {
+  if (name.empty() || name.find('/') != std::string::npos ||
+      name.find('\\') != std::string::npos || name == "." || name == ".." ||
+      name.find("..") != std::string::npos)
+    return std::nullopt;  // not a plain artifact name
+  const fs::path path = jobResultDir(jobDir) / name;
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::string bytes;
+  bytes.resize(maxBytes + 1);
+  is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  bytes.resize(static_cast<std::size_t>(is.gcount()));
+  if (bytes.size() > maxBytes)
+    throw ServeError("artifact " + name + " exceeds the fetch limit");
+  return bytes;
+}
+
+std::vector<std::uint64_t> pruneResults(const fs::path& root,
+                                        std::size_t keepLast) {
+  std::vector<std::uint64_t> pruned;
+  if (keepLast == 0) return pruned;
+  const std::map<std::uint64_t, JobRecord> jobs = loadJobs(root);
+  std::vector<std::uint64_t> terminal;
+  for (const auto& [id, record] : jobs)
+    if (terminalJobState(record.state)) terminal.push_back(id);
+  if (terminal.size() <= keepLast) return pruned;
+  // std::map iterates in ascending id order, so `terminal` is oldest
+  // first; drop everything before the keepLast newest.
+  terminal.resize(terminal.size() - keepLast);
+  for (const std::uint64_t id : terminal) {
+    std::error_code ec;
+    fs::remove_all(jobDir(root, id), ec);
+    if (!ec) pruned.push_back(id);
+  }
+  return pruned;
+}
+
+}  // namespace sde::serve

@@ -1,0 +1,51 @@
+// The durable results store: atomic artifact publication, sanitised
+// fetch, and retention.
+//
+// A finished job's artifacts (digest.txt, summary.txt, testcases.txt,
+// merged.trc, trace.json, job.sde) are produced into a temp directory
+// and renamed to `result/` in one shot — readers either see no result
+// or a complete one, the same all-or-nothing discipline every other SDE
+// artifact follows. `result/` existing IS the job's done-ness (see
+// job.hpp), so publication and state transition are a single atomic
+// rename; a crash at any point leaves the job resumable.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace sde::serve {
+
+// Produces artifacts via `producer` (which writes files into the temp
+// directory it is handed), then atomically renames the directory to
+// <jobDir>/result. Throws ServeError on I/O failure; an existing
+// result/ wins (first publisher takes it, the temp dir is discarded).
+void publishResult(
+    const std::filesystem::path& jobDir,
+    const std::function<void(const std::filesystem::path& stage)>& producer);
+
+// Artifact names in result/, sorted. Empty when not done.
+[[nodiscard]] std::vector<std::string> listArtifacts(
+    const std::filesystem::path& jobDir);
+
+// Reads one artifact. Rejects names with path separators or "..";
+// nullopt when absent. `maxBytes` bounds the read (wire frames cap out
+// — a larger artifact should be fetched out of band from the job dir).
+[[nodiscard]] std::optional<std::string> readArtifact(
+    const std::filesystem::path& jobDir, const std::string& name,
+    std::size_t maxBytes = 48u << 20);
+
+// Retention: keeps the newest `keepLast` terminal jobs (by job id) and
+// deletes the whole job directory of older terminal ones. Running,
+// queued and suspended jobs are never touched. Returns the pruned ids.
+// keepLast == 0 disables pruning.
+[[nodiscard]] std::vector<std::uint64_t> pruneResults(
+    const std::filesystem::path& root, std::size_t keepLast);
+
+}  // namespace sde::serve

@@ -1,0 +1,122 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace sde::serve {
+
+void Scheduler::setTenantPolicy(const std::string& tenant,
+                                TenantPolicy policy) {
+  if (policy.weight <= 0) policy.weight = 1.0;
+  policies_[tenant] = policy;
+}
+
+TenantPolicy Scheduler::policyOf(const std::string& tenant) const {
+  const auto it = policies_.find(tenant);
+  return it == policies_.end() ? TenantPolicy{} : it->second;
+}
+
+void Scheduler::touchTenant(const std::string& tenant) {
+  if (virtualTimes_.count(tenant) > 0) return;
+  double floor = 0;
+  bool any = false;
+  for (const auto& [name, time] : virtualTimes_) {
+    if (!any || time < floor) floor = time;
+    any = true;
+  }
+  virtualTimes_[tenant] = any ? floor : 0.0;
+}
+
+void Scheduler::charge(const std::string& tenant, double slotSeconds) {
+  touchTenant(tenant);
+  virtualTimes_[tenant] += slotSeconds / policyOf(tenant).weight;
+}
+
+double Scheduler::virtualTime(const std::string& tenant) const {
+  const auto it = virtualTimes_.find(tenant);
+  return it == virtualTimes_.end() ? 0.0 : it->second;
+}
+
+ScheduleDecision Scheduler::decide(const std::vector<SchedJob>& waiting,
+                                   const std::vector<SchedJob>& running) {
+  ScheduleDecision decision;
+
+  std::map<std::string, unsigned> tenantSlots;
+  unsigned usedSlots = 0;
+  for (const SchedJob& job : running) {
+    touchTenant(job.tenant);
+    tenantSlots[job.tenant] += job.slots;
+    usedSlots += job.slots;
+  }
+  unsigned freeSlots = usedSlots >= totalSlots_ ? 0 : totalSlots_ - usedSlots;
+
+  // Deterministic service order: strict priority first, then the
+  // least-served tenant by weighted virtual time, ties by tenant name
+  // then job id.
+  std::vector<SchedJob> queue = waiting;
+  for (const SchedJob& job : queue) touchTenant(job.tenant);
+  std::sort(queue.begin(), queue.end(),
+            [&](const SchedJob& a, const SchedJob& b) {
+              if (a.priority != b.priority) return a.priority > b.priority;
+              const double va = virtualTime(a.tenant);
+              const double vb = virtualTime(b.tenant);
+              if (va != vb) return va < vb;
+              if (a.tenant != b.tenant) return a.tenant < b.tenant;
+              return a.id < b.id;
+            });
+
+  // Victim pool for preemption: running jobs not yet marked this tick.
+  std::vector<SchedJob> victims = running;
+
+  for (const SchedJob& job : queue) {
+    if (job.slots > totalSlots_) continue;  // can never fit; not ours to fail
+    const TenantPolicy policy = policyOf(job.tenant);
+    if (policy.maxSlots > 0 &&
+        tenantSlots[job.tenant] + job.slots > policy.maxSlots)
+      continue;  // quota says no, regardless of free capacity
+
+    if (freeSlots >= job.slots) {
+      decision.start.push_back(job.id);
+      freeSlots -= job.slots;
+      tenantSlots[job.tenant] += job.slots;
+      continue;
+    }
+
+    // Not enough free capacity: reclaim from strictly lower-priority
+    // running jobs, lowest priority first (then smallest, then newest —
+    // the cheapest checkpoints to redo). Preempted slots are NOT
+    // reusable this tick: a suspend is asynchronous, the slots free
+    // only when the runner actually exits. The job stays queued and
+    // starts on a later tick.
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < victims.size(); ++i)
+      if (victims[i].priority < job.priority) order.push_back(i);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (victims[a].priority != victims[b].priority)
+        return victims[a].priority < victims[b].priority;
+      if (victims[a].slots != victims[b].slots)
+        return victims[a].slots < victims[b].slots;
+      return victims[a].id > victims[b].id;
+    });
+    unsigned reclaimable = freeSlots;
+    std::vector<std::size_t> chosen;
+    for (const std::size_t i : order) {
+      if (reclaimable >= job.slots) break;
+      reclaimable += victims[i].slots;
+      chosen.push_back(i);
+    }
+    if (reclaimable < job.slots) continue;  // even preemption cannot fit it
+    for (const std::size_t i : chosen) {
+      decision.preempt.push_back(victims[i].id);
+      tenantSlots[victims[i].tenant] -= victims[i].slots;
+    }
+    // Remove chosen victims from the pool (highest index first so the
+    // remaining indices stay valid).
+    std::sort(chosen.rbegin(), chosen.rend());
+    for (const std::size_t i : chosen)
+      victims.erase(victims.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  return decision;
+}
+
+}  // namespace sde::serve

@@ -1,0 +1,87 @@
+// Multi-tenant scheduling over fleet worker slots: strict priority
+// classes, weighted fair queueing inside a class, per-tenant quotas,
+// and preemption by graceful suspend.
+//
+// The resource is a fixed pool of `totalSlots` worker slots; a job
+// occupies `processes` slots while running. Policy, in decision order:
+//
+//   1. Priority is strict: a runnable job of priority P never waits
+//      while a strictly lower-priority job holds slots it needs — the
+//      scheduler preempts (suspends) lower-priority jobs, cheapest
+//      victim first, until the high-priority job fits. Preemption costs
+//      one checkpoint write (the fleet's graceful suspend), never lost
+//      exploration, which is why this policy is affordable at all.
+//   2. Inside a priority class, tenants share by weighted fair
+//      queueing: each tenant accrues virtual time = slot-seconds
+//      consumed / weight, and the runnable job of the tenant with the
+//      LEAST virtual time starts first. A tenant that was idle does not
+//      bank credit (its virtual time is floored to the minimum of the
+//      active tenants on first use), so bursts cannot starve steady
+//      tenants.
+//   3. Per-tenant quotas cap concurrently held slots (0 = unlimited) —
+//      a hard isolation bound on top of the fair share.
+//
+// The class is pure decision logic: no processes, no clocks, no I/O.
+// The daemon owns time (it reports elapsed slot-seconds via charge())
+// and executes the decisions (fork runners, SIGTERM preemptees). That
+// split is what makes the policy unit-testable deterministically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sde::serve {
+
+struct TenantPolicy {
+  double weight = 1.0;      // relative fair share (> 0)
+  unsigned maxSlots = 0;    // concurrent slot cap; 0 = unlimited
+};
+
+struct SchedJob {
+  std::uint64_t id = 0;
+  std::string tenant;
+  std::uint32_t priority = 0;
+  std::uint32_t slots = 1;
+};
+
+struct ScheduleDecision {
+  std::vector<std::uint64_t> start;    // runnable jobs to launch now
+  std::vector<std::uint64_t> preempt;  // running jobs to suspend now
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(unsigned totalSlots) : totalSlots_(totalSlots) {}
+
+  void setTenantPolicy(const std::string& tenant, TenantPolicy policy);
+
+  // Accounts `slotSeconds` of consumption to `tenant` (the daemon calls
+  // this with slots * elapsed for every running job each tick).
+  void charge(const std::string& tenant, double slotSeconds);
+
+  // Decides what to start and what to suspend given the current queue
+  // and the currently running set. Deterministic: equal virtual times
+  // break by tenant name, equal jobs by id. Jobs already being
+  // suspended should be listed as running until they actually exit —
+  // the scheduler re-emits the preempt decision harmlessly.
+  [[nodiscard]] ScheduleDecision decide(
+      const std::vector<SchedJob>& waiting,
+      const std::vector<SchedJob>& running);
+
+  [[nodiscard]] unsigned totalSlots() const { return totalSlots_; }
+  [[nodiscard]] double virtualTime(const std::string& tenant) const;
+
+ private:
+  [[nodiscard]] TenantPolicy policyOf(const std::string& tenant) const;
+  // Floors an idle tenant's virtual time to the active minimum so
+  // returning tenants start fair instead of replaying banked idleness.
+  void touchTenant(const std::string& tenant);
+
+  unsigned totalSlots_;
+  std::map<std::string, TenantPolicy> policies_;
+  std::map<std::string, double> virtualTimes_;
+};
+
+}  // namespace sde::serve

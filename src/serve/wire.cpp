@@ -1,0 +1,145 @@
+#include "serve/wire.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sde::serve {
+
+namespace {
+
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw ServeError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un socketAddress(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw ServeError("socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+void writeAll(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t wrote = ::write(fd, p, n);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      throwErrno("socket write failed");
+    }
+    p += wrote;
+    n -= static_cast<std::size_t>(wrote);
+  }
+}
+
+// Returns bytes read; 0 only on EOF at a frame boundary (firstByte).
+std::size_t readAll(int fd, void* data, std::size_t n, bool eofOk) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throwErrno("socket read failed");
+    }
+    if (r == 0) {
+      if (got == 0 && eofOk) return 0;
+      throw ServeError("connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+std::uint32_t loadU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (unsigned i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+int listenUnixSocket(const std::string& path, int backlog) {
+  const sockaddr_un addr = socketAddress(path);
+  ::unlink(path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throwErrno("cannot create unix socket");
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throwErrno("cannot bind " + path);
+  }
+  if (::listen(fd, backlog) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throwErrno("cannot listen on " + path);
+  }
+  return fd;
+}
+
+int connectUnixSocket(const std::string& path) {
+  const sockaddr_un addr = socketAddress(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throwErrno("cannot create unix socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throwErrno("cannot connect to " + path);
+  }
+  return fd;
+}
+
+void sendFrame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes)
+    throw ServeError("frame payload exceeds the wire limit");
+  std::uint8_t header[4];
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  for (unsigned i = 0; i < 4; ++i)
+    header[i] = static_cast<std::uint8_t>(n >> (8 * i));
+  writeAll(fd, header, sizeof(header));
+  writeAll(fd, payload.data(), payload.size());
+}
+
+std::optional<std::string> recvFrame(int fd) {
+  std::uint8_t header[4];
+  if (readAll(fd, header, sizeof(header), /*eofOk=*/true) == 0)
+    return std::nullopt;
+  const std::uint32_t length = loadU32(header);
+  if (length > kMaxFrameBytes)
+    throw ServeError("incoming frame length " + std::to_string(length) +
+                     " exceeds the wire limit");
+  std::string payload(length, '\0');
+  if (length > 0) readAll(fd, payload.data(), length, /*eofOk=*/false);
+  return payload;
+}
+
+void FrameBuffer::feed(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + n);
+}
+
+std::optional<std::string> FrameBuffer::next() {
+  if (bytes_.size() < 4) return std::nullopt;
+  const std::uint32_t length = loadU32(bytes_.data());
+  if (length > kMaxFrameBytes)
+    throw ServeError("incoming frame length " + std::to_string(length) +
+                     " exceeds the wire limit");
+  if (bytes_.size() < 4u + length) return std::nullopt;
+  std::string payload(reinterpret_cast<const char*>(bytes_.data() + 4),
+                      length);
+  bytes_.erase(bytes_.begin(),
+               bytes_.begin() + 4 + static_cast<std::ptrdiff_t>(length));
+  return payload;
+}
+
+}  // namespace sde::serve

@@ -1,0 +1,66 @@
+// Wire framing for the exploration service: length-prefixed frames over
+// AF_UNIX stream sockets.
+//
+// A frame is `u32 length | payload` (little-endian, like every other
+// SDE encoding). The length is checked against kMaxFrameBytes before a
+// single payload byte is trusted, so a confused or malicious peer can
+// cost at most 4 bytes of header — never an allocation. Payload
+// contents are the protocol layer's business (protocol.hpp); this layer
+// only moves byte strings.
+//
+// Two consumption styles:
+//   * Blocking helpers (sendFrame/recvFrame) for clients and tests —
+//     one frame per call, EOF surfaces as nullopt.
+//   * FrameBuffer for the daemon's poll loop — feed whatever read(2)
+//     returned, pop complete frames as they materialise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sde::serve {
+
+class ServeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Generous enough for a fetched artifact, small enough that a corrupt
+// length field cannot balloon memory.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+// Creates, binds and listens on a Unix stream socket at `path`,
+// unlinking a stale socket file first. Throws ServeError on failure.
+[[nodiscard]] int listenUnixSocket(const std::string& path, int backlog = 16);
+
+// Connects to the daemon's socket. Throws ServeError when nobody
+// listens (the caller decides whether that is fatal or retry-worthy).
+[[nodiscard]] int connectUnixSocket(const std::string& path);
+
+// Writes one complete frame (blocking, EINTR-safe). Throws ServeError
+// on a broken connection.
+void sendFrame(int fd, const std::string& payload);
+
+// Reads one complete frame (blocking). Returns nullopt on clean EOF
+// before any byte of a frame; throws ServeError on a torn frame, an
+// oversized length, or a read error.
+[[nodiscard]] std::optional<std::string> recvFrame(int fd);
+
+// Incremental reassembly for non-blocking readers.
+class FrameBuffer {
+ public:
+  void feed(const void* data, std::size_t n);
+  // Pops the next complete frame, nullopt when more bytes are needed.
+  // Throws ServeError when the buffered length prefix exceeds
+  // kMaxFrameBytes (the connection should be dropped).
+  [[nodiscard]] std::optional<std::string> next();
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace sde::serve

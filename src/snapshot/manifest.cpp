@@ -18,7 +18,7 @@ void checkVersion(std::uint32_t version) {
 }
 
 RunOutcome decodeOutcome(std::uint8_t raw) {
-  if (raw > static_cast<std::uint8_t>(RunOutcome::kAbortedWallTime))
+  if (raw > static_cast<std::uint8_t>(RunOutcome::kSuspended))
     throw SnapshotError("unknown run outcome in job result file");
   return static_cast<RunOutcome>(raw);
 }

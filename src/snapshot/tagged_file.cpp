@@ -1,0 +1,36 @@
+#include "snapshot/tagged_file.hpp"
+
+#include <fstream>
+#include <string>
+
+#include "snapshot/manifest.hpp"
+
+namespace sde::snapshot {
+
+void writeTaggedFile(const std::filesystem::path& path, std::string_view magic,
+                     std::uint32_t version,
+                     const std::function<void(Writer&)>& body) {
+  atomicWriteFile(path, [&](std::ostream& os) {
+    Writer out(os);
+    out.magic(magic);
+    out.u32(version);
+    body(out);
+  });
+}
+
+void readTaggedFile(const std::filesystem::path& path, std::string_view magic,
+                    std::uint32_t version, std::string_view what,
+                    const std::function<void(Reader&)>& body) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw SnapshotError("cannot open " + path.string());
+  Reader in(is);
+  in.expectMagic(magic, what);
+  const std::uint32_t found = in.u32();
+  if (found != version)
+    throw SnapshotError("unsupported version " + std::to_string(found) +
+                        " in " + path.string() + " (this build reads " +
+                        std::to_string(version) + ")");
+  body(in);
+}
+
+}  // namespace sde::snapshot

@@ -1,0 +1,33 @@
+// Tagged-file helpers: the magic + version + body framing every durable
+// SDE artifact uses (manifests, job results, serve job specs), with
+// atomic-rename publication on the write side and early foreign-file
+// rejection on the read side. Factoring the frame here keeps new file
+// kinds honest — they cannot forget the version check or the atomic
+// write, because the helper owns both.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string_view>
+
+#include "snapshot/reader.hpp"
+#include "snapshot/writer.hpp"
+
+namespace sde::snapshot {
+
+// Atomically writes `path` (temp + rename) as: magic | u32 version |
+// body. Throws SnapshotError on I/O failure.
+void writeTaggedFile(const std::filesystem::path& path, std::string_view magic,
+                     std::uint32_t version,
+                     const std::function<void(Writer&)>& body);
+
+// Opens `path`, checks the magic (`what` names the expectation in the
+// error) and the exact version, then hands the reader to `body`.
+// Throws SnapshotError on a missing file, foreign magic, version
+// mismatch, or truncation inside `body`.
+void readTaggedFile(const std::filesystem::path& path, std::string_view magic,
+                    std::uint32_t version, std::string_view what,
+                    const std::function<void(Reader&)>& body);
+
+}  // namespace sde::snapshot

@@ -1,0 +1,244 @@
+// Durable job store (serve/job.hpp) and results store (serve/results.hpp):
+// the spec codec and its validation diagnostics, state derivation from
+// the directory tree, registry rebuild after a crash, atomic publish,
+// fetch sanitisation, and retention.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "serve/job.hpp"
+#include "serve/results.hpp"
+#include "snapshot/manifest.hpp"
+#include "trace/scenario.hpp"
+
+namespace sde::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path freshRoot(const std::string& name) {
+  const fs::path root = fs::path(::testing::TempDir()) / ("serve_" + name);
+  fs::remove_all(root);
+  fs::create_directories(jobsDir(root));
+  return root;
+}
+
+std::string goodScenarioSpec(std::uint64_t simulationTime = 3000) {
+  trace::CollectScenarioConfig config;
+  config.gridWidth = 4;
+  config.gridHeight = 4;
+  config.simulationTime = simulationTime;
+  return trace::encodeCollectScenarioSpec(config, 2);
+}
+
+JobSpec goodSpec() {
+  JobSpec spec;
+  spec.tenant = "alice";
+  spec.priority = 3;
+  spec.processes = 2;
+  spec.scenarioSpec = goodScenarioSpec();
+  spec.collectTestcases = true;
+  return spec;
+}
+
+TEST(JobSpecTest, CodecRoundTrips) {
+  const fs::path root = freshRoot("codec");
+  const fs::path dir = jobDir(root, 7);
+  fs::create_directories(dir);
+  const JobSpec spec = goodSpec();
+  writeJobSpec(dir, spec);
+  const JobSpec out = readJobSpec(dir);
+  EXPECT_EQ(out.tenant, "alice");
+  EXPECT_EQ(out.priority, 3u);
+  EXPECT_EQ(out.processes, 2u);
+  EXPECT_EQ(out.scenarioSpec, spec.scenarioSpec);
+  EXPECT_TRUE(out.collectTestcases);
+}
+
+TEST(JobSpecTest, ValidationAcceptsAHealthySpec) {
+  EXPECT_EQ(validateJobSpec(goodSpec()), std::nullopt);
+}
+
+TEST(JobSpecTest, ValidationDiagnosesEachRejection) {
+  JobSpec spec = goodSpec();
+
+  spec.tenant = "";
+  auto why = validateJobSpec(spec);
+  ASSERT_TRUE(why.has_value());
+  EXPECT_NE(why->find("tenant"), std::string::npos);
+  spec.tenant = "alice";
+
+  spec.processes = 0;
+  why = validateJobSpec(spec);
+  ASSERT_TRUE(why.has_value());
+  EXPECT_NE(why->find("at least 1"), std::string::npos);
+  spec.processes = 999;
+  why = validateJobSpec(spec);
+  ASSERT_TRUE(why.has_value());
+  EXPECT_NE(why->find("per-job limit of 256"), std::string::npos);
+  spec.processes = 2;
+
+  // Foreign tag: not a collect spec at all.
+  spec.scenarioSpec = "bogus/9 width=4";
+  why = validateJobSpec(spec);
+  ASSERT_TRUE(why.has_value());
+  EXPECT_NE(why->find("foreign or truncated"), std::string::npos);
+
+  // Truncated mid-token: the codec fails, the diagnostic names the token.
+  const std::string whole = goodScenarioSpec();
+  spec.scenarioSpec = whole.substr(0, whole.rfind('=') );
+  why = validateJobSpec(spec);
+  ASSERT_TRUE(why.has_value());
+  EXPECT_NE(why->find("truncated spec"), std::string::npos);
+
+  // Unknown mapper: rewrite the mapper token of a valid spec.
+  std::string mangled = whole;
+  const std::size_t at = mangled.find("mapper=");
+  ASSERT_NE(at, std::string::npos);
+  mangled.replace(at, mangled.find(' ', at) - at, "mapper=XYZ");
+  spec.scenarioSpec = mangled;
+  why = validateJobSpec(spec);
+  ASSERT_TRUE(why.has_value());
+  EXPECT_NE(why->find("unknown mapper name \"XYZ\""), std::string::npos);
+
+  // Zero-budget job: decodes fine, explores nothing.
+  spec.scenarioSpec = goodScenarioSpec(0);
+  why = validateJobSpec(spec);
+  ASSERT_TRUE(why.has_value());
+  EXPECT_NE(why->find("zero-budget"), std::string::npos);
+}
+
+TEST(JobStateTest, DerivationPrecedence) {
+  const fs::path root = freshRoot("state");
+  const fs::path dir = jobDir(root, 1);
+  fs::create_directories(dir);
+  EXPECT_EQ(deriveJobState(dir), JobState::kQueued);
+
+  // A fleet manifest appears: the job ran at least once.
+  fs::create_directories(jobQueueDir(dir));
+  std::ofstream(snapshot::manifestPath(jobQueueDir(dir))) << "x";
+  EXPECT_EQ(deriveJobState(dir), JobState::kSuspended);
+
+  // error.txt outranks the checkpoints...
+  std::ofstream(jobErrorPath(dir)) << "boom";
+  EXPECT_EQ(deriveJobState(dir), JobState::kFailed);
+
+  // ...result/ outranks the error (a re-run succeeded)...
+  fs::create_directories(jobResultDir(dir));
+  EXPECT_EQ(deriveJobState(dir), JobState::kDone);
+
+  // ...and the cancel marker outranks everything.
+  std::ofstream(jobCancelledMarker(dir)) << "";
+  EXPECT_EQ(deriveJobState(dir), JobState::kCancelled);
+}
+
+TEST(JobRegistryTest, RebuildsFromDiskAndSkipsTornSpecs) {
+  const fs::path root = freshRoot("rebuild");
+
+  const fs::path dir2 = jobDir(root, 2);
+  fs::create_directories(dir2);
+  writeJobSpec(dir2, goodSpec());
+
+  const fs::path dir5 = jobDir(root, 5);
+  fs::create_directories(dir5);
+  writeJobSpec(dir5, goodSpec());
+  std::ofstream(jobErrorPath(dir5)) << "solver exploded\n";
+
+  // Job 9 crashed between mkdir and the atomic spec write: half a file.
+  const fs::path dir9 = jobDir(root, 9);
+  fs::create_directories(dir9);
+  std::ofstream(jobSpecPath(dir9)) << "SDEJB";  // torn
+
+  // A foreign directory in jobs/ is ignored entirely.
+  fs::create_directories(jobsDir(root) / "lost+found");
+
+  const auto jobs = loadJobs(root);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs.at(2).state, JobState::kQueued);
+  EXPECT_EQ(jobs.at(5).state, JobState::kFailed);
+  EXPECT_NE(jobs.at(5).error.find("solver exploded"), std::string::npos);
+  EXPECT_EQ(jobs.count(9), 0u);
+  EXPECT_EQ(nextJobId(jobs), 6u);
+  EXPECT_EQ(nextJobId({}), 1u);
+}
+
+TEST(ResultsTest, PublishIsAtomicAndFirstPublisherWins) {
+  const fs::path root = freshRoot("publish");
+  const fs::path dir = jobDir(root, 1);
+  fs::create_directories(dir);
+
+  publishResult(dir, [](const fs::path& stage) {
+    std::ofstream(stage / "digest.txt") << "111\n";
+  });
+  EXPECT_EQ(deriveJobState(dir), JobState::kDone);
+  EXPECT_FALSE(fs::exists(dir / "result.tmp"));
+
+  // A second publisher (orphan runner racing a respawn) is discarded.
+  publishResult(dir, [](const fs::path& stage) {
+    std::ofstream(stage / "digest.txt") << "222\n";
+  });
+  std::ifstream is(jobResultDir(dir) / "digest.txt");
+  std::string digest;
+  is >> digest;
+  EXPECT_EQ(digest, "111");
+
+  const auto names = listArtifacts(dir);
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "digest.txt");
+}
+
+TEST(ResultsTest, FetchSanitisesNamesAndBoundsSize) {
+  const fs::path root = freshRoot("fetch");
+  const fs::path dir = jobDir(root, 1);
+  fs::create_directories(dir);
+  publishResult(dir, [](const fs::path& stage) {
+    std::ofstream(stage / "digest.txt") << "12345";
+  });
+
+  auto bytes = readArtifact(dir, "digest.txt");
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(*bytes, "12345");
+
+  EXPECT_EQ(readArtifact(dir, "missing.txt"), std::nullopt);
+  // Traversal attempts are not artifact names: nullopt, no filesystem
+  // access outside result/.
+  EXPECT_EQ(readArtifact(dir, "../spec.sde"), std::nullopt);
+  EXPECT_EQ(readArtifact(dir, "a/b"), std::nullopt);
+  EXPECT_EQ(readArtifact(dir, ""), std::nullopt);
+  EXPECT_THROW((void)readArtifact(dir, "digest.txt", 3), ServeError);
+}
+
+TEST(ResultsTest, RetentionPrunesOldTerminalJobsOnly) {
+  const fs::path root = freshRoot("retention");
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    const fs::path dir = jobDir(root, id);
+    fs::create_directories(dir);
+    writeJobSpec(dir, goodSpec());
+  }
+  // 1, 2, 4 are done; 3 is still queued; 5 failed (terminal too).
+  for (std::uint64_t id : {1u, 2u, 4u})
+    publishResult(jobDir(root, id),
+                  [](const fs::path& stage) {
+                    std::ofstream(stage / "digest.txt") << "x";
+                  });
+  std::ofstream(jobErrorPath(jobDir(root, 5))) << "boom";
+
+  // keepLast=0 disables pruning entirely.
+  EXPECT_TRUE(pruneResults(root, 0).empty());
+
+  const auto pruned = pruneResults(root, 2);
+  // Terminal jobs by id: 1, 2, 4, 5 — keep the newest two (4, 5).
+  ASSERT_EQ(pruned.size(), 2u);
+  EXPECT_EQ(pruned[0], 1u);
+  EXPECT_EQ(pruned[1], 2u);
+  EXPECT_FALSE(fs::exists(jobDir(root, 1)));
+  EXPECT_FALSE(fs::exists(jobDir(root, 2)));
+  EXPECT_TRUE(fs::exists(jobDir(root, 3)));  // queued: never pruned
+  EXPECT_TRUE(fs::exists(jobDir(root, 4)));
+  EXPECT_TRUE(fs::exists(jobDir(root, 5)));
+}
+
+}  // namespace
+}  // namespace sde::serve

@@ -1,0 +1,123 @@
+// Protocol codec (serve/protocol.hpp): every message round-trips through
+// encode/decode unchanged, and malformed payloads fail loudly with
+// ServeError instead of decoding into garbage.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+
+#include "serve/protocol.hpp"
+
+namespace sde::serve {
+namespace {
+
+template <typename T>
+T roundTrip(const T& message) {
+  const Message decoded = decodeMessage(encodeMessage(Message(message)));
+  EXPECT_TRUE(std::holds_alternative<T>(decoded));
+  return std::get<T>(decoded);
+}
+
+TEST(ProtocolTest, SubmitRequestRoundTrips) {
+  SubmitRequest request;
+  request.tenant = "alice";
+  request.priority = 7;
+  request.processes = 3;
+  request.scenarioSpec = "collect/1 width=4 height=4";
+  request.collectTestcases = true;
+  const SubmitRequest out = roundTrip(request);
+  EXPECT_EQ(out.tenant, "alice");
+  EXPECT_EQ(out.priority, 7u);
+  EXPECT_EQ(out.processes, 3u);
+  EXPECT_EQ(out.scenarioSpec, request.scenarioSpec);
+  EXPECT_TRUE(out.collectTestcases);
+}
+
+TEST(ProtocolTest, StatusAndProgressRoundTrip) {
+  JobStatus status;
+  status.jobId = 42;
+  status.tenant = "bob";
+  status.priority = 2;
+  status.processes = 4;
+  status.state = JobState::kSuspended;
+  status.partsDone = 3;
+  status.partsTotal = 8;
+  status.eventsSeen = 123456789;
+  status.statesSeen = 987654321;
+  status.digest = 0xdeadbeefcafef00dull;
+  status.error = "n/a";
+
+  StatusReply reply;
+  reply.jobs = {status, status};
+  const StatusReply out = roundTrip(reply);
+  ASSERT_EQ(out.jobs.size(), 2u);
+  EXPECT_EQ(out.jobs[1].jobId, 42u);
+  EXPECT_EQ(out.jobs[1].state, JobState::kSuspended);
+  EXPECT_EQ(out.jobs[1].digest, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(out.jobs[1].error, "n/a");
+
+  ProgressFrame frame;
+  frame.status = status;
+  frame.final = true;
+  const ProgressFrame outFrame = roundTrip(frame);
+  EXPECT_TRUE(outFrame.final);
+  EXPECT_EQ(outFrame.status.eventsSeen, 123456789u);
+}
+
+TEST(ProtocolTest, RemainingMessagesRoundTrip) {
+  EXPECT_EQ(roundTrip(SubmitReply{99}).jobId, 99u);
+  EXPECT_EQ(roundTrip(ErrorReply{"nope"}).message, "nope");
+  EXPECT_EQ(roundTrip(StatusRequest{5}).jobId, 5u);
+  EXPECT_EQ(roundTrip(WatchRequest{6}).jobId, 6u);
+  EXPECT_EQ(roundTrip(CancelRequest{7}).jobId, 7u);
+  EXPECT_EQ(roundTrip(CancelReply{JobState::kDone}).state, JobState::kDone);
+  EXPECT_EQ(roundTrip(ListArtifactsRequest{8}).jobId, 8u);
+  const ArtifactList list = roundTrip(ArtifactList{{"digest.txt", "a.trc"}});
+  ASSERT_EQ(list.names.size(), 2u);
+  EXPECT_EQ(list.names[1], "a.trc");
+  FetchRequest fetch;
+  fetch.jobId = 9;
+  fetch.name = "digest.txt";
+  EXPECT_EQ(roundTrip(fetch).name, "digest.txt");
+  ArtifactReply artifact;
+  artifact.name = "blob";
+  artifact.bytes = std::string("\x00\x01\x02", 3);
+  EXPECT_EQ(roundTrip(artifact).bytes.size(), 3u);
+  (void)roundTrip(ShutdownRequest{});
+  (void)roundTrip(ShutdownReply{});
+}
+
+TEST(ProtocolTest, UnknownTagThrows) {
+  std::string payload(1, '\xEE');
+  EXPECT_THROW((void)decodeMessage(payload), ServeError);
+  EXPECT_THROW((void)decodeMessage(std::string()), ServeError);
+}
+
+TEST(ProtocolTest, TruncatedPayloadThrowsNotGarbage) {
+  SubmitRequest request;
+  request.tenant = "alice";
+  request.scenarioSpec = "collect/1 width=4";
+  const std::string whole = encodeMessage(Message(request));
+  // Every strict prefix must fail loudly (the tag-only prefix included).
+  for (std::size_t cut = 1; cut < whole.size(); ++cut)
+    EXPECT_THROW((void)decodeMessage(whole.substr(0, cut)), ServeError)
+        << "prefix of " << cut << " bytes decoded";
+}
+
+TEST(ProtocolTest, JobStateNamesAndTerminality) {
+  EXPECT_EQ(jobStateName(JobState::kQueued), "queued");
+  EXPECT_EQ(jobStateName(JobState::kRunning), "running");
+  EXPECT_EQ(jobStateName(JobState::kSuspended), "suspended");
+  EXPECT_EQ(jobStateName(JobState::kDone), "done");
+  EXPECT_EQ(jobStateName(JobState::kFailed), "failed");
+  EXPECT_EQ(jobStateName(JobState::kCancelled), "cancelled");
+  EXPECT_FALSE(terminalJobState(JobState::kQueued));
+  EXPECT_FALSE(terminalJobState(JobState::kRunning));
+  EXPECT_FALSE(terminalJobState(JobState::kSuspended));
+  EXPECT_TRUE(terminalJobState(JobState::kDone));
+  EXPECT_TRUE(terminalJobState(JobState::kFailed));
+  EXPECT_TRUE(terminalJobState(JobState::kCancelled));
+}
+
+}  // namespace
+}  // namespace sde::serve

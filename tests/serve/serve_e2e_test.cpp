@@ -1,0 +1,341 @@
+// End-to-end battery for the exploration service: a real forked daemon,
+// real runner/fleet processes underneath, driven through the blocking
+// Client. The invariants under test are the service's headline claims:
+//   * a job's artifacts carry the digest of a direct fleet run,
+//   * validation failures travel the wire as readable ErrorReplies,
+//   * SIGKILLing the daemon mid-job loses no accepted work,
+//   * strict priority preempts (suspends) lower-priority jobs,
+//   * cancel is terminal and immediate for queued jobs.
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/job.hpp"
+#include "trace/scenario.hpp"
+
+namespace sde::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool sanitizersActive() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+fs::path freshRoot(const std::string& name) {
+  const fs::path root = fs::path(::testing::TempDir()) / ("serve_" + name);
+  fs::remove_all(root);
+  fs::create_directories(root);
+  return root;
+}
+
+trace::CollectScenarioConfig smallScenario() {
+  trace::CollectScenarioConfig config;
+  config.gridWidth = 4;
+  config.gridHeight = 4;
+  config.simulationTime = 3000;
+  return config;
+}
+
+// Big enough (~2s wall) that preemption and mid-job kills have a window.
+trace::CollectScenarioConfig longScenario() {
+  trace::CollectScenarioConfig config;
+  config.gridWidth = 5;
+  config.gridHeight = 5;
+  config.simulationTime = 12000;
+  return config;
+}
+
+SubmitRequest request(const trace::CollectScenarioConfig& scenario,
+                      const std::string& tenant, std::uint32_t priority = 0,
+                      std::uint32_t processes = 2) {
+  SubmitRequest req;
+  req.tenant = tenant;
+  req.priority = priority;
+  req.processes = processes;
+  req.scenarioSpec = trace::encodeCollectScenarioSpec(scenario, 2);
+  return req;
+}
+
+// The oracle: run the identical scenario as a direct fleet and take its
+// digest. Flags mirror the service runner's (testcases off, cold cache
+// is digest-safe either way).
+std::uint64_t directDigest(const trace::CollectScenarioConfig& scenario,
+                           const std::string& name) {
+  const fs::path dir = freshRoot("direct_" + name);
+  FleetConfig fleet;
+  fleet.processes = 2;
+  fleet.checkpointDir = dir.string();
+  fleet.shmQueryCache = false;
+  return trace::runCollectFleet(scenario, fleet, 2)
+      .result.fingerprintDigest();
+}
+
+// Forks a child that IS the daemon (constructs it and runs the poll
+// loop); returns once the socket accepts connections.
+pid_t spawnDaemon(const ServeConfig& config) {
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    try {
+      Daemon daemon(config);
+      daemon.run();
+      ::_exit(0);
+    } catch (...) {
+      ::_exit(9);
+    }
+  }
+  return pid;
+}
+
+ServeConfig testConfig(const fs::path& root, unsigned slots) {
+  ServeConfig config;
+  config.root = root.string();
+  config.slots = slots;
+  config.pollMs = 10;  // tests want snappy scheduling decisions
+  return config;
+}
+
+void reapDaemon(pid_t pid) {
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+}
+
+void shutdownAndReap(const std::string& socket, pid_t pid) {
+  try {
+    Client client(socket);
+    client.shutdownDaemon();
+  } catch (const ServeError&) {
+    ::kill(pid, SIGTERM);  // already gone or not accepting; force it
+  }
+  reapDaemon(pid);
+}
+
+JobStatus statusOf(Client& client, std::uint64_t jobId) {
+  const auto jobs = client.status(jobId);
+  EXPECT_EQ(jobs.size(), 1u);
+  return jobs.empty() ? JobStatus{} : jobs[0];
+}
+
+// Polls `predicate` against the job's status until it holds or the
+// timeout trips. Returns the last observed status either way.
+JobStatus waitForJob(Client& client, std::uint64_t jobId,
+                     const std::function<bool(const JobStatus&)>& predicate,
+                     double timeoutSeconds = 60.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeoutSeconds);
+  JobStatus last;
+  while (std::chrono::steady_clock::now() < deadline) {
+    last = statusOf(client, jobId);
+    if (predicate(last)) return last;
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  }
+  return last;
+}
+
+TEST(ServeE2eTest, JobCompletesWithTheDigestOfADirectFleetRun) {
+  if (sanitizersActive()) GTEST_SKIP() << "forks real fleets";
+  const fs::path root = freshRoot("digest");
+  const pid_t daemon = spawnDaemon(testConfig(root, 4));
+  const std::string socket = (root / "serve.sock").string();
+  ASSERT_TRUE(waitForDaemon(socket, 20.0));
+
+  Client client(socket);
+  const std::uint64_t jobId = client.submit(request(smallScenario(), "alice"));
+  EXPECT_EQ(jobId, 1u);
+
+  std::uint32_t progressFrames = 0;
+  const JobStatus final_ = client.watch(
+      jobId, [&](const JobStatus&) { ++progressFrames; });
+  EXPECT_EQ(final_.state, JobState::kDone);
+  EXPECT_EQ(final_.partsDone, 4u);
+  EXPECT_EQ(final_.partsTotal, 4u);
+  EXPECT_GE(progressFrames, 1u);  // watch streamed at least one frame
+
+  EXPECT_EQ(final_.digest, directDigest(smallScenario(), "digest"));
+
+  // The published artifacts agree with the status digest.
+  const auto names = client.listArtifacts(jobId);
+  EXPECT_NE(std::find(names.begin(), names.end(), "digest.txt"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "summary.txt"),
+            names.end());
+  const std::string digestText = client.fetch(jobId, "digest.txt");
+  EXPECT_EQ(std::stoull(digestText), final_.digest);
+  // (Live eventsSeen counters are asserted in the sigkill test, whose
+  // job runs long enough for the tailer to observe it mid-flight; this
+  // one can finish inside a single daemon tick.)
+
+  shutdownAndReap(socket, daemon);
+}
+
+TEST(ServeE2eTest, ValidationFailuresTravelTheWireAsErrorReplies) {
+  if (sanitizersActive()) GTEST_SKIP() << "forks real fleets";
+  const fs::path root = freshRoot("reject");
+  const pid_t daemon = spawnDaemon(testConfig(root, 2));
+  const std::string socket = (root / "serve.sock").string();
+  ASSERT_TRUE(waitForDaemon(socket, 20.0));
+  Client client(socket);
+
+  const auto rejectionOf = [&](SubmitRequest req) -> std::string {
+    try {
+      (void)client.submit(req);
+      return "";
+    } catch (const ServeError& e) {
+      return e.what();
+    }
+  };
+
+  // Zero-budget job.
+  auto zero = smallScenario();
+  zero.simulationTime = 0;
+  EXPECT_NE(rejectionOf(request(zero, "alice")).find("zero-budget"),
+            std::string::npos);
+
+  // Truncated spec.
+  SubmitRequest truncated = request(smallScenario(), "alice");
+  truncated.scenarioSpec =
+      truncated.scenarioSpec.substr(0, truncated.scenarioSpec.rfind('='));
+  EXPECT_NE(rejectionOf(truncated).find("truncated spec"), std::string::npos);
+
+  // Unknown mapper.
+  SubmitRequest mangled = request(smallScenario(), "alice");
+  const std::size_t at = mangled.scenarioSpec.find("mapper=");
+  ASSERT_NE(at, std::string::npos);
+  mangled.scenarioSpec.replace(
+      at, mangled.scenarioSpec.find(' ', at) - at, "mapper=XYZ");
+  EXPECT_NE(rejectionOf(mangled).find("unknown mapper name \"XYZ\""),
+            std::string::npos);
+
+  // Rejections must not mint job ids: the next good submit is job 1.
+  EXPECT_EQ(client.submit(request(smallScenario(), "alice")), 1u);
+
+  shutdownAndReap(socket, daemon);
+}
+
+TEST(ServeE2eTest, DaemonSigkillLosesNoAcceptedJob) {
+  if (sanitizersActive()) GTEST_SKIP() << "forks real fleets";
+  const fs::path root = freshRoot("sigkill");
+  const std::string socket = (root / "serve.sock").string();
+  const std::uint64_t expected = directDigest(longScenario(), "sigkill");
+
+  pid_t daemon = spawnDaemon(testConfig(root, 4));
+  ASSERT_TRUE(waitForDaemon(socket, 20.0));
+  std::uint64_t jobId = 0;
+  {
+    Client client(socket);
+    jobId = client.submit(request(longScenario(), "alice"));
+    // Let the fleet actually start exploring before the kill.
+    (void)waitForJob(client, jobId, [](const JobStatus& s) {
+      return s.state == JobState::kRunning && s.eventsSeen > 0;
+    });
+  }
+
+  ASSERT_EQ(::kill(daemon, SIGKILL), 0);
+  reapDaemon(daemon);
+  // The runner notices via PDEATHSIG and suspends; give it a moment.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  // A fresh daemon on the same root must rediscover and finish the job.
+  daemon = spawnDaemon(testConfig(root, 4));
+  ASSERT_TRUE(waitForDaemon(socket, 20.0));
+  {
+    Client client(socket);
+    const auto rebuilt = statusOf(client, jobId);
+    EXPECT_EQ(rebuilt.tenant, "alice");
+    const JobStatus final_ = client.watch(jobId);
+    EXPECT_EQ(final_.state, JobState::kDone);
+    EXPECT_EQ(final_.digest, expected);
+  }
+  shutdownAndReap(socket, daemon);
+}
+
+TEST(ServeE2eTest, HigherPriorityPreemptsAndFinishesFirst) {
+  if (sanitizersActive()) GTEST_SKIP() << "forks real fleets";
+  const fs::path root = freshRoot("preempt");
+  const std::string socket = (root / "serve.sock").string();
+  const pid_t daemon = spawnDaemon(testConfig(root, 2));
+  ASSERT_TRUE(waitForDaemon(socket, 20.0));
+
+  Client client(socket);
+  // The low-priority job fills the whole 2-slot pool...
+  const std::uint64_t low =
+      client.submit(request(longScenario(), "batch", 0, 2));
+  (void)waitForJob(client, low, [](const JobStatus& s) {
+    return s.state == JobState::kRunning && s.eventsSeen > 0;
+  });
+  // ...so the high-priority job can only run by preempting it.
+  const std::uint64_t high =
+      client.submit(request(smallScenario(), "vip", 5, 2));
+
+  const JobStatus highFinal = client.watch(high);
+  EXPECT_EQ(highFinal.state, JobState::kDone);
+  EXPECT_EQ(highFinal.digest, directDigest(smallScenario(), "preempt_high"));
+  // While the high job finished, the low one was preempted (suspended /
+  // waiting), not completed — strict priority really displaced it.
+  const JobStatus lowDuring = statusOf(client, low);
+  EXPECT_NE(lowDuring.state, JobState::kDone);
+
+  // The preempted job resumes from its checkpoints and still matches
+  // the uninterrupted digest.
+  const JobStatus lowFinal = client.watch(low);
+  EXPECT_EQ(lowFinal.state, JobState::kDone);
+  EXPECT_EQ(lowFinal.digest, directDigest(longScenario(), "preempt_low"));
+
+  shutdownAndReap(socket, daemon);
+}
+
+TEST(ServeE2eTest, CancelledQueuedJobStaysCancelled) {
+  if (sanitizersActive()) GTEST_SKIP() << "forks real fleets";
+  const fs::path root = freshRoot("cancel");
+  const std::string socket = (root / "serve.sock").string();
+  const pid_t daemon = spawnDaemon(testConfig(root, 2));
+  ASSERT_TRUE(waitForDaemon(socket, 20.0));
+
+  Client client(socket);
+  const std::uint64_t running =
+      client.submit(request(longScenario(), "alice", 0, 2));
+  (void)waitForJob(client, running, [](const JobStatus& s) {
+    return s.state == JobState::kRunning;
+  });
+  // Equal priority + full pool: this one must be waiting its turn.
+  const std::uint64_t queued =
+      client.submit(request(smallScenario(), "alice", 0, 2));
+  EXPECT_EQ(statusOf(client, queued).state, JobState::kQueued);
+
+  EXPECT_EQ(client.cancel(queued), JobState::kCancelled);
+  EXPECT_EQ(statusOf(client, queued).state, JobState::kCancelled);
+
+  // The running job is unaffected and completes.
+  const JobStatus final_ = client.watch(running);
+  EXPECT_EQ(final_.state, JobState::kDone);
+  // The cancelled job never ran: no result directory ever appeared.
+  EXPECT_FALSE(fs::exists(jobResultDir(jobDir(root, queued))));
+  EXPECT_EQ(statusOf(client, queued).state, JobState::kCancelled);
+
+  shutdownAndReap(socket, daemon);
+}
+
+}  // namespace
+}  // namespace sde::serve

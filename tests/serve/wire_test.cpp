@@ -1,0 +1,112 @@
+// Wire framing (serve/wire.hpp): length-prefixed frames must round-trip
+// over real sockets, reassemble from arbitrary read(2) slices, and treat
+// a corrupt length field as a 4-byte problem — never an allocation.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "serve/wire.hpp"
+
+namespace sde::serve {
+namespace {
+
+// A connected AF_UNIX pair stands in for client/daemon in-process.
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+TEST(WireTest, FramesRoundTripOverASocket) {
+  SocketPair pair;
+  const std::string small = "hello";
+  std::string binary(100000, '\0');
+  for (std::size_t i = 0; i < binary.size(); ++i)
+    binary[i] = static_cast<char>(i * 31);
+
+  sendFrame(pair.a, small);
+  sendFrame(pair.a, binary);
+  sendFrame(pair.a, "");  // empty frames are legal
+
+  EXPECT_EQ(recvFrame(pair.b), small);
+  EXPECT_EQ(recvFrame(pair.b), binary);
+  EXPECT_EQ(recvFrame(pair.b), "");
+}
+
+TEST(WireTest, CleanEofIsNulloptButATornFrameThrows) {
+  {
+    SocketPair pair;
+    ::close(pair.a);
+    pair.a = -1;
+    EXPECT_EQ(recvFrame(pair.b), std::nullopt);
+  }
+  {
+    SocketPair pair;
+    // Half a length prefix, then hangup: mid-frame EOF is an error.
+    const char halfHeader[2] = {4, 0};
+    ASSERT_EQ(::send(pair.a, halfHeader, sizeof halfHeader, 0),
+              static_cast<ssize_t>(sizeof halfHeader));
+    ::close(pair.a);
+    pair.a = -1;
+    EXPECT_THROW((void)recvFrame(pair.b), ServeError);
+  }
+}
+
+TEST(WireTest, OversizedLengthIsRejectedBeforeAnyPayloadRead) {
+  SocketPair pair;
+  std::uint32_t huge = kMaxFrameBytes + 1;
+  char header[4];
+  std::memcpy(header, &huge, 4);
+  ASSERT_EQ(::send(pair.a, header, 4, 0), 4);
+  EXPECT_THROW((void)recvFrame(pair.b), ServeError);
+}
+
+TEST(WireTest, FrameBufferReassemblesFromSingleByteFeeds) {
+  const std::string payload = "incremental reassembly";
+  std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  std::string stream(4, '\0');
+  std::memcpy(stream.data(), &length, 4);
+  stream += payload;
+  stream += stream;  // two identical frames back to back
+
+  FrameBuffer buffer;
+  std::vector<std::string> frames;
+  for (char byte : stream) {
+    buffer.feed(&byte, 1);
+    while (auto frame = buffer.next()) frames.push_back(*frame);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], payload);
+  EXPECT_EQ(frames[1], payload);
+  EXPECT_EQ(buffer.next(), std::nullopt);
+}
+
+TEST(WireTest, FrameBufferRejectsOversizedLengthPrefix) {
+  std::uint32_t huge = kMaxFrameBytes + 1;
+  char header[4];
+  std::memcpy(header, &huge, 4);
+  FrameBuffer buffer;
+  buffer.feed(header, 4);
+  EXPECT_THROW((void)buffer.next(), ServeError);
+}
+
+TEST(WireTest, ConnectToNobodyThrows) {
+  EXPECT_THROW((void)connectUnixSocket("/nonexistent/dir/serve.sock"),
+               ServeError);
+}
+
+}  // namespace
+}  // namespace sde::serve

@@ -7,9 +7,11 @@
 //                    starts a fresh fleet of the collect scenario with
 //                    <dir> as the durable job queue and prints the
 //                    merged summary + fingerprint digest
-//   sde_fleet status <dir>
+//   sde_fleet status <dir> [--json]
 //                    per-job progress of the durable queue (done /
-//                    suspended / pending), without running anything
+//                    suspended / pending), without running anything;
+//                    --json emits one machine-readable object (the
+//                    sde_serve status endpoint and scripts consume it)
 //   sde_fleet resume <dir> [--processes N] [--no-shm-cache]
 //                    rebuilds the fleet from the recorded scenario spec
 //                    and finishes the run (completed jobs load from
@@ -26,6 +28,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "sde/fleet.hpp"
 #include "snapshot/checkpoint.hpp"
@@ -175,32 +178,74 @@ int launch(const fs::path& dir, const Options& options, bool resume) {
   fleet.traceDir = options.traceDir;
   fleet.collectTestcases = options.testcases;
 
+  // SIGTERM means "checkpoint and yield", matching what a managing
+  // daemon (sde_serve) sends to preempt the run.
+  fleet.installSigtermSuspend = true;
+
   const FleetResult result = trace::runCollectFleet(scenario, fleet, vars);
+  if (result.suspended) {
+    std::printf("suspended          %u jobs done, %u checkpointed mid-run\n",
+                result.jobsDone, result.jobsSuspendedMidRun);
+    std::printf("resume with        sde_fleet resume %s\n",
+                dir.string().c_str());
+    return 3;
+  }
   printFleetResult(result);
   return result.result.outcome == RunOutcome::kCompleted ? 0 : 2;
 }
 
-int statusCommand(const fs::path& dir) {
+// Minimal JSON string escaping (specs are printable ASCII, but a
+// hand-edited manifest must not break the framing).
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct JobStatusRow {
+  std::uint32_t id = 0;
+  std::string state;  // done | suspended | pending | broken
+  std::uint64_t states = 0;
+  std::uint64_t virtualNow = 0;
+};
+
+int statusText(const fs::path& dir, const snapshot::RunManifest& manifest,
+               const std::vector<JobStatusRow>& rows, std::size_t done,
+               std::size_t suspended, std::size_t pending, std::size_t broken);
+
+int statusCommand(const fs::path& dir, bool json) {
   const snapshot::RunManifest manifest = snapshot::readManifest(dir);
-  std::printf("run directory    %s\n", dir.string().c_str());
-  std::printf("horizon          %llu\n",
-              static_cast<unsigned long long>(manifest.horizon));
-  std::printf("jobs             %zu\n", manifest.plan.jobs.size());
-  std::printf("scenario spec    %s\n\n", manifest.scenarioSpec.empty()
-                                             ? "<none>"
-                                             : manifest.scenarioSpec.c_str());
+  std::vector<JobStatusRow> rows;
   std::size_t done = 0, suspended = 0, pending = 0, broken = 0;
   for (const PartitionJob& job : manifest.plan.jobs) {
+    JobStatusRow row;
+    row.id = job.id;
     const fs::path donePath = snapshot::jobDonePath(dir, job.id);
     const fs::path ckptPath = snapshot::jobCheckpointPath(dir, job.id);
-    std::string state;
     if (fs::exists(donePath)) {
       try {
         const JobResult result = snapshot::readJobResultFile(donePath);
-        state = "done      (" + std::to_string(result.states) + " states)";
+        row.state = "done";
+        row.states = result.states;
         ++done;
       } catch (const snapshot::SnapshotError&) {
-        state = "BROKEN done file";
+        row.state = "broken";
         ++broken;
       }
     } else if (fs::exists(ckptPath)) {
@@ -208,18 +253,67 @@ int statusCommand(const fs::path& dir) {
         std::ifstream is(ckptPath, std::ios::binary);
         const snapshot::CheckpointInfo info =
             snapshot::inspectCheckpointHeader(is);
-        state = "suspended (" + std::to_string(info.numStates) +
-                " states at t=" + std::to_string(info.virtualNow) + ")";
+        row.state = "suspended";
+        row.states = info.numStates;
+        row.virtualNow = info.virtualNow;
         ++suspended;
       } catch (const snapshot::SnapshotError&) {
-        state = "BROKEN checkpoint";
+        row.state = "broken";
         ++broken;
       }
     } else {
-      state = "pending";
+      row.state = "pending";
       ++pending;
     }
-    std::printf("job %-4u %s\n", job.id, state.c_str());
+    rows.push_back(row);
+  }
+
+  if (json) {
+    std::printf("{\"dir\":\"%s\",\"horizon\":%llu,\"scenario\":\"%s\","
+                "\"jobsTotal\":%zu,\"done\":%zu,\"suspended\":%zu,"
+                "\"pending\":%zu,\"broken\":%zu,\"jobs\":[",
+                jsonEscape(dir.string()).c_str(),
+                static_cast<unsigned long long>(manifest.horizon),
+                jsonEscape(manifest.scenarioSpec).c_str(),
+                manifest.plan.jobs.size(), done, suspended, pending, broken);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const JobStatusRow& row = rows[i];
+      std::printf("%s{\"id\":%u,\"state\":\"%s\",\"states\":%llu,"
+                  "\"virtualNow\":%llu}",
+                  i == 0 ? "" : ",", row.id, row.state.c_str(),
+                  static_cast<unsigned long long>(row.states),
+                  static_cast<unsigned long long>(row.virtualNow));
+    }
+    std::printf("]}\n");
+    return broken == 0 ? 0 : 1;
+  }
+  return statusText(dir, manifest, rows, done, suspended, pending, broken);
+}
+
+int statusText(const fs::path& dir, const snapshot::RunManifest& manifest,
+               const std::vector<JobStatusRow>& rows, std::size_t done,
+               std::size_t suspended, std::size_t pending,
+               std::size_t broken) {
+  std::printf("run directory    %s\n", dir.string().c_str());
+  std::printf("horizon          %llu\n",
+              static_cast<unsigned long long>(manifest.horizon));
+  std::printf("jobs             %zu\n", manifest.plan.jobs.size());
+  std::printf("scenario spec    %s\n\n", manifest.scenarioSpec.empty()
+                                             ? "<none>"
+                                             : manifest.scenarioSpec.c_str());
+  for (const JobStatusRow& row : rows) {
+    std::string state;
+    if (row.state == "done") {
+      state = "done      (" + std::to_string(row.states) + " states)";
+    } else if (row.state == "suspended") {
+      state = "suspended (" + std::to_string(row.states) + " states at t=" +
+              std::to_string(row.virtualNow) + ")";
+    } else if (row.state == "broken") {
+      state = "BROKEN file";
+    } else {
+      state = "pending";
+    }
+    std::printf("job %-4u %s\n", row.id, state.c_str());
   }
   std::printf("\n%zu done, %zu suspended, %zu pending", done, suspended,
               pending);
@@ -235,7 +329,7 @@ int usage() {
       "                 [--nodes W*H] [--time T] [--mapper cow|sds|cob]\n"
       "                 [--no-shm-cache] [--shm-name /name]\n"
       "                 [--trace-dir D] [--testcases]\n"
-      "       sde_fleet status <dir>\n"
+      "       sde_fleet status <dir> [--json]\n"
       "       sde_fleet resume <dir> [--processes N] [--no-shm-cache]\n");
   return 64;
 }
@@ -256,7 +350,18 @@ int main(int argc, char** argv) {
       if (!parseCommon(argc, argv, 3, options)) return usage();
       return launch(dir, options, /*resume=*/true);
     }
-    if (command == "status") return statusCommand(dir);
+    if (command == "status") {
+      bool json = false;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+          json = true;
+        } else {
+          std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+          return usage();
+        }
+      }
+      return statusCommand(dir, json);
+    }
   } catch (const sde::snapshot::SnapshotError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,114 @@
+// sde_serve — the multi-tenant exploration service daemon.
+//
+//   sde_serve <root> [--socket PATH] [--slots N] [--retain K]
+//                    [--tenant name:weight[:maxslots]]... [--poll-ms M]
+//
+// Accepts scenario jobs over a Unix socket (see sde_submit), schedules
+// them across fleet worker slots with per-tenant weighted fair queueing
+// and priority preemption, streams live progress, and serves finished
+// artifacts from the durable results store under <root>/jobs.
+//
+// The daemon is crash-safe by construction: job state lives in the
+// directory tree (spec.sde, fleet queue, result/), each piece written
+// atomically, so SIGKILL + restart recovers every accepted job. SIGTERM
+// shuts down gracefully — running fleets suspend to checkpoints first.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/daemon.hpp"
+
+namespace {
+
+using namespace sde;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: sde_serve <root> [--socket PATH] [--slots N] [--retain K]\n"
+      "                 [--tenant name:weight[:maxslots]]... [--poll-ms M]\n");
+  return 2;
+}
+
+// "name:weight[:maxslots]" -> policy entry; false on parse failure.
+bool parseTenant(const std::string& arg, serve::ServeConfig& config) {
+  const std::size_t firstColon = arg.find(':');
+  if (firstColon == std::string::npos || firstColon == 0) return false;
+  const std::string name = arg.substr(0, firstColon);
+  serve::TenantPolicy policy;
+  try {
+    const std::size_t secondColon = arg.find(':', firstColon + 1);
+    policy.weight = std::stod(arg.substr(firstColon + 1));
+    if (secondColon != std::string::npos)
+      policy.maxSlots =
+          static_cast<unsigned>(std::stoul(arg.substr(secondColon + 1)));
+  } catch (...) {
+    return false;
+  }
+  if (policy.weight <= 0) return false;
+  config.tenants[name] = policy;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  serve::ServeConfig config;
+  config.root = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const auto needValue = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      const char* value = needValue("--socket");
+      if (value == nullptr) return 2;
+      config.socketPath = value;
+    } else if (std::strcmp(argv[i], "--slots") == 0) {
+      const char* value = needValue("--slots");
+      if (value == nullptr) return 2;
+      config.slots = static_cast<unsigned>(std::strtoul(value, nullptr, 10));
+      if (config.slots == 0) {
+        std::fprintf(stderr, "--slots must be positive\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--retain") == 0) {
+      const char* value = needValue("--retain");
+      if (value == nullptr) return 2;
+      config.retainJobs = std::strtoul(value, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--poll-ms") == 0) {
+      const char* value = needValue("--poll-ms");
+      if (value == nullptr) return 2;
+      config.pollMs = static_cast<unsigned>(std::strtoul(value, nullptr, 10));
+      if (config.pollMs == 0) config.pollMs = 1;
+    } else if (std::strcmp(argv[i], "--tenant") == 0) {
+      const char* value = needValue("--tenant");
+      if (value == nullptr) return 2;
+      if (!parseTenant(value, config)) {
+        std::fprintf(stderr, "bad --tenant spec \"%s\"\n", value);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return usage();
+    }
+  }
+
+  try {
+    serve::Daemon daemon(config);
+    std::printf("sde_serve: listening on %s (%u slots)\n",
+                daemon.socketPath().c_str(), config.slots);
+    std::fflush(stdout);
+    daemon.run();
+    std::printf("sde_serve: stopped\n");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sde_serve: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,212 @@
+// sde_submit — client for the sde_serve exploration service.
+//
+//   sde_submit submit <socket> [--tenant T] [--priority P] [--processes N]
+//                     [--vars B] [--nodes W*H] [--time T]
+//                     [--mapper cow|sds|cob] [--testcases] [--watch]
+//                     prints the accepted job id (and with --watch,
+//                     streams progress until the job finishes, exiting
+//                     nonzero unless it completed)
+//   sde_submit status <socket> [job]      one line per job
+//   sde_submit watch <socket> <job>       stream progress to completion
+//   sde_submit cancel <socket> <job>
+//   sde_submit artifacts <socket> <job>   list published artifact names
+//   sde_submit fetch <socket> <job> <name> [--out FILE]   (default stdout)
+//   sde_submit shutdown <socket>          graceful daemon stop
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "serve/client.hpp"
+#include "trace/scenario.hpp"
+
+namespace {
+
+using namespace sde;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: sde_submit submit <socket> [--tenant T] [--priority P]\n"
+      "                  [--processes N] [--vars B] [--nodes W*H] [--time T]\n"
+      "                  [--mapper cow|sds|cob] [--testcases] [--watch]\n"
+      "       sde_submit status <socket> [job]\n"
+      "       sde_submit watch <socket> <job>\n"
+      "       sde_submit cancel <socket> <job>\n"
+      "       sde_submit artifacts <socket> <job>\n"
+      "       sde_submit fetch <socket> <job> <name> [--out FILE]\n"
+      "       sde_submit shutdown <socket>\n");
+  return 2;
+}
+
+void printStatus(const serve::JobStatus& status) {
+  std::printf("job %llu tenant=%s prio=%u procs=%u state=%s parts=%u/%u "
+              "events=%llu states=%llu",
+              static_cast<unsigned long long>(status.jobId),
+              status.tenant.c_str(), status.priority, status.processes,
+              std::string(serve::jobStateName(status.state)).c_str(),
+              status.partsDone, status.partsTotal,
+              static_cast<unsigned long long>(status.eventsSeen),
+              static_cast<unsigned long long>(status.statesSeen));
+  if (status.digest != 0)
+    std::printf(" digest=%llu",
+                static_cast<unsigned long long>(status.digest));
+  if (!status.error.empty()) std::printf(" error=%s", status.error.c_str());
+  std::printf("\n");
+}
+
+int watchJob(serve::Client& client, std::uint64_t jobId) {
+  std::uint32_t lastParts = ~0u;
+  const serve::JobStatus final_ =
+      client.watch(jobId, [&](const serve::JobStatus& status) {
+        if (status.partsDone != lastParts) {
+          lastParts = status.partsDone;
+          printStatus(status);
+          std::fflush(stdout);
+        }
+      });
+  printStatus(final_);
+  return final_.state == serve::JobState::kDone ? 0 : 1;
+}
+
+int submitCommand(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string socket = argv[2];
+  trace::CollectScenarioConfig scenario;
+  scenario.gridWidth = 5;
+  scenario.gridHeight = 5;
+  scenario.simulationTime = 5000;
+  std::size_t vars = 2;
+  serve::SubmitRequest request;
+  request.tenant = "default";
+  bool watch = false;
+  for (int i = 3; i < argc; ++i) {
+    const auto needValue = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--tenant") == 0) {
+      const char* value = needValue("--tenant");
+      if (value == nullptr) return 2;
+      request.tenant = value;
+    } else if (std::strcmp(argv[i], "--priority") == 0) {
+      const char* value = needValue("--priority");
+      if (value == nullptr) return 2;
+      request.priority =
+          static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--processes") == 0) {
+      const char* value = needValue("--processes");
+      if (value == nullptr) return 2;
+      request.processes =
+          static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--vars") == 0) {
+      const char* value = needValue("--vars");
+      if (value == nullptr) return 2;
+      vars = std::strtoul(value, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--nodes") == 0) {
+      const char* value = needValue("--nodes");
+      if (value == nullptr) return 2;
+      unsigned w = 0;
+      unsigned h = 0;
+      if (std::sscanf(value, "%u*%u", &w, &h) != 2 || w == 0 || h == 0) {
+        std::fprintf(stderr, "bad --nodes (want W*H)\n");
+        return 2;
+      }
+      scenario.gridWidth = w;
+      scenario.gridHeight = h;
+    } else if (std::strcmp(argv[i], "--time") == 0) {
+      const char* value = needValue("--time");
+      if (value == nullptr) return 2;
+      scenario.simulationTime = std::strtoull(value, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--mapper") == 0) {
+      const char* value = needValue("--mapper");
+      if (value == nullptr) return 2;
+      if (std::strcmp(value, "cow") == 0) {
+        scenario.mapper = MapperKind::kCow;
+      } else if (std::strcmp(value, "sds") == 0) {
+        scenario.mapper = MapperKind::kSds;
+      } else if (std::strcmp(value, "cob") == 0) {
+        scenario.mapper = MapperKind::kCob;
+      } else {
+        std::fprintf(stderr, "unknown mapper %s\n", value);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--testcases") == 0) {
+      request.collectTestcases = true;
+    } else if (std::strcmp(argv[i], "--watch") == 0) {
+      watch = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return usage();
+    }
+  }
+  request.scenarioSpec = trace::encodeCollectScenarioSpec(scenario, vars);
+
+  serve::Client client(socket);
+  const std::uint64_t jobId = client.submit(request);
+  std::printf("job %llu\n", static_cast<unsigned long long>(jobId));
+  std::fflush(stdout);
+  if (!watch) return 0;
+  return watchJob(client, jobId);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string verb = argv[1];
+  try {
+    if (verb == "submit") return submitCommand(argc, argv);
+    const std::string socket = argv[2];
+    serve::Client client(socket);
+    if (verb == "status") {
+      const std::uint64_t jobId =
+          argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 0;
+      for (const serve::JobStatus& status : client.status(jobId))
+        printStatus(status);
+      return 0;
+    }
+    if (verb == "watch" && argc > 3)
+      return watchJob(client, std::strtoull(argv[3], nullptr, 10));
+    if (verb == "cancel" && argc > 3) {
+      const serve::JobState state =
+          client.cancel(std::strtoull(argv[3], nullptr, 10));
+      std::printf("%s\n", std::string(serve::jobStateName(state)).c_str());
+      return 0;
+    }
+    if (verb == "artifacts" && argc > 3) {
+      for (const std::string& name :
+           client.listArtifacts(std::strtoull(argv[3], nullptr, 10)))
+        std::printf("%s\n", name.c_str());
+      return 0;
+    }
+    if (verb == "fetch" && argc > 4) {
+      const std::string bytes =
+          client.fetch(std::strtoull(argv[3], nullptr, 10), argv[4]);
+      if (argc > 6 && std::strcmp(argv[5], "--out") == 0) {
+        std::ofstream os(argv[6], std::ios::binary | std::ios::trunc);
+        os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        if (!os.good()) {
+          std::fprintf(stderr, "cannot write %s\n", argv[6]);
+          return 1;
+        }
+      } else {
+        std::cout.write(bytes.data(),
+                        static_cast<std::streamsize>(bytes.size()));
+      }
+      return 0;
+    }
+    if (verb == "shutdown") {
+      client.shutdownDaemon();
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sde_submit: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
