@@ -9,7 +9,13 @@
 // Usage: bench_fig10 [--nodes 25|49|100] [--time T] [--wall-cap SECONDS]
 //                    [--outdir DIR] [--paper]
 //                    [--checkpoint-dir DIR] [--resume] [--trace-out DIR]
-//                    [--fleet N]
+//                    [--fleet N] [--metrics]
+//
+// With --metrics every single-engine run carries the full live metrics
+// plane: a MetricsRegistry attached to the engine (per-event counter
+// bumps) plus a background thread publishing shm snapshots at 1 Hz —
+// the cadence sde_top polls at. E21 measures the plane's overhead by
+// comparing wall-clock with and without this flag.
 //
 // With --fleet N every (nodes, algorithm) scenario additionally runs as
 // an N-process fleet (sde/fleet.hpp) over a 4-job partition plan, adding
@@ -28,14 +34,22 @@
 // trace to DIR/trace_<nodes>_<alg>.trc (inspect with sde_trace) and
 // attaches a phase profiler whose per-phase self-times land both in the
 // trace's profile section and in the printed stats block.
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/metrics_shm.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace_io.hpp"
 #include "snapshot/checkpoint.hpp"
@@ -60,6 +74,7 @@ struct Options {
   std::string traceDir;
   bool deepCopy = false;  // legacy eager-copy forks (E17 memory baseline)
   unsigned fleet = 0;     // 0 = no fleet comparison rows
+  bool metrics = false;   // attach the live metrics plane (E21 overhead)
 };
 
 Options parseArgs(int argc, char** argv) {
@@ -89,6 +104,8 @@ Options parseArgs(int argc, char** argv) {
       options.deepCopy = true;
     else if (arg == "--fleet")
       options.fleet = static_cast<unsigned>(next());
+    else if (arg == "--metrics")
+      options.metrics = true;
     else
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
   }
@@ -178,7 +195,48 @@ int main(int argc, char** argv) {
                        name.c_str(), ckpt.string().c_str());
       }
 
+      // The full live plane: engine counter bumps plus a publisher
+      // thread snapshotting into shm at 1 Hz — the cadence sde_top
+      // polls at. Publishing faster than the consumers poll buys
+      // nothing and costs engine cache locality on small machines.
+      obs::MetricsRegistry benchMetrics;
+      std::unique_ptr<obs::ShmMetricsPlane> benchPlane;
+      std::thread publisher;
+      std::atomic<bool> publisherStop{false};
+      const std::string planeName =
+          "/sde_mx_bench_" + std::to_string(::getpid());
+      if (options.metrics) {
+        scenario.engine().setMetrics(&benchMetrics);
+        benchPlane = obs::ShmMetricsPlane::create(planeName);
+        publisher = std::thread([&] {
+          while (!publisherStop.load(std::memory_order_relaxed)) {
+            (void)benchPlane->publish(0, benchMetrics.snapshot());
+            // Sliced sleep so shutdown stays prompt.
+            for (int slice = 0;
+                 slice < 10 && !publisherStop.load(std::memory_order_relaxed);
+                 ++slice)
+              std::this_thread::sleep_for(std::chrono::milliseconds(100));
+          }
+        });
+      }
+
       const trace::ScenarioResult result = scenario.run();
+      if (options.metrics) {
+        publisherStop.store(true);
+        publisher.join();
+        (void)benchPlane->publish(0, benchMetrics.snapshot());
+        scenario.engine().setMetrics(nullptr);
+        const obs::MetricsSnapshot finalSnap = benchMetrics.snapshot();
+        std::printf("[metrics] %s: %llu events, %llu forks published via %s\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(
+                        finalSnap.value("engine.events")),
+                    static_cast<unsigned long long>(
+                        finalSnap.value("engine.forks_total")),
+                    planeName.c_str());
+        benchPlane.reset();
+        obs::ShmMetricsPlane::unlinkSegment(planeName);
+      }
       if (!ckpt.empty() && result.outcome == RunOutcome::kCompleted) {
         std::error_code ec;
         std::filesystem::remove(ckpt, ec);  // run finished: nothing to resume

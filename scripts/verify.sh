@@ -107,6 +107,55 @@ test "$(( SERVE_D1 ))" -eq "$DIRECT_D1" && test "$(( SERVE_D2 ))" -eq "$DIRECT_D
   || { echo "serve digest mismatch: job1 $SERVE_D1 vs $DIRECT_D1, job2 $SERVE_D2 vs $DIRECT_D2"; exit 1; }
 echo "serve digests survive SIGKILL+restart: job1=$SERVE_D1 job2=$SERVE_D2"
 
+echo "=== metrics smoke: daemon-fetched counters == post-run stats dump, Prometheus parses ==="
+METRICS_SMOKE=$(mktemp -d)
+trap 'rm -rf "$TRACE_SMOKE" "$FLEET_SMOKE" "$SERVE_SMOKE" "$METRICS_SMOKE"' EXIT
+METRICS_SOCK="$METRICS_SMOKE/root/serve.sock"
+metrics_wait() {
+  for _ in $(seq 100); do
+    ./build/tools/sde_submit status "$METRICS_SOCK" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "sde_serve did not come up"; return 1
+}
+./build/tools/sde_serve "$METRICS_SMOKE/root" --slots 2 --poll-ms 10 >/dev/null &
+METRICS_PID=$!
+metrics_wait
+./build/tools/sde_submit submit "$METRICS_SOCK" --tenant alice --processes 2 \
+  --vars 2 --nodes '4*4' --time 3000 >/dev/null
+./build/tools/sde_submit watch "$METRICS_SOCK" 1 >/dev/null
+# One frame through the live MetricsRequest path (service-wide).
+./build/tools/sde_top "$METRICS_SOCK" --once > "$METRICS_SMOKE/top.txt"
+grep -q 'slots' "$METRICS_SMOKE/top.txt"
+# Per-job Prometheus text: every sample line must parse (name, optional
+# {labels}, integer value), and the tenant series must carry its label.
+./build/tools/sde_submit metrics "$METRICS_SOCK" 1 > "$METRICS_SMOKE/prom.txt"
+test -s "$METRICS_SMOKE/prom.txt"
+BAD_PROM=$(grep -vE '^#' "$METRICS_SMOKE/prom.txt" \
+  | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [0-9]+$' || true)
+test -z "$BAD_PROM" \
+  || { echo "unparseable Prometheus lines:"; echo "$BAD_PROM"; exit 1; }
+./build/tools/sde_submit metrics "$METRICS_SOCK" > "$METRICS_SMOKE/svc.txt"
+grep -q 'sde_serve_jobs_submitted{tenant="alice"} 1' "$METRICS_SMOKE/svc.txt"
+# Engine counter totals fetched from the daemon must equal the post-run
+# merged StatsRegistry dump of the same job, value for value.
+./build/tools/sde_submit fetch "$METRICS_SOCK" 1 stats.txt \
+  > "$METRICS_SMOKE/stats.txt"
+test "$(grep -c '^engine\.' "$METRICS_SMOKE/stats.txt")" -ge 1
+MISMATCH=0
+while read -r NAME _ VALUE; do
+  case "$NAME" in engine.*) ;; *) continue ;; esac
+  PROM_NAME="sde_$(printf '%s' "$NAME" | tr '.' '_')"
+  PROM_VALUE=$(awk -v n="$PROM_NAME" '$1 == n {print $2}' \
+    "$METRICS_SMOKE/prom.txt")
+  test "$PROM_VALUE" = "$VALUE" \
+    || { echo "metrics mismatch: $NAME stats=$VALUE prom=$PROM_VALUE"; MISMATCH=1; }
+done < "$METRICS_SMOKE/stats.txt"
+test "$MISMATCH" -eq 0
+./build/tools/sde_submit shutdown "$METRICS_SOCK"
+wait "$METRICS_PID"
+echo "metrics smoke: live fetch agrees with post-run stats"
+
 echo "=== release: configure + build (CMAKE_BUILD_TYPE=Release) ==="
 # Optimised build: the persistent-sharing fork paths are exactly the
 # kind of code where -O2 reorders lifetimes; the differential fuzz

@@ -1,0 +1,359 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "snapshot/error.hpp"
+#include "snapshot/reader.hpp"
+#include "snapshot/writer.hpp"
+
+namespace sde::obs {
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, point] : other.points) {
+    auto [it, inserted] = points.try_emplace(name);
+    MetricPoint& mine = it->second;
+    if (inserted) mine.kind = point.kind;
+    if (point.kind == MetricKind::kHistogram &&
+        mine.kind == MetricKind::kHistogram) {
+      mine.count += point.count;
+      mine.sum += point.sum;
+      for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+        mine.buckets[i] += point.buckets[i];
+    } else {
+      support::foldCounter(name, mine.value, point.value);
+    }
+  }
+}
+
+void MetricsSnapshot::adoptMissing(const MetricsSnapshot& other) {
+  for (const auto& [name, point] : other.points) points.try_emplace(name, point);
+}
+
+std::uint64_t MetricsSnapshot::value(std::string_view name) const {
+  const MetricPoint* p = find(name);
+  return p == nullptr ? 0 : p->value;
+}
+
+const MetricPoint* MetricsSnapshot::find(std::string_view name) const {
+  auto it = points.find(name);
+  return it == points.end() ? nullptr : &it->second;
+}
+
+std::uint64_t histogramQuantile(const MetricPoint& point, double q) {
+  if (point.count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based; ceil without float drift
+  // for the common q values.
+  const double exact = q * static_cast<double>(point.count);
+  std::uint64_t rank = static_cast<std::uint64_t>(exact);
+  if (static_cast<double>(rank) < exact) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += point.buckets[i];
+    if (cumulative >= rank) return histogramBucketBound(i);
+  }
+  return histogramBucketBound(kHistogramBuckets - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec
+
+std::string encodeMetricsSnapshot(const MetricsSnapshot& snap) {
+  std::ostringstream os(std::ios::binary);
+  snapshot::Writer out(os);
+  out.magic(kMetricsMagic);
+  out.u32(kMetricsVersion);
+  out.u64(snap.points.size());
+  for (const auto& [name, point] : snap.points) {
+    out.str(name);
+    out.u8(static_cast<std::uint8_t>(point.kind));
+    if (point.kind == MetricKind::kHistogram) {
+      out.u64(point.count);
+      out.u64(point.sum);
+      // Trailing zero buckets are trimmed; the count is explicit so a
+      // future bucket-geometry change is a version bump, not a guess.
+      std::uint32_t used = kHistogramBuckets;
+      while (used > 0 && point.buckets[used - 1] == 0) --used;
+      out.u32(used);
+      for (std::uint32_t i = 0; i < used; ++i) out.u64(point.buckets[i]);
+    } else {
+      out.u64(point.value);
+    }
+  }
+  return std::move(os).str();
+}
+
+MetricsSnapshot decodeMetricsSnapshot(std::string_view bytes) {
+  std::istringstream is{std::string(bytes), std::ios::binary};
+  snapshot::Reader in(is);
+  in.expectMagic(kMetricsMagic, "not an SDE metrics snapshot");
+  const std::uint32_t version = in.u32();
+  if (version != kMetricsVersion) {
+    throw snapshot::SnapshotError("metrics snapshot version " +
+                                  std::to_string(version) + ", expected " +
+                                  std::to_string(kMetricsVersion));
+  }
+  const std::uint64_t count = in.u64();
+  MetricsSnapshot snap;
+  for (std::uint64_t n = 0; n < count; ++n) {
+    std::string name = in.str();
+    const std::uint8_t rawKind = in.u8();
+    if (rawKind > static_cast<std::uint8_t>(MetricKind::kHistogram)) {
+      throw snapshot::SnapshotError("metrics snapshot: unknown metric kind " +
+                                    std::to_string(rawKind));
+    }
+    MetricPoint point;
+    point.kind = static_cast<MetricKind>(rawKind);
+    if (point.kind == MetricKind::kHistogram) {
+      point.count = in.u64();
+      point.sum = in.u64();
+      const std::uint32_t used = in.u32();
+      if (used > kHistogramBuckets) {
+        throw snapshot::SnapshotError(
+            "metrics snapshot: histogram claims " + std::to_string(used) +
+            " buckets, layout has " + std::to_string(kHistogramBuckets));
+      }
+      for (std::uint32_t i = 0; i < used; ++i) point.buckets[i] = in.u64();
+    } else {
+      point.value = in.u64();
+    }
+    snap.points.insert_or_assign(std::move(name), point);
+  }
+  return snap;
+}
+
+MetricsSnapshot snapshotFromStats(const support::StatsRegistry& stats) {
+  MetricsSnapshot snap;
+  for (const auto& [name, value] : stats.all()) {
+    MetricPoint point;
+    point.kind = support::isPeakCounter(name) ? MetricKind::kGauge
+                                              : MetricKind::kCounter;
+    point.value = value;
+    snap.points.emplace(name, point);
+  }
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+
+namespace {
+
+std::string sanitizeMetricName(std::string_view name) {
+  std::string out = "sde_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string escapeLabelValue(std::string_view value) {
+  std::string out;
+  for (char c : value) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+struct ExposedName {
+  std::string family;  // sanitised metric family name
+  std::string labels;  // "" or {tenant="..."}
+};
+
+// "serve.tenant.<t>.<rest>" → family sde_serve_<rest>, label tenant=<t>;
+// everything else is sanitised verbatim with no labels.
+ExposedName exposeName(const std::string& name) {
+  constexpr std::string_view kTenantPrefix = "serve.tenant.";
+  if (name.size() > kTenantPrefix.size() &&
+      std::string_view(name).substr(0, kTenantPrefix.size()) ==
+          kTenantPrefix) {
+    const std::size_t restDot = name.find('.', kTenantPrefix.size());
+    if (restDot != std::string::npos && restDot + 1 < name.size()) {
+      const std::string tenant =
+          name.substr(kTenantPrefix.size(), restDot - kTenantPrefix.size());
+      const std::string rest = name.substr(restDot + 1);
+      return {sanitizeMetricName("serve." + rest),
+              "{tenant=\"" + escapeLabelValue(tenant) + "\"}"};
+    }
+  }
+  return {sanitizeMetricName(name), ""};
+}
+
+std::string_view kindText(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string renderPrometheus(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  // One # TYPE line per family; tenant-labelled series of one family
+  // arrive adjacent because the tenant segment sorts inside the shared
+  // "serve.tenant." prefix.
+  std::string lastFamily;
+  for (const auto& [name, point] : snap.points) {
+    const ExposedName exposed = exposeName(name);
+    if (exposed.family != lastFamily) {
+      os << "# TYPE " << exposed.family << ' ' << kindText(point.kind)
+         << '\n';
+      lastFamily = exposed.family;
+    }
+    if (point.kind == MetricKind::kHistogram) {
+      std::uint64_t cumulative = 0;
+      std::size_t top = kHistogramBuckets;
+      while (top > 0 && point.buckets[top - 1] == 0) --top;
+      for (std::size_t i = 0; i < top; ++i) {
+        cumulative += point.buckets[i];
+        std::string labels = exposed.labels;
+        if (labels.empty())
+          labels = "{le=\"" + std::to_string(histogramBucketBound(i)) + "\"}";
+        else
+          labels.insert(labels.size() - 1,
+                        ",le=\"" + std::to_string(histogramBucketBound(i)) +
+                            "\"");
+        os << exposed.family << "_bucket" << labels << ' ' << cumulative
+           << '\n';
+      }
+      std::string inf = exposed.labels;
+      if (inf.empty())
+        inf = "{le=\"+Inf\"}";
+      else
+        inf.insert(inf.size() - 1, ",le=\"+Inf\"");
+      os << exposed.family << "_bucket" << inf << ' ' << point.count << '\n';
+      os << exposed.family << "_sum" << exposed.labels << ' ' << point.sum
+         << '\n';
+      os << exposed.family << "_count" << exposed.labels << ' ' << point.count
+         << '\n';
+    } else {
+      os << exposed.family << exposed.labels << ' ' << point.value << '\n';
+    }
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry::~MetricsRegistry() {
+  for (auto& slot : blocks_) delete slot.load(std::memory_order_relaxed);
+}
+
+MetricsRegistry::Id MetricsRegistry::counter(std::string_view name) {
+  return registerMetric(name, MetricKind::kCounter);
+}
+
+MetricsRegistry::Id MetricsRegistry::gauge(std::string_view name) {
+  return registerMetric(name, MetricKind::kGauge);
+}
+
+MetricsRegistry::Id MetricsRegistry::histogram(std::string_view name) {
+  return registerMetric(name, MetricKind::kHistogram);
+}
+
+MetricsRegistry::Id MetricsRegistry::registerMetric(std::string_view name,
+                                                    MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = byName_.find(std::string(name));
+  if (it != byName_.end()) return it->second;
+  const std::uint32_t id = size_.load(std::memory_order_relaxed);
+  const std::size_t blockIndex = id >> kBlockShift;
+  if (blockIndex >= kMaxBlocks)
+    throw std::length_error("MetricsRegistry: metric capacity exhausted");
+  if (blocks_[blockIndex].load(std::memory_order_relaxed) == nullptr) {
+    // Release-publish the block so a lock-free bumper that obtained the
+    // id through a data dependency sees initialised cells.
+    blocks_[blockIndex].store(new Block(), std::memory_order_release);
+  }
+  Cell& c = blocks_[blockIndex].load(std::memory_order_relaxed)
+                ->cells[id & (kBlockSize - 1)];
+  c.name.assign(name);
+  c.kind = kind;
+  byName_.emplace(c.name, id);
+  size_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+MetricsRegistry::Cell& MetricsRegistry::cell(Id id) const {
+  Block* block =
+      blocks_[id >> kBlockShift].load(std::memory_order_acquire);
+  return block->cells[id & (kBlockSize - 1)];
+}
+
+void MetricsRegistry::add(Id id, std::uint64_t delta) {
+  cell(id).value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::set(Id id, std::uint64_t value) {
+  cell(id).value.store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::setMax(Id id, std::uint64_t value) {
+  auto& slot = cell(id).value;
+  std::uint64_t seen = slot.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void MetricsRegistry::observe(Id id, std::uint64_t value) {
+  Cell& c = cell(id);
+  c.value.fetch_add(1, std::memory_order_relaxed);
+  c.sum.fetch_add(value, std::memory_order_relaxed);
+  c.buckets[histogramBucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  const std::uint32_t n = size_.load(std::memory_order_acquire);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    const Cell& c = cell(id);
+    MetricPoint point;
+    point.kind = c.kind;
+    if (c.kind == MetricKind::kHistogram) {
+      point.count = c.value.load(std::memory_order_relaxed);
+      point.sum = c.sum.load(std::memory_order_relaxed);
+      for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+        point.buckets[i] = c.buckets[i].load(std::memory_order_relaxed);
+    } else {
+      point.value = c.value.load(std::memory_order_relaxed);
+    }
+    snap.points.emplace(c.name, point);
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::uint32_t n = size_.load(std::memory_order_acquire);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    Cell& c = cell(id);
+    c.value.store(0, std::memory_order_relaxed);
+    c.sum.store(0, std::memory_order_relaxed);
+    for (auto& bucket : c.buckets) bucket.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+}  // namespace sde::obs

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace sde::obs {
 
 std::string_view phaseName(Phase phase) {
@@ -41,6 +43,15 @@ void PhaseProfile::toStats(support::StatsRegistry& stats) const {
         "profile." + std::string(phaseName(static_cast<Phase>(i)));
     stats.bump(prefix + ".micros", phases[i].nanos / 1000);
     stats.bump(prefix + ".calls", phases[i].calls);
+  }
+}
+
+void PhaseProfile::toMetrics(MetricsRegistry& metrics) const {
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const std::string prefix =
+        "profile." + std::string(phaseName(static_cast<Phase>(i)));
+    metrics.add(metrics.counter(prefix + ".micros"), phases[i].nanos / 1000);
+    metrics.add(metrics.counter(prefix + ".calls"), phases[i].calls);
   }
 }
 

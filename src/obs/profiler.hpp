@@ -25,6 +25,8 @@
 
 namespace sde::obs {
 
+class MetricsRegistry;
+
 enum class Phase : std::uint8_t {
   kInterp = 0,      // event dispatch / bytecode interpretation
   kMapping,         // StateMapper::onTransmit / onLocalBranch
@@ -54,6 +56,11 @@ struct PhaseProfile {
   // report surface. Micros, not nanos: these counters are summed by
   // StatsRegistry::mergeFrom across a fleet and stay readable.
   void toStats(support::StatsRegistry& stats) const;
+  // The same totals as counters in the live metrics registry
+  // ("profile.<phase>.micros" / "profile.<phase>.calls") — the bridge
+  // from per-engine wall-clock attribution to the fleet-wide metrics
+  // plane. Adds (the registry accumulates across jobs).
+  void toMetrics(MetricsRegistry& metrics) const;
   // Rendered table rows: phase, self time, calls, share of total.
   [[nodiscard]] std::string report() const;
 

@@ -98,6 +98,18 @@ void Engine::setProfiler(obs::PhaseProfiler* profiler) {
   solver_.setProfiler(profiler);
 }
 
+void Engine::setMetrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  solver_.setMetrics(metrics);
+  if (metrics_ == nullptr) return;
+  mForks_ = metrics_->counter("engine.forks_total");
+  mEvents_ = metrics_->counter("engine.events");
+  mPackets_ = metrics_->counter("engine.packets");
+  mTerminations_ = metrics_->counter("engine.terminations");
+  mPeakStates_ = metrics_->gauge("engine.peak_states");
+  mPeakMemory_ = metrics_->gauge("engine.peak_memory_bytes");
+}
+
 ExecutionState& Engine::cloneInternal(ExecutionState& original) {
   // Fork cost is a deterministic structural function of the parent
   // (sequence tails + CoW queue), recorded before the fork and carried
@@ -114,6 +126,10 @@ ExecutionState& Engine::cloneInternal(ExecutionState& original) {
   stats_.bump("engine.fork_copied_elements", lastForkCopiedElements_);
   stats_.bump("engine.fork_shared_chunks", lastForkSharedChunks_);
   stats_.maxOf("engine.peak_states", states_.size());
+  if (metrics_ != nullptr) {
+    metrics_->add(mForks_);
+    metrics_->setMax(mPeakStates_, states_.size());
+  }
   if (sharedCaps_ != nullptr) sharedCaps_->noteStatesCreated(1);
   return ref;
 }
@@ -215,6 +231,7 @@ void Engine::sendOne(ExecutionState& sender, NodeId dst,
     receivers = mapper_->onTransmit(sender, packet, mapperRuntime_);
   }
   stats_.bump("engine.packets");
+  if (metrics_ != nullptr) metrics_->add(mPackets_);
   if (trace_ != nullptr) {
     obs::TraceEvent event;
     event.kind = obs::TraceEventKind::kPacketTransmit;
@@ -453,6 +470,7 @@ RunOutcome Engine::run(std::uint64_t untilVirtualTime) {
     }
     ++eventsProcessed_;
     stats_.bump("engine.events");
+    if (metrics_ != nullptr) metrics_->add(mEvents_);
 
     // Re-register every state whose timeline changed (the dispatched
     // state, forked siblings, delivery receivers). Duplicate heap
@@ -465,11 +483,15 @@ RunOutcome Engine::run(std::uint64_t untilVirtualTime) {
     touched_.erase(std::unique(touched_.begin(), touched_.end()),
                    touched_.end());
     for (ExecutionState* state : touched_) scheduler_.registerState(*state);
-    if (trace_ != nullptr) {
+    if (trace_ != nullptr || metrics_ != nullptr) {
+      // Trace and metrics share the termination dedup set; both care
+      // about "became terminal this step", exactly once per state.
       for (const ExecutionState* state : touched_) {
         if (!state->isTerminal() ||
             !traceTerminated_.insert(state->id()).second)
           continue;
+        if (metrics_ != nullptr) metrics_->add(mTerminations_);
+        if (trace_ == nullptr) continue;
         obs::TraceEvent record;
         record.kind = obs::TraceEventKind::kStateTerminate;
         record.node = state->node();
@@ -488,6 +510,8 @@ RunOutcome Engine::run(std::uint64_t untilVirtualTime) {
                                     runStart_)
           .count();
   stats_.maxOf("engine.peak_memory_bytes", simulatedMemoryBytes());
+  if (metrics_ != nullptr)
+    metrics_->setMax(mPeakMemory_, simulatedMemoryBytes());
   if (outcome != RunOutcome::kCompleted) {
     // A cap latch suspends instead of discarding: the final checkpoint
     // captures the exact abort point, so a resumed run (with the cap

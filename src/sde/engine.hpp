@@ -19,6 +19,7 @@
 #include <unordered_set>
 
 #include "net/failure.hpp"
+#include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace_sink.hpp"
 #include "os/events.hpp"
@@ -209,6 +210,16 @@ class Engine {
   // deterministic fingerprint.
   void setProfiler(obs::PhaseProfiler* profiler);
   [[nodiscard]] obs::PhaseProfiler* profiler() const { return profiler_; }
+  // Attaches the live metrics registry (obs/metrics.hpp): engine
+  // fork/deliver/terminate counters, peak gauges, and per-layer solver
+  // latency histograms (forwarded to the solver pipeline). Purely
+  // observational — never feeds exploration decisions, so the run
+  // fingerprint is identical with or without it. nullptr (the default)
+  // costs one pointer compare per site.
+  void setMetrics(obs::MetricsRegistry* metrics);
+  [[nodiscard]] obs::MetricsRegistry* metricsRegistry() const {
+    return metrics_;
+  }
 
   // --- Execution -------------------------------------------------------------
   // Processes all events with time <= `untilVirtualTime`. May be called
@@ -348,6 +359,15 @@ class Engine {
   std::atomic<bool> suspendRequested_{false};
   obs::TraceSink* trace_ = nullptr;
   obs::PhaseProfiler* profiler_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  // Metric ids, registered once in setMetrics so the hot sites are one
+  // relaxed atomic each.
+  obs::MetricsRegistry::Id mForks_ = 0;
+  obs::MetricsRegistry::Id mEvents_ = 0;
+  obs::MetricsRegistry::Id mPackets_ = 0;
+  obs::MetricsRegistry::Id mTerminations_ = 0;
+  obs::MetricsRegistry::Id mPeakStates_ = 0;
+  obs::MetricsRegistry::Id mPeakMemory_ = 0;
   // States whose termination was already traced (only populated while a
   // sink is attached; deliberately not serialized — a resumed trace may
   // re-report a termination, which the validator tolerates for resumed

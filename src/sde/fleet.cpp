@@ -18,6 +18,7 @@
 #include <fstream>
 #include <optional>
 
+#include "obs/metrics_shm.hpp"
 #include "obs/trace_io.hpp"
 #include "snapshot/manifest.hpp"
 #include "snapshot/shared_cache_io.hpp"
@@ -150,6 +151,12 @@ struct WorkerContext {
   const PartitionPlan* plan = nullptr;
   const FleetConfig* config = nullptr;
   solver::SharedQueryStore* shared = nullptr;  // inherited shm mapping
+  // Live metrics: the worker's registry (the process-global one, reset
+  // right after fork so inherited coordinator counters are not
+  // re-counted) and the inherited shm plane mapping. Slot i publishes
+  // into plane slot i+1; slot 0 belongs to the coordinator.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::ShmMetricsPlane* metricsPlane = nullptr;
   ParallelConfig pc;  // collect flags for collectJobResult
 
   FrameReader reader;
@@ -162,6 +169,15 @@ struct WorkerContext {
 };
 
 [[noreturn]] void workerExit(int code) { ::_exit(code); }
+
+// Best-effort snapshot publication into this worker's plane slot. An
+// oversize snapshot (or a plane that was never created) publishes
+// nothing — the live view is lossy by contract, the durable merge is
+// not.
+void workerPublishMetrics(const WorkerContext& w) {
+  if (w.metrics == nullptr || w.metricsPlane == nullptr) return;
+  w.metricsPlane->publish(w.slot + 1, w.metrics->snapshot());
+}
 
 void workerSend(WorkerContext& w, const Frame& frame) {
   // A dead coordinator makes this worker useless; its jobs are safe in
@@ -280,9 +296,15 @@ bool workerRunOneJob(WorkerContext& w) {
       engine->setDecisionFilter(std::unordered_map<std::string, bool>(
           job.forced.begin(), job.forced.end()));
       if (w.shared != nullptr) engine->solver().setSharedCache(w.shared);
+      if (w.metrics != nullptr) engine->setMetrics(w.metrics);
       return engine;
     };
     std::unique_ptr<Engine> engine = makeEngine();
+
+    // Per-job wall-clock attribution, bridged into the metrics registry
+    // after the run. Digest-safe: profiler output never feeds stats_.
+    obs::PhaseProfiler metricsProfiler;
+    if (w.metrics != nullptr) engine->setProfiler(&metricsProfiler);
 
     // Tracing: sink installed before restore so a resumed job continues
     // the suspended run's sequence numbering (same as the thread
@@ -312,6 +334,7 @@ bool workerRunOneJob(WorkerContext& w) {
       } catch (const snapshot::SnapshotError&) {
         engine = makeEngine();  // torn checkpoint: restart from scratch
         if (traceSink != nullptr) engine->setTraceSink(traceSink.get());
+        if (w.metrics != nullptr) engine->setProfiler(&metricsProfiler);
       }
     }
     // Visible to the command pump so a kSuspendFleet arriving mid-run
@@ -344,6 +367,7 @@ bool workerRunOneJob(WorkerContext& w) {
         status.c = e.numStates();
         status.d = e.eventsProcessed();
         workerSend(w, status);
+        workerPublishMetrics(w);
       }
     });
 
@@ -359,6 +383,10 @@ bool workerRunOneJob(WorkerContext& w) {
         } catch (const obs::TraceError& e) {
           support::logError("trace", e.what());
         }
+      }
+      if (w.metrics != nullptr) {
+        metricsProfiler.profile().toMetrics(*w.metrics);
+        workerPublishMetrics(w);
       }
       Frame suspendedFrame;
       suspendedFrame.type = FrameType::kSuspended;
@@ -384,6 +412,10 @@ bool workerRunOneJob(WorkerContext& w) {
     }
     states = result.states;
     events = result.events;
+    if (w.metrics != nullptr) {
+      metricsProfiler.profile().toMetrics(*w.metrics);
+      workerPublishMetrics(w);
+    }
   }
 
   Frame doneFrame;
@@ -480,8 +512,22 @@ struct JobReport {
 class Coordinator {
  public:
   Coordinator(const EngineFactory& factory, const PartitionPlan& plan,
-              const FleetConfig& config, solver::ShmQueryCache* shm)
-      : factory_(factory), plan_(plan), config_(config), shm_(shm) {
+              const FleetConfig& config, solver::ShmQueryCache* shm,
+              obs::ShmMetricsPlane* metricsPlane)
+      : factory_(factory),
+        plan_(plan),
+        config_(config),
+        shm_(shm),
+        metricsPlane_(metricsPlane) {
+    if (config_.shmMetrics) {
+      // A registry of our own (not the process-global one): a process
+      // embedding several sequential fleets must not leak one run's
+      // fleet.* counters into the next run's plane.
+      mSteals_ = coordinatorMetrics_.counter("fleet.steals");
+      mRespawns_ = coordinatorMetrics_.counter("fleet.respawns");
+      mDeaths_ = coordinatorMetrics_.counter("fleet.worker_deaths");
+      mSuspends_ = coordinatorMetrics_.counter("fleet.suspends");
+    }
     pc_.horizon = config.horizon;
     pc_.collectScenarioFingerprints = config.collectScenarioFingerprints;
     pc_.collectStateFingerprints = config.collectStateFingerprints;
@@ -528,8 +574,17 @@ class Coordinator {
         beginSuspend();
       }
       pollOnce();
+      publishCoordinatorMetrics();
     }
     reapAll();
+    publishCoordinatorMetrics();
+    if (config_.shmMetrics) {
+      // The live view: every published worker slot plus our own. Exact
+      // totals are grafted on top from the durable merge in runFleet.
+      result_.metrics = metricsPlane_ != nullptr
+                            ? metricsPlane_->aggregate()
+                            : coordinatorMetrics_.snapshot();
+    }
 
     if (suspending_ && completed_ != numJobs) {
       // Deliberately unfinished: count what the durable queue holds and
@@ -622,6 +677,13 @@ class Coordinator {
       w.plan = &plan_;
       w.config = &config_;
       w.shared = (shm_ != nullptr && config_.shmQueryCache) ? shm_ : nullptr;
+      if (config_.shmMetrics) {
+        // The global registry was copied in by fork; zero it so
+        // coordinator-side values are not re-published from this slot.
+        obs::MetricsRegistry::global().reset();
+        w.metrics = &obs::MetricsRegistry::global();
+        w.metricsPlane = metricsPlane_;
+      }
       w.pc = pc_;
       try {
         workerMain(w);
@@ -671,8 +733,14 @@ class Coordinator {
     return config_.stopRequested && config_.stopRequested();
   }
 
+  void publishCoordinatorMetrics() {
+    if (metricsPlane_ != nullptr)
+      metricsPlane_->publish(0, coordinatorMetrics_.snapshot());
+  }
+
   void beginSuspend() {
     suspending_ = true;
+    if (config_.shmMetrics) coordinatorMetrics_.add(mSuspends_);
     Frame frame;
     frame.type = FrameType::kSuspendFleet;
     for (SlotState& s : slots_)
@@ -787,6 +855,7 @@ class Coordinator {
         if (stolenLo < stolenHi) {
           s.hi = stolenLo;
           ++result_.steals;
+          if (config_.shmMetrics) coordinatorMetrics_.add(mSteals_);
           if (thief >= 0 && slots_[thief].alive && slots_[thief].idle) {
             assign(static_cast<unsigned>(thief), stolenLo, stolenHi);
           } else {
@@ -858,6 +927,7 @@ class Coordinator {
     if (clean) return;
 
     ++result_.workerDeaths;
+    if (config_.shmMetrics) coordinatorMetrics_.add(mDeaths_);
     // A pending steal where this slot was the victim is void: no reply
     // will come, and the unshrunk mirror range below re-leases
     // everything the victim still held (a reply written before death
@@ -886,6 +956,7 @@ class Coordinator {
     // remaining is fatal (pollOnce throws then).
     if (completed_ != plan_.jobs.size() && !suspending_ && respawnPossible()) {
       ++result_.respawns;
+      if (config_.shmMetrics) coordinatorMetrics_.add(mRespawns_);
       spawn(slot);
       if (!pool_.empty()) {
         const auto range = pool_.back();
@@ -973,6 +1044,12 @@ class Coordinator {
   const PartitionPlan& plan_;
   const FleetConfig& config_;
   solver::ShmQueryCache* shm_;
+  obs::ShmMetricsPlane* metricsPlane_;
+  obs::MetricsRegistry coordinatorMetrics_;
+  obs::MetricsRegistry::Id mSteals_ = 0;
+  obs::MetricsRegistry::Id mRespawns_ = 0;
+  obs::MetricsRegistry::Id mDeaths_ = 0;
+  obs::MetricsRegistry::Id mSuspends_ = 0;
   ParallelConfig pc_;
 
   std::vector<SlotState> slots_;
@@ -1073,13 +1150,34 @@ FleetResult runFleet(const EngineFactory& factory, const PartitionPlan& plan,
     }
   }
 
+  // Live metrics plane: created before forking (workers inherit the
+  // mapping), one slot per worker plus slot 0 for the coordinator. A
+  // creation failure degrades to no live plane — the durable merge
+  // still produces exact post-run metrics.
+  std::unique_ptr<obs::ShmMetricsPlane> metricsPlane;
+  std::string metricsName = config.metricsShmName;
+  if (config.shmMetrics) {
+    if (metricsName.empty())
+      metricsName = "/sde_mx_" + std::to_string(static_cast<long>(::getpid()));
+    obs::ShmMetricsConfig metricsConfig;
+    metricsConfig.slots = config.processes + 1;
+    try {
+      metricsPlane = obs::ShmMetricsPlane::create(metricsName, metricsConfig);
+    } catch (const obs::ShmMetricsError& e) {
+      support::logError("fleet", e.what());
+    }
+  }
+
   FleetResult result;
   try {
-    Coordinator coordinator(factory, plan, config, shm.get());
+    Coordinator coordinator(factory, plan, config, shm.get(),
+                            metricsPlane.get());
     result = coordinator.run();
   } catch (...) {
     if (shm != nullptr && derivedName)
       solver::ShmQueryCache::unlinkSegment(shmName);
+    if (metricsPlane != nullptr)
+      obs::ShmMetricsPlane::unlinkSegment(metricsName);
     throw;
   }
   result.shmDegraded = shmDegraded;
@@ -1101,6 +1199,31 @@ FleetResult runFleet(const EngineFactory& factory, const PartitionPlan& plan,
       support::logError("snapshot", e.what());
     }
     if (derivedName) solver::ShmQueryCache::unlinkSegment(shmName);
+  }
+  if (config.shmMetrics) {
+    // Exact totals win: the merged post-run stats are lifted verbatim,
+    // then live-only series (latency histograms, profile bridges,
+    // fleet.* counters) are adopted for the names stats do not carry.
+    // A suspended run has no merged stats — the live view stands alone.
+    obs::MetricsSnapshot merged;
+    if (!result.suspended)
+      merged = obs::snapshotFromStats(result.result.stats);
+    merged.adoptMissing(result.metrics);
+    result.metrics = std::move(merged);
+    if (!result.suspended) {
+      try {
+        const std::string bytes = obs::encodeMetricsSnapshot(result.metrics);
+        snapshot::atomicWriteFile(
+            snapshot::metricsSnapshotPath(dir), [&](std::ostream& os) {
+              os.write(bytes.data(),
+                       static_cast<std::streamsize>(bytes.size()));
+            });
+      } catch (const snapshot::SnapshotError& e) {
+        support::logError("snapshot", e.what());
+      }
+    }
+    if (metricsPlane != nullptr)
+      obs::ShmMetricsPlane::unlinkSegment(metricsName);
   }
   return result;
 }

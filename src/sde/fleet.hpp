@@ -75,6 +75,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sde/parallel.hpp"
 
 namespace sde {
@@ -130,6 +131,20 @@ struct FleetConfig {
   // fresh cold one (FleetResult::shmDegraded).
   std::string shmName;
   std::size_t shmBytes = 32u << 20;
+  // --- Live metrics plane (obs/metrics.hpp + obs/metrics_shm.hpp) -----------
+  // On: each worker attaches the process-global MetricsRegistry to its
+  // engines (fork/deliver/terminate counters, peak gauges, per-layer
+  // solver latency histograms, a per-job PhaseProfiler bridge) and
+  // seqlock-publishes registry snapshots into its slot of a POSIX shm
+  // metrics segment at the status cadence; the coordinator publishes
+  // its fleet.* counters into slot 0 and writes the merged snapshot to
+  // the durable metrics.sde sidecar at the end. Purely observational:
+  // exploration digests are identical with the plane on or off.
+  bool shmMetrics = true;
+  // POSIX shm name of the metrics segment ("/sde_mx_..."). Empty
+  // derives a per-run name from the coordinator pid. An embedding
+  // service passes a deterministic name so it can attach mid-run.
+  std::string metricsShmName;
   // REQUIRED — the durable job queue lives here (manifest, .ckpt/.done
   // files; see snapshot/manifest.hpp). Same layout as the thread
   // runner's durable mode, so sde_checkpoint understands fleet runs.
@@ -184,6 +199,13 @@ struct FleetResult {
   // every executed job counts exactly 1 — the no-double-execution
   // oracle of the stealing tests.
   std::vector<std::uint32_t> executedCounts;
+  // Merged metrics snapshot (empty when shmMetrics is off): the post-run
+  // merged StatsRegistry lifted verbatim into the metrics value space —
+  // so every counter the stats carry is bit-exact — plus live-plane-only
+  // series (latency histograms, fleet.* counters, profile bridges)
+  // adopted for the names the stats do not cover. Also written durably
+  // to <checkpointDir>/metrics.sde for completed runs.
+  obs::MetricsSnapshot metrics;
   // Shared-memory cache outcome (zeros when shmQueryCache is off).
   bool shmDegraded = false;  // pre-existing segment was torn; ran cold
   std::uint64_t shmEntries = 0;

@@ -1,0 +1,68 @@
+// Fleet run-directory inspection as a library: the `sde_fleet status`
+// view of a durable queue (manifest + .ckpt/.done files), decoupled
+// from the CLI so the daemon, scripts and tests consume one
+// implementation — and one JSON emitter, which must stay valid JSON for
+// every run shape (zero completed jobs, no scenario spec, no metrics
+// sidecar). Optional fields are omitted, never emitted half-filled.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "snapshot/manifest.hpp"
+
+namespace sde {
+
+enum class FleetJobState : std::uint8_t {
+  kDone,       // .done file present and readable
+  kSuspended,  // .ckpt file present and readable
+  kPending,    // neither file: never ran or lost to a crash
+  kBroken,     // a present file failed to decode (torn by a hard crash)
+};
+[[nodiscard]] std::string_view fleetJobStateName(FleetJobState state);
+
+struct FleetJobStatus {
+  std::uint32_t id = 0;
+  FleetJobState state = FleetJobState::kPending;
+  std::uint64_t states = 0;      // meaningful for done/suspended
+  std::uint64_t virtualNow = 0;  // meaningful for suspended
+};
+
+struct FleetRunStatus {
+  std::filesystem::path dir;
+  snapshot::RunManifest manifest;
+  std::vector<FleetJobStatus> jobs;
+  std::size_t done = 0;
+  std::size_t suspended = 0;
+  std::size_t pending = 0;
+  std::size_t broken = 0;
+  // The merged metrics.sde sidecar of a completed run; absent (or torn,
+  // which reads the same) leaves hasMetrics false and `metrics` empty.
+  bool hasMetrics = false;
+  obs::MetricsSnapshot metrics;
+};
+
+// Reads the run directory without running anything. Throws
+// snapshot::SnapshotError when the manifest is missing or foreign;
+// per-job file damage is reported as kBroken, never thrown.
+[[nodiscard]] FleetRunStatus inspectFleetRun(const std::filesystem::path& dir);
+
+// One machine-readable JSON object, always syntactically valid:
+//   {"dir":...,"horizon":...,["scenario":...,]"jobsTotal":...,
+//    "done":...,"suspended":...,"pending":...,"broken":...,
+//    "jobs":[{"id":...,"state":"done","states":...} ...]
+//    [,"metrics":{...}]}
+// Per-job "states"/"virtualNow" appear only for the states they mean
+// something in; "scenario" and "metrics" are omitted when empty. A
+// metrics scalar renders as a number, a histogram as
+// {"count":...,"sum":...,"p50":...,"p99":...}.
+[[nodiscard]] std::string fleetStatusJson(const FleetRunStatus& status);
+
+// Minimal JSON string escaping shared by every SDE JSON emitter.
+[[nodiscard]] std::string jsonEscape(std::string_view s);
+
+}  // namespace sde

@@ -95,6 +95,15 @@ std::string Client::fetch(std::uint64_t jobId, const std::string& name) {
   return ok->bytes;
 }
 
+MetricsReply Client::metrics(std::uint64_t jobId) {
+  const Message reply = call(MetricsRequest{jobId});
+  if (const auto* error = std::get_if<ErrorReply>(&reply))
+    throwDaemonError(*error);
+  const auto* ok = std::get_if<MetricsReply>(&reply);
+  if (ok == nullptr) throw ServeError("unexpected reply to metrics");
+  return *ok;
+}
+
 void Client::shutdownDaemon() {
   const Message reply = call(ShutdownRequest{});
   if (const auto* error = std::get_if<ErrorReply>(&reply))

@@ -39,6 +39,9 @@ class Client {
   [[nodiscard]] std::vector<std::string> listArtifacts(std::uint64_t jobId);
   [[nodiscard]] std::string fetch(std::uint64_t jobId,
                                   const std::string& name);
+  // Live telemetry: jobId 0 = whole service, else that job (see
+  // MetricsRequest in protocol.hpp).
+  [[nodiscard]] MetricsReply metrics(std::uint64_t jobId = 0);
   void shutdownDaemon();
 
  private:

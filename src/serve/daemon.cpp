@@ -13,8 +13,10 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics_shm.hpp"
 #include "serve/results.hpp"
 #include "serve/runner.hpp"
+#include "snapshot/error.hpp"
 #include "snapshot/manifest.hpp"
 
 namespace sde::serve {
@@ -47,6 +49,16 @@ Daemon::Daemon(ServeConfig config)
   // Crash-safe boot: the registry is whatever the directory tree says.
   jobs_ = loadJobs(config_.root);
   nextId_ = nextJobId(jobs_);
+  metrics_.set(metrics_.gauge("serve.slots_total"), config_.slots);
+  const auto bootTime = std::chrono::steady_clock::now();
+  for (const auto& [id, record] : jobs_) {
+    noteTenant(record.spec.tenant);
+    // Jobs recovered as runnable re-enter the queue at boot; their
+    // pre-crash wait is unknowable and not worth inventing.
+    if (record.state == JobState::kQueued ||
+        record.state == JobState::kSuspended)
+      queuedSince_[id] = bootTime;
+  }
   listenFd_ = listenUnixSocket(socketPath_);
   // The accept loop drains until EAGAIN; a blocking listen fd would
   // wedge the whole daemon on the second accept of a round.
@@ -120,6 +132,11 @@ void Daemon::reapRunners() {
     // runner killed by SIGKILL leaves whatever the fleet's own crash
     // recovery can resume; deriveJobState classifies it.
     record.state = deriveJobState(dir);
+    // A preempted or crashed runner puts the job back in the queue; its
+    // next wait starts now.
+    if (record.state == JobState::kQueued ||
+        record.state == JobState::kSuspended)
+      queuedSince_[jobId] = std::chrono::steady_clock::now();
     if (WIFEXITED(status) && WEXITSTATUS(status) == kRunnerFailed &&
         record.state == JobState::kFailed) {
       std::ifstream is(jobErrorPath(dir));
@@ -145,6 +162,10 @@ void Daemon::schedule() {
     const JobRecord& record = jobs_.at(jobId);
     scheduler_.charge(record.spec.tenant,
                       seconds * record.spec.processes);
+    metrics_.add(metrics_.counter("serve.tenant." + record.spec.tenant +
+                                  ".run_slot_ms"),
+                 static_cast<std::uint64_t>(seconds *
+                                            record.spec.processes * 1000.0));
   }
 
   std::vector<SchedJob> waiting;
@@ -162,6 +183,28 @@ void Daemon::schedule() {
   const ScheduleDecision decision = scheduler_.decide(waiting, runningJobs);
   for (const std::uint64_t jobId : decision.preempt) preemptJob(jobId);
   for (const std::uint64_t jobId : decision.start) startJob(jobId);
+  refreshSlotGauges();
+}
+
+void Daemon::noteTenant(const std::string& tenant) {
+  metricTenants_.insert(tenant);
+}
+
+void Daemon::refreshSlotGauges() {
+  std::map<std::string, std::uint64_t> inUse;
+  std::uint64_t total = 0;
+  for (const auto& [jobId, runner] : running_) {
+    const JobRecord& record = jobs_.at(jobId);
+    inUse[record.spec.tenant] += record.spec.processes;
+    total += record.spec.processes;
+  }
+  metrics_.set(metrics_.gauge("serve.slots_in_use"), total);
+  metrics_.set(metrics_.gauge("serve.jobs_running"), running_.size());
+  // Every tenant ever seen gets its gauge written each round, so a
+  // tenant whose last job finished reads 0, not its stale peak.
+  for (const std::string& tenant : metricTenants_)
+    metrics_.set(metrics_.gauge("serve.tenant." + tenant + ".slots_in_use"),
+                 inUse.count(tenant) > 0 ? inUse.at(tenant) : 0);
 }
 
 void Daemon::startJob(std::uint64_t jobId) {
@@ -172,12 +215,25 @@ void Daemon::startJob(std::uint64_t jobId) {
   running_.emplace(jobId, std::move(runner));
   record.state = JobState::kRunning;
   liveCounters_[jobId] = {0, 0};
+  const auto queued = queuedSince_.find(jobId);
+  if (queued != queuedSince_.end()) {
+    const double waitedMs =
+        std::chrono::duration<double, std::milli>(runner.lastCharge -
+                                                  queued->second)
+            .count();
+    metrics_.observe(metrics_.histogram("serve.tenant." + record.spec.tenant +
+                                        ".queue_wait_ms"),
+                     static_cast<std::uint64_t>(waitedMs));
+    queuedSince_.erase(queued);
+  }
 }
 
 void Daemon::preemptJob(std::uint64_t jobId) {
   const auto it = running_.find(jobId);
   if (it == running_.end() || it->second.preempting) return;
   it->second.preempting = true;
+  metrics_.add(metrics_.counter("serve.tenant." +
+                                jobs_.at(jobId).spec.tenant + ".preemptions"));
   ::kill(it->second.pid, SIGTERM);
 }
 
@@ -312,6 +368,10 @@ void Daemon::handleMessage(Client& client, const Message& message) {
     record.id = jobId;
     record.spec = std::move(spec);
     record.state = JobState::kQueued;
+    noteTenant(record.spec.tenant);
+    metrics_.add(metrics_.counter("serve.tenant." + record.spec.tenant +
+                                  ".jobs_submitted"));
+    queuedSince_[jobId] = std::chrono::steady_clock::now();
     jobs_.emplace(jobId, std::move(record));
     sendTo(client, SubmitReply{jobId});
     return;
@@ -392,12 +452,77 @@ void Daemon::handleMessage(Client& client, const Message& message) {
     sendTo(client, ArtifactReply{fetch->name, *bytes});
     return;
   }
+  if (const auto* metrics = std::get_if<MetricsRequest>(&message)) {
+    handleMetricsRequest(client, *metrics);
+    return;
+  }
   if (std::get_if<ShutdownRequest>(&message) != nullptr) {
     sendTo(client, ShutdownReply{});
     stopping_ = true;
     return;
   }
   sendTo(client, ErrorReply{"unexpected message type for a request"});
+}
+
+void Daemon::handleMetricsRequest(Client& client,
+                                  const MetricsRequest& request) {
+  if (request.jobId != 0) {
+    const auto it = jobs_.find(request.jobId);
+    if (it == jobs_.end()) {
+      sendTo(client,
+             ErrorReply{"unknown job " + std::to_string(request.jobId)});
+      return;
+    }
+    const fs::path dir = jobDir(config_.root, request.jobId);
+    // A published metrics artifact wins over everything: those are the
+    // bytes the fleet derived from its post-run merged StatsRegistry,
+    // shipped verbatim so the live-vs-postrun equality is byte-level.
+    if (const auto bytes = readArtifact(dir, "metrics.sde")) {
+      try {
+        const obs::MetricsSnapshot snap = obs::decodeMetricsSnapshot(*bytes);
+        sendTo(client, MetricsReply{obs::renderPrometheus(snap), *bytes});
+      } catch (const snapshot::SnapshotError& e) {
+        sendTo(client,
+               ErrorReply{std::string("torn metrics artifact: ") + e.what()});
+      }
+      return;
+    }
+    if (running_.count(request.jobId) > 0) {
+      try {
+        const auto plane =
+            obs::ShmMetricsPlane::attach(metricsShmNameFor(dir));
+        const obs::MetricsSnapshot snap = plane->aggregate();
+        sendTo(client, MetricsReply{obs::renderPrometheus(snap),
+                                    obs::encodeMetricsSnapshot(snap)});
+      } catch (const obs::ShmMetricsError& e) {
+        // Runner forked but its fleet has not created the plane yet.
+        sendTo(client, ErrorReply{std::string("metrics plane for job ") +
+                                  std::to_string(request.jobId) +
+                                  " not readable yet: " + e.what()});
+      }
+      return;
+    }
+    sendTo(client,
+           ErrorReply{"no metrics for job " + std::to_string(request.jobId) +
+                      " (state " +
+                      std::string(jobStateName(it->second.state)) + ")"});
+    return;
+  }
+  // Service-wide: the daemon's own accounting plus whatever every
+  // running fleet is publishing right now.
+  obs::MetricsSnapshot snap = metrics_.snapshot();
+  for (const auto& [jobId, runner] : running_) {
+    try {
+      const auto plane = obs::ShmMetricsPlane::attach(
+          metricsShmNameFor(jobDir(config_.root, jobId)));
+      snap.merge(plane->aggregate());
+    } catch (const obs::ShmMetricsError&) {
+      // Plane not up (or already torn down) — that job simply does not
+      // contribute to this poll.
+    }
+  }
+  sendTo(client, MetricsReply{obs::renderPrometheus(snap),
+                              obs::encodeMetricsSnapshot(snap)});
 }
 
 void Daemon::sendTo(Client& client, const Message& message) {

@@ -27,9 +27,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/tail.hpp"
 #include "serve/job.hpp"
 #include "serve/protocol.hpp"
@@ -87,6 +89,9 @@ class Daemon {
   void acceptClients();
   void serviceClient(Client& client);
   void handleMessage(Client& client, const Message& message);
+  void handleMetricsRequest(Client& client, const MetricsRequest& request);
+  void noteTenant(const std::string& tenant);
+  void refreshSlotGauges();
   [[nodiscard]] JobStatus statusOf(const JobRecord& record);
   void sendTo(Client& client, const Message& message);
   void shutdownRunners();
@@ -104,6 +109,16 @@ class Daemon {
   // refresh; terminal states keep the last observed values).
   std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
       liveCounters_;  // jobId -> {eventsSeen, statesSeen}
+  // Service accounting (obs/metrics.hpp): per-tenant queue-wait
+  // histograms, run slot-milliseconds, preemptions and slot-occupancy
+  // gauges. A MetricsRequest with jobId 0 merges this registry with the
+  // live shm planes of every running fleet.
+  obs::MetricsRegistry metrics_;
+  std::set<std::string> metricTenants_;  // tenants with gauges to refresh
+  // When each runnable job last (re)entered the queue — feeds the
+  // tenant queue_wait_ms histogram on start.
+  std::map<std::uint64_t, std::chrono::steady_clock::time_point>
+      queuedSince_;
 };
 
 }  // namespace sde::serve

@@ -26,6 +26,8 @@ enum class Tag : std::uint8_t {
   kArtifactReply,
   kShutdownRequest,
   kShutdownReply,
+  kMetricsRequest,
+  kMetricsReply,
 };
 
 JobState decodeJobState(std::uint8_t raw) {
@@ -135,6 +137,15 @@ struct Encoder {
   }
   void operator()(const ShutdownReply&) {
     out.u8(static_cast<std::uint8_t>(Tag::kShutdownReply));
+  }
+  void operator()(const MetricsRequest& m) {
+    out.u8(static_cast<std::uint8_t>(Tag::kMetricsRequest));
+    out.u64(m.jobId);
+  }
+  void operator()(const MetricsReply& m) {
+    out.u8(static_cast<std::uint8_t>(Tag::kMetricsReply));
+    out.str(m.prometheus);
+    out.str(m.snapshot);
   }
 };
 
@@ -252,6 +263,17 @@ Message decodeMessage(const std::string& payload) {
       }
       case Tag::kShutdownRequest: return ShutdownRequest{};
       case Tag::kShutdownReply: return ShutdownReply{};
+      case Tag::kMetricsRequest: {
+        MetricsRequest m;
+        m.jobId = in.u64();
+        return m;
+      }
+      case Tag::kMetricsReply: {
+        MetricsReply m;
+        m.prometheus = in.str(kMaxFrameBytes);
+        m.snapshot = in.str(kMaxFrameBytes);
+        return m;
+      }
     }
     throw ServeError("unknown message tag " + std::to_string(rawTag) +
                      " on the wire");

@@ -16,6 +16,7 @@
 //   CancelRequest   -> CancelReply | ErrorReply
 //   ListArtifacts   -> ArtifactList | ErrorReply
 //   FetchRequest    -> ArtifactReply | ErrorReply
+//   MetricsRequest  -> MetricsReply | ErrorReply
 //   ShutdownRequest -> ShutdownReply (then the daemon drains and exits)
 #pragma once
 
@@ -119,11 +120,29 @@ struct ArtifactReply {
 struct ShutdownRequest {};
 struct ShutdownReply {};
 
+// Live telemetry fetch. jobId 0 asks for the whole service (daemon
+// accounting merged with the live shm planes of every running fleet);
+// a specific id returns that job's metrics — its durable metrics.sde
+// for completed jobs (bit-exact against the post-run merged
+// StatsRegistry), its live plane while running.
+struct MetricsRequest {
+  std::uint64_t jobId = 0;
+};
+
+struct MetricsReply {
+  // Prometheus text exposition (obs::renderPrometheus).
+  std::string prometheus;
+  // The same snapshot in the binary snapshot dialect
+  // (obs::encodeMetricsSnapshot) for programmatic consumers.
+  std::string snapshot;
+};
+
 using Message =
     std::variant<SubmitRequest, SubmitReply, ErrorReply, StatusRequest,
                  StatusReply, WatchRequest, ProgressFrame, CancelRequest,
                  CancelReply, ListArtifactsRequest, ArtifactList, FetchRequest,
-                 ArtifactReply, ShutdownRequest, ShutdownReply>;
+                 ArtifactReply, ShutdownRequest, ShutdownReply, MetricsRequest,
+                 MetricsReply>;
 
 [[nodiscard]] std::string encodeMessage(const Message& message);
 // Throws ServeError on any malformed payload.

@@ -13,9 +13,11 @@
 #include <sstream>
 
 #include "obs/chrome_export.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace_io.hpp"
 #include "serve/results.hpp"
 #include "snapshot/manifest.hpp"
+#include "support/hash.hpp"
 #include "trace/scenario.hpp"
 
 namespace sde::serve {
@@ -56,6 +58,19 @@ void publishArtifacts(const fs::path& jobDir, const JobSpec& spec,
       for (const std::string& testcase : fleet.result.testcases)
         os << testcase << "\n";
     }
+    {
+      // The merged post-run counters, human-readable and binary. The
+      // binary snapshot is the SAME bytes the fleet wrote to
+      // queue/metrics.sde (stats lifted verbatim + live-plane extras),
+      // which is what makes a daemon-side metrics fetch of a done job
+      // bit-exact against the post-run StatsRegistry.
+      std::ofstream os(stage / "stats.txt");
+      os << fleet.result.stats.report();
+    }
+    {
+      std::ofstream os(stage / "metrics.sde", std::ios::binary);
+      os << obs::encodeMetricsSnapshot(fleet.metrics);
+    }
     // The merged trace (deterministic across process counts) plus its
     // chrome://tracing rendering ride along when tracing produced one.
     const fs::path merged = jobQueueDir(jobDir) / "merged.trc";
@@ -77,6 +92,18 @@ void publishArtifacts(const fs::path& jobDir, const JobSpec& spec,
 }
 
 }  // namespace
+
+std::string metricsShmNameFor(const fs::path& jobDir) {
+  // weakly_canonical, not canonical: the daemon computes the name while
+  // the directory may not exist yet (queued job) and must still agree
+  // with the runner's later computation.
+  std::error_code ec;
+  fs::path canonical = fs::weakly_canonical(fs::absolute(jobDir), ec);
+  if (ec) canonical = fs::absolute(jobDir).lexically_normal();
+  std::ostringstream name;
+  name << "/sde_mx_" << std::hex << support::fnv1a(canonical.string());
+  return std::move(name).str();
+}
 
 std::uint32_t fleetJobsOf(const JobSpec& spec) {
   const auto decoded = trace::decodeCollectScenarioSpec(spec.scenarioSpec);
@@ -108,6 +135,9 @@ int runJobInProcess(const fs::path& jobDir, const JobSpec& spec) {
     // but jobs are preempted and resumed often in a busy service and a
     // cold cache is always digest-safe. Keep the moving parts few.
     fleet.shmQueryCache = false;
+    // Deterministic metrics-plane name so the daemon can attach to the
+    // live plane of a running job without any coordination channel.
+    fleet.metricsShmName = metricsShmNameFor(jobDir);
 
     const FleetResult result = trace::runCollectFleet(
         decoded->config, fleet, decoded->numPartitionVariables);

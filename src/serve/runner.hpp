@@ -43,4 +43,11 @@ inline constexpr int kRunnerLocked = 5;
 // undecodable spec. The daemon uses it for progress fractions.
 [[nodiscard]] std::uint32_t fleetJobsOf(const JobSpec& spec);
 
+// Deterministic POSIX shm name ("/sde_mx_<hash>") of the job's live
+// metrics plane, derived from the job directory path. The runner passes
+// it to the fleet and the daemon attaches by recomputing it — no name
+// ever crosses the wire or touches disk.
+[[nodiscard]] std::string metricsShmNameFor(
+    const std::filesystem::path& jobDir);
+
 }  // namespace sde::serve

@@ -52,6 +52,10 @@ std::filesystem::path jobDonePath(const std::filesystem::path& dir,
   return dir / ("job_" + std::to_string(jobId) + ".done");
 }
 
+std::filesystem::path metricsSnapshotPath(const std::filesystem::path& dir) {
+  return dir / "metrics.sde";
+}
+
 void atomicWriteFile(const std::filesystem::path& path,
                      const std::function<void(std::ostream&)>& body) {
   std::filesystem::path tmp = path;

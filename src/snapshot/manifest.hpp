@@ -57,6 +57,11 @@ struct RunManifest {
     const std::filesystem::path& dir, std::uint32_t jobId);
 [[nodiscard]] std::filesystem::path jobDonePath(
     const std::filesystem::path& dir, std::uint32_t jobId);
+// The durable merged-metrics sidecar of a completed fleet run
+// (obs/metrics.hpp binary snapshot; written atomically next to the
+// manifest).
+[[nodiscard]] std::filesystem::path metricsSnapshotPath(
+    const std::filesystem::path& dir);
 
 // Runs `body` against a temporary file next to `path`, then renames it
 // into place — readers never observe a partially written file. Throws

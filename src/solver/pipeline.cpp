@@ -180,6 +180,15 @@ SolverPipeline::SolverPipeline(expr::Context& ctx, const SolverConfig& config,
   layers_.push_back(std::make_unique<EnumerateLayer>());
 }
 
+void SolverPipeline::setMetrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) return;
+  for (const auto& layer : layers_) {
+    layer->latencyId_ = metrics_->histogram("solver.layer." + layer->name_ +
+                                            ".latency_ns");
+  }
+}
+
 LayerAnswer SolverPipeline::solve(std::span<const expr::Ref> conjunction,
                                   bool needModel) {
   LayerQuery q{.ctx = ctx_,
@@ -206,6 +215,7 @@ LayerAnswer SolverPipeline::solve(std::span<const expr::Ref> conjunction,
     last = now;
     layer->counters_.nanos += nanos;
     stats_.bump(layer->nanosKey_, nanos);
+    if (metrics_ != nullptr) metrics_->observe(layer->latencyId_, nanos);
     if (answer) {
       ++layer->counters_.hits;
       stats_.bump(layer->hitsKey_);

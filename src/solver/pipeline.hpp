@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "expr/context.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace_event.hpp"
 #include "solver/cache.hpp"
 #include "solver/enum_solver.hpp"
@@ -122,6 +123,10 @@ class SolverLayer {
   std::string queriesKey_;
   std::string hitsKey_;
   std::string nanosKey_;
+  // Live-metrics histogram id ("solver.layer.<name>.latency_ns"),
+  // registered once by setMetrics so the per-query path is one atomic
+  // bump per layer.
+  obs::MetricsRegistry::Id latencyId_ = 0;
 };
 
 class SolverPipeline {
@@ -137,6 +142,12 @@ class SolverPipeline {
   void setSharedCache(SharedQueryStore* shared) { shared_ = shared; }
   [[nodiscard]] SharedQueryStore* sharedCache() const { return shared_; }
 
+  // Live metrics plane, pointer-guarded like the trace sink: null (the
+  // default) costs one compare per layer. Registers one latency
+  // histogram per layer on attach.
+  void setMetrics(obs::MetricsRegistry* metrics);
+  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+
   [[nodiscard]] const std::vector<std::unique_ptr<SolverLayer>>& layers()
       const {
     return layers_;
@@ -148,6 +159,7 @@ class SolverPipeline {
   QueryCache& cache_;
   support::StatsRegistry& stats_;
   SharedQueryStore* shared_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::vector<std::unique_ptr<SolverLayer>> layers_;
 };
 

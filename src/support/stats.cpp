@@ -6,10 +6,7 @@ namespace sde::support {
 
 void StatsRegistry::mergeFrom(const StatsRegistry& other) {
   for (const auto& [name, value] : other.counters_) {
-    if (isPeakCounter(name))
-      maxOf(name, value);
-    else
-      counters_[name] += value;
+    foldCounter(name, counters_[name], value);
   }
 }
 

@@ -33,6 +33,22 @@ namespace sde::support {
   return false;
 }
 
+// The single aggregation rule for named counters, shared by
+// StatsRegistry::mergeFrom and the metrics plane's snapshot merge
+// (obs/metrics.hpp): fold `value` into `slot`, taking the max for
+// high-water marks and the sum for everything else. Keeping the rule in
+// one place is what makes "fleet totals" mean the same thing whether
+// they were folded from post-run StatsRegistry dumps or live metrics
+// snapshots.
+inline void foldCounter(std::string_view name, std::uint64_t& slot,
+                        std::uint64_t value) {
+  if (isPeakCounter(name)) {
+    if (value > slot) slot = value;
+  } else {
+    slot += value;
+  }
+}
+
 class StatsRegistry {
  public:
   void bump(std::string_view name, std::uint64_t delta = 1) {

@@ -1,0 +1,326 @@
+// MetricsRegistry / MetricsSnapshot battery: registry semantics, the
+// shared max-vs-sum fold rule against StatsRegistry::mergeFrom (the
+// 4-worker peak regression of ISSUE 8), codec roundtrip fuzz with
+// truncation/magic/version rejection, quantiles and the Prometheus
+// exposition.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "snapshot/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "trace/scenario.hpp"
+
+namespace sde::obs {
+namespace {
+
+TEST(MetricsRegistry, CountersGaugesAndIdempotentRegistration) {
+  MetricsRegistry reg;
+  const auto forks = reg.counter("engine.forks_total");
+  const auto peak = reg.gauge("engine.peak_states");
+  EXPECT_EQ(forks, reg.counter("engine.forks_total"));  // same name, same id
+
+  reg.add(forks);
+  reg.add(forks, 41);
+  reg.set(peak, 10);
+  reg.setMax(peak, 7);   // lower: ignored
+  reg.setMax(peak, 25);  // higher: taken
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.value("engine.forks_total"), 42u);
+  EXPECT_EQ(snap.value("engine.peak_states"), 25u);
+  EXPECT_EQ(snap.find("engine.forks_total")->kind, MetricKind::kCounter);
+  EXPECT_EQ(snap.find("engine.peak_states")->kind, MetricKind::kGauge);
+}
+
+TEST(MetricsRegistry, HistogramObservationsLandInLog2Buckets) {
+  MetricsRegistry reg;
+  const auto lat = reg.histogram("solver.layer.cache.latency_ns");
+  reg.observe(lat, 0);
+  reg.observe(lat, 1);
+  reg.observe(lat, 2);
+  reg.observe(lat, 3);
+  reg.observe(lat, 1024);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricPoint* point = snap.find("solver.layer.cache.latency_ns");
+  ASSERT_NE(point, nullptr);
+  EXPECT_EQ(point->kind, MetricKind::kHistogram);
+  EXPECT_EQ(point->count, 5u);
+  EXPECT_EQ(point->sum, 1030u);
+  EXPECT_EQ(point->buckets[0], 1u);   // value 0
+  EXPECT_EQ(point->buckets[1], 1u);   // value 1
+  EXPECT_EQ(point->buckets[2], 2u);   // values 2, 3
+  EXPECT_EQ(point->buckets[11], 1u);  // 1024 = 2^10 -> bucket 11
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry reg;
+  const auto c = reg.counter("a.b");
+  const auto h = reg.histogram("a.h");
+  reg.add(c, 9);
+  reg.observe(h, 100);
+  reg.reset();
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.value("a.b"), 0u);
+  EXPECT_EQ(snap.find("a.h")->count, 0u);
+  // Ids remain valid after reset.
+  reg.add(c, 3);
+  EXPECT_EQ(reg.snapshot().value("a.b"), 3u);
+}
+
+TEST(MetricsRegistry, ConcurrentBumpsLoseNothing) {
+  MetricsRegistry reg;
+  const auto c = reg.counter("hot.counter");
+  const auto h = reg.histogram("hot.histogram");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.add(c);
+        reg.observe(h, static_cast<std::uint64_t>(t * kPerThread + i));
+      }
+    });
+  for (auto& thread : threads) thread.join();
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.value("hot.counter"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.find("hot.histogram")->count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// The ISSUE 8 regression: a *.peak_* gauge folds with max across 4
+// fleet workers, and the metrics-side fold agrees exactly with
+// StatsRegistry::mergeFrom because both run through support::foldCounter.
+TEST(MetricsSnapshot, PeakGaugeFoldsWithMaxAcrossFourWorkers) {
+  const std::uint64_t peaks[4] = {120, 450, 90, 301};
+  const std::uint64_t forks[4] = {10, 20, 30, 40};
+
+  MetricsSnapshot merged;
+  support::StatsRegistry mergedStats;
+  for (int w = 0; w < 4; ++w) {
+    MetricsRegistry reg;
+    reg.setMax(reg.gauge("engine.peak_states"), peaks[w]);
+    reg.add(reg.counter("engine.forks_total"), forks[w]);
+    merged.merge(reg.snapshot());
+
+    support::StatsRegistry workerStats;
+    workerStats.maxOf("engine.peak_states", peaks[w]);
+    workerStats.bump("engine.forks_total", forks[w]);
+    mergedStats.mergeFrom(workerStats);
+  }
+
+  EXPECT_EQ(merged.value("engine.peak_states"), 450u);  // max, not 961
+  EXPECT_EQ(merged.value("engine.forks_total"), 100u);  // sum
+  for (const auto& [name, value] : mergedStats.all())
+    EXPECT_EQ(merged.value(name), value) << name;
+}
+
+TEST(MetricsSnapshot, MergeAddsHistogramsAndAdoptMissingKeepsExisting) {
+  MetricsRegistry a;
+  a.observe(a.histogram("h"), 5);
+  a.observe(a.histogram("h"), 6);
+  MetricsRegistry b;
+  b.observe(b.histogram("h"), 1000);
+
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.find("h")->count, 3u);
+  EXPECT_EQ(merged.find("h")->sum, 1011u);
+
+  MetricsSnapshot exact;
+  MetricPoint point;
+  point.kind = MetricKind::kCounter;
+  point.value = 7;
+  exact.points.emplace("x", point);
+  MetricsSnapshot live;
+  point.value = 99;
+  live.points.emplace("x", point);
+  point.value = 3;
+  live.points.emplace("y", point);
+  exact.adoptMissing(live);
+  EXPECT_EQ(exact.value("x"), 7u);  // exact entry wins
+  EXPECT_EQ(exact.value("y"), 3u);  // absent name adopted
+}
+
+TEST(MetricsSnapshot, SnapshotFromStatsLiftsPeaksToGaugesVerbatim) {
+  support::StatsRegistry stats;
+  stats.bump("engine.forks", 17);
+  stats.maxOf("engine.peak_memory_bytes", 123456);
+  const MetricsSnapshot snap = snapshotFromStats(stats);
+  EXPECT_EQ(snap.find("engine.forks")->kind, MetricKind::kCounter);
+  EXPECT_EQ(snap.find("engine.peak_memory_bytes")->kind, MetricKind::kGauge);
+  EXPECT_EQ(snap.value("engine.forks"), 17u);
+  EXPECT_EQ(snap.value("engine.peak_memory_bytes"), 123456u);
+}
+
+TEST(MetricsCodec, RoundtripFuzz) {
+  support::Rng rng(0xC0DECu);
+  for (int round = 0; round < 200; ++round) {
+    MetricsSnapshot snap;
+    const std::size_t n = rng.below(20);
+    for (std::size_t i = 0; i < n; ++i) {
+      MetricPoint point;
+      const std::uint64_t kindPick = rng.below(3);
+      point.kind = static_cast<MetricKind>(kindPick);
+      if (point.kind == MetricKind::kHistogram) {
+        const std::size_t observations = rng.below(50);
+        for (std::size_t o = 0; o < observations; ++o) {
+          const std::uint64_t v = rng.next() >> rng.below(64);
+          ++point.count;
+          point.sum += v;
+          ++point.buckets[histogramBucketOf(v)];
+        }
+      } else {
+        point.value = rng.next();
+      }
+      snap.points.insert_or_assign(
+          "m." + std::to_string(rng.below(1000)), point);
+    }
+    const std::string bytes = encodeMetricsSnapshot(snap);
+    const MetricsSnapshot back = decodeMetricsSnapshot(bytes);
+    ASSERT_EQ(back.points.size(), snap.points.size());
+    for (const auto& [name, point] : snap.points) {
+      const MetricPoint* decoded = back.find(name);
+      ASSERT_NE(decoded, nullptr) << name;
+      EXPECT_EQ(decoded->kind, point.kind);
+      EXPECT_EQ(decoded->value, point.value);
+      EXPECT_EQ(decoded->count, point.count);
+      EXPECT_EQ(decoded->sum, point.sum);
+      EXPECT_EQ(decoded->buckets, point.buckets);
+    }
+    // Deterministic encoding: same snapshot, same bytes.
+    EXPECT_EQ(encodeMetricsSnapshot(back), bytes);
+  }
+}
+
+TEST(MetricsCodec, RejectsTruncationMagicAndVersion) {
+  MetricsRegistry reg;
+  reg.add(reg.counter("a"), 1);
+  reg.observe(reg.histogram("b"), 500);
+  const std::string bytes = encodeMetricsSnapshot(reg.snapshot());
+
+  // Truncation at every prefix length must throw, never crash or
+  // fabricate data.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut)
+    EXPECT_THROW((void)decodeMetricsSnapshot(bytes.substr(0, cut)),
+                 snapshot::SnapshotError)
+        << "prefix " << cut;
+
+  std::string foreign = bytes;
+  foreign[0] ^= 0xFF;
+  EXPECT_THROW((void)decodeMetricsSnapshot(foreign), snapshot::SnapshotError);
+
+  std::string versioned = bytes;
+  versioned[kMetricsMagic.size()] =
+      static_cast<char>(kMetricsVersion + 1);  // bump the version field
+  EXPECT_THROW((void)decodeMetricsSnapshot(versioned),
+               snapshot::SnapshotError);
+}
+
+TEST(MetricsHistogram, QuantileHitsBucketUpperBounds) {
+  MetricPoint point;
+  point.kind = MetricKind::kHistogram;
+  for (int i = 0; i < 90; ++i) {
+    ++point.count;
+    ++point.buckets[histogramBucketOf(3)];  // bucket 2, bound 3
+    point.sum += 3;
+  }
+  for (int i = 0; i < 10; ++i) {
+    ++point.count;
+    ++point.buckets[histogramBucketOf(1000)];  // bucket 10, bound 1023
+    point.sum += 1000;
+  }
+  EXPECT_EQ(histogramQuantile(point, 0.5), 3u);
+  EXPECT_EQ(histogramQuantile(point, 0.9), 3u);
+  EXPECT_EQ(histogramQuantile(point, 0.95), 1023u);
+  EXPECT_EQ(histogramQuantile(point, 1.0), 1023u);
+  MetricPoint empty;
+  empty.kind = MetricKind::kHistogram;
+  EXPECT_EQ(histogramQuantile(empty, 0.5), 0u);
+}
+
+TEST(MetricsPrometheus, RendersFamiliesTenantsAndHistograms) {
+  MetricsRegistry reg;
+  reg.add(reg.counter("engine.forks_total"), 5);
+  reg.add(reg.counter("serve.tenant.alice.preemptions"), 2);
+  reg.add(reg.counter("serve.tenant.bob.preemptions"), 3);
+  reg.observe(reg.histogram("solver.layer.cache.latency_ns"), 100);
+  const std::string text = renderPrometheus(reg.snapshot());
+
+  EXPECT_NE(text.find("# TYPE sde_engine_forks_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sde_engine_forks_total 5\n"), std::string::npos);
+  // Tenant series collapse into one labelled family with ONE TYPE line.
+  EXPECT_NE(text.find("sde_serve_preemptions{tenant=\"alice\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sde_serve_preemptions{tenant=\"bob\"} 3\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("# TYPE sde_serve_preemptions counter"),
+            text.rfind("# TYPE sde_serve_preemptions counter"));
+  // Histogram: cumulative buckets, +Inf, sum and count.
+  EXPECT_NE(text.find("sde_solver_layer_cache_latency_ns_bucket{le=\"127\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("sde_solver_layer_cache_latency_ns_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("sde_solver_layer_cache_latency_ns_sum 100"),
+            std::string::npos);
+  EXPECT_NE(text.find("sde_solver_layer_cache_latency_ns_count 1"),
+            std::string::npos);
+
+  // Every exposed line is `name{labels} value` over the allowed charset
+  // — a cheap "Prometheus parses this" gate.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, line.find_first_of(" {"));
+    for (char c : name)
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':')
+          << line;
+  }
+}
+
+// Observability must be free of observer effects: attaching a metrics
+// registry to an engine changes counters, never the exploration. The
+// stats registry doubles as the digest here — it records the full
+// event/fork/termination history of the run.
+TEST(MetricsEngine, AttachingMetricsChangesNoExplorationResult) {
+  trace::CollectScenarioConfig config;
+  config.gridWidth = 4;
+  config.gridHeight = 4;
+  config.simulationTime = 2000;
+
+  trace::CollectScenario plain(config);
+  const trace::ScenarioResult bare = plain.run();
+
+  trace::CollectScenario instrumented(config);
+  MetricsRegistry metrics;
+  instrumented.engine().setMetrics(&metrics);
+  const trace::ScenarioResult observed = instrumented.run();
+
+  EXPECT_EQ(observed.states, bare.states);
+  EXPECT_EQ(observed.events, bare.events);
+  EXPECT_EQ(observed.packets, bare.packets);
+  EXPECT_EQ(observed.groups, bare.groups);
+  EXPECT_EQ(instrumented.engine().stats().report(),
+            plain.engine().stats().report());
+
+  // And the live counters agree with the run they watched.
+  const MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.value("engine.events"), bare.events);
+  EXPECT_GT(snap.value("engine.forks_total"), 0u);
+}
+
+}  // namespace
+}  // namespace sde::obs

@@ -85,6 +85,14 @@ TEST(ProtocolTest, RemainingMessagesRoundTrip) {
   EXPECT_EQ(roundTrip(artifact).bytes.size(), 3u);
   (void)roundTrip(ShutdownRequest{});
   (void)roundTrip(ShutdownReply{});
+  EXPECT_EQ(roundTrip(MetricsRequest{12}).jobId, 12u);
+  EXPECT_EQ(roundTrip(MetricsRequest{}).jobId, 0u);  // service-wide
+  MetricsReply metrics;
+  metrics.prometheus = "# TYPE sde_engine_forks_total counter\n";
+  metrics.snapshot = std::string("SDEMETRX\x01\x00", 10);  // binary-safe
+  const MetricsReply outMetrics = roundTrip(metrics);
+  EXPECT_EQ(outMetrics.prometheus, metrics.prometheus);
+  EXPECT_EQ(outMetrics.snapshot, metrics.snapshot);
 }
 
 TEST(ProtocolTest, UnknownTagThrows) {

@@ -16,9 +16,11 @@
 #include <chrono>
 #include <csignal>
 #include <filesystem>
+#include <sstream>
 #include <string>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "serve/client.hpp"
 #include "serve/daemon.hpp"
 #include "serve/job.hpp"
@@ -333,6 +335,66 @@ TEST(ServeE2eTest, CancelledQueuedJobStaysCancelled) {
   // The cancelled job never ran: no result directory ever appeared.
   EXPECT_FALSE(fs::exists(jobResultDir(jobDir(root, queued))));
   EXPECT_EQ(statusOf(client, queued).state, JobState::kCancelled);
+
+  shutdownAndReap(socket, daemon);
+}
+
+// The metrics plane's headline claim: counters fetched from the daemon
+// for a completed job are byte-identical to the run's own post-run
+// merged StatsRegistry — not approximately equal, the same bytes.
+TEST(ServeE2eTest, MetricsFetchMatchesPostRunStatsExactly) {
+  if (sanitizersActive()) GTEST_SKIP() << "forks real fleets";
+  const fs::path root = freshRoot("metrics");
+  const pid_t daemon = spawnDaemon(testConfig(root, 4));
+  const std::string socket = (root / "serve.sock").string();
+  ASSERT_TRUE(waitForDaemon(socket, 20.0));
+
+  Client client(socket);
+  const std::uint64_t jobId = client.submit(request(smallScenario(), "alice"));
+  EXPECT_EQ(client.watch(jobId).state, JobState::kDone);
+
+  // A done job's MetricsReply ships its durable metrics.sde verbatim.
+  const MetricsReply reply = client.metrics(jobId);
+  EXPECT_EQ(reply.snapshot, client.fetch(jobId, "metrics.sde"));
+
+  const obs::MetricsSnapshot snap = obs::decodeMetricsSnapshot(reply.snapshot);
+  ASSERT_FALSE(snap.points.empty());
+
+  // Every "name = value" line of the post-run stats dump reappears in
+  // the snapshot with the exact same value (snapshotFromStats lifts the
+  // merged StatsRegistry verbatim; the live plane only ADDS series).
+  std::istringstream stats(client.fetch(jobId, "stats.txt"));
+  std::string line;
+  std::size_t compared = 0;
+  while (std::getline(stats, line)) {
+    const std::size_t eq = line.find(" = ");
+    if (eq == std::string::npos) continue;
+    const std::string name = line.substr(0, eq);
+    const std::uint64_t value = std::stoull(line.substr(eq + 3));
+    ASSERT_EQ(snap.points.count(name), 1u) << name << " missing from snapshot";
+    EXPECT_EQ(snap.value(name), value) << name;
+    ++compared;
+  }
+  EXPECT_GE(compared, 5u) << "stats.txt suspiciously empty";
+
+  // The Prometheus rendition carries the engine families.
+  EXPECT_NE(reply.prometheus.find("# TYPE"), std::string::npos);
+  EXPECT_NE(reply.prometheus.find("sde_engine"), std::string::npos);
+
+  // Service-wide metrics (jobId 0) fold in the daemon's own telemetry:
+  // slot gauges and per-tenant accounting with tenant labels.
+  const MetricsReply service = client.metrics();
+  const obs::MetricsSnapshot whole =
+      obs::decodeMetricsSnapshot(service.snapshot);
+  EXPECT_EQ(whole.value("serve.slots_total"), 4u);
+  EXPECT_EQ(whole.value("serve.tenant.alice.jobs_submitted"), 1u);
+  EXPECT_NE(
+      service.prometheus.find("sde_serve_jobs_submitted{tenant=\"alice\"} 1"),
+      std::string::npos)
+      << service.prometheus;
+
+  // Unknown jobs answer with an ErrorReply, not an empty snapshot.
+  EXPECT_THROW((void)client.metrics(999), ServeError);
 
   shutdownAndReap(socket, daemon);
 }

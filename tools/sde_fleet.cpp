@@ -26,12 +26,11 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "sde/fleet.hpp"
-#include "snapshot/checkpoint.hpp"
+#include "sde/fleet_status.hpp"
 #include "snapshot/manifest.hpp"
 #include "trace/scenario.hpp"
 
@@ -194,132 +193,59 @@ int launch(const fs::path& dir, const Options& options, bool resume) {
   return result.result.outcome == RunOutcome::kCompleted ? 0 : 2;
 }
 
-// Minimal JSON string escaping (specs are printable ASCII, but a
-// hand-edited manifest must not break the framing).
-std::string jsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-struct JobStatusRow {
-  std::uint32_t id = 0;
-  std::string state;  // done | suspended | pending | broken
-  std::uint64_t states = 0;
-  std::uint64_t virtualNow = 0;
-};
-
-int statusText(const fs::path& dir, const snapshot::RunManifest& manifest,
-               const std::vector<JobStatusRow>& rows, std::size_t done,
-               std::size_t suspended, std::size_t pending, std::size_t broken);
-
-int statusCommand(const fs::path& dir, bool json) {
-  const snapshot::RunManifest manifest = snapshot::readManifest(dir);
-  std::vector<JobStatusRow> rows;
-  std::size_t done = 0, suspended = 0, pending = 0, broken = 0;
-  for (const PartitionJob& job : manifest.plan.jobs) {
-    JobStatusRow row;
-    row.id = job.id;
-    const fs::path donePath = snapshot::jobDonePath(dir, job.id);
-    const fs::path ckptPath = snapshot::jobCheckpointPath(dir, job.id);
-    if (fs::exists(donePath)) {
-      try {
-        const JobResult result = snapshot::readJobResultFile(donePath);
-        row.state = "done";
-        row.states = result.states;
-        ++done;
-      } catch (const snapshot::SnapshotError&) {
-        row.state = "broken";
-        ++broken;
-      }
-    } else if (fs::exists(ckptPath)) {
-      try {
-        std::ifstream is(ckptPath, std::ios::binary);
-        const snapshot::CheckpointInfo info =
-            snapshot::inspectCheckpointHeader(is);
-        row.state = "suspended";
-        row.states = info.numStates;
-        row.virtualNow = info.virtualNow;
-        ++suspended;
-      } catch (const snapshot::SnapshotError&) {
-        row.state = "broken";
-        ++broken;
-      }
-    } else {
-      row.state = "pending";
-      ++pending;
-    }
-    rows.push_back(row);
-  }
-
-  if (json) {
-    std::printf("{\"dir\":\"%s\",\"horizon\":%llu,\"scenario\":\"%s\","
-                "\"jobsTotal\":%zu,\"done\":%zu,\"suspended\":%zu,"
-                "\"pending\":%zu,\"broken\":%zu,\"jobs\":[",
-                jsonEscape(dir.string()).c_str(),
-                static_cast<unsigned long long>(manifest.horizon),
-                jsonEscape(manifest.scenarioSpec).c_str(),
-                manifest.plan.jobs.size(), done, suspended, pending, broken);
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const JobStatusRow& row = rows[i];
-      std::printf("%s{\"id\":%u,\"state\":\"%s\",\"states\":%llu,"
-                  "\"virtualNow\":%llu}",
-                  i == 0 ? "" : ",", row.id, row.state.c_str(),
-                  static_cast<unsigned long long>(row.states),
-                  static_cast<unsigned long long>(row.virtualNow));
-    }
-    std::printf("]}\n");
-    return broken == 0 ? 0 : 1;
-  }
-  return statusText(dir, manifest, rows, done, suspended, pending, broken);
-}
-
-int statusText(const fs::path& dir, const snapshot::RunManifest& manifest,
-               const std::vector<JobStatusRow>& rows, std::size_t done,
-               std::size_t suspended, std::size_t pending,
-               std::size_t broken) {
-  std::printf("run directory    %s\n", dir.string().c_str());
+int statusText(const FleetRunStatus& status) {
+  std::printf("run directory    %s\n", status.dir.string().c_str());
   std::printf("horizon          %llu\n",
-              static_cast<unsigned long long>(manifest.horizon));
-  std::printf("jobs             %zu\n", manifest.plan.jobs.size());
-  std::printf("scenario spec    %s\n\n", manifest.scenarioSpec.empty()
-                                             ? "<none>"
-                                             : manifest.scenarioSpec.c_str());
-  for (const JobStatusRow& row : rows) {
+              static_cast<unsigned long long>(status.manifest.horizon));
+  std::printf("jobs             %zu\n", status.manifest.plan.jobs.size());
+  std::printf("scenario spec    %s\n\n",
+              status.manifest.scenarioSpec.empty()
+                  ? "<none>"
+                  : status.manifest.scenarioSpec.c_str());
+  for (const FleetJobStatus& row : status.jobs) {
     std::string state;
-    if (row.state == "done") {
+    if (row.state == FleetJobState::kDone) {
       state = "done      (" + std::to_string(row.states) + " states)";
-    } else if (row.state == "suspended") {
+    } else if (row.state == FleetJobState::kSuspended) {
       state = "suspended (" + std::to_string(row.states) + " states at t=" +
               std::to_string(row.virtualNow) + ")";
-    } else if (row.state == "broken") {
+    } else if (row.state == FleetJobState::kBroken) {
       state = "BROKEN file";
     } else {
       state = "pending";
     }
     std::printf("job %-4u %s\n", row.id, state.c_str());
   }
-  std::printf("\n%zu done, %zu suspended, %zu pending", done, suspended,
-              pending);
-  if (broken != 0) std::printf(", %zu BROKEN", broken);
+  std::printf("\n%zu done, %zu suspended, %zu pending", status.done,
+              status.suspended, status.pending);
+  if (status.broken != 0) std::printf(", %zu BROKEN", status.broken);
   std::printf("\n");
-  return broken == 0 ? 0 : 1;
+  if (status.hasMetrics) {
+    std::printf("\nmerged metrics (metrics.sde):\n");
+    for (const auto& [name, point] : status.metrics.points) {
+      if (point.kind == sde::obs::MetricKind::kHistogram) {
+        std::printf("  %-40s count %llu p50 %llu p99 %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(point.count),
+                    static_cast<unsigned long long>(
+                        sde::obs::histogramQuantile(point, 0.5)),
+                    static_cast<unsigned long long>(
+                        sde::obs::histogramQuantile(point, 0.99)));
+      } else {
+        std::printf("  %-40s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(point.value));
+      }
+    }
+  }
+  return status.broken == 0 ? 0 : 1;
+}
+
+int statusCommand(const fs::path& dir, bool json) {
+  const FleetRunStatus status = inspectFleetRun(dir);
+  if (json) {
+    std::printf("%s\n", fleetStatusJson(status).c_str());
+    return status.broken == 0 ? 0 : 1;
+  }
+  return statusText(status);
 }
 
 int usage() {

@@ -11,6 +11,9 @@
 //   sde_submit cancel <socket> <job>
 //   sde_submit artifacts <socket> <job>   list published artifact names
 //   sde_submit fetch <socket> <job> <name> [--out FILE]   (default stdout)
+//   sde_submit metrics <socket> [job]     Prometheus text exposition
+//                     (job omitted or 0: whole service; a done job's
+//                     numbers equal its post-run stats exactly)
 //   sde_submit shutdown <socket>          graceful daemon stop
 #include <cstdio>
 #include <cstring>
@@ -36,6 +39,7 @@ int usage() {
       "       sde_submit cancel <socket> <job>\n"
       "       sde_submit artifacts <socket> <job>\n"
       "       sde_submit fetch <socket> <job> <name> [--out FILE]\n"
+      "       sde_submit metrics <socket> [job]\n"
       "       sde_submit shutdown <socket>\n");
   return 2;
 }
@@ -198,6 +202,13 @@ int main(int argc, char** argv) {
         std::cout.write(bytes.data(),
                         static_cast<std::streamsize>(bytes.size()));
       }
+      return 0;
+    }
+    if (verb == "metrics") {
+      const std::uint64_t jobId =
+          argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 0;
+      const serve::MetricsReply reply = client.metrics(jobId);
+      std::fputs(reply.prometheus.c_str(), stdout);
       return 0;
     }
     if (verb == "shutdown") {
