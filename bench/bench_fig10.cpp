@@ -9,7 +9,13 @@
 // Usage: bench_fig10 [--nodes 25|49|100] [--time T] [--wall-cap SECONDS]
 //                    [--outdir DIR] [--paper]
 //                    [--checkpoint-dir DIR] [--resume] [--trace-out DIR]
-//                    [--fleet N] [--metrics]
+//                    [--fleet N] [--metrics] [--merge] [--loop-summarize]
+//
+// With --merge (and optionally --loop-summarize) every run explores with
+// state merging at post-dominator join points (bounded loop summarization
+// on top); the CSV's merges/loop_summaries columns record the counters.
+// E22 compares states and wall-clock with and without these flags at an
+// identical expanded test-case set.
 //
 // With --metrics every single-engine run carries the full live metrics
 // plane: a MetricsRegistry attached to the engine (per-event counter
@@ -75,6 +81,8 @@ struct Options {
   bool deepCopy = false;  // legacy eager-copy forks (E17 memory baseline)
   unsigned fleet = 0;     // 0 = no fleet comparison rows
   bool metrics = false;   // attach the live metrics plane (E21 overhead)
+  bool merge = false;     // state merging at post-dominator joins (E22)
+  bool loopSummarize = false;  // bounded loop summarization (E22)
 };
 
 Options parseArgs(int argc, char** argv) {
@@ -106,6 +114,10 @@ Options parseArgs(int argc, char** argv) {
       options.fleet = static_cast<unsigned>(next());
     else if (arg == "--metrics")
       options.metrics = true;
+    else if (arg == "--merge")
+      options.merge = true;
+    else if (arg == "--loop-summarize")
+      options.loopSummarize = true;
     else
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
   }
@@ -160,6 +172,8 @@ int main(int argc, char** argv) {
       config.engine.maxWallSeconds =
           kind == MapperKind::kCob ? options.wallCap : options.wallCap * 4;
       config.engine.maxStates = 2'000'000;
+      config.engine.mergeStates = options.merge;
+      config.engine.loopSummarize = options.loopSummarize;
 
       trace::CollectScenario scenario(config);
       const std::string name(mapperKindName(kind));

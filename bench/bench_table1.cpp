@@ -15,6 +15,9 @@
 //                     [--checkpoint-dir DIR] [--resume] [--trace-out DIR]
 //                     [--deep-copy]  (legacy eager-copy forks: the
 //                                     pre-sharing memory baseline for E17)
+//                     [--merge] [--loop-summarize]  (state merging at
+//                                     post-dominator joins / bounded loop
+//                                     summarization on top; E22)
 //
 // With --checkpoint-dir, each algorithm's run periodically checkpoints
 // (and checkpoints once more when a cap aborts it — the paper's COB
@@ -48,6 +51,8 @@ struct Options {
   bool resume = false;
   std::string traceDir;
   bool deepCopy = false;
+  bool merge = false;          // state merging at post-dominator joins
+  bool loopSummarize = false;  // bounded loop summarization
 };
 
 Options parseArgs(int argc, char** argv) {
@@ -74,6 +79,10 @@ Options parseArgs(int argc, char** argv) {
       options.traceDir = argv[++i];
     else if (arg == "--deep-copy")
       options.deepCopy = true;
+    else if (arg == "--merge")
+      options.merge = true;
+    else if (arg == "--loop-summarize")
+      options.loopSummarize = true;
     else
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
   }
@@ -98,7 +107,7 @@ int main(int argc, char** argv) {
 
   trace::TextTable table({"State mapping algorithm", "Runtime", "States",
                           "RAM", "Peak RAM", "dstates/dscenarios",
-                          "dup (strict)", "dup (content)"});
+                          "dup (strict)", "dup (content)", "Merges"});
 
   for (const MapperKind kind :
        {MapperKind::kCob, MapperKind::kCow, MapperKind::kSds}) {
@@ -112,6 +121,8 @@ int main(int argc, char** argv) {
       config.engine.maxStates = options.cobStateCap;
       config.engine.maxWallSeconds = options.cobWallCap;
     }
+    config.engine.mergeStates = options.merge;
+    config.engine.loopSummarize = options.loopSummarize;
     trace::CollectScenario scenario(config);
 
     // Tracing + profiling attach before any checkpoint restore so a
@@ -158,8 +169,8 @@ int main(int argc, char** argv) {
                   trace::formatBytes(result.peakMemoryBytes),
                   trace::formatCount(result.groups),
                   trace::formatCount(result.duplicatesStrict.duplicateStates),
-                  trace::formatCount(
-                      result.duplicatesContent.duplicateStates)});
+                  trace::formatCount(result.duplicatesContent.duplicateStates),
+                  trace::formatCount(result.merges)});
     std::fprintf(stderr, "[done] %s: %s, %llu states\n",
                  mapperKindName(kind).data(),
                  runOutcomeName(result.outcome).data(),

@@ -56,6 +56,25 @@ test -n "$DIGEST_P4" && test "$DIGEST_P4" = "$DIGEST_P1" \
   || { echo "fleet digest mismatch: p4='$DIGEST_P4' p1='$DIGEST_P1'"; exit 1; }
 echo "fleet digests agree: $DIGEST_P4"
 
+echo "=== merge smoke: merged fleet == unmerged fleet testcase digest, fewer states ==="
+# State merging must be invisible in the testcase set (the differential
+# battery proves this per-program; this drives it end-to-end through the
+# CLI on the paper scenario) while actually reclaiming states.
+./build/tools/sde_fleet launch "$FLEET_SMOKE/m-off" --processes 2 \
+  --nodes '5*5' --time 4000 --vars 2 --testcases > "$FLEET_SMOKE/m-off.out"
+./build/tools/sde_fleet launch "$FLEET_SMOKE/m-on" --processes 2 \
+  --nodes '5*5' --time 4000 --vars 2 --testcases --merge --loop-summarize \
+  > "$FLEET_SMOKE/m-on.out"
+TC_OFF=$(grep -o 'testcase digest [0-9a-f]*' "$FLEET_SMOKE/m-off.out")
+TC_ON=$(grep -o 'testcase digest [0-9a-f]*' "$FLEET_SMOKE/m-on.out")
+test -n "$TC_OFF" && test "$TC_OFF" = "$TC_ON" \
+  || { echo "merge testcase digest mismatch: off='$TC_OFF' on='$TC_ON'"; exit 1; }
+STATES_OFF=$(grep -o 'total states *[0-9]*' "$FLEET_SMOKE/m-off.out" | grep -o '[0-9]*$')
+STATES_ON=$(grep -o 'total states *[0-9]*' "$FLEET_SMOKE/m-on.out" | grep -o '[0-9]*$')
+test "$STATES_ON" -lt "$STATES_OFF" \
+  || { echo "merging did not reduce states: on=$STATES_ON off=$STATES_OFF"; exit 1; }
+echo "merge smoke: $TC_OFF on both, states $STATES_OFF -> $STATES_ON"
+
 echo "=== serve smoke: submit, SIGKILL the daemon mid-job, restart, digests match direct runs ==="
 SERVE_SMOKE=$(mktemp -d)
 trap 'rm -rf "$TRACE_SMOKE" "$FLEET_SMOKE" "$SERVE_SMOKE"' EXIT
@@ -172,12 +191,16 @@ echo "=== release: fork-sharing differential fuzz oracle ==="
 echo "=== tsan: configure + build (SDE_SANITIZE=thread) ==="
 cmake -B build-tsan -S . -DSDE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-tsan -j --target support_tests sde_tests snapshot_tests
+cmake --build build-tsan -j --target support_tests sde_tests snapshot_tests \
+  merge_tests
 
 echo "=== tsan: thread pool + parallel execution + resume tests ==="
 ./build-tsan/tests/support_tests --gtest_filter='*ThreadPool*'
 ./build-tsan/tests/sde_tests --gtest_filter='*Parallel*'
 ./build-tsan/tests/snapshot_tests --gtest_filter='*Resume*:*CrashRecovery*'
+
+echo "=== tsan: merge-on vs merge-off differential battery ==="
+./build-tsan/tests/merge_tests
 
 echo "=== asan: configure + build (SDE_SANITIZE=address) ==="
 cmake -B build-asan -S . -DSDE_SANITIZE=address \
@@ -186,6 +209,12 @@ cmake --build build-asan -j
 
 echo "=== asan: ctest ==="
 ctest --test-dir build-asan --output-on-failure -j
+
+echo "=== asan: merge-on vs merge-off differential battery ==="
+# The digest equivalence check from the merge smoke, re-proven per
+# random program under ASan (merge mutates live constraint sets and
+# reaps states in place — exactly where lifetime bugs would hide).
+./build-asan/tests/merge_tests
 
 echo "=== ubsan: configure + build (SDE_SANITIZE=undefined) ==="
 # UB surfaces in the expr hashing / shift-heavy solver layers and the

@@ -1,0 +1,132 @@
+#include "expr/subst.hpp"
+
+#include "support/assert.hpp"
+
+namespace sde::expr {
+
+void Substitution::set(Ref var, Ref value) {
+  SDE_ASSERT(var != nullptr && var->isVariable(), "subst key must be variable");
+  SDE_ASSERT(value != nullptr && value->width() == var->width(),
+             "subst value width mismatch");
+  map_[var] = value;
+  memo_.clear();
+  mentionsMemo_.clear();
+}
+
+bool Substitution::mentionsAny(Ref x) {
+  SDE_ASSERT(x != nullptr, "mentionsAny on null expr");
+  if (map_.empty()) return false;
+  if (const auto it = mentionsMemo_.find(x); it != mentionsMemo_.end())
+    return it->second;
+  bool hit = false;
+  if (x->isVariable()) {
+    hit = map_.contains(x);
+  } else {
+    for (const Ref op : x->operands())
+      if (mentionsAny(op)) {
+        hit = true;
+        break;
+      }
+  }
+  mentionsMemo_.emplace(x, hit);
+  return hit;
+}
+
+Ref Substitution::apply(Ref x) {
+  SDE_ASSERT(x != nullptr, "apply on null expr");
+  if (!mentionsAny(x)) return x;
+  if (const auto it = memo_.find(x); it != memo_.end()) return it->second;
+
+  Ref out = nullptr;
+  switch (x->kind()) {
+    case Kind::kConstant:
+      out = x;
+      break;
+    case Kind::kVariable: {
+      const auto it = map_.find(x);
+      out = it == map_.end() ? x : it->second;
+      break;
+    }
+    case Kind::kNot:
+      out = ctx_.bvNot(apply(x->operand(0)));
+      break;
+    case Kind::kZExt:
+      out = ctx_.zext(apply(x->operand(0)), x->width());
+      break;
+    case Kind::kSExt:
+      out = ctx_.sext(apply(x->operand(0)), x->width());
+      break;
+    case Kind::kTrunc:
+      out = ctx_.trunc(apply(x->operand(0)), x->width());
+      break;
+    case Kind::kAdd:
+      out = ctx_.add(apply(x->operand(0)), apply(x->operand(1)));
+      break;
+    case Kind::kSub:
+      out = ctx_.sub(apply(x->operand(0)), apply(x->operand(1)));
+      break;
+    case Kind::kMul:
+      out = ctx_.mul(apply(x->operand(0)), apply(x->operand(1)));
+      break;
+    case Kind::kUDiv:
+      out = ctx_.udiv(apply(x->operand(0)), apply(x->operand(1)));
+      break;
+    case Kind::kURem:
+      out = ctx_.urem(apply(x->operand(0)), apply(x->operand(1)));
+      break;
+    case Kind::kSDiv:
+      out = ctx_.sdiv(apply(x->operand(0)), apply(x->operand(1)));
+      break;
+    case Kind::kSRem:
+      out = ctx_.srem(apply(x->operand(0)), apply(x->operand(1)));
+      break;
+    case Kind::kAnd:
+      out = ctx_.bvAnd(apply(x->operand(0)), apply(x->operand(1)));
+      break;
+    case Kind::kOr:
+      out = ctx_.bvOr(apply(x->operand(0)), apply(x->operand(1)));
+      break;
+    case Kind::kXor:
+      out = ctx_.bvXor(apply(x->operand(0)), apply(x->operand(1)));
+      break;
+    case Kind::kShl:
+      out = ctx_.shl(apply(x->operand(0)), apply(x->operand(1)));
+      break;
+    case Kind::kLShr:
+      out = ctx_.lshr(apply(x->operand(0)), apply(x->operand(1)));
+      break;
+    case Kind::kAShr:
+      out = ctx_.ashr(apply(x->operand(0)), apply(x->operand(1)));
+      break;
+    case Kind::kEq:
+      out = ctx_.eq(apply(x->operand(0)), apply(x->operand(1)));
+      break;
+    case Kind::kUlt:
+      out = ctx_.ult(apply(x->operand(0)), apply(x->operand(1)));
+      break;
+    case Kind::kUle:
+      out = ctx_.ule(apply(x->operand(0)), apply(x->operand(1)));
+      break;
+    case Kind::kSlt:
+      out = ctx_.slt(apply(x->operand(0)), apply(x->operand(1)));
+      break;
+    case Kind::kSle:
+      out = ctx_.sle(apply(x->operand(0)), apply(x->operand(1)));
+      break;
+    case Kind::kIte:
+      out = ctx_.ite(apply(x->operand(0)), apply(x->operand(1)),
+                     apply(x->operand(2)));
+      break;
+    case Kind::kConcat:
+      out = ctx_.concat(apply(x->operand(0)), apply(x->operand(1)));
+      break;
+    case Kind::kExtract:
+      out = ctx_.extract(apply(x->operand(0)), x->extractOffset(), x->width());
+      break;
+  }
+  SDE_ASSERT(out != nullptr, "apply produced null");
+  memo_.emplace(x, out);
+  return out;
+}
+
+}  // namespace sde::expr

@@ -1,0 +1,46 @@
+// Memoized variable substitution over the expression DAG.
+//
+// The state-merging machinery introduces fresh boolean guard variables
+// ("mrg.N") whose two assignments select the two merged arms. Splitting
+// a merged state back apart — before a concretization that must not see
+// guard-dependent values, and when expanding merged test cases — means
+// substituting a constant for the guard everywhere and letting the
+// Context builders re-fold: ite(true, a, b) -> a etc. Rebuilding through
+// the builders (rather than patching nodes) is what makes the split
+// state bit-identical to the state an unmerged run would have produced.
+#pragma once
+
+#include <unordered_map>
+
+#include "expr/context.hpp"
+#include "expr/expr.hpp"
+
+namespace sde::expr {
+
+class Substitution {
+ public:
+  explicit Substitution(Context& ctx) : ctx_(ctx) {}
+
+  // Maps `var` (a kVariable node) to `value` (same width). Later calls
+  // for the same variable overwrite; the memo is invalidated.
+  void set(Ref var, Ref value);
+
+  // Returns `x` with every mapped variable replaced, rebuilt through the
+  // Context simplifying builders. Identity (pointer-equal) when `x`
+  // mentions no mapped variable.
+  [[nodiscard]] Ref apply(Ref x);
+
+  // True when `x` mentions at least one mapped variable. Memoized
+  // independently of apply() (cheaper: no rebuilding).
+  [[nodiscard]] bool mentionsAny(Ref x);
+
+  [[nodiscard]] bool empty() const { return map_.empty(); }
+
+ private:
+  Context& ctx_;
+  std::unordered_map<Ref, Ref> map_;
+  std::unordered_map<Ref, Ref> memo_;
+  std::unordered_map<Ref, bool> mentionsMemo_;
+};
+
+}  // namespace sde::expr

@@ -92,6 +92,10 @@ void SummaryBuilder::add(const TraceEvent& event) {
           GroupForkDetail::kScenarioFork)
         summary_.scenarioCopies += event.b;
       break;
+    case TraceEventKind::kStateMerge:
+      summary_.mergeRemovedStates += event.a;
+      ++summary_.mergesByNode[event.node];
+      break;
     case TraceEventKind::kSolverQuery:
       ++summary_.solverQueries;
       switch (static_cast<SolverLayerDetail>(event.detail)) {
@@ -248,6 +252,31 @@ std::vector<std::string> validateTrace(const TraceFile& trace) {
         if (!validSolverLayerDetail(event.detail))
           flag(at(i, event) + ": invalid solver-query detail " +
                std::to_string(event.detail));
+        break;
+      case TraceEventKind::kStateMerge:
+        // stateId survives, parentStateId was absorbed into it; the
+        // absorbed state is reaped without a kStateTerminate of its own.
+        // Mapper-repair casualties counted in `a` beyond the absorbed
+        // state carry no ids, so only the named pair is checked.
+        if (event.a < 1)
+          flag(at(i, event) + ": merge removed " + std::to_string(event.a) +
+               " states (must remove at least the absorbed one)");
+        if (event.stateId == event.parentStateId)
+          flag(at(i, event) + ": state " + std::to_string(event.stateId) +
+               " merged into itself");
+        if (stream.fromStart) {
+          if (stream.liveStates.count(event.stateId) == 0)
+            flag(at(i, event) + ": merge survivor " +
+                 std::to_string(event.stateId) + " was never created");
+          if (stream.liveStates.erase(event.parentStateId) == 0)
+            flag(at(i, event) + ": merge absorbed unknown state " +
+                 std::to_string(event.parentStateId));
+        }
+        break;
+      case TraceEventKind::kLoopSummary:
+        if (stream.fromStart && stream.liveStates.count(event.stateId) == 0)
+          flag(at(i, event) + ": loop summary on unknown state " +
+               std::to_string(event.stateId));
         break;
       default:
         break;

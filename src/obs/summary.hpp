@@ -54,6 +54,13 @@ struct TraceSummary {
   std::uint64_t scenarioCopies = 0;  // COB local-branch materialisation
   std::uint64_t groupForks = 0;
 
+  // State-merging totals (sums over kStateMerge): every merge reclaims
+  // states an earlier fork created — the fork-attribution credit side
+  // of the ledger. mergeRemovedStates counts the absorbed states plus
+  // any mapper-repair casualties each merge reaped.
+  std::uint64_t mergeRemovedStates = 0;
+  std::map<std::uint32_t, std::uint64_t> mergesByNode;
+
   // Solver query outcomes by answering pipeline layer.
   std::uint64_t solverQueries = 0;
   std::uint64_t solverCacheHits = 0;

@@ -24,6 +24,10 @@ std::string_view traceEventKindName(TraceEventKind kind) {
       return "checkpoint_restore";
     case TraceEventKind::kSolverQuery:
       return "solver_query";
+    case TraceEventKind::kStateMerge:
+      return "state_merge";
+    case TraceEventKind::kLoopSummary:
+      return "loop_summary";
   }
   return "?";
 }

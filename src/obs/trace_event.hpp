@@ -30,8 +30,12 @@ enum class TraceEventKind : std::uint8_t {
   kCheckpointRestore,   // engine resumed from a checkpoint; a = events
   kSolverQuery,         // detail: SolverLayerDetail; a = conjunction size,
                         // b = 1 if satisfiable (0 unsat, 2 exhausted)
+  kStateMerge,          // parentStateId was ite-merged into stateId;
+                        // a = states removed (absorbed + mapper casualties)
+  kLoopSummary,         // stateId's timer iteration replayed from a loop
+                        // summary; a = timer id, b = period
 };
-inline constexpr std::uint8_t kNumTraceEventKinds = 11;  // 1-based sentinel
+inline constexpr std::uint8_t kNumTraceEventKinds = 13;  // 1-based sentinel
 
 // Why a state fork happened. kBranch and kFailure together are the
 // engine's "local" forks; kMapping forks are performed by the mapping

@@ -21,6 +21,70 @@ CobMapper::Scenario& CobMapper::scenarioOf(const ExecutionState& state) {
   return *it->second;
 }
 
+const CobMapper::Scenario& CobMapper::scenarioOf(
+    const ExecutionState& state) const {
+  const auto it = scenarioOf_.find(&state);
+  SDE_ASSERT(it != scenarioOf_.end(), "state not registered with COB");
+  return *it->second;
+}
+
+namespace {
+
+// Two bystander states (same node, different dscenarios) are
+// interchangeable when nothing observable distinguishes them: strict
+// configuration (pc, registers, memory, constraints, pending events,
+// clock, packet-identity comm history), the symbolic-input list, the
+// decision log driving replay and partitioning, and — conservatively —
+// an empty merge history on both.
+bool bystandersEqual(const ExecutionState& a, const ExecutionState& b) {
+  if (&a.program() != &b.program()) return false;
+  if (a.status != b.status) return false;
+  if (!a.mergeGuards.empty() || !b.mergeGuards.empty()) return false;
+  if (a.symbolics.size() != b.symbolics.size()) return false;
+  for (std::size_t i = 0; i < a.symbolics.size(); ++i)
+    if (a.symbolics[i] != b.symbolics[i]) return false;
+  if (a.decisions.size() != b.decisions.size()) return false;
+  for (std::size_t i = 0; i < a.decisions.size(); ++i)
+    if (a.decisions[i].var != b.decisions[i].var ||
+        a.decisions[i].failed != b.decisions[i].failed)
+      return false;
+  return a.configHashStrict() == b.configHashStrict();
+}
+
+}  // namespace
+
+bool CobMapper::canMerge(const ExecutionState& survivor,
+                         const ExecutionState& absorbed) const {
+  const Scenario& keep = scenarioOf(survivor);
+  const Scenario& drop = scenarioOf(absorbed);
+  SDE_ASSERT(&keep != &drop, "one dscenario cannot hold two same-node states");
+  for (NodeId node = 0; node < numNodes_; ++node) {
+    if (node == survivor.node()) continue;
+    if (!bystandersEqual(*keep.byNode[node], *drop.byNode[node])) return false;
+  }
+  return true;
+}
+
+std::vector<ExecutionState*> CobMapper::onStatesMerged(
+    ExecutionState& survivor, ExecutionState& absorbed) {
+  Scenario& drop = scenarioOf(absorbed);
+  SDE_ASSERT(!drop.dead, "absorbed dscenario already dead");
+  std::vector<ExecutionState*> casualties;
+  casualties.reserve(numNodes_ - 1);
+  for (ExecutionState* member : drop.byNode) {
+    scenarioOf_.erase(member);
+    if (member == &absorbed) continue;  // the engine reaps it itself
+    SDE_ASSERT(!member->mergedAway, "bystander absorbed twice");
+    member->mergedAway = true;
+    casualties.push_back(member);
+  }
+  (void)survivor;
+  drop.byNode.clear();
+  drop.dead = true;
+  ++deadScenarios_;
+  return casualties;
+}
+
 void CobMapper::onLocalBranch(ExecutionState& original,
                               ExecutionState& sibling,
                               MapperRuntime& runtime) {
@@ -78,8 +142,9 @@ std::vector<ExecutionState*> CobMapper::onTransmit(ExecutionState& sender,
 std::vector<std::vector<std::vector<ExecutionState*>>>
 CobMapper::groupChoices() const {
   std::vector<std::vector<std::vector<ExecutionState*>>> result;
-  result.reserve(scenarios_.size());
+  result.reserve(numGroups());
   for (const Scenario& scenario : scenarios_) {
+    if (scenario.dead) continue;
     std::vector<std::vector<ExecutionState*>> group;
     group.reserve(numNodes_);
     for (ExecutionState* state : scenario.byNode) group.push_back({state});
@@ -90,8 +155,9 @@ CobMapper::groupChoices() const {
 
 void CobMapper::snapshotSave(snapshot::Writer& out) const {
   out.u64(nextScenarioId_);
-  out.u64(scenarios_.size());
+  out.u64(numGroups());
   for (const Scenario& scenario : scenarios_) {
+    if (scenario.dead) continue;
     out.u64(scenario.id);
     for (const ExecutionState* state : scenario.byNode) out.u64(state->id());
   }
@@ -118,18 +184,29 @@ void CobMapper::snapshotLoad(snapshot::Reader& in,
 }
 
 void CobMapper::checkInvariants() const {
+  std::size_t dead = 0;
+  std::size_t mapped = 0;
   for (const Scenario& scenario : scenarios_) {
+    if (scenario.dead) {
+      SDE_ASSERT(scenario.byNode.empty(), "dead dscenario keeps members");
+      ++dead;
+      continue;
+    }
     SDE_ASSERT(scenario.byNode.size() == numNodes_,
                "dscenario must span all nodes");
     for (NodeId node = 0; node < numNodes_; ++node) {
       const ExecutionState* state = scenario.byNode[node];
       SDE_ASSERT(state != nullptr && state->node() == node,
                  "dscenario member on the wrong node");
+      SDE_ASSERT(!state->mergedAway, "dscenario member was absorbed");
+      ++mapped;
       const auto it = scenarioOf_.find(state);
       SDE_ASSERT(it != scenarioOf_.end() && it->second == &scenario,
                  "scenarioOf_ out of sync");
     }
   }
+  SDE_ASSERT(dead == deadScenarios_, "dead-dscenario count out of sync");
+  SDE_ASSERT(mapped == scenarioOf_.size(), "orphan entries in scenarioOf_");
 }
 
 }  // namespace sde

@@ -31,10 +31,22 @@ class CobMapper final : public StateMapper {
       MapperRuntime& runtime) override;
 
   [[nodiscard]] std::uint64_t numGroups() const override {
-    return scenarios_.size();
+    return scenarios_.size() - deadScenarios_;
   }
   [[nodiscard]] std::vector<std::vector<std::vector<ExecutionState*>>>
   groupChoices() const override;
+
+  // State merging: two same-node states of *different* dscenarios may
+  // merge when every other node's members are indistinguishable (strict
+  // config, symbolic inputs, decision log) — then the absorbed
+  // dscenario is redundant and dies together with its k-1 bystander
+  // clones, which is exactly the duplication COB's materialisation
+  // created.
+  [[nodiscard]] bool canMerge(const ExecutionState& survivor,
+                              const ExecutionState& absorbed) const override;
+  std::vector<ExecutionState*> onStatesMerged(
+      ExecutionState& survivor, ExecutionState& absorbed) override;
+
   void checkInvariants() const override;
 
   void snapshotSave(snapshot::Writer& out) const override;
@@ -45,14 +57,21 @@ class CobMapper final : public StateMapper {
   struct Scenario {
     std::uint64_t id = 0;
     std::vector<ExecutionState*> byNode;  // exactly one per node
+    // Tombstone (state merging): the deque never erases (stable
+    // addresses), so an absorbed dscenario is flagged dead, its byNode
+    // cleared, and every walk skips it. Dead scenarios are not
+    // serialized — ids are explicit, so the gap round-trips fine.
+    bool dead = false;
   };
 
   Scenario& scenarioOf(const ExecutionState& state);
+  const Scenario& scenarioOf(const ExecutionState& state) const;
 
   std::uint32_t numNodes_;
   std::deque<Scenario> scenarios_;  // stable addresses
   std::unordered_map<const ExecutionState*, Scenario*> scenarioOf_;
   std::uint64_t nextScenarioId_ = 0;
+  std::size_t deadScenarios_ = 0;
 };
 
 }  // namespace sde

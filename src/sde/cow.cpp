@@ -121,6 +121,26 @@ std::vector<ExecutionState*> CowMapper::onTransmit(ExecutionState& sender,
   return receivers;
 }
 
+bool CowMapper::canMerge(const ExecutionState& survivor,
+                         const ExecutionState& absorbed) const {
+  const auto keep = dstateOf_.find(&survivor);
+  const auto drop = dstateOf_.find(&absorbed);
+  SDE_ASSERT(keep != dstateOf_.end() && drop != dstateOf_.end(),
+             "state not registered with COW");
+  return keep->second == drop->second;
+}
+
+std::vector<ExecutionState*> CowMapper::onStatesMerged(
+    ExecutionState& survivor, ExecutionState& absorbed) {
+  DState& dstate = mutableDstateOf(absorbed);
+  SDE_ASSERT(&dstate == &mutableDstateOf(survivor),
+             "merge across dstates slipped past canMerge");
+  const bool removed = dstate.members.remove(&absorbed);
+  SDE_ASSERT(removed, "absorbed state missing from its dstate");
+  dstateOf_.erase(&absorbed);
+  return {};
+}
+
 std::vector<std::vector<std::vector<ExecutionState*>>>
 CowMapper::groupChoices() const {
   // Each dstate represents the cartesian product of its per-node member

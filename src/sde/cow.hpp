@@ -36,6 +36,16 @@ class CowMapper final : public StateMapper {
   }
   [[nodiscard]] std::vector<std::vector<std::vector<ExecutionState*>>>
   groupChoices() const override;
+
+  // State merging: two same-node rivals of the *same* dstate may merge
+  // — the dscenarios the dstate represents with the absorbed member are
+  // exactly the merged survivor's guard-false expansions. Cross-dstate
+  // merges are vetoed (they would conflate distinct dscenario sets).
+  [[nodiscard]] bool canMerge(const ExecutionState& survivor,
+                              const ExecutionState& absorbed) const override;
+  std::vector<ExecutionState*> onStatesMerged(
+      ExecutionState& survivor, ExecutionState& absorbed) override;
+
   void checkInvariants() const override;
 
   void snapshotSave(snapshot::Writer& out) const override;

@@ -24,17 +24,32 @@ std::string_view runOutcomeName(RunOutcome outcome) {
   return "?";
 }
 
+namespace {
+
+// The engine-level mergeStates switch is authoritative; the interpreter
+// flag mirrors it so the join-point parking machinery engages.
+vm::InterpConfig interpConfigFor(const EngineConfig& config) {
+  vm::InterpConfig ic = config.interp;
+  ic.mergeStates = ic.mergeStates || config.mergeStates;
+  return ic;
+}
+
+}  // namespace
+
 Engine::Engine(const os::NetworkPlan& plan, MapperKind mapperKind,
                EngineConfig config)
     : plan_(plan),
       config_(config),
       solver_(ctx_, config.solver),
-      interp_(ctx_, solver_, config.interp),
+      interp_(ctx_, solver_, interpConfigFor(config)),
       mapper_(makeMapper(mapperKind, plan.topology().numNodes())),
       failureModel_(std::make_unique<net::NoFailures>()),
       interpSink_(*this),
-      mapperRuntime_(*this) {
+      mapperRuntime_(*this),
+      merger_(ctx_) {
   SDE_ASSERT(plan_.complete(), "every node needs a program before running");
+  config_.mergeStates = config_.mergeStates || config_.interp.mergeStates;
+  config_.interp.mergeStates = config_.mergeStates;
   interp_.setNumNodes(plan_.topology().numNodes());
 }
 
@@ -108,6 +123,8 @@ void Engine::setMetrics(obs::MetricsRegistry* metrics) {
   mTerminations_ = metrics_->counter("engine.terminations");
   mPeakStates_ = metrics_->gauge("engine.peak_states");
   mPeakMemory_ = metrics_->gauge("engine.peak_memory_bytes");
+  mMerges_ = metrics_->counter("engine.merges");
+  mLoopSummaries_ = metrics_->counter("engine.loop_summaries");
 }
 
 ExecutionState& Engine::cloneInternal(ExecutionState& original) {
@@ -171,6 +188,11 @@ void Engine::InterpSink::onSend(ExecutionState& sender, NodeId dst,
     return;
   }
   engine_.sendOne(sender, dst, payload);
+}
+
+bool Engine::InterpSink::tryMerge(ExecutionState& survivor,
+                                  ExecutionState& absorbed) {
+  return engine_.tryMergeStates(survivor, absorbed);
 }
 
 void Engine::InterpSink::onLog(ExecutionState& state,
@@ -330,6 +352,14 @@ void Engine::processEvent(ExecutionState& state, vm::PendingEvent event) {
   touched_.push_back(&state);
 
   if (event.kind != vm::EventKind::kRecv) {
+    if (config_.loopSummarize && event.kind == vm::EventKind::kTimer) {
+      const std::uint64_t preSignature =
+          loopSignature(state, static_cast<std::uint32_t>(event.a));
+      if (tryLoopFastPath(state, event, preSignature)) return;
+      deliver(state, event);
+      noteLoopObservation(state, event, preSignature);
+      return;
+    }
     deliver(state, event);
     return;
   }
@@ -382,6 +412,189 @@ void Engine::processEvent(ExecutionState& state, vm::PendingEvent event) {
   applyFailureBranch(state, decision.kind, /*failed=*/false, event);
   if (!failing.isTerminal())
     applyFailureBranch(failing, decision.kind, /*failed=*/true, event);
+}
+
+bool Engine::tryMergeStates(ExecutionState& survivor,
+                            ExecutionState& absorbed) {
+  if (!config_.mergeStates) return false;
+  SDE_ASSERT(survivor.id() < absorbed.id(),
+             "the merge survivor is the earlier-created state");
+  if (!merger_.compatible(survivor, absorbed)) {
+    stats_.bump("engine.merges_declined_incompatible");
+    return false;
+  }
+  if (!mapper_->canMerge(survivor, absorbed)) {
+    stats_.bump("engine.merges_declined_mapper");
+    return false;
+  }
+  const expr::Ref guard =
+      ctx_.variable("mrg." + std::to_string(nextMergeGuard_), 1);
+  if (!merger_.merge(survivor, absorbed, guard)) {
+    stats_.bump("engine.merges_declined_algebra");
+    return false;
+  }
+  ++nextMergeGuard_;
+  pendingReaps_.push_back(&absorbed);
+  std::uint64_t removed = 1;
+  for (ExecutionState* extra : mapper_->onStatesMerged(survivor, absorbed)) {
+    SDE_ASSERT(extra->mergedAway,
+               "mapper merge casualties must be marked mergedAway");
+    pendingReaps_.push_back(extra);
+    ++removed;
+  }
+  stats_.bump("engine.merges");
+  stats_.bump("engine.merge_removed_states", removed);
+  if (metrics_ != nullptr) metrics_->add(mMerges_);
+  if (trace_ != nullptr) {
+    obs::TraceEvent event;
+    event.kind = obs::TraceEventKind::kStateMerge;
+    event.node = survivor.node();
+    event.stateId = survivor.id();
+    event.parentStateId = absorbed.id();
+    event.a = removed;
+    trace_->emit(event);
+  }
+  return true;
+}
+
+void Engine::mergeSweep() {
+  // Candidates: this event's touched states that ended idle. Sorted and
+  // deduped by id so the earliest-created compatible state survives —
+  // the same orientation the join-point parking uses.
+  std::vector<ExecutionState*> candidates;
+  for (ExecutionState* state : touched_) {
+    if (state->mergedAway || state->status != vm::StateStatus::kIdle) continue;
+    candidates.push_back(state);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ExecutionState* a, const ExecutionState* b) {
+              return a->id() < b->id();
+            });
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    ExecutionState* survivor = candidates[i];
+    if (survivor->mergedAway) continue;
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      ExecutionState* other = candidates[j];
+      if (other->mergedAway) continue;
+      tryMergeStates(*survivor, *other);
+    }
+  }
+}
+
+void Engine::reapMergedStates() {
+  std::unordered_set<const ExecutionState*> reaped;
+  for (ExecutionState* state : pendingReaps_) {
+    SDE_ASSERT(state->mergedAway, "reaping a state that was not merged away");
+    if (!reaped.insert(state).second) continue;
+    byId_.erase(state->id());
+    traceTerminated_.erase(state->id());
+    // Forget the summariser's observations of the state.
+    auto it = loopDetector_.lower_bound({state->id(), 0});
+    while (it != loopDetector_.end() && it->first.first == state->id())
+      it = loopDetector_.erase(it);
+  }
+  pendingReaps_.clear();
+  touched_.erase(std::remove_if(
+                     touched_.begin(), touched_.end(),
+                     [&](ExecutionState* s) { return reaped.contains(s); }),
+                 touched_.end());
+  // Scheduler heap entries of reaped states go stale and are dropped
+  // lazily on pop (byId_ no longer resolves the id).
+  states_.erase(std::remove_if(states_.begin(), states_.end(),
+                               [&](const std::unique_ptr<ExecutionState>& s) {
+                                 return reaped.contains(s.get());
+                               }),
+                states_.end());
+}
+
+std::uint64_t Engine::loopSignature(const ExecutionState& state,
+                                    std::uint32_t timerId) const {
+  // Everything the fast path does not update must be pinned by the
+  // signature; what it replays deterministically (clock, the re-armed
+  // event's seq, the fuel counter) is excluded. The fired event is
+  // already popped from the queue when this runs.
+  support::Hasher h;
+  h.u64(static_cast<std::uint64_t>(state.status));
+  h.u64(state.pc);
+  h.u64(state.space.contentHash());
+  h.u64(state.constraints.setHash());
+  h.u64(state.commLog.size());
+  h.u64(state.commLog.contentChainHash());
+  h.u64(state.commLog.strictChainHash());
+  h.u64(state.symbolics.size());
+  h.u64(state.mergeGuards.size());
+  h.u64(state.pendingEvents.contentHash());
+  h.u64(state.pendingEvents.strictRecvHash());
+  for (const expr::Ref& r : state.regs_) h.u64(r == nullptr ? 0 : r->hash());
+  for (const auto& [timer, seq] : state.activeTimers) {
+    if (timer == timerId) continue;  // its seq advances every re-arm
+    h.u64(timer);
+    h.u64(seq);
+  }
+  return h.digest();
+}
+
+bool Engine::tryLoopFastPath(ExecutionState& state,
+                             const vm::PendingEvent& event,
+                             std::uint64_t preSignature) {
+  const auto timerId = static_cast<std::uint32_t>(event.a);
+  const auto it = loopDetector_.find({state.id(), timerId});
+  if (it == loopDetector_.end() || !it->second.armed) return false;
+  const LoopEntry& entry = it->second;
+  if (entry.signature != preSignature) return false;
+  // Replay the recorded iteration: the handler's only effects were the
+  // clock update and one constant-delay re-arm of this same timer.
+  state.clock = event.time;
+  vm::PendingEvent next;
+  next.time = event.time + entry.period;
+  next.kind = vm::EventKind::kTimer;
+  next.a = timerId;
+  next.seq = state.nextEventSeq++;
+  state.activeTimers[timerId] = next.seq;
+  state.pendingEvents.push_back(std::move(next));
+  state.executedInstructions += entry.instructions;
+  stats_.bump("engine.loop_summaries");
+  stats_.bump("engine.loop_summarized_instructions", entry.instructions);
+  if (metrics_ != nullptr) metrics_->add(mLoopSummaries_);
+  if (trace_ != nullptr) {
+    obs::TraceEvent record;
+    record.kind = obs::TraceEventKind::kLoopSummary;
+    record.node = state.node();
+    record.stateId = state.id();
+    record.a = timerId;
+    record.b = entry.period;
+    trace_->emit(record);
+  }
+  return true;
+}
+
+void Engine::noteLoopObservation(ExecutionState& state,
+                                 const vm::PendingEvent& event,
+                                 std::uint64_t preSignature) {
+  const auto timerId = static_cast<std::uint32_t>(event.a);
+  const auto key = std::make_pair(state.id(), timerId);
+  const vm::EventEffects& effects = interp_.lastEventEffects();
+  const bool clean = state.status == vm::StateStatus::kIdle &&
+                     !effects.usedNow && effects.sends == 0 &&
+                     effects.symbolicsMinted == 0 && effects.forks == 0 &&
+                     effects.timerOps == 1 && effects.rearmConstant &&
+                     effects.rearmTimerId == timerId;
+  if (!clean) {
+    loopDetector_.erase(key);
+    return;
+  }
+  const auto [it, inserted] = loopDetector_.try_emplace(key);
+  LoopEntry& entry = it->second;
+  if (!inserted && entry.signature == preSignature &&
+      entry.period == effects.rearmDelay) {
+    entry.instructions = effects.instructions;
+    if (++entry.streak >= 2) entry.armed = true;
+  } else {
+    entry = LoopEntry{preSignature, effects.rearmDelay, effects.instructions,
+                      /*streak=*/1, /*armed=*/false};
+  }
 }
 
 std::optional<RunOutcome> Engine::checkCaps() {
@@ -467,6 +680,15 @@ RunOutcome Engine::run(std::uint64_t untilVirtualTime) {
     {
       obs::ScopedPhase phase(profiler_, obs::Phase::kInterp);
       processEvent(*popped->state, std::move(popped->event));
+    }
+    if (config_.mergeStates) {
+      {
+        obs::ScopedPhase phase(profiler_, obs::Phase::kMapping);
+        mergeSweep();
+      }
+      // Deferred removal: nothing holds a pointer into the absorbed
+      // states once the event is fully processed.
+      if (!pendingReaps_.empty()) reapMergedStates();
     }
     ++eventsProcessed_;
     stats_.bump("engine.events");

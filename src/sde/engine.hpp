@@ -12,11 +12,13 @@
 #include <deque>
 #include <functional>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "net/failure.hpp"
 #include "obs/metrics.hpp"
@@ -28,6 +30,7 @@
 #include "sde/mapper.hpp"
 #include "sde/scheduler.hpp"
 #include "solver/solver.hpp"
+#include "vm/merge.hpp"
 
 namespace sde {
 
@@ -57,6 +60,16 @@ struct EngineConfig {
   // Run full structural + conflict-freeness checks after every event
   // (quadratic; tests and small scenarios only).
   bool checkInvariants = false;
+  // Opt-in state merging: symbolic branches whose arms rejoin at a
+  // post-dominator park there and ite-merge (vm/merge.hpp), and an
+  // idle-state sweep after every event folds compatible siblings. Off by
+  // default — exploration then matches the historical engine exactly.
+  bool mergeStates = false;
+  // Opt-in bounded loop summarization: a timer handler observed twice
+  // with identical pre-dispatch state and clean effects (no clock reads,
+  // sends, fresh symbolics or forks; one constant-delay re-arm) is
+  // replayed from the recorded summary instead of the VM.
+  bool loopSummarize = false;
   vm::InterpConfig interp;
   solver::SolverConfig solver;
 };
@@ -300,6 +313,7 @@ class Engine {
     ExecutionState& forkState(ExecutionState& original) override;
     void onSend(ExecutionState& sender, NodeId dst,
                 std::vector<expr::Ref> payload) override;
+    bool tryMerge(ExecutionState& survivor, ExecutionState& absorbed) override;
     void onLog(ExecutionState& state, std::string_view message,
                expr::Ref value) override;
 
@@ -341,6 +355,34 @@ class Engine {
   void sampleAndCheck();
   [[nodiscard]] std::optional<RunOutcome> checkCaps();
 
+  // --- State merging (config_.mergeStates) ---------------------------------
+  // Full merge pipeline: vm compatibility -> mapper veto -> algebra.
+  // On success the absorbed state (plus any mapper casualties) joins
+  // pendingReaps_; removal is deferred to the end of the event so no
+  // live reference dangles mid-run.
+  bool tryMergeStates(ExecutionState& survivor, ExecutionState& absorbed);
+  // Pairwise sweep over this event's touched idle states.
+  void mergeSweep();
+  void reapMergedStates();
+
+  // --- Loop summarization (config_.loopSummarize) --------------------------
+  struct LoopEntry {
+    std::uint64_t signature = 0;     // pre-dispatch state fingerprint
+    std::uint64_t period = 0;        // recorded constant re-arm delay
+    std::uint64_t instructions = 0;  // instructions one iteration costs
+    std::uint32_t streak = 0;        // consecutive identical observations
+    bool armed = false;
+  };
+  [[nodiscard]] std::uint64_t loopSignature(const ExecutionState& state,
+                                            std::uint32_t timerId) const;
+  // Fast path: replays the recorded iteration (clock, re-arm, fuel)
+  // without entering the VM. Returns false when not armed / mismatched.
+  bool tryLoopFastPath(ExecutionState& state, const vm::PendingEvent& event,
+                       std::uint64_t preSignature);
+  void noteLoopObservation(ExecutionState& state,
+                           const vm::PendingEvent& event,
+                           std::uint64_t preSignature);
+
   os::NetworkPlan plan_;
   EngineConfig config_;
   expr::Context ctx_;
@@ -368,6 +410,8 @@ class Engine {
   obs::MetricsRegistry::Id mTerminations_ = 0;
   obs::MetricsRegistry::Id mPeakStates_ = 0;
   obs::MetricsRegistry::Id mPeakMemory_ = 0;
+  obs::MetricsRegistry::Id mMerges_ = 0;
+  obs::MetricsRegistry::Id mLoopSummaries_ = 0;
   // States whose termination was already traced (only populated while a
   // sink is attached; deliberately not serialized — a resumed trace may
   // re-report a termination, which the validator tolerates for resumed
@@ -384,6 +428,13 @@ class Engine {
       bootGlobals_;
 
   std::vector<ExecutionState*> touched_;  // re-register after each event
+  // Merge machinery: the guard-variable allocator is serialized
+  // (checkpoint v5) so resumed runs mint disjoint guard names; the reap
+  // list and the loop-summary table are engine-local.
+  vm::Merger merger_;
+  std::uint64_t nextMergeGuard_ = 0;
+  std::vector<ExecutionState*> pendingReaps_;
+  std::map<std::pair<StateId, std::uint32_t>, LoopEntry> loopDetector_;
   // Fork cost of the most recent cloneInternal (deterministic per state
   // shape); carried on the kStateFork trace event by both fork paths.
   std::uint64_t lastForkCopiedElements_ = 0;

@@ -82,6 +82,28 @@ class StateMapper {
   [[nodiscard]] virtual std::vector<std::vector<std::vector<ExecutionState*>>>
   groupChoices() const = 0;
 
+  // --- State merging (opt-in, EngineConfig::mergeStates) -------------------
+  // May `absorbed` be ite-merged into `survivor`? Both are live states
+  // of the same node that the engine already found vm-compatible. The
+  // mapper vetoes merges that would break its grouping structure (e.g.
+  // COW states of different dstates). Default: decline everything.
+  [[nodiscard]] virtual bool canMerge(const ExecutionState& survivor,
+                                      const ExecutionState& absorbed) const {
+    (void)survivor;
+    (void)absorbed;
+    return false;
+  }
+  // `absorbed` was merged into `survivor` (absorbed.mergedAway is set).
+  // The mapper repairs its grouping and returns any *additional* states
+  // it marked mergedAway as a consequence (COB's bystander clones of the
+  // absorbed dscenario); the engine reaps them together with `absorbed`.
+  virtual std::vector<ExecutionState*> onStatesMerged(
+      ExecutionState& survivor, ExecutionState& absorbed) {
+    (void)survivor;
+    (void)absorbed;
+    return {};
+  }
+
   // Structural self-check; fires SDE_ASSERT on violation (used by tests
   // and the engine's checkInvariants mode).
   virtual void checkInvariants() const = 0;

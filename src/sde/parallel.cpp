@@ -20,6 +20,7 @@
 #include "support/hash.hpp"
 #include "support/logging.hpp"
 #include "support/thread_pool.hpp"
+#include "vm/merge.hpp"
 
 namespace sde {
 
@@ -114,8 +115,9 @@ JobResult collectJobResult(Engine& engine, const PartitionJob& job,
         if (config.collectScenarioFingerprints)
           scenarioPrints.insert(scenarioFingerprint(scenario));
         if (config.collectTestcases)
-          testcases.insert(
-              canonicalScenarioTestcase(engine.solver(), scenario));
+          for (std::string& testcase : expandedScenarioTestcases(
+                   engine.context(), engine.solver(), scenario))
+            testcases.insert(std::move(testcase));
         std::size_t digit = odometer.size();
         while (true) {
           if (digit == 0) {
@@ -218,12 +220,11 @@ PartitionPlan planPartitions(std::span<const std::string> variables,
   return plan;
 }
 
-std::string canonicalScenarioTestcase(
-    solver::SolverClient& solver, std::span<ExecutionState* const> scenario) {
-  const auto cases = generateScenarioTestCases(solver, scenario);
-  if (!cases) return "<unsatisfiable scenario>";
+namespace {
+
+std::string renderScenarioCases(const std::vector<TestCase>& cases) {
   std::ostringstream os;
-  for (const TestCase& testCase : *cases) {
+  for (const TestCase& testCase : cases) {
     os << "node " << testCase.node;
     if (!testCase.failureMessage.empty())
       os << " FAILURE: " << testCase.failureMessage;
@@ -233,6 +234,95 @@ std::string canonicalScenarioTestcase(
          << "\n";
   }
   return os.str();
+}
+
+}  // namespace
+
+std::string canonicalScenarioTestcase(
+    solver::SolverClient& solver, std::span<ExecutionState* const> scenario) {
+  const auto cases = generateScenarioTestCases(solver, scenario);
+  if (!cases) return "<unsatisfiable scenario>";
+  return renderScenarioCases(*cases);
+}
+
+std::vector<std::string> expandedScenarioTestcases(
+    expr::Context& ctx, solver::SolverClient& solver,
+    std::span<ExecutionState* const> scenario) {
+  vm::MergeExpansion expansion(ctx);
+  for (const ExecutionState* member : scenario) expansion.addState(*member);
+  const std::vector<expr::Ref>& guards = expansion.guards();
+  if (guards.empty()) return {canonicalScenarioTestcase(solver, scenario)};
+  SDE_ASSERT(guards.size() < 24, "merge-guard expansion too wide");
+
+  std::vector<std::string> result;
+  std::vector<bool> assignment(guards.size());
+  std::vector<expr::Ref> items;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << guards.size());
+       ++mask) {
+    for (std::size_t bit = 0; bit < guards.size(); ++bit)
+      assignment[bit] = ((mask >> bit) & 1u) != 0;
+    // Reconstruct every member's unmerged constraint items under this
+    // assignment and re-add them in the member/item order the unmerged
+    // generator uses, so the combined system — and with it the solver's
+    // model — is byte-identical to the unmerged run's.
+    solver::ConstraintSet combined;
+    bool viable = true;       // a member never existed unmerged here
+    bool satisfiable = true;  // the unmerged combination is contradictory
+    for (const ExecutionState* member : scenario) {
+      items.clear();
+      if (!expansion.expandItems(*member, assignment, items)) {
+        viable = false;
+        break;
+      }
+      for (const expr::Ref item : items) {
+        if (combined.add(item) ==
+            solver::ConstraintSet::AddResult::kTriviallyFalse) {
+          satisfiable = false;
+          break;
+        }
+      }
+      if (!satisfiable) break;
+    }
+    if (!viable) continue;  // a sibling fork covers this assignment
+    std::optional<std::vector<TestCase>> cases;
+    if (satisfiable)
+      cases = generateScenarioTestCasesOver(solver, scenario, combined);
+    if (cases) {
+      result.push_back(renderScenarioCases(*cases));
+      continue;
+    }
+    // The combination is unsatisfiable — for one of two very different
+    // reasons. If a *merged* member's reconstructed constraints are
+    // contradictory on their own, the unmerged exploration never created
+    // that arm state (merging weakened the path condition to the arm
+    // disjunction, so a later branch forked both ways where the unmerged
+    // arm state was one-sided): a phantom assignment, skipped. If every
+    // member is individually satisfiable but the cross-node conjunction
+    // is not, the unmerged run enumerates the same contradictory
+    // scenario and renders the same placeholder.
+    bool phantom = false;
+    for (const ExecutionState* member : scenario) {
+      if (member->mergeGuards.empty()) continue;  // real explored state
+      items.clear();
+      const bool expanded = expansion.expandItems(*member, assignment, items);
+      SDE_ASSERT(expanded, "viable assignment must expand every member");
+      solver::ConstraintSet alone;
+      bool aloneFalse = false;
+      for (const expr::Ref item : items) {
+        if (alone.add(item) ==
+            solver::ConstraintSet::AddResult::kTriviallyFalse) {
+          aloneFalse = true;
+          break;
+        }
+      }
+      if (aloneFalse || !solver.getModel(alone)) {
+        phantom = true;
+        break;
+      }
+    }
+    if (!phantom) result.push_back("<unsatisfiable scenario>");
+  }
+  return result;
 }
 
 ParallelResult runPartitioned(const EngineFactory& factory,

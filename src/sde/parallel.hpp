@@ -170,6 +170,17 @@ using EngineFactory =
 [[nodiscard]] std::string canonicalScenarioTestcase(
     solver::SolverClient& solver, std::span<ExecutionState* const> scenario);
 
+// Merge-aware test-case extraction: a dscenario whose members carry
+// merge guards stands for one unmerged dscenario per feasible guard
+// assignment. Enumerates every assignment, reconstructs the exact
+// unmerged constraint system (vm::MergeExpansion) and renders each
+// variant with canonicalScenarioTestcase's format, so the union over a
+// merged run equals the unmerged run's testcase set verbatim. With no
+// guards this is exactly {canonicalScenarioTestcase(...)}.
+[[nodiscard]] std::vector<std::string> expandedScenarioTestcases(
+    expr::Context& ctx, solver::SolverClient& solver,
+    std::span<ExecutionState* const> scenario);
+
 // --- Building blocks shared with the fleet runner (sde/fleet.hpp) ----------
 // The thread runner above and the multi-process fleet produce their
 // digests through the same extraction and merge code, which is what

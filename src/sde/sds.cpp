@@ -20,6 +20,9 @@ void eraseValue(std::vector<T*>& vec, const T* value) {
   vec.erase(it);
 }
 
+// Serialized actual/dstate id of a dead (tombstoned) virtual state.
+constexpr std::uint64_t kDeadVirtualSentinel = ~std::uint64_t{0};
+
 }  // namespace
 
 SdsMapper::VState& SdsMapper::newVirtual(ExecutionState* actual,
@@ -223,6 +226,43 @@ std::vector<ExecutionState*> SdsMapper::onTransmit(ExecutionState& sender,
   return receivers;
 }
 
+bool SdsMapper::canMerge(const ExecutionState& survivor,
+                         const ExecutionState& absorbed) const {
+  const auto keep = byActual_.find(&survivor);
+  const auto drop = byActual_.find(&absorbed);
+  SDE_ASSERT(keep != byActual_.end() && drop != byActual_.end(),
+             "state not registered with SDS");
+  if (keep->second.size() != drop->second.size()) return false;
+  // Each dstate holds at most one virtual per actual state, so the
+  // virtual lists visit distinct dstates — set comparison via sorting.
+  std::vector<const VDState*> a;
+  std::vector<const VDState*> b;
+  a.reserve(keep->second.size());
+  b.reserve(drop->second.size());
+  for (const VState* v : keep->second) a.push_back(v->dstate);
+  for (const VState* v : drop->second) b.push_back(v->dstate);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+std::vector<ExecutionState*> SdsMapper::onStatesMerged(
+    ExecutionState& survivor, ExecutionState& absorbed) {
+  (void)survivor;
+  const auto it = byActual_.find(&absorbed);
+  SDE_ASSERT(it != byActual_.end(), "state not registered with SDS");
+  const std::vector<VState*> virtuals = std::move(it->second);
+  byActual_.erase(it);
+  for (VState* v : virtuals) {
+    removeFromDstate(*v);
+    v->actual = nullptr;
+    v->dstate = nullptr;
+    v->dead = true;
+    --liveVirtuals_;
+  }
+  return {};
+}
+
 std::vector<std::vector<std::vector<ExecutionState*>>>
 SdsMapper::groupChoices() const {
   std::vector<std::vector<std::vector<ExecutionState*>>> result;
@@ -257,6 +297,13 @@ void SdsMapper::snapshotSave(snapshot::Writer& out) const {
   std::uint64_t poolIndex = 0;
   for (const VState& v : virtualPool_) {
     SDE_ASSERT(v.id == poolIndex++, "virtual pool ids must equal indices");
+    if (v.dead) {
+      // Tombstone of a merged-away actual: keeps the id == index
+      // invariant across the round trip without a resolvable referent.
+      out.u64(kDeadVirtualSentinel);
+      out.u64(kDeadVirtualSentinel);
+      continue;
+    }
     out.u64(v.actual->id());
     out.u64(v.dstate->id);
   }
@@ -316,6 +363,12 @@ void SdsMapper::snapshotLoad(snapshot::Reader& in,
   for (std::uint64_t i = 0; i < poolSize; ++i) {
     VState& v = virtualPool_.emplace_back();
     v.id = i;
+    if (pending[i].actual == kDeadVirtualSentinel) {
+      if (pending[i].dstate != kDeadVirtualSentinel)
+        throw snapshot::SnapshotError("SDS snapshot has a half-dead virtual");
+      v.dead = true;
+      continue;
+    }
     v.actual = resolve(pending[i].actual);
     if (v.actual == nullptr || pending[i].dstate >= dstates_.size())
       throw snapshot::SnapshotError(
@@ -381,6 +434,9 @@ void SdsMapper::checkInvariants() const {
                "dstate actuals must be pairwise conflict-free");
   }
   SDE_ASSERT(totalVirtuals == liveVirtuals_, "virtual count out of sync");
+  for (const VState& v : virtualPool_)
+    SDE_ASSERT(v.dead == (v.actual == nullptr && v.dstate == nullptr),
+               "dead flag out of sync with virtual links");
   for (const auto& [actual, virtuals] : byActual_)
     SDE_ASSERT(!virtuals.empty(),
                "every state must have at least one virtual state");

@@ -36,6 +36,19 @@ class SdsMapper final : public StateMapper {
   }
   [[nodiscard]] std::vector<std::vector<std::vector<ExecutionState*>>>
   groupChoices() const override;
+
+  // State merging: two same-node states may merge when their virtual
+  // states inhabit *exactly the same* dstates — then each shared dstate
+  // offered both as alternative members, and dropping the absorbed
+  // one's virtuals loses nothing the survivor's guard expansion does
+  // not regenerate. Differing super-dstates are vetoed (a dstate only
+  // the absorbed inhabits would pair its partners with survivor-arm
+  // behaviours the unmerged run never paired them with).
+  [[nodiscard]] bool canMerge(const ExecutionState& survivor,
+                              const ExecutionState& absorbed) const override;
+  std::vector<ExecutionState*> onStatesMerged(
+      ExecutionState& survivor, ExecutionState& absorbed) override;
+
   void checkInvariants() const override;
 
   void snapshotSave(snapshot::Writer& out) const override;
@@ -53,6 +66,10 @@ class SdsMapper final : public StateMapper {
     std::uint64_t id = 0;
     ExecutionState* actual = nullptr;
     VDState* dstate = nullptr;  // exactly one (the defining invariant)
+    // Tombstone (state merging): the pool asserts id == index and never
+    // erases, so an absorbed state's virtuals are unlinked (actual and
+    // dstate nulled) and flagged; serialization writes a sentinel.
+    bool dead = false;
   };
 
   struct VDState {

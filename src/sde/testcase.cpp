@@ -43,6 +43,12 @@ std::optional<std::vector<TestCase>> generateScenarioTestCases(
         return std::nullopt;
     }
   }
+  return generateScenarioTestCasesOver(solver, scenario, combined);
+}
+
+std::optional<std::vector<TestCase>> generateScenarioTestCasesOver(
+    solver::SolverClient& solver, std::span<ExecutionState* const> scenario,
+    const solver::ConstraintSet& combined) {
   const auto model = solver.getModel(combined);
   if (!model) return std::nullopt;
 

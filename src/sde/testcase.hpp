@@ -45,6 +45,15 @@ struct TestCase {
 [[nodiscard]] std::optional<std::vector<TestCase>> generateScenarioTestCases(
     solver::SolverClient& solver, std::span<ExecutionState* const> scenario);
 
+// Like generateScenarioTestCases, but solving a caller-provided
+// constraint system instead of the members' own — the merge-expansion
+// path, where the items are the reconstructed unmerged lists of one
+// guard assignment.
+[[nodiscard]] std::optional<std::vector<TestCase>>
+generateScenarioTestCasesOver(solver::SolverClient& solver,
+                              std::span<ExecutionState* const> scenario,
+                              const solver::ConstraintSet& combined);
+
 // Renders a test case as a stable, human-readable block (examples and
 // golden tests).
 [[nodiscard]] std::string formatTestCase(const TestCase& testCase);

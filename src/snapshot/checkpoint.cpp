@@ -277,6 +277,80 @@ ExecutionState::DecisionRecord readDecisionRecord(Reader& in,
   return decision;
 }
 
+// v5: a state's merge side table, recursive (the arms' own sub-tables
+// serialize inline). Depth is bounded by the merge nesting the run
+// actually performed.
+void writeMergeGuard(Writer& out, const vm::MergeGuard& guard) {
+  writeRef(out, guard.guard);
+  writeRef(out, guard.conjunct);
+  const auto writeRefs = [&out](const std::vector<expr::Ref>& refs) {
+    out.u64(refs.size());
+    for (const expr::Ref& ref : refs) writeRef(out, ref);
+  };
+  writeRefs(guard.ifTrue);
+  writeRefs(guard.ifFalse);
+  const auto writeDecisions =
+      [&out](const std::vector<vm::DecisionRecord>& decisions) {
+        out.u64(decisions.size());
+        for (const vm::DecisionRecord& d : decisions)
+          writeDecisionRecord(out, d);
+      };
+  writeDecisions(guard.decTrue);
+  writeDecisions(guard.decFalse);
+  out.u64(guard.decSplit);
+  const auto writeSub = [&out](const std::vector<vm::MergeGuard>& sub) {
+    out.u64(sub.size());
+    for (const vm::MergeGuard& g : sub) writeMergeGuard(out, g);
+  };
+  writeSub(guard.subTrue);
+  writeSub(guard.subFalse);
+  const auto writeObjs = [&out](const std::vector<std::uint64_t>& objs) {
+    out.u64(objs.size());
+    for (const std::uint64_t id : objs) out.u64(id);
+  };
+  writeObjs(guard.objsTrueOnly);
+  writeObjs(guard.objsFalseOnly);
+}
+
+vm::MergeGuard readMergeGuard(Reader& in, const expr::Context& ctx) {
+  vm::MergeGuard guard;
+  guard.guard = readRef(in, ctx);
+  guard.conjunct = readRef(in, ctx);
+  const auto readRefs = [&in, &ctx](std::vector<expr::Ref>& refs) {
+    const std::uint64_t count = in.u64();
+    refs.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) refs.push_back(readRef(in, ctx));
+  };
+  readRefs(guard.ifTrue);
+  readRefs(guard.ifFalse);
+  const auto readDecisions =
+      [&in, &ctx](std::vector<vm::DecisionRecord>& decisions) {
+        const std::uint64_t count = in.u64();
+        decisions.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i)
+          decisions.push_back(readDecisionRecord(in, ctx));
+      };
+  readDecisions(guard.decTrue);
+  readDecisions(guard.decFalse);
+  guard.decSplit = in.u64();
+  const auto readSub = [&in, &ctx](std::vector<vm::MergeGuard>& sub) {
+    const std::uint64_t count = in.u64();
+    sub.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+      sub.push_back(readMergeGuard(in, ctx));
+  };
+  readSub(guard.subTrue);
+  readSub(guard.subFalse);
+  const auto readObjs = [&in](std::vector<std::uint64_t>& objs) {
+    const std::uint64_t count = in.u64();
+    objs.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) objs.push_back(in.u64());
+  };
+  readObjs(guard.objsTrueOnly);
+  readObjs(guard.objsFalseOnly);
+  return guard;
+}
+
 void writePendingEvent(Writer& out, const vm::PendingEvent& event) {
   out.u64(event.time);
   out.u8(static_cast<std::uint8_t>(event.kind));
@@ -434,6 +508,12 @@ void writeState(Writer& out, const ExecutionState& state,
   }
 
   out.u64(state.executedInstructions);
+
+  // v5: the merge side tables. Merge tokens and the mergedAway flag are
+  // transient (checkpoints fire between events, when both are vacuous).
+  out.u64(state.mergeGuards.size());
+  for (const vm::MergeGuard& guard : state.mergeGuards)
+    writeMergeGuard(out, guard);
 }
 
 // Reader-side counterpart of SharedTables: the deserialized shared
@@ -513,6 +593,11 @@ void readStateBody(
   }
 
   state.executedInstructions = in.u64();
+
+  const std::uint64_t guards = in.u64();
+  state.mergeGuards.reserve(guards);
+  for (std::uint64_t i = 0; i < guards; ++i)
+    state.mergeGuards.push_back(readMergeGuard(in, ctx));
 }
 
 void writeQueryCache(Writer& out, const solver::QueryCache& cache) {
@@ -654,6 +739,7 @@ void Engine::checkpoint(std::ostream& os) const {
   // Engine scalars.
   out.u64(nextStateId_);
   out.u64(nextPacketId_);
+  out.u64(nextMergeGuard_);  // v5
   out.f64(wallSecondsAccumulated_);
   // Trace continuity (v2): where the suspended run's event numbering
   // stops. 0 when the run was not traced — a traced resume of an
@@ -692,6 +778,19 @@ void Engine::checkpoint(std::ostream& os) const {
     out.u8(entry.kind);
     out.u64(entry.seq);
     out.u64(entry.state);
+  }
+
+  // v5: the loop-summary detector (per state+timer observation streaks).
+  // std::map iterates in key order — deterministic bytes for free.
+  out.u64(loopDetector_.size());
+  for (const auto& [key, entry] : loopDetector_) {
+    out.u64(key.first);
+    out.u32(key.second);
+    out.u64(entry.signature);
+    out.u64(entry.period);
+    out.u64(entry.instructions);
+    out.u32(entry.streak);
+    out.b(entry.armed);
   }
 
   mapper_->snapshotSave(out);
@@ -761,6 +860,7 @@ void Engine::restore(std::istream& is) {
 
   nextStateId_ = in.u64();
   nextPacketId_ = in.u64();
+  nextMergeGuard_ = in.u64();  // v5
   wallSecondsAccumulated_ = in.f64();
   const std::uint64_t traceSeq = in.u64();
 
@@ -819,6 +919,19 @@ void Engine::restore(std::istream& is) {
     entries.push_back(entry);
   }
   scheduler_.restoreSnapshot(entries, staleDrops);
+
+  const std::uint64_t loopEntries = in.u64();
+  for (std::uint64_t i = 0; i < loopEntries; ++i) {
+    const StateId stateId = in.u64();
+    const std::uint32_t timerId = in.u32();
+    LoopEntry entry;
+    entry.signature = in.u64();
+    entry.period = in.u64();
+    entry.instructions = in.u64();
+    entry.streak = in.u32();
+    entry.armed = in.b();
+    loopDetector_[{stateId, timerId}] = entry;
+  }
 
   mapper_->snapshotLoad(in, [this](StateId id) -> ExecutionState* {
     const auto it = byId_.find(id);

@@ -50,7 +50,12 @@ inline constexpr std::string_view kCheckpointTrailer = "SDEEND";
 // (after the recent-model deque), and a parallel run's warm
 // SharedQueryCache persists as a shared_cache.bin sidecar in the
 // checkpoint directory (see writeSharedCache/readSharedCache).
-inline constexpr std::uint32_t kCheckpointVersion = 4;
+// v5: state merging and loop summarization. Each state carries its
+// recursive MergeGuard side tables (after executedInstructions), the
+// engine scalars gain the merge-guard allocator, the loop-summary
+// detector table serializes after the scheduler heap, and the SDS
+// virtual pool may contain tombstoned entries (sentinel ids).
+inline constexpr std::uint32_t kCheckpointVersion = 5;
 
 // --- Expression DAG (exposed for the round-trip fuzz test) -------------------
 // Serializes the whole interning log of `ctx` in creation order; a Ref

@@ -9,8 +9,31 @@ Engine::Sampler MetricsRecorder::sampler() {
     samples_.push_back(MetricSample{
         engine.wallSeconds(), engine.virtualNow(), engine.numStates(),
         engine.simulatedMemoryBytes(), engine.mapper().numGroups(),
-        engine.eventsProcessed()});
+        engine.eventsProcessed(), engine.stats().get("engine.merges"),
+        engine.stats().get("engine.loop_summaries")});
   };
+}
+
+std::span<const MetricColumn> metricCsvSchema() {
+  static constexpr MetricColumn kSchema[] = {
+      {"wall_s",
+       [](std::ostream& os, const MetricSample& s) { os << s.wallSeconds; }},
+      {"virtual_t",
+       [](std::ostream& os, const MetricSample& s) { os << s.virtualTime; }},
+      {"states",
+       [](std::ostream& os, const MetricSample& s) { os << s.states; }},
+      {"memory_bytes",
+       [](std::ostream& os, const MetricSample& s) { os << s.memoryBytes; }},
+      {"groups",
+       [](std::ostream& os, const MetricSample& s) { os << s.groups; }},
+      {"events",
+       [](std::ostream& os, const MetricSample& s) { os << s.events; }},
+      {"merges",
+       [](std::ostream& os, const MetricSample& s) { os << s.merges; }},
+      {"loop_summaries",
+       [](std::ostream& os, const MetricSample& s) { os << s.loopSummaries; }},
+  };
+  return kSchema;
 }
 
 const MetricSample& MetricsRecorder::last() const {
@@ -26,11 +49,16 @@ void MetricsRecorder::writeCsv(std::ostream& os,
                  seriesName.find('\n') == std::string_view::npos &&
                  seriesName.find('\r') == std::string_view::npos,
              "CSV series name must not contain commas or newlines");
-  os << "series,wall_s,virtual_t,states,memory_bytes,groups,events\n";
+  os << "series";
+  for (const MetricColumn& column : metricCsvSchema()) os << ',' << column.name;
+  os << '\n';
   for (const MetricSample& s : samples_) {
-    os << seriesName << ',' << s.wallSeconds << ',' << s.virtualTime << ','
-       << s.states << ',' << s.memoryBytes << ',' << s.groups << ','
-       << s.events << '\n';
+    os << seriesName;
+    for (const MetricColumn& column : metricCsvSchema()) {
+      os << ',';
+      column.write(os, s);
+    }
+    os << '\n';
   }
 }
 

@@ -20,7 +20,18 @@ struct MetricSample {
   std::uint64_t memoryBytes = 0;
   std::uint64_t groups = 0;  // dscenarios (COB) / dstates (COW, SDS)
   std::uint64_t events = 0;
+  std::uint64_t merges = 0;         // engine.merges (0 unless --merge)
+  std::uint64_t loopSummaries = 0;  // engine.loop_summaries
 };
+
+// The CSV row schema: one entry per emitted column, in order. Header
+// and row rendering both walk this table, so they cannot drift apart
+// (a hand-maintained header once went stale when columns were added).
+struct MetricColumn {
+  const char* name;
+  void (*write)(std::ostream& os, const MetricSample& sample);
+};
+[[nodiscard]] std::span<const MetricColumn> metricCsvSchema();
 
 class MetricsRecorder {
  public:
@@ -34,7 +45,7 @@ class MetricsRecorder {
   [[nodiscard]] bool empty() const { return samples_.empty(); }
   [[nodiscard]] const MetricSample& last() const;
 
-  // CSV with header: wall_s,virtual_t,states,memory_bytes,groups,events.
+  // CSV whose columns follow metricCsvSchema() (series name first).
   // seriesName lands verbatim in the first column, so names containing
   // commas or newlines are rejected (SDE_ASSERT).
   void writeCsv(std::ostream& os, std::string_view seriesName) const;

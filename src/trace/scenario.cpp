@@ -37,6 +37,8 @@ ScenarioResult summarize(Engine& engine, RunOutcome outcome) {
   result.groups = engine.mapper().numGroups();
   result.events = engine.eventsProcessed();
   result.packets = engine.stats().get("engine.packets");
+  result.merges = engine.stats().get("engine.merges");
+  result.loopSummaries = engine.stats().get("engine.loop_summaries");
   result.duplicatesStrict =
       findDuplicates(engine.states(), DuplicateMode::kStrict);
   result.duplicatesContent =
@@ -160,6 +162,8 @@ std::string encodeCollectScenarioSpec(const CollectScenarioConfig& config,
      << " maxevents=" << config.engine.maxEvents
      << " sample=" << config.engine.sampleEveryEvents
      << " adaptive=" << (config.engine.adaptiveSampling ? 1 : 0)
+     << " merge=" << (config.engine.mergeStates ? 1 : 0)
+     << " loopsum=" << (config.engine.loopSummarize ? 1 : 0)
      << " vars=" << numPartitionVariables;
   return os.str();
 }
@@ -224,6 +228,10 @@ std::optional<DecodedCollectSpec> decodeCollectScenarioSpec(
         decoded.config.engine.sampleEveryEvents = std::stoull(value);
       } else if (key == "adaptive") {
         decoded.config.engine.adaptiveSampling = value != "0";
+      } else if (key == "merge") {
+        decoded.config.engine.mergeStates = value != "0";
+      } else if (key == "loopsum") {
+        decoded.config.engine.loopSummarize = value != "0";
       } else if (key == "vars") {
         decoded.numPartitionVariables = std::stoull(value);
       } else {

@@ -27,6 +27,8 @@ struct ScenarioResult {
   std::uint64_t groups = 0;
   std::uint64_t events = 0;
   std::uint64_t packets = 0;
+  std::uint64_t merges = 0;         // states absorbed at join points
+  std::uint64_t loopSummaries = 0;  // timer iterations replayed summarily
   // Paper-model duplicates (packets distinguished by identity; §III-D:
   // zero for SDS) and content-model duplicates (the §III-D optimisation
   // headroom).

@@ -101,32 +101,79 @@ void Interpreter::runEvent(ExecutionState& state, Entry entry,
     setReg(state, static_cast<std::uint8_t>(i),
            i < args.size() ? args[i] : ctx_.constant(0, 64));
 
+  effects_ = EventEffects{};
+
   std::deque<ExecutionState*> worklist{&state};
   while (!worklist.empty()) {
     ExecutionState* current = worklist.front();
     worklist.pop_front();
+    if (current->mergedAway) continue;
     std::uint64_t steps = 0;
     std::vector<ExecutionState*> forked;
-    while (current->status == StateStatus::kRunning) {
+    // Parked at a join, or re-queued behind a released waiter: the state
+    // is still kRunning and resumes later — do not idle or untoken it.
+    bool suspended = false;
+    while (current->status == StateStatus::kRunning && !current->mergedAway) {
+      if (config_.mergeStates && !current->mergeTokens.empty()) {
+        const auto token = current->mergeTokens.back();
+        if (current->pc == token->joinPc &&
+            current->callStack.size() == token->depth) {
+          current->mergeTokens.pop_back();
+          const Arrival arrival =
+              arriveAtJoin(*current, token, sink, worklist);
+          if (arrival == Arrival::kContinue) continue;  // outer token next
+          if (arrival != Arrival::kAbsorbed) suspended = true;
+          break;
+        }
+        // Sends must not be reordered against parked siblings: drop the
+        // tokens first, and if a (lower-id) waiter resumes, re-queue the
+        // sender behind it so the global send order matches the unmerged
+        // run (where the waiter completed before this state started).
+        if (current->program().at(current->pc).op == Op::kSend) {
+          const std::size_t released = releaseTokens(*current, worklist);
+          if (released > 0) {
+            worklist.insert(
+                worklist.begin() + static_cast<std::ptrdiff_t>(released),
+                current);
+            suspended = true;
+            break;
+          }
+        }
+      }
       if (++steps > config_.maxStepsPerEvent) {
         kill(*current, "per-event step limit exceeded");
         break;
       }
       if (!step(*current, sink, forked)) break;
     }
-    if (current->status == StateStatus::kRunning)
-      current->status = StateStatus::kIdle;
+    if (!suspended) {
+      if (current->status == StateStatus::kRunning && !current->mergedAway)
+        current->status = StateStatus::kIdle;
+      // A finished or absorbed state can no longer reach a join: drop
+      // its remaining tokens, releasing waiters stranded by it.
+      if (!current->mergeTokens.empty()) releaseTokens(*current, worklist);
+    }
     // Forked siblings execute after the current state completes, in
     // creation order (deterministic breadth-first exploration).
     for (ExecutionState* child : forked) worklist.push_back(child);
   }
+  SDE_ASSERT(parkedCount_ == 0, "merge tokens must resolve by event end");
 }
 
 bool Interpreter::step(ExecutionState& state, EffectSink& sink,
                        std::vector<ExecutionState*>& worklist) {
   const Instr& ins = state.program().at(state.pc);
+  // Merge mode: the next instruction would concretize a symbolic
+  // operand, which must never observe a guard-dependent value. Split the
+  // innermost guard back apart (re-checking until no guards remain) and
+  // re-dispatch this pc on the split state(s).
+  if (needsGuardSplit(state)) {
+    splitLastGuard(state, sink, worklist);
+    return true;
+  }
   ++state.executedInstructions;
   stats_.bump("vm.instructions");
+  ++effects_.instructions;
   std::size_t nextPc = state.pc + 1;
 
   if (isBinaryAlu(ins.op)) {
@@ -172,13 +219,30 @@ bool Interpreter::step(ExecutionState& state, EffectSink& sink,
           break;
         case solver::Validity::kUnknown: {
           stats_.bump("vm.forks");
+          ++effects_.forks;
+          const std::size_t branchPc = state.pc;
           ExecutionState& child = sink.forkState(state);
+          noteForkTokens(child);
           // Parent takes the true edge, child the false edge.
           state.constraints.add(cond);
           child.constraints.add(ctx_.logicalNot(cond));
           child.pc = fallPc;
           SDE_ASSERT(child.status == StateStatus::kRunning,
                      "fork of a running state must be running");
+          // Merge mode: when every path from this branch funnels through
+          // an intra-handler join point, tag both siblings with a shared
+          // token so the first to reach the join parks for the other.
+          if (config_.mergeStates) {
+            if (const auto join =
+                    postdomFor(state.program()).joinFor(branchPc)) {
+              auto token = std::make_shared<ExecutionState::MergeToken>();
+              token->joinPc = *join;
+              token->depth = state.callStack.size();
+              token->live = 2;
+              state.mergeTokens.push_back(token);
+              child.mergeTokens.push_back(token);
+            }
+          }
           worklist.push_back(&child);
           nextPc = takenPc;
           break;
@@ -263,6 +327,7 @@ bool Interpreter::step(ExecutionState& state, EffectSink& sink,
       state.symbolics.push_back(var);
       setReg(state, ins.a, ctx_.zext(var, 64));
       stats_.bump("vm.symbolics");
+      ++effects_.symbolicsMinted;
       break;
     }
     case Op::kAssume: {
@@ -285,6 +350,7 @@ bool Interpreter::step(ExecutionState& state, EffectSink& sink,
         return false;
       }
       stats_.bump("vm.sends");
+      ++effects_.sends;
       // Advance pc before the callback: the mapping algorithm may fork
       // `state` itself (it never does — senders are not forked — but the
       // state must be consistent while the engine inspects it).
@@ -294,8 +360,14 @@ bool Interpreter::step(ExecutionState& state, EffectSink& sink,
       return state.status == StateStatus::kRunning;
     }
     case Op::kSetTimer: {
-      const std::uint64_t delay = concretize(state, reg(state, ins.a));
+      const expr::Ref delayExpr = reg(state, ins.a);
+      const bool constantDelay = delayExpr->isConstant();
+      const std::uint64_t delay = concretize(state, delayExpr);
       const auto timerId = static_cast<std::uint32_t>(ins.imm);
+      ++effects_.timerOps;
+      effects_.rearmConstant = constantDelay;
+      effects_.rearmTimerId = timerId;
+      effects_.rearmDelay = delay;
       // Re-arming replaces any pending expiry of the same timer.
       state.pendingEvents.eraseIf([&](const PendingEvent& e) {
         return e.kind == EventKind::kTimer && e.a == timerId;
@@ -311,6 +383,8 @@ bool Interpreter::step(ExecutionState& state, EffectSink& sink,
     }
     case Op::kStopTimer: {
       const auto timerId = static_cast<std::uint32_t>(ins.imm);
+      ++effects_.timerOps;
+      effects_.rearmConstant = false;
       state.pendingEvents.eraseIf([&](const PendingEvent& e) {
         return e.kind == EventKind::kTimer && e.a == timerId;
       });
@@ -322,6 +396,7 @@ bool Interpreter::step(ExecutionState& state, EffectSink& sink,
       break;
     case Op::kNow:
       setReg(state, ins.a, ctx_.constant(state.clock, 64));
+      effects_.usedNow = true;
       break;
     case Op::kNumNodes:
       setReg(state, ins.a, ctx_.constant(numNodes_, 64));
@@ -333,6 +408,168 @@ bool Interpreter::step(ExecutionState& state, EffectSink& sink,
 
   state.pc = nextPc;
   return true;
+}
+
+const PostDominators& Interpreter::postdomFor(const Program& program) {
+  auto it = postdomCache_.find(&program);
+  if (it == postdomCache_.end())
+    it = postdomCache_.emplace(&program, PostDominators(program)).first;
+  return it->second;
+}
+
+void Interpreter::noteForkTokens(ExecutionState& child) {
+  // fork() copied the parent's token stack; each shared token now has
+  // one more live runner that can reach (or strand) its join.
+  for (const auto& token : child.mergeTokens) token->live += 1;
+}
+
+bool Interpreter::needsGuardSplit(ExecutionState& state) const {
+  if (!config_.mergeStates || state.mergeGuards.empty()) return false;
+  const Instr& ins = state.program().at(state.pc);
+  const auto symbolic = [&](std::uint8_t index) {
+    const expr::Ref v = state.regs_[index];
+    return v != nullptr && !v->isConstant();
+  };
+  // Conservative: any symbolic operand that is about to be concretized
+  // forces a split, whether or not it mentions a guard. Concretization
+  // pins the state with an equality the unmerged run would have issued
+  // per arm, so it must only ever run on guard-free states.
+  switch (ins.op) {
+    case Op::kAlloc:
+      return symbolic(ins.b);
+    case Op::kLoad:
+    case Op::kStore:
+      return symbolic(ins.b) || symbolic(ins.c);
+    case Op::kSend:
+      return symbolic(ins.a) || symbolic(ins.b) || symbolic(ins.c);
+    case Op::kSetTimer:
+      return symbolic(ins.a);
+    default:
+      return false;
+  }
+}
+
+void Interpreter::splitLastGuard(ExecutionState& state, EffectSink& sink,
+                                 std::vector<ExecutionState*>& worklist) {
+  stats_.bump("vm.merge_splits");
+  const auto [feasTrue, feasFalse] = merger_.feasiblePolarities(state);
+  SDE_ASSERT(feasTrue || feasFalse,
+             "merged state with no syntactically feasible guard polarity");
+  if (feasTrue && feasFalse) {
+    ExecutionState& child = sink.forkState(state);
+    noteForkTokens(child);
+    ++effects_.forks;
+    // True arm (the old survivor, created first unmerged) runs first.
+    worklist.push_back(&child);
+    merger_.applyLastGuard(state, true);
+    merger_.applyLastGuard(child, false);
+  } else {
+    // The other polarity folds a constraint item to false: this fork
+    // child never represented that arm (a sibling fork covers it).
+    merger_.applyLastGuard(state, feasTrue);
+  }
+}
+
+namespace {
+
+// Front-enqueues `released` in ascending-id order: pushed descending,
+// so the queue front ends up lowest-id first — the order these states
+// completed in the unmerged exploration.
+void frontEnqueueById(std::vector<ExecutionState*>& released,
+                      std::deque<ExecutionState*>& runnable) {
+  std::sort(released.begin(), released.end(),
+            [](const ExecutionState* a, const ExecutionState* b) {
+              return a->id() > b->id();
+            });
+  for (ExecutionState* s : released) runnable.push_front(s);
+}
+
+}  // namespace
+
+Interpreter::Arrival Interpreter::arriveAtJoin(
+    ExecutionState& state,
+    const std::shared_ptr<ExecutionState::MergeToken>& token, EffectSink& sink,
+    std::deque<ExecutionState*>& runnable) {
+  // The survivor of a merge is always the lower id (the state created —
+  // and completed — first unmerged). Arrival order does NOT imply id
+  // order: a nested join can delay a low-id state past its higher-id
+  // siblings, so the arriving state may be either side of the merge.
+  for (std::size_t i = 0; i < token->parked.size();) {
+    ExecutionState* waiter = token->parked[i];
+    if (waiter->id() < state.id()) {
+      if (sink.tryMerge(*waiter, state)) {
+        token->live -= 1;
+        // Outer tokens the absorbed state held can no longer be
+        // honoured. (The waiter keeps holding the same shared stack.)
+        releaseTokens(state, runnable);
+        maybeReleaseParked(*token, runnable);
+        return Arrival::kAbsorbed;
+      }
+      ++i;
+    } else {
+      if (sink.tryMerge(state, *waiter)) {
+        token->live -= 1;
+        --parkedCount_;
+        token->parked.erase(token->parked.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        releaseTokens(*waiter, runnable);
+        continue;  // the arriving state may absorb further waiters
+      }
+      ++i;
+    }
+  }
+  // How many runners still hold the token and could yet arrive?
+  const std::size_t holders = static_cast<std::size_t>(token->live) -
+                              token->parked.size() - 1 /* self */;
+  if (holders > 0) {
+    token->parked.push_back(&state);
+    ++parkedCount_;
+    return Arrival::kParked;
+  }
+  token->live -= 1;
+  if (token->parked.empty()) return Arrival::kContinue;
+  // Every merge declined and nobody else can arrive: resume everyone in
+  // unmerged completion (= id) order, `state` slotted in by its own id.
+  std::vector<ExecutionState*> released;
+  collectReleasable(*token, released);
+  SDE_ASSERT(!released.empty(), "stranded waiters must release");
+  released.push_back(&state);
+  frontEnqueueById(released, runnable);
+  return Arrival::kYield;
+}
+
+std::size_t Interpreter::releaseTokens(ExecutionState& state,
+                                       std::deque<ExecutionState*>& runnable) {
+  std::vector<ExecutionState*> released;
+  while (!state.mergeTokens.empty()) {
+    const auto token = state.mergeTokens.back();
+    state.mergeTokens.pop_back();
+    token->live -= 1;
+    collectReleasable(*token, released);
+  }
+  std::size_t lower = 0;
+  for (const ExecutionState* s : released) lower += s->id() < state.id();
+  frontEnqueueById(released, runnable);
+  return lower;
+}
+
+void Interpreter::collectReleasable(ExecutionState::MergeToken& token,
+                                    std::vector<ExecutionState*>& out) {
+  if (token.parked.empty() ||
+      static_cast<std::size_t>(token.live) > token.parked.size())
+    return;
+  // Only waiters remain: nobody can arrive to merge with them.
+  out.insert(out.end(), token.parked.begin(), token.parked.end());
+  parkedCount_ -= token.parked.size();
+  token.live = 0;
+  token.parked.clear();
+}
+
+void Interpreter::maybeReleaseParked(ExecutionState::MergeToken& token,
+                                     std::deque<ExecutionState*>& runnable) {
+  std::vector<ExecutionState*> released;
+  collectReleasable(token, released);
+  frontEnqueueById(released, runnable);
 }
 
 }  // namespace sde::vm

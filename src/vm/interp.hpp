@@ -10,12 +10,17 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
 #include <span>
 #include <string_view>
 #include <vector>
 
 #include "solver/client.hpp"
 #include "support/stats.hpp"
+#include "vm/merge.hpp"
+#include "vm/postdom.hpp"
 #include "vm/state.hpp"
 
 namespace sde::vm {
@@ -34,6 +39,16 @@ class EffectSink {
   virtual void onSend(ExecutionState& sender, NodeId dst,
                       std::vector<expr::Ref> payload) = 0;
 
+  // Merge mode: two sibling states met at a join point. The
+  // implementation may ite-merge `absorbed` into `survivor` (marking
+  // `absorbed` mergedAway and deferring its removal) and return true,
+  // or decline. Default: merging disabled.
+  virtual bool tryMerge(ExecutionState& survivor, ExecutionState& absorbed) {
+    (void)survivor;
+    (void)absorbed;
+    return false;
+  }
+
   // Diagnostics (optional).
   virtual void onLog(ExecutionState& state, std::string_view message,
                      expr::Ref value) {
@@ -47,13 +62,35 @@ struct InterpConfig {
   // Per-state fuel per event; exceeding it kills the state (catching
   // accidental infinite loops in node programs).
   std::uint64_t maxStepsPerEvent = 1u << 20;
+  // Opt-in state merging: symbolic branches with an intra-handler join
+  // point (post-dominator) park their siblings there and offer them to
+  // EffectSink::tryMerge; merged states split back apart before any
+  // concretization could observe a guard-dependent value. Set by the
+  // engine from EngineConfig::mergeStates.
+  bool mergeStates = false;
+};
+
+// What one runEvent call did, summarised for the engine's bounded-loop
+// summarizer: a timer handler whose effects are "clean" (no clock
+// reads, sends, fresh symbolics or forks; exactly one constant-delay
+// re-arm of the dispatched timer) is a candidate for summarised replay.
+struct EventEffects {
+  bool usedNow = false;
+  std::uint32_t sends = 0;
+  std::uint32_t symbolicsMinted = 0;
+  std::uint32_t forks = 0;
+  std::uint32_t timerOps = 0;
+  bool rearmConstant = false;
+  std::uint64_t rearmTimerId = 0;
+  std::uint64_t rearmDelay = 0;
+  std::uint64_t instructions = 0;
 };
 
 class Interpreter {
  public:
   Interpreter(expr::Context& ctx, solver::SolverClient& solver,
               InterpConfig config = {})
-      : ctx_(ctx), solver_(solver), config_(config) {}
+      : ctx_(ctx), solver_(solver), config_(config), merger_(ctx) {}
 
   // Dispatches `entry` on `state` with up to three argument words in
   // r0..r2 and runs it (plus any forked siblings) to completion. After
@@ -75,6 +112,11 @@ class Interpreter {
   // destinations).
   std::uint64_t concretize(ExecutionState& state, expr::Ref value);
 
+  // Effects of the most recent runEvent call (loop-summarizer input).
+  [[nodiscard]] const EventEffects& lastEventEffects() const {
+    return effects_;
+  }
+
  private:
   // Executes one instruction; returns false when the handler finished
   // (by halt/return/failure/kill) for this state.
@@ -85,11 +127,48 @@ class Interpreter {
   void setReg(ExecutionState& state, std::uint8_t index, expr::Ref value);
   void kill(ExecutionState& state, std::string_view why);
 
+  // --- State-merging support (all no-ops unless config_.mergeStates) ---
+  [[nodiscard]] const PostDominators& postdomFor(const Program& program);
+  // Bumps the live count of every merge token `child` inherited by fork.
+  static void noteForkTokens(ExecutionState& child);
+  // Does the next instruction concretize a guard-dependent operand?
+  [[nodiscard]] bool needsGuardSplit(ExecutionState& state) const;
+  // Splits the innermost merge guard back apart (forking if both
+  // polarities are feasible) without executing the pending instruction.
+  void splitLastGuard(ExecutionState& state, EffectSink& sink,
+                      std::vector<ExecutionState*>& worklist);
+  // `state` reached the join pc of its innermost token (already popped).
+  // Merges with / parks against the token's waiters.
+  enum class Arrival { kContinue, kParked, kAbsorbed, kYield };
+  Arrival arriveAtJoin(ExecutionState& state,
+                       const std::shared_ptr<ExecutionState::MergeToken>& token,
+                       EffectSink& sink, std::deque<ExecutionState*>& runnable);
+  // Drops every token `state` holds (it terminated, merged away, or is
+  // about to emit a send). Parked waiters that can no longer merge are
+  // released to the front of `runnable` in ascending-id (= unmerged
+  // completion) order. Returns how many of them have lower ids than
+  // `state`: a caller that keeps running must yield behind exactly
+  // those (re-insert itself at that queue offset) to preserve unmerged
+  // completion order; higher-id waiters queue after it either way.
+  std::size_t releaseTokens(ExecutionState& state,
+                            std::deque<ExecutionState*>& runnable);
+  // Appends `token`'s parked waiters to `out` (un-parking them) if no
+  // live runner can still arrive at its join.
+  void collectReleasable(ExecutionState::MergeToken& token,
+                         std::vector<ExecutionState*>& out);
+  // collectReleasable + front-enqueue in ascending-id order.
+  void maybeReleaseParked(ExecutionState::MergeToken& token,
+                          std::deque<ExecutionState*>& runnable);
+
   expr::Context& ctx_;
   solver::SolverClient& solver_;
   InterpConfig config_;
+  Merger merger_;
   std::uint32_t numNodes_ = 0;
   support::StatsRegistry stats_;
+  EventEffects effects_;
+  std::size_t parkedCount_ = 0;
+  std::map<const Program*, PostDominators> postdomCache_;
 };
 
 }  // namespace sde::vm

@@ -43,6 +43,17 @@ std::shared_ptr<AddressSpace::Cells>& AddressSpace::mutableObject(
   return it->second;
 }
 
+void AddressSpace::insertObject(std::uint64_t id, Cells cells) {
+  SDE_ASSERT(!objects_.contains(id), "insertObject over existing object");
+  objects_.emplace(id, std::make_shared<Cells>(std::move(cells)));
+}
+
+void AddressSpace::removeObject(std::uint64_t id) {
+  SDE_ASSERT(objects_.contains(id), "removeObject of unknown object");
+  SDE_ASSERT(id != kGlobalsObject, "removeObject of the globals segment");
+  objects_.erase(id);
+}
+
 void AddressSpace::store(std::uint64_t id, std::uint64_t index,
                          expr::Ref value) {
   auto& payload = mutableObject(id);

@@ -42,6 +42,17 @@ class AddressSpace {
   [[nodiscard]] expr::Ref load(std::uint64_t id, std::uint64_t index) const;
   void store(std::uint64_t id, std::uint64_t index, expr::Ref value);
 
+  // --- State-merging support -------------------------------------------------
+  // Inserts an object under a caller-chosen id (a phantom object the
+  // merge partner allocated on its arm); the id must be free.
+  void insertObject(std::uint64_t id, Cells cells);
+  // Drops an object (splitting a merged state back onto the arm that
+  // never allocated it). The id must exist.
+  void removeObject(std::uint64_t id);
+  // Merged spaces advance the allocator to the max of both arms so both
+  // replay futures allocate non-clashing ids.
+  void setNextObjectId(std::uint64_t next) { nextId_ = next; }
+
   // Reads cells [0, count) of an object (packet payload extraction).
   [[nodiscard]] Cells read(std::uint64_t id, std::uint64_t count) const;
 

@@ -1,0 +1,125 @@
+// Ite-merging of sibling execution states, and the exact inverse.
+//
+// Two states that agree on everything an event handler cannot compute
+// over — node, program, event queue, communication history, symbolic
+// inputs — differ only in registers, memory cells, path-constraint
+// suffixes and decision tails. Merging replaces those differences with
+// ite(g, survivor, absorbed) terms under a fresh boolean guard g and
+// records a MergeGuard side table precise enough to *undo* the merge:
+// splitting on g = v (or enumerating both assignments at test-case
+// generation) reproduces, item for item and cell for cell, the state an
+// unmerged run would hold. That exactness is what the differential
+// merge oracle certifies.
+//
+// The Merger is policy-free: callers (the engine sweep, the
+// interpreter's join-point parking) decide *when* to merge; this module
+// decides *whether it can* and performs the algebra.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "expr/context.hpp"
+#include "expr/subst.hpp"
+#include "vm/state.hpp"
+
+namespace sde::vm {
+
+struct MergeLimits {
+  // Merges rewriting more than this many register/memory cells are
+  // declined: past some width the ite terms cost more than the saved
+  // state. Declining is always safe (the states simply stay separate).
+  std::size_t maxDifferingCells = 64;
+};
+
+class Merger {
+ public:
+  explicit Merger(expr::Context& ctx, MergeLimits limits = {})
+      : ctx_(ctx), limits_(limits) {}
+
+  // Engine-level compatibility of two sibling states: same node and
+  // program, both idle (or both running at the same pc/call stack, the
+  // parking case), identical event queues, timers, communication
+  // histories, symbolic-input lists and failure status, and memory
+  // object tables that differ at most by one-sided (phantom) objects.
+  // Registers, memory cell values, constraint suffixes and decision
+  // tails may differ — that is what the merge absorbs.
+  [[nodiscard]] bool compatible(const ExecutionState& a,
+                                const ExecutionState& b) const;
+
+  // Merges `absorbed` into `survivor` under the fresh width-1 guard
+  // variable `guard` (true selects the survivor arm). Requires
+  // compatible(). Returns false — leaving both states untouched — when
+  // the constraint algebra or the differing-cell cap declines.
+  bool merge(ExecutionState& survivor, ExecutionState& absorbed,
+             expr::Ref guard);
+
+  // Which polarities of `state`'s innermost (last) merge guard are
+  // syntactically feasible: substituting the guard may fold a
+  // post-merge constraint item to constant false, meaning that arm of
+  // this particular state was never explored unmerged (a sibling fork
+  // covers the assignment). first = guard true, second = guard false.
+  [[nodiscard]] std::pair<bool, bool> feasiblePolarities(
+      const ExecutionState& state) const;
+
+  // Rewrites `state` in place onto the `value` polarity of its
+  // innermost merge guard: splices the matching constraint suffix back
+  // in place of the merge conjunct, substitutes the guard constant
+  // through registers and memory (the Context builders re-fold the ite
+  // terms away), drops the other arm's phantom objects and decision
+  // tail, and restores the arm's own merge table. The polarity must be
+  // feasible per feasiblePolarities().
+  void applyLastGuard(ExecutionState& state, bool value);
+
+ private:
+  expr::Context& ctx_;
+  MergeLimits limits_;
+};
+
+// Test-case expansion over merged states: a merged state stands for
+// 2^guards unmerged states, so test-case generation enumerates every
+// guard assignment and reconstructs, per member state, the exact
+// constraint item list the unmerged run would have held under that
+// assignment (arm suffixes spliced back in place of the merge
+// conjuncts, the guard constants folded through every other item).
+class MergeExpansion {
+ public:
+  explicit MergeExpansion(expr::Context& ctx) : ctx_(ctx) {}
+
+  // Registers a member state's merge table (recursively, including the
+  // per-arm sub-tables). Call once per scenario member; guards
+  // accumulate in registration order.
+  void addState(const ExecutionState& state);
+
+  // Every guard registered, in deterministic registration order. Empty
+  // means no member merged — expansion degenerates to the identity.
+  [[nodiscard]] const std::vector<expr::Ref>& guards() const {
+    return guards_;
+  }
+
+  // Reconstructs `state`'s unmerged constraint items under `assignment`
+  // (indexed like guards()) into `out`, in unmerged insertion order and
+  // with constant-true items dropped — exactly the sequence add() saw
+  // on the unmerged path. Returns false when an item folds to constant
+  // false: this fork child does not represent that assignment (a
+  // sibling fork covers it, so the variant must be skipped, not
+  // reported unsatisfiable).
+  [[nodiscard]] bool expandItems(const ExecutionState& state,
+                                 const std::vector<bool>& assignment,
+                                 std::vector<expr::Ref>& out) const;
+
+ private:
+  bool expandItem(expr::Ref item, expr::Substitution& subst,
+                  const std::vector<bool>& assignment,
+                  std::vector<expr::Ref>& out) const;
+  void addTable(const std::vector<MergeGuard>& table);
+
+  expr::Context& ctx_;
+  std::vector<expr::Ref> guards_;
+  std::map<expr::Ref, std::size_t> guardIndex_;
+  std::map<expr::Ref, const MergeGuard*> byConjunct_;
+};
+
+}  // namespace sde::vm

@@ -1,0 +1,141 @@
+#include "vm/postdom.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace sde::vm {
+
+std::vector<std::size_t> PostDominators::successors(const Program& program,
+                                                    std::size_t pc) {
+  const std::size_t exit = program.size();
+  SDE_ASSERT(pc < exit, "successors: pc out of range");
+  const Instr& in = program.at(pc);
+  switch (in.op) {
+    case Op::kJmp:
+      return {static_cast<std::size_t>(in.imm)};
+    case Op::kBr:
+      return {static_cast<std::size_t>(in.imm),
+              static_cast<std::size_t>(in.imm2)};
+    case Op::kCall:
+      return {pc + 1};
+    case Op::kRet:
+    case Op::kHalt:
+    case Op::kFail:
+      return {exit};
+    default:
+      return {pc + 1 < exit ? pc + 1 : exit};
+  }
+}
+
+PostDominators::PostDominators(const Program& program) {
+  const std::size_t n = program.size();
+  exit_ = n;
+  ipdom_.assign(n + 1, exit_);
+  reachesExit_.assign(n + 1, false);
+  if (n == 0) {
+    reachesExit_[exit_] = true;
+    return;
+  }
+
+  // Successor and (original-graph) predecessor lists; the predecessor
+  // lists are the adjacency of the reversed graph rooted at EXIT.
+  std::vector<std::vector<std::size_t>> succ(n);
+  std::vector<std::vector<std::size_t>> pred(n + 1);
+  for (std::size_t pc = 0; pc < n; ++pc) {
+    succ[pc] = successors(program, pc);
+    for (const std::size_t s : succ[pc]) {
+      SDE_ASSERT(s <= n, "successor out of range");
+      pred[s].push_back(pc);
+    }
+  }
+
+  // Reverse post-order of the reversed graph, from EXIT, iteratively
+  // (programs can be long straight lines; no recursion).
+  std::vector<std::uint32_t> rpo(n + 1, 0);
+  std::vector<std::size_t> order;  // postorder of the reversed DFS
+  order.reserve(n + 1);
+  {
+    std::vector<std::uint8_t> seen(n + 1, 0);
+    std::vector<std::pair<std::size_t, std::size_t>> stack;  // (node, next)
+    stack.emplace_back(exit_, 0);
+    seen[exit_] = 1;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      if (next < pred[node].size()) {
+        const std::size_t child = pred[node][next++];
+        if (!seen[child]) {
+          seen[child] = 1;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        order.push_back(node);
+        stack.pop_back();
+      }
+    }
+  }
+  std::reverse(order.begin(), order.end());  // now RPO; order[0] == exit_
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    rpo[order[i]] = static_cast<std::uint32_t>(i);
+    reachesExit_[order[i]] = true;
+  }
+
+  // Cooper–Harvey–Kennedy iterative dominance on the reversed graph.
+  // "Predecessors" of b in the reversed graph are b's original
+  // successors. Unprocessed/unreachable entries stay kUndef.
+  constexpr std::size_t kUndef = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> idom(n + 1, kUndef);
+  idom[exit_] = exit_;
+  const auto intersect = [&](std::size_t a, std::size_t b) {
+    while (a != b) {
+      while (rpo[a] > rpo[b]) a = idom[a];
+      while (rpo[b] > rpo[a]) b = idom[b];
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::size_t b : order) {
+      if (b == exit_) continue;
+      std::size_t best = kUndef;
+      for (const std::size_t p : succ[b]) {
+        if (idom[p] == kUndef) continue;
+        best = best == kUndef ? p : intersect(p, best);
+      }
+      if (best == kUndef) continue;
+      if (idom[b] != best) {
+        idom[b] = best;
+        changed = true;
+      }
+    }
+  }
+  for (std::size_t pc = 0; pc <= n; ++pc)
+    ipdom_[pc] = idom[pc] == kUndef ? exit_ : idom[pc];
+}
+
+std::size_t PostDominators::ipdom(std::size_t pc) const {
+  SDE_ASSERT(pc < ipdom_.size(), "ipdom: pc out of range");
+  return ipdom_[pc];
+}
+
+bool PostDominators::postDominates(std::size_t a, std::size_t b) const {
+  SDE_ASSERT(a < ipdom_.size() && b < ipdom_.size(),
+             "postDominates: pc out of range");
+  if (a == exit_) return true;  // every path ends at EXIT
+  if (!reachesExit_[b]) return false;
+  for (std::size_t cur = b;; cur = ipdom_[cur]) {
+    if (cur == a) return true;
+    if (cur == exit_) return false;
+  }
+}
+
+std::optional<std::size_t> PostDominators::joinFor(std::size_t branchPc) const {
+  SDE_ASSERT(branchPc < exit_, "joinFor: pc out of range");
+  if (!reachesExit_[branchPc]) return std::nullopt;
+  const std::size_t j = ipdom_[branchPc];
+  if (j == exit_) return std::nullopt;
+  return j;
+}
+
+}  // namespace sde::vm

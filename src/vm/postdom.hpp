@@ -1,0 +1,66 @@
+// Post-dominator analysis over a vm::Program's flat code array.
+//
+// The merge-aware interpreter uses this to find the join point of a
+// symbolic branch: the immediate post-dominator of the branch pc is the
+// first pc every arm must reach before the handler can finish, so two
+// forked siblings parked there are candidates for an ite-merge
+// (paper-adjacent: "State Merging with Quantifiers in Symbolic
+// Execution" merges at such join points).
+//
+// CFG model (one node per instruction, plus one virtual EXIT node):
+//   kJmp        -> { imm }
+//   kBr         -> { imm, imm2 }
+//   kCall       -> { pc + 1 }   (call summarized as "returns";
+//                                non-returning callees only make the
+//                                analysis conservative, never wrong,
+//                                because parking tolerates arms that
+//                                die before the join)
+//   kRet/kHalt/kFail -> { EXIT }
+//   everything else  -> { pc + 1 }
+// Because kRet edges to EXIT, joins never span a call boundary: a
+// branch whose arms both return has ipdom == EXIT and is simply not
+// parked.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "vm/program.hpp"
+
+namespace sde::vm {
+
+class PostDominators {
+ public:
+  explicit PostDominators(const Program& program);
+
+  // Index of the virtual exit node (== program size).
+  [[nodiscard]] std::size_t exitNode() const { return exit_; }
+
+  // Immediate post-dominator of `pc`; exitNode() when the handler end is
+  // the only post-dominator, and also for nodes that cannot reach EXIT
+  // at all (infinite loops — nothing sound to park at, so "no join").
+  [[nodiscard]] std::size_t ipdom(std::size_t pc) const;
+
+  // True when every path from `b` to EXIT passes through `a` (reflexive).
+  [[nodiscard]] bool postDominates(std::size_t a, std::size_t b) const;
+
+  // The merge point for a branch at `branchPc`: its immediate
+  // post-dominator, or nullopt when that is the virtual exit (no
+  // intra-handler join to park at).
+  [[nodiscard]] std::optional<std::size_t> joinFor(std::size_t branchPc) const;
+
+  // CFG successors of `pc` under the model above (exposed for the
+  // property tests, which check joinFor against this very model).
+  [[nodiscard]] static std::vector<std::size_t> successors(
+      const Program& program, std::size_t pc);
+
+ private:
+  std::size_t exit_ = 0;
+  // ipdom_[pc]; ipdom_[exit_] == exit_; unreached-from-EXIT nodes are
+  // pinned to exit_.
+  std::vector<std::size_t> ipdom_;
+  std::vector<bool> reachesExit_;
+};
+
+}  // namespace sde::vm

@@ -76,6 +76,12 @@ std::unique_ptr<ExecutionState> ExecutionState::fork(StateId newId) const {
   clone->symbolics = symbolics;          // chunk-shared, O(tail)
   clone->symbolicCounters = symbolicCounters;
   clone->executedInstructions = executedInstructions;
+  clone->mergeGuards = mergeGuards;
+  // Merge tokens are shared by design: the interpreter bumps each
+  // inherited token's live count right after forking (fork() itself
+  // cannot, because non-branch forks — failure forks, mapper clones —
+  // happen between events when the stack is empty anyway).
+  clone->mergeTokens = mergeTokens;
   return clone;
 }
 
@@ -104,6 +110,12 @@ std::uint64_t ExecutionState::accountBytes(
            (sizeof(std::uint32_t) + sizeof(std::uint64_t));
   for (const auto& [label, count] : symbolicCounters)
     bytes += label.size() + sizeof(count);
+  for (const MergeGuard& g : mergeGuards)
+    bytes += sizeof(MergeGuard) +
+             (g.ifTrue.size() + g.ifFalse.size()) * sizeof(expr::Ref) +
+             (g.decTrue.size() + g.decFalse.size()) * sizeof(DecisionRecord) +
+             (g.objsTrueOnly.size() + g.objsFalseOnly.size()) *
+                 sizeof(std::uint64_t);
   bytes += space.accountBytes(seen);
   bytes += constraints.accountBytes(seen);
   bytes += commLog.accountBytes(seen);

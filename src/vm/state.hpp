@@ -213,6 +213,50 @@ class EventQueue {
   std::uint64_t strictRecvMultiset_ = 0;
 };
 
+// One engine-level failure decision taken on a path (see
+// ExecutionState::decisions below for the replay semantics).
+struct DecisionRecord {
+  expr::Ref var = nullptr;  // the symbolic decision variable
+  bool failed = false;      // branch taken: true = the failure branch
+};
+
+// Side table of one state merge this state survived (opt-in merging
+// mode). The merge minted the fresh boolean guard variable `guard`
+// ("mrg.N", true selects the survivor arm), replaced every differing
+// register/memory cell with ite(guard, survivorVal, absorbedVal), and
+// replaced the two arms' constraint suffixes with the single item
+// `conjunct` == ite(guard, And(ifTrue), And(ifFalse)). The suffixes and
+// the arms' decision-record tails are kept verbatim so the merge can be
+// *undone exactly*: splitting on guard=v splices the matching suffix
+// back in place of `conjunct` (and test-case expansion enumerates both
+// assignments), reproducing the very states an unmerged run builds.
+struct MergeGuard {
+  expr::Ref guard = nullptr;     // width-1 variable; true => survivor arm
+  expr::Ref conjunct = nullptr;  // the merged constraint item; nullptr
+                                 //  when both suffixes were empty
+  std::vector<expr::Ref> ifTrue;    // survivor-arm constraint suffix
+  std::vector<expr::Ref> ifFalse;   // absorbed-arm constraint suffix
+  std::vector<DecisionRecord> decTrue;   // survivor-arm decision tail
+  std::vector<DecisionRecord> decFalse;  // absorbed-arm decision tail
+  // Index into the merged decisions list where decTrue begins (== the
+  // two arms' common decision prefix length at merge time); decFalse
+  // follows immediately. Post-merge appends land after both, so the
+  // ranges stay valid for a later split.
+  std::size_t decSplit = 0;
+  // The arms' own merge entries beyond their common prefix: a survivor
+  // that had merged before contributes its extra entries to subTrue,
+  // the absorbed arm's to subFalse. A split re-appends the matching
+  // list, restoring exactly the arm's pre-merge table.
+  std::vector<MergeGuard> subTrue;
+  std::vector<MergeGuard> subFalse;
+  // Memory objects present in exactly one arm (phantom objects, e.g.
+  // the delivered-payload buffer the dropped arm never allocated). The
+  // merged space holds ite(guard, cells, 0...) for them; a split on the
+  // losing polarity removes them again.
+  std::vector<std::uint64_t> objsTrueOnly;
+  std::vector<std::uint64_t> objsFalseOnly;
+};
+
 class ExecutionState {
  public:
   ExecutionState(StateId id, NodeId node, const Program& program)
@@ -253,10 +297,7 @@ class ExecutionState {
   // state's distributed scenario without exploring the rest of the tree;
   // the parallel runner uses the log to assign each explored dscenario
   // to exactly one partition job.
-  struct DecisionRecord {
-    expr::Ref var = nullptr;  // the symbolic decision variable
-    bool failed = false;      // branch taken: true = the failure branch
-  };
+  using DecisionRecord = sde::vm::DecisionRecord;
 
   // --- SDE bookkeeping --------------------------------------------------------
   CommLog commLog;
@@ -271,6 +312,32 @@ class ExecutionState {
   // Number of VM instructions this state has executed (#(s) in the
   // paper's complexity analysis).
   std::uint64_t executedInstructions = 0;
+
+  // --- State merging (opt-in) -------------------------------------------------
+  // Side tables of the merges this state survived, in merge order
+  // (outermost first). Serialized in checkpoint v5; empty when merging
+  // is off.
+  std::vector<MergeGuard> mergeGuards;
+
+  // Intra-handler parking (merge mode): a symbolic branch whose join
+  // point is known pushes one shared token on both siblings; a state
+  // reaching joinPc at the recorded call depth parks there until the
+  // sibling arrives (ite-merge) or can no longer arrive (release).
+  // `live` counts the states still holding or parked on the token.
+  // Transient: only meaningful while kRunning inside one runEvent call,
+  // never serialized (checkpoints fire between events, when all stacks
+  // are empty).
+  struct MergeToken {
+    std::size_t joinPc = 0;
+    std::size_t depth = 0;  // callStack depth at the fork
+    int live = 0;
+    std::vector<ExecutionState*> parked;
+  };
+  std::vector<std::shared_ptr<MergeToken>> mergeTokens;  // innermost last
+
+  // Set when this state was absorbed into a sibling mid-event; the
+  // engine reaps flagged states at the end of the event. Transient.
+  bool mergedAway = false;
 
   // --- Fork cost / memory accounting -----------------------------------------
   // Elements fork() deep-copies right now across all shared-capable

@@ -220,6 +220,43 @@ INSTANTIATE_TEST_SUITE_P(Mappers, ForkAttributionTest,
                            return std::string(mapperKindName(info.param));
                          });
 
+// Merge attribution: a merged run's trace must stay structurally valid
+// (absorbed states leave the lineage through kStateMerge, not
+// kStateTerminate) and its trace-derived merge totals must match the
+// engine's counters — the same second-bookkeeping contract the fork
+// ledger has.
+TEST(MergeAttributionTest, SummaryReproducesEngineMergeCounters) {
+  trace::CollectScenarioConfig config;
+  config.gridWidth = 5;
+  config.gridHeight = 5;
+  config.simulationTime = 5000;
+  config.mapper = MapperKind::kSds;
+  config.engine.mergeStates = true;
+  trace::CollectScenario scenario(config);
+
+  MemoryTraceSink sink;
+  scenario.engine().setTraceSink(&sink);
+  ASSERT_EQ(scenario.run().outcome, RunOutcome::kCompleted);
+
+  TraceFile trace;
+  trace.header.numNodes = 25;
+  trace.header.mapper = std::string(mapperKindName(MapperKind::kSds));
+  trace.events = sink.events();
+  EXPECT_EQ(validateTrace(trace), std::vector<std::string>{});
+
+  const TraceSummary summary = summarizeTrace(trace);
+  const support::StatsRegistry& stats = scenario.engine().stats();
+  EXPECT_GT(summary.count(TraceEventKind::kStateMerge), 0u);
+  EXPECT_EQ(summary.count(TraceEventKind::kStateMerge),
+            stats.get("engine.merges"));
+  EXPECT_EQ(summary.mergeRemovedStates,
+            stats.get("engine.merge_removed_states"));
+  std::uint64_t mergesAcrossNodes = 0;
+  for (const auto& [node, merges] : summary.mergesByNode)
+    mergesAcrossNodes += merges;
+  EXPECT_EQ(mergesAcrossNodes, summary.count(TraceEventKind::kStateMerge));
+}
+
 TEST(ChromeExport, EmitsLoadableJsonShape) {
   trace::CollectScenarioConfig config;
   config.gridWidth = 3;

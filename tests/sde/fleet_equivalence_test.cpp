@@ -126,6 +126,50 @@ TEST_P(FleetEquivalenceTest, TestcasesMatchThreadRunner) {
   fs::remove_all(dir);
 }
 
+// Merge mode through the whole fleet stack: a merged exploration must
+// be distribution-invariant (fleet process count unobservable, digest
+// equal to the merged thread runner) and behaviour-preserving (the
+// guard-expanded test-case set of the merged fleet equals the plain
+// unmerged thread runner's).
+TEST_P(FleetEquivalenceTest, MergedFleetMatchesThreadRunnerAndUnmergedTestcases) {
+  auto config = smallGrid(GetParam(), 2500);
+  const std::string tag = std::string(mapperKindName(GetParam()));
+
+  ParallelConfig plainThreads;
+  plainThreads.workers = 2;
+  plainThreads.collectTestcases = true;
+  const trace::PartitionedCollectResult unmerged =
+      trace::runCollectPartitioned(config, plainThreads, /*vars=*/3);
+  ASSERT_EQ(unmerged.result.outcome, RunOutcome::kCompleted);
+  ASSERT_FALSE(unmerged.result.testcases.empty());
+
+  config.engine.mergeStates = true;
+  ParallelConfig mergedThreads;
+  mergedThreads.workers = 2;
+  mergedThreads.collectTestcases = true;
+  const trace::PartitionedCollectResult mergedRef =
+      trace::runCollectPartitioned(config, mergedThreads, /*vars=*/3);
+  ASSERT_EQ(mergedRef.result.outcome, RunOutcome::kCompleted);
+  EXPECT_EQ(mergedRef.result.testcases, unmerged.result.testcases) << tag;
+
+  for (const unsigned processes : {1u, 4u}) {
+    const std::string combo = tag + "_merge_p" + std::to_string(processes);
+    const fs::path dir = freshDir("fleet_eq_" + combo);
+    FleetConfig fleet;
+    fleet.processes = processes;
+    fleet.collectTestcases = true;
+    fleet.checkpointDir = dir.string();
+    const FleetResult run = trace::runCollectFleet(config, fleet, /*vars=*/3);
+
+    ASSERT_EQ(run.result.outcome, RunOutcome::kCompleted) << combo;
+    EXPECT_EQ(run.result.fingerprintDigest(),
+              mergedRef.result.fingerprintDigest())
+        << combo;
+    EXPECT_EQ(run.result.testcases, unmerged.result.testcases) << combo;
+    fs::remove_all(dir);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Mappers, FleetEquivalenceTest,
                          ::testing::Values(MapperKind::kSds, MapperKind::kCow),
                          [](const auto& info) {

@@ -150,6 +150,45 @@ TEST(FleetSuspendTest, MidJobSuspendLeavesResumableCheckpoint) {
             referenceDigest(config, kVars));
 }
 
+// Merge mode across suspend/restore: a merged exploration interrupted
+// mid-job must checkpoint its guard side tables (checkpoint v5) and
+// resume to the digest of an uninterrupted merged run — merged states
+// and their expansion metadata survive the round-trip byte-for-byte.
+TEST(FleetSuspendTest, MergedMidJobSuspendResumesToMergedReferenceDigest) {
+  auto config = scenarioConfig();
+  config.engine.mergeStates = true;
+  config.engine.loopSummarize = true;
+  constexpr std::size_t kVars = 2;
+  const std::uint64_t expected = referenceDigest(config, kVars);
+
+  const fs::path dir = freshDir("fleet_suspend_merged");
+  FleetConfig fleet;
+  fleet.processes = 1;
+  fleet.checkpointDir = dir.string();
+  fleet.shmQueryCache = false;
+  fleet.checkpointEveryEvents = 64;
+  const fs::path sentinel = dir / "suspend_now";
+  fleet.chaos.onCheckpoint = [sentinel](unsigned, std::uint32_t) {
+    std::ofstream(sentinel).put('x');
+  };
+  fleet.stopRequested = [&sentinel] { return fs::exists(sentinel); };
+
+  const FleetResult first = trace::runCollectFleet(config, fleet, kVars);
+  ASSERT_TRUE(first.suspended);
+  EXPECT_GE(first.jobsSuspendedMidRun, 1u);
+
+  FleetConfig resumeConfig;
+  resumeConfig.processes = 4;  // resume on a different fleet shape
+  resumeConfig.checkpointDir = dir.string();
+  resumeConfig.resume = true;
+  resumeConfig.shmQueryCache = false;
+  const FleetResult second = trace::runCollectFleet(config, resumeConfig, kVars);
+  EXPECT_FALSE(second.suspended);
+  EXPECT_EQ(second.result.outcome, RunOutcome::kCompleted);
+  EXPECT_EQ(second.result.fingerprintDigest(), expected);
+  fs::remove_all(dir);
+}
+
 // The SIGTERM path end to end: a forked process runs the fleet with
 // installSigtermSuspend, the parent SIGTERMs it mid-run, the child
 // reports a clean suspended exit, and an in-process resume completes

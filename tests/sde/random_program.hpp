@@ -18,7 +18,13 @@ namespace sde {
 
 class RandomProgramGen {
  public:
-  explicit RandomProgramGen(std::uint64_t seed) : rng_(seed) {}
+  // quietBranchArms: branch arm bodies emit no sends and mint no
+  // symbolics, so sibling forks differ only in registers, globals and
+  // path constraints — the shape the state merger can absorb. Used by
+  // the merge-equivalence battery; default off preserves the historical
+  // programs the other differential oracles explore.
+  explicit RandomProgramGen(std::uint64_t seed, bool quietBranchArms = false)
+      : rng_(seed), quietBranchArms_(quietBranchArms) {}
 
   vm::Program generate() {
     using vm::Entry;
@@ -66,7 +72,8 @@ class RandomProgramGen {
   vm::Reg reg() { return vm::Reg(3 + static_cast<unsigned>(rng_.below(7))); }
   std::uint64_t slot() { return 8 + rng_.below(8); }
 
-  void emitOps(vm::IRBuilder& b, int count, bool allowSend) {
+  void emitOps(vm::IRBuilder& b, int count, bool allowSend,
+               bool allowSymbolic = true) {
     using vm::Op;
     using vm::Reg;
     for (int i = 0; i < count; ++i) {
@@ -90,7 +97,7 @@ class RandomProgramGen {
         case 4:
           // Few, narrow symbolic inputs keep solver enumeration domains
           // small (random 64-bit dataflow defeats interval narrowing).
-          if (symbolics_ < 2) {
+          if (allowSymbolic && symbolics_ < 2) {
             b.makeSymbolic(reg(), "f",
                            1 + static_cast<unsigned>(rng_.below(4)));
             ++symbolics_;
@@ -131,8 +138,19 @@ class RandomProgramGen {
     std::vector<vm::IRBuilder::Label> joins;
     for (int i = 0; i < branches; ++i) {
       auto skip = b.newLabel();
-      b.branchIfZero(reg(), skip);
-      emitOps(b, 1 + static_cast<int>(rng_.below(3)), allowSend);
+      const vm::Reg cond = reg();
+      // Quiet mode also guarantees the branch is *symbolic*: random
+      // register soup almost never leaves symbolic data in the branch
+      // register within the short differential horizons, and a battery
+      // whose programs never fork never merges either.
+      if (quietBranchArms_ && symbolics_ < 2) {
+        b.makeSymbolic(cond, "f", 1 + static_cast<unsigned>(rng_.below(4)));
+        ++symbolics_;
+      }
+      b.branchIfZero(cond, skip);
+      emitOps(b, 1 + static_cast<int>(rng_.below(3)),
+              allowSend && !quietBranchArms_,
+              /*allowSymbolic=*/!quietBranchArms_);
       joins.push_back(skip);
     }
     for (auto it = joins.rbegin(); it != joins.rend(); ++it) {
@@ -142,6 +160,7 @@ class RandomProgramGen {
   }
 
   support::Rng rng_;
+  bool quietBranchArms_ = false;
   int symbolics_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "trace/metrics.hpp"
@@ -84,6 +85,47 @@ TEST(Metrics, CsvHasHeaderAndRows) {
   EXPECT_NE(text.find("series,wall_s,virtual_t,states,memory_bytes"),
             std::string::npos);
   EXPECT_NE(text.find("SDS,"), std::string::npos);
+}
+
+// Regression: the CSV header used to be a hand-maintained literal that
+// silently went stale when sample fields were added — rows grew columns
+// the header didn't name. Header and rows must both follow
+// metricCsvSchema(), so every line of the file has the same width.
+TEST(Metrics, CsvHeaderFollowsTheRowSchema) {
+  const auto columns = [](const std::string& line) {
+    return 1 + std::count(line.begin(), line.end(), ',');
+  };
+
+  MetricsRecorder recorder;
+  CollectScenarioConfig config;
+  config.gridWidth = 2;
+  config.gridHeight = 2;
+  config.simulationTime = 2000;
+  config.engine.mergeStates = true;
+  CollectScenario scenario(config);
+  scenario.run();
+
+  std::ostringstream os;
+  scenario.metrics().writeCsv(os, "SDS");
+  std::istringstream lines(os.str());
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+
+  // Header = "series" + exactly the schema column names, in order.
+  std::string expected = "series";
+  for (const MetricColumn& column : metricCsvSchema())
+    expected += std::string(",") + column.name;
+  EXPECT_EQ(header, expected);
+  EXPECT_NE(header.find(",merges"), std::string::npos);
+  EXPECT_NE(header.find(",loop_summaries"), std::string::npos);
+
+  std::string row;
+  std::size_t rows = 0;
+  while (std::getline(lines, row)) {
+    ++rows;
+    EXPECT_EQ(columns(row), columns(header)) << "row " << rows << ": " << row;
+  }
+  EXPECT_GT(rows, 0u);
 }
 
 namespace {

@@ -1,0 +1,119 @@
+// Bounded loop summarization: quiet timer loops (periodic handlers with
+// no externally visible effect other than re-arming themselves) are
+// collapsed into summarized increments after two identical observed
+// iterations. The oracle is behavioural equivalence — a summarize-on
+// run must finish with the same states, hashes, instruction counts and
+// event count as the summarize-off run — plus cleanliness guards: any
+// handler that sends, mints symbolics or reads the clock must never
+// arm the detector.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "net/topology.hpp"
+#include "os/node.hpp"
+#include "sde/engine.hpp"
+#include "vm/builder.hpp"
+
+namespace sde {
+namespace {
+
+// A pure idle tick: kTimer does some register arithmetic, then re-arms
+// timer 1 with the same constant delay. Nothing else ever happens.
+vm::Program quietTimerProgram() {
+  vm::IRBuilder b("quiet_timer");
+  b.beginEntry(vm::Entry::kInit);
+  b.constant(vm::Reg(3), 50);
+  b.setTimer(1, vm::Reg(3));
+  b.halt();
+  b.beginEntry(vm::Entry::kTimer);
+  b.constant(vm::Reg(3), 50);
+  b.constant(vm::Reg(4), 7);
+  b.alu(vm::Op::kAdd, vm::Reg(5), vm::Reg(3), vm::Reg(4));
+  b.setTimer(1, vm::Reg(3));
+  b.halt();
+  return b.finish();
+}
+
+// Identical shape, but the handler reads the virtual clock — an effect
+// the fast path could not replay, so the iteration is never clean.
+vm::Program clockReadingTimerProgram() {
+  vm::IRBuilder b("noisy_timer");
+  b.beginEntry(vm::Entry::kInit);
+  b.constant(vm::Reg(3), 50);
+  b.setTimer(1, vm::Reg(3));
+  b.halt();
+  b.beginEntry(vm::Entry::kTimer);
+  b.now(vm::Reg(6));
+  b.constant(vm::Reg(3), 50);
+  b.setTimer(1, vm::Reg(3));
+  b.halt();
+  return b.finish();
+}
+
+struct RunDigest {
+  std::uint64_t numStates = 0;
+  std::uint64_t events = 0;
+  std::uint64_t summaries = 0;
+  std::uint64_t summarizedInstructions = 0;
+  std::uint64_t totalInstructions = 0;
+  std::multiset<std::uint64_t> configHashes;
+  std::multiset<std::uint64_t> strictHashes;
+};
+
+RunDigest runOnce(const vm::Program& program, bool summarize,
+                  std::uint64_t horizon) {
+  os::NetworkPlan plan(net::Topology::line(2));
+  plan.runEverywhere(program);
+  EngineConfig config;
+  config.loopSummarize = summarize;
+  Engine engine(plan, MapperKind::kCow, config);
+  EXPECT_EQ(engine.run(horizon), RunOutcome::kCompleted);
+
+  RunDigest digest;
+  digest.numStates = engine.numStates();
+  digest.events = engine.eventsProcessed();
+  digest.summaries = engine.stats().get("engine.loop_summaries");
+  digest.summarizedInstructions =
+      engine.stats().get("engine.loop_summarized_instructions");
+  for (const auto& state : engine.states()) {
+    digest.totalInstructions += state->executedInstructions;
+    digest.configHashes.insert(state->configHash());
+    digest.strictHashes.insert(state->configHashStrict());
+  }
+  return digest;
+}
+
+TEST(LoopSummaryTest, QuietLoopArmsAndStaysEquivalent) {
+  const vm::Program program = quietTimerProgram();
+  const RunDigest off = runOnce(program, false, 5'000);
+  const RunDigest on = runOnce(program, true, 5'000);
+
+  EXPECT_EQ(off.summaries, 0u);
+  // ~100 firings per node at period 50; the detector needs a few
+  // observations before arming, everything after rides the fast path.
+  EXPECT_GT(on.summaries, 50u);
+  EXPECT_GT(on.summarizedInstructions, 0u);
+
+  // The summarized run is observably the unmerged run.
+  EXPECT_EQ(on.numStates, off.numStates);
+  EXPECT_EQ(on.events, off.events);
+  EXPECT_EQ(on.totalInstructions, off.totalInstructions);
+  EXPECT_EQ(on.configHashes, off.configHashes);
+  EXPECT_EQ(on.strictHashes, off.strictHashes);
+}
+
+TEST(LoopSummaryTest, ClockReadingHandlerNeverArms) {
+  const vm::Program program = clockReadingTimerProgram();
+  const RunDigest on = runOnce(program, true, 5'000);
+  EXPECT_EQ(on.summaries, 0u);
+  EXPECT_EQ(on.summarizedInstructions, 0u);
+
+  const RunDigest off = runOnce(program, false, 5'000);
+  EXPECT_EQ(on.configHashes, off.configHashes);
+  EXPECT_EQ(on.events, off.events);
+}
+
+}  // namespace
+}  // namespace sde

@@ -1,0 +1,200 @@
+// Property tests for the post-dominator analysis the merge-aware
+// interpreter parks on. The oracle is the definition itself, checked by
+// brute force over the very successor model the analysis uses: `a`
+// post-dominates `b` iff removing `a` disconnects `b` from EXIT. Random
+// block soups (including backward edges, i.e. loops and unreachable
+// regions) and the structured random handler programs both have to
+// satisfy it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "../sde/random_program.hpp"
+#include "support/rng.hpp"
+#include "vm/builder.hpp"
+#include "vm/postdom.hpp"
+
+namespace sde::vm {
+namespace {
+
+std::vector<std::vector<std::size_t>> successorGraph(const Program& program) {
+  std::vector<std::vector<std::size_t>> succ(program.size() + 1);
+  for (std::size_t pc = 0; pc < program.size(); ++pc)
+    succ[pc] = PostDominators::successors(program, pc);
+  return succ;
+}
+
+// Can `from` reach EXIT without passing through `avoid`? (`from` itself
+// may equal `avoid` only if from == exit.)
+bool reachesExitAvoiding(const std::vector<std::vector<std::size_t>>& succ,
+                         std::size_t exit, std::size_t from,
+                         std::size_t avoid) {
+  if (from == avoid) return from == exit;
+  std::vector<bool> seen(succ.size(), false);
+  std::deque<std::size_t> queue{from};
+  seen[from] = true;
+  while (!queue.empty()) {
+    const std::size_t at = queue.front();
+    queue.pop_front();
+    if (at == exit) return true;
+    for (const std::size_t next : succ[at]) {
+      if (next == avoid || seen[next]) continue;
+      seen[next] = true;
+      queue.push_back(next);
+    }
+  }
+  return false;
+}
+
+bool reachesExit(const std::vector<std::vector<std::size_t>>& succ,
+                 std::size_t exit, std::size_t from) {
+  // No node to avoid: exit+1 is outside the graph.
+  return reachesExitAvoiding(succ, exit, from, succ.size());
+}
+
+// Brute-force strict-or-reflexive post-dominance per the definition.
+bool bruteForcePdom(const std::vector<std::vector<std::size_t>>& succ,
+                    std::size_t exit, std::size_t a, std::size_t b) {
+  if (a == b) return true;
+  return !reachesExitAvoiding(succ, exit, b, a);
+}
+
+void checkProgram(const Program& program) {
+  const PostDominators pdoms(program);
+  const auto succ = successorGraph(program);
+  const std::size_t exit = pdoms.exitNode();
+  ASSERT_EQ(exit, program.size());
+
+  for (std::size_t pc = 0; pc < program.size(); ++pc) {
+    if (!reachesExit(succ, exit, pc)) {
+      // No path to EXIT: nothing sound to park at.
+      EXPECT_EQ(pdoms.ipdom(pc), exit) << "pc " << pc;
+      continue;
+    }
+    const std::size_t ipdom = pdoms.ipdom(pc);
+    EXPECT_NE(ipdom, pc) << "pc " << pc << ": ipdom must be strict";
+    EXPECT_TRUE(bruteForcePdom(succ, exit, ipdom, pc))
+        << "pc " << pc << ": ipdom " << ipdom << " is not a post-dominator";
+    // Immediacy: every other strict post-dominator of pc also
+    // post-dominates the ipdom (the ipdom is the nearest one).
+    for (std::size_t other = 0; other <= exit; ++other) {
+      if (other == pc || other == ipdom) continue;
+      if (!bruteForcePdom(succ, exit, other, pc)) continue;
+      EXPECT_TRUE(bruteForcePdom(succ, exit, other, ipdom))
+          << "pc " << pc << ": " << other << " post-dominates it but not its "
+          << "ipdom " << ipdom << " - ipdom is not immediate";
+    }
+    // The public predicate agrees with brute force.
+    for (std::size_t other = 0; other <= exit; ++other) {
+      EXPECT_EQ(pdoms.postDominates(other, pc),
+                bruteForcePdom(succ, exit, other, pc))
+          << "postDominates(" << other << ", " << pc << ")";
+    }
+
+    // The merge-point contract: a branch's join post-dominates every
+    // successor of the fork point, so neither arm can slip past it.
+    if (program.at(pc).op == Op::kBr) {
+      const auto join = pdoms.joinFor(pc);
+      if (!join.has_value()) continue;  // EXIT: no intra-handler join
+      for (const std::size_t arm : succ[pc]) {
+        if (!reachesExit(succ, exit, arm)) continue;
+        EXPECT_TRUE(bruteForcePdom(succ, exit, *join, arm))
+            << "branch " << pc << ": join " << *join
+            << " does not post-dominate arm " << arm;
+      }
+    }
+  }
+}
+
+// Unstructured block soup: every block ends in a random jump, branch,
+// halt or fallthrough to arbitrary labels — backward edges included, so
+// the CFGs contain loops, nests and dead regions no structured builder
+// would emit.
+Program randomCfg(std::uint64_t seed) {
+  support::Rng rng(seed);
+  IRBuilder b("cfg");
+  b.beginEntry(Entry::kInit);
+  const std::size_t blocks = 3 + rng.below(10);
+  std::vector<IRBuilder::Label> labels;
+  labels.reserve(blocks);
+  for (std::size_t i = 0; i < blocks; ++i) labels.push_back(b.newLabel());
+  const auto anyLabel = [&] { return labels[rng.below(blocks)]; };
+  for (std::size_t i = 0; i < blocks; ++i) {
+    b.bind(labels[i]);
+    b.constant(Reg(3), static_cast<std::int64_t>(i));
+    switch (rng.below(4)) {
+      case 0:
+        b.jump(anyLabel());
+        break;
+      case 1:
+        b.branch(Reg(3), anyLabel(), anyLabel());
+        break;
+      case 2:
+        b.halt();
+        break;
+      default:
+        break;  // fallthrough into the next block
+    }
+  }
+  b.halt();  // terminate the last block's fallthrough
+  return b.finish();
+}
+
+TEST(PostDominatorsTest, RandomCfgsSatisfyTheDefinition) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    SCOPED_TRACE("cfg seed " + std::to_string(seed));
+    checkProgram(randomCfg(seed));
+  }
+}
+
+TEST(PostDominatorsTest, StructuredHandlerProgramsSatisfyTheDefinition) {
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u, 55u, 66u, 77u, 88u}) {
+    SCOPED_TRACE("program seed " + std::to_string(seed));
+    sde::RandomProgramGen gen(seed);
+    checkProgram(gen.generate());
+  }
+}
+
+TEST(PostDominatorsTest, DiamondJoinsAtTheMergePoint) {
+  IRBuilder b("diamond");
+  b.beginEntry(Entry::kInit);
+  auto left = b.newLabel();
+  auto right = b.newLabel();
+  auto join = b.newLabel();
+  b.branch(Reg(3), left, right);  // pc 0
+  b.bind(left);
+  b.constant(Reg(4), 1);  // pc 1
+  b.jump(join);           // pc 2
+  b.bind(right);
+  b.constant(Reg(4), 2);  // pc 3
+  b.bind(join);
+  b.constant(Reg(5), 3);  // pc 4
+  b.halt();               // pc 5
+  const Program program = b.finish();
+
+  const PostDominators pdoms(program);
+  const auto join4 = pdoms.joinFor(0);
+  ASSERT_TRUE(join4.has_value());
+  EXPECT_EQ(*join4, 4u);
+}
+
+TEST(PostDominatorsTest, BranchWithReturningArmsHasNoJoin) {
+  IRBuilder b("split");
+  b.beginEntry(Entry::kInit);
+  auto left = b.newLabel();
+  auto right = b.newLabel();
+  b.branch(Reg(3), left, right);
+  b.bind(left);
+  b.halt();
+  b.bind(right);
+  b.halt();
+  const Program program = b.finish();
+
+  const PostDominators pdoms(program);
+  EXPECT_FALSE(pdoms.joinFor(0).has_value());
+}
+
+}  // namespace
+}  // namespace sde::vm

@@ -4,6 +4,7 @@
 //                          [--time T] [--mapper cow|sds|cob]
 //                          [--no-shm-cache] [--shm-name /name]
 //                          [--trace-dir D] [--testcases]
+//                          [--merge] [--loop-summarize]
 //                    starts a fresh fleet of the collect scenario with
 //                    <dir> as the durable job queue and prints the
 //                    merged summary + fingerprint digest
@@ -50,6 +51,8 @@ struct Options {
   std::string shmName;
   std::string traceDir;
   bool testcases = false;
+  bool merge = false;          // state merging at post-dominator joins
+  bool loopSummarize = false;  // bounded loop summarization
 };
 
 bool parseCommon(int argc, char** argv, int first, Options& options) {
@@ -110,6 +113,10 @@ bool parseCommon(int argc, char** argv, int first, Options& options) {
       options.traceDir = v;
     } else if (std::strcmp(argv[i], "--testcases") == 0) {
       options.testcases = true;
+    } else if (std::strcmp(argv[i], "--merge") == 0) {
+      options.merge = true;
+    } else if (std::strcmp(argv[i], "--loop-summarize") == 0) {
+      options.loopSummarize = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return false;
@@ -142,6 +149,21 @@ void printFleetResult(const FleetResult& fleet) {
   std::printf("wall seconds       %.3f\n", result.wallSeconds);
   std::printf("fingerprint digest %016llx\n",
               static_cast<unsigned long long>(result.fingerprintDigest()));
+  if (!result.testcases.empty()) {
+    // FNV-1a over the sorted-distinct union; the merge verify stage
+    // compares this line between a merged and an unmerged launch.
+    std::uint64_t digest = 14695981039346656037ull;
+    for (const std::string& testcase : result.testcases) {
+      for (const char c : testcase) {
+        digest ^= static_cast<unsigned char>(c);
+        digest *= 1099511628211ull;
+      }
+      digest *= 1099511628211ull;  // record separator
+    }
+    std::printf("testcases          %zu\n", result.testcases.size());
+    std::printf("testcase digest    %016llx\n",
+                static_cast<unsigned long long>(digest));
+  }
 }
 
 int launch(const fs::path& dir, const Options& options, bool resume) {
@@ -150,6 +172,8 @@ int launch(const fs::path& dir, const Options& options, bool resume) {
   scenario.gridHeight = options.gridHeight;
   scenario.simulationTime = options.time;
   scenario.mapper = options.mapper;
+  scenario.engine.mergeStates = options.merge;
+  scenario.engine.loopSummarize = options.loopSummarize;
 
   std::size_t vars = options.vars;
   if (resume) {

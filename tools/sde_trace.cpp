@@ -104,6 +104,30 @@ void printSummary(const obs::TraceSummary& summary, std::size_t topK) {
   std::printf("  terminated             %llu\n",
               ull(summary.count(obs::TraceEventKind::kStateTerminate)));
 
+  // Merge attribution: forks create states, merges hand them back. The
+  // reclaimed line is the credit side of the fork ledger above.
+  const std::uint64_t merges = summary.count(obs::TraceEventKind::kStateMerge);
+  const std::uint64_t loopSummaries =
+      summary.count(obs::TraceEventKind::kLoopSummary);
+  if (merges + loopSummaries > 0) {
+    std::printf("\nstate merging\n");
+    std::printf("  merges                 %llu\n", ull(merges));
+    std::printf("  states reclaimed       %llu (%.1f%% of %llu forks)\n",
+                ull(summary.mergeRemovedStates),
+                summary.forksTotal() > 0
+                    ? 100.0 * static_cast<double>(summary.mergeRemovedStates) /
+                          static_cast<double>(summary.forksTotal())
+                    : 0.0,
+                ull(summary.forksTotal()));
+    std::printf("  loop summaries         %llu\n", ull(loopSummaries));
+    if (!summary.mergesByNode.empty()) {
+      std::printf("  merges by node        ");
+      for (const auto& [node, count] : summary.mergesByNode)
+        std::printf(" n%u:%llu", node, ull(count));
+      std::printf("\n");
+    }
+  }
+
   std::printf("\nnetwork\n");
   std::printf("  transmissions          %llu\n",
               ull(summary.count(obs::TraceEventKind::kPacketTransmit)));
