@@ -10,6 +10,12 @@
 //                    [--outdir DIR] [--paper]
 //                    [--checkpoint-dir DIR] [--resume] [--trace-out DIR]
 //                    [--fleet N] [--metrics] [--merge] [--loop-summarize]
+//                    [--phase-profile]
+//
+// With --phase-profile every run attaches the phase profiler and prints
+// the per-phase self-time table plus the interpreter's per-opcode
+// histogram (execution counts always; self-times and adjacent-pair
+// counts when SDE_OPCODE_TIME=1) without requiring a trace directory.
 //
 // With --merge (and optionally --loop-summarize) every run explores with
 // state merging at post-dominator join points (bounded loop summarization
@@ -83,6 +89,7 @@ struct Options {
   bool metrics = false;   // attach the live metrics plane (E21 overhead)
   bool merge = false;     // state merging at post-dominator joins (E22)
   bool loopSummarize = false;  // bounded loop summarization (E22)
+  bool phaseProfile = false;   // print phase + opcode profile (E23)
 };
 
 Options parseArgs(int argc, char** argv) {
@@ -118,6 +125,8 @@ Options parseArgs(int argc, char** argv) {
       options.merge = true;
     else if (arg == "--loop-summarize")
       options.loopSummarize = true;
+    else if (arg == "--phase-profile")
+      options.phaseProfile = true;
     else
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
   }
@@ -198,6 +207,8 @@ int main(int argc, char** argv) {
         scenario.engine().setTraceSink(traceSink.get());
         scenario.engine().setProfiler(&profiler);
       }
+      if (options.phaseProfile && traceSink == nullptr)
+        scenario.engine().setProfiler(&profiler);
 
       std::filesystem::path ckpt;
       if (!options.checkpointDir.empty()) {
@@ -270,6 +281,10 @@ int main(int argc, char** argv) {
         traceSink->close();
         std::fprintf(stderr, "[trace] %u nodes %s -> %s\n", nodes,
                      name.c_str(), tracePath.string().c_str());
+      } else if (options.phaseProfile) {
+        scenario.engine().setProfiler(nullptr);
+      }
+      if (traceSink != nullptr || options.phaseProfile) {
         support::StatsRegistry profileStats;
         profiler.profile().toStats(profileStats);
         std::printf("%s phase profile:\n%s%s", name.c_str(),

@@ -56,6 +56,26 @@ test -n "$DIGEST_P4" && test "$DIGEST_P4" = "$DIGEST_P1" \
   || { echo "fleet digest mismatch: p4='$DIGEST_P4' p1='$DIGEST_P1'"; exit 1; }
 echo "fleet digests agree: $DIGEST_P4"
 
+echo "=== dispatch smoke: switch-dispatch digests == threaded/fused digests ==="
+# The VM dispatch strategy (threaded/fused vs the switch interpreter) and
+# same-key event batching must be unobservable in the results: re-run the
+# fleet smoke plans with SDE_DISPATCH=switch and compare fingerprint
+# digests against the default (fused) launches above, at both process
+# counts.
+SDE_DISPATCH=switch ./build/tools/sde_fleet launch "$FLEET_SMOKE/sw4" \
+  --processes 4 --nodes '5*5' --time 4000 --vars 3 --testcases \
+  > "$FLEET_SMOKE/sw4.out"
+SDE_DISPATCH=switch ./build/tools/sde_fleet launch "$FLEET_SMOKE/sw1" \
+  --processes 1 --nodes '5*5' --time 4000 --vars 3 --testcases \
+  > "$FLEET_SMOKE/sw1.out"
+DIGEST_SW4=$(grep -o 'digest [0-9a-f]*' "$FLEET_SMOKE/sw4.out" | head -1)
+DIGEST_SW1=$(grep -o 'digest [0-9a-f]*' "$FLEET_SMOKE/sw1.out" | head -1)
+test -n "$DIGEST_SW4" && test "$DIGEST_SW4" = "$DIGEST_P4" \
+  || { echo "dispatch digest mismatch (p4): switch='$DIGEST_SW4' fused='$DIGEST_P4'"; exit 1; }
+test "$DIGEST_SW1" = "$DIGEST_P1" \
+  || { echo "dispatch digest mismatch (p1): switch='$DIGEST_SW1' fused='$DIGEST_P1'"; exit 1; }
+echo "dispatch digests agree across modes and process counts: $DIGEST_SW4"
+
 echo "=== merge smoke: merged fleet == unmerged fleet testcase digest, fewer states ==="
 # State merging must be invisible in the testcase set (the differential
 # battery proves this per-program; this drives it end-to-end through the
@@ -216,6 +236,12 @@ echo "=== asan: merge-on vs merge-off differential battery ==="
 # reaps states in place — exactly where lifetime bugs would hide).
 ./build-asan/tests/merge_tests
 
+echo "=== asan: dispatch-mode differential battery ==="
+# Threaded dispatch walks a pre-decoded instruction array with computed
+# gotos and caches interned constants in mutable decode slots — pointer
+# arithmetic ASan must bless on every seed.
+./build-asan/tests/dispatch_tests
+
 echo "=== ubsan: configure + build (SDE_SANITIZE=undefined) ==="
 # UB surfaces in the expr hashing / shift-heavy solver layers and the
 # snapshot codec's byte packing; -fno-sanitize-recover turns any hit
@@ -226,5 +252,11 @@ cmake --build build-ubsan -j
 
 echo "=== ubsan: ctest ==="
 ctest --test-dir build-ubsan --output-on-failure -j
+
+echo "=== ubsan: dispatch-mode differential battery ==="
+# The fused handler bodies chain ALU evaluations on u64 immediates
+# (shift widths, signed division edge cases); -fno-sanitize-recover
+# turns any UB in a superinstruction into a hard failure.
+./build-ubsan/tests/dispatch_tests
 
 echo "=== verify: all green ==="

@@ -89,7 +89,9 @@ std::size_t Context::NodeKeyHash::operator()(const NodeKey& k) const {
   return static_cast<std::size_t>(h.digest());
 }
 
-Context::Context() {
+Context::Context() : Context(support::Arena::kDefaultBlockBytes) {}
+
+Context::Context(std::size_t arenaBlockBytes) : arena_(arenaBlockBytes) {
   false_ = constant(0, 1);
   true_ = constant(1, 1);
 }
@@ -106,11 +108,12 @@ Ref Context::intern(Kind kind, unsigned width, std::uint64_t aux,
   }
   if (auto it = interned_.find(key); it != interned_.end()) return it->second;
 
-  Expr& node = nodes_.emplace_back(Expr::PassKey{});
+  Expr& node = *arena_.create<Expr>(Expr::PassKey{});
+  byIndex_.push_back(&node);
   node.kind_ = kind;
   node.width_ = static_cast<std::uint8_t>(width);
   node.numOps_ = static_cast<std::uint8_t>(n);
-  node.id_ = static_cast<std::uint32_t>(nodes_.size() - 1);
+  node.id_ = static_cast<std::uint32_t>(byIndex_.size() - 1);
   node.aux_ = aux;
   node.ops_ = key.ops;
   node.ctx_ = this;
@@ -146,8 +149,8 @@ Ref Context::variable(std::string_view name, unsigned width) {
 }
 
 Ref Context::nodeAt(std::size_t index) const {
-  SDE_ASSERT(index < nodes_.size(), "expression node index out of range");
-  return &nodes_[index];
+  SDE_ASSERT(index < byIndex_.size(), "expression node index out of range");
+  return byIndex_[index];
 }
 
 Ref Context::restoreNode(Kind kind, unsigned width, std::uint64_t aux,

@@ -6,7 +6,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <span>
 #include <string>
 #include <string_view>
@@ -14,12 +13,19 @@
 #include <vector>
 
 #include "expr/expr.hpp"
+#include "support/arena.hpp"
 
 namespace sde::expr {
 
 class Context {
  public:
   Context();
+  // Arena block-size override. The default (support::Arena's block size)
+  // is right for real runs; bench_vm passes 1 to force one exact-fit
+  // allocation per node ("heap mode") for the arena-vs-heap A/B. The
+  // knob changes memory layout only — interning order, ids, hashes and
+  // the serialized expr log are identical for every block size.
+  explicit Context(std::size_t arenaBlockBytes);
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
 
@@ -83,8 +89,17 @@ class Context {
 
   // --- Introspection -------------------------------------------------------
   [[nodiscard]] std::string_view variableName(std::uint64_t index) const;
-  [[nodiscard]] std::size_t numNodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t numNodes() const { return byIndex_.size(); }
   [[nodiscard]] std::size_t numVariables() const { return varNames_.size(); }
+
+  // Arena footprint of the interned node graph (bench_vm / stats).
+  [[nodiscard]] std::size_t arenaBytesAllocated() const {
+    return arena_.bytesAllocated();
+  }
+  [[nodiscard]] std::size_t arenaBytesReserved() const {
+    return arena_.bytesReserved();
+  }
+  [[nodiscard]] std::size_t arenaBlocks() const { return arena_.numBlocks(); }
 
   // Collect the distinct variables appearing in `x` (deterministic order:
   // by variable table index).
@@ -129,7 +144,13 @@ class Context {
   Ref simplifyBinary(Kind kind, Ref a, Ref b);
   Ref simplifyCompare(Kind kind, Ref a, Ref b);
 
-  std::deque<Expr> nodes_;  // stable addresses
+  // Node storage: bump-pointer arena (stable addresses, no per-node
+  // heap allocation) plus the interning log as an index->node table so
+  // nodeAt(id) stays O(1). Expr::id() == index into byIndex_, exactly
+  // as it was when nodes_ was a deque — the checkpoint expr-log format
+  // (snapshot/checkpoint.cpp writeExprTable) depends on that.
+  support::Arena arena_;
+  std::vector<Ref> byIndex_;
   std::unordered_map<NodeKey, Ref, NodeKeyHash> interned_;
   std::vector<std::string> varNames_;
   std::unordered_map<std::string, Ref> varsByName_;

@@ -1,6 +1,8 @@
 #include "obs/profiler.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <sstream>
 
 #include "obs/metrics.hpp"
@@ -32,6 +34,7 @@ std::uint64_t PhaseProfile::totalNanos() const {
 }
 
 bool PhaseProfile::empty() const {
+  if (!opcodes.empty()) return false;
   for (const Entry& entry : phases)
     if (entry.nanos != 0 || entry.calls != 0) return false;
   return true;
@@ -43,6 +46,11 @@ void PhaseProfile::toStats(support::StatsRegistry& stats) const {
         "profile." + std::string(phaseName(static_cast<Phase>(i)));
     stats.bump(prefix + ".micros", phases[i].nanos / 1000);
     stats.bump(prefix + ".calls", phases[i].calls);
+  }
+  for (const OpEntry& op : opcodes) {
+    stats.bump("profile." + op.name + ".count", op.count);
+    if (op.nanos != 0)
+      stats.bump("profile." + op.name + ".micros", op.nanos / 1000);
   }
 }
 
@@ -71,6 +79,35 @@ std::string PhaseProfile::report() const {
                   static_cast<unsigned long long>(entry.calls), share);
     os << line;
   }
+  if (!opcodes.empty()) {
+    // Display order: hottest first (ties by name); counts are exact,
+    // times only present when the run profiled with SDE_OPCODE_TIME.
+    std::vector<OpEntry> rows = opcodes;
+    std::sort(rows.begin(), rows.end(), [](const OpEntry& a, const OpEntry& b) {
+      if (a.count != b.count) return a.count > b.count;
+      return a.name < b.name;
+    });
+    std::uint64_t opTotalNanos = 0;
+    for (const OpEntry& row : rows) opTotalNanos += row.nanos;
+    os << "opcode histogram:\n";
+    for (const OpEntry& row : rows) {
+      char line[160];
+      if (row.nanos != 0) {
+        const double share = opTotalNanos == 0
+                                 ? 0.0
+                                 : 100.0 * static_cast<double>(row.nanos) /
+                                       static_cast<double>(opTotalNanos);
+        std::snprintf(line, sizeof(line),
+                      "  %-18s %14llu  %10.2f ms  %5.1f%%\n", row.name.c_str(),
+                      static_cast<unsigned long long>(row.count),
+                      static_cast<double>(row.nanos) / 1e6, share);
+      } else {
+        std::snprintf(line, sizeof(line), "  %-18s %14llu\n", row.name.c_str(),
+                      static_cast<unsigned long long>(row.count));
+      }
+      os << line;
+    }
+  }
   return os.str();
 }
 
@@ -78,6 +115,20 @@ PhaseProfile& PhaseProfile::mergeFrom(const PhaseProfile& other) {
   for (std::size_t i = 0; i < kNumPhases; ++i) {
     phases[i].nanos += other.phases[i].nanos;
     phases[i].calls += other.phases[i].calls;
+  }
+  if (!other.opcodes.empty()) {
+    // Name-keyed sum; the merged vector is rebuilt in name order so a
+    // fleet merge is deterministic regardless of job arrival order.
+    std::map<std::string, OpEntry> byName;
+    for (const OpEntry& op : opcodes) byName[op.name] = op;
+    for (const OpEntry& op : other.opcodes) {
+      OpEntry& into = byName[op.name];
+      into.name = op.name;
+      into.count += op.count;
+      into.nanos += op.nanos;
+    }
+    opcodes.clear();
+    for (auto& [name, entry] : byName) opcodes.push_back(std::move(entry));
   }
   return *this;
 }

@@ -49,6 +49,21 @@ struct PhaseProfile {
   };
   std::array<Entry, kNumPhases> phases{};
 
+  // Per-opcode execution histogram from the interpreter: "op.<name>"
+  // entries carry execution counts (and self-time when the run was made
+  // under SDE_OPCODE_TIME); "pair.<a>+<b>" entries carry adjacent-pair
+  // counts — the data the superinstruction selection is audited
+  // against. They ride the trace file's name-keyed profile section
+  // unchanged; readers that predate them drop unknown names.
+  struct OpEntry {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t nanos = 0;
+  };
+  std::vector<OpEntry> opcodes;
+
+  // Phase self-time only: opcode nanos are inclusive (nested solver and
+  // mapping work included) and would double-count.
   [[nodiscard]] std::uint64_t totalNanos() const;
   [[nodiscard]] bool empty() const;
   // Folds per-phase totals into a StatsRegistry as
@@ -86,6 +101,12 @@ class PhaseProfiler {
   [[nodiscard]] const PhaseProfile& profile() const {
     SDE_ASSERT(stack_.empty(), "profile read inside an open phase scope");
     return profile_;
+  }
+  // Attaches the interpreter's opcode histogram to the snapshot
+  // (replacing any previous attachment — the interpreter's counters are
+  // cumulative, so the engine re-attaches after every run).
+  void setOpcodes(std::vector<PhaseProfile::OpEntry> opcodes) {
+    profile_.opcodes = std::move(opcodes);
   }
   void clear() {
     SDE_ASSERT(stack_.empty(), "clear inside an open phase scope");

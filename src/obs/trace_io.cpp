@@ -41,11 +41,19 @@ void writeTail(snapshot::Writer& out, const PhaseProfile& profile) {
   out.u8(kTraceEventTerminator);
   out.b(!profile.empty());
   if (!profile.empty()) {
-    out.u64(kNumPhases);
+    // The section is a flat name-keyed list, so the opcode histogram
+    // rides after the phases without a version bump: entries a reader
+    // does not recognise are dropped, "op."/"pair." names are collected.
+    out.u64(kNumPhases + profile.opcodes.size());
     for (std::size_t i = 0; i < kNumPhases; ++i) {
       out.str(phaseName(static_cast<Phase>(i)));
       out.u64(profile.phases[i].nanos);
       out.u64(profile.phases[i].calls);
+    }
+    for (const PhaseProfile::OpEntry& op : profile.opcodes) {
+      out.str(op.name);
+      out.u64(op.nanos);
+      out.u64(op.count);
     }
   }
   out.magic(kTraceTrailer);
@@ -124,11 +132,15 @@ TraceFile readTrace(std::istream& is) {
     }
 
     if (in.b()) {
-      const std::uint64_t numPhases = in.u64();
-      for (std::uint64_t i = 0; i < numPhases; ++i) {
+      const std::uint64_t numEntries = in.u64();
+      for (std::uint64_t i = 0; i < numEntries; ++i) {
         const std::string name = in.str();
         const std::uint64_t nanos = in.u64();
         const std::uint64_t calls = in.u64();
+        if (name.rfind("op.", 0) == 0 || name.rfind("pair.", 0) == 0) {
+          trace.profile.opcodes.push_back({name, calls, nanos});
+          continue;
+        }
         // Tolerate phase-set evolution: names this build does not know
         // are dropped rather than rejected.
         for (std::size_t p = 0; p < kNumPhases; ++p) {

@@ -676,56 +676,111 @@ RunOutcome Engine::run(std::uint64_t untilVirtualTime) {
     }
     if (!popped) break;
 
-    touched_.clear();
-    {
-      obs::ScopedPhase phase(profiler_, obs::Phase::kInterp);
-      processEvent(*popped->state, std::move(popped->event));
-    }
-    if (config_.mergeStates) {
+    // Same-key batch stepping: consecutive ready events dispatching the
+    // same handler — equal (time, node, kind, timer/sender id), differing
+    // only in which sibling state receives them, the shape forking
+    // produces en masse — are stepped in one block. The pop sequence,
+    // per-event processing and re-registration are exactly the per-event
+    // loop's (the continuation probe consumes the scheduler head only
+    // when it extends the batch), so delivery release order and digests
+    // are unchanged; the batch amortizes the outer-loop housekeeping and
+    // the string-keyed stats bumps.
+    const std::uint64_t batchTime = popped->event.time;
+    const auto batchNode = popped->state->node();
+    const auto batchKind = popped->event.kind;
+    const auto batchA = popped->event.a;
+    std::uint64_t batchLen = 0;
+    while (true) {
+      touched_.clear();
       {
-        obs::ScopedPhase phase(profiler_, obs::Phase::kMapping);
-        mergeSweep();
+        obs::ScopedPhase phase(profiler_, obs::Phase::kInterp);
+        processEvent(*popped->state, std::move(popped->event));
       }
-      // Deferred removal: nothing holds a pointer into the absorbed
-      // states once the event is fully processed.
-      if (!pendingReaps_.empty()) reapMergedStates();
-    }
-    ++eventsProcessed_;
-    stats_.bump("engine.events");
-    if (metrics_ != nullptr) metrics_->add(mEvents_);
+      popped.reset();
+      if (config_.mergeStates) {
+        {
+          obs::ScopedPhase phase(profiler_, obs::Phase::kMapping);
+          mergeSweep();
+        }
+        // Deferred removal: nothing holds a pointer into the absorbed
+        // states once the event is fully processed.
+        if (!pendingReaps_.empty()) reapMergedStates();
+      }
+      ++eventsProcessed_;
+      ++batchLen;
+      if (metrics_ != nullptr) metrics_->add(mEvents_);
 
-    // Re-register every state whose timeline changed (the dispatched
-    // state, forked siblings, delivery receivers). Duplicate heap
-    // entries are validated away on pop.
-    obs::ScopedPhase phase(profiler_, obs::Phase::kScheduler);
-    std::sort(touched_.begin(), touched_.end(),
-              [](const ExecutionState* a, const ExecutionState* b) {
-                return a->id() < b->id();
-              });
-    touched_.erase(std::unique(touched_.begin(), touched_.end()),
-                   touched_.end());
-    for (ExecutionState* state : touched_) scheduler_.registerState(*state);
-    if (trace_ != nullptr || metrics_ != nullptr) {
-      // Trace and metrics share the termination dedup set; both care
-      // about "became terminal this step", exactly once per state.
-      for (const ExecutionState* state : touched_) {
-        if (!state->isTerminal() ||
-            !traceTerminated_.insert(state->id()).second)
-          continue;
-        if (metrics_ != nullptr) metrics_->add(mTerminations_);
-        if (trace_ == nullptr) continue;
-        obs::TraceEvent record;
-        record.kind = obs::TraceEventKind::kStateTerminate;
-        record.node = state->node();
-        record.stateId = state->id();
-        trace_->emit(record);
+      {
+        // Re-register every state whose timeline changed (the dispatched
+        // state, forked siblings, delivery receivers). Duplicate heap
+        // entries are validated away on pop.
+        obs::ScopedPhase phase(profiler_, obs::Phase::kScheduler);
+        std::sort(touched_.begin(), touched_.end(),
+                  [](const ExecutionState* a, const ExecutionState* b) {
+                    return a->id() < b->id();
+                  });
+        touched_.erase(std::unique(touched_.begin(), touched_.end()),
+                       touched_.end());
+        for (ExecutionState* state : touched_) scheduler_.registerState(*state);
+        if (trace_ != nullptr || metrics_ != nullptr) {
+          // Trace and metrics share the termination dedup set; both care
+          // about "became terminal this step", exactly once per state.
+          for (const ExecutionState* state : touched_) {
+            if (!state->isTerminal() ||
+                !traceTerminated_.insert(state->id()).second)
+              continue;
+            if (metrics_ != nullptr) metrics_->add(mTerminations_);
+            if (trace_ == nullptr) continue;
+            obs::TraceEvent record;
+            record.kind = obs::TraceEventKind::kStateTerminate;
+            record.node = state->node();
+            record.stateId = state->id();
+            trace_->emit(record);
+          }
+        }
       }
+
+      if (!config_.batchEvents) break;
+      // Sampling, checkpointing and cap aborts happen between batches,
+      // at the exact event counts the per-event loop would hit them.
+      if (eventsProcessed_ >= nextSampleAt) break;
+      if (checkCaps()) break;  // the outer loop re-checks and aborts
+      {
+        obs::ScopedPhase phase(profiler_, obs::Phase::kScheduler);
+        popped = scheduler_.popMatching(
+            untilVirtualTime, resolve,
+            [&](const Scheduler::Entry& entry, const ExecutionState& next,
+                const vm::PendingEvent& event) {
+              return entry.time == batchTime && next.node() == batchNode &&
+                     event.kind == batchKind && event.a == batchA;
+            });
+      }
+      if (!popped) break;
     }
+    // One string-keyed map bump per batch instead of per event; every
+    // observer (sampling, checkpoints, end-of-run reports) runs at batch
+    // boundaries, so the visible counter trajectory is the baseline's.
+    // Batch shape diagnostics stay plain members (not registry counters):
+    // where a batch happens to break depends on suspend cuts and sampling
+    // cadence, so folding them into the stats registry would violate the
+    // checkpoint invariant that every serialized counter converges to the
+    // uninterrupted run's totals.
+    stats_.bump("engine.events", batchLen);
+    ++batches_;
+    if (batchLen > 1) batchedEvents_ += batchLen - 1;
   }
 
   if (outcome == RunOutcome::kCompleted)
     virtualNow_ = std::max(virtualNow_, untilVirtualTime);
   sampleAndCheck();
+  if (profiler_ != nullptr) {
+    // Attach the interpreter's opcode histogram (cumulative across runs;
+    // re-attaching replaces the previous snapshot's entries).
+    std::vector<obs::PhaseProfile::OpEntry> opcodes;
+    for (const auto& entry : interp_.opcodeProfile())
+      opcodes.push_back({entry.name, entry.count, entry.nanos});
+    profiler_->setOpcodes(std::move(opcodes));
+  }
   running_ = false;
   wallSecondsAccumulated_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -70,6 +70,13 @@ struct EngineConfig {
   // sends, fresh symbolics or forks; one constant-delay re-arm) is
   // replayed from the recorded summary instead of the VM.
   bool loopSummarize = false;
+  // Same-key event batching: consecutive ready events that dispatch the
+  // same handler (equal time/node/kind/id, sibling states) are stepped
+  // in one block, amortizing outer-loop housekeeping and string-keyed
+  // stats bumps. Digest-invariant — pop order and per-event semantics
+  // are untouched — so it stays on; the switch exists for A/B isolation
+  // (bench_vm, dispatch equivalence fuzzing).
+  bool batchEvents = true;
   vm::InterpConfig interp;
   solver::SolverConfig solver;
 };
@@ -295,6 +302,14 @@ class Engine {
   // once (the paper's "RAM" axis, deterministically).
   [[nodiscard]] std::uint64_t simulatedMemoryBytes() const;
 
+  // Same-key batch shape of this engine's run() calls, for benches and
+  // the dispatch battery's anti-vacuity check. Deliberately NOT registry
+  // counters: where a batch breaks depends on suspend cuts and sampling
+  // cadence, so these may differ between an uninterrupted run and a
+  // suspend/resume split of it while every real counter converges.
+  [[nodiscard]] std::uint64_t batches() const { return batches_; }
+  [[nodiscard]] std::uint64_t batchedEvents() const { return batchedEvents_; }
+
   [[nodiscard]] support::StatsRegistry& stats() { return stats_; }
   [[nodiscard]] const support::StatsRegistry& stats() const { return stats_; }
   [[nodiscard]] const support::StatsRegistry& interpStats() const {
@@ -444,6 +459,8 @@ class Engine {
   std::uint64_t nextPacketId_ = 1;
   std::uint64_t virtualNow_ = 0;
   std::uint64_t eventsProcessed_ = 0;
+  std::uint64_t batches_ = 0;        // run-local diagnostics — see batches()
+  std::uint64_t batchedEvents_ = 0;  // for why these are not stats counters
   double wallSecondsAccumulated_ = 0;
   std::chrono::steady_clock::time_point runStart_{};
   bool running_ = false;

@@ -52,12 +52,27 @@ class Scheduler {
   };
   template <typename Resolve>
   std::optional<Popped> pop(std::uint64_t horizon, Resolve&& resolve) {
+    return popMatching(horizon, std::forward<Resolve>(resolve),
+                       [](const Entry&, const vm::ExecutionState&,
+                          const vm::PendingEvent&) { return true; });
+  }
+
+  // pop(), but the next *valid* entry is consumed only if
+  // `pred(entry, state, event)` accepts it; otherwise it stays queued and
+  // nullopt is returned. Stale entries encountered on the way are dropped
+  // exactly as pop() would drop them (a declined head changes nothing
+  // about what the following pop observes), which is what lets the
+  // engine's same-key event batching probe for a continuation without
+  // perturbing the deterministic pop order.
+  template <typename Resolve, typename Pred>
+  std::optional<Popped> popMatching(std::uint64_t horizon, Resolve&& resolve,
+                                    Pred&& pred) {
     while (!heap_.empty()) {
       const Entry top = heap_.top();
       if (top.time > horizon) return std::nullopt;
-      heap_.pop();
       vm::ExecutionState* state = resolve(top.state);
       if (state == nullptr || state->isTerminal()) {
+        heap_.pop();
         ++staleDrops_;
         continue;
       }
@@ -68,9 +83,12 @@ class Scheduler {
                    static_cast<std::uint8_t>(e.kind) == top.kind;
           });
       if (it == state->pendingEvents.end()) {  // stale entry
+        heap_.pop();
         ++staleDrops_;
         continue;
       }
+      if (!pred(top, *state, *it)) return std::nullopt;
+      heap_.pop();
       Popped popped{state, *it};  // copy: erase may CoW-clone the storage
       state->pendingEvents.erase(it);
       return popped;

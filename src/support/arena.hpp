@@ -1,0 +1,93 @@
+// Bump-pointer arena for immutable, trivially-destructible node graphs.
+//
+// The expression context interns nodes that live exactly as long as the
+// context itself (DESIGN.md section 4: Ref is a plain pointer, pointer
+// equality == structural equality). That lifetime discipline is what a
+// bump allocator wants: allocation is a pointer increment inside a large
+// block, objects are never freed individually, and the whole arena is
+// released when the owner dies. Compared to one heap allocation per node
+// (or a deque's fixed-size chunks of full Expr objects), this removes
+// per-node malloc metadata and keeps consecutively-interned nodes —
+// which are overwhelmingly also consecutively *walked* nodes, because
+// expression DAGs are built bottom-up — adjacent in memory.
+//
+// Objects allocated here must be trivially destructible: the arena frees
+// raw blocks only and never runs destructors (enforced by static_assert
+// in create()).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace sde::support {
+
+class Arena {
+ public:
+  // Default block size: 256 KiB holds ~4600 Expr nodes per block, large
+  // enough that block switches are rare but small enough that a mostly
+  // concrete run does not pin megabytes. A degenerate `blockBytes` that
+  // is smaller than a single allocation still works — every allocation
+  // then gets its own exact-size block — which is what the bench_vm
+  // "heap mode" A/B uses to emulate per-node allocation.
+  static constexpr std::size_t kDefaultBlockBytes = std::size_t{256} * 1024;
+
+  explicit Arena(std::size_t blockBytes = kDefaultBlockBytes)
+      : blockBytes_(blockBytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align) {
+    SDE_ASSERT(align > 0 && (align & (align - 1)) == 0,
+               "arena alignment must be a power of two");
+    std::uintptr_t p = (cursor_ + align - 1) & ~(std::uintptr_t{align} - 1);
+    if (p + bytes > limit_) {
+      newBlock(bytes, align);
+      p = (cursor_ + align - 1) & ~(std::uintptr_t{align} - 1);
+    }
+    cursor_ = p + bytes;
+    bytesAllocated_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  template <class T, class... Args>
+  [[nodiscard]] T* create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena never runs destructors");
+    void* p = allocate(sizeof(T), alignof(T));
+    return ::new (p) T(std::forward<Args>(args)...);
+  }
+
+  // --- Introspection (bench_vm / stats reporting) -------------------------
+  [[nodiscard]] std::size_t bytesAllocated() const { return bytesAllocated_; }
+  [[nodiscard]] std::size_t bytesReserved() const { return bytesReserved_; }
+  [[nodiscard]] std::size_t numBlocks() const { return blocks_.size(); }
+  [[nodiscard]] std::size_t blockBytes() const { return blockBytes_; }
+
+ private:
+  void newBlock(std::size_t bytes, std::size_t align) {
+    // Worst case the aligned allocation needs `bytes + align - 1` of
+    // fresh space; oversized requests get an exact-fit block.
+    const std::size_t want = bytes + align - 1;
+    const std::size_t size = want > blockBytes_ ? want : blockBytes_;
+    blocks_.push_back(std::make_unique<std::byte[]>(size));
+    bytesReserved_ += size;
+    cursor_ = reinterpret_cast<std::uintptr_t>(blocks_.back().get());
+    limit_ = cursor_ + size;
+  }
+
+  std::size_t blockBytes_;
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;  // cursor_ == limit_ == 0 until first block
+  std::size_t bytesAllocated_ = 0;
+  std::size_t bytesReserved_ = 0;
+};
+
+}  // namespace sde::support

@@ -1,0 +1,80 @@
+// Schema-driven CSV emission.
+//
+// A CSV file is defined by one column table: header rendering and row
+// rendering both walk it, so they cannot drift apart (a hand-maintained
+// header once went stale when columns were added). Every emitter in the
+// repo — the Figure 10 metric series, the VM microbench outputs — goes
+// through this writer; a new file format is a new schema table, not new
+// serialization code.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string_view>
+
+#include "support/assert.hpp"
+
+namespace sde::trace {
+
+// One emitted column: name (header cell) and row renderer.
+template <class Row>
+struct CsvColumn {
+  const char* name;
+  void (*write)(std::ostream& os, const Row& row);
+};
+
+// A field that lands verbatim in the output (series names, labels): a
+// comma or newline inside it would silently shift every column of every
+// subsequent row, so reject it at the source.
+inline void validateCsvField(std::string_view text) {
+  SDE_ASSERT(text.find(',') == std::string_view::npos &&
+                 text.find('\n') == std::string_view::npos &&
+                 text.find('\r') == std::string_view::npos,
+             "CSV field must not contain commas or newlines");
+}
+
+// Streams one CSV file: the header is written on construction, rows on
+// each row() call. An optional lead column (e.g. "series") carries a
+// per-row label that is not part of the row struct.
+template <class Row>
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& os, std::span<const CsvColumn<Row>> schema,
+            std::string_view leadColumn = {})
+      : os_(os), schema_(schema), hasLead_(!leadColumn.empty()) {
+    bool first = true;
+    if (hasLead_) {
+      validateCsvField(leadColumn);
+      os_ << leadColumn;
+      first = false;
+    }
+    for (const CsvColumn<Row>& column : schema_) {
+      if (!first) os_ << ',';
+      os_ << column.name;
+      first = false;
+    }
+    os_ << '\n';
+  }
+
+  void row(const Row& value, std::string_view leadValue = {}) {
+    bool first = true;
+    if (hasLead_) {
+      validateCsvField(leadValue);
+      os_ << leadValue;
+      first = false;
+    }
+    for (const CsvColumn<Row>& column : schema_) {
+      if (!first) os_ << ',';
+      column.write(os_, value);
+      first = false;
+    }
+    os_ << '\n';
+  }
+
+ private:
+  std::ostream& os_;
+  std::span<const CsvColumn<Row>> schema_;
+  bool hasLead_;
+};
+
+}  // namespace sde::trace

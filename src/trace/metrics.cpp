@@ -43,23 +43,11 @@ const MetricSample& MetricsRecorder::last() const {
 
 void MetricsRecorder::writeCsv(std::ostream& os,
                                std::string_view seriesName) const {
-  // A comma or newline inside the series name would silently shift every
-  // column of every row; reject it at the source instead.
-  SDE_ASSERT(seriesName.find(',') == std::string_view::npos &&
-                 seriesName.find('\n') == std::string_view::npos &&
-                 seriesName.find('\r') == std::string_view::npos,
-             "CSV series name must not contain commas or newlines");
-  os << "series";
-  for (const MetricColumn& column : metricCsvSchema()) os << ',' << column.name;
-  os << '\n';
-  for (const MetricSample& s : samples_) {
-    os << seriesName;
-    for (const MetricColumn& column : metricCsvSchema()) {
-      os << ',';
-      column.write(os, s);
-    }
-    os << '\n';
-  }
+  // Validate up front, not just per row: a bad name must die even for a
+  // recorder that never sampled.
+  validateCsvField(seriesName);
+  CsvWriter<MetricSample> csv(os, metricCsvSchema(), "series");
+  for (const MetricSample& s : samples_) csv.row(s, seriesName);
 }
 
 std::vector<MetricSample> stitchSamples(

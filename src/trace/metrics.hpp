@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sde/engine.hpp"
+#include "trace/csv.hpp"
 
 namespace sde::trace {
 
@@ -24,13 +25,9 @@ struct MetricSample {
   std::uint64_t loopSummaries = 0;  // engine.loop_summaries
 };
 
-// The CSV row schema: one entry per emitted column, in order. Header
-// and row rendering both walk this table, so they cannot drift apart
-// (a hand-maintained header once went stale when columns were added).
-struct MetricColumn {
-  const char* name;
-  void (*write)(std::ostream& os, const MetricSample& sample);
-};
+// The CSV row schema: one entry per emitted column, in order, rendered
+// through the shared schema-driven writer (trace/csv.hpp).
+using MetricColumn = CsvColumn<MetricSample>;
 [[nodiscard]] std::span<const MetricColumn> metricCsvSchema();
 
 class MetricsRecorder {

@@ -1,6 +1,7 @@
 #include "vm/interp.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 
 namespace sde::vm {
@@ -58,7 +59,7 @@ expr::Ref applyAlu(expr::Context& ctx, Op op, expr::Ref a, expr::Ref b) {
 expr::Ref Interpreter::reg(ExecutionState& state, std::uint8_t index) const {
   SDE_ASSERT(index < kNumRegisters, "register out of range");
   expr::Ref v = state.regs_[index];
-  return v == nullptr ? ctx_.constant(0, 64) : v;
+  return v == nullptr ? zero64() : v;
 }
 
 void Interpreter::setReg(ExecutionState& state, std::uint8_t index,
@@ -99,9 +100,18 @@ void Interpreter::runEvent(ExecutionState& state, Entry entry,
   state.callStack.clear();
   for (std::size_t i = 0; i < 3; ++i)
     setReg(state, static_cast<std::uint8_t>(i),
-           i < args.size() ? args[i] : ctx_.constant(0, 64));
+           i < args.size() ? args[i] : zero64());
 
   effects_ = EventEffects{};
+
+  // Threaded/fused dispatch runs non-merge events through the decoded
+  // stream; merge mode and opcode-timing profiling keep the per-step
+  // switch loop (identical architectural effects either way).
+  const DecodedProgram* decoded =
+      config_.dispatch != DispatchMode::kSwitch && !config_.mergeStates &&
+              !config_.opcodeTiming
+          ? &decodedFor(state.program())
+          : nullptr;
 
   std::deque<ExecutionState*> worklist{&state};
   while (!worklist.empty()) {
@@ -110,9 +120,16 @@ void Interpreter::runEvent(ExecutionState& state, Entry entry,
     if (current->mergedAway) continue;
     std::uint64_t steps = 0;
     std::vector<ExecutionState*> forked;
+    timingPrev_ = kNoPrevOp;
     // Parked at a join, or re-queued behind a released waiter: the state
     // is still kRunning and resumes later — do not idle or untoken it.
     bool suspended = false;
+    if (decoded != nullptr) {
+      if (current->status == StateStatus::kRunning)
+        runDecoded(*current, *decoded, sink, forked);
+      for (ExecutionState* child : forked) worklist.push_back(child);
+      continue;
+    }
     while (current->status == StateStatus::kRunning && !current->mergedAway) {
       if (config_.mergeStates && !current->mergeTokens.empty()) {
         const auto token = current->mergeTokens.back();
@@ -144,7 +161,25 @@ void Interpreter::runEvent(ExecutionState& state, Entry entry,
         kill(*current, "per-event step limit exceeded");
         break;
       }
-      if (!step(*current, sink, forked)) break;
+      if (config_.opcodeTiming) {
+        // Profiling mode: inclusive wall-time per instruction (nested
+        // solver/mapper work included) plus the adjacent-pair counts the
+        // superinstruction selection is audited against.
+        const auto op =
+            static_cast<std::uint16_t>(current->program().at(current->pc).op);
+        const auto t0 = std::chrono::steady_clock::now();
+        const bool cont = step(*current, sink, forked);
+        opNanos_[op] += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        if (timingPrev_ != kNoPrevOp)
+          ++pairCounts_[timingPrev_ * kNumOps + op];
+        timingPrev_ = op;
+        if (!cont) break;
+      } else if (!step(*current, sink, forked)) {
+        break;
+      }
     }
     if (!suspended) {
       if (current->status == StateStatus::kRunning && !current->mergedAway)
@@ -157,6 +192,12 @@ void Interpreter::runEvent(ExecutionState& state, Entry entry,
     // creation order (deterministic breadth-first exploration).
     for (ExecutionState* child : forked) worklist.push_back(child);
   }
+  // The per-instruction counter is accumulated locally and flushed once
+  // per event: a per-step StatsRegistry::bump is a string-keyed map
+  // lookup and dominated the old hot path. Observers only read stats
+  // between events, so the visible trajectory is unchanged.
+  if (effects_.instructions != 0)
+    stats_.bump("vm.instructions", effects_.instructions);
   SDE_ASSERT(parkedCount_ == 0, "merge tokens must resolve by event end");
 }
 
@@ -172,7 +213,7 @@ bool Interpreter::step(ExecutionState& state, EffectSink& sink,
     return true;
   }
   ++state.executedInstructions;
-  stats_.bump("vm.instructions");
+  ++opCounts_[static_cast<std::size_t>(ins.op)];
   ++effects_.instructions;
   std::size_t nextPc = state.pc + 1;
 
@@ -408,6 +449,547 @@ bool Interpreter::step(ExecutionState& state, EffectSink& sink,
 
   state.pc = nextPc;
   return true;
+}
+
+// --- Threaded fast path ------------------------------------------------------
+//
+// Executes one state's handler run over the pre-decoded stream. The
+// bodies below mirror step() case-for-case: same expression-builder call
+// sequences, same kill messages, same pc/step accounting — that
+// one-to-one correspondence is the digest-invariance argument (DESIGN.md
+// section 20), and the dispatch fuzz battery enforces it end-to-end.
+//
+// Computed-goto dispatch on GCC/Clang; a switch over the same handler
+// indices elsewhere. The OPCASE/FCASE/DISPATCH macros keep both builds
+// on ONE copy of each op body (in the switch build the superinstruction
+// tails `goto` a label placed inside the br case).
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SDE_COMPUTED_GOTO 1
+#else
+#define SDE_COMPUTED_GOTO 0
+#endif
+
+void Interpreter::runDecoded(ExecutionState& state,
+                             const DecodedProgram& decoded, EffectSink& sink,
+                             std::vector<ExecutionState*>& forked) {
+  expr::Context& ctx = ctx_;
+  const DecodedInstr* const code = decoded.code();
+  expr::Ref* const regs = state.regs_.data();
+  const std::uint64_t maxSteps = config_.maxStepsPerEvent;
+  std::uint64_t steps = 0;
+  std::uint64_t flushed = 0;
+  std::size_t pc = state.pc;
+  const DecodedInstr* d = nullptr;
+
+  // Per-instruction bookkeeping is accumulated in `steps` and flushed
+  // before anything that can observe the state mid-run (fork clones,
+  // send/log callbacks) and at exit — so observers see exactly the
+  // values the per-step baseline would have shown them.
+  const auto flushSteps = [&] {
+    const std::uint64_t delta = steps - flushed;
+    state.executedInstructions += delta;
+    effects_.instructions += delta;
+    flushed = steps;
+  };
+  const auto rd = [&](std::uint8_t r) -> expr::Ref {
+    const expr::Ref v = regs[r];
+    return v != nullptr ? v : zero64();
+  };
+
+#if SDE_COMPUTED_GOTO
+  // Label table indexed by DecodedInstr::handler: the plain opcodes in
+  // enum order, then the superinstructions, then the overrun sentinel.
+  static const void* const kLabels[] = {
+      &&H_kNop,      &&H_kConst,     &&H_kMov,       &&H_kAdd,
+      &&H_kSub,      &&H_kMul,       &&H_kUDiv,      &&H_kURem,
+      &&H_kSDiv,     &&H_kSRem,      &&H_kAnd,       &&H_kOr,
+      &&H_kXor,      &&H_kShl,       &&H_kLShr,      &&H_kAShr,
+      &&H_kNot,      &&H_kEq,        &&H_kNe,        &&H_kUlt,
+      &&H_kUle,      &&H_kSlt,       &&H_kSle,       &&H_kJmp,
+      &&H_kBr,       &&H_kCall,      &&H_kRet,       &&H_kHalt,
+      &&H_kFail,     &&H_kAlloc,     &&H_kLoad,      &&H_kStore,
+      &&H_kLoadG,    &&H_kStoreG,    &&H_kSymbolic,  &&H_kAssume,
+      &&H_kSend,     &&H_kSetTimer,  &&H_kStopTimer, &&H_kSelf,
+      &&H_kNow,      &&H_kNumNodes,  &&H_kLog,       &&H_AluBr,
+      &&H_ConstAlu,  &&H_LoadGBr,    &&H_ConstStoreG, &&H_MovBr,
+      &&H_OutOfRange,
+  };
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == kNumHandlers,
+                "label table must cover every handler");
+  static_assert(kNumOps == 43, "Op enum changed: update the label table");
+
+#define OPCASE(name) H_##name:
+#define FCASE(name) H_##name:
+#define BR_TARGET
+#define DISPATCH()                                           \
+  do {                                                       \
+    if (++steps > maxSteps) goto limit_kill;                 \
+    d = code + pc;                                           \
+    ++opCounts_[static_cast<std::size_t>(d->op)];            \
+    goto* kLabels[d->handler];                               \
+  } while (0)
+#else
+#define OPCASE(name) case static_cast<std::uint16_t>(Op::name):
+#define FCASE(name) case kHandler##name:
+#define BR_TARGET H_kBr:
+#define DISPATCH()                                           \
+  do {                                                       \
+    if (++steps > maxSteps) goto limit_kill;                 \
+    d = code + pc;                                           \
+    ++opCounts_[static_cast<std::size_t>(d->op)];            \
+    goto dispatch_top;                                       \
+  } while (0)
+#endif
+
+// Second half of a superinstruction: the per-instruction step check and
+// count for op2, placed AFTER op1's body so a mid-pair limit kill leaves
+// exactly the baseline's counters (op2 unexecuted, uncounted).
+#define FUSED_NEXT()                                         \
+  do {                                                       \
+    if (++steps > maxSteps) goto limit_kill;                 \
+    d = code + pc;                                           \
+    ++opCounts_[static_cast<std::size_t>(d->op)];            \
+  } while (0)
+
+// The three-register ALU forms share one body shape; Op is a compile-
+// time constant per label, so applyAlu folds to the specific builder
+// call.
+#define ALU_BODY(name)                                          \
+  OPCASE(name) {                                                \
+    regs[d->a] = applyAlu(ctx, Op::name, rd(d->b), rd(d->c));   \
+    ++pc;                                                       \
+    DISPATCH();                                                 \
+  }
+
+  DISPATCH();
+
+#if !SDE_COMPUTED_GOTO
+dispatch_top:
+  switch (d->handler) {
+#endif
+
+  OPCASE(kNop) {
+    ++pc;
+    DISPATCH();
+  }
+
+  OPCASE(kConst) {
+    expr::Ref v = d->constCache;
+    if (v == nullptr)
+      v = d->constCache = ctx.constant(static_cast<std::uint64_t>(d->imm), 64);
+    regs[d->a] = v;
+    ++pc;
+    DISPATCH();
+  }
+
+  OPCASE(kMov) {
+    regs[d->a] = rd(d->b);
+    ++pc;
+    DISPATCH();
+  }
+
+  ALU_BODY(kAdd)
+  ALU_BODY(kSub)
+  ALU_BODY(kMul)
+  ALU_BODY(kUDiv)
+  ALU_BODY(kURem)
+  ALU_BODY(kSDiv)
+  ALU_BODY(kSRem)
+  ALU_BODY(kAnd)
+  ALU_BODY(kOr)
+  ALU_BODY(kXor)
+  ALU_BODY(kShl)
+  ALU_BODY(kLShr)
+  ALU_BODY(kAShr)
+
+  OPCASE(kNot) {
+    regs[d->a] = ctx.bvNot(rd(d->b));
+    ++pc;
+    DISPATCH();
+  }
+
+  ALU_BODY(kEq)
+  ALU_BODY(kNe)
+  ALU_BODY(kUlt)
+  ALU_BODY(kUle)
+  ALU_BODY(kSlt)
+  ALU_BODY(kSle)
+
+  OPCASE(kJmp) {
+    pc = static_cast<std::size_t>(d->imm);
+    DISPATCH();
+  }
+
+  OPCASE(kBr) {
+    BR_TARGET {
+      const expr::Ref cond = ctx.boolCast(rd(d->a));
+      const auto takenPc = static_cast<std::size_t>(d->imm);
+      const auto fallPc = static_cast<std::size_t>(d->imm2);
+      if (cond->isConstant()) {
+        pc = cond->isTrue() ? takenPc : fallPc;
+        DISPATCH();
+      }
+      switch (solver_.classify(state.constraints, cond)) {
+        case solver::Validity::kTrue:
+          pc = takenPc;
+          break;
+        case solver::Validity::kFalse:
+          pc = fallPc;
+          break;
+        case solver::Validity::kUnknown: {
+          stats_.bump("vm.forks");
+          ++effects_.forks;
+          flushSteps();
+          state.pc = pc;  // the fork clones the branch pc, as in step()
+          ExecutionState& child = sink.forkState(state);
+          // Parent takes the true edge, child the false edge.
+          state.constraints.add(cond);
+          child.constraints.add(ctx.logicalNot(cond));
+          child.pc = fallPc;
+          SDE_ASSERT(child.status == StateStatus::kRunning,
+                     "fork of a running state must be running");
+          forked.push_back(&child);
+          pc = takenPc;
+          break;
+        }
+      }
+      DISPATCH();
+    }
+  }
+
+  OPCASE(kCall) {
+    state.callStack.push_back(pc + 1);
+    pc = static_cast<std::size_t>(d->imm);
+    DISPATCH();
+  }
+
+  OPCASE(kRet) {
+    if (state.callStack.empty()) {
+      // Returning from the handler's entry frame ends the event (pc
+      // parks on the ret instruction, exactly as in step()).
+      state.status = StateStatus::kIdle;
+      goto done;
+    }
+    pc = state.callStack.back();
+    state.callStack.pop_back();
+    DISPATCH();
+  }
+
+  OPCASE(kHalt) {
+    state.status = StateStatus::kIdle;
+    goto done;
+  }
+
+  OPCASE(kFail) {
+    state.status = StateStatus::kFailed;
+    state.failureMessage = std::string(state.program().string(d->str));
+    stats_.bump("vm.failures");
+    goto done;
+  }
+
+  OPCASE(kAlloc) {
+    const std::uint64_t cells = concretize(state, rd(d->b));
+    const std::uint64_t id = state.space.alloc(ctx, cells);
+    regs[d->a] = ctx.constant(id, 64);
+    ++pc;
+    DISPATCH();
+  }
+
+  OPCASE(kLoad) {
+    const std::uint64_t obj = concretize(state, rd(d->b));
+    const std::uint64_t index = concretize(state, rd(d->c));
+    if (!state.space.hasObject(obj) || index >= state.space.objectSize(obj)) {
+      kill(state, "out-of-bounds load");
+      goto done;
+    }
+    regs[d->a] = state.space.load(obj, index);
+    ++pc;
+    DISPATCH();
+  }
+
+  OPCASE(kStore) {
+    const std::uint64_t obj = concretize(state, rd(d->b));
+    const std::uint64_t index = concretize(state, rd(d->c));
+    if (!state.space.hasObject(obj) || index >= state.space.objectSize(obj)) {
+      kill(state, "out-of-bounds store");
+      goto done;
+    }
+    state.space.store(obj, index, rd(d->a));
+    ++pc;
+    DISPATCH();
+  }
+
+  OPCASE(kLoadG) {
+    const auto index = static_cast<std::uint64_t>(d->imm);
+    if (index >= state.space.objectSize(kGlobalsObject)) {
+      kill(state, "out-of-bounds global load");
+      goto done;
+    }
+    regs[d->a] = state.space.load(kGlobalsObject, index);
+    ++pc;
+    DISPATCH();
+  }
+
+  OPCASE(kStoreG) {
+    const auto index = static_cast<std::uint64_t>(d->imm);
+    if (index >= state.space.objectSize(kGlobalsObject)) {
+      kill(state, "out-of-bounds global store");
+      goto done;
+    }
+    state.space.store(kGlobalsObject, index, rd(d->a));
+    ++pc;
+    DISPATCH();
+  }
+
+  OPCASE(kSymbolic) {
+    const std::string label(state.program().string(d->str));
+    const std::uint32_t n = state.symbolicCounters[label]++;
+    const std::string name = "n" + std::to_string(state.node()) + "." + label +
+                             "." + std::to_string(n);
+    const expr::Ref var = ctx.variable(name, static_cast<unsigned>(d->imm));
+    state.symbolics.push_back(var);
+    regs[d->a] = ctx.zext(var, 64);
+    stats_.bump("vm.symbolics");
+    ++effects_.symbolicsMinted;
+    ++pc;
+    DISPATCH();
+  }
+
+  OPCASE(kAssume) {
+    const expr::Ref cond = ctx.boolCast(rd(d->a));
+    if (!cond->isTrue()) {
+      if (cond->isFalse() || !solver_.mayBeTrue(state.constraints, cond)) {
+        state.status = StateStatus::kInfeasible;
+        stats_.bump("vm.infeasible_assumes");
+        goto done;
+      }
+      state.constraints.add(cond);
+    }
+    ++pc;
+    DISPATCH();
+  }
+
+  OPCASE(kSend) {
+    const std::uint64_t dst = concretize(state, rd(d->a));
+    const std::uint64_t obj = concretize(state, rd(d->b));
+    const std::uint64_t len = concretize(state, rd(d->c));
+    if (!state.space.hasObject(obj) || len > state.space.objectSize(obj)) {
+      kill(state, "send with invalid payload object");
+      goto done;
+    }
+    stats_.bump("vm.sends");
+    ++effects_.sends;
+    // Advance pc and sync the state before the callback, as in step().
+    ++pc;
+    flushSteps();
+    state.pc = pc;
+    sink.onSend(state, static_cast<NodeId>(dst), state.space.read(obj, len));
+    if (state.status != StateStatus::kRunning) goto done;
+    DISPATCH();
+  }
+
+  OPCASE(kSetTimer) {
+    const expr::Ref delayExpr = rd(d->a);
+    const bool constantDelay = delayExpr->isConstant();
+    const std::uint64_t delay = concretize(state, delayExpr);
+    const auto timerId = static_cast<std::uint32_t>(d->imm);
+    ++effects_.timerOps;
+    effects_.rearmConstant = constantDelay;
+    effects_.rearmTimerId = timerId;
+    effects_.rearmDelay = delay;
+    // Re-arming replaces any pending expiry of the same timer.
+    state.pendingEvents.eraseIf([&](const PendingEvent& e) {
+      return e.kind == EventKind::kTimer && e.a == timerId;
+    });
+    PendingEvent event;
+    event.time = state.clock + delay;
+    event.kind = EventKind::kTimer;
+    event.a = timerId;
+    event.seq = state.nextEventSeq++;
+    state.activeTimers[timerId] = event.seq;
+    state.pendingEvents.push_back(std::move(event));
+    ++pc;
+    DISPATCH();
+  }
+
+  OPCASE(kStopTimer) {
+    const auto timerId = static_cast<std::uint32_t>(d->imm);
+    ++effects_.timerOps;
+    effects_.rearmConstant = false;
+    state.pendingEvents.eraseIf([&](const PendingEvent& e) {
+      return e.kind == EventKind::kTimer && e.a == timerId;
+    });
+    state.activeTimers.erase(timerId);
+    ++pc;
+    DISPATCH();
+  }
+
+  OPCASE(kSelf) {
+    regs[d->a] = ctx.constant(state.node(), 64);
+    ++pc;
+    DISPATCH();
+  }
+
+  OPCASE(kNow) {
+    regs[d->a] = ctx.constant(state.clock, 64);
+    effects_.usedNow = true;
+    ++pc;
+    DISPATCH();
+  }
+
+  OPCASE(kNumNodes) {
+    regs[d->a] = ctx.constant(numNodes_, 64);
+    ++pc;
+    DISPATCH();
+  }
+
+  OPCASE(kLog) {
+    flushSteps();
+    state.pc = pc;  // the callback observes the log pc, as in step()
+    sink.onLog(state, state.program().string(d->str), rd(d->a));
+    ++pc;
+    DISPATCH();
+  }
+
+  // --- Superinstructions ---------------------------------------------------
+  // Each executes the exact bodies of its two constituent ops with the
+  // per-instruction step check in between; the only thing fused away is
+  // the indirect dispatch (and for the +br forms the condition-register
+  // re-read, which is identity-equal by construction).
+
+  FCASE(AluBr) {
+    regs[d->a] = applyAlu(ctx, d->op, rd(d->b), rd(d->c));
+    ++pc;
+    FUSED_NEXT();
+    goto H_kBr;
+  }
+
+  FCASE(ConstAlu) {
+    expr::Ref v = d->constCache;
+    if (v == nullptr)
+      v = d->constCache = ctx.constant(static_cast<std::uint64_t>(d->imm), 64);
+    regs[d->a] = v;
+    ++pc;
+    FUSED_NEXT();
+    regs[d->a] = applyAlu(ctx, d->op, rd(d->b), rd(d->c));
+    ++pc;
+    DISPATCH();
+  }
+
+  FCASE(LoadGBr) {
+    const auto index = static_cast<std::uint64_t>(d->imm);
+    if (index >= state.space.objectSize(kGlobalsObject)) {
+      kill(state, "out-of-bounds global load");
+      goto done;
+    }
+    regs[d->a] = state.space.load(kGlobalsObject, index);
+    ++pc;
+    FUSED_NEXT();
+    goto H_kBr;
+  }
+
+  FCASE(ConstStoreG) {
+    expr::Ref v = d->constCache;
+    if (v == nullptr)
+      v = d->constCache = ctx.constant(static_cast<std::uint64_t>(d->imm), 64);
+    regs[d->a] = v;
+    ++pc;
+    FUSED_NEXT();
+    {
+      const auto index = static_cast<std::uint64_t>(d->imm);
+      if (index >= state.space.objectSize(kGlobalsObject)) {
+        kill(state, "out-of-bounds global store");
+        goto done;
+      }
+      state.space.store(kGlobalsObject, index, rd(d->a));
+    }
+    ++pc;
+    DISPATCH();
+  }
+
+  FCASE(MovBr) {
+    regs[d->a] = rd(d->b);
+    ++pc;
+    FUSED_NEXT();
+    goto H_kBr;
+  }
+
+  FCASE(OutOfRange) {
+    state.pc = pc;
+    flushSteps();
+    SDE_ASSERT(false, "pc out of range");
+    goto done;
+  }
+
+#if !SDE_COMPUTED_GOTO
+    default:
+      SDE_UNREACHABLE("invalid decoded handler");
+  }
+#endif
+
+done:
+  state.pc = pc;
+  flushSteps();
+  return;
+
+limit_kill:
+  --steps;  // the instruction that tripped the limit never executed
+  state.pc = pc;
+  flushSteps();
+  kill(state, "per-event step limit exceeded");
+
+#undef OPCASE
+#undef FCASE
+#undef BR_TARGET
+#undef DISPATCH
+#undef FUSED_NEXT
+#undef ALU_BODY
+}
+
+const DecodedProgram& Interpreter::decodedFor(const Program& program) {
+  auto it = decodedCache_.find(&program);
+  if (it == decodedCache_.end())
+    it = decodedCache_
+             .emplace(std::piecewise_construct, std::forward_as_tuple(&program),
+                      std::forward_as_tuple(
+                          program, config_.dispatch == DispatchMode::kFused))
+             .first;
+  return it->second;
+}
+
+std::vector<Interpreter::OpcodeProfileEntry> Interpreter::opcodeProfile()
+    const {
+  std::vector<OpcodeProfileEntry> out;
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    if (opCounts_[i] == 0 && opNanos_[i] == 0) continue;
+    out.push_back({"op." + std::string(opName(static_cast<Op>(i))),
+                   opCounts_[i], opNanos_[i]});
+  }
+  if (!pairCounts_.empty()) {
+    struct PairRow {
+      std::size_t first;
+      std::size_t second;
+      std::uint64_t count;
+    };
+    std::vector<PairRow> pairs;
+    for (std::size_t a = 0; a < kNumOps; ++a)
+      for (std::size_t b = 0; b < kNumOps; ++b)
+        if (const std::uint64_t c = pairCounts_[a * kNumOps + b]; c != 0)
+          pairs.push_back({a, b, c});
+    std::sort(pairs.begin(), pairs.end(),
+              [](const PairRow& x, const PairRow& y) {
+                if (x.count != y.count) return x.count > y.count;
+                if (x.first != y.first) return x.first < y.first;
+                return x.second < y.second;
+              });
+    if (pairs.size() > 16) pairs.resize(16);  // top pairs only: fusion input
+    for (const PairRow& p : pairs)
+      out.push_back({"pair." + std::string(opName(static_cast<Op>(p.first))) +
+                         "+" + std::string(opName(static_cast<Op>(p.second))),
+                     p.count, 0});
+  }
+  return out;
 }
 
 const PostDominators& Interpreter::postdomFor(const Program& program) {

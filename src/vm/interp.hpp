@@ -19,6 +19,7 @@
 
 #include "solver/client.hpp"
 #include "support/stats.hpp"
+#include "vm/dispatch.hpp"
 #include "vm/merge.hpp"
 #include "vm/postdom.hpp"
 #include "vm/state.hpp"
@@ -68,6 +69,19 @@ struct InterpConfig {
   // concretization could observe a guard-dependent value. Set by the
   // engine from EngineConfig::mergeStates.
   bool mergeStates = false;
+  // Dispatch strategy (vm/dispatch.hpp). kThreaded/kFused run non-merge
+  // events through the pre-decoded computed-goto executor; kSwitch is
+  // the per-step decode switch. Digest-invariant by construction: the
+  // fuzz battery (tests/vm/dispatch_equivalence_fuzz_test.cpp) and the
+  // verify.sh smoke stage compare all three. Merge-mode events always
+  // take the switch path (its per-step merge-token checks do not fit a
+  // straight-line loop), in every mode.
+  DispatchMode dispatch = dispatchModeFromEnv();
+  // Per-opcode self-time and adjacent-pair attribution (SDE_OPCODE_TIME).
+  // Forces the switch path with a clock read around every instruction —
+  // a profiling mode, not a production one. Execution *counts* are
+  // always collected; only timing/pairs need this.
+  bool opcodeTiming = opcodeTimingFromEnv();
 };
 
 // What one runEvent call did, summarised for the engine's bounded-loop
@@ -90,7 +104,9 @@ class Interpreter {
  public:
   Interpreter(expr::Context& ctx, solver::SolverClient& solver,
               InterpConfig config = {})
-      : ctx_(ctx), solver_(solver), config_(config), merger_(ctx) {}
+      : ctx_(ctx), solver_(solver), config_(config), merger_(ctx) {
+    if (config_.opcodeTiming) pairCounts_.resize(kNumOps * kNumOps, 0);
+  }
 
   // Dispatches `entry` on `state` with up to three argument words in
   // r0..r2 and runs it (plus any forked siblings) to completion. After
@@ -117,13 +133,47 @@ class Interpreter {
     return effects_;
   }
 
+  // --- Per-opcode histogram (obs::PhaseProfiler opcode section) ----------
+  // Execution counts are always collected (one array increment per
+  // instruction); self-time and adjacent-pair counts only under
+  // InterpConfig::opcodeTiming. Entries are named "op.<name>" and
+  // "pair.<a>+<b>" so they ride the trace profile section's name-keyed
+  // format unchanged.
+  struct OpcodeProfileEntry {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t nanos = 0;
+  };
+  [[nodiscard]] std::vector<OpcodeProfileEntry> opcodeProfile() const;
+  [[nodiscard]] const std::array<std::uint64_t, kNumOps>& opcodeCounts() const {
+    return opCounts_;
+  }
+
+  [[nodiscard]] DispatchMode dispatchMode() const { return config_.dispatch; }
+
  private:
   // Executes one instruction; returns false when the handler finished
   // (by halt/return/failure/kill) for this state.
   bool step(ExecutionState& state, EffectSink& sink,
             std::vector<ExecutionState*>& worklist);
+  // Threaded fast path: runs `state` to the end of the current handler
+  // through the pre-decoded stream (computed-goto dispatch where the
+  // compiler supports it). Only used for non-merge events in
+  // kThreaded/kFused modes; behaviourally identical to the step() loop.
+  void runDecoded(ExecutionState& state, const DecodedProgram& decoded,
+                  EffectSink& sink, std::vector<ExecutionState*>& forked);
+  // Decoded form of `program`, decoded once and shared by every state
+  // (keyed by identity like the postdominator cache).
+  [[nodiscard]] const DecodedProgram& decodedFor(const Program& program);
 
   expr::Ref reg(ExecutionState& state, std::uint8_t index) const;
+  // The interned 64-bit zero, cached after first use (unwritten
+  // registers read as zero; the baseline re-ran the interning lookup on
+  // every such read). Lazily created so the interning-log position of
+  // the node is identical to the uncached baseline's first use.
+  expr::Ref zero64() const {
+    return zero64_ != nullptr ? zero64_ : (zero64_ = ctx_.constant(0, 64));
+  }
   void setReg(ExecutionState& state, std::uint8_t index, expr::Ref value);
   void kill(ExecutionState& state, std::string_view why);
 
@@ -169,6 +219,16 @@ class Interpreter {
   EventEffects effects_;
   std::size_t parkedCount_ = 0;
   std::map<const Program*, PostDominators> postdomCache_;
+  std::map<const Program*, DecodedProgram> decodedCache_;
+  mutable expr::Ref zero64_ = nullptr;
+  // Opcode histogram: counts always; nanos/pairs only under
+  // config_.opcodeTiming (pairCounts_ is kNumOps*kNumOps, row-major by
+  // first op, allocated lazily when timing is on).
+  std::array<std::uint64_t, kNumOps> opCounts_{};
+  std::array<std::uint64_t, kNumOps> opNanos_{};
+  std::vector<std::uint64_t> pairCounts_;
+  static constexpr std::uint16_t kNoPrevOp = 0xffff;
+  std::uint16_t timingPrev_ = kNoPrevOp;
 };
 
 }  // namespace sde::vm

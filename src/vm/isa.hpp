@@ -74,6 +74,11 @@ enum class Op : std::uint8_t {
   kLog,        // diagnostic: message str, value r[a]
 };
 
+// Number of opcodes (kLog is last). The decoded-dispatch handler table
+// (vm/dispatch.hpp) and the per-opcode profiler histogram are indexed by
+// the raw Op value, so this must track the enum.
+inline constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::kLog) + 1;
+
 [[nodiscard]] std::string_view opName(Op op);
 
 // True for the three-register ALU forms r[a] = r[b] op r[c].

@@ -1,0 +1,210 @@
+// Arena-backed interning vs the checkpoint expr log.
+//
+// The expression context allocates nodes from a bump-pointer arena; the
+// checkpoint serializes the DAG as its interning log and replays it into
+// a fresh (arena-backed) context. These tests pin the contract the
+// refactor relies on: the arena is a memory-layout change only — node
+// ids, interning order and the serialized log are identical for every
+// block size — and a restored engine's expr table is byte-for-byte the
+// suspended engine's, across suspend/resume cycles and arena block
+// boundaries.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "snapshot/checkpoint.hpp"
+#include "snapshot/reader.hpp"
+#include "snapshot/writer.hpp"
+#include "support/arena.hpp"
+#include "support/rng.hpp"
+#include "trace/scenario.hpp"
+
+namespace sde {
+namespace {
+
+using expr::Ref;
+
+// A random DAG big enough to span several arena blocks in the
+// small-block configuration: constants, variables, and mixed-arity ops
+// over earlier pool entries.
+std::vector<Ref> growRandomDag(expr::Context& ctx, support::Rng& rng,
+                               int steps) {
+  std::vector<Ref> pool{ctx.trueExpr(), ctx.falseExpr(),
+                        ctx.constant(0, 64)};
+  const auto pick = [&]() { return pool[rng.below(pool.size())]; };
+  for (int i = 0; i < steps; ++i) {
+    switch (rng.below(6)) {
+      case 0:
+        pool.push_back(ctx.constant(rng.below(1u << 20), 64));
+        break;
+      case 1:
+        pool.push_back(
+            ctx.variable("v" + std::to_string(rng.below(24)), 64));
+        break;
+      case 2:
+        pool.push_back(ctx.add(ctx.zcast(pick(), 64), ctx.zcast(pick(), 64)));
+        break;
+      case 3:
+        pool.push_back(
+            ctx.bvXor(ctx.zcast(pick(), 64), ctx.zcast(pick(), 64)));
+        break;
+      case 4:
+        pool.push_back(ctx.ult(ctx.zcast(pick(), 64), ctx.zcast(pick(), 64)));
+        break;
+      default:
+        pool.push_back(ctx.ite(ctx.boolCast(pick()), ctx.zcast(pick(), 64),
+                               ctx.zcast(pick(), 64)));
+        break;
+    }
+  }
+  return pool;
+}
+
+std::string exprTableBytes(const expr::Context& ctx) {
+  std::ostringstream buffer(std::ios::binary);
+  snapshot::Writer writer(buffer);
+  snapshot::writeExprTable(writer, ctx);
+  EXPECT_TRUE(writer.ok());
+  return buffer.str();
+}
+
+class ArenaLayoutTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArenaLayoutTest, BlockSizeNeverChangesTheSerializedLog) {
+  // The same build sequence into a default-arena context, a degenerate
+  // one-exact-fit-block-per-node ("heap mode") context, and a tiny-block
+  // context that forces many block spills mid-log. Identical bytes out.
+  const std::uint64_t seed = GetParam();
+  expr::Context arenaCtx;  // default blocks
+  expr::Context heapCtx(1);
+  expr::Context tinyCtx(256);
+  {
+    support::Rng rng(seed);
+    growRandomDag(arenaCtx, rng, 400);
+  }
+  {
+    support::Rng rng(seed);
+    growRandomDag(heapCtx, rng, 400);
+  }
+  {
+    support::Rng rng(seed);
+    growRandomDag(tinyCtx, rng, 400);
+  }
+
+  ASSERT_EQ(arenaCtx.numNodes(), heapCtx.numNodes());
+  const std::string arenaBytes = exprTableBytes(arenaCtx);
+  EXPECT_EQ(arenaBytes, exprTableBytes(heapCtx)) << "seed " << seed;
+  EXPECT_EQ(arenaBytes, exprTableBytes(tinyCtx)) << "seed " << seed;
+
+  // Anti-vacuity: the A/B actually compared different layouts — heap
+  // mode spent one block per node, the tiny arena spilled repeatedly.
+  EXPECT_GT(heapCtx.arenaBlocks(), arenaCtx.arenaBlocks());
+  EXPECT_GT(tinyCtx.arenaBlocks(), 1u);
+}
+
+TEST_P(ArenaLayoutTest, ReplayedLogReproducesEveryNodeAcrossBlockSpills) {
+  // Replay a multi-block log into a small-block context: every node must
+  // land at its original index with its original structure even when the
+  // replay's arena layout differs from the writer's.
+  const std::uint64_t seed = GetParam();
+  expr::Context ctx;
+  support::Rng rng(seed);
+  growRandomDag(ctx, rng, 400);
+
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  snapshot::Writer writer(buffer);
+  snapshot::writeExprTable(writer, ctx);
+  ASSERT_TRUE(writer.ok());
+
+  expr::Context restored(512);
+  snapshot::Reader reader(buffer);
+  snapshot::readExprTable(reader, restored);
+
+  ASSERT_EQ(restored.numNodes(), ctx.numNodes()) << "seed " << seed;
+  EXPECT_EQ(exprTableBytes(restored), exprTableBytes(ctx)) << "seed " << seed;
+  EXPECT_GT(restored.arenaBlocks(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArenaLayoutTest,
+                         ::testing::Values(3, 7, 19, 31));
+
+// --- Engine-level roundtrips -------------------------------------------------
+
+trace::CollectScenarioConfig sdsGrid(std::uint64_t simulationTime) {
+  trace::CollectScenarioConfig config;
+  config.gridWidth = 5;
+  config.gridHeight = 5;
+  config.simulationTime = simulationTime;
+  config.mapper = MapperKind::kSds;
+  return config;
+}
+
+std::string checkpointBlob(const Engine& engine) {
+  std::ostringstream out(std::ios::binary);
+  engine.checkpoint(out);
+  return out.str();
+}
+
+TEST(ArenaCheckpointTest, CheckpointRestoreCheckpointIsByteIdentical) {
+  // The strongest roundtrip statement: re-serializing a restored engine
+  // reproduces the original checkpoint exactly — the arena-backed
+  // interning log (and everything whose Refs index into it) survives a
+  // full decode/encode cycle with zero drift.
+  const auto config = sdsGrid(4000);
+  trace::CollectScenario suspended(config);
+  ASSERT_EQ(suspended.engine().run(2000), RunOutcome::kCompleted);
+  const std::string blob = checkpointBlob(suspended.engine());
+
+  trace::CollectScenario resumedScenario(config);
+  Engine& resumed = resumedScenario.engine();
+  std::istringstream in(blob, std::ios::binary);
+  resumed.restore(in);
+  EXPECT_EQ(checkpointBlob(resumed), blob);
+}
+
+TEST(ArenaCheckpointTest, MidRunSuspendResumeCyclesConvergeToTheSameRun) {
+  // Two suspend/resume cycles mid-run — each restore replays the expr
+  // log into a fresh arena — must converge to the uninterrupted
+  // exploration (state hashes and interpreter counters included).
+  const auto config = sdsGrid(4000);
+  trace::CollectScenario reference(config);
+  ASSERT_EQ(reference.run().outcome, RunOutcome::kCompleted);
+
+  trace::CollectScenario first(config);
+  ASSERT_EQ(first.engine().run(1500), RunOutcome::kCompleted);
+  const std::string blob1 = checkpointBlob(first.engine());
+
+  trace::CollectScenario second(config);
+  {
+    std::istringstream in(blob1, std::ios::binary);
+    second.engine().restore(in);
+  }
+  ASSERT_EQ(second.engine().run(3000), RunOutcome::kCompleted);
+  const std::string blob2 = checkpointBlob(second.engine());
+
+  trace::CollectScenario third(config);
+  {
+    std::istringstream in(blob2, std::ios::binary);
+    third.engine().restore(in);
+  }
+  Engine& resumed = third.engine();
+  ASSERT_EQ(resumed.run(config.simulationTime), RunOutcome::kCompleted);
+
+  Engine& uninterrupted = reference.engine();
+  EXPECT_EQ(resumed.numStates(), uninterrupted.numStates());
+  EXPECT_EQ(resumed.eventsProcessed(), uninterrupted.eventsProcessed());
+  std::set<std::uint64_t> resumedHashes, referenceHashes;
+  for (const auto& state : resumed.states())
+    resumedHashes.insert(state->configHash());
+  for (const auto& state : uninterrupted.states())
+    referenceHashes.insert(state->configHash());
+  EXPECT_EQ(resumedHashes, referenceHashes);
+  EXPECT_EQ(resumed.stats().all(), uninterrupted.stats().all());
+  EXPECT_EQ(resumed.interpStats().all(), uninterrupted.interpStats().all());
+}
+
+}  // namespace
+}  // namespace sde

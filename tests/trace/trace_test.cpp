@@ -164,10 +164,12 @@ TEST(Stitch, EmptySeriesAmongNonEmptyContributesNothing) {
 }
 
 TEST(MetricsDeathTest, CsvRejectsSeriesNamesThatBreakTheFormat) {
+  // The series name lands verbatim in the lead column; the shared
+  // schema-driven writer (trace/csv.hpp) rejects field-breaking bytes.
   MetricsRecorder recorder;
   std::ostringstream os;
-  EXPECT_DEATH(recorder.writeCsv(os, "bad,name"), "series name");
-  EXPECT_DEATH(recorder.writeCsv(os, "bad\nname"), "series name");
+  EXPECT_DEATH(recorder.writeCsv(os, "bad,name"), "CSV field");
+  EXPECT_DEATH(recorder.writeCsv(os, "bad\nname"), "CSV field");
 }
 
 TEST(Stitch, SingleSeriesPassesThroughInRecordedOrder) {
